@@ -1,0 +1,153 @@
+// Ablation — scheduling granularity.
+//
+// Two knobs of the level-2 partitions trade throughput against
+// responsiveness, a design dimension GTS's "time slice" discussion
+// (Section 4.1.1) raises but the paper does not quantify:
+//
+//   * batch_size: elements drained per strategy decision. Large batches
+//     amortize queue locking and strategy selection; small batches make
+//     preemption and strategy decisions fine-grained.
+//   * quantum: how long a partition runs before offering to yield.
+//
+// This harness measures, for a GTS run of the Figure 7 query, (a) the
+// total processing time and (b) the peak queue memory, across batch
+// sizes, plus the effect of the quantum on HMTS's ability to keep a cheap
+// branch responsive next to an expensive one.
+
+#include <iostream>
+#include <thread>
+
+#include "api/query_builder.h"
+#include "api/stream_engine.h"
+#include "core/hmts.h"
+#include "util/logging.h"
+#include "util/table.h"
+#include "workload/rate_source.h"
+
+namespace flexstream {
+namespace {
+
+constexpr int64_t kDomain = 100'000;
+constexpr int64_t kElements = 300'000;
+
+double RunGtsWithBatch(size_t batch_size, size_t* peak_memory) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("src");
+  Node* prev = src;
+  for (int i = 0; i < 5; ++i) {
+    prev = qb.Select(prev, "sel" + std::to_string(i),
+                     Selection::IntAttrLessThan(kDomain - 200 * (i + 1)));
+  }
+  CountingSink* sink = qb.CountSink(prev, "sink");
+  (void)sink;
+  StreamEngine engine(&graph);
+  EngineOptions opt;
+  opt.mode = ExecutionMode::kGts;
+  opt.partition.batch_size = batch_size;
+  CHECK_OK(engine.Configure(opt));
+  CHECK_OK(engine.Start());
+  RateSource::Options ropt;
+  ropt.phases = {{kElements, 0.0}};
+  ropt.seed = 7;
+  RateSource driver(src, ropt, RateSource::UniformInt(0, kDomain - 1));
+  Stopwatch sw;
+  driver.Start();
+  size_t peak = 0;
+  while (!sink->closed()) {
+    peak = std::max(peak, engine.QueuedElements());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  driver.Join();
+  engine.WaitUntilFinished();
+  *peak_memory = peak;
+  return sw.ElapsedSeconds();
+}
+
+/// Cheap-branch completion next to an expensive branch, as a function of
+/// the scheduling quantum: 200k cheap elements (~60 ms of work) vs 40 x
+/// 25 ms expensive elements competing for the only execution slot.
+/// Expected observation: completion is largely *insensitive* to the
+/// quantum, because one 25 ms element exceeds every quantum — a scheduler
+/// cannot preempt mid-element. That is precisely Section 4.1.1's argument
+/// ("an expensive operator can exceed the given time slice") for
+/// isolating expensive operators in their own partitions instead of
+/// relying on time slices.
+double CheapBranchCompletion(Duration ts_quantum) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* cheap_src = qb.AddSource("cheap_src");
+  QueueOp* cheap_q = graph.Add<QueueOp>("cheap_q");
+  CHECK_OK(graph.Connect(cheap_src, cheap_q));
+  CountingSink* cheap_sink = qb.CountSink(cheap_q, "cheap_sink");
+  Source* heavy_src = qb.AddSource("heavy_src");
+  QueueOp* heavy_q = graph.Add<QueueOp>("heavy_q");
+  CHECK_OK(graph.Connect(heavy_src, heavy_q));
+  Node* heavy = qb.Select(
+      heavy_q, "heavy", [](const Tuple&) { return true; },
+      /*cost=*/25'000.0);
+  CountingSink* heavy_sink = qb.CountSink(heavy, "heavy_sink");
+  (void)heavy_sink;
+
+  Partition::Options popt;
+  popt.batch_size = 1;
+  popt.quantum = ts_quantum;  // level-2 and level-3 quanta move together
+  ThreadScheduler::Options ts_options;
+  ts_options.max_running = 1;  // force the TS to arbitrate
+  ts_options.quantum = ts_quantum;
+  std::vector<HmtsExecutor::PartitionSpec> specs(2);
+  specs[0].name = "cheap";
+  specs[0].queues = {cheap_q};
+  specs[1].name = "heavy";
+  specs[1].queues = {heavy_q};
+  HmtsExecutor executor(std::move(specs), ts_options, popt);
+  for (int i = 0; i < 40; ++i) heavy_src->Push(Tuple::OfInt(i, i));
+  executor.Start();
+  Stopwatch sw;
+  for (int i = 0; i < 200'000; ++i) cheap_src->Push(Tuple::OfInt(i, i));
+  cheap_src->Close(200'000);
+  cheap_sink->WaitUntilClosed();
+  const double seconds = sw.ElapsedSeconds();
+  heavy_src->Close(40);
+  executor.RequestStop();
+  executor.Join();
+  return seconds;
+}
+
+int Main() {
+  SetStatsCollectionEnabled(false);
+  std::cout << "=== Ablation: level-2 batch size (GTS throughput vs "
+               "memory) ===\n";
+  Table batch({"batch_size", "runtime_s", "peak_queued"});
+  for (size_t b : {size_t{1}, size_t{4}, size_t{16}, size_t{64},
+                   size_t{256}}) {
+    size_t peak = 0;
+    const double seconds = RunGtsWithBatch(b, &peak);
+    batch.AddRow({Table::Int(static_cast<int64_t>(b)),
+                  Table::Num(seconds, 3),
+                  Table::Int(static_cast<int64_t>(peak))});
+  }
+  batch.Print(std::cout);
+  SetStatsCollectionEnabled(true);
+
+  std::cout << "\n=== Ablation: level-3 quantum (cheap-branch completion "
+               "next to 25 ms elements, max_running=1) ===\n";
+  Table quantum({"quantum_ms", "cheap_branch_completion_s"});
+  for (int ms : {1, 5, 20, 100}) {
+    quantum.AddRow({Table::Int(ms),
+                    Table::Num(CheapBranchCompletion(
+                                   std::chrono::milliseconds(ms)),
+                               3)});
+  }
+  quantum.Print(std::cout);
+  std::cout << "\nbatch size trades throughput for decision granularity; "
+               "the quantum barely matters because a 25 ms element "
+               "out-lasts any quantum - Section 4.1.1's case for "
+               "decoupling expensive operators.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace flexstream
+
+int main() { return flexstream::Main(); }

@@ -1,0 +1,218 @@
+// Micro-benchmarks of the core primitives whose relative costs drive the
+// paper's macro results: DI call chains vs queue hops, the pull-based
+// proxy alternative, strategy selection, and the capacity/envelope math.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/query_graph.h"
+#include "operators/selection.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "operators/symmetric_hash_join.h"
+#include "pull/onc_operator.h"
+#include "pull/pull_vo.h"
+#include "queue/queue_op.h"
+#include "sched/chain_strategy.h"
+#include "sched/fifo_strategy.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/spsc_ring.h"
+
+namespace flexstream {
+namespace {
+
+Selection::Predicate True() {
+  return [](const Tuple&) { return true; };
+}
+
+// One element through a DI chain of `n` selections (the VO fast path).
+void BM_DirectInteroperabilityChain(benchmark::State& state) {
+  SetStatsCollectionEnabled(false);
+  const int n = static_cast<int>(state.range(0));
+  QueryGraph g;
+  Source* src = g.Add<Source>("src");
+  Node* prev = src;
+  for (int i = 0; i < n; ++i) {
+    Selection* sel = g.Add<Selection>("s" + std::to_string(i), True());
+    CHECK_OK(g.Connect(prev, sel));
+    prev = sel;
+  }
+  CountingSink* sink = g.Add<CountingSink>("sink");
+  CHECK_OK(g.Connect(prev, sink));
+  const Tuple t = Tuple::OfInt(1, 1);
+  for (auto _ : state) {
+    src->Push(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+  SetStatsCollectionEnabled(true);
+}
+BENCHMARK(BM_DirectInteroperabilityChain)->Arg(1)->Arg(5)->Arg(20);
+
+// The same chain with statistics collection on (measures the bookkeeping
+// overhead the engine pays when profiling for Chain/placement).
+void BM_DiChainWithStats(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  QueryGraph g;
+  Source* src = g.Add<Source>("src");
+  Node* prev = src;
+  for (int i = 0; i < n; ++i) {
+    Selection* sel = g.Add<Selection>("s" + std::to_string(i), True());
+    CHECK_OK(g.Connect(prev, sel));
+    prev = sel;
+  }
+  CountingSink* sink = g.Add<CountingSink>("sink");
+  CHECK_OK(g.Connect(prev, sink));
+  const Tuple t = Tuple::OfInt(1, 1);
+  for (auto _ : state) {
+    src->Push(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiChainWithStats)->Arg(5);
+
+// One element through a queue hop: enqueue + drain + downstream Receive.
+void BM_QueueHop(benchmark::State& state) {
+  SetStatsCollectionEnabled(false);
+  QueryGraph g;
+  Source* src = g.Add<Source>("src");
+  QueueOp* q = g.Add<QueueOp>("q");
+  CountingSink* sink = g.Add<CountingSink>("sink");
+  CHECK_OK(g.Connect(src, q));
+  CHECK_OK(g.Connect(q, sink));
+  const Tuple t = Tuple::OfInt(1, 1);
+  for (auto _ : state) {
+    src->Push(t);
+    q->DrainBatch(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  SetStatsCollectionEnabled(true);
+}
+BENCHMARK(BM_QueueHop);
+
+// Pull-based VO: one element through n selections behind proxies.
+void BM_PullChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  PullVo vo("vo");
+  OncBuffer* buffer = vo.Add<OncBuffer>("buf");
+  OncOperator* prev = buffer;
+  for (int i = 0; i < n; ++i) {
+    OncSelect* sel = vo.Add<OncSelect>(
+        "s" + std::to_string(i), prev,
+        [](const Tuple&) { return true; });
+    CHECK_OK(vo.Link(prev, sel));
+    prev = sel;
+  }
+  prev->Open();
+  const Tuple t = Tuple::OfInt(1, 1);
+  for (auto _ : state) {
+    buffer->Push(t);
+    benchmark::DoNotOptimize(prev->Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PullChain)->Arg(1)->Arg(5)->Arg(20);
+
+// Strategy selection cost across k queues.
+template <typename StrategyT>
+void StrategyNextBench(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  QueryGraph g;
+  std::vector<QueueOp*> queues;
+  for (int i = 0; i < k; ++i) {
+    Source* src = g.Add<Source>("src" + std::to_string(i));
+    QueueOp* q = g.Add<QueueOp>("q" + std::to_string(i));
+    Selection* sel = g.Add<Selection>("s" + std::to_string(i), True());
+    sel->SetCostMicros(1.0 + i);
+    sel->SetSelectivity(0.5);
+    CountingSink* sink = g.Add<CountingSink>("sink" + std::to_string(i));
+    CHECK_OK(g.Connect(src, q));
+    CHECK_OK(g.Connect(q, sel));
+    CHECK_OK(g.Connect(sel, sink));
+    src->Push(Tuple::OfInt(1, 1));
+    queues.push_back(q);
+  }
+  StrategyT strategy;
+  strategy.Initialize(queues);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy.Next(queues));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+void BM_FifoNext(benchmark::State& state) {
+  StrategyNextBench<FifoStrategy>(state);
+}
+void BM_ChainNext(benchmark::State& state) {
+  StrategyNextBench<ChainStrategy>(state);
+}
+BENCHMARK(BM_FifoNext)->Arg(4)->Arg(64);
+BENCHMARK(BM_ChainNext)->Arg(4)->Arg(64);
+
+// SHJ probe+insert cost at a given window population.
+void BM_ShjProcess(benchmark::State& state) {
+  SetStatsCollectionEnabled(false);
+  const int64_t window_population = state.range(0);
+  QueryGraph g;
+  Source* left = g.Add<Source>("left");
+  Source* right = g.Add<Source>("right");
+  SymmetricHashJoin* join =
+      g.Add<SymmetricHashJoin>("join", kMicrosPerMinute * 1000);
+  CountingSink* sink = g.Add<CountingSink>("sink");
+  CHECK_OK(g.Connect(left, join, 0));
+  CHECK_OK(g.Connect(right, join, 1));
+  CHECK_OK(g.Connect(join, sink));
+  Rng rng(3);
+  for (int64_t i = 0; i < window_population; ++i) {
+    right->Push(Tuple::OfInt(rng.UniformInt(0, 9999), i));
+  }
+  AppTime ts = window_population;
+  for (auto _ : state) {
+    left->Push(Tuple::OfInt(rng.UniformInt(0, 99'999), ts++));
+  }
+  state.SetItemsProcessed(state.iterations());
+  SetStatsCollectionEnabled(true);
+}
+BENCHMARK(BM_ShjProcess)->Arg(1000)->Arg(10'000)->Arg(60'000);
+
+// Lower-envelope computation over an n-operator chain.
+void BM_LowerEnvelope(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  std::vector<double> costs;
+  std::vector<double> sels;
+  for (int i = 0; i < n; ++i) {
+    costs.push_back(rng.UniformDouble(0.1, 100.0));
+    sels.push_back(rng.UniformDouble(0.0, 1.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeLowerEnvelope(costs, sels));
+  }
+}
+BENCHMARK(BM_LowerEnvelope)->Arg(8)->Arg(64);
+
+// Raw SPSC ring throughput (the lock-free primitive).
+void BM_SpscRing(benchmark::State& state) {
+  SpscRing<int64_t> ring(1024);
+  int64_t v = 0;
+  for (auto _ : state) {
+    ring.TryPush(v++);
+    benchmark::DoNotOptimize(ring.TryPop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscRing);
+
+// Tuple copy cost (what every queue hop pays per element).
+void BM_TupleCopy(benchmark::State& state) {
+  const Tuple t({Value(int64_t{1}), Value(2.5)}, 42);
+  for (auto _ : state) {
+    Tuple copy = t;
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TupleCopy);
+
+}  // namespace
+}  // namespace flexstream
+
+BENCHMARK_MAIN();

@@ -1,0 +1,170 @@
+// Figures 9 & 10 at FULL paper scale, in the virtual-time simulator.
+//
+// The wall-clock bench (fig09_10_hmts_vs_gts) runs a 100x-scaled variant
+// because a 2-second operator and a 260-second horizon are impractical to
+// execute repeatedly — and because this repository's reference host has
+// one CPU while the paper's had two. The simulator removes both
+// constraints: it replays the *published* parameters — 70,000 elements
+// (bursts of 10,000/20,000 at "500k/s", slow phases of 20,000 at 250/s),
+// projection 2.7 us, selection 530 ns with selectivity 9e-4, expensive
+// selection 2 s with selectivity 0.3 — deterministically, with 1 or 2
+// virtual CPUs.
+//
+// What to expect, and why it is interesting:
+//  * HMTS on 2 CPUs completes at ~162 s — exactly the paper's number
+//    (last element at 160 s + ~2 s processing).
+//  * An *ideal work-conserving* GTS also completes near ~162 s: the
+//    expensive operator's total work (~63 elements x 2 s = 126 s) fits
+//    inside the 160 s emission window, so a scheduler that never idles
+//    can absorb it. The paper measured 260 s for FIFO/Chain — evidence
+//    that PIPES' GTS *idled* (or paid overhead) for ~100 s that the
+//    simulator's idealized scheduler does not, on top of any parameter
+//    differences. The memory-profile ordering (Chain <= FIFO peak/average)
+//    is reproduced either way, with FIFO holding thousands of queued
+//    elements through the bursts.
+
+#include <iostream>
+
+#include "api/query_builder.h"
+#include "sim/simulator.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace flexstream {
+namespace {
+
+struct SimGraph {
+  QueryGraph graph;
+  Source* src;
+  Node* proj;
+  Node* sel1;
+  Node* sel2;
+  CountingSink* sink;
+
+  SimGraph() {
+    QueryBuilder qb(&graph);
+    src = qb.AddSource("src");
+    proj = qb.Project(src, "proj", {});
+    proj->SetCostMicros(2.7);
+    proj->SetSelectivity(1.0);
+    sel1 = qb.Select(proj, "sel1", [](const Tuple&) { return true; });
+    sel1->SetCostMicros(0.53);
+    sel1->SetSelectivity(9e-4);
+    sel2 = qb.Select(sel1, "sel2", [](const Tuple&) { return true; });
+    sel2->SetCostMicros(2'000'000.0);  // 2 seconds
+    sel2->SetSelectivity(0.3);
+    sink = qb.CountSink(sel2, "sink");
+    sink->SetCostMicros(0.0);
+    sink->SetSelectivity(1.0);
+  }
+
+  std::vector<SimPhase> PaperSchedule() const {
+    // Bursts "at approximately 500,000 elements per second, which took
+    // significantly less than a second" -> instantaneous in the model.
+    return {{10'000, 0.0},
+            {20'000, 250.0},
+            {20'000, 0.0},
+            {20'000, 250.0}};
+  }
+};
+
+struct Row {
+  std::string name;
+  SimResult result;
+};
+
+int Main() {
+  std::cout
+      << "=== Figures 9 & 10 at paper scale (virtual-time simulation) ===\n"
+      << "70,000 elements; bursts instantaneous, slow phases 20,000 at "
+         "250/s (80 s each); expensive selection 2 s/element, reached by "
+         "~63 elements (sel1 = 9e-4)\n\n";
+  std::vector<Row> rows;
+  {
+    SimGraph g;
+    SimOptions opt;
+    opt.cpus = 1;
+    opt.strategy = StrategyKind::kFifo;
+    opt.sample_interval = 10.0;
+    auto r = Simulate(g.graph, {{g.src, g.PaperSchedule()}},
+                      MakeGtsConfig(g.graph), opt);
+    CHECK(r.ok()) << r.status();
+    rows.push_back({"gts-fifo (1 cpu)", std::move(*r)});
+  }
+  {
+    SimGraph g;
+    SimOptions opt;
+    opt.cpus = 1;
+    opt.strategy = StrategyKind::kChain;
+    opt.sample_interval = 10.0;
+    auto r = Simulate(g.graph, {{g.src, g.PaperSchedule()}},
+                      MakeGtsConfig(g.graph), opt);
+    CHECK(r.ok()) << r.status();
+    rows.push_back({"gts-chain (1 cpu)", std::move(*r)});
+  }
+  {
+    // The paper's HMTS: decoupled between sel1 and sel2, two threads.
+    SimGraph g;
+    SimOptions opt;
+    opt.cpus = 1;
+    opt.strategy = StrategyKind::kFifo;
+    opt.sample_interval = 10.0;
+    auto r = Simulate(g.graph, {{g.src, g.PaperSchedule()}},
+                      {SimThread{SimVo{g.proj, g.sel1}},
+                       SimThread{SimVo{g.sel2, g.sink}}},
+                      opt);
+    CHECK(r.ok()) << r.status();
+    rows.push_back({"hmts (1 cpu)", std::move(*r)});
+  }
+  {
+    SimGraph g;
+    SimOptions opt;
+    opt.cpus = 2;  // the paper's dual-core
+    opt.strategy = StrategyKind::kFifo;
+    opt.sample_interval = 10.0;
+    auto r = Simulate(g.graph, {{g.src, g.PaperSchedule()}},
+                      {SimThread{SimVo{g.proj, g.sel1}},
+                       SimThread{SimVo{g.sel2, g.sink}}},
+                      opt);
+    CHECK(r.ok()) << r.status();
+    rows.push_back({"hmts (2 cpus)", std::move(*r)});
+  }
+
+  Table summary({"config", "completion_s", "results", "peak_queued"});
+  for (const Row& row : rows) {
+    summary.AddRow({row.name, Table::Num(row.result.completion_time, 1),
+                    Table::Int(row.result.results),
+                    Table::Int(row.result.max_queued)});
+  }
+  std::cout << "-- summary (paper: FIFO/Chain ~260 s, HMTS ~162 s; see "
+               "header comment) --\n";
+  summary.Print(std::cout);
+
+  // Figure 9/10 series, one row per 10 virtual seconds.
+  size_t max_rows = 0;
+  for (const Row& row : rows) {
+    max_rows = std::max(max_rows, row.result.samples.size());
+  }
+  Table series({"t_s", "fifo_mem", "chain_mem", "hmts1_mem", "hmts2_mem",
+                "fifo_res", "chain_res", "hmts1_res", "hmts2_res"});
+  auto cell = [&](size_t config, size_t i, bool memory) {
+    const auto& samples = rows[config].result.samples;
+    if (i >= samples.size()) return std::string("-");
+    return Table::Int(memory ? samples[i].queued : samples[i].results);
+  };
+  for (size_t i = 0; i < max_rows; ++i) {
+    series.AddRow({Table::Num(static_cast<double>(i) * 10.0, 0),
+                   cell(0, i, true), cell(1, i, true), cell(2, i, true),
+                   cell(3, i, true), cell(0, i, false), cell(1, i, false),
+                   cell(2, i, false), cell(3, i, false)});
+  }
+  std::cout << "\n-- Figure 9 (queued elements) and Figure 10 (cumulative "
+               "results) over virtual time --\n";
+  series.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace flexstream
+
+int main() { return flexstream::Main(); }

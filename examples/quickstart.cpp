@@ -1,0 +1,101 @@
+// Quickstart: build one continuous query and run it under every
+// scheduling architecture the library provides.
+//
+//   sensor --> filter(value < 750) --> celsius->fahrenheit map --> sink
+//
+// The same logical graph is executed with:
+//   * source-driven DI (no queues, no scheduler at all),
+//   * DI behind a single source queue (one thread),
+//   * GTS (every operator decoupled, one scheduler thread),
+//   * OTS (every operator decoupled, one thread per operator),
+//   * HMTS (queues placed by the stall-avoiding Algorithm 1, one thread
+//     per partition under the level-3 thread scheduler).
+//
+// Scheduling never changes results — only cost — so all five runs print
+// the same counts.
+
+#include <iostream>
+
+#include "api/query_builder.h"
+#include "api/stream_engine.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace flexstream;  // NOLINT: example brevity
+
+constexpr int kElements = 200'000;
+
+struct Query {
+  QueryGraph graph;
+  Source* sensor = nullptr;
+  CountingSink* sink = nullptr;
+
+  Query() {
+    QueryBuilder qb(&graph);
+    sensor = qb.AddSource("sensor");
+    // Metadata used by HMTS placement (could also be measured online).
+    sensor->SetInterarrivalMicros(10.0);
+    Node* filter =
+        qb.Select(sensor, "hot", Selection::IntAttrLessThan(750));
+    filter->SetSelectivity(0.75);
+    filter->SetCostMicros(0.2);
+    Node* to_fahrenheit = qb.Map(filter, "to_fahrenheit", [](const Tuple& t) {
+      return Tuple::OfDouble(
+          static_cast<double>(t.IntAt(0)) * 9.0 / 5.0 + 32.0, t.timestamp());
+    });
+    to_fahrenheit->SetSelectivity(1.0);
+    to_fahrenheit->SetCostMicros(0.3);
+    sink = qb.CountSink(to_fahrenheit, "sink");
+  }
+
+  void Feed() {
+    Rng rng(2024);
+    for (int i = 0; i < kElements; ++i) {
+      sensor->Push(Tuple::OfInt(rng.UniformInt(0, 999), i));
+    }
+    sensor->Close(kElements);
+  }
+};
+
+double RunMode(ExecutionMode mode, int64_t* results, size_t* threads) {
+  Query query;
+  StreamEngine engine(&query.graph);
+  EngineOptions options;
+  options.mode = mode;
+  options.strategy = StrategyKind::kFifo;
+  CHECK_OK(engine.Configure(options));
+  CHECK_OK(engine.Start());
+  Stopwatch sw;
+  query.Feed();
+  engine.WaitUntilFinished();
+  const double seconds = sw.ElapsedSeconds();
+  *results = query.sink->count();
+  *threads = engine.WorkerThreadCount();
+  return seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "flexstream quickstart: one query, five scheduling "
+               "architectures, " << kElements << " elements\n\n";
+  Table t({"mode", "worker_threads", "results", "runtime_s"});
+  for (ExecutionMode mode :
+       {ExecutionMode::kSourceDriven, ExecutionMode::kDirect,
+        ExecutionMode::kGts, ExecutionMode::kOts, ExecutionMode::kHmts}) {
+    int64_t results = 0;
+    size_t threads = 0;
+    const double seconds = RunMode(mode, &results, &threads);
+    t.AddRow({ExecutionModeToString(mode),
+              Table::Int(static_cast<int64_t>(threads)),
+              Table::Int(results), Table::Num(seconds, 3)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nResults are identical across modes; only the cost "
+               "differs (Section 2.4 of the paper: queues never change "
+               "semantics).\n";
+  return 0;
+}

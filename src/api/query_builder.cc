@@ -1,0 +1,158 @@
+#include "api/query_builder.h"
+
+#include "util/logging.h"
+
+namespace flexstream {
+
+QueryBuilder::QueryBuilder(QueryGraph* graph) : graph_(graph) {
+  CHECK(graph != nullptr);
+}
+
+void QueryBuilder::MustConnect(Node* from, Operator* to, int port) {
+  CHECK_OK(graph_->Connect(from, to, port));
+}
+
+Source* QueryBuilder::AddSource(std::string name) {
+  return graph_->Add<Source>(std::move(name));
+}
+
+Selection* QueryBuilder::Select(Node* input, std::string name,
+                                Selection::Predicate predicate,
+                                double simulated_cost_micros) {
+  Selection* op = graph_->Add<Selection>(std::move(name),
+                                         std::move(predicate),
+                                         simulated_cost_micros);
+  MustConnect(input, op, 0);
+  return op;
+}
+
+Projection* QueryBuilder::Project(Node* input, std::string name,
+                                  std::vector<size_t> attrs,
+                                  double simulated_cost_micros) {
+  Projection* op = graph_->Add<Projection>(std::move(name), std::move(attrs),
+                                           simulated_cost_micros);
+  MustConnect(input, op, 0);
+  return op;
+}
+
+MapOp* QueryBuilder::Map(Node* input, std::string name, MapOp::MapFn fn,
+                         double simulated_cost_micros) {
+  MapOp* op = graph_->Add<MapOp>(std::move(name), std::move(fn),
+                                 simulated_cost_micros);
+  MustConnect(input, op, 0);
+  return op;
+}
+
+UnionOp* QueryBuilder::Union(std::vector<Node*> inputs, std::string name) {
+  UnionOp* op = graph_->Add<UnionOp>(std::move(name));
+  for (Node* input : inputs) MustConnect(input, op, 0);
+  return op;
+}
+
+WindowedAggregate* QueryBuilder::Aggregate(
+    Node* input, std::string name, WindowedAggregate::Options options) {
+  WindowedAggregate* op =
+      graph_->Add<WindowedAggregate>(std::move(name), options);
+  MustConnect(input, op, 0);
+  return op;
+}
+
+SymmetricHashJoin* QueryBuilder::HashJoin(Node* left, Node* right,
+                                          std::string name,
+                                          AppTime window_micros,
+                                          size_t left_key_attr,
+                                          size_t right_key_attr) {
+  SymmetricHashJoin* op = graph_->Add<SymmetricHashJoin>(
+      std::move(name), window_micros, left_key_attr, right_key_attr);
+  MustConnect(left, op, SymmetricHashJoin::kLeftPort);
+  MustConnect(right, op, SymmetricHashJoin::kRightPort);
+  return op;
+}
+
+SymmetricNlJoin* QueryBuilder::NlJoin(Node* left, Node* right,
+                                      std::string name, AppTime window_micros,
+                                      SymmetricNlJoin::Predicate predicate) {
+  SymmetricNlJoin* op = graph_->Add<SymmetricNlJoin>(
+      std::move(name), window_micros, std::move(predicate));
+  MustConnect(left, op, SymmetricNlJoin::kLeftPort);
+  MustConnect(right, op, SymmetricNlJoin::kRightPort);
+  return op;
+}
+
+MultiwayJoin* QueryBuilder::MJoin(std::vector<Node*> inputs, std::string name,
+                                  AppTime window_micros,
+                                  std::vector<size_t> key_attrs) {
+  CHECK_EQ(inputs.size(), key_attrs.size());
+  MultiwayJoin* op = graph_->Add<MultiwayJoin>(std::move(name), window_micros,
+                                               std::move(key_attrs));
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    MustConnect(inputs[i], op, static_cast<int>(i));
+  }
+  return op;
+}
+
+TumblingAggregate* QueryBuilder::Tumbling(Node* input, std::string name,
+                                          TumblingAggregate::Options options) {
+  TumblingAggregate* op =
+      graph_->Add<TumblingAggregate>(std::move(name), options);
+  MustConnect(input, op, 0);
+  return op;
+}
+
+CountWindowAggregate* QueryBuilder::CountWindow(
+    Node* input, std::string name, CountWindowAggregate::Options options) {
+  CountWindowAggregate* op =
+      graph_->Add<CountWindowAggregate>(std::move(name), options);
+  MustConnect(input, op, 0);
+  return op;
+}
+
+Distinct* QueryBuilder::Dedup(Node* input, std::string name,
+                              AppTime window_micros,
+                              std::vector<size_t> key_attrs) {
+  Distinct* op = graph_->Add<Distinct>(std::move(name), window_micros,
+                                       std::move(key_attrs));
+  MustConnect(input, op, 0);
+  return op;
+}
+
+Router* QueryBuilder::Route(Node* input, std::string name,
+                            Router::RouteFn route,
+                            std::vector<Operator*> destinations) {
+  Router* op = graph_->Add<Router>(std::move(name), std::move(route));
+  MustConnect(input, op, 0);
+  for (Operator* dest : destinations) {
+    MustConnect(op, dest, 0);
+  }
+  return op;
+}
+
+LatencySink* QueryBuilder::Latency(Node* input, std::string name,
+                                   size_t offset_attr, TimePoint epoch) {
+  LatencySink* sink =
+      graph_->Add<LatencySink>(std::move(name), offset_attr, epoch);
+  MustConnect(input, sink, 0);
+  return sink;
+}
+
+CountingSink* QueryBuilder::CountSink(Node* input, std::string name) {
+  CountingSink* sink = graph_->Add<CountingSink>(std::move(name));
+  MustConnect(input, sink, 0);
+  return sink;
+}
+
+CollectingSink* QueryBuilder::CollectSink(Node* input, std::string name) {
+  CollectingSink* sink = graph_->Add<CollectingSink>(std::move(name));
+  MustConnect(input, sink, 0);
+  return sink;
+}
+
+CallbackSink* QueryBuilder::Callback(
+    Node* input, std::string name, std::function<void(const Tuple&, int)> fn) {
+  CallbackSink* sink =
+      graph_->Add<CallbackSink>(std::move(name), std::move(fn));
+  MustConnect(input, sink, 0);
+  return sink;
+}
+
+}  // namespace flexstream

@@ -1,0 +1,403 @@
+#include "api/stream_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "operators/sink.h"
+#include "placement/chain_vo_builder.h"
+#include "placement/segment_vo_builder.h"
+#include "placement/static_queue_placement.h"
+#include "stats/capacity.h"
+#include "util/logging.h"
+
+namespace flexstream {
+
+const char* ExecutionModeToString(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kSourceDriven:
+      return "source-driven";
+    case ExecutionMode::kDirect:
+      return "di";
+    case ExecutionMode::kGts:
+      return "gts";
+    case ExecutionMode::kOts:
+      return "ots";
+    case ExecutionMode::kHmts:
+      return "hmts";
+  }
+  return "unknown";
+}
+
+const char* PlacementKindToString(PlacementKind kind) {
+  switch (kind) {
+    case PlacementKind::kStallAvoiding:
+      return "stall-avoiding";
+    case PlacementKind::kChain:
+      return "chain";
+    case PlacementKind::kSegment:
+      return "segment";
+  }
+  return "unknown";
+}
+
+StreamEngine::StreamEngine(QueryGraph* graph) : graph_(graph) {
+  CHECK(graph != nullptr);
+}
+
+StreamEngine::~StreamEngine() { Stop(); }
+
+void StreamEngine::CollectSinks() {
+  sinks_.clear();
+  for (Node* node : graph_->nodes()) {
+    if (Sink* sink = dynamic_cast<Sink*>(node)) {
+      if (node->fan_in() > 0) sinks_.push_back(sink);
+    }
+  }
+}
+
+Status StreamEngine::ComputeQueueEdges(
+    const EngineOptions& options,
+    std::vector<std::pair<Node*, Operator*>>* edges) {
+  edges->clear();
+  switch (options.mode) {
+    case ExecutionMode::kSourceDriven:
+      return Status::Ok();
+    case ExecutionMode::kDirect:
+      for (Node* node : graph_->nodes()) {
+        if (!node->is_source()) continue;
+        for (const auto& edge : node->outputs()) {
+          edges->emplace_back(node, edge.target);
+        }
+      }
+      return Status::Ok();
+    case ExecutionMode::kGts:
+    case ExecutionMode::kOts:
+      // Full decoupling: every operator is decoupled (Section 6.4). Sinks
+      // are not scheduled units — they consume results via DI from the
+      // operator that produced them, so results surface the moment the
+      // producing operator runs (Figure 10's FIFO curve depends on this).
+      for (Node* node : graph_->nodes()) {
+        if (node->is_queue()) continue;
+        for (const auto& edge : node->outputs()) {
+          if (static_cast<const Node*>(edge.target)->is_sink()) continue;
+          edges->emplace_back(node, edge.target);
+        }
+      }
+      return Status::Ok();
+    case ExecutionMode::kHmts: {
+      // Derive d(v) from source metadata when available; measured
+      // statistics remain the fallback.
+      (void)PropagateRates(graph_);
+      Partitioning placed = [&] {
+        switch (options.placement) {
+          case PlacementKind::kChain:
+            return ChainVoPlacement(*graph_);
+          case PlacementKind::kSegment:
+            return SegmentVoPlacement(*graph_);
+          case PlacementKind::kStallAvoiding:
+          default:
+            return StaticQueuePlacement(*graph_);
+        }
+      }();
+      // Executable placements always decouple after sources: the source's
+      // autonomous thread must never execute partition operators (it
+      // would race with the partition's own worker). Remove sources from
+      // their groups, then re-split each group into connected components
+      // (a group held together only by its source falls apart).
+      std::unordered_map<const Node*, int> assignment;
+      int next_group = 0;
+      for (Node* node : graph_->nodes()) {
+        if (node->is_source()) assignment[node] = next_group++;
+      }
+      std::unordered_set<const Node*> visited;
+      for (Node* node : graph_->nodes()) {
+        if (node->is_source() || visited.count(node)) continue;
+        const int old_group = placed.GroupOf(node);
+        if (old_group < 0) continue;
+        // Flood-fill the component of `node` within its original group,
+        // over non-source members only.
+        const int component = next_group++;
+        std::vector<Node*> frontier{node};
+        visited.insert(node);
+        while (!frontier.empty()) {
+          Node* n = frontier.back();
+          frontier.pop_back();
+          assignment[n] = component;
+          auto visit = [&](Node* other) {
+            if (other->is_source() || visited.count(other)) return;
+            if (placed.GroupOf(other) != old_group) return;
+            visited.insert(other);
+            frontier.push_back(other);
+          };
+          for (const auto& edge : n->outputs()) {
+            visit(static_cast<Node*>(edge.target));
+          }
+          for (const auto& edge : n->inputs()) {
+            visit(edge.source);
+          }
+        }
+      }
+      partitioning_ = std::make_unique<Partitioning>(
+          Partitioning::FromAssignment(graph_, assignment));
+      Status s = partitioning_->Validate();
+      if (!s.ok()) return s;
+      for (auto& edge : partitioning_->CrossEdges()) {
+        edges->push_back(edge);
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Status StreamEngine::BuildExecutors(const EngineOptions& options) {
+  gts_.reset();
+  ots_.reset();
+  hmts_.reset();
+  switch (options.mode) {
+    case ExecutionMode::kSourceDriven:
+      // No scheduler at all; serialize shared operators since several
+      // source threads may traverse them concurrently.
+      for (Node* node : graph_->nodes()) {
+        if (Operator* op = dynamic_cast<Operator*>(node)) {
+          if (!node->is_source()) op->SetSerializedReceive(true);
+        }
+      }
+      return Status::Ok();
+    case ExecutionMode::kDirect:
+    case ExecutionMode::kGts:
+      gts_ = std::make_unique<GtsExecutor>(queues_, options.strategy,
+                                           options.partition);
+      return Status::Ok();
+    case ExecutionMode::kOts:
+      // Sinks run via DI inside their producers' operator threads; a sink
+      // shared by operators in different threads needs its Receive
+      // serialized.
+      for (Node* node : graph_->nodes()) {
+        if (node->is_sink() && node->fan_in() > 1) {
+          if (Operator* op = dynamic_cast<Operator*>(node)) {
+            op->SetSerializedReceive(true);
+          }
+        }
+      }
+      ots_ = std::make_unique<OtsExecutor>(queues_, options.partition);
+      return Status::Ok();
+    case ExecutionMode::kHmts: {
+      CHECK(partitioning_ != nullptr);
+      // Group entry queues by the partition of their consumer.
+      std::map<int, std::vector<QueueOp*>> by_group;
+      for (QueueOp* queue : queues_) {
+        CHECK_EQ(queue->fan_out(), 1u);
+        const Node* consumer =
+            static_cast<const Node*>(queue->outputs()[0].target);
+        const int group = partitioning_->GroupOf(consumer);
+        if (group < 0) {
+          return Status::Internal("queue consumer not in any partition: " +
+                                  consumer->DebugString());
+        }
+        by_group[group].push_back(queue);
+      }
+      std::vector<HmtsExecutor::PartitionSpec> specs;
+      specs.reserve(by_group.size());
+      for (auto& [group, group_queues] : by_group) {
+        HmtsExecutor::PartitionSpec spec;
+        spec.name = "p" + std::to_string(group);
+        spec.queues = std::move(group_queues);
+        spec.strategy = options.strategy;
+        spec.priority = 0.0;
+        specs.push_back(std::move(spec));
+      }
+      hmts_ = std::make_unique<HmtsExecutor>(std::move(specs), options.ts,
+                                             options.partition);
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Status StreamEngine::Configure(const EngineOptions& options) {
+  if (configured_) {
+    return Status::FailedPrecondition(
+        "engine already configured; use SwitchTo or Deconfigure");
+  }
+  if (!graph_->Queues().empty()) {
+    return Status::FailedPrecondition(
+        "graph already contains queues; StreamEngine owns queue placement");
+  }
+  Status s = graph_->Validate();
+  if (!s.ok()) return s;
+
+  std::vector<std::pair<Node*, Operator*>> edges;
+  s = ComputeQueueEdges(options, &edges);
+  if (!s.ok()) return s;
+
+  queues_.clear();
+  for (auto& [from, to] : edges) {
+    QueueOp* queue =
+        graph_->Add<QueueOp>("q" + std::to_string(next_queue_id_++));
+    s = graph_->InsertBetween(from, queue, to);
+    if (!s.ok()) return s;
+    queues_.push_back(queue);
+  }
+
+  s = BuildExecutors(options);
+  if (!s.ok()) return s;
+
+  CollectSinks();
+  options_ = options;
+  configured_ = true;
+  started_ = false;
+  return Status::Ok();
+}
+
+Status StreamEngine::Start() {
+  if (!configured_) return Status::FailedPrecondition("not configured");
+  if (started_) return Status::FailedPrecondition("already started");
+  if (gts_ != nullptr) gts_->Start();
+  if (ots_ != nullptr) ots_->Start();
+  if (hmts_ != nullptr) hmts_->Start();
+  started_ = true;
+  return Status::Ok();
+}
+
+bool StreamEngine::AllPartitionsDone() const {
+  if (gts_ != nullptr && !gts_->Done()) return false;
+  if (ots_ != nullptr && !ots_->Done()) return false;
+  if (hmts_ != nullptr && !hmts_->Done()) return false;
+  return true;
+}
+
+void StreamEngine::WaitUntilFinished() {
+  for (Sink* sink : sinks_) sink->WaitUntilClosed();
+  while (!AllPartitionsDone()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Stop();
+}
+
+bool StreamEngine::WaitUntilFinishedFor(Duration timeout) {
+  const TimePoint deadline = Now() + timeout;
+  for (Sink* sink : sinks_) {
+    const Duration remaining = deadline - Now();
+    if (remaining <= Duration::zero() ||
+        !sink->WaitUntilClosedFor(remaining)) {
+      return false;
+    }
+  }
+  while (!AllPartitionsDone()) {
+    if (Now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Stop();
+  return true;
+}
+
+void StreamEngine::Stop() {
+  if (gts_ != nullptr) {
+    gts_->RequestStop();
+    gts_->Join();
+  }
+  if (ots_ != nullptr) {
+    ots_->RequestStop();
+    ots_->Join();
+  }
+  if (hmts_ != nullptr) {
+    hmts_->RequestStop();
+    hmts_->Join();
+  }
+  started_ = false;
+}
+
+Status StreamEngine::SwitchTo(const EngineOptions& options) {
+  if (!configured_) return Status::FailedPrecondition("not configured");
+  const bool was_started = started_;
+  Stop();
+
+  const bool same_structure =
+      (options_.mode == ExecutionMode::kGts ||
+       options_.mode == ExecutionMode::kOts) &&
+      (options.mode == ExecutionMode::kGts ||
+       options.mode == ExecutionMode::kOts);
+  if (same_structure) {
+    // Queues stay in place (the paper's instant OTS <-> GTS switch,
+    // Section 4.2.2); only the level-2/3 machinery is rebuilt, so sources
+    // may keep pushing throughout.
+    Status s = BuildExecutors(options);
+    if (!s.ok()) return s;
+    options_ = options;
+  } else {
+    // Structural switch: drain and remove the old queues, then place anew.
+    // Contract: sources are paused while this runs (Section 5.1.3).
+    Status s = Deconfigure();
+    if (!s.ok()) return s;
+    s = Configure(options);
+    if (!s.ok()) return s;
+  }
+  if (was_started) return Start();
+  return Status::Ok();
+}
+
+Status StreamEngine::Deconfigure() {
+  if (!configured_) return Status::FailedPrecondition("not configured");
+  if (started_) Stop();
+  // Drain in topological order so elements pushed downstream land in
+  // queues that have not been removed yet.
+  Result<std::vector<Node*>> order = graph_->TopologicalOrder();
+  if (!order.ok()) return order.status();
+  for (Node* node : *order) {
+    QueueOp* queue = dynamic_cast<QueueOp*>(node);
+    if (queue == nullptr || queue->fan_in() == 0) continue;
+    while (queue->HeadSeq() != QueueOp::kNoSeq) {
+      queue->DrainBatch(1024);
+    }
+    queue->SetEnqueueListener(nullptr);
+    Status s = graph_->SpliceOut(queue);
+    if (!s.ok()) return s;
+  }
+  for (Node* node : graph_->nodes()) {
+    if (Operator* op = dynamic_cast<Operator*>(node)) {
+      op->SetSerializedReceive(false);
+    }
+  }
+  gts_.reset();
+  ots_.reset();
+  hmts_.reset();
+  queues_.clear();
+  partitioning_.reset();
+  sinks_.clear();
+  configured_ = false;
+  return Status::Ok();
+}
+
+Status StreamEngine::ResetForRerun() {
+  Status s = Deconfigure();
+  if (!s.ok()) return s;
+  graph_->ResetAll();
+  return Status::Ok();
+}
+
+size_t StreamEngine::QueuedElements() const {
+  size_t total = 0;
+  for (const QueueOp* q : queues_) total += q->Size();
+  return total;
+}
+
+size_t StreamEngine::WorkerThreadCount() const {
+  switch (options_.mode) {
+    case ExecutionMode::kSourceDriven:
+      return 0;
+    case ExecutionMode::kDirect:
+    case ExecutionMode::kGts:
+      return 1;
+    case ExecutionMode::kOts:
+      return ots_ != nullptr ? ots_->partitions().size() : 0;
+    case ExecutionMode::kHmts:
+      return hmts_ != nullptr ? hmts_->partition_count() : 0;
+  }
+  return 0;
+}
+
+}  // namespace flexstream

@@ -1,0 +1,153 @@
+// StreamEngine: end-to-end execution of a query graph under any of the
+// paper's scheduling architectures.
+//
+// The engine takes a *logical* (queue-free) query graph, inserts
+// decoupling queues according to the chosen execution mode, builds the
+// level-2/level-3 scheduling machinery, and runs the graph to completion:
+//
+//   kSourceDriven  no queues at all; the sources' threads execute the
+//                  whole graph with DI (the Section 6.3 configuration).
+//   kDirect        one queue after each source; a single thread executes
+//                  all operators as one VO (the "DI" configuration of
+//                  Sections 6.4/6.5).
+//   kGts           a queue before every operator; one thread schedules
+//                  them with a pluggable strategy (Section 4.1.1).
+//   kOts           a queue before every operator; one thread per queue
+//                  (Section 4.1.2).
+//   kHmts          queues placed by a placement algorithm (Algorithm 1 by
+//                  default); one thread per graph partition under the
+//                  level-3 ThreadScheduler (Section 4.2).
+//
+// Runtime flexibility (Section 4.2.2): SwitchTo() rebuilds the scheduling
+// configuration on the fly. Switches that keep the queue structure
+// (kGts <-> kOts <-> same-placement kHmts) are safe while sources keep
+// pushing; structural switches (different queue positions) briefly drain
+// the affected queues and require the sources to be paused, exactly the
+// "interrupting the processing of the graph shortly" of Section 5.1.3.
+
+#ifndef FLEXSTREAM_API_STREAM_ENGINE_H_
+#define FLEXSTREAM_API_STREAM_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/hmts.h"
+#include "graph/query_graph.h"
+#include "operators/sink.h"
+#include "placement/partitioning.h"
+#include "queue/queue_op.h"
+#include "sched/gts.h"
+#include "sched/ots.h"
+#include "util/status.h"
+
+namespace flexstream {
+
+enum class ExecutionMode { kSourceDriven, kDirect, kGts, kOts, kHmts };
+enum class PlacementKind { kStallAvoiding, kChain, kSegment };
+
+const char* ExecutionModeToString(ExecutionMode mode);
+const char* PlacementKindToString(PlacementKind kind);
+
+struct EngineOptions {
+  ExecutionMode mode = ExecutionMode::kHmts;
+  /// Level-2 strategy for GTS and for every HMTS partition.
+  StrategyKind strategy = StrategyKind::kFifo;
+  /// Queue-placement algorithm (kHmts only).
+  PlacementKind placement = PlacementKind::kStallAvoiding;
+  Partition::Options partition;
+  ThreadScheduler::Options ts;
+};
+
+class StreamEngine {
+ public:
+  /// The graph must stay alive for the engine's lifetime and must be
+  /// queue-free when first configured.
+  explicit StreamEngine(QueryGraph* graph);
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
+
+  /// Inserts queues and builds (but does not start) the executors.
+  Status Configure(const EngineOptions& options);
+
+  /// Starts all partition workers. Sources are driven by the caller
+  /// (e.g. workload::RateSource) and may start before or after this.
+  Status Start();
+
+  /// Blocks until every sink has seen EOS and every partition has fully
+  /// drained, then stops the workers.
+  void WaitUntilFinished();
+
+  /// Bounded variant; returns false on timeout (workers keep running).
+  bool WaitUntilFinishedFor(Duration timeout);
+
+  /// Stops partition workers without requiring completion.
+  void Stop();
+
+  /// Runtime re-configuration; see the class comment for the safety
+  /// contract of structural switches.
+  Status SwitchTo(const EngineOptions& options);
+
+  /// Removes every queue from the graph (queues must be drained),
+  /// restoring the logical queue-free topology. Called automatically by
+  /// structural SwitchTo.
+  Status Deconfigure();
+
+  /// Deconfigures and resets all node state so the same logical graph can
+  /// be re-run from scratch (used when comparing modes on one graph).
+  Status ResetForRerun();
+
+  // -- Introspection ------------------------------------------------------
+
+  const EngineOptions& options() const { return options_; }
+  bool configured() const { return configured_; }
+  bool started() const { return started_; }
+
+  const std::vector<QueueOp*>& queues() const { return queues_; }
+
+  /// Total elements currently buffered in queues ("memory usage" in the
+  /// paper's Figures 9).
+  size_t QueuedElements() const;
+
+  /// Number of worker threads the current configuration uses.
+  size_t WorkerThreadCount() const;
+
+  /// Present only in kHmts mode.
+  HmtsExecutor* hmts() { return hmts_.get(); }
+  /// Present in kGts / kDirect modes.
+  GtsExecutor* gts() { return gts_.get(); }
+  /// Present in kOts mode.
+  OtsExecutor* ots() { return ots_.get(); }
+
+  /// The partitioning used by the last kHmts configuration.
+  const Partitioning* partitioning() const { return partitioning_.get(); }
+
+ private:
+  /// (from, to) edges that must receive a queue for `options`.
+  Status ComputeQueueEdges(const EngineOptions& options,
+                           std::vector<std::pair<Node*, Operator*>>* edges);
+  Status BuildExecutors(const EngineOptions& options);
+  bool AllPartitionsDone() const;
+  void CollectSinks();
+
+  QueryGraph* graph_;
+  EngineOptions options_;
+  bool configured_ = false;
+  bool started_ = false;
+
+  std::vector<QueueOp*> queues_;
+  std::vector<Sink*> sinks_;
+  std::unique_ptr<Partitioning> partitioning_;
+
+  std::unique_ptr<GtsExecutor> gts_;
+  std::unique_ptr<OtsExecutor> ots_;
+  std::unique_ptr<HmtsExecutor> hmts_;
+  int next_queue_id_ = 0;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_API_STREAM_ENGINE_H_

@@ -1,0 +1,55 @@
+#include "core/adaptive_placement.h"
+
+#include <cmath>
+
+#include "graph/query_graph.h"
+#include "operators/operator.h"
+#include "stats/capacity.h"
+#include "util/logging.h"
+
+namespace flexstream {
+
+void SnapshotMeasuredStats(QueryGraph* graph, int64_t min_samples) {
+  for (Node* node : graph->nodes()) {
+    if (node->is_queue()) continue;
+    const OpStats& stats = node->stats();
+    if (stats.processed() < min_samples) continue;
+    node->SetCostMicros(stats.CostMicros());
+    node->SetSelectivity(stats.Selectivity());
+    const double d = stats.InterarrivalMicros();
+    if (std::isfinite(d)) node->SetInterarrivalMicros(d);
+  }
+}
+
+std::vector<size_t> StallingPartitions(const StreamEngine& engine) {
+  std::vector<size_t> stalling;
+  const Partitioning* partitioning = engine.partitioning();
+  if (partitioning == nullptr) return stalling;
+  for (size_t id = 0; id < partitioning->group_count(); ++id) {
+    const double cap = partitioning->CapacityOf(id);
+    if (std::isfinite(cap) && cap < 0.0) stalling.push_back(id);
+  }
+  return stalling;
+}
+
+Status ReplaceFromMeasuredStats(StreamEngine* engine) {
+  CHECK(engine != nullptr);
+  if (!engine->configured()) {
+    return Status::FailedPrecondition("engine not configured");
+  }
+  if (engine->options().mode != ExecutionMode::kHmts) {
+    return Status::FailedPrecondition(
+        "runtime re-placement requires HMTS mode");
+  }
+  SnapshotMeasuredStats(
+      // Queues are engine-owned; the graph pointer is reachable through
+      // any queue's graph() — but the engine already knows it. Use the
+      // partitioning's graph.
+      const_cast<QueryGraph*>(engine->partitioning()->graph()));
+  // SwitchTo with the same options re-runs the placement algorithm on the
+  // freshly snapshotted metadata (a structural switch: drain, splice,
+  // re-place).
+  return engine->SwitchTo(engine->options());
+}
+
+}  // namespace flexstream

@@ -1,0 +1,47 @@
+// Runtime queue re-placement from measured statistics.
+//
+// The paper leaves this open: "an efficient algorithm for placing queues
+// during runtime remains to be addressed in future work" (Section 5.1.3),
+// while describing the mechanism — interrupt processing briefly, insert
+// or remove queues, resume. This module provides that mechanism on top of
+// StreamEngine:
+//
+//   1. SnapshotMeasuredStats copies every operator's *measured* cost,
+//      selectivity and inter-arrival statistics into its metadata
+//      overrides (the inputs of the placement algorithms).
+//   2. StallingPartitions reports which current partitions have negative
+//      capacity under those fresh measurements.
+//   3. ReplaceFromMeasuredStats re-runs the engine's configured placement
+//      algorithm on the measured metadata and re-places the queues (the
+//      engine drains and splices queues internally). The caller must
+//      observe the structural-switch contract: sources paused while the
+//      call runs.
+
+#ifndef FLEXSTREAM_CORE_ADAPTIVE_PLACEMENT_H_
+#define FLEXSTREAM_CORE_ADAPTIVE_PLACEMENT_H_
+
+#include <vector>
+
+#include "api/stream_engine.h"
+
+namespace flexstream {
+
+/// Copies measured statistics into metadata overrides for every non-queue
+/// node that has processed at least `min_samples` elements. Nodes below
+/// the threshold keep their existing metadata (measured values would be
+/// noise).
+void SnapshotMeasuredStats(QueryGraph* graph, int64_t min_samples = 16);
+
+/// Ids of the engine's current partitions whose capacity — evaluated on
+/// the nodes' *current* metadata — is negative, i.e. partitions that
+/// stall their inputs. Empty when the engine is not in HMTS mode.
+std::vector<size_t> StallingPartitions(const StreamEngine& engine);
+
+/// Snapshot + re-place: re-runs the engine's placement with measured
+/// statistics. Requires a configured HMTS engine and paused sources.
+/// Returns the engine's SwitchTo status.
+Status ReplaceFromMeasuredStats(StreamEngine* engine);
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_CORE_ADAPTIVE_PLACEMENT_H_

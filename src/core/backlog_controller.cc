@@ -1,0 +1,56 @@
+#include "core/backlog_controller.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace flexstream {
+
+BacklogController::BacklogController(HmtsExecutor* executor, Options options)
+    : executor_(executor), options_(options) {
+  CHECK(executor != nullptr);
+  CHECK_GT(ToSeconds(options.interval), 0.0);
+}
+
+BacklogController::~BacklogController() { Stop(); }
+
+void BacklogController::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CHECK(!started_) << "BacklogController already started";
+  started_ = true;
+  stop_ = false;
+  monitor_ = std::thread([this] { RunLoop(); });
+}
+
+void BacklogController::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  started_ = false;
+}
+
+void BacklogController::RunLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (cv_.wait_for(lock, options_.interval, [&] { return stop_; })) {
+        return;
+      }
+    }
+    for (size_t i = 0; i < executor_->partition_count(); ++i) {
+      const double backlog =
+          static_cast<double>(executor_->partition(i).QueuedElements());
+      executor_->SetPriority(
+          i, options_.base_priority +
+                 options_.gain * std::log2(1.0 + backlog));
+    }
+    rounds_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace flexstream

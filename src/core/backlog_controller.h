@@ -1,0 +1,66 @@
+// Runtime priority adaptation for the level-3 thread scheduler.
+//
+// Section 4.2.2: "The distribution of the available CPU resources relies
+// on priorities that can be adapted during runtime." This controller is
+// one concrete adaptation policy: a monitor thread periodically samples
+// every partition's queued backlog and sets its priority to
+//
+//   priority = base + gain * log2(1 + queued_elements)
+//
+// so partitions that fall behind receive more CPU, while the log keeps a
+// single flooded partition from starving everyone else (the TS's aging
+// adds starvation protection on top). The controller is optional and can
+// be attached to any running HmtsExecutor.
+
+#ifndef FLEXSTREAM_CORE_BACKLOG_CONTROLLER_H_
+#define FLEXSTREAM_CORE_BACKLOG_CONTROLLER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/hmts.h"
+#include "util/clock.h"
+
+namespace flexstream {
+
+class BacklogController {
+ public:
+  struct Options {
+    Duration interval = std::chrono::milliseconds(20);
+    double base_priority = 0.0;
+    double gain = 1.0;
+  };
+
+  /// The executor must outlive the controller. Call Start() after (or
+  /// before) the executor starts; Stop() before destroying the executor.
+  BacklogController(HmtsExecutor* executor, Options options);
+  ~BacklogController();
+
+  BacklogController(const BacklogController&) = delete;
+  BacklogController& operator=(const BacklogController&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// Number of adaptation rounds performed so far.
+  int64_t rounds() const { return rounds_.load(std::memory_order_relaxed); }
+
+ private:
+  void RunLoop();
+
+  HmtsExecutor* executor_;
+  Options options_;
+  std::thread monitor_;
+  std::atomic<int64_t> rounds_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool started_ = false;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_CORE_BACKLOG_CONTROLLER_H_

@@ -1,0 +1,57 @@
+#include "core/hmts.h"
+
+#include "util/logging.h"
+
+namespace flexstream {
+
+HmtsExecutor::HmtsExecutor(std::vector<PartitionSpec> specs,
+                           ThreadScheduler::Options ts_options,
+                           Partition::Options partition_options)
+    : ts_(ts_options) {
+  partitions_.reserve(specs.size());
+  for (PartitionSpec& spec : specs) {
+    auto partition = std::make_unique<Partition>(
+        spec.name, std::move(spec.queues), MakeStrategy(spec.strategy),
+        partition_options);
+    partition->set_thread_scheduler(&ts_);
+    ts_.Register(partition.get(), spec.priority);
+    priorities_.push_back(spec.priority);
+    partitions_.push_back(std::move(partition));
+  }
+}
+
+HmtsExecutor::~HmtsExecutor() {
+  RequestStop();
+  Join();
+  // Member destruction order (partitions_ before ts_, reverse of
+  // declaration) keeps ts_ alive until every worker has exited.
+}
+
+void HmtsExecutor::Start() {
+  CHECK(!started_) << "HmtsExecutor already started";
+  started_ = true;
+  for (auto& p : partitions_) p->Start();
+}
+
+void HmtsExecutor::RequestStop() {
+  for (auto& p : partitions_) p->RequestStop();
+}
+
+void HmtsExecutor::Join() {
+  for (auto& p : partitions_) p->Join();
+}
+
+bool HmtsExecutor::Done() const {
+  for (const auto& p : partitions_) {
+    if (!p->Done()) return false;
+  }
+  return true;
+}
+
+void HmtsExecutor::SetPriority(size_t i, double priority) {
+  CHECK_LT(i, partitions_.size());
+  priorities_[i] = priority;
+  ts_.SetPriority(partitions_[i].get(), priority);
+}
+
+}  // namespace flexstream

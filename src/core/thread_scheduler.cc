@@ -1,0 +1,145 @@
+#include "core/thread_scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+
+#include "sched/partition.h"
+#include "util/logging.h"
+
+namespace flexstream {
+
+ThreadScheduler::ThreadScheduler(Options options) : options_(options) {
+  max_running_ = options_.max_running > 0
+                     ? options_.max_running
+                     : std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadScheduler::Register(Partition* partition, double priority) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Info& info = infos_[partition];
+  info.priority = priority;
+}
+
+void ThreadScheduler::Unregister(Partition* partition) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = infos_.find(partition);
+  if (it == infos_.end()) return;
+  CHECK(!it->second.running) << "unregistering a running partition";
+  CHECK(!it->second.waiting) << "unregistering a waiting partition";
+  infos_.erase(it);
+}
+
+void ThreadScheduler::SetPriority(Partition* partition, double priority) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  infos_[partition].priority = priority;
+  Rebalance(Now());
+}
+
+double ThreadScheduler::PriorityOf(const Partition* partition) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = infos_.find(partition);
+  return it == infos_.end() ? 0.0 : it->second.priority;
+}
+
+double ThreadScheduler::EffectivePriority(const Info& info,
+                                          TimePoint now) const {
+  double p = info.priority;
+  if (info.waiting && options_.aging_per_second > 0.0) {
+    p += options_.aging_per_second * ToSeconds(now - info.wait_start);
+  }
+  return p;
+}
+
+void ThreadScheduler::Rebalance(TimePoint now) {
+  // Grant free slots to the best waiters.
+  while (running_count_ < max_running_ && waiting_count_ > 0) {
+    Info* best = nullptr;
+    double best_priority = -std::numeric_limits<double>::infinity();
+    for (auto& [partition, info] : infos_) {
+      (void)partition;
+      if (!info.waiting) continue;
+      const double p = EffectivePriority(info, now);
+      if (p > best_priority) {
+        best_priority = p;
+        best = &info;
+      }
+    }
+    if (best == nullptr) break;
+    best->waiting = false;
+    best->running = true;
+    best->preempt = false;
+    best->grant_time = now;
+    --waiting_count_;
+    ++running_count_;
+  }
+  // No free slot left: preempt the weakest runner if a waiter outranks it.
+  if (waiting_count_ > 0 && running_count_ >= max_running_) {
+    double best_wait = -std::numeric_limits<double>::infinity();
+    for (const auto& [partition, info] : infos_) {
+      (void)partition;
+      if (info.waiting) {
+        best_wait = std::max(best_wait, EffectivePriority(info, now));
+      }
+    }
+    Info* weakest = nullptr;
+    double weakest_priority = std::numeric_limits<double>::infinity();
+    for (auto& [partition, info] : infos_) {
+      (void)partition;
+      if (info.running && info.priority < weakest_priority) {
+        weakest_priority = info.priority;
+        weakest = &info;
+      }
+    }
+    if (weakest != nullptr && best_wait > weakest_priority) {
+      weakest->preempt = true;
+    }
+  }
+  // Wake any waiter whose grant just came through. Called with mutex_
+  // held; the woken threads re-check their predicate under the lock.
+  cv_.notify_all();
+}
+
+void ThreadScheduler::Acquire(Partition* partition) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Info& info = infos_[partition];
+  CHECK(!info.running && !info.waiting)
+      << partition->name() << " double-acquire";
+  info.waiting = true;
+  info.wait_start = Now();
+  ++waiting_count_;
+  Rebalance(Now());
+  cv_.wait(lock, [&] { return info.running; });
+}
+
+void ThreadScheduler::Release(Partition* partition) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = infos_.find(partition);
+  CHECK(it != infos_.end() && it->second.running)
+      << partition->name() << " release without acquire";
+  it->second.running = false;
+  it->second.preempt = false;
+  --running_count_;
+  Rebalance(Now());
+}
+
+bool ThreadScheduler::ShouldYield(const Partition* partition) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = infos_.find(partition);
+  if (it == infos_.end() || !it->second.running) return false;
+  if (it->second.preempt) return true;
+  if (waiting_count_ == 0) return false;
+  return Now() >= it->second.grant_time + options_.quantum;
+}
+
+int ThreadScheduler::running_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_count_;
+}
+
+int ThreadScheduler::waiting_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return waiting_count_;
+}
+
+}  // namespace flexstream

@@ -1,0 +1,106 @@
+// The level-3 thread scheduler (TS) of the HMTS architecture.
+//
+// Section 4.2.2: "Concurrency is managed by a specific high-priority
+// thread termed thread scheduler (TS). ... Our default TS accomplishes a
+// preemptive priority-based scheduling strategy. It determines the next
+// thread to be executed so that starvation is prevented. The distribution
+// of the available CPU resources relies on priorities that can be adapted
+// during runtime."
+//
+// Implementation: the TS grants up to `max_running` execution slots to
+// partition worker threads. Workers call Acquire() before running a
+// quantum and Release() after it; between batches they poll ShouldYield().
+// Grants go to the waiter with the highest *effective* priority —
+// base priority plus an aging bonus proportional to waiting time, which
+// guarantees starvation freedom. Preemption is cooperative-with-flags:
+// when a waiter outranks a running partition, the TS raises that
+// partition's preempt flag so its very next ShouldYield() returns true
+// (quantum expiry also forces a yield whenever anyone is waiting).
+// Priorities can be changed at any time via SetPriority.
+
+#ifndef FLEXSTREAM_CORE_THREAD_SCHEDULER_H_
+#define FLEXSTREAM_CORE_THREAD_SCHEDULER_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/clock.h"
+
+namespace flexstream {
+
+class Partition;
+
+class ThreadScheduler {
+ public:
+  struct Options {
+    /// Max partitions running concurrently; 0 = hardware concurrency.
+    int max_running = 0;
+    /// Max continuous run of one partition while others wait.
+    Duration quantum = std::chrono::milliseconds(2);
+    /// Effective-priority boost per second of waiting (starvation
+    /// prevention). 0 disables aging.
+    double aging_per_second = 1.0;
+  };
+
+  explicit ThreadScheduler(Options options);
+  ThreadScheduler() : ThreadScheduler(Options()) {}
+
+  ThreadScheduler(const ThreadScheduler&) = delete;
+  ThreadScheduler& operator=(const ThreadScheduler&) = delete;
+
+  /// Registers a partition with a base priority (higher = preferred).
+  /// Partitions may also Acquire without prior registration (priority 0).
+  void Register(Partition* partition, double priority);
+
+  /// Removes a partition's bookkeeping. Must not be running or waiting.
+  void Unregister(Partition* partition);
+
+  /// Adjusts a partition's base priority at runtime. Takes effect at the
+  /// next grant decision; may raise a preempt flag immediately.
+  void SetPriority(Partition* partition, double priority);
+
+  double PriorityOf(const Partition* partition) const;
+
+  /// Blocks until an execution slot is granted to `partition`.
+  void Acquire(Partition* partition);
+
+  /// Returns the slot. Wakes the best waiter, if any.
+  void Release(Partition* partition);
+
+  /// True when `partition` should end its quantum now: it was preempted by
+  /// a higher-priority waiter, or its quantum expired while others wait.
+  bool ShouldYield(const Partition* partition) const;
+
+  int running_count() const;
+  int waiting_count() const;
+  int max_running() const { return max_running_; }
+
+ private:
+  struct Info {
+    double priority = 0.0;
+    bool running = false;
+    bool waiting = false;
+    bool preempt = false;
+    TimePoint wait_start{};
+    TimePoint grant_time{};
+  };
+
+  double EffectivePriority(const Info& info, TimePoint now) const;
+  /// Grants free slots to the best waiters and raises preempt flags;
+  /// caller holds mutex_.
+  void Rebalance(TimePoint now);
+
+  Options options_;
+  int max_running_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<const Partition*, Info> infos_;
+  int running_count_ = 0;
+  int waiting_count_ = 0;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_CORE_THREAD_SCHEDULER_H_

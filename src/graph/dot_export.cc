@@ -1,0 +1,104 @@
+#include "graph/dot_export.h"
+
+#include <sstream>
+
+#include "graph/query_graph.h"
+#include "operators/operator.h"
+#include "placement/partitioning.h"
+
+namespace flexstream {
+namespace {
+
+const char* ShapeFor(Node::Kind kind) {
+  switch (kind) {
+    case Node::Kind::kSource:
+      return "house";
+    case Node::Kind::kQueue:
+      return "record";
+    case Node::Kind::kSink:
+      return "doublecircle";
+    case Node::Kind::kOperator:
+      return "box";
+  }
+  return "box";
+}
+
+// A qualitative palette that stays readable in black-on-color.
+constexpr const char* kPalette[] = {
+    "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f",
+    "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
+};
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void EmitNode(std::ostringstream& os, const Node* node,
+              const std::string& extra) {
+  os << "  n" << node->id() << " [label=\"" << Escape(node->name())
+     << "\", shape=" << ShapeFor(node->kind());
+  if (!extra.empty()) os << ", " << extra;
+  os << "];\n";
+}
+
+void EmitEdges(std::ostringstream& os, const QueryGraph& graph) {
+  for (const Node* node : graph.nodes()) {
+    for (const auto& edge : node->outputs()) {
+      const Node* target = static_cast<const Node*>(edge.target);
+      os << "  n" << node->id() << " -> n" << target->id();
+      if (edge.port != 0) os << " [label=\"p" << edge.port << "\"]";
+      os << ";\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string ToDot(const QueryGraph& graph) {
+  std::ostringstream os;
+  os << "digraph query {\n  rankdir=BT;\n";
+  for (const Node* node : graph.nodes()) {
+    if (node->fan_in() == 0 && node->fan_out() == 0 && !node->is_source()) {
+      continue;  // disconnected husk
+    }
+    EmitNode(os, node, "");
+  }
+  EmitEdges(os, graph);
+  os << "}\n";
+  return os.str();
+}
+
+std::string ToDot(const QueryGraph& graph,
+                  const Partitioning& partitioning) {
+  std::ostringstream os;
+  os << "digraph query {\n  rankdir=BT;\n";
+  constexpr size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+  for (size_t id = 0; id < partitioning.group_count(); ++id) {
+    os << "  subgraph cluster_p" << id << " {\n"
+       << "    label=\"P" << id << "\";\n    style=filled;\n"
+       << "    color=\"" << kPalette[id % kPaletteSize] << "\";\n";
+    for (const Node* node : partitioning.group(id)) {
+      std::ostringstream inner;
+      EmitNode(inner, node, "style=filled, fillcolor=white");
+      os << "  " << inner.str();
+    }
+    os << "  }\n";
+  }
+  for (const Node* node : graph.nodes()) {
+    if (partitioning.GroupOf(node) >= 0) continue;
+    if (node->fan_in() == 0 && node->fan_out() == 0 && !node->is_source()) {
+      continue;
+    }
+    EmitNode(os, node, "");
+  }
+  EmitEdges(os, graph);
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace flexstream

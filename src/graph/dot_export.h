@@ -1,0 +1,27 @@
+// Graphviz DOT export of query graphs and partitionings.
+//
+// Renders the topology (sources as house shapes, queues as records,
+// sinks as double circles) and, when a Partitioning is supplied, colors
+// each virtual operator's nodes by partition — the visual counterpart of
+// the paper's Figures 3 and 4.
+
+#ifndef FLEXSTREAM_GRAPH_DOT_EXPORT_H_
+#define FLEXSTREAM_GRAPH_DOT_EXPORT_H_
+
+#include <string>
+
+namespace flexstream {
+
+class QueryGraph;
+class Partitioning;
+
+/// DOT source for the graph alone.
+std::string ToDot(const QueryGraph& graph);
+
+/// DOT source with nodes clustered/colored by partition; nodes outside
+/// every partition (e.g. queues) are drawn unclustered.
+std::string ToDot(const QueryGraph& graph, const Partitioning& partitioning);
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_GRAPH_DOT_EXPORT_H_

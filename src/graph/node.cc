@@ -1,0 +1,69 @@
+#include "graph/node.h"
+
+#include "util/logging.h"
+
+namespace flexstream {
+
+Node::Node(Kind kind, std::string name, int input_arity)
+    : kind_(kind), name_(std::move(name)), input_arity_(input_arity) {
+  CHECK(input_arity >= 0 || input_arity == kVariadicArity)
+      << "invalid arity " << input_arity;
+}
+
+Node::~Node() = default;
+
+double Node::CostMicros() const {
+  return has_cost_override_ ? cost_override_ : stats_.CostMicros();
+}
+
+void Node::SetCostMicros(double micros) {
+  cost_override_ = micros;
+  has_cost_override_ = true;
+}
+
+double Node::InterarrivalMicros() const {
+  return has_interarrival_override_ ? interarrival_override_
+                                    : stats_.InterarrivalMicros();
+}
+
+void Node::SetInterarrivalMicros(double micros) {
+  interarrival_override_ = micros;
+  has_interarrival_override_ = true;
+}
+
+double Node::Selectivity() const {
+  return has_selectivity_override_ ? selectivity_override_
+                                   : stats_.Selectivity();
+}
+
+void Node::SetSelectivity(double selectivity) {
+  selectivity_override_ = selectivity;
+  has_selectivity_override_ = true;
+}
+
+void Node::ClearOverrides() {
+  has_cost_override_ = false;
+  has_interarrival_override_ = false;
+  has_selectivity_override_ = false;
+}
+
+std::string Node::DebugString() const {
+  return std::string(NodeKindToString(kind_)) + " #" + std::to_string(id_) +
+         " \"" + name_ + "\"";
+}
+
+const char* NodeKindToString(Node::Kind kind) {
+  switch (kind) {
+    case Node::Kind::kSource:
+      return "source";
+    case Node::Kind::kOperator:
+      return "operator";
+    case Node::Kind::kQueue:
+      return "queue";
+    case Node::Kind::kSink:
+      return "sink";
+  }
+  return "unknown";
+}
+
+}  // namespace flexstream

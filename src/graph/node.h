@@ -1,0 +1,133 @@
+// Query graph nodes.
+//
+// Following Section 2.1 of the paper, a query graph is a DAG whose nodes
+// are sources, operators and sinks, with edges representing data flow.
+// Queues are modeled as ordinary operators (Section 2.4) so that placing or
+// removing them is a topology change, not a semantic one.
+//
+// Node carries (a) the topology links maintained by QueryGraph, (b) the
+// measured runtime statistics (stats/op_stats.h), and (c) optional metadata
+// overrides for c(v), d(v) and selectivity used when experiments inject
+// synthetic values instead of measuring (Section 5.1.3, "Parameter").
+
+#ifndef FLEXSTREAM_GRAPH_NODE_H_
+#define FLEXSTREAM_GRAPH_NODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/op_stats.h"
+
+namespace flexstream {
+
+class Operator;
+class QueryGraph;
+
+class Node {
+ public:
+  using Id = uint32_t;
+
+  enum class Kind {
+    kSource = 0,
+    kOperator = 1,
+    kQueue = 2,
+    kSink = 3,
+  };
+
+  /// Variadic input arity (any number of incoming edges on port 0).
+  static constexpr int kVariadicArity = -1;
+
+  Node(Kind kind, std::string name, int input_arity);
+  virtual ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  Id id() const { return id_; }
+  Kind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+  QueryGraph* graph() const { return graph_; }
+
+  bool is_source() const { return kind_ == Kind::kSource; }
+  bool is_queue() const { return kind_ == Kind::kQueue; }
+  bool is_sink() const { return kind_ == Kind::kSink; }
+
+  /// Number of declared input ports, or kVariadicArity.
+  int input_arity() const { return input_arity_; }
+
+  // --- Topology (maintained exclusively by QueryGraph) ------------------
+
+  struct OutEdge {
+    Operator* target;
+    int port;
+  };
+  struct InEdge {
+    Node* source;
+    int port;
+  };
+
+  const std::vector<OutEdge>& outputs() const { return outputs_; }
+  const std::vector<InEdge>& inputs() const { return inputs_; }
+  size_t fan_out() const { return outputs_.size(); }
+  size_t fan_in() const { return inputs_.size(); }
+
+  // --- Capacity metadata (Section 5.1.2) --------------------------------
+
+  /// c(v): average per-element processing cost in microseconds. Uses the
+  /// injected metadata value when set, else the measured statistic.
+  double CostMicros() const;
+  void SetCostMicros(double micros);
+  bool has_cost_override() const { return has_cost_override_; }
+
+  /// d(v): average inter-arrival time of input elements in microseconds
+  /// (reciprocal of the input rate). Injected or measured.
+  double InterarrivalMicros() const;
+  void SetInterarrivalMicros(double micros);
+  bool has_interarrival_override() const { return has_interarrival_override_; }
+
+  /// Output elements per input element. Injected or measured.
+  double Selectivity() const;
+  void SetSelectivity(double selectivity);
+  bool has_selectivity_override() const { return has_selectivity_override_; }
+
+  /// Clears all metadata overrides (fall back to measured statistics).
+  void ClearOverrides();
+
+  OpStats& stats() { return stats_; }
+  const OpStats& stats() const { return stats_; }
+
+  /// Resets the node's processing state (operator windows, EOS counters,
+  /// queue contents) so the graph can be re-run. Statistics are preserved;
+  /// call stats().Reset() separately if desired.
+  virtual void Reset() {}
+
+  std::string DebugString() const;
+
+ private:
+  friend class QueryGraph;
+
+  Kind kind_;
+  std::string name_;
+  int input_arity_;
+  Id id_ = 0;
+  QueryGraph* graph_ = nullptr;
+
+  std::vector<OutEdge> outputs_;
+  std::vector<InEdge> inputs_;
+
+  OpStats stats_;
+  double cost_override_ = 0.0;
+  double interarrival_override_ = 0.0;
+  double selectivity_override_ = 1.0;
+  bool has_cost_override_ = false;
+  bool has_interarrival_override_ = false;
+  bool has_selectivity_override_ = false;
+};
+
+/// Human-readable kind name ("source", "operator", "queue", "sink").
+const char* NodeKindToString(Node::Kind kind);
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_GRAPH_NODE_H_

@@ -1,0 +1,285 @@
+#include "graph/query_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "operators/operator.h"
+#include "util/logging.h"
+
+namespace flexstream {
+
+QueryGraph::~QueryGraph() = default;
+
+void QueryGraph::Register(std::unique_ptr<Node> node) {
+  node->graph_ = this;
+  node->id_ = next_id_++;
+  node_ptrs_.push_back(node.get());
+  nodes_.push_back(std::move(node));
+}
+
+Status QueryGraph::Connect(Node* from, Operator* to, int port) {
+  Node* to_node = static_cast<Node*>(to);
+  CHECK(from != nullptr && to != nullptr);
+  CHECK(from->graph_ == this) << from->DebugString() << " not in this graph";
+  CHECK(to_node->graph_ == this);
+  if (from == to_node) {
+    return Status::InvalidArgument("self-loop on " + from->DebugString());
+  }
+  if (to_node->is_source()) {
+    return Status::InvalidArgument("cannot connect into a source: " +
+                                   to_node->DebugString());
+  }
+  if (from->is_sink()) {
+    return Status::InvalidArgument("cannot connect out of a sink: " +
+                                   from->DebugString());
+  }
+  const int arity = to_node->input_arity();
+  if (arity != Node::kVariadicArity && (port < 0 || port >= arity)) {
+    return Status::OutOfRange("port " + std::to_string(port) +
+                              " out of range for " + to_node->DebugString());
+  }
+  if (arity == Node::kVariadicArity && port != 0) {
+    return Status::OutOfRange("variadic-arity nodes use port 0 only");
+  }
+  for (const auto& edge : from->outputs_) {
+    if (edge.target == to && edge.port == port) {
+      return Status::AlreadyExists("edge already exists: " +
+                                   from->DebugString() + " -> " +
+                                   to_node->DebugString());
+    }
+  }
+  // Fixed-arity operators take at most one producer per port; queues and
+  // variadic operators merge any number of producers.
+  if (arity != Node::kVariadicArity && !to_node->is_queue()) {
+    for (const auto& edge : to_node->inputs_) {
+      if (edge.port == port) {
+        return Status::AlreadyExists(
+            "port " + std::to_string(port) + " of " + to_node->DebugString() +
+            " already has a producer");
+      }
+    }
+  }
+  if (WouldCreateCycle(from, to_node)) {
+    return Status::InvalidArgument("edge would create a cycle: " +
+                                   from->DebugString() + " -> " +
+                                   to_node->DebugString());
+  }
+  from->outputs_.push_back({to, port});
+  to_node->inputs_.push_back({from, port});
+  return Status::Ok();
+}
+
+Status QueryGraph::Disconnect(Node* from, Operator* to, int port) {
+  Node* to_node = static_cast<Node*>(to);
+  auto out_it = std::find_if(
+      from->outputs_.begin(), from->outputs_.end(),
+      [&](const Node::OutEdge& e) { return e.target == to && e.port == port; });
+  if (out_it == from->outputs_.end()) {
+    return Status::NotFound("no edge " + from->DebugString() + " -> " +
+                            to_node->DebugString() + " on port " +
+                            std::to_string(port));
+  }
+  auto in_it = std::find_if(
+      to_node->inputs_.begin(), to_node->inputs_.end(),
+      [&](const Node::InEdge& e) { return e.source == from && e.port == port; });
+  CHECK(in_it != to_node->inputs_.end()) << "inconsistent edge lists";
+  from->outputs_.erase(out_it);
+  to_node->inputs_.erase(in_it);
+  return Status::Ok();
+}
+
+Status QueryGraph::InsertBetween(Node* from, Operator* mid, Operator* to) {
+  Node* mid_node = static_cast<Node*>(mid);
+  Node* to_node = static_cast<Node*>(to);
+  if (mid_node->fan_in() != 0 || mid_node->fan_out() != 0) {
+    return Status::FailedPrecondition("middle node must be disconnected: " +
+                                      mid_node->DebugString());
+  }
+  auto out_it = std::find_if(
+      from->outputs_.begin(), from->outputs_.end(),
+      [&](const Node::OutEdge& e) { return e.target == to; });
+  if (out_it == from->outputs_.end()) {
+    return Status::NotFound("no edge " + from->DebugString() + " -> " +
+                            to_node->DebugString());
+  }
+  const int port = out_it->port;
+  Status s = Disconnect(from, to, port);
+  if (!s.ok()) return s;
+  s = Connect(from, mid, 0);
+  if (!s.ok()) return s;
+  return Connect(mid_node, to, port);
+}
+
+Status QueryGraph::SpliceOut(Operator* mid) {
+  Node* mid_node = static_cast<Node*>(mid);
+  if (mid_node->fan_in() != 1) {
+    return Status::FailedPrecondition(
+        "can only splice out single-input nodes: " + mid_node->DebugString());
+  }
+  Node* producer = mid_node->inputs_[0].source;
+  // Copy: Disconnect mutates the lists we iterate.
+  const std::vector<Node::OutEdge> outs = mid_node->outputs_;
+  Status s = Disconnect(producer, mid, mid_node->inputs_[0].port);
+  if (!s.ok()) return s;
+  for (const auto& edge : outs) {
+    s = Disconnect(mid_node, edge.target, edge.port);
+    if (!s.ok()) return s;
+    s = Connect(producer, edge.target, edge.port);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+std::vector<Node*> QueryGraph::Sources() const {
+  std::vector<Node*> result;
+  for (Node* n : node_ptrs_) {
+    if (n->is_source()) result.push_back(n);
+  }
+  return result;
+}
+
+std::vector<Node*> QueryGraph::Sinks() const {
+  std::vector<Node*> result;
+  for (Node* n : node_ptrs_) {
+    if (n->is_sink()) result.push_back(n);
+  }
+  return result;
+}
+
+std::vector<Node*> QueryGraph::Queues() const {
+  std::vector<Node*> result;
+  for (Node* n : node_ptrs_) {
+    if (n->is_queue() && n->fan_in() > 0) result.push_back(n);
+  }
+  return result;
+}
+
+bool QueryGraph::WouldCreateCycle(const Node* from, const Node* to) const {
+  // Adding from -> to creates a cycle iff `from` is reachable from `to`.
+  return Reachable(to, from);
+}
+
+bool QueryGraph::Reachable(const Node* from, const Node* to) const {
+  if (from == to) return true;
+  std::unordered_set<const Node*> visited;
+  std::deque<const Node*> frontier{from};
+  while (!frontier.empty()) {
+    const Node* n = frontier.front();
+    frontier.pop_front();
+    if (!visited.insert(n).second) continue;
+    for (const auto& edge : n->outputs()) {
+      const Node* t = static_cast<const Node*>(edge.target);
+      if (t == to) return true;
+      frontier.push_back(t);
+    }
+  }
+  return false;
+}
+
+Status QueryGraph::Validate() const {
+  // Edge-list consistency.
+  for (const Node* n : node_ptrs_) {
+    for (const auto& out : n->outputs()) {
+      const Node* t = static_cast<const Node*>(out.target);
+      const auto& ins = t->inputs();
+      const bool found =
+          std::any_of(ins.begin(), ins.end(), [&](const Node::InEdge& e) {
+            return e.source == n && e.port == out.port;
+          });
+      if (!found) {
+        return Status::Internal("dangling edge " + n->DebugString() + " -> " +
+                                t->DebugString());
+      }
+    }
+    for (const auto& in : n->inputs()) {
+      const auto& outs = in.source->outputs();
+      const bool found =
+          std::any_of(outs.begin(), outs.end(), [&](const Node::OutEdge& e) {
+            return static_cast<const Node*>(e.target) == n &&
+                   e.port == in.port;
+          });
+      if (!found) {
+        return Status::Internal("dangling back-edge into " + n->DebugString());
+      }
+    }
+  }
+  // Acyclicity.
+  Result<std::vector<Node*>> order = TopologicalOrder();
+  if (!order.ok()) return order.status();
+  // Every connected non-source node must be reachable from some source.
+  std::unordered_set<const Node*> reachable;
+  std::deque<const Node*> frontier;
+  for (const Node* n : node_ptrs_) {
+    if (n->fan_in() == 0) {
+      frontier.push_back(n);
+      reachable.insert(n);
+    }
+  }
+  while (!frontier.empty()) {
+    const Node* n = frontier.front();
+    frontier.pop_front();
+    for (const auto& edge : n->outputs()) {
+      const Node* t = static_cast<const Node*>(edge.target);
+      if (reachable.insert(t).second) frontier.push_back(t);
+    }
+  }
+  for (const Node* n : node_ptrs_) {
+    if ((n->fan_in() > 0 || n->fan_out() > 0) && !reachable.count(n)) {
+      return Status::Internal("node not reachable from any root: " +
+                              n->DebugString());
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<Node*>> QueryGraph::TopologicalOrder() const {
+  std::unordered_map<const Node*, size_t> indegree;
+  indegree.reserve(node_ptrs_.size());
+  for (const Node* n : node_ptrs_) indegree[n] = n->fan_in();
+  std::deque<Node*> ready;
+  for (Node* n : node_ptrs_) {
+    if (n->fan_in() == 0) ready.push_back(n);
+  }
+  std::vector<Node*> order;
+  order.reserve(node_ptrs_.size());
+  while (!ready.empty()) {
+    Node* n = ready.front();
+    ready.pop_front();
+    order.push_back(n);
+    for (const auto& edge : n->outputs()) {
+      Node* t = static_cast<Node*>(edge.target);
+      if (--indegree[t] == 0) ready.push_back(t);
+    }
+  }
+  if (order.size() != node_ptrs_.size()) {
+    return Status::InvalidArgument("graph contains a cycle");
+  }
+  return order;
+}
+
+void QueryGraph::ResetAll() {
+  for (Node* n : node_ptrs_) n->Reset();
+}
+
+std::string QueryGraph::DebugString() const {
+  std::ostringstream os;
+  os << "QueryGraph{" << node_ptrs_.size() << " nodes\n";
+  for (const Node* n : node_ptrs_) {
+    os << "  " << n->DebugString();
+    if (!n->outputs().empty()) {
+      os << " ->";
+      for (const auto& edge : n->outputs()) {
+        const Node* t = static_cast<const Node*>(edge.target);
+        os << " #" << t->id() << ":" << edge.port;
+      }
+    }
+    os << "\n";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace flexstream

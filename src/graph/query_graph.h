@@ -1,0 +1,101 @@
+// The query graph: a DAG of sources, operators, queues and sinks
+// (Section 2.1). QueryGraph owns every node and is the only component
+// allowed to mutate topology. All topology mutations must happen while no
+// thread is executing the graph; the schedulers in core/ pause processing
+// around runtime re-partitioning exactly as Section 5.1.3 describes
+// ("inserting and removing queues can be done during runtime by
+// interrupting the processing of the graph shortly").
+
+#ifndef FLEXSTREAM_GRAPH_QUERY_GRAPH_H_
+#define FLEXSTREAM_GRAPH_QUERY_GRAPH_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/node.h"
+#include "util/status.h"
+
+namespace flexstream {
+
+class Operator;
+
+class QueryGraph {
+ public:
+  QueryGraph() = default;
+  QueryGraph(const QueryGraph&) = delete;
+  QueryGraph& operator=(const QueryGraph&) = delete;
+  ~QueryGraph();
+
+  /// Constructs a node of type T in the graph and returns a non-owning
+  /// pointer. The graph keeps ownership for its lifetime (nodes are never
+  /// destroyed individually; SpliceOut only detaches topology).
+  template <typename T, typename... Args>
+  T* Add(Args&&... args) {
+    auto node = std::make_unique<T>(std::forward<Args>(args)...);
+    T* ptr = node.get();
+    Register(std::move(node));
+    return ptr;
+  }
+
+  /// Adds the edge from -> to on the given input port of `to`.
+  /// Fails if the port is out of range for the target's arity, if the edge
+  /// already exists, or if adding it would create a cycle.
+  Status Connect(Node* from, Operator* to, int port = 0);
+
+  /// Removes the edge from -> to on `port`. Fails if no such edge exists.
+  Status Disconnect(Node* from, Operator* to, int port = 0);
+
+  /// Replaces the edge from -> to (on whatever port it uses) with
+  /// from -> mid -> to, preserving the original target port. `mid` must
+  /// currently be disconnected. This is how decoupling queues are placed.
+  Status InsertBetween(Node* from, Operator* mid, Operator* to);
+
+  /// Removes a single-input pass-through node (typically a queue) from the
+  /// topology, reconnecting its producer directly to its consumers. The
+  /// node stays owned by the graph but becomes disconnected. Callers must
+  /// drain queues first (Section 5.1.3: "to remove a queue all remaining
+  /// elements in the queue must be entirely processed before").
+  Status SpliceOut(Operator* mid);
+
+  const std::vector<Node*>& nodes() const { return node_ptrs_; }
+  size_t node_count() const { return node_ptrs_.size(); }
+
+  /// Nodes with no incoming edges, excluding disconnected non-source nodes.
+  std::vector<Node*> Sources() const;
+  /// Nodes with no outgoing edges, excluding disconnected non-sink nodes.
+  std::vector<Node*> Sinks() const;
+  /// All queue nodes currently wired into the topology.
+  std::vector<Node*> Queues() const;
+
+  /// Checks structural invariants: acyclic, every connected non-source node
+  /// reachable from a source, edge lists mutually consistent.
+  Status Validate() const;
+
+  /// Topological order over all connected nodes (sources first).
+  /// Fails on a cyclic graph.
+  Result<std::vector<Node*>> TopologicalOrder() const;
+
+  /// True if `to` is reachable from `from` via outgoing edges.
+  bool Reachable(const Node* from, const Node* to) const;
+
+  /// Calls Reset() on every node (clears operator state so the graph can
+  /// be executed again).
+  void ResetAll();
+
+  /// Multi-line description of the topology for debugging.
+  std::string DebugString() const;
+
+ private:
+  void Register(std::unique_ptr<Node> node);
+  bool WouldCreateCycle(const Node* from, const Node* to) const;
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<Node*> node_ptrs_;
+  Node::Id next_id_ = 0;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_GRAPH_QUERY_GRAPH_H_

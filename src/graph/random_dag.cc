@@ -1,0 +1,63 @@
+#include "graph/random_dag.h"
+
+#include <cmath>
+
+#include "operators/source.h"
+#include "stats/capacity.h"
+#include "util/logging.h"
+
+namespace flexstream {
+
+void PassiveOp::Process(const Tuple& tuple, int port) {
+  (void)tuple;
+  (void)port;
+  LOG(FATAL) << "PassiveOp is metadata-only and must not be executed";
+}
+
+std::unique_ptr<QueryGraph> GenerateRandomDag(const RandomDagOptions& options,
+                                              Rng* rng) {
+  CHECK_GE(options.source_count, 1);
+  CHECK_GE(options.node_count, options.source_count);
+  CHECK_GE(options.max_fan_in, 1);
+  auto graph = std::make_unique<QueryGraph>();
+
+  std::vector<Node*> nodes;
+  nodes.reserve(static_cast<size_t>(options.node_count));
+  for (int i = 0; i < options.source_count; ++i) {
+    Source* src = graph->Add<Source>("src" + std::to_string(i));
+    const double rate =
+        rng->UniformDouble(options.min_source_rate, options.max_source_rate);
+    src->SetInterarrivalMicros(1e6 / rate);
+    src->SetCostMicros(0.0);
+    src->SetSelectivity(1.0);
+    nodes.push_back(src);
+  }
+  const double ln_min = std::log(options.min_cost_micros);
+  const double ln_max = std::log(options.max_cost_micros);
+  for (int i = options.source_count; i < options.node_count; ++i) {
+    PassiveOp* op = graph->Add<PassiveOp>("op" + std::to_string(i),
+                                          options.max_fan_in);
+    op->SetCostMicros(std::exp(rng->UniformDouble(ln_min, ln_max)));
+    op->SetSelectivity(rng->UniformDouble(options.min_selectivity,
+                                          options.max_selectivity));
+    // First producer: any earlier node (keeps the graph acyclic and every
+    // non-source node reachable from a source).
+    Node* producer = nodes[static_cast<size_t>(
+        rng->NextU64(static_cast<uint64_t>(nodes.size())))];
+    CHECK_OK(graph->Connect(producer, op, 0));
+    if (options.max_fan_in >= 2 &&
+        rng->Bernoulli(options.second_input_probability)) {
+      Node* second = nodes[static_cast<size_t>(
+          rng->NextU64(static_cast<uint64_t>(nodes.size())))];
+      if (second != producer) {
+        CHECK_OK(graph->Connect(second, op, 1));
+      }
+    }
+    nodes.push_back(op);
+  }
+  CHECK_OK(PropagateRates(graph.get()));
+  CHECK_OK(graph->Validate());
+  return graph;
+}
+
+}  // namespace flexstream

@@ -1,0 +1,67 @@
+// Random query-graph generation for the Figure 11 study.
+//
+// Section 6.7 tests the VO-construction algorithms "by running them on
+// random DAGs, varying the number of nodes from 10 to 1000". The
+// generator builds layered DAGs of passive operator nodes with synthetic
+// cost/selectivity metadata; inter-arrival times d(v) are then derived by
+// rate propagation (stats/capacity.h), so the capacity model has
+// consistent inputs.
+//
+// Nodes are generic Operators whose Process is never called — Figure 11
+// is a pure planning study; nothing is executed.
+
+#ifndef FLEXSTREAM_GRAPH_RANDOM_DAG_H_
+#define FLEXSTREAM_GRAPH_RANDOM_DAG_H_
+
+#include <memory>
+#include <string>
+
+#include "graph/query_graph.h"
+#include "operators/operator.h"
+#include "util/random.h"
+
+namespace flexstream {
+
+struct RandomDagOptions {
+  int node_count = 100;
+  /// Number of source nodes (roots). Must be >= 1 and <= node_count.
+  int source_count = 4;
+  /// Max producers per non-source node (1 = tree, 2 allows joins).
+  int max_fan_in = 2;
+  /// Probability that a non-source node takes a second producer.
+  double second_input_probability = 0.15;
+
+  /// Source rates (elements/second), uniform in [min, max].
+  double min_source_rate = 100.0;
+  double max_source_rate = 10000.0;
+
+  /// Operator cost (microseconds): log-uniform in [min, max] so the graph
+  /// mixes cheap and expensive operators as Section 4.2.1 argues real
+  /// query graphs do.
+  double min_cost_micros = 0.5;
+  double max_cost_micros = 5000.0;
+
+  /// Selectivity: uniform in [min, max].
+  double min_selectivity = 0.1;
+  double max_selectivity = 1.0;
+};
+
+/// A no-op operator carrying only metadata (used as the generic node type
+/// of random planning graphs).
+class PassiveOp : public Operator {
+ public:
+  PassiveOp(std::string name, int input_arity)
+      : Operator(Kind::kOperator, std::move(name), input_arity) {}
+
+ protected:
+  void Process(const Tuple& tuple, int port) override;
+};
+
+/// Generates a connected random DAG with metadata (cost, selectivity,
+/// propagated inter-arrival). Deterministic for a given rng state.
+std::unique_ptr<QueryGraph> GenerateRandomDag(const RandomDagOptions& options,
+                                              Rng* rng);
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_GRAPH_RANDOM_DAG_H_

@@ -1,0 +1,105 @@
+#include "operators/aggregate.h"
+
+#include "util/busy_work.h"
+#include "util/logging.h"
+
+namespace flexstream {
+
+const char* AggregateKindToString(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCount:
+      return "count";
+    case AggregateKind::kSum:
+      return "sum";
+    case AggregateKind::kAvg:
+      return "avg";
+    case AggregateKind::kMin:
+      return "min";
+    case AggregateKind::kMax:
+      return "max";
+  }
+  return "unknown";
+}
+
+WindowedAggregate::WindowedAggregate(std::string name, Options options)
+    : Operator(Kind::kOperator, std::move(name), /*input_arity=*/1),
+      options_(options),
+      window_(options.window_micros) {}
+
+void WindowedAggregate::Reset() {
+  Operator::Reset();
+  window_.Clear();
+  groups_.clear();
+}
+
+Value WindowedAggregate::GroupKeyOf(const Tuple& tuple) const {
+  return options_.group_attr ? tuple.at(*options_.group_attr)
+                             : Value(int64_t{0});
+}
+
+double WindowedAggregate::ValueOf(const Tuple& tuple) const {
+  if (options_.kind == AggregateKind::kCount) return 0.0;
+  return tuple.at(options_.value_attr).ToDouble();
+}
+
+void WindowedAggregate::Fold(GroupState* g, double v) const {
+  ++g->count;
+  g->sum += v;
+  if (options_.kind == AggregateKind::kMin ||
+      options_.kind == AggregateKind::kMax) {
+    g->values.insert(v);
+  }
+}
+
+void WindowedAggregate::Unfold(GroupState* g, double v) const {
+  --g->count;
+  g->sum -= v;
+  if (options_.kind == AggregateKind::kMin ||
+      options_.kind == AggregateKind::kMax) {
+    auto it = g->values.find(v);
+    DCHECK(it != g->values.end());
+    g->values.erase(it);
+  }
+}
+
+double WindowedAggregate::Current(const GroupState& g) const {
+  switch (options_.kind) {
+    case AggregateKind::kCount:
+      return static_cast<double>(g.count);
+    case AggregateKind::kSum:
+      return g.sum;
+    case AggregateKind::kAvg:
+      return g.count == 0 ? 0.0 : g.sum / static_cast<double>(g.count);
+    case AggregateKind::kMin:
+      return g.values.empty() ? 0.0 : *g.values.begin();
+    case AggregateKind::kMax:
+      return g.values.empty() ? 0.0 : *g.values.rbegin();
+  }
+  return 0.0;
+}
+
+void WindowedAggregate::Process(const Tuple& tuple, int port) {
+  (void)port;
+  if (options_.simulated_cost_micros > 0.0) {
+    BurnMicros(options_.simulated_cost_micros);
+  }
+  const AppTime watermark = window_.WatermarkFor(tuple.timestamp());
+  window_.ExpireBefore(watermark, [&](const Tuple& expired) {
+    const Value key = GroupKeyOf(expired);
+    auto it = groups_.find(key);
+    DCHECK(it != groups_.end());
+    Unfold(&it->second, ValueOf(expired));
+    if (it->second.count == 0) groups_.erase(it);
+  });
+  window_.Add(tuple);
+  GroupState& group = groups_[GroupKeyOf(tuple)];
+  Fold(&group, ValueOf(tuple));
+  if (options_.group_attr) {
+    Emit(Tuple({tuple.at(*options_.group_attr), Value(Current(group))},
+               tuple.timestamp()));
+  } else {
+    Emit(Tuple({Value(Current(group))}, tuple.timestamp()));
+  }
+}
+
+}  // namespace flexstream

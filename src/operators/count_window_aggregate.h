@@ -1,0 +1,47 @@
+// Count-based (ROWS) sliding-window aggregation: the aggregate over the
+// last N elements, emitted once per input element. The count-based
+// counterpart of WindowedAggregate's time-based window; CQL-style systems
+// (the paper's STREAM comparison point) offer both window flavors.
+
+#ifndef FLEXSTREAM_OPERATORS_COUNT_WINDOW_AGGREGATE_H_
+#define FLEXSTREAM_OPERATORS_COUNT_WINDOW_AGGREGATE_H_
+
+#include <deque>
+#include <set>
+#include <string>
+
+#include "operators/aggregate.h"
+#include "operators/operator.h"
+
+namespace flexstream {
+
+class CountWindowAggregate : public Operator {
+ public:
+  struct Options {
+    AggregateKind kind = AggregateKind::kCount;
+    size_t value_attr = 0;
+    /// Window size in elements (the last N).
+    size_t window_rows = 100;
+  };
+
+  CountWindowAggregate(std::string name, Options options);
+
+  void Reset() override;
+
+  size_t window_size() const { return window_.size(); }
+
+ protected:
+  void Process(const Tuple& tuple, int port) override;
+
+ private:
+  double Current() const;
+
+  Options options_;
+  std::deque<double> window_;
+  double sum_ = 0.0;
+  std::multiset<double> ordered_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_OPERATORS_COUNT_WINDOW_AGGREGATE_H_

@@ -1,0 +1,52 @@
+#include "operators/distinct.h"
+
+#include "util/logging.h"
+
+namespace flexstream {
+
+size_t Distinct::KeyHash::operator()(const std::vector<Value>& key) const {
+  size_t h = 0xcbf29ce484222325ULL;
+  for (const Value& v : key) {
+    h ^= v.Hash();
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Distinct::Distinct(std::string name, AppTime window_micros,
+                   std::vector<size_t> key_attrs)
+    : Operator(Kind::kOperator, std::move(name), /*input_arity=*/1),
+      key_attrs_(std::move(key_attrs)),
+      window_(window_micros) {}
+
+void Distinct::Reset() {
+  Operator::Reset();
+  window_.Clear();
+  live_.clear();
+}
+
+std::vector<Value> Distinct::KeyOf(const Tuple& tuple) const {
+  if (key_attrs_.empty()) return tuple.values();
+  std::vector<Value> key;
+  key.reserve(key_attrs_.size());
+  for (size_t a : key_attrs_) key.push_back(tuple.at(a));
+  return key;
+}
+
+void Distinct::Process(const Tuple& tuple, int port) {
+  (void)port;
+  window_.ExpireBefore(
+      window_.WatermarkFor(tuple.timestamp()), [&](const Tuple& expired) {
+        auto it = live_.find(KeyOf(expired));
+        DCHECK(it != live_.end());
+        if (--it->second == 0) live_.erase(it);
+      });
+  std::vector<Value> key = KeyOf(tuple);
+  auto it = live_.try_emplace(std::move(key), 0).first;
+  const bool first_in_window = it->second == 0;
+  ++it->second;
+  window_.Add(tuple);
+  if (first_in_window) Emit(tuple);
+}
+
+}  // namespace flexstream

@@ -1,0 +1,36 @@
+#include "operators/latency_sink.h"
+
+namespace flexstream {
+
+LatencySink::LatencySink(std::string name, size_t offset_attr,
+                         TimePoint epoch)
+    : Sink(std::move(name)), offset_attr_(offset_attr), epoch_(epoch) {}
+
+Histogram LatencySink::TakeHistogram() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Histogram h = histogram_;
+  histogram_.Reset();
+  return h;
+}
+
+int64_t LatencySink::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return histogram_.count();
+}
+
+void LatencySink::Reset() {
+  Sink::Reset();
+  std::lock_guard<std::mutex> lock(mutex_);
+  histogram_.Reset();
+}
+
+void LatencySink::Consume(const Tuple& tuple, int port) {
+  (void)port;
+  const int64_t emit_offset = tuple.IntAt(offset_attr_);
+  const double latency_micros =
+      static_cast<double>(ToMicros(Now() - epoch_) - emit_offset);
+  std::lock_guard<std::mutex> lock(mutex_);
+  histogram_.Add(latency_micros);
+}
+
+}  // namespace flexstream

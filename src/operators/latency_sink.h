@@ -1,0 +1,47 @@
+// A sink that measures end-to-end element latency.
+//
+// Latency of a result = (wall time it reaches the sink) - (wall time its
+// originating element entered the graph). Sources stamp the entry time as
+// an extra integer attribute (microseconds since a shared epoch; see
+// workload::RateSource::Options::stamp_emit_offset); the sink reads that
+// attribute and accumulates a log-bucketed histogram. Scheduling policy
+// does not change *what* is computed, but it changes latency drastically —
+// this sink is how the latency benchmarks observe that.
+
+#ifndef FLEXSTREAM_OPERATORS_LATENCY_SINK_H_
+#define FLEXSTREAM_OPERATORS_LATENCY_SINK_H_
+
+#include <mutex>
+#include <string>
+
+#include "operators/sink.h"
+#include "util/histogram.h"
+
+namespace flexstream {
+
+class LatencySink : public Sink {
+ public:
+  /// `offset_attr` is the attribute holding the emit offset in
+  /// microseconds relative to `epoch`.
+  LatencySink(std::string name, size_t offset_attr, TimePoint epoch);
+
+  /// Snapshot of the latency histogram (microseconds).
+  Histogram TakeHistogram();
+
+  int64_t count() const;
+
+  void Reset() override;
+
+ protected:
+  void Consume(const Tuple& tuple, int port) override;
+
+ private:
+  size_t offset_attr_;
+  TimePoint epoch_;
+  mutable std::mutex mutex_;
+  Histogram histogram_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_OPERATORS_LATENCY_SINK_H_

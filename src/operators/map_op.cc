@@ -1,0 +1,21 @@
+#include "operators/map_op.h"
+
+#include "util/busy_work.h"
+#include "util/logging.h"
+
+namespace flexstream {
+
+MapOp::MapOp(std::string name, MapFn fn, double simulated_cost_micros)
+    : Operator(Kind::kOperator, std::move(name), /*input_arity=*/1),
+      fn_(std::move(fn)),
+      simulated_cost_micros_(simulated_cost_micros) {
+  CHECK(fn_ != nullptr);
+}
+
+void MapOp::Process(const Tuple& tuple, int port) {
+  (void)port;
+  if (simulated_cost_micros_ > 0.0) BurnMicros(simulated_cost_micros_);
+  Emit(fn_(tuple));
+}
+
+}  // namespace flexstream

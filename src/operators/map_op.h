@@ -1,0 +1,30 @@
+// Map operator: applies a user function producing exactly one output tuple
+// per input tuple (a generalized projection).
+
+#ifndef FLEXSTREAM_OPERATORS_MAP_OP_H_
+#define FLEXSTREAM_OPERATORS_MAP_OP_H_
+
+#include <functional>
+#include <string>
+
+#include "operators/operator.h"
+
+namespace flexstream {
+
+class MapOp : public Operator {
+ public:
+  using MapFn = std::function<Tuple(const Tuple&)>;
+
+  MapOp(std::string name, MapFn fn, double simulated_cost_micros = 0.0);
+
+ protected:
+  void Process(const Tuple& tuple, int port) override;
+
+ private:
+  MapFn fn_;
+  double simulated_cost_micros_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_OPERATORS_MAP_OP_H_

@@ -1,0 +1,99 @@
+#include "operators/multiway_join.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace flexstream {
+
+MultiwayJoin::MultiwayJoin(std::string name, AppTime window_micros,
+                           std::vector<size_t> key_attrs)
+    : Operator(Kind::kOperator, std::move(name),
+               static_cast<int>(key_attrs.size())),
+      window_micros_(window_micros) {
+  CHECK_GE(key_attrs.size(), 2u);
+  inputs_.resize(key_attrs.size());
+  for (size_t i = 0; i < key_attrs.size(); ++i) {
+    inputs_[i].key_attr = key_attrs[i];
+  }
+}
+
+void MultiwayJoin::Reset() {
+  Operator::Reset();
+  for (Input& in : inputs_) {
+    in.table.clear();
+    in.expiry.clear();
+    in.stored = 0;
+  }
+}
+
+size_t MultiwayJoin::StateSize() const {
+  size_t total = 0;
+  for (const Input& in : inputs_) total += in.stored;
+  return total;
+}
+
+void MultiwayJoin::Input::Insert(const Tuple& tuple) {
+  const Value key = tuple.at(key_attr);
+  table[key].push_back(tuple);
+  expiry.emplace_back(key, tuple.timestamp());
+  ++stored;
+}
+
+void MultiwayJoin::Input::ExpireBefore(AppTime watermark) {
+  while (!expiry.empty() && expiry.front().second < watermark) {
+    auto it = table.find(expiry.front().first);
+    DCHECK(it != table.end());
+    it->second.pop_front();
+    if (it->second.empty()) table.erase(it);
+    expiry.pop_front();
+    --stored;
+  }
+}
+
+void MultiwayJoin::ProbeFrom(const Value& key, int arrival,
+                             size_t next_input,
+                             std::vector<const Tuple*>* parts,
+                             AppTime out_ts) {
+  if (next_input == inputs_.size()) {
+    std::vector<Value> values;
+    for (const Tuple* part : *parts) {
+      values.insert(values.end(), part->values().begin(),
+                    part->values().end());
+    }
+    Emit(Tuple(std::move(values), out_ts));
+    return;
+  }
+  if (static_cast<int>(next_input) == arrival) {
+    ProbeFrom(key, arrival, next_input + 1, parts, out_ts);
+    return;
+  }
+  auto it = inputs_[next_input].table.find(key);
+  if (it == inputs_[next_input].table.end()) return;
+  const Tuple& arrived = *(*parts)[static_cast<size_t>(arrival)];
+  for (const Tuple& match : it->second) {
+    // Window-band check relative to the arriving tuple (see
+    // symmetric_hash_join.cc): schedule-independent combinations only.
+    if (match.timestamp() < arrived.timestamp() - window_micros_ ||
+        match.timestamp() > arrived.timestamp() + window_micros_) {
+      continue;
+    }
+    (*parts)[next_input] = &match;
+    ProbeFrom(key, arrival, next_input + 1, parts,
+              std::max(out_ts, match.timestamp()));
+  }
+}
+
+void MultiwayJoin::Process(const Tuple& tuple, int port) {
+  DCHECK_GE(port, 0);
+  DCHECK_LT(port, num_inputs());
+  const AppTime watermark = tuple.timestamp() - window_micros_;
+  for (Input& in : inputs_) in.ExpireBefore(watermark);
+  const Value key = tuple.at(inputs_[static_cast<size_t>(port)].key_attr);
+  std::vector<const Tuple*> parts(inputs_.size(), nullptr);
+  parts[static_cast<size_t>(port)] = &tuple;
+  ProbeFrom(key, port, 0, &parts, tuple.timestamp());
+  inputs_[static_cast<size_t>(port)].Insert(tuple);
+}
+
+}  // namespace flexstream

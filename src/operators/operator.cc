@@ -1,0 +1,106 @@
+#include "operators/operator.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/logging.h"
+
+namespace flexstream {
+namespace {
+
+std::atomic<bool> g_stats_enabled{true};
+
+// Accumulates the wall time of nested Receive() calls so a parent can
+// subtract child time from its own measurement (self-time accounting for
+// DI call chains).
+thread_local double tl_child_micros = 0.0;
+
+}  // namespace
+
+void SetStatsCollectionEnabled(bool enabled) {
+  g_stats_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool StatsCollectionEnabled() {
+  return g_stats_enabled.load(std::memory_order_relaxed);
+}
+
+Operator::Operator(Kind kind, std::string name, int input_arity)
+    : Node(kind, std::move(name), input_arity) {}
+
+void Operator::SetSerializedReceive(bool enabled) {
+  if (enabled && receive_mutex_ == nullptr) {
+    receive_mutex_ = std::make_unique<std::mutex>();
+  } else if (!enabled) {
+    receive_mutex_.reset();
+  }
+}
+
+void Operator::Receive(const Tuple& tuple, int port) {
+  if (receive_mutex_ != nullptr) {
+    std::lock_guard<std::mutex> lock(*receive_mutex_);
+    ReceiveLocked(tuple, port);
+    return;
+  }
+  ReceiveLocked(tuple, port);
+}
+
+void Operator::ReceiveLocked(const Tuple& tuple, int port) {
+  if (tuple.is_eos()) {
+    max_eos_timestamp_ = std::max(max_eos_timestamp_, tuple.timestamp());
+    ++eos_received_;
+    DCHECK_LE(eos_received_, std::max<size_t>(fan_in(), 1));
+    if (eos_received_ >= fan_in() && !closed_) {
+      closed_ = true;
+      OnAllInputsClosed(max_eos_timestamp_);
+    }
+    return;
+  }
+  DCHECK(!closed_) << DebugString() << " received data after close";
+  if (!StatsCollectionEnabled()) {
+    Process(tuple, port);
+    return;
+  }
+  const TimePoint start = Now();
+  stats().RecordArrival(start);
+  const double saved_child_micros = tl_child_micros;
+  tl_child_micros = 0.0;
+  Process(tuple, port);
+  const double total_micros = static_cast<double>(ToMicros(Now() - start));
+  const double self_micros = std::max(0.0, total_micros - tl_child_micros);
+  stats().RecordProcessed(self_micros);
+  tl_child_micros = saved_child_micros + total_micros;
+}
+
+void Operator::OnAllInputsClosed(AppTime timestamp) { EmitEos(timestamp); }
+
+void Operator::Emit(const Tuple& tuple) {
+  DCHECK(tuple.is_data());
+  if (StatsCollectionEnabled()) stats().RecordEmitted(1);
+  for (const auto& edge : outputs()) {
+    edge.target->Receive(tuple, edge.port);
+  }
+}
+
+void Operator::EmitTo(size_t output_index, const Tuple& tuple) {
+  DCHECK(tuple.is_data());
+  DCHECK_LT(output_index, outputs().size());
+  if (StatsCollectionEnabled()) stats().RecordEmitted(1);
+  const OutEdge& edge = outputs()[output_index];
+  edge.target->Receive(tuple, edge.port);
+}
+
+void Operator::EmitEos(AppTime timestamp) {
+  const Tuple eos = Tuple::EndOfStream(timestamp);
+  for (const auto& edge : outputs()) {
+    edge.target->Receive(eos, edge.port);
+  }
+}
+
+void Operator::Reset() {
+  eos_received_ = 0;
+  closed_ = false;
+  max_eos_timestamp_ = 0;
+}
+
+}  // namespace flexstream

@@ -1,0 +1,102 @@
+// The push-based operator base class with direct interoperability (DI).
+//
+// Section 2.4 of the paper: "we let an operator invoke its successors.
+// Therefore, an incoming element at an operator triggers a chain reaction,
+// resulting in a depth first traversal of the graph." Emit() is that
+// invocation — it calls Receive() on every subscriber in the current
+// thread. Decoupling only happens where a QueueOp (queue/queue_op.h) is
+// wired in; everything between two queues forms a virtual operator
+// (Section 3.3) automatically.
+//
+// Threading contract: a non-queue operator is only ever executed by one
+// thread at a time (the thread driving its partition). Queue operators
+// override Receive with a thread-safe implementation and are the only legal
+// cross-thread boundaries.
+
+#ifndef FLEXSTREAM_OPERATORS_OPERATOR_H_
+#define FLEXSTREAM_OPERATORS_OPERATOR_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "graph/node.h"
+#include "tuple/tuple.h"
+
+namespace flexstream {
+
+/// Globally enables/disables online statistics collection (cost,
+/// inter-arrival, selectivity). Enabled by default; throughput benchmarks
+/// that compare raw scheduling overheads switch it off so all modes pay
+/// identical bookkeeping (none).
+void SetStatsCollectionEnabled(bool enabled);
+bool StatsCollectionEnabled();
+
+class Operator : public Node {
+ public:
+  Operator(Kind kind, std::string name, int input_arity);
+
+  /// Delivers `tuple` on input `port` in the calling thread.
+  ///
+  /// The default implementation:
+  ///  * data tuple: records arrival + processing-cost statistics and calls
+  ///    Process(). Cost accounting measures *self* time — time spent inside
+  ///    downstream Receive() calls triggered by Emit() is attributed to the
+  ///    downstream operators, so c(v) is per-operator as Section 5.1.2
+  ///    requires even though DI executes whole subgraphs in one call stack.
+  ///  * EOS tuple: counts punctuations; once every input edge has delivered
+  ///    EOS, calls OnAllInputsClosed() exactly once.
+  virtual void Receive(const Tuple& tuple, int port);
+
+  /// True once OnAllInputsClosed has run (all inputs delivered EOS).
+  bool closed() const { return closed_; }
+
+  /// Serializes Receive() with an internal mutex. Required only when the
+  /// operator is driven by multiple threads *without* a decoupling queue
+  /// in between — i.e. source-driven execution where several autonomous
+  /// sources push into a shared operator (the Section 6.3 join setup).
+  /// The cost of this lock is part of the "synchronization overhead"
+  /// trade-off the paper discusses; scheduled execution never needs it
+  /// because partitions are single-threaded and queues decouple.
+  void SetSerializedReceive(bool enabled);
+  bool serialized_receive() const { return receive_mutex_ != nullptr; }
+
+  /// Re-arms EOS bookkeeping for a new run. Subclasses clearing operator
+  /// state must call the base implementation.
+  void Reset() override;
+
+ protected:
+  /// Handles one data element from input `port`. Implementations call
+  /// Emit() zero or more times.
+  virtual void Process(const Tuple& tuple, int port) = 0;
+
+  /// Called once when all input edges have closed. The default emits an EOS
+  /// punctuation downstream; stateful operators flush first, sinks signal
+  /// completion. `timestamp` is the max EOS timestamp observed.
+  virtual void OnAllInputsClosed(AppTime timestamp);
+
+  /// Direct interoperability: pushes `tuple` to every subscriber, in
+  /// subscription order, within the current thread.
+  void Emit(const Tuple& tuple);
+
+  /// Pushes `tuple` to the single subscriber at `output_index` (the order
+  /// outputs were connected in). Used by routing operators that partition
+  /// their output stream instead of broadcasting it.
+  void EmitTo(size_t output_index, const Tuple& tuple);
+
+  /// Emits the EOS punctuation downstream (used by OnAllInputsClosed
+  /// overrides after flushing).
+  void EmitEos(AppTime timestamp);
+
+ private:
+  void ReceiveLocked(const Tuple& tuple, int port);
+
+  size_t eos_received_ = 0;
+  bool closed_ = false;
+  AppTime max_eos_timestamp_ = 0;
+  std::unique_ptr<std::mutex> receive_mutex_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_OPERATORS_OPERATOR_H_

@@ -1,0 +1,26 @@
+#include "operators/projection.h"
+
+#include "util/busy_work.h"
+
+namespace flexstream {
+
+Projection::Projection(std::string name, std::vector<size_t> attrs,
+                       double simulated_cost_micros)
+    : Operator(Kind::kOperator, std::move(name), /*input_arity=*/1),
+      attrs_(std::move(attrs)),
+      simulated_cost_micros_(simulated_cost_micros) {}
+
+void Projection::Process(const Tuple& tuple, int port) {
+  (void)port;
+  if (simulated_cost_micros_ > 0.0) BurnMicros(simulated_cost_micros_);
+  if (attrs_.empty()) {
+    Emit(tuple);
+    return;
+  }
+  std::vector<Value> values;
+  values.reserve(attrs_.size());
+  for (size_t a : attrs_) values.push_back(tuple.at(a));
+  Emit(Tuple(std::move(values), tuple.timestamp()));
+}
+
+}  // namespace flexstream

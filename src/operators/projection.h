@@ -1,0 +1,36 @@
+// Projection operator: keeps a subset of attributes (by index), preserving
+// order. Like Selection, can burn a configured per-element CPU cost to
+// model the paper's synthetic workloads (the 2.7 us projection of
+// Section 6.6).
+
+#ifndef FLEXSTREAM_OPERATORS_PROJECTION_H_
+#define FLEXSTREAM_OPERATORS_PROJECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "operators/operator.h"
+
+namespace flexstream {
+
+class Projection : public Operator {
+ public:
+  /// `attrs` lists the input attribute indices to keep, in output order.
+  /// An empty list means identity (keep all attributes) — useful when the
+  /// projection exists purely as a cost stage.
+  Projection(std::string name, std::vector<size_t> attrs,
+             double simulated_cost_micros = 0.0);
+
+  const std::vector<size_t>& attrs() const { return attrs_; }
+
+ protected:
+  void Process(const Tuple& tuple, int port) override;
+
+ private:
+  std::vector<size_t> attrs_;
+  double simulated_cost_micros_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_OPERATORS_PROJECTION_H_

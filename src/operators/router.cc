@@ -1,0 +1,23 @@
+#include "operators/router.h"
+
+#include "util/logging.h"
+
+namespace flexstream {
+
+Router::Router(std::string name, RouteFn route)
+    : Operator(Kind::kOperator, std::move(name), /*input_arity=*/1),
+      route_(std::move(route)) {
+  CHECK(route_ != nullptr);
+}
+
+Router::RouteFn Router::HashAttr(size_t attr) {
+  return [attr](const Tuple& t) { return t.at(attr).Hash(); };
+}
+
+void Router::Process(const Tuple& tuple, int port) {
+  (void)port;
+  if (outputs().empty()) return;
+  EmitTo(route_(tuple) % outputs().size(), tuple);
+}
+
+}  // namespace flexstream

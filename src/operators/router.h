@@ -1,0 +1,40 @@
+// Router: partitions its input stream across its subscribers.
+//
+// Unlike plain fan-out (Emit broadcasts to every subscriber — the
+// subquery-sharing pattern of Figure 1), a Router sends each element to
+// exactly one subscriber, selected by a user routing function. This is
+// the building block for splitting a hot stream across parallel
+// sub-pipelines that separate HMTS partitions can then execute.
+
+#ifndef FLEXSTREAM_OPERATORS_ROUTER_H_
+#define FLEXSTREAM_OPERATORS_ROUTER_H_
+
+#include <functional>
+#include <string>
+
+#include "operators/operator.h"
+
+namespace flexstream {
+
+class Router : public Operator {
+ public:
+  /// The route function returns any non-negative value; the element goes
+  /// to subscriber (value % fan_out). Subscribers are numbered in
+  /// connection order.
+  using RouteFn = std::function<size_t(const Tuple&)>;
+
+  Router(std::string name, RouteFn route);
+
+  /// Routes by hash of one attribute (key partitioning).
+  static RouteFn HashAttr(size_t attr);
+
+ protected:
+  void Process(const Tuple& tuple, int port) override;
+
+ private:
+  RouteFn route_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_OPERATORS_ROUTER_H_

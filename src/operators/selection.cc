@@ -1,0 +1,29 @@
+#include "operators/selection.h"
+
+#include "util/busy_work.h"
+#include "util/logging.h"
+
+namespace flexstream {
+
+Selection::Selection(std::string name, Predicate predicate,
+                     double simulated_cost_micros)
+    : Operator(Kind::kOperator, std::move(name), /*input_arity=*/1),
+      predicate_(std::move(predicate)),
+      simulated_cost_micros_(simulated_cost_micros) {
+  CHECK(predicate_ != nullptr);
+}
+
+Selection::Predicate Selection::IntAttrLessThan(int64_t threshold,
+                                                size_t attr) {
+  return [threshold, attr](const Tuple& t) {
+    return t.IntAt(attr) < threshold;
+  };
+}
+
+void Selection::Process(const Tuple& tuple, int port) {
+  (void)port;
+  if (simulated_cost_micros_ > 0.0) BurnMicros(simulated_cost_micros_);
+  if (predicate_(tuple)) Emit(tuple);
+}
+
+}  // namespace flexstream

@@ -1,0 +1,43 @@
+// Selection (filter) operator.
+//
+// The workhorse of the paper's evaluation: Sections 6.4–6.6 build queries
+// from chains of selections with precise selectivities and processing
+// costs. `simulated_cost_micros` burns calibrated CPU per element to model
+// "complex predicate evaluation" (the 2-second selection of Section 6.6).
+
+#ifndef FLEXSTREAM_OPERATORS_SELECTION_H_
+#define FLEXSTREAM_OPERATORS_SELECTION_H_
+
+#include <functional>
+#include <string>
+
+#include "operators/operator.h"
+
+namespace flexstream {
+
+class Selection : public Operator {
+ public:
+  using Predicate = std::function<bool(const Tuple&)>;
+
+  Selection(std::string name, Predicate predicate,
+            double simulated_cost_micros = 0.0);
+
+  /// Convenience: selects tuples whose integer attribute 0 lies in
+  /// [0, threshold) given values uniform in [0, domain) — yielding
+  /// selectivity = threshold / domain exactly as the paper's synthetic
+  /// queries do.
+  static Predicate IntAttrLessThan(int64_t threshold, size_t attr = 0);
+
+  double simulated_cost_micros() const { return simulated_cost_micros_; }
+
+ protected:
+  void Process(const Tuple& tuple, int port) override;
+
+ private:
+  Predicate predicate_;
+  double simulated_cost_micros_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_OPERATORS_SELECTION_H_

@@ -1,0 +1,110 @@
+#include "operators/sink.h"
+
+#include "util/logging.h"
+
+namespace flexstream {
+
+Sink::Sink(std::string name)
+    : Operator(Kind::kSink, std::move(name), kVariadicArity) {}
+
+void Sink::WaitUntilClosed() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return done_; });
+}
+
+bool Sink::WaitUntilClosedFor(Duration timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return cv_.wait_for(lock, timeout, [&] { return done_; });
+}
+
+void Sink::Reset() {
+  Operator::Reset();
+  std::lock_guard<std::mutex> lock(mutex_);
+  done_ = false;
+}
+
+void Sink::Process(const Tuple& tuple, int port) { Consume(tuple, port); }
+
+void Sink::OnAllInputsClosed(AppTime timestamp) {
+  (void)timestamp;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+CountingSink::CountingSink(std::string name) : Sink(std::move(name)) {}
+
+void CountingSink::StartTimeline(TimePoint start) {
+  std::lock_guard<std::mutex> lock(timeline_mutex_);
+  timeline_enabled_ = true;
+  timeline_start_ = start;
+  timeline_.clear();
+}
+
+std::vector<std::pair<double, int64_t>> CountingSink::TakeTimeline() {
+  std::lock_guard<std::mutex> lock(timeline_mutex_);
+  timeline_enabled_ = false;
+  return std::move(timeline_);
+}
+
+void CountingSink::Reset() {
+  Sink::Reset();
+  count_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(timeline_mutex_);
+  timeline_.clear();
+}
+
+void CountingSink::Consume(const Tuple& tuple, int port) {
+  (void)tuple;
+  (void)port;
+  const int64_t n = count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (timeline_enabled_) {
+    std::lock_guard<std::mutex> lock(timeline_mutex_);
+    if (timeline_enabled_) {
+      timeline_.emplace_back(ToSeconds(Now() - timeline_start_), n);
+    }
+  }
+}
+
+CollectingSink::CollectingSink(std::string name) : Sink(std::move(name)) {}
+
+std::vector<Tuple> CollectingSink::TakeResults() {
+  std::lock_guard<std::mutex> lock(results_mutex_);
+  return std::move(results_);
+}
+
+std::vector<Tuple> CollectingSink::Results() const {
+  std::lock_guard<std::mutex> lock(results_mutex_);
+  return results_;
+}
+
+size_t CollectingSink::size() const {
+  std::lock_guard<std::mutex> lock(results_mutex_);
+  return results_.size();
+}
+
+void CollectingSink::Reset() {
+  Sink::Reset();
+  std::lock_guard<std::mutex> lock(results_mutex_);
+  results_.clear();
+}
+
+void CollectingSink::Consume(const Tuple& tuple, int port) {
+  (void)port;
+  std::lock_guard<std::mutex> lock(results_mutex_);
+  results_.push_back(tuple);
+}
+
+CallbackSink::CallbackSink(std::string name,
+                           std::function<void(const Tuple&, int)> callback)
+    : Sink(std::move(name)), callback_(std::move(callback)) {
+  CHECK(callback_ != nullptr);
+}
+
+void CallbackSink::Consume(const Tuple& tuple, int port) {
+  callback_(tuple, port);
+}
+
+}  // namespace flexstream

@@ -1,0 +1,110 @@
+// Sinks: nodes that only consume data (Section 2.1).
+//
+// Sinks are the observation points of every experiment: they count or
+// collect results, record arrival times for the "early results" series of
+// Figure 10, and let callers block until the stream has fully terminated.
+
+#ifndef FLEXSTREAM_OPERATORS_SINK_H_
+#define FLEXSTREAM_OPERATORS_SINK_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "operators/operator.h"
+
+namespace flexstream {
+
+/// Base sink: tracks completion and lets callers wait for it. Subclasses
+/// implement Consume(). Consume runs in whichever thread executes the
+/// sink's partition; the completion signal is thread-safe.
+class Sink : public Operator {
+ public:
+  explicit Sink(std::string name);
+
+  /// Blocks until the sink has seen EOS on all inputs.
+  void WaitUntilClosed();
+
+  /// Like WaitUntilClosed with a timeout; returns false on timeout.
+  bool WaitUntilClosedFor(Duration timeout);
+
+  void Reset() override;
+
+ protected:
+  void Process(const Tuple& tuple, int port) override;
+  void OnAllInputsClosed(AppTime timestamp) override;
+
+  virtual void Consume(const Tuple& tuple, int port) = 0;
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+};
+
+/// Counts results; optionally timestamps every arrival relative to a start
+/// point so benches can print cumulative-results-over-time series (Fig 10).
+class CountingSink : public Sink {
+ public:
+  explicit CountingSink(std::string name);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Enables per-arrival time recording relative to `start`.
+  void StartTimeline(TimePoint start);
+  /// (seconds since start, cumulative count) samples, one per arrival.
+  std::vector<std::pair<double, int64_t>> TakeTimeline();
+
+  void Reset() override;
+
+ protected:
+  void Consume(const Tuple& tuple, int port) override;
+
+ private:
+  std::atomic<int64_t> count_{0};
+  std::mutex timeline_mutex_;
+  bool timeline_enabled_ = false;
+  TimePoint timeline_start_{};
+  std::vector<std::pair<double, int64_t>> timeline_;
+};
+
+/// Stores every received tuple; the store is mutex-protected so tests can
+/// inspect results from the main thread after WaitUntilClosed().
+class CollectingSink : public Sink {
+ public:
+  explicit CollectingSink(std::string name);
+
+  std::vector<Tuple> TakeResults();
+  std::vector<Tuple> Results() const;
+  size_t size() const;
+
+  void Reset() override;
+
+ protected:
+  void Consume(const Tuple& tuple, int port) override;
+
+ private:
+  mutable std::mutex results_mutex_;
+  std::vector<Tuple> results_;
+};
+
+/// Invokes a callback per tuple (for examples and ad-hoc probes).
+class CallbackSink : public Sink {
+ public:
+  CallbackSink(std::string name,
+               std::function<void(const Tuple&, int)> callback);
+
+ protected:
+  void Consume(const Tuple& tuple, int port) override;
+
+ private:
+  std::function<void(const Tuple&, int)> callback_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_OPERATORS_SINK_H_

@@ -1,0 +1,49 @@
+#include "operators/source.h"
+
+#include "util/logging.h"
+
+namespace flexstream {
+
+Source::Source(std::string name)
+    : Operator(Kind::kSource, std::move(name), /*input_arity=*/0) {}
+
+void Source::Push(const Tuple& tuple) {
+  DCHECK(tuple.is_data());
+  DCHECK(!closed_by_driver_) << DebugString() << " pushed after Close";
+  if (StatsCollectionEnabled()) {
+    stats().RecordArrival(Now());
+    stats().RecordProcessed(0.0);
+  }
+  Emit(tuple);
+}
+
+void Source::Close(AppTime timestamp) {
+  if (closed_by_driver_) return;
+  closed_by_driver_ = true;
+  EmitEos(timestamp);
+}
+
+void Source::Reset() {
+  Operator::Reset();
+  closed_by_driver_ = false;
+}
+
+void Source::Process(const Tuple& tuple, int port) {
+  (void)tuple;
+  (void)port;
+  LOG(FATAL) << "sources have no inputs: " << DebugString();
+}
+
+VectorSource::VectorSource(std::string name, std::vector<Tuple> tuples)
+    : Source(std::move(name)), tuples_(std::move(tuples)) {}
+
+void VectorSource::PushAll() {
+  AppTime last_ts = 0;
+  for (const Tuple& t : tuples_) {
+    Push(t);
+    last_ts = t.timestamp();
+  }
+  Close(last_ts);
+}
+
+}  // namespace flexstream

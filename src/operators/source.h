@@ -1,0 +1,61 @@
+// Data sources.
+//
+// Sources "only deliver data" (Section 2.1). They are driven from outside
+// the scheduler — either by an autonomous thread (workload/rate_source.h),
+// or synchronously by tests/benchmarks pushing elements. With DI and no
+// queue after the source, the source's driving thread executes the whole
+// downstream subgraph (the configuration Section 6.3 shows to be unsafe
+// for expensive operators).
+
+#ifndef FLEXSTREAM_OPERATORS_SOURCE_H_
+#define FLEXSTREAM_OPERATORS_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "operators/operator.h"
+
+namespace flexstream {
+
+/// Base class for sources: exposes Push/Close so external drivers can
+/// inject elements.
+class Source : public Operator {
+ public:
+  explicit Source(std::string name);
+
+  /// Delivers one data element downstream (in the calling thread).
+  void Push(const Tuple& tuple);
+
+  /// Emits the end-of-stream punctuation. Idempotent.
+  void Close(AppTime timestamp = 0);
+
+  bool closed_by_driver() const { return closed_by_driver_; }
+
+  void Reset() override;
+
+ protected:
+  void Process(const Tuple& tuple, int port) override;
+
+ private:
+  bool closed_by_driver_ = false;
+};
+
+/// A source over a pre-materialized vector of tuples; PushAll() replays
+/// them in order and closes. Used by tests and oracle computations.
+class VectorSource : public Source {
+ public:
+  VectorSource(std::string name, std::vector<Tuple> tuples);
+
+  /// Replays every tuple then EOS (timestamped with the last element's
+  /// timestamp).
+  void PushAll();
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+ private:
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_OPERATORS_SOURCE_H_

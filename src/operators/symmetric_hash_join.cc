@@ -1,0 +1,80 @@
+#include "operators/symmetric_hash_join.h"
+
+#include "util/logging.h"
+
+namespace flexstream {
+
+SymmetricHashJoin::SymmetricHashJoin(std::string name, AppTime window_micros,
+                                     size_t left_key_attr,
+                                     size_t right_key_attr)
+    : Operator(Kind::kOperator, std::move(name), /*input_arity=*/2),
+      window_micros_(window_micros) {
+  sides_[kLeftPort].key_attr = left_key_attr;
+  sides_[kRightPort].key_attr = right_key_attr;
+}
+
+void SymmetricHashJoin::Reset() {
+  Operator::Reset();
+  for (Side& side : sides_) {
+    side.table.clear();
+    side.expiry.clear();
+    side.stored = 0;
+  }
+}
+
+size_t SymmetricHashJoin::StateSize() const {
+  return sides_[0].stored + sides_[1].stored;
+}
+
+void SymmetricHashJoin::Side::Insert(const Tuple& tuple) {
+  const Value key = tuple.at(key_attr);
+  table[key].push_back(tuple);
+  expiry.emplace_back(key, tuple.timestamp());
+  ++stored;
+}
+
+void SymmetricHashJoin::Side::ExpireBefore(AppTime watermark) {
+  while (!expiry.empty() && expiry.front().second < watermark) {
+    const Value& key = expiry.front().first;
+    auto it = table.find(key);
+    DCHECK(it != table.end());
+    // Timestamps are monotone per input, so the oldest tuple for this key
+    // is at the front of its bucket.
+    it->second.pop_front();
+    if (it->second.empty()) table.erase(it);
+    expiry.pop_front();
+    --stored;
+  }
+}
+
+void SymmetricHashJoin::Process(const Tuple& tuple, int port) {
+  DCHECK(port == kLeftPort || port == kRightPort);
+  Side& own = sides_[port];
+  Side& other = sides_[1 - port];
+  const AppTime watermark = tuple.timestamp() - window_micros_;
+  own.ExpireBefore(watermark);
+  other.ExpireBefore(watermark);
+  const Value key = tuple.at(own.key_attr);
+  auto it = other.table.find(key);
+  if (it != other.table.end()) {
+    for (const Tuple& match : it->second) {
+      // Explicit window-band check: a pair joins iff each element lies in
+      // the other's window (|delta ts| <= w). Expiration alone is not
+      // enough when the two inputs are drained by different threads and
+      // one side runs ahead — the result multiset must not depend on the
+      // schedule (Section 2.4).
+      if (match.timestamp() < watermark ||
+          match.timestamp() > tuple.timestamp() + window_micros_) {
+        continue;
+      }
+      if (port == kLeftPort) {
+        Emit(Tuple::Concat(tuple, match));
+      } else {
+        Emit(Tuple::Concat(match, tuple));
+      }
+    }
+  }
+  own.Insert(tuple);
+}
+
+}  // namespace flexstream

@@ -1,0 +1,59 @@
+// Binary symmetric hash join (SHJ) over sliding time windows.
+//
+// The join of Section 6.3's decoupling experiment. Each side maintains a
+// hash table keyed on its join attribute plus an expiration queue; an
+// arriving element expires both windows to its watermark, probes the
+// opposite hash table, emits one concatenated result per match, and is
+// inserted into its own side. Output attribute order is always
+// (left-tuple attrs, right-tuple attrs) regardless of which side arrived.
+
+#ifndef FLEXSTREAM_OPERATORS_SYMMETRIC_HASH_JOIN_H_
+#define FLEXSTREAM_OPERATORS_SYMMETRIC_HASH_JOIN_H_
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "operators/operator.h"
+#include "operators/window.h"
+
+namespace flexstream {
+
+class SymmetricHashJoin : public Operator {
+ public:
+  static constexpr int kLeftPort = 0;
+  static constexpr int kRightPort = 1;
+
+  /// `window_micros` is the sliding-window length applied to both sides.
+  /// `left_key_attr` / `right_key_attr` select the equi-join attributes.
+  SymmetricHashJoin(std::string name, AppTime window_micros,
+                    size_t left_key_attr = 0, size_t right_key_attr = 0);
+
+  void Reset() override;
+
+  /// Current number of stored tuples (both windows) — the join's state
+  /// size, one of the memory metrics benchmarks report.
+  size_t StateSize() const;
+
+ protected:
+  void Process(const Tuple& tuple, int port) override;
+
+ private:
+  struct Side {
+    size_t key_attr;
+    std::unordered_map<Value, std::deque<Tuple>, ValueHash> table;
+    // (key, timestamp) in arrival order for expiration.
+    std::deque<std::pair<Value, AppTime>> expiry;
+    size_t stored = 0;
+
+    void Insert(const Tuple& tuple);
+    void ExpireBefore(AppTime watermark);
+  };
+
+  AppTime window_micros_;
+  Side sides_[2];
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_OPERATORS_SYMMETRIC_HASH_JOIN_H_

@@ -1,0 +1,89 @@
+#include "operators/tumbling_aggregate.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace flexstream {
+
+TumblingAggregate::TumblingAggregate(std::string name, Options options)
+    : Operator(Kind::kOperator, std::move(name), /*input_arity=*/1),
+      options_(options) {
+  CHECK_GT(options.window_micros, 0);
+}
+
+void TumblingAggregate::Reset() {
+  Operator::Reset();
+  has_window_ = false;
+  current_window_ = 0;
+  groups_.clear();
+}
+
+double TumblingAggregate::Finish(const GroupState& g) const {
+  switch (options_.kind) {
+    case AggregateKind::kCount:
+      return static_cast<double>(g.count);
+    case AggregateKind::kSum:
+      return g.sum;
+    case AggregateKind::kAvg:
+      return g.count == 0 ? 0.0 : g.sum / static_cast<double>(g.count);
+    case AggregateKind::kMin:
+      return g.min;
+    case AggregateKind::kMax:
+      return g.max;
+  }
+  return 0.0;
+}
+
+void TumblingAggregate::FlushCurrentWindow() {
+  if (!has_window_ || groups_.empty()) {
+    groups_.clear();
+    return;
+  }
+  const AppTime stamp =
+      options_.stamp_window_start
+          ? current_window_ * options_.window_micros
+          : (current_window_ + 1) * options_.window_micros;
+  for (const auto& [key, state] : groups_) {
+    if (options_.group_attr) {
+      Emit(Tuple({key, Value(Finish(state))}, stamp));
+    } else {
+      Emit(Tuple({Value(Finish(state))}, stamp));
+    }
+  }
+  groups_.clear();
+}
+
+void TumblingAggregate::Process(const Tuple& tuple, int port) {
+  (void)port;
+  const AppTime window = WindowIndexOf(tuple.timestamp());
+  if (has_window_ && window != current_window_) {
+    // Tumbling windows require timestamp-monotone input per edge.
+    DCHECK_GT(window, current_window_);
+    FlushCurrentWindow();
+  }
+  has_window_ = true;
+  current_window_ = window;
+  const Value key = options_.group_attr ? tuple.at(*options_.group_attr)
+                                        : Value(int64_t{0});
+  const double v = options_.kind == AggregateKind::kCount
+                       ? 0.0
+                       : tuple.at(options_.value_attr).ToDouble();
+  GroupState& g = groups_[key];
+  if (g.count == 0) {
+    g.min = v;
+    g.max = v;
+  } else {
+    g.min = std::min(g.min, v);
+    g.max = std::max(g.max, v);
+  }
+  ++g.count;
+  g.sum += v;
+}
+
+void TumblingAggregate::OnAllInputsClosed(AppTime timestamp) {
+  FlushCurrentWindow();
+  EmitEos(timestamp);
+}
+
+}  // namespace flexstream

@@ -1,0 +1,65 @@
+// Tumbling-window aggregation.
+//
+// Application time is divided into fixed, non-overlapping windows of
+// `window_micros`; one aggregate tuple per (window, group) is emitted
+// when the window *closes* — i.e. when the first element of a later
+// window arrives (streams are timestamp-monotone per input), or at
+// end-of-stream for the final window. Complements WindowedAggregate
+// (sliding window, one output per input).
+
+#ifndef FLEXSTREAM_OPERATORS_TUMBLING_AGGREGATE_H_
+#define FLEXSTREAM_OPERATORS_TUMBLING_AGGREGATE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "operators/aggregate.h"
+#include "operators/operator.h"
+
+namespace flexstream {
+
+class TumblingAggregate : public Operator {
+ public:
+  struct Options {
+    AggregateKind kind = AggregateKind::kCount;
+    size_t value_attr = 0;
+    std::optional<size_t> group_attr;
+    AppTime window_micros = kMicrosPerSecond;
+    /// Attach the window-start (true) or window-end (false) timestamp to
+    /// emitted aggregates.
+    bool stamp_window_start = false;
+  };
+
+  TumblingAggregate(std::string name, Options options);
+
+  void Reset() override;
+
+ protected:
+  void Process(const Tuple& tuple, int port) override;
+  void OnAllInputsClosed(AppTime timestamp) override;
+
+ private:
+  struct GroupState {
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  AppTime WindowIndexOf(AppTime ts) const {
+    return ts / options_.window_micros;
+  }
+  double Finish(const GroupState& g) const;
+  void FlushCurrentWindow();
+
+  Options options_;
+  bool has_window_ = false;
+  AppTime current_window_ = 0;
+  // Ordered map => deterministic emission order of groups per window.
+  std::map<Value, GroupState> groups_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_OPERATORS_TUMBLING_AGGREGATE_H_

@@ -1,0 +1,13 @@
+#include "operators/union_op.h"
+
+namespace flexstream {
+
+UnionOp::UnionOp(std::string name)
+    : Operator(Kind::kOperator, std::move(name), kVariadicArity) {}
+
+void UnionOp::Process(const Tuple& tuple, int port) {
+  (void)port;
+  Emit(tuple);
+}
+
+}  // namespace flexstream

@@ -1,0 +1,24 @@
+// Union operator: merges any number of input streams into one output
+// stream, preserving per-input order (bag union; no duplicate
+// elimination). Variadic arity — any number of producers may connect.
+
+#ifndef FLEXSTREAM_OPERATORS_UNION_OP_H_
+#define FLEXSTREAM_OPERATORS_UNION_OP_H_
+
+#include <string>
+
+#include "operators/operator.h"
+
+namespace flexstream {
+
+class UnionOp : public Operator {
+ public:
+  explicit UnionOp(std::string name);
+
+ protected:
+  void Process(const Tuple& tuple, int port) override;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_OPERATORS_UNION_OP_H_

@@ -1,0 +1,28 @@
+#include "operators/window.h"
+
+#include "util/logging.h"
+
+namespace flexstream {
+
+SlidingWindow::SlidingWindow(AppTime duration_micros)
+    : duration_micros_(duration_micros) {
+  CHECK_GE(duration_micros, 0);
+}
+
+void SlidingWindow::Add(const Tuple& tuple) {
+  DCHECK(tuple.is_data());
+  DCHECK(contents_.empty() ||
+         contents_.back().timestamp() <= tuple.timestamp())
+      << "window input must be timestamp-monotone";
+  contents_.push_back(tuple);
+}
+
+void SlidingWindow::ExpireBefore(
+    AppTime watermark, const std::function<void(const Tuple&)>& on_expired) {
+  while (!contents_.empty() && contents_.front().timestamp() < watermark) {
+    if (on_expired) on_expired(contents_.front());
+    contents_.pop_front();
+  }
+}
+
+}  // namespace flexstream

@@ -1,0 +1,52 @@
+// Time-based sliding window buffer.
+//
+// Windows in flexstream are defined over *application time* (the timestamp
+// carried in each tuple), so window contents are a deterministic function
+// of the logical stream — experiments can be replayed faster or slower
+// than real time without changing results (see DESIGN.md).
+//
+// Streams are assumed to be timestamp-monotone per input edge; the window
+// expires from the front as the watermark advances. This matches the
+// paper's Section 6.3 setup ("a one minute sliding window").
+
+#ifndef FLEXSTREAM_OPERATORS_WINDOW_H_
+#define FLEXSTREAM_OPERATORS_WINDOW_H_
+
+#include <deque>
+#include <functional>
+
+#include "tuple/tuple.h"
+
+namespace flexstream {
+
+class SlidingWindow {
+ public:
+  /// `duration_micros` is the window length w: a tuple with timestamp ts
+  /// stays in the window while the watermark is <= ts + w.
+  explicit SlidingWindow(AppTime duration_micros);
+
+  void Add(const Tuple& tuple);
+
+  /// Removes all tuples with timestamp < watermark, oldest first, invoking
+  /// `on_expired` (if non-null) for each removed tuple.
+  void ExpireBefore(AppTime watermark,
+                    const std::function<void(const Tuple&)>& on_expired = {});
+
+  /// Watermark for an arrival at time `now`: now - duration.
+  AppTime WatermarkFor(AppTime now) const { return now - duration_micros_; }
+
+  const std::deque<Tuple>& contents() const { return contents_; }
+  size_t size() const { return contents_.size(); }
+  bool empty() const { return contents_.empty(); }
+  AppTime duration_micros() const { return duration_micros_; }
+
+  void Clear() { contents_.clear(); }
+
+ private:
+  AppTime duration_micros_;
+  std::deque<Tuple> contents_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_OPERATORS_WINDOW_H_

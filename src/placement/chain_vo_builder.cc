@@ -1,0 +1,65 @@
+#include "placement/chain_vo_builder.h"
+
+#include <unordered_map>
+
+#include "graph/query_graph.h"
+#include "operators/operator.h"
+#include "sched/chain_strategy.h"
+#include "util/logging.h"
+
+namespace flexstream {
+
+std::vector<std::vector<Node*>> DecomposeIntoChains(const QueryGraph& graph) {
+  Result<std::vector<Node*>> order_or = graph.TopologicalOrder();
+  CHECK(order_or.ok()) << order_or.status();
+  std::vector<std::vector<Node*>> chains;
+  std::unordered_map<const Node*, bool> in_chain;
+  for (Node* node : *order_or) {
+    if (in_chain[node]) continue;
+    // Skip disconnected husks (see static_queue_placement.cc).
+    if (node->fan_in() == 0 && node->fan_out() == 0 && !node->is_source()) {
+      continue;
+    }
+    // A chain head: fan-in != 1, or its single producer branches.
+    const bool is_head =
+        node->fan_in() != 1 || node->inputs()[0].source->fan_out() != 1;
+    if (!is_head) continue;  // will be appended to its producer's chain
+    std::vector<Node*> chain;
+    Node* cur = node;
+    while (true) {
+      chain.push_back(cur);
+      in_chain[cur] = true;
+      if (cur->fan_out() != 1) break;
+      Node* next = static_cast<Node*>(cur->outputs()[0].target);
+      if (next->fan_in() != 1) break;
+      cur = next;
+    }
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+Partitioning ChainVoPlacement(const QueryGraph& graph) {
+  std::unordered_map<const Node*, int> assignment;
+  int next_group = 0;
+  for (const auto& chain : DecomposeIntoChains(graph)) {
+    std::vector<double> costs;
+    std::vector<double> sels;
+    costs.reserve(chain.size());
+    sels.reserve(chain.size());
+    for (const Node* n : chain) {
+      costs.push_back(n->CostMicros());
+      sels.push_back(n->Selectivity());
+    }
+    for (const EnvelopeSegment& segment :
+         ComputeLowerEnvelope(costs, sels)) {
+      const int group = next_group++;
+      for (size_t i = segment.begin; i < segment.end; ++i) {
+        assignment[chain[i]] = group;
+      }
+    }
+  }
+  return Partitioning::FromAssignment(&graph, assignment);
+}
+
+}  // namespace flexstream

@@ -1,0 +1,33 @@
+// VO construction based on the Chain strategy (Figure 11 competitor).
+//
+// Section 6.7: "an algorithm based on the chain strategy [3]. The latter
+// removes queues if they belong to the same chain." Operators that fall
+// into the same lower-envelope segment of their operator chain's progress
+// chart are merged into one virtual operator; queues remain only between
+// segments (and at chain boundaries). Chain segments optimize memory
+// release, not stall avoidance, so the resulting VOs may have strongly
+// negative capacity — exactly what Figure 11 shows.
+
+#ifndef FLEXSTREAM_PLACEMENT_CHAIN_VO_BUILDER_H_
+#define FLEXSTREAM_PLACEMENT_CHAIN_VO_BUILDER_H_
+
+#include <vector>
+
+#include "placement/partitioning.h"
+
+namespace flexstream {
+
+class QueryGraph;
+
+/// Decomposes a queue-free DAG into its maximal unary chains: every node
+/// is in exactly one chain; chains break wherever fan-in or fan-out
+/// differs from 1. Chains are returned in topological order of their
+/// heads.
+std::vector<std::vector<Node*>> DecomposeIntoChains(const QueryGraph& graph);
+
+/// Builds the Chain-based partitioning of `graph` from node metadata.
+Partitioning ChainVoPlacement(const QueryGraph& graph);
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_PLACEMENT_CHAIN_VO_BUILDER_H_

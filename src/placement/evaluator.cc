@@ -1,0 +1,38 @@
+#include "placement/evaluator.h"
+
+#include <cmath>
+
+namespace flexstream {
+
+CapacityReport EvaluateCapacities(const Partitioning& partitioning) {
+  CapacityReport report;
+  report.group_count = partitioning.group_count();
+  double negative_sum = 0.0;
+  double positive_sum = 0.0;
+  for (size_t id = 0; id < partitioning.group_count(); ++id) {
+    const double cap = partitioning.CapacityOf(id);
+    if (!std::isfinite(cap)) {
+      ++report.unbounded_count;
+      continue;
+    }
+    report.total_capacity += cap;
+    if (cap < 0.0) {
+      ++report.negative_count;
+      negative_sum += cap;
+    } else {
+      ++report.positive_count;
+      positive_sum += cap;
+    }
+  }
+  if (report.negative_count > 0) {
+    report.avg_negative_capacity =
+        negative_sum / static_cast<double>(report.negative_count);
+  }
+  if (report.positive_count > 0) {
+    report.avg_positive_capacity =
+        positive_sum / static_cast<double>(report.positive_count);
+  }
+  return report;
+}
+
+}  // namespace flexstream

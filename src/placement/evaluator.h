@@ -1,0 +1,35 @@
+// Capacity evaluation of partitionings — the metric of Figure 11.
+//
+// "Recall that negative capacity means that a VO stalls incoming
+// elements, while a positive capacity means that the VO is not fully
+// utilized. ... The negative and positive capacities are shown
+// separately." (Section 6.7)
+
+#ifndef FLEXSTREAM_PLACEMENT_EVALUATOR_H_
+#define FLEXSTREAM_PLACEMENT_EVALUATOR_H_
+
+#include <cstddef>
+
+#include "placement/partitioning.h"
+
+namespace flexstream {
+
+struct CapacityReport {
+  size_t group_count = 0;
+  /// Groups with cap < 0 / cap >= 0 (finite) / cap == +inf.
+  size_t negative_count = 0;
+  size_t positive_count = 0;
+  size_t unbounded_count = 0;
+  /// Mean capacity over negative-capacity groups (0 when none).
+  double avg_negative_capacity = 0.0;
+  /// Mean capacity over finite non-negative-capacity groups (0 when none).
+  double avg_positive_capacity = 0.0;
+  /// Sum over all finite capacities.
+  double total_capacity = 0.0;
+};
+
+CapacityReport EvaluateCapacities(const Partitioning& partitioning);
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_PLACEMENT_EVALUATOR_H_

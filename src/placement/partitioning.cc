@@ -1,0 +1,130 @@
+#include "placement/partitioning.h"
+
+#include <deque>
+#include <map>
+#include <sstream>
+#include <unordered_set>
+
+#include "graph/query_graph.h"
+#include "operators/operator.h"
+#include "util/logging.h"
+
+namespace flexstream {
+
+Partitioning::Partitioning(const QueryGraph* graph) : graph_(graph) {
+  CHECK(graph != nullptr);
+}
+
+Partitioning Partitioning::FromAssignment(
+    const QueryGraph* graph,
+    const std::unordered_map<const Node*, int>& assignment) {
+  Partitioning p(graph);
+  // Renumber group ids densely, in ascending original-id order for
+  // determinism.
+  std::map<int, std::vector<Node*>> by_id;
+  for (Node* node : graph->nodes()) {
+    const auto it = assignment.find(node);
+    if (it != assignment.end()) by_id[it->second].push_back(node);
+  }
+  for (auto& [id, nodes] : by_id) {
+    (void)id;
+    p.AddGroup(std::move(nodes));
+  }
+  return p;
+}
+
+int Partitioning::AddGroup(std::vector<Node*> nodes) {
+  const int id = static_cast<int>(groups_.size());
+  for (Node* n : nodes) {
+    CHECK(group_of_.find(n) == group_of_.end())
+        << n->DebugString() << " already assigned";
+    group_of_[n] = id;
+  }
+  groups_.push_back(std::move(nodes));
+  return id;
+}
+
+const std::vector<Node*>& Partitioning::group(size_t id) const {
+  CHECK_LT(id, groups_.size());
+  return groups_[id];
+}
+
+int Partitioning::GroupOf(const Node* node) const {
+  const auto it = group_of_.find(node);
+  return it == group_of_.end() ? -1 : it->second;
+}
+
+double Partitioning::CapacityOf(size_t id) const {
+  return CapacityOfNodes(group(id));
+}
+
+std::vector<std::pair<Node*, Operator*>> Partitioning::CrossEdges() const {
+  std::vector<std::pair<Node*, Operator*>> edges;
+  for (Node* node : graph_->nodes()) {
+    const int from_group = GroupOf(node);
+    for (const auto& edge : node->outputs()) {
+      const int to_group = GroupOf(static_cast<const Node*>(edge.target));
+      if (from_group != to_group || from_group == -1) {
+        edges.emplace_back(node, edge.target);
+      }
+    }
+  }
+  return edges;
+}
+
+Status Partitioning::Validate() const {
+  std::unordered_set<const Node*> in_graph(graph_->nodes().begin(),
+                                           graph_->nodes().end());
+  for (size_t id = 0; id < groups_.size(); ++id) {
+    const auto& nodes = groups_[id];
+    if (nodes.empty()) {
+      return Status::Internal("empty group " + std::to_string(id));
+    }
+    std::unordered_set<const Node*> members;
+    for (const Node* n : nodes) {
+      if (!in_graph.count(n)) {
+        return Status::Internal("group node not in graph: " +
+                                n->DebugString());
+      }
+      if (GroupOf(n) != static_cast<int>(id)) {
+        return Status::Internal("inconsistent assignment for " +
+                                n->DebugString());
+      }
+      members.insert(n);
+    }
+    // Weak connectivity over intra-group edges.
+    std::unordered_set<const Node*> visited;
+    std::deque<const Node*> frontier{nodes.front()};
+    while (!frontier.empty()) {
+      const Node* n = frontier.front();
+      frontier.pop_front();
+      if (!visited.insert(n).second) continue;
+      for (const auto& edge : n->outputs()) {
+        const Node* t = static_cast<const Node*>(edge.target);
+        if (members.count(t)) frontier.push_back(t);
+      }
+      for (const auto& edge : n->inputs()) {
+        if (members.count(edge.source)) frontier.push_back(edge.source);
+      }
+    }
+    if (visited.size() != members.size()) {
+      return Status::Internal("group " + std::to_string(id) +
+                              " is not connected");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Partitioning::DebugString() const {
+  std::ostringstream os;
+  os << "Partitioning{" << groups_.size() << " groups\n";
+  for (size_t id = 0; id < groups_.size(); ++id) {
+    os << "  P" << id << " (cap=" << CapacityOf(id) << "):";
+    for (const Node* n : groups_[id]) os << " #" << n->id();
+    os << "\n";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace flexstream

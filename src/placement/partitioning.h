@@ -1,0 +1,71 @@
+// Partitionings of a query graph into virtual operators.
+//
+// Section 5: "From a formal point of view, this is a graph partitioning
+// problem, where each partition corresponds to a VO. ... we additionally
+// require that all nodes in a partition are connected." A Partitioning is
+// a disjoint cover of (a subset of) the graph's nodes by connected groups;
+// edges crossing groups are exactly the edges that receive decoupling
+// queues.
+
+#ifndef FLEXSTREAM_PLACEMENT_PARTITIONING_H_
+#define FLEXSTREAM_PLACEMENT_PARTITIONING_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/node.h"
+#include "stats/capacity.h"
+#include "util/status.h"
+
+namespace flexstream {
+
+class QueryGraph;
+class Operator;
+
+class Partitioning {
+ public:
+  /// An empty partitioning over `graph`.
+  explicit Partitioning(const QueryGraph* graph);
+
+  /// Builds a partitioning from a node -> group-id map (ids need not be
+  /// dense; they are renumbered).
+  static Partitioning FromAssignment(
+      const QueryGraph* graph,
+      const std::unordered_map<const Node*, int>& assignment);
+
+  /// Appends a group; returns its id.
+  int AddGroup(std::vector<Node*> nodes);
+
+  const QueryGraph* graph() const { return graph_; }
+  size_t group_count() const { return groups_.size(); }
+  const std::vector<Node*>& group(size_t id) const;
+  const std::vector<std::vector<Node*>>& groups() const { return groups_; }
+
+  /// Group id of `node`, or -1 when the node is not covered.
+  int GroupOf(const Node* node) const;
+
+  /// cap(P) of one group, from the nodes' c/d metadata.
+  double CapacityOf(size_t id) const;
+
+  /// Edges (u, v) of the graph whose endpoints lie in different groups
+  /// (or where exactly one endpoint is covered) — the queue positions.
+  std::vector<std::pair<Node*, Operator*>> CrossEdges() const;
+
+  /// Checks: every node covered at most once; every group non-empty and
+  /// weakly connected within the graph (treating edges as undirected,
+  /// using only edges internal to the group).
+  Status Validate() const;
+
+  std::string DebugString() const;
+
+ private:
+  const QueryGraph* graph_;
+  std::vector<std::vector<Node*>> groups_;
+  std::unordered_map<const Node*, int> group_of_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_PLACEMENT_PARTITIONING_H_

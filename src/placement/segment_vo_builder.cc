@@ -1,0 +1,34 @@
+#include "placement/segment_vo_builder.h"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "placement/chain_vo_builder.h"
+#include "util/logging.h"
+
+namespace flexstream {
+
+Partitioning SegmentVoPlacement(const QueryGraph& graph) {
+  std::unordered_map<const Node*, int> assignment;
+  int next_group = -1;
+  for (const auto& chain : DecomposeIntoChains(graph)) {
+    bool start_new = true;
+    for (Node* node : chain) {
+      if (start_new) {
+        ++next_group;
+        start_new = false;
+      } else {
+        const double d = node->InterarrivalMicros();
+        const double local_cap =
+            std::isfinite(d) ? d - node->CostMicros()
+                             : std::numeric_limits<double>::infinity();
+        if (local_cap < 0.0) ++next_group;  // operator opens a new segment
+      }
+      assignment[node] = next_group;
+    }
+  }
+  return Partitioning::FromAssignment(&graph, assignment);
+}
+
+}  // namespace flexstream

@@ -1,0 +1,25 @@
+// VO construction based on the simplified Segment strategy of Jiang &
+// Chakravarthy (Figure 11 competitor).
+//
+// Section 6.7 compares against "the algorithm for the simplified segment
+// strategy [10]": an operator path is split into segments with no queues
+// inside a segment. The simplified construction appends an operator to
+// the current segment whenever the operator can locally keep pace with
+// its own input rate (d(v) - c(v) >= 0) and starts a new segment
+// otherwise — it never evaluates the *combined* capacity of the segment,
+// which is why its VOs stall more than Algorithm 1's (Figure 11).
+
+#ifndef FLEXSTREAM_PLACEMENT_SEGMENT_VO_BUILDER_H_
+#define FLEXSTREAM_PLACEMENT_SEGMENT_VO_BUILDER_H_
+
+#include "placement/partitioning.h"
+
+namespace flexstream {
+
+class QueryGraph;
+
+Partitioning SegmentVoPlacement(const QueryGraph& graph);
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_PLACEMENT_SEGMENT_VO_BUILDER_H_

@@ -1,0 +1,110 @@
+#include "placement/static_queue_placement.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/query_graph.h"
+#include "stats/capacity.h"
+#include "util/logging.h"
+
+namespace flexstream {
+namespace {
+
+/// Union-find over node indices whose components carry capacity sums.
+class PartitionForest {
+ public:
+  explicit PartitionForest(const std::vector<Node*>& nodes) {
+    parent_.resize(nodes.size());
+    acc_.resize(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      parent_[i] = i;
+      acc_[i].AddNode(nodes[i]->CostMicros(), nodes[i]->InterarrivalMicros());
+    }
+  }
+
+  size_t Find(size_t i) {
+    while (parent_[i] != i) {
+      parent_[i] = parent_[parent_[i]];
+      i = parent_[i];
+    }
+    return i;
+  }
+
+  /// Capacity the union of the two components would have.
+  double MergedCapacity(size_t a, size_t b) {
+    CapacityAccumulator merged = acc_[Find(a)];
+    merged.Merge(acc_[Find(b)]);
+    return merged.Capacity();
+  }
+
+  double CapacityOf(size_t i) { return acc_[Find(i)].Capacity(); }
+
+  void Union(size_t a, size_t b) {
+    const size_t ra = Find(a);
+    const size_t rb = Find(b);
+    if (ra == rb) return;
+    parent_[rb] = ra;
+    acc_[ra].Merge(acc_[rb]);
+  }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<CapacityAccumulator> acc_;
+};
+
+}  // namespace
+
+Partitioning StaticQueuePlacement(const QueryGraph& graph) {
+  Result<std::vector<Node*>> order_or = graph.TopologicalOrder();
+  CHECK(order_or.ok()) << order_or.status();
+  std::vector<Node*> order;
+  order.reserve(order_or->size());
+  for (Node* node : *order_or) {
+    // Disconnected nodes (e.g. queue husks left behind by a previous
+    // configuration) take no part in placement.
+    if (node->fan_in() == 0 && node->fan_out() == 0 && !node->is_source()) {
+      continue;
+    }
+    CHECK(!node->is_queue())
+        << "StaticQueuePlacement expects a queue-free graph, found "
+        << node->DebugString();
+    order.push_back(node);
+  }
+
+  std::unordered_map<const Node*, size_t> index;
+  for (size_t i = 0; i < order.size(); ++i) {
+    index[order[i]] = i;
+  }
+  PartitionForest forest(order);
+
+  // Bottom-up: for each node, merge producers first-fit-decreasing by
+  // capacity while the combined partition capacity stays non-negative.
+  for (size_t i = 0; i < order.size(); ++i) {
+    Node* node = order[i];
+    std::vector<size_t> producers;
+    producers.reserve(node->fan_in());
+    for (const auto& edge : node->inputs()) {
+      producers.push_back(index.at(edge.source));
+    }
+    std::sort(producers.begin(), producers.end(), [&](size_t a, size_t b) {
+      return forest.CapacityOf(a) > forest.CapacityOf(b);
+    });
+    for (size_t producer : producers) {
+      if (forest.Find(producer) == forest.Find(i)) continue;  // diamond
+      if (forest.MergedCapacity(i, producer) >= 0.0) {
+        forest.Union(i, producer);
+      }
+      // Not merged => the edge producer -> node crosses partitions and
+      // will receive a queue (Partitioning::CrossEdges).
+    }
+  }
+
+  std::unordered_map<const Node*, int> assignment;
+  for (size_t i = 0; i < order.size(); ++i) {
+    assignment[order[i]] = static_cast<int>(forest.Find(i));
+  }
+  return Partitioning::FromAssignment(&graph, assignment);
+}
+
+}  // namespace flexstream

@@ -1,0 +1,41 @@
+// Stall-avoiding static queue placement — Algorithm 1 of the paper
+// (Section 5.1.3).
+//
+// The heuristic traverses the queue-free query graph bottom-up from its
+// sources. For each node it decides which of the node's direct producers
+// to merge into the node's partition: producers are sorted by capacity in
+// descending order and merged first-fit-decreasing while the combined
+// capacity of the partition stays non-negative (cap(P) = d(P) - c(P),
+// Section 5.1.2). Edges to producers that were not merged receive a
+// decoupling queue. The goal: minimize the number of partitions subject
+// to no partition stalling (cap >= 0).
+//
+// Implementation notes vs. the published pseudocode:
+//  * Nodes are processed in topological order, so a producer's partition
+//    membership (and therefore its partition's combined capacity, which
+//    the pseudocode stores via node.setCap) is final before any consumer
+//    inspects it.
+//  * Partitions are maintained with a union-find whose components carry
+//    (sum of costs, sum of inverse inter-arrival times), so merging a
+//    producer merges its whole partition and diamonds are not
+//    double-counted.
+
+#ifndef FLEXSTREAM_PLACEMENT_STATIC_QUEUE_PLACEMENT_H_
+#define FLEXSTREAM_PLACEMENT_STATIC_QUEUE_PLACEMENT_H_
+
+#include "placement/partitioning.h"
+
+namespace flexstream {
+
+class QueryGraph;
+
+/// Computes the stall-avoiding partitioning of `graph` from each node's
+/// c(v)/d(v) metadata (set overrides or run PropagateRates first). The
+/// graph must be queue-free. Every node (sources and sinks included) is
+/// assigned to exactly one group; CrossEdges() of the result are the
+/// queue positions.
+Partitioning StaticQueuePlacement(const QueryGraph& graph);
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_PLACEMENT_STATIC_QUEUE_PLACEMENT_H_

@@ -1,0 +1,186 @@
+#include "pull/onc_operator.h"
+
+#include "util/logging.h"
+
+namespace flexstream {
+
+OncOperator::OncOperator(std::string name) : name_(std::move(name)) {}
+
+OncOperator::~OncOperator() = default;
+
+void OncOperator::Open() { opened_ = true; }
+
+void OncOperator::Close() { opened_ = false; }
+
+PullResult OncOperator::MarkEnd() {
+  ended_ = true;
+  return PullResult::End();
+}
+
+OncBuffer::OncBuffer(std::string name) : OncOperator(std::move(name)) {}
+
+void OncBuffer::Push(Tuple tuple) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DCHECK(!input_closed_);
+  items_.push_back(std::move(tuple));
+}
+
+void OncBuffer::CloseInput() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  input_closed_ = true;
+}
+
+PullResult OncBuffer::Next() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!items_.empty()) {
+    Tuple t = std::move(items_.front());
+    items_.pop_front();
+    return PullResult::Data(std::move(t));
+  }
+  if (input_closed_) return MarkEnd();
+  return PullResult::Pending();
+}
+
+size_t OncBuffer::Size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+OncVectorSource::OncVectorSource(std::string name, std::vector<Tuple> tuples)
+    : OncOperator(std::move(name)), tuples_(std::move(tuples)) {}
+
+PullResult OncVectorSource::Next() {
+  if (cursor_ >= tuples_.size()) return MarkEnd();
+  return PullResult::Data(tuples_[cursor_++]);
+}
+
+OncSelect::OncSelect(std::string name, OncOperator* input,
+                     Predicate predicate)
+    : OncOperator(std::move(name)),
+      input_(input),
+      predicate_(std::move(predicate)) {
+  CHECK(input != nullptr);
+  CHECK(predicate_ != nullptr);
+}
+
+void OncSelect::Open() {
+  input_->Open();
+  OncOperator::Open();
+}
+
+void OncSelect::Close() {
+  input_->Close();
+  OncOperator::Close();
+}
+
+PullResult OncSelect::Next() {
+  // One Next() consumes at most one input element: a filtered-out element
+  // yields kPending ("no result available right now"), keeping pulls
+  // non-blocking and work-bounded.
+  PullResult in = input_->Next();
+  if (in.is_end()) return MarkEnd();
+  if (in.is_pending()) return PullResult::Pending();
+  if (predicate_(in.tuple)) return in;
+  return PullResult::Pending();
+}
+
+bool OncSelect::HasNext() const { return input_->HasNext(); }
+
+OncMap::OncMap(std::string name, OncOperator* input, MapFn fn)
+    : OncOperator(std::move(name)), input_(input), fn_(std::move(fn)) {
+  CHECK(input != nullptr);
+  CHECK(fn_ != nullptr);
+}
+
+void OncMap::Open() {
+  input_->Open();
+  OncOperator::Open();
+}
+
+void OncMap::Close() {
+  input_->Close();
+  OncOperator::Close();
+}
+
+PullResult OncMap::Next() {
+  PullResult in = input_->Next();
+  if (in.is_end()) return MarkEnd();
+  if (in.is_pending()) return PullResult::Pending();
+  return PullResult::Data(fn_(in.tuple));
+}
+
+bool OncMap::HasNext() const { return input_->HasNext(); }
+
+OncUnion::OncUnion(std::string name, std::vector<OncOperator*> inputs)
+    : OncOperator(std::move(name)),
+      inputs_(std::move(inputs)),
+      ended_inputs_(inputs_.size(), false) {
+  CHECK(!inputs_.empty());
+  for (OncOperator* in : inputs_) CHECK(in != nullptr);
+}
+
+void OncUnion::Open() {
+  for (OncOperator* in : inputs_) in->Open();
+  OncOperator::Open();
+}
+
+void OncUnion::Close() {
+  for (OncOperator* in : inputs_) in->Close();
+  OncOperator::Close();
+}
+
+PullResult OncUnion::Next() {
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    const size_t idx = (cursor_ + i) % inputs_.size();
+    if (ended_inputs_[idx]) continue;
+    PullResult r = inputs_[idx]->Next();
+    if (r.is_data()) {
+      cursor_ = (idx + 1) % inputs_.size();
+      return r;
+    }
+    if (r.is_end()) ended_inputs_[idx] = true;
+  }
+  for (bool e : ended_inputs_) {
+    if (!e) return PullResult::Pending();
+  }
+  return MarkEnd();
+}
+
+bool OncUnion::HasNext() const {
+  if (!OncOperator::HasNext()) return false;
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    if (!ended_inputs_[i] && inputs_[i]->HasNext()) return true;
+  }
+  return false;
+}
+
+OncProject::OncProject(std::string name, OncOperator* input,
+                       std::vector<size_t> attrs)
+    : OncOperator(std::move(name)), input_(input), attrs_(std::move(attrs)) {
+  CHECK(input != nullptr);
+}
+
+void OncProject::Open() {
+  input_->Open();
+  OncOperator::Open();
+}
+
+void OncProject::Close() {
+  input_->Close();
+  OncOperator::Close();
+}
+
+PullResult OncProject::Next() {
+  PullResult in = input_->Next();
+  if (in.is_end()) return MarkEnd();
+  if (in.is_pending()) return PullResult::Pending();
+  if (attrs_.empty()) return in;
+  std::vector<Value> values;
+  values.reserve(attrs_.size());
+  for (size_t a : attrs_) values.push_back(in.tuple.at(a));
+  return PullResult::Data(Tuple(std::move(values), in.tuple.timestamp()));
+}
+
+bool OncProject::HasNext() const { return input_->HasNext(); }
+
+}  // namespace flexstream

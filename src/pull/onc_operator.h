@@ -1,0 +1,191 @@
+// Pull-based (open-next-close) operators with the DSMS-adapted semantics
+// of Section 2.2.
+//
+// Classic ONC iterators are ambiguous in a streaming setting: "the result
+// false [of hasNext] can mean that currently no element is in the
+// operator's input queues ... as well as that no element will be delivered
+// anymore." Following the paper's resolution, Next() distinguishes the two
+// cases explicitly:
+//
+//   kData     — a data element,
+//   kPending  — "currently no element" (the special element that only
+//               carries this information),
+//   kEnd      — no element will ever be delivered again.
+//
+// Pull operators form *trees*: each operator reads from its child(ren)
+// and is read by exactly one consumer. This structural restriction — and
+// the resulting inability to share subqueries inside a pull-based VO — is
+// precisely the argument of Section 3.4 for the push-based approach.
+
+#ifndef FLEXSTREAM_PULL_ONC_OPERATOR_H_
+#define FLEXSTREAM_PULL_ONC_OPERATOR_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tuple/tuple.h"
+
+namespace flexstream {
+
+struct PullResult {
+  enum class Kind { kData, kPending, kEnd };
+  Kind kind = Kind::kPending;
+  Tuple tuple;
+
+  static PullResult Data(Tuple t) {
+    return {Kind::kData, std::move(t)};
+  }
+  static PullResult Pending() { return {Kind::kPending, Tuple()}; }
+  static PullResult End() { return {Kind::kEnd, Tuple()}; }
+
+  bool is_data() const { return kind == Kind::kData; }
+  bool is_pending() const { return kind == Kind::kPending; }
+  bool is_end() const { return kind == Kind::kEnd; }
+};
+
+class OncOperator {
+ public:
+  explicit OncOperator(std::string name);
+  virtual ~OncOperator();
+
+  OncOperator(const OncOperator&) = delete;
+  OncOperator& operator=(const OncOperator&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Prepares the operator (recursively opens children). Idempotent.
+  virtual void Open();
+
+  /// Pulls the next result. Never blocks: returns kPending when no
+  /// element is currently available.
+  virtual PullResult Next() = 0;
+
+  /// hasNext with the repaired semantics: false iff no element will ever
+  /// be delivered again (Section 2.2). Default: true until Next() has
+  /// returned kEnd.
+  virtual bool HasNext() const { return !ended_; }
+
+  /// Releases resources (recursively closes children). Idempotent.
+  virtual void Close();
+
+  bool opened() const { return opened_; }
+
+ protected:
+  /// Subclasses call this when emitting kEnd so HasNext flips.
+  PullResult MarkEnd();
+
+  bool opened_ = false;
+
+ private:
+  std::string name_;
+  bool ended_ = false;
+};
+
+/// Leaf: a thread-safe buffer that external producers feed; the pull tree
+/// reads from it. The pull-side analogue of QueueOp.
+class OncBuffer : public OncOperator {
+ public:
+  explicit OncBuffer(std::string name);
+
+  /// Producer side (thread-safe).
+  void Push(Tuple tuple);
+  void CloseInput();
+
+  PullResult Next() override;
+
+  size_t Size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<Tuple> items_;
+  bool input_closed_ = false;
+};
+
+/// Leaf over a pre-materialized vector (for tests and examples).
+class OncVectorSource : public OncOperator {
+ public:
+  OncVectorSource(std::string name, std::vector<Tuple> tuples);
+
+  PullResult Next() override;
+
+ private:
+  std::vector<Tuple> tuples_;
+  size_t cursor_ = 0;
+};
+
+/// Pull-based selection.
+class OncSelect : public OncOperator {
+ public:
+  using Predicate = std::function<bool(const Tuple&)>;
+
+  OncSelect(std::string name, OncOperator* input, Predicate predicate);
+
+  void Open() override;
+  void Close() override;
+  PullResult Next() override;
+  bool HasNext() const override;
+
+ private:
+  OncOperator* input_;
+  Predicate predicate_;
+};
+
+/// Pull-based map: one output tuple per input tuple.
+class OncMap : public OncOperator {
+ public:
+  using MapFn = std::function<Tuple(const Tuple&)>;
+
+  OncMap(std::string name, OncOperator* input, MapFn fn);
+
+  void Open() override;
+  void Close() override;
+  PullResult Next() override;
+  bool HasNext() const override;
+
+ private:
+  OncOperator* input_;
+  MapFn fn_;
+};
+
+/// Pull-based bag union over any number of children. One Next() polls the
+/// children round-robin and returns the first data element found; it
+/// reports pending when every child is currently pending and end once
+/// every child has ended.
+class OncUnion : public OncOperator {
+ public:
+  OncUnion(std::string name, std::vector<OncOperator*> inputs);
+
+  void Open() override;
+  void Close() override;
+  PullResult Next() override;
+  bool HasNext() const override;
+
+ private:
+  std::vector<OncOperator*> inputs_;
+  std::vector<bool> ended_inputs_;
+  size_t cursor_ = 0;
+};
+
+/// Pull-based projection (attribute subset, empty = identity).
+class OncProject : public OncOperator {
+ public:
+  OncProject(std::string name, OncOperator* input,
+             std::vector<size_t> attrs);
+
+  void Open() override;
+  void Close() override;
+  PullResult Next() override;
+  bool HasNext() const override;
+
+ private:
+  OncOperator* input_;
+  std::vector<size_t> attrs_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_PULL_ONC_OPERATOR_H_

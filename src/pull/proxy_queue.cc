@@ -1,0 +1,14 @@
+#include "pull/proxy_queue.h"
+
+#include "util/logging.h"
+
+namespace flexstream {
+
+ProxyQueue::ProxyQueue(std::string name, OncOperator* source)
+    : name_(std::move(name)), source_(source) {
+  CHECK(source != nullptr);
+}
+
+PullResult ProxyQueue::Dequeue() { return source_->Next(); }
+
+}  // namespace flexstream

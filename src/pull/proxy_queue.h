@@ -1,0 +1,46 @@
+// Proxy queues for pull-based virtual operators (Section 3.2).
+//
+// "For a given set of operators that are to build a VO, we replace ... all
+// queues between them with special queues, called proxies. The dequeue
+// method of a proxy reads the next element of its source until it either
+// reads a data element or it reads a special element, which indicates that
+// currently no element is available."
+//
+// A ProxyQueue therefore looks like a queue to its consumer but holds no
+// storage: Dequeue() transparently pulls through to the producing ONC
+// operator.
+
+#ifndef FLEXSTREAM_PULL_PROXY_QUEUE_H_
+#define FLEXSTREAM_PULL_PROXY_QUEUE_H_
+
+#include <string>
+
+#include "pull/onc_operator.h"
+
+namespace flexstream {
+
+class ProxyQueue {
+ public:
+  ProxyQueue(std::string name, OncOperator* source);
+
+  const std::string& name() const { return name_; }
+
+  /// Reads from the source until a data element, the "currently
+  /// unavailable" signal, or end-of-stream arrives. Because a pull
+  /// operator may legitimately report pending many times in a row (e.g. a
+  /// selection discarding elements), the proxy loops only while the
+  /// source makes *progress*; a pending result is returned to the caller
+  /// as-is (it is the special element of Section 2.2).
+  PullResult Dequeue();
+
+  /// Always true: a proxy stores nothing.
+  bool Empty() const { return true; }
+
+ private:
+  std::string name_;
+  OncOperator* source_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_PULL_PROXY_QUEUE_H_

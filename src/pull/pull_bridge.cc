@@ -1,0 +1,65 @@
+#include "pull/pull_bridge.h"
+
+#include "util/logging.h"
+
+namespace flexstream {
+
+PullVoOperator::PullVoOperator(std::string name, std::unique_ptr<PullVo> vo,
+                               std::vector<OncBuffer*> inputs)
+    : Operator(Kind::kOperator, std::move(name),
+               static_cast<int>(inputs.size())),
+      vo_(std::move(vo)),
+      inputs_(std::move(inputs)) {
+  CHECK(vo_ != nullptr);
+  CHECK(!inputs_.empty());
+  Result<OncOperator*> root = vo_->Root();
+  CHECK(root.ok()) << root.status();
+  root_ = *root;
+  root_->Open();
+}
+
+void PullVoOperator::Reset() {
+  Operator::Reset();
+  // ONC operators are stateless filters/projections in this library; the
+  // buffers are drained within each Process call, so nothing persists.
+}
+
+void PullVoOperator::Process(const Tuple& tuple, int port) {
+  DCHECK_GE(port, 0);
+  DCHECK_LT(static_cast<size_t>(port), inputs_.size());
+  inputs_[static_cast<size_t>(port)]->Push(tuple);
+  DrainRoot();
+}
+
+void PullVoOperator::OnAllInputsClosed(AppTime timestamp) {
+  // Propagate end-of-stream into the pull side, drain everything the VO
+  // can still produce (pending results no longer mean "come back later"
+  // once the inputs are closed), then close downstream.
+  for (OncBuffer* buffer : inputs_) buffer->CloseInput();
+  while (root_->HasNext()) {
+    PullResult r = root_->Next();
+    if (r.is_data()) {
+      Emit(std::move(r.tuple));
+    } else if (r.is_end()) {
+      break;
+    }
+    // kPending with closed inputs: a discarded element; keep pulling.
+  }
+  root_->Close();
+  EmitEos(timestamp);
+}
+
+void PullVoOperator::DrainRoot() {
+  while (true) {
+    PullResult r = root_->Next();
+    if (r.is_data()) {
+      Emit(std::move(r.tuple));
+      continue;
+    }
+    // kPending: nothing more right now (a filtered element or an empty
+    // buffer); kEnd: the VO is exhausted. Either way this drain is done.
+    break;
+  }
+}
+
+}  // namespace flexstream

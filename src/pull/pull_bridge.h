@@ -1,0 +1,51 @@
+// Bridging pull-based VOs into push-based query graphs.
+//
+// Section 3.3: "If the push-based approach relies on queues, the concept
+// [virtual operators] can be implemented with proxies analogously to the
+// pull-based approach." PullVoOperator is that construction: a push
+// operator whose implementation is an entire pull-based VO. Arriving
+// elements are fed into per-port OncBuffers (the VO's leaves); the
+// operator then pulls the VO's root until it reports pending, emitting
+// every produced element downstream. Because the buffers drain within the
+// same Process call, the VO adds no queueing delay — it behaves like any
+// other virtual operator from the scheduler's point of view.
+
+#ifndef FLEXSTREAM_PULL_PULL_BRIDGE_H_
+#define FLEXSTREAM_PULL_PULL_BRIDGE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "operators/operator.h"
+#include "pull/onc_operator.h"
+#include "pull/pull_vo.h"
+
+namespace flexstream {
+
+class PullVoOperator : public Operator {
+ public:
+  /// Takes ownership of a PullVo whose leaves include `inputs` — one
+  /// OncBuffer per input port, in port order. The VO must have a unique
+  /// root. Elements received on port p are pushed into inputs[p].
+  PullVoOperator(std::string name, std::unique_ptr<PullVo> vo,
+                 std::vector<OncBuffer*> inputs);
+
+  void Reset() override;
+
+ protected:
+  void Process(const Tuple& tuple, int port) override;
+  void OnAllInputsClosed(AppTime timestamp) override;
+
+ private:
+  /// Pulls the root until pending/end, emitting all data produced.
+  void DrainRoot();
+
+  std::unique_ptr<PullVo> vo_;
+  std::vector<OncBuffer*> inputs_;
+  OncOperator* root_ = nullptr;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_PULL_PULL_BRIDGE_H_

@@ -1,0 +1,59 @@
+#include "pull/pull_vo.h"
+
+#include "util/logging.h"
+
+namespace flexstream {
+
+PullVo::PullVo(std::string name) : name_(std::move(name)) {}
+
+Status PullVo::Link(OncOperator* child, OncOperator* parent) {
+  CHECK(child != nullptr && parent != nullptr);
+  if (has_consumer_.count(child)) {
+    return Status::FailedPrecondition(
+        "pull operator '" + child->name() +
+        "' already has a consumer; pull-based VOs are limited to trees "
+        "and cannot share subqueries (Section 3.4)");
+  }
+  has_consumer_.insert(child);
+  return Status::Ok();
+}
+
+Result<OncOperator*> PullVo::Root() const {
+  OncOperator* root = nullptr;
+  for (const auto& op : ops_) {
+    if (has_consumer_.count(op.get())) continue;
+    if (root != nullptr) {
+      return Status::FailedPrecondition(
+          "pull VO has multiple roots: '" + root->name() + "' and '" +
+          op->name() + "'");
+    }
+    root = op.get();
+  }
+  if (root == nullptr) {
+    return Status::FailedPrecondition("pull VO has no root");
+  }
+  return root;
+}
+
+std::vector<Tuple> PullVo::DrainAll() {
+  Result<OncOperator*> root_or = Root();
+  CHECK(root_or.ok()) << root_or.status();
+  OncOperator* root = *root_or;
+  root->Open();
+  std::vector<Tuple> results;
+  last_pending_count_ = 0;
+  while (root->HasNext()) {
+    PullResult r = root->Next();
+    if (r.is_data()) {
+      results.push_back(std::move(r.tuple));
+    } else if (r.is_pending()) {
+      ++last_pending_count_;
+    } else {
+      break;
+    }
+  }
+  root->Close();
+  return results;
+}
+
+}  // namespace flexstream

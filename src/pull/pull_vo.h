@@ -1,0 +1,63 @@
+// Pull-based virtual operators (Section 3.2).
+//
+// A PullVo owns a tree of ONC operators connected through proxies and
+// exposes the tree's unique root: "in the final step, we make sure that
+// the scheduler only calls the next method for the root of the VO."
+// The tree restriction is enforced structurally — each operator is
+// registered with exactly one consumer — which is the pull paradigm's
+// fundamental limitation compared to push-based VOs (Section 3.4).
+
+#ifndef FLEXSTREAM_PULL_PULL_VO_H_
+#define FLEXSTREAM_PULL_PULL_VO_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "pull/onc_operator.h"
+#include "util/status.h"
+
+namespace flexstream {
+
+class PullVo {
+ public:
+  explicit PullVo(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// Transfers ownership of an operator into the VO and returns it.
+  template <typename T, typename... Args>
+  T* Add(Args&&... args) {
+    auto op = std::make_unique<T>(std::forward<Args>(args)...);
+    T* ptr = op.get();
+    ops_.push_back(std::move(op));
+    return ptr;
+  }
+
+  /// Declares `child` an input of `parent`. Fails if `child` already has a
+  /// consumer — pull-based VOs cannot share subqueries (Section 3.4).
+  Status Link(OncOperator* child, OncOperator* parent);
+
+  /// The unique operator without a consumer. Fails unless exactly one
+  /// exists (the tree's root).
+  Result<OncOperator*> Root() const;
+
+  /// Opens all operators, then repeatedly pulls the root. Returns all data
+  /// elements produced until end-of-stream. Pending results are counted
+  /// (they model wasted scheduler invocations) but not returned.
+  std::vector<Tuple> DrainAll();
+
+  /// Pending results observed by the last DrainAll().
+  int64_t last_pending_count() const { return last_pending_count_; }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<OncOperator>> ops_;
+  std::unordered_set<const OncOperator*> has_consumer_;
+  int64_t last_pending_count_ = 0;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_PULL_PULL_VO_H_

@@ -1,0 +1,126 @@
+#include "queue/queue_op.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/logging.h"
+
+namespace flexstream {
+namespace {
+
+/// Global arrival counter shared by all queues: gives FIFO scheduling a
+/// total order over elements across queues (Section 6.6's FIFO strategy).
+std::atomic<uint64_t> g_arrival_seq{0};
+
+}  // namespace
+
+QueueOp::QueueOp(std::string name)
+    : Operator(Kind::kQueue, std::move(name), kVariadicArity) {}
+
+void QueueOp::Receive(const Tuple& tuple, int port) {
+  (void)port;
+  bool notify = false;
+  std::function<void()> listener;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    listener = listener_;
+    if (tuple.is_eos()) {
+      max_eos_timestamp_ = std::max(max_eos_timestamp_, tuple.timestamp());
+      ++eos_received_;
+      if (eos_received_ >= fan_in() && !eos_enqueued_) {
+        input_closed_ = true;
+        eos_enqueued_ = true;
+        items_.push_back({Tuple::EndOfStream(max_eos_timestamp_),
+                          g_arrival_seq.fetch_add(1,
+                                                  std::memory_order_relaxed)});
+        notify = true;
+      }
+    } else {
+      DCHECK(!input_closed_) << DebugString() << " data after close";
+      if (StatsCollectionEnabled()) stats().RecordArrival(Now());
+      items_.push_back(
+          {tuple, g_arrival_seq.fetch_add(1, std::memory_order_relaxed)});
+      ++data_count_;
+      peak_size_ = std::max(peak_size_, data_count_);
+      notify = true;
+    }
+  }
+  if (notify && listener) listener();
+}
+
+size_t QueueOp::DrainBatch(size_t max_elements) {
+  size_t drained = 0;
+  while (drained < max_elements) {
+    Tuple tuple;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.empty()) break;
+      tuple = std::move(items_.front().tuple);
+      items_.pop_front();
+      if (tuple.is_data()) {
+        --data_count_;
+      } else {
+        eos_forwarded_ = true;
+      }
+    }
+    if (tuple.is_eos()) {
+      EmitEos(tuple.timestamp());
+      break;
+    }
+    ++drained;
+    if (StatsCollectionEnabled()) stats().RecordProcessed(0.0);
+    Emit(tuple);
+  }
+  return drained;
+}
+
+size_t QueueOp::Size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_count_;
+}
+
+size_t QueueOp::PeakSize() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_size_;
+}
+
+bool QueueOp::InputClosed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return input_closed_;
+}
+
+bool QueueOp::Exhausted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return eos_forwarded_ && items_.empty();
+}
+
+uint64_t QueueOp::HeadSeq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_.empty() ? kNoSeq : items_.front().seq;
+}
+
+void QueueOp::SetEnqueueListener(std::function<void()> listener) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  listener_ = std::move(listener);
+}
+
+void QueueOp::Reset() {
+  Operator::Reset();
+  std::lock_guard<std::mutex> lock(mutex_);
+  items_.clear();
+  data_count_ = 0;
+  peak_size_ = 0;
+  eos_received_ = 0;
+  input_closed_ = false;
+  eos_enqueued_ = false;
+  eos_forwarded_ = false;
+  max_eos_timestamp_ = 0;
+}
+
+void QueueOp::Process(const Tuple& tuple, int port) {
+  (void)tuple;
+  (void)port;
+  LOG(FATAL) << "QueueOp::Process must never be called";
+}
+
+}  // namespace flexstream

@@ -1,0 +1,96 @@
+// The decoupling queue, modeled as an operator (Section 2.4: "we have
+// modeled queues as separate operators. ... queues do not have an impact on
+// the semantics, but are only introduced for performance reasons").
+//
+// A QueueOp is the only legal cross-thread boundary in a query graph:
+//  * Receive() is thread-safe and may be called by any number of upstream
+//    producers (it enqueues).
+//  * DrainBatch() is called by exactly one consumer — the thread of the
+//    partition that owns the queue — and pushes dequeued elements into the
+//    downstream subgraph with DI.
+//
+// End-of-stream: the queue counts EOS punctuations from its producers and
+// appends a single EOS item once the last producer has closed, so the
+// punctuation is totally ordered after all data. Draining that item
+// forwards EOS downstream exactly once.
+
+#ifndef FLEXSTREAM_QUEUE_QUEUE_OP_H_
+#define FLEXSTREAM_QUEUE_QUEUE_OP_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <string>
+
+#include "operators/operator.h"
+
+namespace flexstream {
+
+class QueueOp : public Operator {
+ public:
+  /// Sequence number reported for an empty queue.
+  static constexpr uint64_t kNoSeq = std::numeric_limits<uint64_t>::max();
+
+  explicit QueueOp(std::string name);
+
+  /// Thread-safe enqueue (data) / producer-close bookkeeping (EOS).
+  void Receive(const Tuple& tuple, int port) override;
+
+  /// Dequeues up to `max_elements` data elements (plus a trailing EOS if it
+  /// becomes due) and pushes them downstream in the calling thread.
+  /// Returns the number of data elements drained. Single-consumer.
+  size_t DrainBatch(size_t max_elements);
+
+  /// Current number of queued data elements.
+  size_t Size() const;
+  bool Empty() const { return Size() == 0; }
+
+  /// Largest Size() ever observed (updated on enqueue).
+  size_t PeakSize() const;
+
+  /// True once all producers have delivered EOS (the EOS item may still be
+  /// queued behind data).
+  bool InputClosed() const;
+
+  /// True once the EOS punctuation has been pushed downstream and the
+  /// queue is empty — this queue will never produce work again.
+  bool Exhausted() const;
+
+  /// Global arrival sequence number of the head element, or kNoSeq when
+  /// empty. FIFO scheduling picks the queue with the smallest head
+  /// sequence, which totally orders elements across all queues by arrival.
+  uint64_t HeadSeq() const;
+
+  /// Installs a callback invoked (outside the queue lock) after every
+  /// enqueue — partitions use it to wake their worker thread.
+  void SetEnqueueListener(std::function<void()> listener);
+
+  void Reset() override;
+
+ protected:
+  /// Never called: QueueOp overrides Receive entirely.
+  void Process(const Tuple& tuple, int port) override;
+
+ private:
+  struct Item {
+    Tuple tuple;
+    uint64_t seq;
+  };
+
+  mutable std::mutex mutex_;
+  std::deque<Item> items_;
+  size_t data_count_ = 0;
+  size_t peak_size_ = 0;
+  size_t eos_received_ = 0;
+  bool input_closed_ = false;
+  bool eos_enqueued_ = false;
+  bool eos_forwarded_ = false;
+  AppTime max_eos_timestamp_ = 0;
+  std::function<void()> listener_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_QUEUE_QUEUE_OP_H_

@@ -1,0 +1,137 @@
+#include "sched/chain_strategy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "operators/operator.h"
+#include "util/logging.h"
+
+namespace flexstream {
+namespace {
+
+// Costs of 0 (unprofiled operators) would make progress-chart abscissas
+// coincide; clamp to a small positive epsilon.
+constexpr double kMinCostMicros = 1e-3;
+
+}  // namespace
+
+std::vector<EnvelopeSegment> ComputeLowerEnvelope(
+    const std::vector<double>& costs, const std::vector<double>& sels) {
+  CHECK_EQ(costs.size(), sels.size());
+  const size_t k = costs.size();
+  std::vector<double> t(k + 1, 0.0);
+  std::vector<double> q(k + 1, 1.0);
+  for (size_t i = 1; i <= k; ++i) {
+    t[i] = t[i - 1] + std::max(costs[i - 1], kMinCostMicros);
+    q[i] = q[i - 1] * std::max(sels[i - 1], 0.0);
+  }
+  std::vector<EnvelopeSegment> segments;
+  size_t cur = 0;
+  while (cur < k) {
+    size_t best_j = cur + 1;
+    double best_slope = (q[cur] - q[cur + 1]) / (t[cur + 1] - t[cur]);
+    for (size_t j = cur + 2; j <= k; ++j) {
+      const double slope = (q[cur] - q[j]) / (t[j] - t[cur]);
+      // Ties favor the longer segment, matching the Chain paper's
+      // definition of the lower envelope.
+      if (slope >= best_slope) {
+        best_slope = slope;
+        best_j = j;
+      }
+    }
+    segments.push_back({cur, best_j, best_slope});
+    cur = best_j;
+  }
+  return segments;
+}
+
+std::vector<Node*> DownstreamChain(Node* start) {
+  std::vector<Node*> chain;
+  Node* cur = start;
+  while (true) {
+    chain.push_back(cur);
+    if (cur->fan_out() != 1) break;
+    Node* next = static_cast<Node*>(cur->outputs()[0].target);
+    // Queues are transparent for progress charts: the Chain strategy's
+    // envelope spans the whole operator path even when every operator is
+    // decoupled (which is exactly the GTS configuration it was designed
+    // for). Skip through linear queues.
+    while (next != nullptr && next->is_queue() && next->fan_in() == 1 &&
+           next->fan_out() == 1) {
+      next = static_cast<Node*>(next->outputs()[0].target);
+    }
+    if (next == nullptr || next->kind() != Node::Kind::kOperator) break;
+    if (next->fan_in() != 1) break;
+    cur = next;
+  }
+  return chain;
+}
+
+ChainStrategy::ChainStrategy(int reprofile_interval)
+    : reprofile_interval_(reprofile_interval) {
+  CHECK_GT(reprofile_interval, 0);
+}
+
+void ChainStrategy::Initialize(const std::vector<QueueOp*>& queues) {
+  Reprofile(queues);
+  calls_until_reprofile_ = reprofile_interval_;
+}
+
+void ChainStrategy::Reprofile(const std::vector<QueueOp*>& queues) {
+  priority_.clear();
+  for (QueueOp* queue : queues) {
+    double best = -std::numeric_limits<double>::infinity();
+    for (const auto& edge : queue->outputs()) {
+      Node* consumer = static_cast<Node*>(edge.target);
+      if (consumer->kind() != Node::Kind::kOperator) {
+        // Queue feeding a sink or another queue directly: treat as a
+        // free segment (slope 0 with negligible cost => very steep).
+        best = std::max(best, std::numeric_limits<double>::max());
+        continue;
+      }
+      const std::vector<Node*> chain = DownstreamChain(consumer);
+      std::vector<double> costs;
+      std::vector<double> sels;
+      costs.reserve(chain.size());
+      sels.reserve(chain.size());
+      for (const Node* n : chain) {
+        costs.push_back(n->CostMicros());
+        sels.push_back(n->Selectivity());
+      }
+      const auto segments = ComputeLowerEnvelope(costs, sels);
+      if (!segments.empty()) best = std::max(best, segments[0].slope);
+    }
+    priority_[queue] = best;
+  }
+}
+
+QueueOp* ChainStrategy::Next(const std::vector<QueueOp*>& queues) {
+  if (--calls_until_reprofile_ <= 0) {
+    Reprofile(queues);
+    calls_until_reprofile_ = reprofile_interval_;
+  }
+  QueueOp* best = nullptr;
+  double best_priority = -std::numeric_limits<double>::infinity();
+  uint64_t best_seq = QueueOp::kNoSeq;
+  for (QueueOp* q : queues) {
+    const uint64_t seq = q->HeadSeq();
+    if (seq == QueueOp::kNoSeq) continue;
+    const auto it = priority_.find(q);
+    const double priority =
+        it == priority_.end() ? 0.0 : it->second;
+    if (best == nullptr || priority > best_priority ||
+        (priority == best_priority && seq < best_seq)) {
+      best = q;
+      best_priority = priority;
+      best_seq = seq;
+    }
+  }
+  return best;
+}
+
+double ChainStrategy::PriorityOf(const QueueOp* queue) const {
+  const auto it = priority_.find(queue);
+  return it == priority_.end() ? 0.0 : it->second;
+}
+
+}  // namespace flexstream

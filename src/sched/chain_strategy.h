@@ -1,0 +1,73 @@
+// The Chain scheduling strategy of Babcock et al. (SIGMOD 2003), used by
+// the paper as the strongest GTS baseline (Sections 4.2.2, 6.4, 6.6) and,
+// in its VO-construction form, as a Figure 11 competitor.
+//
+// Chain assigns each operator the slope of its segment on the *lower
+// envelope* of the operator chain's progress chart. The progress chart of
+// a chain o_1..o_k plots cumulative processing time against the expected
+// fraction of tuples remaining: point_i = (sum_{j<=i} c_j, prod_{j<=i} s_j).
+// The lower envelope greedily groups operators into segments of steepest
+// average descent; at runtime the scheduler drains the non-empty queue
+// whose consuming operator has the steepest segment slope (FIFO
+// tie-break).
+//
+// Because c(v) and selectivity are runtime statistics, priorities are
+// recomputed periodically — reproducing the "initial delay for profiling
+// and computing the lower envelope" the paper observes in Section 6.6.
+
+#ifndef FLEXSTREAM_SCHED_CHAIN_STRATEGY_H_
+#define FLEXSTREAM_SCHED_CHAIN_STRATEGY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/node.h"
+#include "sched/strategy.h"
+
+namespace flexstream {
+
+/// One lower-envelope segment covering chain operators [begin, end).
+/// `slope` is the segment's average descent rate: (q_begin - q_end) /
+/// (t_end - t_begin); larger = steeper = higher priority.
+struct EnvelopeSegment {
+  size_t begin;
+  size_t end;
+  double slope;
+};
+
+/// Computes the lower envelope of a progress chart given per-operator
+/// costs (microseconds, > 0) and selectivities (>= 0). Returns segments in
+/// chain order; their slopes are non-increasing (a property of lower
+/// envelopes that tests verify).
+std::vector<EnvelopeSegment> ComputeLowerEnvelope(
+    const std::vector<double>& costs, const std::vector<double>& sels);
+
+/// The maximal DI chain downstream of `start`: follows single-fan-out /
+/// single-fan-in operator edges starting at `start` (inclusive) and stops
+/// at queues, sinks, branches, or merges. Used to build progress charts
+/// for a queue's consuming operators.
+std::vector<Node*> DownstreamChain(Node* start);
+
+class ChainStrategy : public SchedulingStrategy {
+ public:
+  /// Recomputes priorities every `reprofile_interval` Next() calls.
+  explicit ChainStrategy(int reprofile_interval = 512);
+
+  const char* name() const override { return "chain"; }
+  void Initialize(const std::vector<QueueOp*>& queues) override;
+  QueueOp* Next(const std::vector<QueueOp*>& queues) override;
+
+  /// Current priority of a queue (for tests/inspection); 0 if unknown.
+  double PriorityOf(const QueueOp* queue) const;
+
+ private:
+  void Reprofile(const std::vector<QueueOp*>& queues);
+
+  int reprofile_interval_;
+  int calls_until_reprofile_ = 0;
+  std::unordered_map<const QueueOp*, double> priority_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_SCHED_CHAIN_STRATEGY_H_

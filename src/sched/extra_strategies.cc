@@ -1,0 +1,46 @@
+#include "sched/extra_strategies.h"
+
+#include <limits>
+
+namespace flexstream {
+
+void PriorityStrategy::SetPriority(const QueueOp* queue, double priority) {
+  priority_[queue] = priority;
+}
+
+double PriorityStrategy::PriorityOf(const QueueOp* queue) const {
+  const auto it = priority_.find(queue);
+  return it == priority_.end() ? 0.0 : it->second;
+}
+
+QueueOp* PriorityStrategy::Next(const std::vector<QueueOp*>& queues) {
+  QueueOp* best = nullptr;
+  double best_priority = -std::numeric_limits<double>::infinity();
+  uint64_t best_seq = QueueOp::kNoSeq;
+  for (QueueOp* q : queues) {
+    const uint64_t seq = q->HeadSeq();
+    if (seq == QueueOp::kNoSeq) continue;
+    const double priority = PriorityOf(q);
+    if (best == nullptr || priority > best_priority ||
+        (priority == best_priority && seq < best_seq)) {
+      best = q;
+      best_priority = priority;
+      best_seq = seq;
+    }
+  }
+  return best;
+}
+
+QueueOp* RandomStrategy::Next(const std::vector<QueueOp*>& queues) {
+  // Reservoir-sample one non-empty queue.
+  QueueOp* chosen = nullptr;
+  uint64_t seen = 0;
+  for (QueueOp* q : queues) {
+    if (q->HeadSeq() == QueueOp::kNoSeq) continue;
+    ++seen;
+    if (rng_.NextU64(seen) == 0) chosen = q;
+  }
+  return chosen;
+}
+
+}  // namespace flexstream

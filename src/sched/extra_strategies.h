@@ -1,0 +1,52 @@
+// Additional level-2 strategies beyond the paper's evaluation set.
+//
+// HMTS's level 2 deliberately accepts "arbitrary strategies ... provided
+// that they comply with the first level" (Section 4.2.2). These two are
+// useful in practice and in tests:
+//
+//   * PriorityStrategy — static, user-assigned per-queue priorities
+//     (FIFO tie-break). The manual counterpart of Chain's computed
+//     priorities; lets an operator express QoS preferences directly.
+//   * RandomStrategy — uniformly random choice among non-empty queues
+//     (seeded, deterministic). A chaos baseline: any semantics test that
+//     passes under FIFO must also pass under random order.
+
+#ifndef FLEXSTREAM_SCHED_EXTRA_STRATEGIES_H_
+#define FLEXSTREAM_SCHED_EXTRA_STRATEGIES_H_
+
+#include <unordered_map>
+
+#include "sched/strategy.h"
+#include "util/random.h"
+
+namespace flexstream {
+
+class PriorityStrategy : public SchedulingStrategy {
+ public:
+  PriorityStrategy() = default;
+
+  /// Sets a queue's priority (default 0; higher runs first).
+  void SetPriority(const QueueOp* queue, double priority);
+  double PriorityOf(const QueueOp* queue) const;
+
+  const char* name() const override { return "priority"; }
+  QueueOp* Next(const std::vector<QueueOp*>& queues) override;
+
+ private:
+  std::unordered_map<const QueueOp*, double> priority_;
+};
+
+class RandomStrategy : public SchedulingStrategy {
+ public:
+  explicit RandomStrategy(uint64_t seed = 42) : rng_(seed) {}
+
+  const char* name() const override { return "random"; }
+  QueueOp* Next(const std::vector<QueueOp*>& queues) override;
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_SCHED_EXTRA_STRATEGIES_H_

@@ -1,0 +1,18 @@
+#include "sched/fifo_strategy.h"
+
+namespace flexstream {
+
+QueueOp* FifoStrategy::Next(const std::vector<QueueOp*>& queues) {
+  QueueOp* best = nullptr;
+  uint64_t best_seq = QueueOp::kNoSeq;
+  for (QueueOp* q : queues) {
+    const uint64_t seq = q->HeadSeq();
+    if (seq < best_seq) {
+      best_seq = seq;
+      best = q;
+    }
+  }
+  return best;
+}
+
+}  // namespace flexstream

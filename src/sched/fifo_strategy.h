@@ -1,0 +1,21 @@
+// FIFO scheduling: always drain the queue holding the globally oldest
+// element. Queues stamp every enqueued item with a global arrival sequence
+// number, so "oldest head wins" totally orders elements across queues —
+// the FIFO baseline of Sections 6.4 and 6.6.
+
+#ifndef FLEXSTREAM_SCHED_FIFO_STRATEGY_H_
+#define FLEXSTREAM_SCHED_FIFO_STRATEGY_H_
+
+#include "sched/strategy.h"
+
+namespace flexstream {
+
+class FifoStrategy : public SchedulingStrategy {
+ public:
+  const char* name() const override { return "fifo"; }
+  QueueOp* Next(const std::vector<QueueOp*>& queues) override;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_SCHED_FIFO_STRATEGY_H_

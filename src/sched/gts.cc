@@ -1,0 +1,10 @@
+#include "sched/gts.h"
+
+namespace flexstream {
+
+GtsExecutor::GtsExecutor(std::vector<QueueOp*> queues, StrategyKind strategy,
+                         Partition::Options options)
+    : partition_(std::make_unique<Partition>(
+          "gts", std::move(queues), MakeStrategy(strategy), options)) {}
+
+}  // namespace flexstream

@@ -1,0 +1,35 @@
+// Graph-threaded scheduling (GTS): one thread executes the complete query
+// graph (Section 4.1.1). In the HMTS architecture GTS is the degenerate
+// configuration with a single level-2 partition holding every queue and
+// no level-3 scheduler (Section 4.2.2, "OTS and GTS are special cases of
+// our architecture").
+
+#ifndef FLEXSTREAM_SCHED_GTS_H_
+#define FLEXSTREAM_SCHED_GTS_H_
+
+#include <memory>
+#include <vector>
+
+#include "sched/partition.h"
+
+namespace flexstream {
+
+class GtsExecutor {
+ public:
+  GtsExecutor(std::vector<QueueOp*> queues, StrategyKind strategy,
+              Partition::Options options = {});
+
+  void Start() { partition_->Start(); }
+  void RequestStop() { partition_->RequestStop(); }
+  void Join() { partition_->Join(); }
+  bool Done() const { return partition_->Done(); }
+
+  Partition& partition() { return *partition_; }
+
+ private:
+  std::unique_ptr<Partition> partition_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_SCHED_GTS_H_

@@ -1,0 +1,51 @@
+#include "sched/ots.h"
+
+#include <map>
+
+#include "graph/node.h"
+#include "sched/fifo_strategy.h"
+#include "util/logging.h"
+
+namespace flexstream {
+
+OtsExecutor::OtsExecutor(const std::vector<QueueOp*>& queues,
+                         Partition::Options options) {
+  // One thread per *operator*: "an operator thread obtains elements from
+  // its input queues" (Section 4.1.2) — a multi-input operator's queues
+  // share its thread, which also keeps every operator single-threaded.
+  std::map<Node::Id, std::vector<QueueOp*>> by_consumer;
+  std::map<Node::Id, std::string> names;
+  for (QueueOp* queue : queues) {
+    CHECK(queue->fan_out() >= 1) << "dangling queue " << queue->DebugString();
+    const Node* consumer = static_cast<const Node*>(queue->outputs()[0].target);
+    by_consumer[consumer->id()].push_back(queue);
+    names[consumer->id()] = consumer->name();
+  }
+  partitions_.reserve(by_consumer.size());
+  for (auto& [id, consumer_queues] : by_consumer) {
+    partitions_.push_back(std::make_unique<Partition>(
+        "ots:" + names[id], std::move(consumer_queues),
+        std::make_unique<FifoStrategy>(), options));
+  }
+}
+
+void OtsExecutor::Start() {
+  for (auto& p : partitions_) p->Start();
+}
+
+void OtsExecutor::RequestStop() {
+  for (auto& p : partitions_) p->RequestStop();
+}
+
+void OtsExecutor::Join() {
+  for (auto& p : partitions_) p->Join();
+}
+
+bool OtsExecutor::Done() const {
+  for (const auto& p : partitions_) {
+    if (!p->Done()) return false;
+  }
+  return true;
+}
+
+}  // namespace flexstream

@@ -1,0 +1,38 @@
+// Operator-threaded scheduling (OTS): each operator (i.e. each decoupling
+// queue and the operators it feeds) runs in its own thread (Section
+// 4.1.2). In HMTS terms: one single-queue level-2 partition per queue,
+// scheduled by the operating system — "OTS does not necessarily require a
+// TS as threads are scheduled by the operating system and every thread
+// has only one operator to execute" (Section 4.2.2).
+
+#ifndef FLEXSTREAM_SCHED_OTS_H_
+#define FLEXSTREAM_SCHED_OTS_H_
+
+#include <memory>
+#include <vector>
+
+#include "sched/partition.h"
+
+namespace flexstream {
+
+class OtsExecutor {
+ public:
+  explicit OtsExecutor(const std::vector<QueueOp*>& queues,
+                       Partition::Options options = {});
+
+  void Start();
+  void RequestStop();
+  void Join();
+  bool Done() const;
+
+  const std::vector<std::unique_ptr<Partition>>& partitions() const {
+    return partitions_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Partition>> partitions_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_SCHED_OTS_H_

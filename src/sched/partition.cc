@@ -1,0 +1,109 @@
+#include "sched/partition.h"
+
+#include "core/thread_scheduler.h"
+#include "util/logging.h"
+
+namespace flexstream {
+
+Partition::Partition(std::string name, std::vector<QueueOp*> queues,
+                     std::unique_ptr<SchedulingStrategy> strategy,
+                     Options options)
+    : name_(std::move(name)),
+      queues_(std::move(queues)),
+      strategy_(std::move(strategy)),
+      options_(options) {
+  CHECK(strategy_ != nullptr);
+  for (QueueOp* q : queues_) {
+    q->SetEnqueueListener([this] { NotifyWork(); });
+  }
+}
+
+Partition::~Partition() {
+  RequestStop();
+  Join();
+  // Detach listeners: the queues may outlive this partition (e.g. when the
+  // engine re-partitions the same graph).
+  for (QueueOp* q : queues_) q->SetEnqueueListener(nullptr);
+}
+
+void Partition::Start() {
+  CHECK(!running()) << name_ << " already running";
+  stop_.store(false, std::memory_order_release);
+  worker_ = std::thread([this] { RunLoop(); });
+}
+
+void Partition::Run() {
+  CHECK(!running()) << name_ << " already running";
+  stop_.store(false, std::memory_order_release);
+  RunLoop();
+}
+
+void Partition::RequestStop() {
+  stop_.store(true, std::memory_order_release);
+  NotifyWork();
+}
+
+void Partition::Join() {
+  if (worker_.joinable()) worker_.join();
+}
+
+bool Partition::Done() const {
+  for (const QueueOp* q : queues_) {
+    if (!q->Exhausted()) return false;
+  }
+  return true;
+}
+
+size_t Partition::QueuedElements() const {
+  size_t total = 0;
+  for (const QueueOp* q : queues_) total += q->Size();
+  return total;
+}
+
+void Partition::NotifyWork() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    work_available_ = true;
+  }
+  cv_.notify_one();
+}
+
+bool Partition::HasPendingWork() const {
+  for (const QueueOp* q : queues_) {
+    if (q->HeadSeq() != QueueOp::kNoSeq) return true;
+  }
+  return false;
+}
+
+void Partition::RunLoop() {
+  running_.store(true, std::memory_order_release);
+  strategy_->Initialize(queues_);
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (Done()) break;
+    if (!HasPendingWork()) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait_for(lock, options_.idle_poll, [&] {
+        return work_available_ || stop_.load(std::memory_order_acquire);
+      });
+      work_available_ = false;
+      continue;
+    }
+    // Work is available: run a quantum (under the level-3 scheduler's
+    // control when attached).
+    if (ts_ != nullptr) ts_->Acquire(this);
+    const TimePoint quantum_end = Now() + options_.quantum;
+    while (!stop_.load(std::memory_order_acquire)) {
+      QueueOp* next = strategy_->Next(queues_);
+      if (next == nullptr) break;
+      drained_.fetch_add(
+          static_cast<int64_t>(next->DrainBatch(options_.batch_size)),
+          std::memory_order_relaxed);
+      if (Now() >= quantum_end) break;
+      if (ts_ != nullptr && ts_->ShouldYield(this)) break;
+    }
+    if (ts_ != nullptr) ts_->Release(this);
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+}  // namespace flexstream

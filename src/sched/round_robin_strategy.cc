@@ -1,0 +1,18 @@
+#include "sched/round_robin_strategy.h"
+
+namespace flexstream {
+
+QueueOp* RoundRobinStrategy::Next(const std::vector<QueueOp*>& queues) {
+  if (queues.empty()) return nullptr;
+  const size_t n = queues.size();
+  for (size_t i = 0; i < n; ++i) {
+    QueueOp* q = queues[(cursor_ + i) % n];
+    if (q->HeadSeq() != QueueOp::kNoSeq) {
+      cursor_ = (cursor_ + i + 1) % n;
+      return q;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace flexstream

@@ -1,0 +1,24 @@
+// Round-robin scheduling: cycles through the partition's queues, skipping
+// empty ones. The simplest starvation-free strategy; useful as a baseline
+// and as the default for single-queue partitions (where every strategy is
+// equivalent).
+
+#ifndef FLEXSTREAM_SCHED_ROUND_ROBIN_STRATEGY_H_
+#define FLEXSTREAM_SCHED_ROUND_ROBIN_STRATEGY_H_
+
+#include "sched/strategy.h"
+
+namespace flexstream {
+
+class RoundRobinStrategy : public SchedulingStrategy {
+ public:
+  const char* name() const override { return "round-robin"; }
+  QueueOp* Next(const std::vector<QueueOp*>& queues) override;
+
+ private:
+  size_t cursor_ = 0;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_SCHED_ROUND_ROBIN_STRATEGY_H_

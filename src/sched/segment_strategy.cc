@@ -1,0 +1,62 @@
+#include "sched/segment_strategy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "operators/operator.h"
+#include "util/logging.h"
+
+namespace flexstream {
+
+SegmentStrategy::SegmentStrategy(int reprofile_interval)
+    : reprofile_interval_(reprofile_interval) {
+  CHECK_GT(reprofile_interval, 0);
+}
+
+void SegmentStrategy::Initialize(const std::vector<QueueOp*>& queues) {
+  Reprofile(queues);
+  calls_until_reprofile_ = reprofile_interval_;
+}
+
+void SegmentStrategy::Reprofile(const std::vector<QueueOp*>& queues) {
+  priority_.clear();
+  for (QueueOp* queue : queues) {
+    double best = -std::numeric_limits<double>::infinity();
+    for (const auto& edge : queue->outputs()) {
+      const Node* consumer = static_cast<const Node*>(edge.target);
+      if (consumer->kind() != Node::Kind::kOperator) {
+        best = std::max(best, std::numeric_limits<double>::max());
+        continue;
+      }
+      const double cost = std::max(consumer->CostMicros(), 1e-3);
+      const double release = 1.0 - consumer->Selectivity();
+      best = std::max(best, release / cost);
+    }
+    priority_[queue] = best;
+  }
+}
+
+QueueOp* SegmentStrategy::Next(const std::vector<QueueOp*>& queues) {
+  if (--calls_until_reprofile_ <= 0) {
+    Reprofile(queues);
+    calls_until_reprofile_ = reprofile_interval_;
+  }
+  QueueOp* best = nullptr;
+  double best_priority = -std::numeric_limits<double>::infinity();
+  uint64_t best_seq = QueueOp::kNoSeq;
+  for (QueueOp* q : queues) {
+    const uint64_t seq = q->HeadSeq();
+    if (seq == QueueOp::kNoSeq) continue;
+    const auto it = priority_.find(q);
+    const double priority = it == priority_.end() ? 0.0 : it->second;
+    if (best == nullptr || priority > best_priority ||
+        (priority == best_priority && seq < best_seq)) {
+      best = q;
+      best_priority = priority;
+      best_seq = seq;
+    }
+  }
+  return best;
+}
+
+}  // namespace flexstream

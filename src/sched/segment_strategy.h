@@ -1,0 +1,38 @@
+// The simplified Segment scheduling strategy of Jiang & Chakravarthy
+// (BNCOD 2004), the paper's third strategy reference ([10]).
+//
+// The simplified segment strategy prioritizes operator segments by their
+// *memory release capacity*: (1 - selectivity) / cost — how many queued
+// bytes a unit of CPU invested in this operator frees. Unlike Chain it
+// scores each operator (segment head) locally instead of over the lower
+// envelope, which is exactly the weakness the paper's Figure 11
+// comparison exposes for VO construction.
+
+#ifndef FLEXSTREAM_SCHED_SEGMENT_STRATEGY_H_
+#define FLEXSTREAM_SCHED_SEGMENT_STRATEGY_H_
+
+#include <unordered_map>
+
+#include "sched/strategy.h"
+
+namespace flexstream {
+
+class SegmentStrategy : public SchedulingStrategy {
+ public:
+  explicit SegmentStrategy(int reprofile_interval = 512);
+
+  const char* name() const override { return "segment"; }
+  void Initialize(const std::vector<QueueOp*>& queues) override;
+  QueueOp* Next(const std::vector<QueueOp*>& queues) override;
+
+ private:
+  void Reprofile(const std::vector<QueueOp*>& queues);
+
+  int reprofile_interval_;
+  int calls_until_reprofile_ = 0;
+  std::unordered_map<const QueueOp*, double> priority_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_SCHED_SEGMENT_STRATEGY_H_

@@ -1,0 +1,46 @@
+#include "sched/strategy.h"
+
+#include "sched/chain_strategy.h"
+#include "sched/fifo_strategy.h"
+#include "sched/round_robin_strategy.h"
+#include "sched/segment_strategy.h"
+#include "util/logging.h"
+
+namespace flexstream {
+
+SchedulingStrategy::~SchedulingStrategy() = default;
+
+void SchedulingStrategy::Initialize(const std::vector<QueueOp*>& queues) {
+  (void)queues;
+}
+
+const char* StrategyKindToString(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kFifo:
+      return "fifo";
+    case StrategyKind::kRoundRobin:
+      return "round-robin";
+    case StrategyKind::kChain:
+      return "chain";
+    case StrategyKind::kSegment:
+      return "segment";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<SchedulingStrategy> MakeStrategy(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kFifo:
+      return std::make_unique<FifoStrategy>();
+    case StrategyKind::kRoundRobin:
+      return std::make_unique<RoundRobinStrategy>();
+    case StrategyKind::kChain:
+      return std::make_unique<ChainStrategy>();
+    case StrategyKind::kSegment:
+      return std::make_unique<SegmentStrategy>();
+  }
+  LOG(FATAL) << "unknown strategy kind";
+  return nullptr;
+}
+
+}  // namespace flexstream

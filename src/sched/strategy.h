@@ -1,0 +1,45 @@
+// Scheduling strategies for level-2 partitions.
+//
+// A partition executes "like a graph-threaded scheduler" (Section 4.2.2):
+// its thread repeatedly asks the strategy which of the partition's queues
+// to drain next. "It is possible to choose arbitrary strategies on the
+// second level provided that they comply with the first level" — the
+// strategy only orders queue invocations; it never changes semantics.
+
+#ifndef FLEXSTREAM_SCHED_STRATEGY_H_
+#define FLEXSTREAM_SCHED_STRATEGY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "queue/queue_op.h"
+
+namespace flexstream {
+
+class SchedulingStrategy {
+ public:
+  virtual ~SchedulingStrategy();
+
+  virtual const char* name() const = 0;
+
+  /// Called once when the owning partition is configured. Strategies that
+  /// precompute per-queue priorities (Chain, Segment) analyze the graph
+  /// downstream of each queue here.
+  virtual void Initialize(const std::vector<QueueOp*>& queues);
+
+  /// Returns the next queue to drain — one with pending items — or nullptr
+  /// when no queue in the partition has work.
+  virtual QueueOp* Next(const std::vector<QueueOp*>& queues) = 0;
+};
+
+/// Strategy factory selector used by the engine options.
+enum class StrategyKind { kFifo, kRoundRobin, kChain, kSegment };
+
+const char* StrategyKindToString(StrategyKind kind);
+
+std::unique_ptr<SchedulingStrategy> MakeStrategy(StrategyKind kind);
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_SCHED_STRATEGY_H_

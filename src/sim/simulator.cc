@@ -1,0 +1,487 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "operators/operator.h"
+#include "sched/chain_strategy.h"
+#include "util/logging.h"
+
+namespace flexstream {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+struct SimQueue {
+  const Node* consumer = nullptr;
+  int vo = -1;
+  int thread = -1;
+  double priority = 0.0;  // strategy-dependent, static
+  std::deque<double> arrivals;
+};
+
+struct SimThreadState {
+  std::vector<int> queue_ids;
+  bool running = false;
+  double busy_until = 0.0;
+  double runnable_since = kInfinity;
+  double busy_total = 0.0;
+  size_t rr_cursor = 0;
+};
+
+struct SourceStream {
+  const Node* source = nullptr;
+  std::vector<double> arrival_times;  // sorted
+  size_t next = 0;
+};
+
+class Simulation {
+ public:
+  Simulation(const QueryGraph& graph, const SimOptions& options)
+      : graph_(graph), options_(options) {}
+
+  Status Build(
+      const std::unordered_map<const Node*, std::vector<SimPhase>>&
+          schedules,
+      const std::vector<SimThread>& threads);
+  SimResult Run();
+
+ private:
+  int VoOf(const Node* node) const {
+    const auto it = vo_of_.find(node);
+    return it == vo_of_.end() ? -1 : it->second;
+  }
+
+  /// Static strategy priority for a queue entering `consumer`.
+  double QueuePriority(const Node* consumer) const;
+
+  /// Picks the next queue of `thread` per the configured strategy;
+  /// -1 when all its queues are empty.
+  int NextQueue(SimThreadState* thread);
+
+  /// Deterministic fractional-selectivity emission.
+  int64_t CreditEmit(const Node* node, double amount);
+
+  /// Runs `thread` for up to one quantum of virtual work (at least one
+  /// element; elements are not preemptible). Returns the busy time
+  /// consumed; emissions are pushed in flight stamped with each element's
+  /// finish time.
+  double ProcessQuantum(SimThreadState* thread);
+  void Traverse(const Node* node, int64_t count, int home_vo, double* busy);
+
+  void EnqueueAt(int queue_id, double time, int64_t count);
+  void MarkRunnable(int thread, double now);
+  void RecordSamplesUpTo(double time);
+
+  const QueryGraph& graph_;
+  SimOptions options_;
+
+  std::unordered_map<const Node*, int> vo_of_;
+  std::vector<int> vo_thread_;
+  std::vector<SimThreadState> threads_;
+  std::vector<SimQueue> queues_;
+  // (producer, consumer) -> queue id.
+  std::unordered_map<const Node*, std::unordered_map<const Node*, int>>
+      queue_of_edge_;
+  std::vector<SourceStream> sources_;
+  std::unordered_map<const Node*, double> credit_;
+
+  // Cross-VO emissions of the element currently being traversed:
+  // (queue id, count); stamped with the element's finish time.
+  std::vector<std::pair<int, int64_t>> pending_emissions_;
+
+  // Emissions in flight: produced but not yet delivered (an element's
+  // outputs become visible when the element finishes processing).
+  struct Delivery {
+    double time;
+    int64_t seq;
+    int queue_id;
+    int64_t count;
+    bool operator>(const Delivery& other) const {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+  std::priority_queue<Delivery, std::vector<Delivery>, std::greater<>>
+      in_flight_;
+  int64_t delivery_seq_ = 0;
+
+  // Run state.
+  double now_ = 0.0;
+  int64_t total_queued_ = 0;
+  int64_t max_queued_ = 0;
+  double results_ = 0.0;
+  double next_sample_ = 0.0;
+  std::vector<SimSample> samples_;
+};
+
+Status Simulation::Build(
+    const std::unordered_map<const Node*, std::vector<SimPhase>>& schedules,
+    const std::vector<SimThread>& threads) {
+  if (options_.cpus < 1) {
+    return Status::InvalidArgument("need at least one CPU");
+  }
+  threads_.resize(threads.size());
+  for (size_t t = 0; t < threads.size(); ++t) {
+    for (const SimVo& vo : threads[t]) {
+      const int vo_id = static_cast<int>(vo_thread_.size());
+      vo_thread_.push_back(static_cast<int>(t));
+      for (const Node* node : vo) {
+        if (node->is_source()) {
+          return Status::InvalidArgument(
+              "sources are schedules, not VO members: " +
+              node->DebugString());
+        }
+        if (node->is_queue()) {
+          return Status::InvalidArgument(
+              "the simulator models queues implicitly: " +
+              node->DebugString());
+        }
+        if (!vo_of_.emplace(node, vo_id).second) {
+          return Status::InvalidArgument("node in two VOs: " +
+                                         node->DebugString());
+        }
+      }
+    }
+  }
+  for (const Node* node : graph_.nodes()) {
+    if (node->is_source()) continue;
+    if (node->fan_in() == 0 && node->fan_out() == 0) continue;
+    if (VoOf(node) < 0) {
+      return Status::InvalidArgument("node not in any VO: " +
+                                     node->DebugString());
+    }
+  }
+  // Queues: one per VO-crossing edge (source edges always cross).
+  for (const Node* node : graph_.nodes()) {
+    const int from_vo = node->is_source() ? -1 : VoOf(node);
+    for (const auto& edge : node->outputs()) {
+      const Node* consumer = static_cast<const Node*>(edge.target);
+      const int to_vo = VoOf(consumer);
+      if (!node->is_source() && from_vo == to_vo) continue;
+      SimQueue queue;
+      queue.consumer = consumer;
+      queue.vo = to_vo;
+      queue.thread = vo_thread_[static_cast<size_t>(to_vo)];
+      queue.priority = QueuePriority(consumer);
+      const int id = static_cast<int>(queues_.size());
+      queue_of_edge_[node][consumer] = id;
+      threads_[static_cast<size_t>(queue.thread)].queue_ids.push_back(id);
+      queues_.push_back(std::move(queue));
+    }
+  }
+  // Arrival schedules.
+  for (const auto& [source, phases] : schedules) {
+    if (!source->is_source()) {
+      return Status::InvalidArgument("schedule on non-source: " +
+                                     source->DebugString());
+    }
+    SourceStream stream;
+    stream.source = source;
+    double t = 0.0;
+    for (const SimPhase& phase : phases) {
+      for (int64_t i = 0; i < phase.count; ++i) {
+        if (phase.rate_per_sec > 0.0) t += 1.0 / phase.rate_per_sec;
+        stream.arrival_times.push_back(t);
+      }
+    }
+    sources_.push_back(std::move(stream));
+  }
+  std::sort(sources_.begin(), sources_.end(),
+            [](const SourceStream& a, const SourceStream& b) {
+              return a.source->id() < b.source->id();
+            });
+  return Status::Ok();
+}
+
+double Simulation::QueuePriority(const Node* consumer) const {
+  switch (options_.strategy) {
+    case StrategyKind::kFifo:
+    case StrategyKind::kRoundRobin:
+      return 0.0;
+    case StrategyKind::kSegment: {
+      const double cost = std::max(consumer->CostMicros(), 1e-3);
+      return (1.0 - consumer->Selectivity()) / cost;
+    }
+    case StrategyKind::kChain: {
+      // Progress chart over the consumer's downstream operator chain
+      // (queues are transparent; stops at branches/merges/sinks, as in
+      // the runtime Chain strategy).
+      std::vector<double> costs;
+      std::vector<double> sels;
+      const Node* cur = consumer;
+      while (true) {
+        costs.push_back(cur->CostMicros());
+        sels.push_back(cur->Selectivity());
+        if (cur->fan_out() != 1) break;
+        const Node* next =
+            static_cast<const Node*>(cur->outputs()[0].target);
+        if (next->fan_in() != 1 || next->is_sink()) break;
+        cur = next;
+      }
+      const auto segments = ComputeLowerEnvelope(costs, sels);
+      return segments.empty() ? 0.0 : segments[0].slope;
+    }
+  }
+  return 0.0;
+}
+
+int Simulation::NextQueue(SimThreadState* thread) {
+  if (options_.strategy == StrategyKind::kRoundRobin) {
+    const size_t n = thread->queue_ids.size();
+    for (size_t i = 0; i < n; ++i) {
+      const size_t idx = (thread->rr_cursor + i) % n;
+      const int id = thread->queue_ids[idx];
+      if (!queues_[static_cast<size_t>(id)].arrivals.empty()) {
+        thread->rr_cursor = (idx + 1) % n;
+        return id;
+      }
+    }
+    return -1;
+  }
+  int best = -1;
+  double best_priority = -kInfinity;
+  double best_head = kInfinity;
+  for (int id : thread->queue_ids) {
+    const SimQueue& queue = queues_[static_cast<size_t>(id)];
+    if (queue.arrivals.empty()) continue;
+    const double head = queue.arrivals.front();
+    if (best < 0 || queue.priority > best_priority ||
+        (queue.priority == best_priority && head < best_head)) {
+      best = id;
+      best_priority = queue.priority;
+      best_head = head;
+    }
+  }
+  return best;
+}
+
+int64_t Simulation::CreditEmit(const Node* node, double amount) {
+  double& credit = credit_[node];
+  credit += amount;
+  const double out = std::floor(credit + 1e-9);
+  credit -= out;
+  return static_cast<int64_t>(out);
+}
+
+void Simulation::Traverse(const Node* node, int64_t count, int home_vo,
+                          double* busy) {
+  if (count <= 0) return;
+  *busy += node->CostMicros() * 1e-6 * static_cast<double>(count);
+  if (node->is_sink()) {
+    results_ += static_cast<double>(count);
+    return;
+  }
+  const int64_t out =
+      CreditEmit(node, node->Selectivity() * static_cast<double>(count));
+  if (out <= 0) return;
+  for (const auto& edge : node->outputs()) {
+    const Node* next = static_cast<const Node*>(edge.target);
+    if (VoOf(next) == home_vo) {
+      Traverse(next, out, home_vo, busy);
+    } else {
+      pending_emissions_.emplace_back(queue_of_edge_.at(node).at(next),
+                                      out);
+    }
+  }
+}
+
+double Simulation::ProcessQuantum(SimThreadState* thread) {
+  double busy = options_.grant_overhead_us * 1e-6;
+  bool processed_any = false;
+  while (busy < options_.quantum || !processed_any) {
+    const int queue_id = NextQueue(thread);
+    if (queue_id < 0) break;
+    SimQueue& queue = queues_[static_cast<size_t>(queue_id)];
+    DCHECK(!queue.arrivals.empty());
+    queue.arrivals.pop_front();
+    --total_queued_;
+    double element_busy = options_.dequeue_overhead_us * 1e-6;
+    pending_emissions_.clear();
+    Traverse(queue.consumer, 1, queue.vo, &element_busy);
+    busy += element_busy;
+    processed_any = true;
+    // The element's cross-VO outputs arrive when the element finishes.
+    for (const auto& [qid, count] : pending_emissions_) {
+      in_flight_.push({now_ + busy, delivery_seq_++, qid, count});
+    }
+    pending_emissions_.clear();
+  }
+  return busy;
+}
+
+void Simulation::EnqueueAt(int queue_id, double time, int64_t count) {
+  SimQueue& queue = queues_[static_cast<size_t>(queue_id)];
+  for (int64_t i = 0; i < count; ++i) queue.arrivals.push_back(time);
+  total_queued_ += count;
+  max_queued_ = std::max(max_queued_, total_queued_);
+}
+
+void Simulation::MarkRunnable(int thread, double now) {
+  SimThreadState& t = threads_[static_cast<size_t>(thread)];
+  if (t.running || std::isfinite(t.runnable_since)) return;
+  for (int id : t.queue_ids) {
+    if (!queues_[static_cast<size_t>(id)].arrivals.empty()) {
+      t.runnable_since = now;
+      return;
+    }
+  }
+}
+
+void Simulation::RecordSamplesUpTo(double time) {
+  while (next_sample_ <= time + 1e-12) {
+    samples_.push_back({next_sample_, total_queued_,
+                        static_cast<int64_t>(std::llround(results_))});
+    next_sample_ += options_.sample_interval;
+  }
+}
+
+SimResult Simulation::Run() {
+  int free_cpus = options_.cpus;
+  while (true) {
+    // Grant free CPUs to runnable threads, longest-waiting first (the
+    // aging-based grant of the real ThreadScheduler at equal priorities).
+    while (free_cpus > 0) {
+      int chosen = -1;
+      double earliest = kInfinity;
+      for (size_t t = 0; t < threads_.size(); ++t) {
+        const SimThreadState& thread = threads_[t];
+        if (thread.running || !std::isfinite(thread.runnable_since)) {
+          continue;
+        }
+        if (thread.runnable_since < earliest) {
+          earliest = thread.runnable_since;
+          chosen = static_cast<int>(t);
+        }
+      }
+      if (chosen < 0) break;
+      SimThreadState& thread = threads_[static_cast<size_t>(chosen)];
+      bool has_work = false;
+      for (int id : thread.queue_ids) {
+        if (!queues_[static_cast<size_t>(id)].arrivals.empty()) {
+          has_work = true;
+          break;
+        }
+      }
+      if (!has_work) {
+        thread.runnable_since = kInfinity;  // spurious
+        continue;
+      }
+      const double busy = ProcessQuantum(&thread);
+      thread.running = true;
+      thread.runnable_since = kInfinity;
+      thread.busy_until = now_ + busy;
+      thread.busy_total += busy;
+      --free_cpus;
+    }
+    // Next event: earliest completion, arrival or delivery.
+    double next_event = kInfinity;
+    for (const SimThreadState& thread : threads_) {
+      if (thread.running) {
+        next_event = std::min(next_event, thread.busy_until);
+      }
+    }
+    for (const SourceStream& stream : sources_) {
+      if (stream.next < stream.arrival_times.size()) {
+        next_event =
+            std::min(next_event, stream.arrival_times[stream.next]);
+      }
+    }
+    if (!in_flight_.empty()) {
+      next_event = std::min(next_event, in_flight_.top().time);
+    }
+    if (!std::isfinite(next_event)) break;  // drained and idle: done
+    RecordSamplesUpTo(next_event);
+    now_ = std::max(now_, next_event);
+    // Completions first (deterministic thread order).
+    for (size_t t = 0; t < threads_.size(); ++t) {
+      SimThreadState& thread = threads_[t];
+      if (thread.running && thread.busy_until <= now_ + 1e-12) {
+        thread.running = false;
+        ++free_cpus;
+        MarkRunnable(static_cast<int>(t), now_);
+      }
+    }
+    // Source arrivals due now (source id order; broadcast to subscribers).
+    for (SourceStream& stream : sources_) {
+      while (stream.next < stream.arrival_times.size() &&
+             stream.arrival_times[stream.next] <= now_ + 1e-12) {
+        for (const auto& edge : stream.source->outputs()) {
+          const Node* consumer = static_cast<const Node*>(edge.target);
+          const int qid = queue_of_edge_.at(stream.source).at(consumer);
+          EnqueueAt(qid, now_, 1);
+          MarkRunnable(queues_[static_cast<size_t>(qid)].thread, now_);
+        }
+        ++stream.next;
+      }
+    }
+    // Deliver in-flight cross-VO emissions that are due.
+    while (!in_flight_.empty() && in_flight_.top().time <= now_ + 1e-12) {
+      const Delivery delivery = in_flight_.top();
+      in_flight_.pop();
+      EnqueueAt(delivery.queue_id, delivery.time, delivery.count);
+      MarkRunnable(
+          queues_[static_cast<size_t>(delivery.queue_id)].thread, now_);
+    }
+  }
+  RecordSamplesUpTo(now_);
+  SimResult result;
+  result.completion_time = now_;
+  result.results = static_cast<int64_t>(std::llround(results_));
+  result.max_queued = max_queued_;
+  result.samples = std::move(samples_);
+  for (const SimThreadState& thread : threads_) {
+    result.partition_busy.push_back(thread.busy_total);
+  }
+  return result;
+}
+
+std::vector<const Node*> ConnectedNonSourceNodes(const QueryGraph& graph) {
+  std::vector<const Node*> nodes;
+  for (const Node* node : graph.nodes()) {
+    if (node->is_source()) continue;
+    if (node->fan_in() == 0 && node->fan_out() == 0) continue;
+    nodes.push_back(node);
+  }
+  return nodes;
+}
+
+}  // namespace
+
+Result<SimResult> Simulate(
+    const QueryGraph& graph,
+    const std::unordered_map<const Node*, std::vector<SimPhase>>& schedules,
+    const std::vector<SimThread>& threads, const SimOptions& options) {
+  Simulation simulation(graph, options);
+  Status s = simulation.Build(schedules, threads);
+  if (!s.ok()) return s;
+  return simulation.Run();
+}
+
+SimThread MakeVoPerOperator(const QueryGraph& graph) {
+  SimThread thread;
+  for (const Node* node : ConnectedNonSourceNodes(graph)) {
+    thread.push_back(SimVo{node});
+  }
+  return thread;
+}
+
+std::vector<SimThread> MakeGtsConfig(const QueryGraph& graph) {
+  return {MakeVoPerOperator(graph)};
+}
+
+std::vector<SimThread> MakeOtsConfig(const QueryGraph& graph) {
+  std::vector<SimThread> threads;
+  for (const Node* node : ConnectedNonSourceNodes(graph)) {
+    threads.push_back(SimThread{SimVo{node}});
+  }
+  return threads;
+}
+
+std::vector<SimThread> MakeDirectConfig(const QueryGraph& graph) {
+  SimVo vo = ConnectedNonSourceNodes(graph);
+  return {SimThread{std::move(vo)}};
+}
+
+}  // namespace flexstream

@@ -1,0 +1,124 @@
+// A deterministic virtual-time simulator of the scheduling architectures.
+//
+// The real executors (sched/, core/) run wall-clock threads, so on this
+// repository's single-vCPU reference host they cannot exhibit the paper's
+// dual-core effects, and their timings carry OS noise. The simulator
+// complements them: it replays a query graph's *cost model* — per-element
+// costs c(v), selectivities, arrival schedules — under a scheduling
+// configuration (partitions, strategy, number of CPUs) in discrete
+// virtual time. Everything is deterministic and instantaneous, so the
+// paper's experiments run at full scale (2-second operators, 260-second
+// horizons, two CPUs) in milliseconds of real time.
+//
+// Model:
+//  * Elements are indistinguishable units; selectivities are applied as
+//    deterministic fractional credits (an operator with selectivity s
+//    forwards floor(accumulated s * inputs) elements).
+//  * A partition executes like a level-2 partition: its strategy picks an
+//    entry queue, one element is dequeued and traverses the partition's
+//    operators depth-first (DI); the partition stays busy for the sum of
+//    the traversed operators' costs. Elements crossing into another
+//    partition are appended to that partition's entry queue at the
+//    current virtual time.
+//  * At most `cpus` partitions run concurrently; when a slot frees, the
+//    waiting runnable partition that has waited longest is granted (the
+//    aging-based grant of the real ThreadScheduler with equal base
+//    priorities).
+//
+// The simulator is a planning/evaluation tool: it predicts memory
+// profiles, completion times and result timelines; it does not process
+// data.
+
+#ifndef FLEXSTREAM_SIM_SIMULATOR_H_
+#define FLEXSTREAM_SIM_SIMULATOR_H_
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/query_graph.h"
+#include "sched/strategy.h"
+#include "util/status.h"
+
+namespace flexstream {
+
+/// One leg of a source's arrival schedule (virtual seconds).
+struct SimPhase {
+  int64_t count = 0;
+  /// Elements per virtual second; <= 0 means "all at one instant".
+  double rate_per_sec = 0.0;
+};
+
+struct SimOptions {
+  /// Virtual CPUs (the paper's host had 2).
+  int cpus = 1;
+  /// Queue-selection policy inside each partition.
+  StrategyKind strategy = StrategyKind::kFifo;
+  /// Sampling period for the memory/result time series (virtual seconds).
+  double sample_interval = 1.0;
+  /// A granted thread runs until it has consumed this much virtual time
+  /// (or runs out of work) before the next grant decision — the level-3
+  /// quantum. A single element may exceed it (elements are not
+  /// preemptible, Section 4.1.1).
+  double quantum = 0.002;
+  /// Overhead model (defaults 0 = pure cost model). `dequeue_overhead_us`
+  /// is charged once per element drained from a queue (the enqueue +
+  /// dequeue + strategy bookkeeping a real queue hop pays — ~0.07 us
+  /// measured by bench/micro_benchmarks); `grant_overhead_us` once per
+  /// grant (thread wake-up / context switch). With these set, the
+  /// simulator predicts the *overhead*-dominated experiments (Figures
+  /// 7/8) as well as the cost-dominated ones.
+  double dequeue_overhead_us = 0.0;
+  double grant_overhead_us = 0.0;
+};
+
+struct SimSample {
+  double time = 0.0;
+  int64_t queued = 0;
+  int64_t results = 0;
+};
+
+struct SimResult {
+  double completion_time = 0.0;
+  int64_t results = 0;
+  int64_t max_queued = 0;
+  std::vector<SimSample> samples;
+  /// Virtual busy time per partition, in partition order.
+  std::vector<double> partition_busy;
+};
+
+/// A virtual operator: a queue-free connected group of operators executed
+/// with DI. Queues sit on every edge crossing VO boundaries.
+using SimVo = std::vector<const Node*>;
+
+/// A thread (level-2 partition): the VOs whose entry queues it drains.
+using SimThread = std::vector<SimVo>;
+
+/// Simulates `graph` (queue-free; costs/selectivities from node metadata,
+/// costs in *microseconds* as everywhere else) under an explicit two-level
+/// configuration that mirrors the HMTS architecture: `threads` lists the
+/// level-2 threads, each holding one or more VOs (level-1 units). Sources
+/// are excluded — they are arrival schedules, not scheduled work; every
+/// other connected node must appear in exactly one VO. `schedules` maps
+/// each source to its arrival phases.
+///
+/// The classic architectures are configurations:
+///   GTS  = one thread, one single-operator VO per operator;
+///   DI   = one thread, one VO holding everything;
+///   OTS  = one thread per operator;
+///   HMTS = one thread per placement partition (VO = partition).
+Result<SimResult> Simulate(
+    const QueryGraph& graph,
+    const std::unordered_map<const Node*, std::vector<SimPhase>>& schedules,
+    const std::vector<SimThread>& threads, const SimOptions& options);
+
+/// Configuration helpers over the non-source connected nodes of `graph`.
+SimThread MakeVoPerOperator(const QueryGraph& graph);
+std::vector<SimThread> MakeGtsConfig(const QueryGraph& graph);
+std::vector<SimThread> MakeOtsConfig(const QueryGraph& graph);
+std::vector<SimThread> MakeDirectConfig(const QueryGraph& graph);
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_SIM_SIMULATOR_H_

@@ -1,0 +1,70 @@
+#include "stats/capacity.h"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "graph/query_graph.h"
+#include "util/logging.h"
+
+namespace flexstream {
+
+void CapacityAccumulator::AddNode(double cost_micros,
+                                  double interarrival_micros) {
+  sum_cost_ += cost_micros;
+  if (std::isfinite(interarrival_micros) && interarrival_micros > 0.0) {
+    sum_inverse_interarrival_ += 1.0 / interarrival_micros;
+  }
+  ++count_;
+}
+
+void CapacityAccumulator::Merge(const CapacityAccumulator& other) {
+  sum_cost_ += other.sum_cost_;
+  sum_inverse_interarrival_ += other.sum_inverse_interarrival_;
+  count_ += other.count_;
+}
+
+double CapacityAccumulator::CombinedInterarrival() const {
+  if (sum_inverse_interarrival_ <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 1.0 / sum_inverse_interarrival_;
+}
+
+double CapacityOfNodes(const std::vector<Node*>& nodes) {
+  CapacityAccumulator acc;
+  for (const Node* n : nodes) {
+    acc.AddNode(n->CostMicros(), n->InterarrivalMicros());
+  }
+  return acc.Capacity();
+}
+
+Status PropagateRates(QueryGraph* graph) {
+  Result<std::vector<Node*>> order = graph->TopologicalOrder();
+  if (!order.ok()) return order.status();
+  // Rates in elements per microsecond.
+  std::unordered_map<const Node*, double> out_rate;
+  for (Node* node : *order) {
+    double in_rate = 0.0;
+    if (node->fan_in() == 0) {
+      if (!node->has_interarrival_override() &&
+          !std::isfinite(node->InterarrivalMicros())) {
+        return Status::FailedPrecondition(
+            "source without inter-arrival metadata: " + node->DebugString());
+      }
+      const double d = node->InterarrivalMicros();
+      in_rate = d > 0.0 ? 1.0 / d : 0.0;
+    } else {
+      for (const auto& edge : node->inputs()) {
+        in_rate += out_rate[edge.source];
+      }
+      node->SetInterarrivalMicros(
+          in_rate > 0.0 ? 1.0 / in_rate
+                        : std::numeric_limits<double>::infinity());
+    }
+    out_rate[node] = in_rate * node->Selectivity();
+  }
+  return Status::Ok();
+}
+
+}  // namespace flexstream

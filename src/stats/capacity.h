@@ -1,0 +1,71 @@
+// Capacity model of Section 5.1.2.
+//
+// For an operator v: c(v) = mean processing cost per element, d(v) = mean
+// inter-arrival time of its inputs. For a partition (virtual operator) P:
+//
+//   c(P)   = sum_{v in P} c(v)
+//   d(P)   = 1 / sum_{v in P} 1/d(v)
+//   cap(P) = d(P) - c(P)
+//
+// cap(P) >= 0 means the VO can keep pace with its input rates; negative
+// capacity means it stalls incoming elements.
+//
+// PropagateRates derives d(v) for every node of a graph from the sources'
+// rates and the operators' selectivities — the model-based alternative to
+// runtime measurement the paper mentions (Section 5.1.3, citing [5]).
+
+#ifndef FLEXSTREAM_STATS_CAPACITY_H_
+#define FLEXSTREAM_STATS_CAPACITY_H_
+
+#include <vector>
+
+#include "graph/node.h"
+#include "util/status.h"
+
+namespace flexstream {
+
+class QueryGraph;
+
+/// Accumulates (c, 1/d) sums for a growing partition; O(1) merge and query.
+class CapacityAccumulator {
+ public:
+  CapacityAccumulator() = default;
+
+  /// Adds one operator's (c(v), d(v)).
+  void AddNode(double cost_micros, double interarrival_micros);
+
+  /// Merges another accumulator (set union of disjoint node sets).
+  void Merge(const CapacityAccumulator& other);
+
+  double CombinedCost() const { return sum_cost_; }
+
+  /// d(P); +infinity when no node has finite inter-arrival time.
+  double CombinedInterarrival() const;
+
+  /// cap(P) = d(P) - c(P).
+  double Capacity() const { return CombinedInterarrival() - sum_cost_; }
+
+  size_t size() const { return count_; }
+
+ private:
+  double sum_cost_ = 0.0;
+  double sum_inverse_interarrival_ = 0.0;
+  size_t count_ = 0;
+};
+
+/// cap over an explicit node set, reading each node's c(v)/d(v) metadata.
+double CapacityOfNodes(const std::vector<Node*>& nodes);
+
+/// Computes d(v) for every node reachable from the sources and stores it
+/// as the node's inter-arrival override.
+///
+/// Model: a source's output rate is 1/d(source) (its inter-arrival
+/// override must be set by the caller); an operator's input rate is the
+/// sum of its producers' output rates; its output rate is input rate times
+/// its selectivity. Fails if some source lacks a d override or the graph
+/// is cyclic.
+Status PropagateRates(QueryGraph* graph);
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_STATS_CAPACITY_H_

@@ -1,0 +1,32 @@
+#include "stats/ewma.h"
+
+#include "util/logging.h"
+
+namespace flexstream {
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  DCHECK_GT(alpha, 0.0);
+  DCHECK_LE(alpha, 1.0);
+}
+
+void Ewma::Add(double sample) {
+  if (count_ == 0) {
+    value_ = sample;
+  } else {
+    value_ += alpha_ * (sample - value_);
+  }
+  sum_ += sample;
+  ++count_;
+}
+
+double Ewma::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+void Ewma::Reset() {
+  value_ = 0.0;
+  sum_ = 0.0;
+  count_ = 0;
+}
+
+}  // namespace flexstream

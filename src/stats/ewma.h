@@ -1,0 +1,43 @@
+// Exponentially weighted moving average estimator.
+//
+// The runtime statistics the paper's capacity model needs — c(v), the mean
+// per-element processing cost, and d(v), the mean inter-arrival time
+// (Section 5.1.2) — must track drifting stream characteristics. EWMA gives
+// recency-weighted means with O(1) state.
+
+#ifndef FLEXSTREAM_STATS_EWMA_H_
+#define FLEXSTREAM_STATS_EWMA_H_
+
+#include <cstdint>
+
+namespace flexstream {
+
+class Ewma {
+ public:
+  /// alpha in (0, 1]: weight of each new sample. alpha = 1 degenerates to
+  /// "last sample"; small alpha gives a long memory.
+  explicit Ewma(double alpha = 0.05);
+
+  void Add(double sample);
+
+  /// Recency-weighted mean; 0 before the first sample.
+  double value() const { return value_; }
+
+  /// Plain arithmetic mean over all samples (useful for offline analysis).
+  double mean() const;
+
+  int64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  void Reset();
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  double sum_ = 0.0;
+  int64_t count_ = 0;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_STATS_EWMA_H_

@@ -1,0 +1,41 @@
+#include "stats/report.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "graph/query_graph.h"
+#include "queue/queue_op.h"
+
+namespace flexstream {
+
+Table BuildStatsTable(const QueryGraph& graph) {
+  Table t({"node", "kind", "arrivals", "processed", "emitted", "cost_us",
+           "selectivity", "interarrival_us", "busy_ms", "queue_now",
+           "queue_peak"});
+  for (const Node* node : graph.nodes()) {
+    const OpStats& s = node->stats();
+    const double d = s.InterarrivalMicros();
+    std::string queue_now = "-";
+    std::string queue_peak = "-";
+    if (const QueueOp* q = dynamic_cast<const QueueOp*>(node)) {
+      queue_now = Table::Int(static_cast<int64_t>(q->Size()));
+      queue_peak = Table::Int(static_cast<int64_t>(q->PeakSize()));
+    }
+    t.AddRow({node->name(), NodeKindToString(node->kind()),
+              Table::Int(s.arrivals()), Table::Int(s.processed()),
+              Table::Int(s.emitted()), Table::Num(s.CostMicros(), 2),
+              Table::Num(s.Selectivity(), 3),
+              std::isfinite(d) ? Table::Num(d, 1) : std::string("inf"),
+              Table::Num(s.BusyMicros() / 1000.0, 1), queue_now,
+              queue_peak});
+  }
+  return t;
+}
+
+std::string StatsReport(const QueryGraph& graph) {
+  std::ostringstream os;
+  BuildStatsTable(graph).Print(os);
+  return os.str();
+}
+
+}  // namespace flexstream

@@ -1,0 +1,29 @@
+// Human-readable runtime statistics reports.
+//
+// Snapshots the per-operator statistics of a query graph — processed and
+// emitted counts, measured c(v), selectivity, d(v), busy time, queue
+// occupancy — into an aligned table. Used by examples and ad-hoc
+// debugging; the same numbers feed the placement algorithms.
+
+#ifndef FLEXSTREAM_STATS_REPORT_H_
+#define FLEXSTREAM_STATS_REPORT_H_
+
+#include <string>
+
+#include "util/table.h"
+
+namespace flexstream {
+
+class QueryGraph;
+
+/// One row per node: kind, name, arrivals, processed, emitted, measured
+/// cost (us), selectivity, inter-arrival (us), busy time (ms), and for
+/// queues their current/peak sizes.
+Table BuildStatsTable(const QueryGraph& graph);
+
+/// Convenience: the table rendered to a string.
+std::string StatsReport(const QueryGraph& graph);
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_STATS_REPORT_H_

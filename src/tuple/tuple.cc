@@ -1,0 +1,53 @@
+#include "tuple/tuple.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace flexstream {
+
+Tuple Tuple::EndOfStream(AppTime timestamp) {
+  Tuple t;
+  t.kind_ = Kind::kEndOfStream;
+  t.timestamp_ = timestamp;
+  return t;
+}
+
+const Value& Tuple::at(size_t i) const {
+  DCHECK_LT(i, values_.size());
+  return values_[i];
+}
+
+Value& Tuple::at(size_t i) {
+  DCHECK_LT(i, values_.size());
+  return values_[i];
+}
+
+Tuple Tuple::Concat(const Tuple& left, const Tuple& right) {
+  DCHECK(left.is_data());
+  DCHECK(right.is_data());
+  std::vector<Value> values;
+  values.reserve(left.arity() + right.arity());
+  values.insert(values.end(), left.values_.begin(), left.values_.end());
+  values.insert(values.end(), right.values_.begin(), right.values_.end());
+  return Tuple(std::move(values),
+               std::max(left.timestamp_, right.timestamp_));
+}
+
+std::string Tuple::ToString() const {
+  if (is_eos()) return "<EOS@" + std::to_string(timestamp_) + ">";
+  std::string s = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += values_[i].ToString();
+  }
+  s += ")@";
+  s += std::to_string(timestamp_);
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const Tuple& tuple) {
+  return os << tuple.ToString();
+}
+
+}  // namespace flexstream

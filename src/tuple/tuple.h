@@ -1,0 +1,104 @@
+// The stream element.
+//
+// A Tuple is either a data element (a row of Values plus an application
+// timestamp in microseconds) or an end-of-stream punctuation. EOS tuples
+// carry no payload; they implement the "special element which only carries
+// this information" that Section 2.2 of the paper introduces to resolve the
+// ambiguous hasNext semantics, and they are what finite experiment streams
+// use to flush and terminate query graphs.
+
+#ifndef FLEXSTREAM_TUPLE_TUPLE_H_
+#define FLEXSTREAM_TUPLE_TUPLE_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "tuple/value.h"
+#include "util/clock.h"
+
+namespace flexstream {
+
+class Tuple {
+ public:
+  enum class Kind : uint8_t {
+    kData = 0,
+    /// Punctuation: no further data elements will arrive on this edge.
+    kEndOfStream = 1,
+  };
+
+  /// An empty data tuple at application time 0.
+  Tuple() = default;
+
+  Tuple(std::initializer_list<Value> values, AppTime timestamp = 0)
+      : timestamp_(timestamp), values_(values) {}
+
+  Tuple(std::vector<Value> values, AppTime timestamp)
+      : timestamp_(timestamp), values_(std::move(values)) {}
+
+  /// Constructs the end-of-stream punctuation. `timestamp` is the logical
+  /// time at which the stream ended (windows may flush up to it).
+  static Tuple EndOfStream(AppTime timestamp = 0);
+
+  /// Convenience single-attribute constructors used pervasively by the
+  /// synthetic workloads.
+  static Tuple OfInt(int64_t v, AppTime timestamp = 0) {
+    return Tuple({Value(v)}, timestamp);
+  }
+  static Tuple OfDouble(double v, AppTime timestamp = 0) {
+    return Tuple({Value(v)}, timestamp);
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_data() const { return kind_ == Kind::kData; }
+  bool is_eos() const { return kind_ == Kind::kEndOfStream; }
+
+  AppTime timestamp() const { return timestamp_; }
+  void set_timestamp(AppTime t) { timestamp_ = t; }
+
+  size_t arity() const { return values_.size(); }
+  const Value& at(size_t i) const;
+  Value& at(size_t i);
+  const std::vector<Value>& values() const { return values_; }
+
+  int64_t IntAt(size_t i) const { return at(i).AsInt64(); }
+  double DoubleAt(size_t i) const { return at(i).AsDouble(); }
+  const std::string& StringAt(size_t i) const { return at(i).AsString(); }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// Concatenation of two tuples' attributes (used by joins). The result's
+  /// timestamp is the max of the inputs' timestamps, following the usual
+  /// stream-join convention.
+  static Tuple Concat(const Tuple& left, const Tuple& right);
+
+  std::string ToString() const;
+
+  /// Value equality: kind, timestamp and all attributes. EOS tuples compare
+  /// equal iff their timestamps match.
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.kind_ == b.kind_ && a.timestamp_ == b.timestamp_ &&
+           a.values_ == b.values_;
+  }
+  friend bool operator!=(const Tuple& a, const Tuple& b) { return !(a == b); }
+
+  /// Lexicographic order ignoring kind (EOS sorts by timestamp); used by
+  /// tests to compare result multisets.
+  friend bool operator<(const Tuple& a, const Tuple& b) {
+    if (a.timestamp_ != b.timestamp_) return a.timestamp_ < b.timestamp_;
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    return a.values_ < b.values_;
+  }
+
+ private:
+  Kind kind_ = Kind::kData;
+  AppTime timestamp_ = 0;
+  std::vector<Value> values_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Tuple& tuple);
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_TUPLE_TUPLE_H_

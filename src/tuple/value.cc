@@ -1,0 +1,62 @@
+#include "tuple/value.h"
+
+#include "util/logging.h"
+
+namespace flexstream {
+
+int64_t Value::AsInt64() const {
+  DCHECK(is_int64());
+  return std::get<int64_t>(v_);
+}
+
+double Value::AsDouble() const {
+  DCHECK(is_double());
+  return std::get<double>(v_);
+}
+
+const std::string& Value::AsString() const {
+  DCHECK(is_string());
+  return std::get<std::string>(v_);
+}
+
+double Value::ToDouble() const {
+  switch (type()) {
+    case Type::kInt64:
+      return static_cast<double>(std::get<int64_t>(v_));
+    case Type::kDouble:
+      return std::get<double>(v_);
+    case Type::kString:
+      LOG(FATAL) << "Value::ToDouble on string value";
+  }
+  return 0.0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case Type::kInt64:
+      return std::to_string(std::get<int64_t>(v_));
+    case Type::kDouble:
+      return std::to_string(std::get<double>(v_));
+    case Type::kString:
+      return std::get<std::string>(v_);
+  }
+  return "";
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case Type::kInt64:
+      return std::hash<int64_t>{}(std::get<int64_t>(v_));
+    case Type::kDouble:
+      return std::hash<double>{}(std::get<double>(v_));
+    case Type::kString:
+      return std::hash<std::string>{}(std::get<std::string>(v_));
+  }
+  return 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace flexstream

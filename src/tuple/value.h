@@ -1,0 +1,69 @@
+// The attribute value type carried inside stream tuples.
+
+#ifndef FLEXSTREAM_TUPLE_VALUE_H_
+#define FLEXSTREAM_TUPLE_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+namespace flexstream {
+
+/// A dynamically typed attribute value: 64-bit integer, double, or string.
+/// Values are ordered and hashable so they can serve as join and group-by
+/// keys. Comparisons between different runtime types are defined by the
+/// variant's type order (int64 < double < string) — operators never compare
+/// across types in practice, but the total order keeps containers safe.
+class Value {
+ public:
+  enum class Type { kInt64 = 0, kDouble = 1, kString = 2 };
+
+  Value() : v_(int64_t{0}) {}
+  Value(int64_t v) : v_(v) {}              // NOLINT: implicit by design
+  Value(int v) : v_(int64_t{v}) {}         // NOLINT
+  Value(double v) : v_(v) {}               // NOLINT
+  Value(std::string v) : v_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT
+
+  Type type() const { return static_cast<Type>(v_.index()); }
+  bool is_int64() const { return type() == Type::kInt64; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_string() const { return type() == Type::kString; }
+
+  /// Accessors require the matching runtime type (checked in debug builds).
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Numeric coercion: int64 and double convert; strings are an error.
+  double ToDouble() const;
+
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.v_ == b.v_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.v_ < b.v_;
+  }
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_TUPLE_VALUE_H_

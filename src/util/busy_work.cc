@@ -1,0 +1,65 @@
+#include "util/busy_work.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace flexstream {
+namespace {
+
+// Sink that keeps the burn loop observable so it is not optimized away.
+std::atomic<uint64_t> g_burn_sink{0};
+
+double CalibrateIterationsPerMicro() {
+  // Warm up, then time a fixed iteration count a few times and take the
+  // fastest run (least disturbed by scheduling noise).
+  constexpr uint64_t kProbe = 2'000'000;
+  BurnIterations(kProbe / 10);
+  double best = 0.0;
+  for (int round = 0; round < 3; ++round) {
+    const TimePoint start = Now();
+    BurnIterations(kProbe);
+    const int64_t micros = ToMicros(Now() - start);
+    if (micros <= 0) continue;
+    const double rate = static_cast<double>(kProbe) / micros;
+    if (rate > best) best = rate;
+  }
+  return best > 0.0 ? best : 1000.0;  // fallback: ~1 iteration/ns
+}
+
+}  // namespace
+
+void BurnIterations(uint64_t iterations) {
+  uint64_t acc = g_burn_sink.load(std::memory_order_relaxed);
+  for (uint64_t i = 0; i < iterations; ++i) {
+    // A cheap mix that the optimizer cannot collapse because acc escapes.
+    acc = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  g_burn_sink.store(acc, std::memory_order_relaxed);
+}
+
+double IterationsPerMicro() {
+  static std::once_flag once;
+  static double rate = 0.0;
+  std::call_once(once, [] { rate = CalibrateIterationsPerMicro(); });
+  return rate;
+}
+
+void BurnMicros(double micros) {
+  if (micros <= 0.0) return;
+  if (micros <= 100.0) {
+    BurnIterations(static_cast<uint64_t>(micros * IterationsPerMicro()));
+    return;
+  }
+  BurnUntil(Now() + FromMicros(static_cast<int64_t>(micros)));
+}
+
+void BurnUntil(TimePoint deadline) {
+  // Burn in ~20 us slices, re-checking the clock between slices.
+  const uint64_t slice =
+      static_cast<uint64_t>(20.0 * IterationsPerMicro());
+  while (Now() < deadline) {
+    BurnIterations(slice);
+  }
+}
+
+}  // namespace flexstream

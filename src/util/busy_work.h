@@ -1,0 +1,38 @@
+// Calibrated CPU-burning work units.
+//
+// The paper's evaluation (Section 6.6) uses operators with precisely chosen
+// processing costs (2.7 us projection, 530 ns selection, a 2 s "complex
+// predicate evaluation"). To reproduce those experiments we need a way to
+// make an operator consume a given amount of CPU time without sleeping —
+// a sleeping operator would release the core and hide exactly the stalls
+// the paper studies. BusyWork burns cycles in a loop whose per-iteration
+// cost is calibrated once per process.
+
+#ifndef FLEXSTREAM_UTIL_BUSY_WORK_H_
+#define FLEXSTREAM_UTIL_BUSY_WORK_H_
+
+#include <cstdint>
+
+#include "util/clock.h"
+
+namespace flexstream {
+
+/// Burns approximately `iterations` units of the calibration loop.
+/// The loop body is opaque to the optimizer.
+void BurnIterations(uint64_t iterations);
+
+/// Returns the calibrated number of loop iterations per microsecond of CPU
+/// time. Calibrated lazily on first use; thread-safe.
+double IterationsPerMicro();
+
+/// Burns approximately `micros` microseconds of CPU time. For costs above
+/// ~100 us the burn re-checks the clock so accuracy does not depend on the
+/// calibration staying valid under frequency scaling.
+void BurnMicros(double micros);
+
+/// Burns CPU until the steady clock reaches `deadline`.
+void BurnUntil(TimePoint deadline);
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_UTIL_BUSY_WORK_H_

@@ -1,0 +1,21 @@
+#include "util/clock.h"
+
+namespace flexstream {
+
+void SleepUntil(TimePoint deadline) {
+  // sleep_for on Linux typically overshoots by ~50us; sleep for most of the
+  // interval and spin for the tail so high-rate sources stay precise.
+  constexpr auto kSpinWindow = std::chrono::microseconds(100);
+  for (;;) {
+    const TimePoint now = Now();
+    if (now >= deadline) return;
+    const Duration remaining = deadline - now;
+    if (remaining > kSpinWindow) {
+      std::this_thread::sleep_for(remaining - kSpinWindow);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace flexstream

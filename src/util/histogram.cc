@@ -1,0 +1,101 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace flexstream {
+
+Histogram::Histogram() = default;
+
+int Histogram::BucketFor(double value) {
+  if (!(value >= 1.0)) return 0;  // <1 (and NaN) in the underflow bucket
+  const double log_value = std::log10(value);
+  const int bucket =
+      1 + static_cast<int>(log_value * kBucketsPerDecade);
+  return std::min(bucket, kBucketCount - 1);
+}
+
+double Histogram::BucketLowerBound(int bucket) {
+  if (bucket <= 0) return 0.0;
+  return std::pow(10.0, static_cast<double>(bucket - 1) /
+                            kBucketsPerDecade);
+}
+
+void Histogram::Add(double value) {
+  ++buckets_[static_cast<size_t>(BucketFor(value))];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double Histogram::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_ - 1);
+  int64_t cumulative = 0;
+  for (int b = 0; b < kBucketCount; ++b) {
+    const int64_t in_bucket = buckets_[static_cast<size_t>(b)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) > target) {
+      // Interpolate within the bucket.
+      const double lo = std::max(BucketLowerBound(b), min_);
+      const double hi = std::min(BucketLowerBound(b + 1), max_);
+      const double frac =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lo + frac * std::max(0.0, hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "count=%lld mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f",
+                static_cast<long long>(count_), mean(), Percentile(0.50),
+                Percentile(0.95), Percentile(0.99), max());
+  return buf;
+}
+
+void Histogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+}  // namespace flexstream

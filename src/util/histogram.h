@@ -1,0 +1,56 @@
+// A log-bucketed histogram for latency measurements.
+//
+// Values (microseconds, typically) are counted in buckets whose width
+// grows geometrically, giving ~4% relative resolution over nine decades
+// with fixed memory. Supports mean, percentiles, min/max, and merging.
+
+#ifndef FLEXSTREAM_UTIL_HISTOGRAM_H_
+#define FLEXSTREAM_UTIL_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace flexstream {
+
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one sample (negative samples count into the first bucket).
+  void Add(double value);
+
+  void Merge(const Histogram& other);
+
+  int64_t count() const { return count_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Value at quantile q in [0, 1], interpolated within the bucket.
+  /// Returns 0 for an empty histogram.
+  double Percentile(double q) const;
+
+  /// "count=... mean=... p50=... p95=... p99=... max=..."
+  std::string Summary() const;
+
+  void Reset();
+
+ private:
+  static constexpr int kBucketsPerDecade = 32;
+  static constexpr int kDecades = 9;  // 1 us .. 1e9 us
+  static constexpr int kBucketCount = kBucketsPerDecade * kDecades + 2;
+
+  static int BucketFor(double value);
+  static double BucketLowerBound(int bucket);
+
+  std::array<int64_t, kBucketCount> buckets_{};
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_UTIL_HISTOGRAM_H_

@@ -1,0 +1,59 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace flexstream {
+namespace internal_logging {
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogSeverity::kWarning)};
+
+std::mutex& OutputMutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogSeverity MinLogLevel() {
+  return static_cast<LogSeverity>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void SetMinLogLevel(LogSeverity severity) {
+  g_min_level.store(static_cast<int>(severity), std::memory_order_relaxed);
+}
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  stream_ << SeverityTag(severity) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= MinLogLevel() || severity_ == LogSeverity::kFatal) {
+    std::lock_guard<std::mutex> lock(OutputMutex());
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace flexstream

@@ -1,0 +1,144 @@
+// Minimal logging and invariant-checking facility.
+//
+// LOG(level) << ...;   levels: INFO, WARNING, ERROR.
+// CHECK(cond) << ...;  aborts with a message when cond is false.
+// CHECK_EQ / NE / LT / LE / GT / GE compare and print both operands.
+// DCHECK* compile to no-ops in NDEBUG builds.
+//
+// Log output goes to stderr and is serialized per-message so that
+// multi-threaded schedulers produce readable interleavings.
+
+#ifndef FLEXSTREAM_UTIL_LOGGING_H_
+#define FLEXSTREAM_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace flexstream {
+namespace internal_logging {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Minimum severity that is actually emitted. Defaults to kWarning so that
+/// tests and benchmarks stay quiet; benches raise it explicitly when needed.
+LogSeverity MinLogLevel();
+void SetMinLogLevel(LogSeverity severity);
+
+/// Accumulates one log message and emits it (and aborts for kFatal) in the
+/// destructor.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// glog-style helper: `operator&` binds looser than `<<`, so
+/// `Voidify() & LOG(FATAL) << ...` voids the whole streamed expression and
+/// can appear as a branch of `?:`.
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace flexstream
+
+#define FLEXSTREAM_LOG_INFO                                \
+  ::flexstream::internal_logging::LogMessage(              \
+      ::flexstream::internal_logging::LogSeverity::kInfo,  \
+      __FILE__, __LINE__)                                  \
+      .stream()
+#define FLEXSTREAM_LOG_WARNING                               \
+  ::flexstream::internal_logging::LogMessage(                \
+      ::flexstream::internal_logging::LogSeverity::kWarning, \
+      __FILE__, __LINE__)                                    \
+      .stream()
+#define FLEXSTREAM_LOG_ERROR                               \
+  ::flexstream::internal_logging::LogMessage(              \
+      ::flexstream::internal_logging::LogSeverity::kError, \
+      __FILE__, __LINE__)                                  \
+      .stream()
+#define FLEXSTREAM_LOG_FATAL                               \
+  ::flexstream::internal_logging::LogMessage(              \
+      ::flexstream::internal_logging::LogSeverity::kFatal, \
+      __FILE__, __LINE__)                                  \
+      .stream()
+
+#define LOG(severity) FLEXSTREAM_LOG_##severity
+
+#define CHECK(cond)                                     \
+  (cond) ? (void)0                                      \
+         : ::flexstream::internal_logging::Voidify() &  \
+               LOG(FATAL) << "CHECK failed: " #cond " "
+
+#define FLEXSTREAM_CHECK_OP(name, op, a, b)                                \
+  do {                                                                     \
+    auto&& flexstream_check_a = (a);                                       \
+    auto&& flexstream_check_b = (b);                                       \
+    if (!(flexstream_check_a op flexstream_check_b)) {                     \
+      LOG(FATAL) << "CHECK_" #name " failed: " #a " (" << flexstream_check_a \
+                 << ") " #op " " #b " (" << flexstream_check_b << ") ";    \
+    }                                                                      \
+  } while (false)
+
+#define CHECK_EQ(a, b) FLEXSTREAM_CHECK_OP(EQ, ==, a, b)
+#define CHECK_NE(a, b) FLEXSTREAM_CHECK_OP(NE, !=, a, b)
+#define CHECK_LT(a, b) FLEXSTREAM_CHECK_OP(LT, <, a, b)
+#define CHECK_LE(a, b) FLEXSTREAM_CHECK_OP(LE, <=, a, b)
+#define CHECK_GT(a, b) FLEXSTREAM_CHECK_OP(GT, >, a, b)
+#define CHECK_GE(a, b) FLEXSTREAM_CHECK_OP(GE, >=, a, b)
+
+#define CHECK_OK(expr)                                            \
+  do {                                                            \
+    const ::flexstream::Status& flexstream_check_status = (expr); \
+    if (!flexstream_check_status.ok()) {                          \
+      LOG(FATAL) << "CHECK_OK failed: "                           \
+                 << flexstream_check_status.ToString() << " ";    \
+    }                                                             \
+  } while (false)
+
+#ifdef NDEBUG
+#define DCHECK(cond) \
+  while (false) CHECK(cond)
+#define DCHECK_EQ(a, b) \
+  while (false) CHECK_EQ(a, b)
+#define DCHECK_NE(a, b) \
+  while (false) CHECK_NE(a, b)
+#define DCHECK_LT(a, b) \
+  while (false) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) \
+  while (false) CHECK_LE(a, b)
+#define DCHECK_GT(a, b) \
+  while (false) CHECK_GT(a, b)
+#define DCHECK_GE(a, b) \
+  while (false) CHECK_GE(a, b)
+#else
+#define DCHECK(cond) CHECK(cond)
+#define DCHECK_EQ(a, b) CHECK_EQ(a, b)
+#define DCHECK_NE(a, b) CHECK_NE(a, b)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#define DCHECK_GT(a, b) CHECK_GT(a, b)
+#define DCHECK_GE(a, b) CHECK_GE(a, b)
+#endif
+
+#endif  // FLEXSTREAM_UTIL_LOGGING_H_

@@ -1,0 +1,132 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace flexstream {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextU64(uint64_t bound) {
+  DCHECK_GT(bound, 0u);
+  // Lemire's nearly-divisionless bounded generation with rejection.
+  for (;;) {
+    const uint64_t x = NextU64();
+    const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    const uint64_t low = static_cast<uint64_t>(m);
+    if (low >= bound || low >= (-bound) % bound) {
+      return static_cast<uint64_t>(m >> 64);
+    }
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  DCHECK_LE(lo, hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextU64());  // full range
+  return lo + static_cast<int64_t>(NextU64(span));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+double Rng::Exponential(double mean) {
+  DCHECK_GT(mean, 0.0);
+  // Avoid log(0).
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+int64_t Rng::Poisson(double mean) {
+  DCHECK_GE(mean, 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    const double limit = std::exp(-mean);
+    int64_t k = 0;
+    double product = UniformDouble();
+    while (product > limit) {
+      ++k;
+      product *= UniformDouble();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction for large means.
+  // Box-Muller transform.
+  double u1;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 0.0);
+  const double u2 = UniformDouble();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  const double value = mean + std::sqrt(mean) * z + 0.5;
+  return value < 0.0 ? 0 : static_cast<int64_t>(value);
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  DCHECK_GT(n, 0);
+  if (n != zipf_n_ || s != zipf_s_) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.assign(static_cast<size_t>(n), 0.0);
+    double sum = 0.0;
+    for (int64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), s);
+      zipf_cdf_[static_cast<size_t>(i - 1)] = sum;
+    }
+    for (auto& v : zipf_cdf_) v /= sum;
+  }
+  const double u = UniformDouble();
+  // Binary search for the first CDF entry >= u.
+  int64_t lo = 0;
+  int64_t hi = n - 1;
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (zipf_cdf_[static_cast<size_t>(mid)] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo + 1;
+}
+
+}  // namespace flexstream

@@ -1,0 +1,62 @@
+// Deterministic random number generation for workloads and tests.
+//
+// A thin wrapper around xoshiro256** plus the distributions the paper's
+// evaluation needs: uniform integers/doubles, exponential inter-arrival
+// times (Poisson arrival processes, Section 6.2), Poisson counts, and Zipf
+// keys for skewed example workloads.
+
+#ifndef FLEXSTREAM_UTIL_RANDOM_H_
+#define FLEXSTREAM_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace flexstream {
+
+/// xoshiro256** seeded via splitmix64. Deterministic for a given seed,
+/// fast, and independent of the standard library's unspecified engines.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, bound). Requires bound > 0.
+  uint64_t NextU64(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform in [0, 1).
+  double UniformDouble();
+
+  /// Uniform in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (> 0). The
+  /// inter-arrival time of a Poisson process with rate 1/mean.
+  double Exponential(double mean);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  int64_t Poisson(double mean);
+
+  /// Zipf-distributed value in [1, n] with exponent s, via inverse-CDF over
+  /// a lazily built table (rebuilt when (n, s) changes).
+  int64_t Zipf(int64_t n, double s);
+
+ private:
+  uint64_t s_[4];
+  // Cached Zipf CDF for the last (n, s) pair.
+  int64_t zipf_n_ = 0;
+  double zipf_s_ = 0.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_UTIL_RANDOM_H_

@@ -1,0 +1,78 @@
+// A bounded lock-free single-producer/single-consumer ring buffer.
+//
+// Used as the fast path inside QueueOp when a decoupling queue is known to
+// have exactly one producing partition and one consuming partition — the
+// common case after stall-avoiding placement, where each queue sits on one
+// inter-partition edge.
+
+#ifndef FLEXSTREAM_UTIL_SPSC_RING_H_
+#define FLEXSTREAM_UTIL_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace flexstream {
+
+/// Fixed-capacity SPSC queue. Capacity is rounded up to a power of two.
+/// TryPush/TryPop never block; the caller decides how to handle a full or
+/// empty ring (QueueOp falls back to an overflow list on the producer side).
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t capacity) {
+    size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Returns false when the ring is full.
+  bool TryPush(T value) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Returns nullopt when the ring is empty.
+  std::optional<T> TryPop() {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt;
+    T value = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  /// Racy size estimate; exact when called from the producer or consumer
+  /// while the other side is quiescent.
+  size_t SizeApprox() const {
+    const size_t head = head_.load(std::memory_order_acquire);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    return head - tail;
+  }
+
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  // Producer-written / consumer-written indices on separate cache lines.
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_UTIL_SPSC_RING_H_

@@ -1,0 +1,89 @@
+// An unbounded mutex-protected multi-producer/multi-consumer queue with
+// close semantics and blocking pops.
+//
+// This is the general-purpose channel underneath QueueOp (decoupling
+// queues can in general have multiple upstream producers — e.g., after a
+// union — and are drained by whichever partition thread the scheduler
+// assigns) and is also used for control messages.
+
+#ifndef FLEXSTREAM_UTIL_SYNC_QUEUE_H_
+#define FLEXSTREAM_UTIL_SYNC_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace flexstream {
+
+template <typename T>
+class SyncQueue {
+ public:
+  SyncQueue() = default;
+  SyncQueue(const SyncQueue&) = delete;
+  SyncQueue& operator=(const SyncQueue&) = delete;
+
+  /// Enqueues a value. Returns false (dropping the value) if the queue has
+  /// been closed.
+  bool Push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop; nullopt when empty (regardless of closed state).
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Blocking pop; returns nullopt only when the queue is closed *and*
+  /// drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// After Close, pushes are rejected; pending items remain poppable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool Empty() const { return Size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_UTIL_SYNC_QUEUE_H_

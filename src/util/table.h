@@ -1,0 +1,45 @@
+// Plain-text table and CSV emission for benchmark harnesses.
+//
+// Every figure-reproduction bench prints (a) a human-readable aligned table
+// to stdout mirroring the rows/series the paper reports and (b) optionally
+// the same data as CSV for plotting.
+
+#ifndef FLEXSTREAM_UTIL_TABLE_H_
+#define FLEXSTREAM_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace flexstream {
+
+/// A simple column-aligned table. All rows must have the same number of
+/// cells as the header.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; string cells are used verbatim.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision (default 3 digits).
+  static std::string Num(double value, int precision = 3);
+  static std::string Int(int64_t value);
+
+  /// Writes an aligned, pipe-separated table.
+  void Print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (no quoting beyond commas/newlines needed by
+  /// our numeric content).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_UTIL_TABLE_H_

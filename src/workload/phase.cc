@@ -1,0 +1,31 @@
+#include "workload/phase.h"
+
+namespace flexstream {
+
+int64_t TotalCount(const std::vector<Phase>& phases) {
+  int64_t total = 0;
+  for (const Phase& p : phases) total += p.count;
+  return total;
+}
+
+double ExpectedDurationSeconds(const std::vector<Phase>& phases) {
+  double total = 0.0;
+  for (const Phase& p : phases) {
+    if (p.rate_per_sec > 0.0) {
+      total += static_cast<double>(p.count) / p.rate_per_sec;
+    }
+  }
+  return total;
+}
+
+std::string PhasesToString(const std::vector<Phase>& phases) {
+  std::string s;
+  for (const Phase& p : phases) {
+    if (!s.empty()) s += ", ";
+    s += std::to_string(p.count) + "@" +
+         std::to_string(static_cast<int64_t>(p.rate_per_sec)) + "/s";
+  }
+  return "[" + s + "]";
+}
+
+}  // namespace flexstream

@@ -1,0 +1,35 @@
+// Multi-phase emission schedules.
+//
+// Section 6.6's workload emits "the elements 1 to 10,000 and 30,001 to
+// 50,000 with a high rate of approximately 500,000 elements per second
+// ... The remaining elements ... with a rate of 250 elements per second".
+// A Phase is one (count, rate) leg of such a schedule.
+
+#ifndef FLEXSTREAM_WORKLOAD_PHASE_H_
+#define FLEXSTREAM_WORKLOAD_PHASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flexstream {
+
+struct Phase {
+  /// Elements emitted in this phase.
+  int64_t count = 0;
+  /// Target emission rate in elements/second; 0 = unpaced (max speed).
+  double rate_per_sec = 0.0;
+};
+
+/// Total element count across phases.
+int64_t TotalCount(const std::vector<Phase>& phases);
+
+/// Expected wall duration of the schedule in seconds (unpaced phases
+/// contribute 0).
+double ExpectedDurationSeconds(const std::vector<Phase>& phases);
+
+std::string PhasesToString(const std::vector<Phase>& phases);
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_WORKLOAD_PHASE_H_

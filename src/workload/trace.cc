@@ -1,0 +1,198 @@
+#include "workload/trace.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace flexstream {
+namespace {
+
+std::string EscapeString(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '%' || c == ',' || c == ' ' || c == '\t' || c == '\n' ||
+        c == '\r') {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X",
+                    static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeString(const std::string& s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (i + 2 >= s.size() ||
+        !std::isxdigit(static_cast<unsigned char>(s[i + 1])) ||
+        !std::isxdigit(static_cast<unsigned char>(s[i + 2]))) {
+      return Status::InvalidArgument("bad %-escape in string: " + s);
+    }
+    out.push_back(static_cast<char>(
+        std::stoi(s.substr(i + 1, 2), nullptr, 16)));
+    i += 2;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : s) {
+    if (c == sep) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+}  // namespace
+
+std::string SerializeValue(const Value& value) {
+  switch (value.type()) {
+    case Value::Type::kInt64:
+      return "i:" + std::to_string(value.AsInt64());
+    case Value::Type::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "d:%.17g", value.AsDouble());
+      return buf;
+    }
+    case Value::Type::kString:
+      return "s:" + EscapeString(value.AsString());
+  }
+  return "";
+}
+
+Result<Value> DeserializeValue(const std::string& text) {
+  if (text.size() < 2 || text[1] != ':') {
+    return Status::InvalidArgument("bad value literal: " + text);
+  }
+  const std::string body = text.substr(2);
+  switch (text[0]) {
+    case 'i': {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(body.c_str(), &end, 10);
+      if (errno != 0 || end == body.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad int literal: " + text);
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case 'd': {
+      errno = 0;
+      char* end = nullptr;
+      const double v = std::strtod(body.c_str(), &end);
+      if (errno != 0 || end == body.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad double literal: " + text);
+      }
+      return Value(v);
+    }
+    case 's': {
+      Result<std::string> unescaped = UnescapeString(body);
+      if (!unescaped.ok()) return unescaped.status();
+      return Value(*unescaped);
+    }
+    default:
+      return Status::InvalidArgument("unknown value tag: " + text);
+  }
+}
+
+Trace::Trace(std::vector<Tuple> tuples) : tuples_(std::move(tuples)) {
+  for (const Tuple& t : tuples_) {
+    CHECK(t.is_data()) << "traces hold data tuples only";
+  }
+}
+
+void Trace::Append(Tuple tuple) {
+  CHECK(tuple.is_data());
+  tuples_.push_back(std::move(tuple));
+}
+
+void Trace::ReplayInto(Source* source) const {
+  AppTime last_ts = 0;
+  for (const Tuple& t : tuples_) {
+    source->Push(t);
+    last_ts = t.timestamp();
+  }
+  source->Close(last_ts);
+}
+
+std::string Trace::Serialize() const {
+  std::ostringstream os;
+  for (const Tuple& t : tuples_) {
+    os << t.timestamp() << ' ';
+    for (size_t i = 0; i < t.arity(); ++i) {
+      if (i > 0) os << ',';
+      os << SerializeValue(t.at(i));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+Result<Trace> Trace::Deserialize(const std::string& text) {
+  Trace trace;
+  std::istringstream is(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const size_t space = line.find(' ');
+    const std::string ts_text =
+        space == std::string::npos ? line : line.substr(0, space);
+    errno = 0;
+    char* end = nullptr;
+    const long long ts = std::strtoll(ts_text.c_str(), &end, 10);
+    if (errno != 0 || end == ts_text.c_str() || *end != '\0') {
+      return Status::InvalidArgument(
+          "bad timestamp on line " + std::to_string(line_number));
+    }
+    std::vector<Value> values;
+    if (space != std::string::npos && space + 1 < line.size()) {
+      for (const std::string& part :
+           SplitOn(line.substr(space + 1), ',')) {
+        Result<Value> v = DeserializeValue(part);
+        if (!v.ok()) return v.status();
+        values.push_back(std::move(*v));
+      }
+    }
+    trace.Append(Tuple(std::move(values), static_cast<AppTime>(ts)));
+  }
+  return trace;
+}
+
+Status Trace::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  out << Serialize();
+  out.close();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<Trace> Trace::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Deserialize(buffer.str());
+}
+
+}  // namespace flexstream

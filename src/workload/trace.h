@@ -1,0 +1,64 @@
+// Stream traces: record, serialize, load and replay streams.
+//
+// A Trace is an ordered sequence of timestamped tuples — a materialized
+// stream. Traces make experiments repeatable across process runs: record
+// a synthetic (or real) stream once, write it to a text file, and replay
+// it later through any scheduling configuration. The text format is
+// line-oriented:
+//
+//   <timestamp> <value>[,<value>...]
+//
+// where each value is `i:<int>`, `d:<double>` or `s:<string>` (strings
+// use %-escaping for %, comma, whitespace and newline).
+
+#ifndef FLEXSTREAM_WORKLOAD_TRACE_H_
+#define FLEXSTREAM_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "operators/source.h"
+#include "tuple/tuple.h"
+#include "util/status.h"
+
+namespace flexstream {
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<Tuple> tuples);
+
+  void Append(Tuple tuple);
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Pushes every tuple into `source` in order, then closes it.
+  void ReplayInto(Source* source) const;
+
+  /// Serialization.
+  std::string Serialize() const;
+  static Result<Trace> Deserialize(const std::string& text);
+
+  Status SaveToFile(const std::string& path) const;
+  static Result<Trace> LoadFromFile(const std::string& path);
+
+  friend bool operator==(const Trace& a, const Trace& b) {
+    return a.tuples_ == b.tuples_;
+  }
+
+ private:
+  std::vector<Tuple> tuples_;
+};
+
+// To record a live stream, attach a CollectingSink and build a Trace from
+// its results: Trace(sink->TakeResults()).
+
+/// Formats one value as `i:`/`d:`/`s:` text.
+std::string SerializeValue(const Value& value);
+/// Parses one serialized value.
+Result<Value> DeserializeValue(const std::string& text);
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_WORKLOAD_TRACE_H_

@@ -1,0 +1,127 @@
+// Lower-envelope computation for the Chain strategy (Babcock et al.) and
+// the DownstreamChain helper.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/query_graph.h"
+#include "operators/selection.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "queue/queue_op.h"
+#include "sched/chain_strategy.h"
+#include "util/random.h"
+
+namespace flexstream {
+namespace {
+
+TEST(LowerEnvelopeTest, SingleOperatorIsOneSegment) {
+  auto segments = ComputeLowerEnvelope({10.0}, {0.5});
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].begin, 0u);
+  EXPECT_EQ(segments[0].end, 1u);
+  EXPECT_NEAR(segments[0].slope, 0.05, 1e-9);
+}
+
+TEST(LowerEnvelopeTest, SteeperSecondOperatorMergesIntoOneSegment) {
+  // Babcock et al.'s canonical case: a cheap low-selectivity operator after
+  // a cheap pass-through merges both into one steep segment.
+  auto segments = ComputeLowerEnvelope({1.0, 1.0}, {1.0, 0.0});
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].end, 2u);
+  EXPECT_NEAR(segments[0].slope, 0.5, 1e-9);
+}
+
+TEST(LowerEnvelopeTest, ExpensiveTailFormsOwnSegment) {
+  // Selective cheap filter followed by an expensive operator: the envelope
+  // splits between them.
+  auto segments = ComputeLowerEnvelope({1.0, 100.0}, {0.1, 1.0});
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].end, 1u);
+  EXPECT_NEAR(segments[0].slope, 0.9, 1e-9);
+  EXPECT_NEAR(segments[1].slope, 0.0, 1e-9);
+}
+
+TEST(LowerEnvelopeTest, SlopesAreNonIncreasing) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> costs;
+    std::vector<double> sels;
+    const int n = 1 + static_cast<int>(rng.NextU64(8));
+    for (int i = 0; i < n; ++i) {
+      costs.push_back(rng.UniformDouble(0.1, 50.0));
+      sels.push_back(rng.UniformDouble(0.0, 1.0));
+    }
+    auto segments = ComputeLowerEnvelope(costs, sels);
+    ASSERT_FALSE(segments.empty());
+    EXPECT_EQ(segments.front().begin, 0u);
+    EXPECT_EQ(segments.back().end, static_cast<size_t>(n));
+    for (size_t i = 0; i + 1 < segments.size(); ++i) {
+      EXPECT_EQ(segments[i].end, segments[i + 1].begin)
+          << "segments must tile the chain";
+      EXPECT_GE(segments[i].slope, segments[i + 1].slope - 1e-9)
+          << "lower envelope slopes must be non-increasing";
+    }
+  }
+}
+
+TEST(LowerEnvelopeTest, ZeroCostClamped) {
+  auto segments = ComputeLowerEnvelope({0.0, 0.0}, {0.5, 0.5});
+  ASSERT_FALSE(segments.empty());
+  for (const auto& s : segments) {
+    EXPECT_TRUE(std::isfinite(s.slope));
+  }
+}
+
+TEST(LowerEnvelopeTest, EmptyChain) {
+  EXPECT_TRUE(ComputeLowerEnvelope({}, {}).empty());
+}
+
+TEST(DownstreamChainTest, FollowsUnaryOperators) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("src");
+  auto mk = [&](const char* name) {
+    return g.Add<Selection>(name, [](const Tuple&) { return true; });
+  };
+  Selection* a = mk("a");
+  Selection* b = mk("b");
+  Selection* c = mk("c");
+  CollectingSink* sink = g.Add<CollectingSink>("sink");
+  ASSERT_TRUE(g.Connect(src, a).ok());
+  ASSERT_TRUE(g.Connect(a, b).ok());
+  ASSERT_TRUE(g.Connect(b, c).ok());
+  ASSERT_TRUE(g.Connect(c, sink).ok());
+  auto chain = DownstreamChain(a);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0], a);
+  EXPECT_EQ(chain[2], c);
+}
+
+TEST(DownstreamChainTest, SkipsThroughQueuesStopsAtBranch) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("src");
+  auto mk = [&](const char* name) {
+    return g.Add<Selection>(name, [](const Tuple&) { return true; });
+  };
+  Selection* a = mk("a");
+  Selection* b = mk("b");
+  Selection* c1 = mk("c1");
+  Selection* c2 = mk("c2");
+  QueueOp* q = g.Add<QueueOp>("q");
+  ASSERT_TRUE(g.Connect(src, a).ok());
+  ASSERT_TRUE(g.Connect(a, q).ok());
+  ASSERT_TRUE(g.Connect(q, b).ok());
+  ASSERT_TRUE(g.Connect(b, c1).ok());
+  ASSERT_TRUE(g.Connect(b, c2).ok());
+  // Queues are transparent: a's chain passes through q to b, then stops
+  // at the branch. b's chain is just b.
+  auto a_chain = DownstreamChain(a);
+  ASSERT_EQ(a_chain.size(), 2u);
+  EXPECT_EQ(a_chain[0], a);
+  EXPECT_EQ(a_chain[1], b);
+  EXPECT_EQ(DownstreamChain(b).size(), 1u);
+}
+
+}  // namespace
+}  // namespace flexstream

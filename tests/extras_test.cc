@@ -1,0 +1,157 @@
+// PriorityStrategy, RandomStrategy, and the statistics report.
+
+#include <gtest/gtest.h>
+
+#include "graph/query_graph.h"
+#include "operators/selection.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "queue/queue_op.h"
+#include "sched/extra_strategies.h"
+#include "stats/report.h"
+
+namespace flexstream {
+namespace {
+
+struct Branches {
+  QueryGraph graph;
+  Source* src[3];
+  QueueOp* queue[3];
+  CountingSink* sink[3];
+
+  Branches() {
+    for (int i = 0; i < 3; ++i) {
+      src[i] = graph.Add<Source>("src" + std::to_string(i));
+      queue[i] = graph.Add<QueueOp>("q" + std::to_string(i));
+      sink[i] = graph.Add<CountingSink>("sink" + std::to_string(i));
+      EXPECT_TRUE(graph.Connect(src[i], queue[i]).ok());
+      EXPECT_TRUE(graph.Connect(queue[i], sink[i]).ok());
+    }
+  }
+
+  std::vector<QueueOp*> queues() {
+    return {queue[0], queue[1], queue[2]};
+  }
+};
+
+TEST(PriorityStrategyTest, HigherPriorityWinsFifoTieBreak) {
+  Branches rig;
+  PriorityStrategy strategy;
+  strategy.SetPriority(rig.queue[1], 5.0);
+  rig.src[0]->Push(Tuple::OfInt(1, 1));
+  rig.src[1]->Push(Tuple::OfInt(2, 2));
+  rig.src[2]->Push(Tuple::OfInt(3, 3));
+  EXPECT_EQ(strategy.Next(rig.queues()), rig.queue[1]);
+  rig.queue[1]->DrainBatch(10);
+  // Remaining two share priority 0: FIFO order (queue 0 pushed first).
+  EXPECT_EQ(strategy.Next(rig.queues()), rig.queue[0]);
+}
+
+TEST(PriorityStrategyTest, DefaultPriorityIsZero) {
+  Branches rig;
+  PriorityStrategy strategy;
+  EXPECT_EQ(strategy.PriorityOf(rig.queue[0]), 0.0);
+  strategy.SetPriority(rig.queue[0], -2.0);
+  EXPECT_EQ(strategy.PriorityOf(rig.queue[0]), -2.0);
+  rig.src[0]->Push(Tuple::OfInt(1, 1));
+  rig.src[1]->Push(Tuple::OfInt(2, 2));
+  EXPECT_EQ(strategy.Next(rig.queues()), rig.queue[1])
+      << "negative priority loses to default 0";
+}
+
+TEST(PriorityStrategyTest, EmptyQueuesSkipped) {
+  Branches rig;
+  PriorityStrategy strategy;
+  strategy.SetPriority(rig.queue[0], 100.0);
+  rig.src[2]->Push(Tuple::OfInt(1, 1));
+  EXPECT_EQ(strategy.Next(rig.queues()), rig.queue[2]);
+}
+
+TEST(RandomStrategyTest, DeterministicForSeedAndOnlyNonEmpty) {
+  Branches rig;
+  rig.src[0]->Push(Tuple::OfInt(1, 1));
+  rig.src[2]->Push(Tuple::OfInt(3, 3));
+  RandomStrategy a(7);
+  RandomStrategy b(7);
+  for (int i = 0; i < 20; ++i) {
+    QueueOp* qa = a.Next(rig.queues());
+    EXPECT_EQ(qa, b.Next(rig.queues()));
+    EXPECT_TRUE(qa == rig.queue[0] || qa == rig.queue[2]);
+  }
+}
+
+TEST(RandomStrategyTest, EventuallyPicksEveryNonEmptyQueue) {
+  Branches rig;
+  for (int i = 0; i < 3; ++i) rig.src[i]->Push(Tuple::OfInt(i, i));
+  RandomStrategy strategy(11);
+  bool hit[3] = {false, false, false};
+  for (int i = 0; i < 200; ++i) {
+    QueueOp* q = strategy.Next(rig.queues());
+    for (int j = 0; j < 3; ++j) {
+      if (q == rig.queue[j]) hit[j] = true;
+    }
+  }
+  EXPECT_TRUE(hit[0] && hit[1] && hit[2]);
+}
+
+TEST(RandomStrategyTest, ReturnsNullWhenAllEmpty) {
+  Branches rig;
+  RandomStrategy strategy(3);
+  EXPECT_EQ(strategy.Next(rig.queues()), nullptr);
+}
+
+TEST(RandomStrategyTest, SemanticsIndependentOfRandomOrder) {
+  // Drain-to-empty under random order must deliver everything exactly
+  // once per branch.
+  Branches rig;
+  for (int i = 0; i < 100; ++i) {
+    for (int b = 0; b < 3; ++b) rig.src[b]->Push(Tuple::OfInt(i, i));
+  }
+  for (int b = 0; b < 3; ++b) rig.src[b]->Close(100);
+  RandomStrategy strategy(5);
+  while (QueueOp* q = strategy.Next(rig.queues())) {
+    q->DrainBatch(7);
+  }
+  for (int b = 0; b < 3; ++b) {
+    EXPECT_EQ(rig.sink[b]->count(), 100) << "branch " << b;
+    EXPECT_TRUE(rig.sink[b]->closed());
+  }
+}
+
+TEST(StatsReportTest, ContainsAllNodesAndMeasurements) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("my_source");
+  QueueOp* q = g.Add<QueueOp>("my_queue");
+  Selection* sel = g.Add<Selection>(
+      "my_filter", [](const Tuple& t) { return t.IntAt(0) < 5; });
+  CollectingSink* sink = g.Add<CollectingSink>("my_sink");
+  ASSERT_TRUE(g.Connect(src, q).ok());
+  ASSERT_TRUE(g.Connect(q, sel).ok());
+  ASSERT_TRUE(g.Connect(sel, sink).ok());
+  for (int i = 0; i < 10; ++i) src->Push(Tuple::OfInt(i, i));
+  q->DrainBatch(100);
+  const std::string report = StatsReport(g);
+  EXPECT_NE(report.find("my_source"), std::string::npos);
+  EXPECT_NE(report.find("my_queue"), std::string::npos);
+  EXPECT_NE(report.find("my_filter"), std::string::npos);
+  EXPECT_NE(report.find("my_sink"), std::string::npos);
+  Table table = BuildStatsTable(g);
+  EXPECT_EQ(table.row_count(), 4u);
+}
+
+TEST(StatsReportTest, QueueColumnsOnlyForQueues) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("src");
+  QueueOp* q = g.Add<QueueOp>("q");
+  CollectingSink* sink = g.Add<CollectingSink>("sink");
+  ASSERT_TRUE(g.Connect(src, q).ok());
+  ASSERT_TRUE(g.Connect(q, sink).ok());
+  src->Push(Tuple::OfInt(1, 1));
+  const std::string report = StatsReport(g);
+  // The queue row shows occupancy 1; operator rows show "-".
+  EXPECT_NE(report.find("| 1 "), std::string::npos);
+  EXPECT_NE(report.find("| - "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexstream

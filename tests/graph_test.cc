@@ -1,0 +1,300 @@
+#include "graph/query_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "operators/selection.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "operators/symmetric_hash_join.h"
+#include "operators/union_op.h"
+#include "queue/queue_op.h"
+
+namespace flexstream {
+namespace {
+
+Selection::Predicate True() {
+  return [](const Tuple&) { return true; };
+}
+
+TEST(NodeTest, KindsAndNames) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("s");
+  Selection* sel = g.Add<Selection>("f", True());
+  QueueOp* q = g.Add<QueueOp>("q");
+  CollectingSink* sink = g.Add<CollectingSink>("out");
+  EXPECT_TRUE(src->is_source());
+  EXPECT_FALSE(src->is_queue());
+  EXPECT_TRUE(q->is_queue());
+  EXPECT_TRUE(sink->is_sink());
+  EXPECT_EQ(sel->kind(), Node::Kind::kOperator);
+  EXPECT_EQ(src->name(), "s");
+  EXPECT_EQ(src->graph(), &g);
+}
+
+TEST(NodeTest, IdsAreUniqueAndSequential) {
+  QueryGraph g;
+  Node* a = g.Add<Source>("a");
+  Node* b = g.Add<Source>("b");
+  EXPECT_NE(a->id(), b->id());
+  EXPECT_EQ(g.node_count(), 2u);
+}
+
+TEST(NodeTest, MetadataOverrides) {
+  QueryGraph g;
+  Selection* sel = g.Add<Selection>("f", True());
+  EXPECT_FALSE(sel->has_cost_override());
+  sel->SetCostMicros(12.5);
+  sel->SetSelectivity(0.5);
+  sel->SetInterarrivalMicros(100.0);
+  EXPECT_EQ(sel->CostMicros(), 12.5);
+  EXPECT_EQ(sel->Selectivity(), 0.5);
+  EXPECT_EQ(sel->InterarrivalMicros(), 100.0);
+  sel->ClearOverrides();
+  EXPECT_FALSE(sel->has_cost_override());
+  // Back to measured statistics (empty => cost 0, selectivity 1, d = inf).
+  EXPECT_EQ(sel->CostMicros(), 0.0);
+  EXPECT_EQ(sel->Selectivity(), 1.0);
+  EXPECT_TRUE(std::isinf(sel->InterarrivalMicros()));
+}
+
+TEST(QueryGraphTest, ConnectBuildsConsistentEdges) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("s");
+  Selection* sel = g.Add<Selection>("f", True());
+  ASSERT_TRUE(g.Connect(src, sel).ok());
+  ASSERT_EQ(src->fan_out(), 1u);
+  ASSERT_EQ(sel->fan_in(), 1u);
+  EXPECT_EQ(src->outputs()[0].target, sel);
+  EXPECT_EQ(sel->inputs()[0].source, src);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(QueryGraphTest, ConnectRejectsBadPort) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("s");
+  Selection* sel = g.Add<Selection>("f", True());
+  EXPECT_EQ(g.Connect(src, sel, 1).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(g.Connect(src, sel, -1).code(), StatusCode::kOutOfRange);
+}
+
+TEST(QueryGraphTest, ConnectRejectsDuplicateEdge) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("s");
+  Selection* sel = g.Add<Selection>("f", True());
+  ASSERT_TRUE(g.Connect(src, sel).ok());
+  EXPECT_EQ(g.Connect(src, sel).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(QueryGraphTest, ConnectRejectsSecondProducerOnFixedPort) {
+  QueryGraph g;
+  Source* a = g.Add<Source>("a");
+  Source* b = g.Add<Source>("b");
+  Selection* sel = g.Add<Selection>("f", True());
+  ASSERT_TRUE(g.Connect(a, sel).ok());
+  EXPECT_EQ(g.Connect(b, sel).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(QueryGraphTest, QueueAcceptsMultipleProducers) {
+  QueryGraph g;
+  Source* a = g.Add<Source>("a");
+  Source* b = g.Add<Source>("b");
+  QueueOp* q = g.Add<QueueOp>("q");
+  EXPECT_TRUE(g.Connect(a, q).ok());
+  EXPECT_TRUE(g.Connect(b, q).ok());
+  EXPECT_EQ(q->fan_in(), 2u);
+}
+
+TEST(QueryGraphTest, UnionAcceptsMultipleProducers) {
+  QueryGraph g;
+  Source* a = g.Add<Source>("a");
+  Source* b = g.Add<Source>("b");
+  UnionOp* u = g.Add<UnionOp>("u");
+  EXPECT_TRUE(g.Connect(a, u).ok());
+  EXPECT_TRUE(g.Connect(b, u).ok());
+  EXPECT_EQ(g.Connect(a, u, 1).code(), StatusCode::kOutOfRange)
+      << "variadic nodes use port 0 only";
+}
+
+TEST(QueryGraphTest, JoinPortsAreDistinct) {
+  QueryGraph g;
+  Source* a = g.Add<Source>("a");
+  Source* b = g.Add<Source>("b");
+  SymmetricHashJoin* join = g.Add<SymmetricHashJoin>("j", 1000);
+  EXPECT_TRUE(g.Connect(a, join, 0).ok());
+  EXPECT_TRUE(g.Connect(b, join, 1).ok());
+  EXPECT_EQ(join->fan_in(), 2u);
+}
+
+TEST(QueryGraphTest, SelfJoinFromOneSourceUsesBothPorts) {
+  QueryGraph g;
+  Source* a = g.Add<Source>("a");
+  SymmetricHashJoin* join = g.Add<SymmetricHashJoin>("j", 1000);
+  EXPECT_TRUE(g.Connect(a, join, 0).ok());
+  EXPECT_TRUE(g.Connect(a, join, 1).ok());
+}
+
+TEST(QueryGraphTest, RejectsCycles) {
+  QueryGraph g;
+  Selection* a = g.Add<Selection>("a", True());
+  Selection* b = g.Add<Selection>("b", True());
+  Selection* c = g.Add<Selection>("c", True());
+  ASSERT_TRUE(g.Connect(a, b).ok());
+  ASSERT_TRUE(g.Connect(b, c).ok());
+  EXPECT_EQ(g.Connect(c, a).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.Connect(a, a).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryGraphTest, RejectsEdgeIntoSourceOrOutOfSink) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("s");
+  Source* src2 = g.Add<Source>("s2");
+  CollectingSink* sink = g.Add<CollectingSink>("out");
+  Selection* sel = g.Add<Selection>("f", True());
+  EXPECT_FALSE(g.Connect(src2, src).ok());
+  ASSERT_TRUE(g.Connect(src, sink).ok());
+  EXPECT_FALSE(g.Connect(sink, sel).ok());
+}
+
+TEST(QueryGraphTest, DisconnectRemovesEdge) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("s");
+  Selection* sel = g.Add<Selection>("f", True());
+  ASSERT_TRUE(g.Connect(src, sel).ok());
+  ASSERT_TRUE(g.Disconnect(src, sel).ok());
+  EXPECT_EQ(src->fan_out(), 0u);
+  EXPECT_EQ(sel->fan_in(), 0u);
+  EXPECT_EQ(g.Disconnect(src, sel).code(), StatusCode::kNotFound);
+}
+
+TEST(QueryGraphTest, InsertBetweenPreservesPort) {
+  QueryGraph g;
+  Source* a = g.Add<Source>("a");
+  Source* b = g.Add<Source>("b");
+  SymmetricHashJoin* join = g.Add<SymmetricHashJoin>("j", 1000);
+  ASSERT_TRUE(g.Connect(a, join, 0).ok());
+  ASSERT_TRUE(g.Connect(b, join, 1).ok());
+  QueueOp* q = g.Add<QueueOp>("q");
+  ASSERT_TRUE(g.InsertBetween(b, q, join).ok());
+  // b -> q (port 0), q -> join (port 1).
+  ASSERT_EQ(b->outputs().size(), 1u);
+  EXPECT_EQ(b->outputs()[0].target, q);
+  ASSERT_EQ(q->outputs().size(), 1u);
+  EXPECT_EQ(q->outputs()[0].target, join);
+  EXPECT_EQ(q->outputs()[0].port, 1);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(QueryGraphTest, InsertBetweenRequiresDisconnectedMiddle) {
+  QueryGraph g;
+  Source* a = g.Add<Source>("a");
+  Selection* s1 = g.Add<Selection>("s1", True());
+  Selection* s2 = g.Add<Selection>("s2", True());
+  ASSERT_TRUE(g.Connect(a, s1).ok());
+  ASSERT_TRUE(g.Connect(s1, s2).ok());
+  EXPECT_EQ(g.InsertBetween(a, s2, s1).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(QueryGraphTest, SpliceOutRestoresDirectEdge) {
+  QueryGraph g;
+  Source* a = g.Add<Source>("a");
+  Selection* sel = g.Add<Selection>("f", True());
+  QueueOp* q = g.Add<QueueOp>("q");
+  ASSERT_TRUE(g.Connect(a, sel).ok());
+  ASSERT_TRUE(g.InsertBetween(a, q, sel).ok());
+  ASSERT_TRUE(g.SpliceOut(q).ok());
+  ASSERT_EQ(a->outputs().size(), 1u);
+  EXPECT_EQ(a->outputs()[0].target, sel);
+  EXPECT_EQ(q->fan_in(), 0u);
+  EXPECT_EQ(q->fan_out(), 0u);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(QueryGraphTest, SpliceOutWithFanOut) {
+  QueryGraph g;
+  Source* a = g.Add<Source>("a");
+  QueueOp* q = g.Add<QueueOp>("q");
+  Selection* s1 = g.Add<Selection>("s1", True());
+  Selection* s2 = g.Add<Selection>("s2", True());
+  ASSERT_TRUE(g.Connect(a, q).ok());
+  ASSERT_TRUE(g.Connect(q, s1).ok());
+  ASSERT_TRUE(g.Connect(q, s2).ok());
+  ASSERT_TRUE(g.SpliceOut(q).ok());
+  EXPECT_EQ(a->fan_out(), 2u);
+  EXPECT_EQ(s1->inputs()[0].source, a);
+  EXPECT_EQ(s2->inputs()[0].source, a);
+}
+
+TEST(QueryGraphTest, TopologicalOrderRespectsEdges) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("s");
+  Selection* s1 = g.Add<Selection>("s1", True());
+  Selection* s2 = g.Add<Selection>("s2", True());
+  CollectingSink* sink = g.Add<CollectingSink>("out");
+  ASSERT_TRUE(g.Connect(src, s1).ok());
+  ASSERT_TRUE(g.Connect(s1, s2).ok());
+  ASSERT_TRUE(g.Connect(s2, sink).ok());
+  auto order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  auto pos = [&](const Node* n) {
+    return std::find(order->begin(), order->end(), n) - order->begin();
+  };
+  EXPECT_LT(pos(src), pos(s1));
+  EXPECT_LT(pos(s1), pos(s2));
+  EXPECT_LT(pos(s2), pos(sink));
+}
+
+TEST(QueryGraphTest, ReachableFollowsDirection) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("s");
+  Selection* sel = g.Add<Selection>("f", True());
+  ASSERT_TRUE(g.Connect(src, sel).ok());
+  EXPECT_TRUE(g.Reachable(src, sel));
+  EXPECT_FALSE(g.Reachable(sel, src));
+  EXPECT_TRUE(g.Reachable(src, src));
+}
+
+TEST(QueryGraphTest, SourcesSinksQueuesEnumeration) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("s");
+  Selection* sel = g.Add<Selection>("f", True());
+  QueueOp* q = g.Add<QueueOp>("q");
+  QueueOp* unwired = g.Add<QueueOp>("unwired");
+  CollectingSink* sink = g.Add<CollectingSink>("out");
+  (void)unwired;
+  ASSERT_TRUE(g.Connect(src, q).ok());
+  ASSERT_TRUE(g.Connect(q, sel).ok());
+  ASSERT_TRUE(g.Connect(sel, sink).ok());
+  EXPECT_EQ(g.Sources().size(), 1u);
+  EXPECT_EQ(g.Sinks().size(), 1u);
+  EXPECT_EQ(g.Queues().size(), 1u) << "unwired queues are not listed";
+}
+
+TEST(QueryGraphTest, SharedSubqueryFanOut) {
+  // The Figure 1 pattern: one join result shared by three consumers.
+  QueryGraph g;
+  Source* a = g.Add<Source>("a");
+  Source* b = g.Add<Source>("b");
+  SymmetricHashJoin* join = g.Add<SymmetricHashJoin>("j", 1000);
+  ASSERT_TRUE(g.Connect(a, join, 0).ok());
+  ASSERT_TRUE(g.Connect(b, join, 1).ok());
+  for (int i = 0; i < 3; ++i) {
+    Selection* sel = g.Add<Selection>("f" + std::to_string(i), True());
+    ASSERT_TRUE(g.Connect(join, sel).ok());
+  }
+  EXPECT_EQ(join->fan_out(), 3u);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(QueryGraphTest, DebugStringMentionsNodes) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("mysource");
+  (void)src;
+  EXPECT_NE(g.DebugString().find("mysource"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexstream

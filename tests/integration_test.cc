@@ -1,0 +1,269 @@
+// Cross-module integration scenarios: deep graphs, joins + aggregation
+// pipelines under every scheduling mode, bursty backpressure, and the
+// full engine + workload + placement stack together.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "api/query_builder.h"
+#include "api/stream_engine.h"
+#include "operators/aggregate.h"
+#include "workload/rate_source.h"
+
+namespace flexstream {
+namespace {
+
+std::vector<Tuple> Sorted(std::vector<Tuple> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// A two-query graph exercising join + windowed aggregation + shared
+// subquery at once:
+//
+//   left ---> filter --+
+//                       +--> SHJ --> window-count --> sink1
+//   right -------------+
+//                       \--> (right also feeds) filter2 --> sink2
+struct ComplexFixture {
+  QueryGraph graph;
+  QueryBuilder qb{&graph};
+  Source* left;
+  Source* right;
+  CollectingSink* join_sink;
+  CollectingSink* agg_sink;
+  CountingSink* filter_sink;
+
+  ComplexFixture() {
+    left = qb.AddSource("left");
+    right = qb.AddSource("right");
+    left->SetInterarrivalMicros(50.0);
+    right->SetInterarrivalMicros(50.0);
+    Node* filtered = qb.Select(left, "filter",
+                               Selection::IntAttrLessThan(40));
+    filtered->SetSelectivity(0.8);
+    filtered->SetCostMicros(0.5);
+    // The window covers the whole stream (app-time span ~100k): with
+    // decoupled paths of different depths, the two join inputs can drift
+    // arbitrarily far apart under OTS/HMTS, and expiration under such lag
+    // legitimately loses matches. A full-stream window makes the join's
+    // output multiset schedule-independent, which is what this test pins.
+    Node* join = qb.HashJoin(filtered, right, "join", /*window=*/200'000);
+    join->SetCostMicros(2.0);
+    join->SetSelectivity(1.0);
+    join_sink = qb.CollectSink(join, "join_sink");
+    WindowedAggregate::Options agg;
+    agg.kind = AggregateKind::kCount;
+    agg.window_micros = 5'000;
+    Node* counted = qb.Aggregate(join, "count", agg);
+    counted->SetCostMicros(1.0);
+    counted->SetSelectivity(1.0);
+    agg_sink = qb.CollectSink(counted, "agg_sink");
+    Node* f2 = qb.Select(right, "filter2",
+                         [](const Tuple& t) { return t.IntAt(0) >= 25; });
+    f2->SetSelectivity(0.5);
+    f2->SetCostMicros(0.5);
+    filter_sink = qb.CountSink(f2, "filter_sink");
+  }
+
+  void Feed() {
+    Rng rng(99);
+    AppTime ts = 0;
+    for (int i = 0; i < 2000; ++i) {
+      ts += rng.UniformInt(1, 100);
+      if (rng.Bernoulli(0.5)) {
+        left->Push(Tuple::OfInt(rng.UniformInt(0, 49), ts));
+      } else {
+        right->Push(Tuple::OfInt(rng.UniformInt(0, 49), ts));
+      }
+    }
+    left->Close(ts + 1);
+    right->Close(ts + 1);
+  }
+};
+
+TEST(IntegrationTest, ComplexGraphSameResultsInAllModes) {
+  // The join's output *multiset* and the filter's count are
+  // schedule-independent. The windowed aggregate's individual outputs are
+  // not (they depend on the interleaving of the merged join stream), but
+  // their count must match the join output count (one aggregate per
+  // input).
+  std::vector<Tuple> reference_join;
+  int64_t reference_count = -1;
+  for (auto mode :
+       {ExecutionMode::kSourceDriven, ExecutionMode::kDirect,
+        ExecutionMode::kGts, ExecutionMode::kOts, ExecutionMode::kHmts}) {
+    ComplexFixture fx;
+    StreamEngine engine(&fx.graph);
+    EngineOptions opt;
+    opt.mode = mode;
+    ASSERT_TRUE(engine.Configure(opt).ok())
+        << ExecutionModeToString(mode);
+    ASSERT_TRUE(engine.Start().ok());
+    fx.Feed();
+    engine.WaitUntilFinished();
+    const auto join_results = Sorted(fx.join_sink->TakeResults());
+    const auto agg_results = fx.agg_sink->TakeResults();
+    EXPECT_EQ(agg_results.size(), join_results.size())
+        << ExecutionModeToString(mode);
+    if (reference_count < 0) {
+      reference_join = join_results;
+      reference_count = fx.filter_sink->count();
+      EXPECT_GT(reference_join.size(), 0u);
+    } else {
+      EXPECT_EQ(join_results, reference_join)
+          << ExecutionModeToString(mode);
+      EXPECT_EQ(fx.filter_sink->count(), reference_count)
+          << ExecutionModeToString(mode);
+    }
+  }
+}
+
+TEST(IntegrationTest, DeepChainPropagatesEverything) {
+  // 64 stacked selections, all pass-through: elements and EOS must
+  // traverse the whole depth in every scheduled mode.
+  for (auto mode : {ExecutionMode::kGts, ExecutionMode::kOts,
+                    ExecutionMode::kHmts}) {
+    QueryGraph graph;
+    QueryBuilder qb(&graph);
+    Source* src = qb.AddSource("src");
+    src->SetInterarrivalMicros(100.0);
+    Node* prev = src;
+    for (int i = 0; i < 64; ++i) {
+      prev = qb.Select(prev, "s" + std::to_string(i),
+                       [](const Tuple&) { return true; });
+      prev->SetCostMicros(0.1);
+      prev->SetSelectivity(1.0);
+    }
+    CountingSink* sink = qb.CountSink(prev, "sink");
+    StreamEngine engine(&graph);
+    EngineOptions opt;
+    opt.mode = mode;
+    ASSERT_TRUE(engine.Configure(opt).ok());
+    ASSERT_TRUE(engine.Start().ok());
+    for (int i = 0; i < 500; ++i) src->Push(Tuple::OfInt(i, i));
+    src->Close(500);
+    engine.WaitUntilFinished();
+    EXPECT_EQ(sink->count(), 500) << ExecutionModeToString(mode);
+  }
+}
+
+TEST(IntegrationTest, WideFanOutAllBranchesComplete) {
+  // One source fanning out to 32 independent branches.
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("src");
+  src->SetInterarrivalMicros(100.0);
+  std::vector<CountingSink*> sinks;
+  for (int b = 0; b < 32; ++b) {
+    Node* sel = qb.Select(src, "b" + std::to_string(b),
+                          [b](const Tuple& t) { return t.IntAt(0) % 32 == b; });
+    sel->SetSelectivity(1.0 / 32.0);
+    sel->SetCostMicros(0.2);
+    sinks.push_back(qb.CountSink(sel, "sink" + std::to_string(b)));
+  }
+  StreamEngine engine(&graph);
+  EngineOptions opt;
+  opt.mode = ExecutionMode::kHmts;
+  ASSERT_TRUE(engine.Configure(opt).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  for (int i = 0; i < 3200; ++i) src->Push(Tuple::OfInt(i % 32, i));
+  src->Close(3200);
+  engine.WaitUntilFinished();
+  for (int b = 0; b < 32; ++b) {
+    EXPECT_EQ(sinks[static_cast<size_t>(b)]->count(), 100) << "branch " << b;
+  }
+}
+
+TEST(IntegrationTest, BurstyRateSourceThroughEngine) {
+  // Bursts and pauses through a scheduled engine; the paper's Section 6.6
+  // emission pattern at miniature scale.
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("src");
+  src->SetInterarrivalMicros(100.0);
+  Node* sel = qb.Select(src, "sel", Selection::IntAttrLessThan(500));
+  sel->SetSelectivity(0.5);
+  sel->SetCostMicros(1.0);
+  CountingSink* sink = qb.CountSink(sel, "sink");
+  StreamEngine engine(&graph);
+  EngineOptions opt;
+  opt.mode = ExecutionMode::kHmts;
+  ASSERT_TRUE(engine.Configure(opt).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  RateSource::Options ropt;
+  ropt.phases = {{2000, 0.0}, {500, 5000.0}, {2000, 0.0}};
+  ropt.pacing = RateSource::Pacing::kPoisson;
+  ropt.seed = 3;
+  RateSource driver(src, ropt, RateSource::UniformInt(0, 999));
+  driver.Start();
+  driver.Join();
+  engine.WaitUntilFinished();
+  EXPECT_EQ(driver.emitted(), 4500);
+  EXPECT_GT(sink->count(), 1800);
+  EXPECT_LT(sink->count(), 2700);
+}
+
+TEST(IntegrationTest, MultiwayJoinUnderEngine) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* a = qb.AddSource("a");
+  Source* b = qb.AddSource("b");
+  Source* c = qb.AddSource("c");
+  for (Source* s : {a, b, c}) s->SetInterarrivalMicros(100.0);
+  Node* mjoin = qb.MJoin({a, b, c}, "mjoin", /*window=*/1'000'000,
+                         {0, 0, 0});
+  CountingSink* sink = qb.CountSink(mjoin, "sink");
+  StreamEngine engine(&graph);
+  EngineOptions opt;
+  opt.mode = ExecutionMode::kOts;
+  ASSERT_TRUE(engine.Configure(opt).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  for (int i = 0; i < 100; ++i) {
+    a->Push(Tuple::OfInt(i % 10, i));
+    b->Push(Tuple::OfInt(i % 10, i));
+    c->Push(Tuple::OfInt(i % 10, i));
+  }
+  a->Close(100);
+  b->Close(100);
+  c->Close(100);
+  engine.WaitUntilFinished();
+  // Each key 0..9 appears 10x per stream => 10^3 combinations per key.
+  EXPECT_EQ(sink->count(), 10 * 10 * 10 * 10);
+}
+
+TEST(IntegrationTest, EngineSurvivesManyReconfigurations) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("src");
+  src->SetInterarrivalMicros(100.0);
+  Node* sel = qb.Select(src, "sel", [](const Tuple&) { return true; });
+  sel->SetCostMicros(0.5);
+  sel->SetSelectivity(1.0);
+  CountingSink* sink = qb.CountSink(sel, "sink");
+  StreamEngine engine(&graph);
+  EngineOptions opt;
+  opt.mode = ExecutionMode::kGts;
+  ASSERT_TRUE(engine.Configure(opt).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  const ExecutionMode cycle[] = {ExecutionMode::kOts, ExecutionMode::kGts,
+                                 ExecutionMode::kHmts, ExecutionMode::kOts,
+                                 ExecutionMode::kHmts, ExecutionMode::kGts};
+  int pushed = 0;
+  for (ExecutionMode mode : cycle) {
+    for (int i = 0; i < 200; ++i, ++pushed) {
+      src->Push(Tuple::OfInt(pushed, pushed));
+    }
+    EngineOptions next = engine.options();
+    next.mode = mode;
+    ASSERT_TRUE(engine.SwitchTo(next).ok())
+        << ExecutionModeToString(mode);
+  }
+  src->Close(pushed);
+  engine.WaitUntilFinished();
+  EXPECT_EQ(sink->count(), pushed);
+}
+
+}  // namespace
+}  // namespace flexstream

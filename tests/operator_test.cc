@@ -1,0 +1,237 @@
+// Tests of the push-based Operator base: direct interoperability, EOS
+// punctuation handling, statistics, serialized receive.
+
+#include "operators/operator.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "graph/query_graph.h"
+#include "operators/selection.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "operators/union_op.h"
+#include "util/busy_work.h"
+
+namespace flexstream {
+namespace {
+
+class StatsGuard {
+ public:
+  explicit StatsGuard(bool enabled) { SetStatsCollectionEnabled(enabled); }
+  ~StatsGuard() { SetStatsCollectionEnabled(true); }
+};
+
+TEST(OperatorTest, EmitReachesAllSubscribersInOrder) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("s");
+  std::vector<int> order;
+  CallbackSink* sink1 = g.Add<CallbackSink>(
+      "out1", [&](const Tuple&, int) { order.push_back(1); });
+  CallbackSink* sink2 = g.Add<CallbackSink>(
+      "out2", [&](const Tuple&, int) { order.push_back(2); });
+  ASSERT_TRUE(g.Connect(src, sink1).ok());
+  ASSERT_TRUE(g.Connect(src, sink2).ok());
+  src->Push(Tuple::OfInt(7));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(OperatorTest, DepthFirstChainReaction) {
+  // An element pushed at the source traverses the whole chain before Push
+  // returns (Section 2.4's DI semantics).
+  QueryGraph g;
+  Source* src = g.Add<Source>("s");
+  Selection* sel = g.Add<Selection>(
+      "f", [](const Tuple& t) { return t.IntAt(0) % 2 == 0; });
+  CollectingSink* sink = g.Add<CollectingSink>("out");
+  ASSERT_TRUE(g.Connect(src, sel).ok());
+  ASSERT_TRUE(g.Connect(sel, sink).ok());
+  src->Push(Tuple::OfInt(2));
+  EXPECT_EQ(sink->size(), 1u) << "result visible immediately after Push";
+  src->Push(Tuple::OfInt(3));
+  EXPECT_EQ(sink->size(), 1u);
+}
+
+TEST(OperatorTest, EosPropagatesThroughChain) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("s");
+  Selection* sel = g.Add<Selection>("f", [](const Tuple&) { return true; });
+  CollectingSink* sink = g.Add<CollectingSink>("out");
+  ASSERT_TRUE(g.Connect(src, sel).ok());
+  ASSERT_TRUE(g.Connect(sel, sink).ok());
+  EXPECT_FALSE(sink->closed());
+  src->Close(50);
+  EXPECT_TRUE(sel->closed());
+  EXPECT_TRUE(sink->closed());
+  sink->WaitUntilClosed();  // must not block
+}
+
+TEST(OperatorTest, CloseIsIdempotent) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("s");
+  CollectingSink* sink = g.Add<CollectingSink>("out");
+  ASSERT_TRUE(g.Connect(src, sink).ok());
+  src->Close();
+  src->Close();
+  EXPECT_TRUE(sink->closed());
+}
+
+TEST(OperatorTest, MultiInputWaitsForAllEos) {
+  QueryGraph g;
+  Source* a = g.Add<Source>("a");
+  Source* b = g.Add<Source>("b");
+  UnionOp* u = g.Add<UnionOp>("u");
+  CollectingSink* sink = g.Add<CollectingSink>("out");
+  ASSERT_TRUE(g.Connect(a, u).ok());
+  ASSERT_TRUE(g.Connect(b, u).ok());
+  ASSERT_TRUE(g.Connect(u, sink).ok());
+  a->Close(10);
+  EXPECT_FALSE(u->closed()) << "one open input remains";
+  b->Push(Tuple::OfInt(1, 11));
+  EXPECT_EQ(sink->size(), 1u) << "data still flows from the open input";
+  b->Close(12);
+  EXPECT_TRUE(u->closed());
+  EXPECT_TRUE(sink->closed());
+}
+
+TEST(OperatorTest, ResetReArmsEos) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("s");
+  CollectingSink* sink = g.Add<CollectingSink>("out");
+  ASSERT_TRUE(g.Connect(src, sink).ok());
+  src->Push(Tuple::OfInt(1));
+  src->Close();
+  EXPECT_TRUE(sink->closed());
+  g.ResetAll();
+  EXPECT_FALSE(sink->closed());
+  EXPECT_EQ(sink->size(), 0u);
+  src->Push(Tuple::OfInt(2));
+  src->Close();
+  EXPECT_TRUE(sink->closed());
+  EXPECT_EQ(sink->size(), 1u);
+}
+
+TEST(OperatorTest, StatsCountProcessedAndEmitted) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("s");
+  Selection* sel = g.Add<Selection>(
+      "f", [](const Tuple& t) { return t.IntAt(0) < 5; });
+  CollectingSink* sink = g.Add<CollectingSink>("out");
+  ASSERT_TRUE(g.Connect(src, sel).ok());
+  ASSERT_TRUE(g.Connect(sel, sink).ok());
+  for (int i = 0; i < 10; ++i) src->Push(Tuple::OfInt(i));
+  EXPECT_EQ(sel->stats().processed(), 10);
+  EXPECT_EQ(sel->stats().emitted(), 5);
+  EXPECT_NEAR(sel->Selectivity(), 0.5, 1e-9);
+}
+
+TEST(OperatorTest, SelfTimeExcludesDownstreamCost) {
+  // Upstream cheap selection followed by an expensive one: with DI the
+  // cheap operator's Process includes the downstream call, but measured
+  // c(v) must be per-operator (Section 5.1.2).
+  QueryGraph g;
+  Source* src = g.Add<Source>("s");
+  Selection* cheap =
+      g.Add<Selection>("cheap", [](const Tuple&) { return true; });
+  Selection* expensive = g.Add<Selection>(
+      "expensive", [](const Tuple&) { return true; }, /*cost=*/2000.0);
+  CollectingSink* sink = g.Add<CollectingSink>("out");
+  ASSERT_TRUE(g.Connect(src, cheap).ok());
+  ASSERT_TRUE(g.Connect(cheap, expensive).ok());
+  ASSERT_TRUE(g.Connect(expensive, sink).ok());
+  for (int i = 0; i < 20; ++i) src->Push(Tuple::OfInt(i));
+  EXPECT_GE(expensive->CostMicros(), 500.0);
+  EXPECT_LT(cheap->CostMicros(), expensive->CostMicros() / 4)
+      << "cheap operator must not be billed for the expensive one";
+}
+
+TEST(OperatorTest, StatsDisabledSkipsBookkeeping) {
+  StatsGuard guard(false);
+  QueryGraph g;
+  Source* src = g.Add<Source>("s");
+  Selection* sel = g.Add<Selection>("f", [](const Tuple&) { return true; });
+  CollectingSink* sink = g.Add<CollectingSink>("out");
+  ASSERT_TRUE(g.Connect(src, sel).ok());
+  ASSERT_TRUE(g.Connect(sel, sink).ok());
+  src->Push(Tuple::OfInt(1));
+  EXPECT_EQ(sel->stats().processed(), 0);
+  EXPECT_EQ(sink->size(), 1u) << "data flow unaffected";
+}
+
+TEST(OperatorTest, SerializedReceiveAllowsConcurrentDrivers) {
+  QueryGraph g;
+  Source* a = g.Add<Source>("a");
+  Source* b = g.Add<Source>("b");
+  UnionOp* u = g.Add<UnionOp>("u");
+  CountingSink* sink = g.Add<CountingSink>("out");
+  ASSERT_TRUE(g.Connect(a, u).ok());
+  ASSERT_TRUE(g.Connect(b, u).ok());
+  ASSERT_TRUE(g.Connect(u, sink).ok());
+  u->SetSerializedReceive(true);
+  sink->SetSerializedReceive(true);
+  EXPECT_TRUE(u->serialized_receive());
+  constexpr int kPerSource = 20000;
+  std::thread ta([&] {
+    for (int i = 0; i < kPerSource; ++i) a->Push(Tuple::OfInt(i, i));
+    a->Close(kPerSource);
+  });
+  std::thread tb([&] {
+    for (int i = 0; i < kPerSource; ++i) b->Push(Tuple::OfInt(i, i));
+    b->Close(kPerSource);
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(sink->count(), 2 * kPerSource);
+  EXPECT_TRUE(sink->closed());
+}
+
+TEST(SourceTest, VectorSourceReplaysAllThenCloses) {
+  QueryGraph g;
+  VectorSource* src = g.Add<VectorSource>(
+      "v", std::vector<Tuple>{Tuple::OfInt(1, 1), Tuple::OfInt(2, 2)});
+  CollectingSink* sink = g.Add<CollectingSink>("out");
+  ASSERT_TRUE(g.Connect(src, sink).ok());
+  src->PushAll();
+  EXPECT_EQ(sink->size(), 2u);
+  EXPECT_TRUE(sink->closed());
+}
+
+TEST(SinkTest, CountingSinkTimeline) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("s");
+  CountingSink* sink = g.Add<CountingSink>("out");
+  ASSERT_TRUE(g.Connect(src, sink).ok());
+  sink->StartTimeline(Now());
+  src->Push(Tuple::OfInt(1));
+  src->Push(Tuple::OfInt(2));
+  auto timeline = sink->TakeTimeline();
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_EQ(timeline[0].second, 1);
+  EXPECT_EQ(timeline[1].second, 2);
+  EXPECT_LE(timeline[0].first, timeline[1].first);
+}
+
+TEST(SinkTest, WaitUntilClosedForTimesOut) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("s");
+  CollectingSink* sink = g.Add<CollectingSink>("out");
+  ASSERT_TRUE(g.Connect(src, sink).ok());
+  EXPECT_FALSE(sink->WaitUntilClosedFor(std::chrono::milliseconds(10)));
+  src->Close();
+  EXPECT_TRUE(sink->WaitUntilClosedFor(std::chrono::milliseconds(10)));
+}
+
+TEST(SinkTest, CollectingSinkTakeResultsMoves) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("s");
+  CollectingSink* sink = g.Add<CollectingSink>("out");
+  ASSERT_TRUE(g.Connect(src, sink).ok());
+  src->Push(Tuple::OfInt(1));
+  auto results = sink->TakeResults();
+  EXPECT_EQ(results.size(), 1u);
+  EXPECT_EQ(sink->size(), 0u);
+}
+
+}  // namespace
+}  // namespace flexstream

@@ -1,0 +1,167 @@
+// Semantics of the unary operators: Selection, Projection, Map, Union.
+
+#include <gtest/gtest.h>
+
+#include "graph/query_graph.h"
+#include "operators/map_op.h"
+#include "operators/projection.h"
+#include "operators/selection.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "operators/union_op.h"
+
+namespace flexstream {
+namespace {
+
+struct Rig {
+  QueryGraph graph;
+  Source* src = nullptr;
+  CollectingSink* sink = nullptr;
+
+  // Builds src -> op -> sink.
+  template <typename T, typename... Args>
+  T* Wire(Args&&... args) {
+    src = graph.Add<Source>("src");
+    T* op = graph.Add<T>(std::forward<Args>(args)...);
+    sink = graph.Add<CollectingSink>("sink");
+    EXPECT_TRUE(graph.Connect(src, op).ok());
+    EXPECT_TRUE(graph.Connect(op, sink).ok());
+    return op;
+  }
+};
+
+TEST(SelectionTest, FiltersByPredicate) {
+  Rig rig;
+  rig.Wire<Selection>("f",
+                      [](const Tuple& t) { return t.IntAt(0) % 3 == 0; });
+  for (int i = 0; i < 10; ++i) rig.src->Push(Tuple::OfInt(i, i));
+  auto results = rig.sink->TakeResults();
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].IntAt(0), 0);
+  EXPECT_EQ(results[3].IntAt(0), 9);
+}
+
+TEST(SelectionTest, PreservesTupleContentAndTimestamp) {
+  Rig rig;
+  rig.Wire<Selection>("f", [](const Tuple&) { return true; });
+  rig.src->Push(Tuple({Value(1), Value("a")}, 42));
+  auto results = rig.sink->TakeResults();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0], Tuple({Value(1), Value("a")}, 42));
+}
+
+TEST(SelectionTest, IntAttrLessThanHelper) {
+  auto pred = Selection::IntAttrLessThan(100);
+  EXPECT_TRUE(pred(Tuple::OfInt(99)));
+  EXPECT_FALSE(pred(Tuple::OfInt(100)));
+}
+
+TEST(SelectionTest, SimulatedCostBurnsCpu) {
+  Rig rig;
+  Selection* sel = rig.Wire<Selection>(
+      "f", [](const Tuple&) { return true; }, /*cost=*/500.0);
+  EXPECT_EQ(sel->simulated_cost_micros(), 500.0);
+  Stopwatch sw;
+  for (int i = 0; i < 20; ++i) rig.src->Push(Tuple::OfInt(i));
+  EXPECT_GE(sw.ElapsedMicros(), 5000);
+}
+
+TEST(ProjectionTest, KeepsSelectedAttributes) {
+  Rig rig;
+  rig.Wire<Projection>("p", std::vector<size_t>{2, 0});
+  rig.src->Push(Tuple({Value(10), Value(20), Value(30)}, 5));
+  auto results = rig.sink->TakeResults();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0], Tuple({Value(30), Value(10)}, 5));
+}
+
+TEST(ProjectionTest, EmptyAttrListIsIdentity) {
+  Rig rig;
+  rig.Wire<Projection>("p", std::vector<size_t>{});
+  Tuple in({Value(1), Value(2)}, 9);
+  rig.src->Push(in);
+  auto results = rig.sink->TakeResults();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0], in);
+}
+
+TEST(ProjectionTest, SelectivityIsOne) {
+  Rig rig;
+  Projection* p = rig.Wire<Projection>("p", std::vector<size_t>{0});
+  for (int i = 0; i < 5; ++i) rig.src->Push(Tuple::OfInt(i));
+  EXPECT_NEAR(p->Selectivity(), 1.0, 1e-9);
+}
+
+TEST(MapOpTest, TransformsTuples) {
+  Rig rig;
+  rig.Wire<MapOp>("m", [](const Tuple& t) {
+    return Tuple::OfInt(t.IntAt(0) * 2, t.timestamp());
+  });
+  rig.src->Push(Tuple::OfInt(21, 7));
+  auto results = rig.sink->TakeResults();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].IntAt(0), 42);
+  EXPECT_EQ(results[0].timestamp(), 7);
+}
+
+TEST(UnionOpTest, MergesStreamsPreservingPerInputOrder) {
+  QueryGraph g;
+  Source* a = g.Add<Source>("a");
+  Source* b = g.Add<Source>("b");
+  UnionOp* u = g.Add<UnionOp>("u");
+  CollectingSink* sink = g.Add<CollectingSink>("out");
+  ASSERT_TRUE(g.Connect(a, u).ok());
+  ASSERT_TRUE(g.Connect(b, u).ok());
+  ASSERT_TRUE(g.Connect(u, sink).ok());
+  a->Push(Tuple::OfInt(1, 1));
+  b->Push(Tuple::OfInt(100, 1));
+  a->Push(Tuple::OfInt(2, 2));
+  auto results = sink->TakeResults();
+  ASSERT_EQ(results.size(), 3u);
+  // Per-input order: 1 before 2.
+  std::vector<int64_t> a_values;
+  for (const auto& t : results) {
+    if (t.IntAt(0) < 100) a_values.push_back(t.IntAt(0));
+  }
+  EXPECT_EQ(a_values, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(UnionOpTest, BagSemanticsKeepDuplicates) {
+  QueryGraph g;
+  Source* a = g.Add<Source>("a");
+  Source* b = g.Add<Source>("b");
+  UnionOp* u = g.Add<UnionOp>("u");
+  CollectingSink* sink = g.Add<CollectingSink>("out");
+  ASSERT_TRUE(g.Connect(a, u).ok());
+  ASSERT_TRUE(g.Connect(b, u).ok());
+  ASSERT_TRUE(g.Connect(u, sink).ok());
+  a->Push(Tuple::OfInt(7, 1));
+  b->Push(Tuple::OfInt(7, 1));
+  EXPECT_EQ(sink->size(), 2u);
+}
+
+TEST(ChainOfSelectionsTest, ConjunctionSemantics) {
+  // A chain of selections behaves as one virtual operator computing the
+  // conjunction (Section 3.1).
+  QueryGraph g;
+  Source* src = g.Add<Source>("src");
+  Selection* s1 =
+      g.Add<Selection>("s1", [](const Tuple& t) { return t.IntAt(0) > 2; });
+  Selection* s2 =
+      g.Add<Selection>("s2", [](const Tuple& t) { return t.IntAt(0) < 8; });
+  Selection* s3 = g.Add<Selection>(
+      "s3", [](const Tuple& t) { return t.IntAt(0) % 2 == 0; });
+  CollectingSink* sink = g.Add<CollectingSink>("out");
+  ASSERT_TRUE(g.Connect(src, s1).ok());
+  ASSERT_TRUE(g.Connect(s1, s2).ok());
+  ASSERT_TRUE(g.Connect(s2, s3).ok());
+  ASSERT_TRUE(g.Connect(s3, sink).ok());
+  for (int i = 0; i < 10; ++i) src->Push(Tuple::OfInt(i, i));
+  auto results = sink->TakeResults();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].IntAt(0), 4);
+  EXPECT_EQ(results[1].IntAt(0), 6);
+}
+
+}  // namespace
+}  // namespace flexstream

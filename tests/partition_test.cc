@@ -1,0 +1,153 @@
+// Level-2 Partition: run loops, completion, stopping, queue accounting.
+
+#include "sched/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "graph/query_graph.h"
+#include "operators/selection.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "queue/queue_op.h"
+#include "sched/fifo_strategy.h"
+
+namespace flexstream {
+namespace {
+
+struct PipelineRig {
+  QueryGraph graph;
+  Source* src;
+  QueueOp* queue;
+  CountingSink* sink;
+
+  PipelineRig() {
+    src = graph.Add<Source>("src");
+    queue = graph.Add<QueueOp>("q");
+    sink = graph.Add<CountingSink>("sink");
+    EXPECT_TRUE(graph.Connect(src, queue).ok());
+    EXPECT_TRUE(graph.Connect(queue, sink).ok());
+  }
+};
+
+TEST(PartitionTest, DrainsQueueToCompletion) {
+  PipelineRig rig;
+  Partition partition("p", {rig.queue}, std::make_unique<FifoStrategy>());
+  for (int i = 0; i < 100; ++i) rig.src->Push(Tuple::OfInt(i, i));
+  rig.src->Close(100);
+  partition.Start();
+  rig.sink->WaitUntilClosed();
+  partition.Join();
+  EXPECT_EQ(rig.sink->count(), 100);
+  EXPECT_TRUE(partition.Done());
+  EXPECT_EQ(partition.drained(), 100);
+}
+
+TEST(PartitionTest, ProcessesElementsArrivingWhileRunning) {
+  PipelineRig rig;
+  Partition partition("p", {rig.queue}, std::make_unique<FifoStrategy>());
+  partition.Start();
+  std::thread producer([&] {
+    for (int i = 0; i < 1000; ++i) {
+      rig.src->Push(Tuple::OfInt(i, i));
+      if (i % 100 == 0) std::this_thread::yield();
+    }
+    rig.src->Close(1000);
+  });
+  producer.join();
+  rig.sink->WaitUntilClosed();
+  partition.Join();
+  EXPECT_EQ(rig.sink->count(), 1000);
+}
+
+TEST(PartitionTest, StopInterruptsBeforeCompletion) {
+  PipelineRig rig;
+  Partition partition("p", {rig.queue}, std::make_unique<FifoStrategy>());
+  // No EOS: the partition would wait forever without RequestStop.
+  rig.src->Push(Tuple::OfInt(1, 1));
+  partition.Start();
+  while (rig.sink->count() < 1) std::this_thread::yield();
+  partition.RequestStop();
+  partition.Join();
+  EXPECT_FALSE(partition.Done());
+  EXPECT_FALSE(partition.running());
+}
+
+TEST(PartitionTest, RunInCallingThread) {
+  PipelineRig rig;
+  Partition partition("p", {rig.queue}, std::make_unique<FifoStrategy>());
+  for (int i = 0; i < 10; ++i) rig.src->Push(Tuple::OfInt(i, i));
+  rig.src->Close(10);
+  partition.Run();  // returns when done
+  EXPECT_TRUE(partition.Done());
+  EXPECT_EQ(rig.sink->count(), 10);
+}
+
+TEST(PartitionTest, MultiQueuePartitionDrainsAll) {
+  QueryGraph g;
+  Source* srcs[3];
+  QueueOp* queues[3];
+  CountingSink* sinks[3];
+  std::vector<QueueOp*> queue_list;
+  for (int i = 0; i < 3; ++i) {
+    srcs[i] = g.Add<Source>("src" + std::to_string(i));
+    queues[i] = g.Add<QueueOp>("q" + std::to_string(i));
+    sinks[i] = g.Add<CountingSink>("sink" + std::to_string(i));
+    ASSERT_TRUE(g.Connect(srcs[i], queues[i]).ok());
+    ASSERT_TRUE(g.Connect(queues[i], sinks[i]).ok());
+    queue_list.push_back(queues[i]);
+  }
+  Partition partition("p", queue_list, std::make_unique<FifoStrategy>());
+  for (int i = 0; i < 50; ++i) {
+    for (int s = 0; s < 3; ++s) srcs[s]->Push(Tuple::OfInt(i, i));
+  }
+  for (int s = 0; s < 3; ++s) srcs[s]->Close(50);
+  partition.Run();
+  for (int s = 0; s < 3; ++s) EXPECT_EQ(sinks[s]->count(), 50);
+  EXPECT_TRUE(partition.Done());
+}
+
+TEST(PartitionTest, QueuedElementsSumsQueues) {
+  PipelineRig rig;
+  Partition partition("p", {rig.queue}, std::make_unique<FifoStrategy>());
+  rig.src->Push(Tuple::OfInt(1, 1));
+  rig.src->Push(Tuple::OfInt(2, 2));
+  EXPECT_EQ(partition.QueuedElements(), 2u);
+}
+
+TEST(PartitionTest, EmptyPartitionIsDoneOnlyAfterEos) {
+  PipelineRig rig;
+  Partition partition("p", {rig.queue}, std::make_unique<FifoStrategy>());
+  EXPECT_FALSE(partition.Done()) << "no EOS seen yet";
+  rig.src->Close(0);
+  partition.Run();
+  EXPECT_TRUE(partition.Done());
+  EXPECT_TRUE(rig.sink->closed());
+}
+
+TEST(PartitionTest, DestructorStopsRunningWorker) {
+  PipelineRig rig;
+  {
+    Partition partition("p", {rig.queue}, std::make_unique<FifoStrategy>());
+    rig.src->Push(Tuple::OfInt(1, 1));
+    partition.Start();
+    // No Close: partition would run forever; destructor must stop it.
+  }
+  SUCCEED();
+}
+
+TEST(PartitionTest, SmallBatchSizeStillCompletes) {
+  PipelineRig rig;
+  Partition::Options options;
+  options.batch_size = 1;
+  Partition partition("p", {rig.queue}, std::make_unique<FifoStrategy>(),
+                      options);
+  for (int i = 0; i < 20; ++i) rig.src->Push(Tuple::OfInt(i, i));
+  rig.src->Close(20);
+  partition.Run();
+  EXPECT_EQ(rig.sink->count(), 20);
+}
+
+}  // namespace
+}  // namespace flexstream

@@ -1,0 +1,357 @@
+// Queue placement: Partitioning invariants, Algorithm 1 (stall-avoiding
+// static queue placement), Chain- and Segment-based VO builders, and the
+// capacity evaluator — including the paper's Figure 5 scenario.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/query_graph.h"
+#include "graph/random_dag.h"
+#include "operators/selection.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "operators/union_op.h"
+#include "placement/chain_vo_builder.h"
+#include "placement/evaluator.h"
+#include "placement/partitioning.h"
+#include "placement/segment_vo_builder.h"
+#include "placement/static_queue_placement.h"
+#include "stats/capacity.h"
+
+namespace flexstream {
+namespace {
+
+Selection* AddOp(QueryGraph* g, const std::string& name, double cost,
+                 double selectivity) {
+  Selection* op = g->Add<Selection>(name, [](const Tuple&) { return true; });
+  op->SetCostMicros(cost);
+  op->SetSelectivity(selectivity);
+  return op;
+}
+
+TEST(PartitioningTest, AddGroupAndLookup) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("s");
+  Selection* op = AddOp(&g, "op", 1.0, 1.0);
+  ASSERT_TRUE(g.Connect(src, op).ok());
+  Partitioning p(&g);
+  const int id = p.AddGroup({src, op});
+  EXPECT_EQ(p.GroupOf(src), id);
+  EXPECT_EQ(p.GroupOf(op), id);
+  EXPECT_EQ(p.group_count(), 1u);
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(PartitioningTest, ValidateRejectsDisconnectedGroup) {
+  QueryGraph g;
+  Source* a = g.Add<Source>("a");
+  Source* b = g.Add<Source>("b");
+  Partitioning p(&g);
+  p.AddGroup({a, b});  // two sources with no connecting edge
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(PartitioningTest, CrossEdgesAreExactlyInterGroupEdges) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("s");
+  Selection* a = AddOp(&g, "a", 1, 1);
+  Selection* b = AddOp(&g, "b", 1, 1);
+  ASSERT_TRUE(g.Connect(src, a).ok());
+  ASSERT_TRUE(g.Connect(a, b).ok());
+  Partitioning p(&g);
+  p.AddGroup({src, a});
+  p.AddGroup({b});
+  auto cross = p.CrossEdges();
+  ASSERT_EQ(cross.size(), 1u);
+  EXPECT_EQ(cross[0].first, a);
+  EXPECT_EQ(static_cast<Node*>(cross[0].second), b);
+}
+
+TEST(PartitioningTest, CapacityOfGroupUsesCombinedFormulas) {
+  QueryGraph g;
+  Selection* a = AddOp(&g, "a", 10, 1);
+  Selection* b = AddOp(&g, "b", 20, 1);
+  a->SetInterarrivalMicros(100);
+  b->SetInterarrivalMicros(100);
+  ASSERT_TRUE(g.Connect(a, b).ok());
+  Partitioning p(&g);
+  const int id = p.AddGroup({a, b});
+  EXPECT_NEAR(p.CapacityOf(static_cast<size_t>(id)), 50.0 - 30.0, 1e-9);
+}
+
+// The Figure 5 scenario: source -> three cheap unary stateless operators
+// -> one expensive aggregation -> sink. The stall-avoiding placement must
+// separate the aggregation from the cheap chain.
+struct Figure5Rig {
+  QueryGraph graph;
+  Source* src;
+  Selection* cheap[3];
+  Selection* aggregation;  // stands in for the expensive aggregation
+  CollectingSink* sink;
+
+  Figure5Rig() {
+    src = graph.Add<Source>("src");
+    src->SetCostMicros(0.0);
+    src->SetSelectivity(1.0);
+    src->SetInterarrivalMicros(100.0);  // 10k elements/s
+    Node* prev = src;
+    for (int i = 0; i < 3; ++i) {
+      cheap[i] = AddOp(&graph, "u" + std::to_string(i), 5.0, 1.0);
+      EXPECT_TRUE(graph.Connect(prev, cheap[i]).ok());
+      prev = cheap[i];
+    }
+    aggregation = AddOp(&graph, "agg", 5000.0, 1.0);  // far too slow
+    EXPECT_TRUE(graph.Connect(prev, aggregation).ok());
+    sink = graph.Add<CollectingSink>("sink");
+    sink->SetCostMicros(0.0);
+    sink->SetSelectivity(1.0);
+    EXPECT_TRUE(graph.Connect(aggregation, sink).ok());
+    EXPECT_TRUE(PropagateRates(&graph).ok());
+  }
+};
+
+TEST(StaticQueuePlacementTest, Figure5SeparatesExpensiveAggregation) {
+  Figure5Rig rig;
+  Partitioning p = StaticQueuePlacement(rig.graph);
+  EXPECT_TRUE(p.Validate().ok());
+  // The cheap chain merges with the source into one partition...
+  EXPECT_EQ(p.GroupOf(rig.src), p.GroupOf(rig.cheap[0]));
+  EXPECT_EQ(p.GroupOf(rig.cheap[0]), p.GroupOf(rig.cheap[2]));
+  // ...while the aggregation is decoupled.
+  EXPECT_NE(p.GroupOf(rig.cheap[2]), p.GroupOf(rig.aggregation));
+  // And a queue lands exactly on the chain->aggregation edge.
+  bool found = false;
+  for (const auto& [from, to] : p.CrossEdges()) {
+    if (from == rig.cheap[2] && static_cast<Node*>(to) == rig.aggregation) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(StaticQueuePlacementTest, AllCheapMergesIntoOnePartition) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("src");
+  src->SetCostMicros(0);
+  src->SetSelectivity(1.0);
+  src->SetInterarrivalMicros(1000.0);
+  Node* prev = src;
+  for (int i = 0; i < 5; ++i) {
+    Selection* op = AddOp(&g, "s" + std::to_string(i), 1.0, 1.0);
+    ASSERT_TRUE(g.Connect(prev, op).ok());
+    prev = op;
+  }
+  ASSERT_TRUE(PropagateRates(&g).ok());
+  Partitioning p = StaticQueuePlacement(g);
+  EXPECT_EQ(p.group_count(), 1u)
+      << "all operators keep pace; no queue needed";
+  EXPECT_TRUE(p.CrossEdges().empty());
+}
+
+TEST(StaticQueuePlacementTest, EveryExpensiveIsolatesEveryOperator) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("src");
+  src->SetCostMicros(0);
+  src->SetSelectivity(1.0);
+  src->SetInterarrivalMicros(10.0);
+  Node* prev = src;
+  for (int i = 0; i < 3; ++i) {
+    Selection* op = AddOp(&g, "s" + std::to_string(i), 1000.0, 1.0);
+    ASSERT_TRUE(g.Connect(prev, op).ok());
+    prev = op;
+  }
+  ASSERT_TRUE(PropagateRates(&g).ok());
+  Partitioning p = StaticQueuePlacement(g);
+  EXPECT_EQ(p.group_count(), 4u) << "source + 3 singleton operators";
+}
+
+TEST(StaticQueuePlacementTest, FirstFitDecreasingPrefersHighCapacity) {
+  // A node with two producers but capacity for only one: the
+  // higher-capacity producer is merged.
+  QueryGraph g;
+  Source* fast = g.Add<Source>("fast");
+  fast->SetCostMicros(0);
+  fast->SetSelectivity(1.0);
+  fast->SetInterarrivalMicros(50.0);
+  Source* slow = g.Add<Source>("slow");
+  slow->SetCostMicros(0);
+  slow->SetSelectivity(1.0);
+  slow->SetInterarrivalMicros(1000.0);
+  // Consumer cheap enough for the slow producer alone, too expensive for
+  // the combined rate of both.
+  Selection* consumer = AddOp(&g, "c", 40.0, 1.0);
+  QueryGraph* gp = &g;
+  (void)gp;
+  UnionOp* u = g.Add<UnionOp>("u");
+  ASSERT_TRUE(g.Connect(fast, u).ok());
+  ASSERT_TRUE(g.Connect(slow, u).ok());
+  ASSERT_TRUE(g.Connect(u, consumer).ok());
+  u->SetCostMicros(0.5);
+  u->SetSelectivity(1.0);
+  ASSERT_TRUE(PropagateRates(&g).ok());
+  Partitioning p = StaticQueuePlacement(g);
+  EXPECT_TRUE(p.Validate().ok());
+  // The union merges with at least the higher-capacity source; groups stay
+  // non-stalling wherever a single node alone is non-stalling.
+  for (size_t id = 0; id < p.group_count(); ++id) {
+    if (p.group(id).size() > 1) {
+      EXPECT_GE(p.CapacityOf(id), 0.0);
+    }
+  }
+}
+
+TEST(StaticQueuePlacementTest, MergedPartitionsNeverStallWhenAvoidable) {
+  // Property: on random DAGs, every *merged* (multi-node) partition that
+  // Algorithm 1 produces has non-negative capacity (singletons may stall —
+  // a single overloaded operator cannot be fixed by placement).
+  Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomDagOptions opt;
+    opt.node_count = 60;
+    opt.source_count = 3;
+    auto graph = GenerateRandomDag(opt, &rng);
+    Partitioning p = StaticQueuePlacement(*graph);
+    ASSERT_TRUE(p.Validate().ok());
+    for (size_t id = 0; id < p.group_count(); ++id) {
+      if (p.group(id).size() < 2) continue;
+      const double cap = p.CapacityOf(id);
+      if (std::isfinite(cap)) {
+        EXPECT_GE(cap, -1e-9)
+            << "trial " << trial << " group " << id << " stalls";
+      }
+    }
+  }
+}
+
+TEST(ChainVoPlacementTest, DecomposesIntoChains) {
+  Figure5Rig rig;
+  auto chains = DecomposeIntoChains(rig.graph);
+  // src starts a chain (fan_in 0) covering the whole unary pipeline.
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0].size(), 6u);  // src + 3 cheap + agg + sink
+}
+
+TEST(ChainVoPlacementTest, ChainsBreakAtBranches) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("src");
+  Selection* a = AddOp(&g, "a", 1, 1);
+  Selection* b1 = AddOp(&g, "b1", 1, 1);
+  Selection* b2 = AddOp(&g, "b2", 1, 1);
+  ASSERT_TRUE(g.Connect(src, a).ok());
+  ASSERT_TRUE(g.Connect(a, b1).ok());
+  ASSERT_TRUE(g.Connect(a, b2).ok());
+  auto chains = DecomposeIntoChains(g);
+  EXPECT_EQ(chains.size(), 3u) << "src->a | b1 | b2";
+}
+
+TEST(ChainVoPlacementTest, CoversAllNodes) {
+  Rng rng(5);
+  RandomDagOptions opt;
+  opt.node_count = 80;
+  auto graph = GenerateRandomDag(opt, &rng);
+  Partitioning p = ChainVoPlacement(*graph);
+  EXPECT_TRUE(p.Validate().ok());
+  for (Node* n : graph->nodes()) {
+    EXPECT_GE(p.GroupOf(n), 0) << n->DebugString();
+  }
+}
+
+TEST(SegmentVoPlacementTest, SplitsAtLocallyStallingOperator) {
+  Figure5Rig rig;
+  Partitioning p = SegmentVoPlacement(rig.graph);
+  EXPECT_TRUE(p.Validate().ok());
+  EXPECT_EQ(p.GroupOf(rig.cheap[0]), p.GroupOf(rig.cheap[2]));
+  EXPECT_NE(p.GroupOf(rig.cheap[2]), p.GroupOf(rig.aggregation))
+      << "the aggregation cannot keep pace even locally";
+}
+
+TEST(SegmentVoPlacementTest, IgnoresCombinedCapacity) {
+  // Three operators, each locally fine (cap_local = 10 - 6 = 4 > 0) but
+  // combined cap = 10/3 - 18 < 0: the simplified Segment strategy merges
+  // them anyway — the weakness Figure 11 exposes.
+  QueryGraph g;
+  Source* src = g.Add<Source>("src");
+  src->SetCostMicros(0);
+  src->SetSelectivity(1.0);
+  src->SetInterarrivalMicros(10.0);
+  Node* prev = src;
+  std::vector<Selection*> ops;
+  for (int i = 0; i < 3; ++i) {
+    Selection* op = AddOp(&g, "s" + std::to_string(i), 6.0, 1.0);
+    ASSERT_TRUE(g.Connect(prev, op).ok());
+    prev = op;
+    ops.push_back(op);
+  }
+  ASSERT_TRUE(PropagateRates(&g).ok());
+  Partitioning segment = SegmentVoPlacement(g);
+  EXPECT_EQ(segment.GroupOf(ops[0]), segment.GroupOf(ops[2]))
+      << "simplified segment merges locally-fine operators";
+  const int group = segment.GroupOf(ops[0]);
+  EXPECT_LT(segment.CapacityOf(static_cast<size_t>(group)), 0.0)
+      << "...producing a stalling VO";
+  // Algorithm 1 on the same graph does not create that stalling VO.
+  Partitioning stall_avoiding = StaticQueuePlacement(g);
+  for (size_t id = 0; id < stall_avoiding.group_count(); ++id) {
+    if (stall_avoiding.group(id).size() >= 2) {
+      EXPECT_GE(stall_avoiding.CapacityOf(id), 0.0);
+    }
+  }
+}
+
+TEST(EvaluatorTest, SeparatesNegativeAndPositive) {
+  QueryGraph g;
+  Selection* a = AddOp(&g, "a", 10, 1);
+  a->SetInterarrivalMicros(100);  // cap +90
+  Selection* b = AddOp(&g, "b", 200, 1);
+  b->SetInterarrivalMicros(100);  // cap -100
+  ASSERT_TRUE(g.Connect(a, b).ok());
+  Partitioning p(&g);
+  p.AddGroup({a});
+  p.AddGroup({b});
+  CapacityReport report = EvaluateCapacities(p);
+  EXPECT_EQ(report.group_count, 2u);
+  EXPECT_EQ(report.negative_count, 1u);
+  EXPECT_EQ(report.positive_count, 1u);
+  EXPECT_NEAR(report.avg_negative_capacity, -100.0, 1e-9);
+  EXPECT_NEAR(report.avg_positive_capacity, 90.0, 1e-9);
+  EXPECT_NEAR(report.total_capacity, -10.0, 1e-9);
+}
+
+TEST(EvaluatorTest, UnboundedCapacityCountedSeparately) {
+  QueryGraph g;
+  Selection* a = AddOp(&g, "a", 10, 1);  // no inter-arrival metadata
+  Partitioning p(&g);
+  p.AddGroup({a});
+  CapacityReport report = EvaluateCapacities(p);
+  EXPECT_EQ(report.unbounded_count, 1u);
+  EXPECT_EQ(report.negative_count, 0u);
+}
+
+// Figure 11 shape: Algorithm 1's average negative capacity is the least
+// negative of the three builders on random DAGs.
+TEST(VoBuilderComparisonTest, StallAvoidingHasLeastNegativeCapacity) {
+  Rng rng(77);
+  double neg_stall = 0.0;
+  double neg_chain = 0.0;
+  double neg_segment = 0.0;
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomDagOptions opt;
+    opt.node_count = 100;
+    opt.source_count = 4;
+    auto graph = GenerateRandomDag(opt, &rng);
+    neg_stall +=
+        EvaluateCapacities(StaticQueuePlacement(*graph)).avg_negative_capacity;
+    neg_chain +=
+        EvaluateCapacities(ChainVoPlacement(*graph)).avg_negative_capacity;
+    neg_segment +=
+        EvaluateCapacities(SegmentVoPlacement(*graph)).avg_negative_capacity;
+  }
+  EXPECT_GE(neg_stall, neg_chain)
+      << "Algorithm 1 must stall less than Chain-based VOs";
+  EXPECT_GE(neg_stall, neg_segment)
+      << "Algorithm 1 must stall less than simplified-Segment VOs";
+}
+
+}  // namespace
+}  // namespace flexstream

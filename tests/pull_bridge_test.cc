@@ -1,0 +1,158 @@
+// Pull↔push bridging (PullVoOperator) and the multi-input pull operators
+// (OncUnion, OncMap).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/query_graph.h"
+#include "operators/selection.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "pull/onc_operator.h"
+#include "pull/pull_bridge.h"
+#include "pull/pull_vo.h"
+
+namespace flexstream {
+namespace {
+
+TEST(OncMapTest, TransformsAndPropagatesEnd) {
+  OncVectorSource src("v", {Tuple::OfInt(3, 1)});
+  OncMap map("m", &src, [](const Tuple& t) {
+    return Tuple::OfInt(t.IntAt(0) * 10, t.timestamp());
+  });
+  map.Open();
+  PullResult r = map.Next();
+  ASSERT_TRUE(r.is_data());
+  EXPECT_EQ(r.tuple.IntAt(0), 30);
+  EXPECT_TRUE(map.Next().is_end());
+  EXPECT_FALSE(map.HasNext());
+}
+
+TEST(OncUnionTest, MergesAndEndsWhenAllEnd) {
+  OncVectorSource a("a", {Tuple::OfInt(1, 1), Tuple::OfInt(2, 2)});
+  OncVectorSource b("b", {Tuple::OfInt(10, 1)});
+  OncUnion u("u", {&a, &b});
+  u.Open();
+  std::vector<int64_t> seen;
+  while (true) {
+    PullResult r = u.Next();
+    if (r.is_end()) break;
+    if (r.is_data()) seen.push_back(r.tuple.IntAt(0));
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<int64_t>{1, 2, 10}));
+  EXPECT_FALSE(u.HasNext());
+}
+
+TEST(OncUnionTest, PendingWhileAnyChildOpen) {
+  OncBuffer open_buffer("open");
+  OncVectorSource done("done", {});
+  OncUnion u("u", {&open_buffer, &done});
+  u.Open();
+  EXPECT_TRUE(u.Next().is_pending());
+  open_buffer.Push(Tuple::OfInt(7, 1));
+  EXPECT_TRUE(u.Next().is_data());
+  open_buffer.CloseInput();
+  EXPECT_TRUE(u.Next().is_end());
+}
+
+TEST(PullVoOperatorTest, RunsAPullChainInsideAPushGraph) {
+  // Push graph: src -> [pull VO: buffer -> select(even) -> map(*2)] -> sink.
+  auto vo = std::make_unique<PullVo>("inner");
+  OncBuffer* buffer = vo->Add<OncBuffer>("in");
+  OncSelect* select = vo->Add<OncSelect>(
+      "even", buffer, [](const Tuple& t) { return t.IntAt(0) % 2 == 0; });
+  OncMap* map = vo->Add<OncMap>("x2", select, [](const Tuple& t) {
+    return Tuple::OfInt(t.IntAt(0) * 2, t.timestamp());
+  });
+  ASSERT_TRUE(vo->Link(buffer, select).ok());
+  ASSERT_TRUE(vo->Link(select, map).ok());
+
+  QueryGraph g;
+  Source* src = g.Add<Source>("src");
+  PullVoOperator* bridge = g.Add<PullVoOperator>(
+      "bridge", std::move(vo), std::vector<OncBuffer*>{buffer});
+  CollectingSink* sink = g.Add<CollectingSink>("sink");
+  ASSERT_TRUE(g.Connect(src, bridge).ok());
+  ASSERT_TRUE(g.Connect(bridge, sink).ok());
+
+  for (int i = 0; i < 10; ++i) src->Push(Tuple::OfInt(i, i));
+  src->Close(10);
+  auto results = sink->TakeResults();
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_EQ(results[0].IntAt(0), 0);
+  EXPECT_EQ(results[4].IntAt(0), 16);
+  EXPECT_TRUE(sink->closed());
+}
+
+TEST(PullVoOperatorTest, EquivalentToPushPipeline) {
+  auto even = [](const Tuple& t) { return t.IntAt(0) % 2 == 0; };
+  auto small = [](const Tuple& t) { return t.IntAt(0) < 50; };
+
+  // Push-native pipeline.
+  QueryGraph push_graph;
+  Source* push_src = push_graph.Add<Source>("src");
+  Selection* s1 = push_graph.Add<Selection>("s1", even);
+  Selection* s2 = push_graph.Add<Selection>("s2", small);
+  CollectingSink* push_sink = push_graph.Add<CollectingSink>("sink");
+  ASSERT_TRUE(push_graph.Connect(push_src, s1).ok());
+  ASSERT_TRUE(push_graph.Connect(s1, s2).ok());
+  ASSERT_TRUE(push_graph.Connect(s2, push_sink).ok());
+
+  // Same logic bridged through a pull VO.
+  auto vo = std::make_unique<PullVo>("inner");
+  OncBuffer* buffer = vo->Add<OncBuffer>("in");
+  OncSelect* p1 = vo->Add<OncSelect>("s1", buffer, even);
+  OncSelect* p2 = vo->Add<OncSelect>("s2", p1, small);
+  ASSERT_TRUE(vo->Link(buffer, p1).ok());
+  ASSERT_TRUE(vo->Link(p1, p2).ok());
+  QueryGraph pull_graph;
+  Source* pull_src = pull_graph.Add<Source>("src");
+  PullVoOperator* bridge = pull_graph.Add<PullVoOperator>(
+      "bridge", std::move(vo), std::vector<OncBuffer*>{buffer});
+  CollectingSink* pull_sink = pull_graph.Add<CollectingSink>("sink");
+  ASSERT_TRUE(pull_graph.Connect(pull_src, bridge).ok());
+  ASSERT_TRUE(pull_graph.Connect(bridge, pull_sink).ok());
+
+  for (int i = 0; i < 200; ++i) {
+    push_src->Push(Tuple::OfInt(i % 100, i));
+    pull_src->Push(Tuple::OfInt(i % 100, i));
+  }
+  push_src->Close(200);
+  pull_src->Close(200);
+  EXPECT_EQ(pull_sink->TakeResults(), push_sink->TakeResults());
+  EXPECT_TRUE(pull_sink->closed());
+}
+
+TEST(PullVoOperatorTest, MultiInputUnionVo) {
+  // Two push inputs merged by a pull-based union inside the bridge.
+  auto vo = std::make_unique<PullVo>("inner");
+  OncBuffer* in0 = vo->Add<OncBuffer>("in0");
+  OncBuffer* in1 = vo->Add<OncBuffer>("in1");
+  OncUnion* u = vo->Add<OncUnion>("u", std::vector<OncOperator*>{in0, in1});
+  ASSERT_TRUE(vo->Link(in0, u).ok());
+  ASSERT_TRUE(vo->Link(in1, u).ok());
+
+  QueryGraph g;
+  Source* a = g.Add<Source>("a");
+  Source* b = g.Add<Source>("b");
+  PullVoOperator* bridge = g.Add<PullVoOperator>(
+      "bridge", std::move(vo), std::vector<OncBuffer*>{in0, in1});
+  CountingSink* sink = g.Add<CountingSink>("sink");
+  ASSERT_TRUE(g.Connect(a, bridge, 0).ok());
+  ASSERT_TRUE(g.Connect(b, bridge, 1).ok());
+  ASSERT_TRUE(g.Connect(bridge, sink).ok());
+  for (int i = 0; i < 50; ++i) {
+    a->Push(Tuple::OfInt(i, i));
+    b->Push(Tuple::OfInt(100 + i, i));
+  }
+  a->Close(50);
+  EXPECT_FALSE(sink->closed()) << "b still open";
+  b->Close(50);
+  EXPECT_TRUE(sink->closed());
+  EXPECT_EQ(sink->count(), 100);
+}
+
+}  // namespace
+}  // namespace flexstream

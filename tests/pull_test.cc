@@ -1,0 +1,188 @@
+// Pull-based ONC framework: repaired hasNext semantics, proxies, the
+// tree-only restriction, and push/pull equivalence (Sections 2.2, 3.2,
+// 3.4).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/query_graph.h"
+#include "operators/projection.h"
+#include "operators/selection.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "pull/onc_operator.h"
+#include "pull/proxy_queue.h"
+#include "pull/pull_vo.h"
+
+namespace flexstream {
+namespace {
+
+std::vector<Tuple> MakeStream(int n) {
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < n; ++i) tuples.push_back(Tuple::OfInt(i, i));
+  return tuples;
+}
+
+TEST(OncVectorSourceTest, EmitsAllThenEnd) {
+  OncVectorSource src("v", MakeStream(3));
+  src.Open();
+  for (int i = 0; i < 3; ++i) {
+    PullResult r = src.Next();
+    ASSERT_TRUE(r.is_data());
+    EXPECT_EQ(r.tuple.IntAt(0), i);
+  }
+  EXPECT_TRUE(src.HasNext()) << "end not yet observed";
+  EXPECT_TRUE(src.Next().is_end());
+  EXPECT_FALSE(src.HasNext()) << "hasNext == false means ended forever";
+}
+
+TEST(OncBufferTest, PendingWhenEmptyEndWhenClosed) {
+  OncBuffer buffer("b");
+  buffer.Open();
+  EXPECT_TRUE(buffer.Next().is_pending())
+      << "empty but open input yields the special 'currently unavailable' "
+         "element, not end";
+  buffer.Push(Tuple::OfInt(1, 1));
+  EXPECT_TRUE(buffer.Next().is_data());
+  buffer.CloseInput();
+  EXPECT_TRUE(buffer.Next().is_end());
+  EXPECT_FALSE(buffer.HasNext());
+}
+
+TEST(OncBufferTest, DrainsBeforeEnd) {
+  OncBuffer buffer("b");
+  buffer.Push(Tuple::OfInt(1, 1));
+  buffer.Push(Tuple::OfInt(2, 2));
+  buffer.CloseInput();
+  EXPECT_TRUE(buffer.Next().is_data());
+  EXPECT_TRUE(buffer.Next().is_data());
+  EXPECT_TRUE(buffer.Next().is_end());
+}
+
+TEST(OncSelectTest, FiltersAndReportsPendingForDiscarded) {
+  OncVectorSource src("v", MakeStream(4));
+  OncSelect select("f", &src,
+                   [](const Tuple& t) { return t.IntAt(0) % 2 == 0; });
+  select.Open();
+  EXPECT_TRUE(select.Next().is_data());     // 0 passes
+  EXPECT_TRUE(select.Next().is_pending());  // 1 filtered -> pending
+  EXPECT_TRUE(select.Next().is_data());     // 2 passes
+  EXPECT_TRUE(select.Next().is_pending());  // 3 filtered
+  EXPECT_TRUE(select.Next().is_end());
+}
+
+TEST(OncProjectTest, ProjectsAttributes) {
+  OncVectorSource src("v", {Tuple({Value(1), Value(2)}, 5)});
+  OncProject project("p", &src, {1});
+  project.Open();
+  PullResult r = project.Next();
+  ASSERT_TRUE(r.is_data());
+  EXPECT_EQ(r.tuple, Tuple({Value(2)}, 5));
+}
+
+TEST(ProxyQueueTest, ForwardsFromSourceWithoutStorage) {
+  OncVectorSource src("v", MakeStream(2));
+  src.Open();
+  ProxyQueue proxy("proxy", &src);
+  EXPECT_TRUE(proxy.Empty());
+  EXPECT_TRUE(proxy.Dequeue().is_data());
+  EXPECT_TRUE(proxy.Dequeue().is_data());
+  EXPECT_TRUE(proxy.Dequeue().is_end());
+}
+
+TEST(PullVoTest, SchedulerOnlyCallsRoot) {
+  // Figure 2's construction: sigma2 pulls sigma1 through a proxy; the
+  // driver touches only the root.
+  PullVo vo("vo");
+  auto* src = vo.Add<OncVectorSource>("src", MakeStream(10));
+  auto* s1 = vo.Add<OncSelect>(
+      "s1", src, [](const Tuple& t) { return t.IntAt(0) >= 2; });
+  auto* s2 = vo.Add<OncSelect>(
+      "s2", s1, [](const Tuple& t) { return t.IntAt(0) < 8; });
+  ASSERT_TRUE(vo.Link(src, s1).ok());
+  ASSERT_TRUE(vo.Link(s1, s2).ok());
+  auto root = vo.Root();
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(*root, s2);
+  auto results = vo.DrainAll();
+  ASSERT_EQ(results.size(), 6u);
+  EXPECT_EQ(results.front().IntAt(0), 2);
+  EXPECT_EQ(results.back().IntAt(0), 7);
+  EXPECT_GT(vo.last_pending_count(), 0)
+      << "filtered elements surface as pending root invocations";
+}
+
+TEST(PullVoTest, SharedSubqueryIsRejected) {
+  // Section 3.4: "pull-based processing can not support subquery sharing
+  // within a VO."
+  PullVo vo("vo");
+  auto* src = vo.Add<OncVectorSource>("src", MakeStream(5));
+  auto* p1 = vo.Add<OncProject>("p1", src, std::vector<size_t>{});
+  auto* p2 = vo.Add<OncProject>("p2", src, std::vector<size_t>{});
+  ASSERT_TRUE(vo.Link(src, p1).ok());
+  const Status s = vo.Link(src, p2).ok()
+                       ? Status::Ok()
+                       : Status::FailedPrecondition("rejected");
+  EXPECT_FALSE(s.ok()) << "sharing a child between two parents must fail";
+}
+
+TEST(PullVoTest, MultipleRootsDetected) {
+  PullVo vo("vo");
+  vo.Add<OncVectorSource>("a", MakeStream(1));
+  vo.Add<OncVectorSource>("b", MakeStream(1));
+  EXPECT_FALSE(vo.Root().ok());
+}
+
+TEST(PushPullEquivalenceTest, SameSelectionChainSameResults) {
+  // The same two-selection VO built push-based (DI) and pull-based
+  // (proxies) produces identical results — queues and paradigm choice
+  // never change semantics (Section 2.4).
+  const auto stream = MakeStream(100);
+  auto even = [](const Tuple& t) { return t.IntAt(0) % 2 == 0; };
+  auto small = [](const Tuple& t) { return t.IntAt(0) < 50; };
+
+  // Push.
+  QueryGraph g;
+  VectorSource* push_src = g.Add<VectorSource>("src", stream);
+  Selection* push_s1 = g.Add<Selection>("s1", even);
+  Selection* push_s2 = g.Add<Selection>("s2", small);
+  CollectingSink* sink = g.Add<CollectingSink>("sink");
+  ASSERT_TRUE(g.Connect(push_src, push_s1).ok());
+  ASSERT_TRUE(g.Connect(push_s1, push_s2).ok());
+  ASSERT_TRUE(g.Connect(push_s2, sink).ok());
+  push_src->PushAll();
+
+  // Pull.
+  PullVo vo("vo");
+  auto* pull_src = vo.Add<OncVectorSource>("src", stream);
+  auto* pull_s1 = vo.Add<OncSelect>("s1", pull_src, even);
+  auto* pull_s2 = vo.Add<OncSelect>("s2", pull_s1, small);
+  ASSERT_TRUE(vo.Link(pull_src, pull_s1).ok());
+  ASSERT_TRUE(vo.Link(pull_s1, pull_s2).ok());
+
+  EXPECT_EQ(vo.DrainAll(), sink->TakeResults());
+}
+
+TEST(PushPullEquivalenceTest, PushSupportsSharingPullDoesNot) {
+  // Push-based: one source feeding two selections works naturally.
+  QueryGraph g;
+  VectorSource* src = g.Add<VectorSource>("src", MakeStream(10));
+  Selection* s1 = g.Add<Selection>(
+      "s1", [](const Tuple& t) { return t.IntAt(0) < 5; });
+  Selection* s2 = g.Add<Selection>(
+      "s2", [](const Tuple& t) { return t.IntAt(0) >= 5; });
+  CollectingSink* sink1 = g.Add<CollectingSink>("sink1");
+  CollectingSink* sink2 = g.Add<CollectingSink>("sink2");
+  ASSERT_TRUE(g.Connect(src, s1).ok());
+  ASSERT_TRUE(g.Connect(src, s2).ok());
+  ASSERT_TRUE(g.Connect(s1, sink1).ok());
+  ASSERT_TRUE(g.Connect(s2, sink2).ok());
+  src->PushAll();
+  EXPECT_EQ(sink1->size(), 5u);
+  EXPECT_EQ(sink2->size(), 5u);
+  // The pull analogue was shown to be rejected in SharedSubqueryIsRejected.
+}
+
+}  // namespace
+}  // namespace flexstream

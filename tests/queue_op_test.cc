@@ -1,0 +1,181 @@
+// QueueOp: thread-safe enqueue, FIFO drain, EOS forwarding, listeners.
+
+#include "queue/queue_op.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "graph/query_graph.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+
+namespace flexstream {
+namespace {
+
+struct QueueRig {
+  QueryGraph graph;
+  Source* src;
+  QueueOp* queue;
+  CollectingSink* sink;
+
+  QueueRig() {
+    src = graph.Add<Source>("src");
+    queue = graph.Add<QueueOp>("q");
+    sink = graph.Add<CollectingSink>("sink");
+    EXPECT_TRUE(graph.Connect(src, queue).ok());
+    EXPECT_TRUE(graph.Connect(queue, sink).ok());
+  }
+};
+
+TEST(QueueOpTest, BuffersUntilDrained) {
+  QueueRig rig;
+  rig.src->Push(Tuple::OfInt(1, 1));
+  rig.src->Push(Tuple::OfInt(2, 2));
+  EXPECT_EQ(rig.queue->Size(), 2u);
+  EXPECT_EQ(rig.sink->size(), 0u) << "queue decouples: nothing flows yet";
+  EXPECT_EQ(rig.queue->DrainBatch(10), 2u);
+  EXPECT_EQ(rig.sink->size(), 2u);
+  EXPECT_EQ(rig.queue->Size(), 0u);
+}
+
+TEST(QueueOpTest, DrainRespectsBatchLimit) {
+  QueueRig rig;
+  for (int i = 0; i < 10; ++i) rig.src->Push(Tuple::OfInt(i, i));
+  EXPECT_EQ(rig.queue->DrainBatch(3), 3u);
+  EXPECT_EQ(rig.queue->Size(), 7u);
+  EXPECT_EQ(rig.sink->size(), 3u);
+}
+
+TEST(QueueOpTest, FifoOrderPreserved) {
+  QueueRig rig;
+  for (int i = 0; i < 5; ++i) rig.src->Push(Tuple::OfInt(i, i));
+  rig.queue->DrainBatch(100);
+  auto results = rig.sink->TakeResults();
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(results[i].IntAt(0), i);
+}
+
+TEST(QueueOpTest, EosForwardedOnceAfterData) {
+  QueueRig rig;
+  rig.src->Push(Tuple::OfInt(1, 1));
+  rig.src->Close(2);
+  EXPECT_TRUE(rig.queue->InputClosed());
+  EXPECT_FALSE(rig.queue->Exhausted()) << "EOS still queued";
+  EXPECT_FALSE(rig.sink->closed());
+  rig.queue->DrainBatch(100);
+  EXPECT_TRUE(rig.queue->Exhausted());
+  EXPECT_TRUE(rig.sink->closed());
+}
+
+TEST(QueueOpTest, DrainStopsAtEos) {
+  QueueRig rig;
+  rig.src->Push(Tuple::OfInt(1, 1));
+  rig.src->Close(1);
+  // One call drains the data element and the EOS (batch allows more).
+  EXPECT_EQ(rig.queue->DrainBatch(100), 1u);
+  EXPECT_TRUE(rig.queue->Exhausted());
+}
+
+TEST(QueueOpTest, MultiProducerEosCounting) {
+  QueryGraph g;
+  Source* a = g.Add<Source>("a");
+  Source* b = g.Add<Source>("b");
+  QueueOp* q = g.Add<QueueOp>("q");
+  CollectingSink* sink = g.Add<CollectingSink>("sink");
+  ASSERT_TRUE(g.Connect(a, q).ok());
+  ASSERT_TRUE(g.Connect(b, q).ok());
+  ASSERT_TRUE(g.Connect(q, sink).ok());
+  a->Push(Tuple::OfInt(1, 1));
+  a->Close(1);
+  q->DrainBatch(100);
+  EXPECT_FALSE(q->InputClosed()) << "b still open";
+  EXPECT_FALSE(sink->closed());
+  b->Push(Tuple::OfInt(2, 2));
+  b->Close(2);
+  q->DrainBatch(100);
+  EXPECT_TRUE(sink->closed());
+  EXPECT_EQ(sink->size(), 2u);
+}
+
+TEST(QueueOpTest, HeadSeqOrdersAcrossQueues) {
+  QueryGraph g;
+  Source* a = g.Add<Source>("a");
+  Source* b = g.Add<Source>("b");
+  QueueOp* qa = g.Add<QueueOp>("qa");
+  QueueOp* qb = g.Add<QueueOp>("qb");
+  CollectingSink* sa = g.Add<CollectingSink>("sa");
+  CollectingSink* sb = g.Add<CollectingSink>("sb");
+  ASSERT_TRUE(g.Connect(a, qa).ok());
+  ASSERT_TRUE(g.Connect(b, qb).ok());
+  ASSERT_TRUE(g.Connect(qa, sa).ok());
+  ASSERT_TRUE(g.Connect(qb, sb).ok());
+  EXPECT_EQ(qa->HeadSeq(), QueueOp::kNoSeq);
+  a->Push(Tuple::OfInt(1, 1));
+  b->Push(Tuple::OfInt(2, 2));
+  a->Push(Tuple::OfInt(3, 3));
+  EXPECT_LT(qa->HeadSeq(), qb->HeadSeq())
+      << "a's first element arrived before b's";
+}
+
+TEST(QueueOpTest, PeakSizeTracksHighWater) {
+  QueueRig rig;
+  for (int i = 0; i < 7; ++i) rig.src->Push(Tuple::OfInt(i, i));
+  rig.queue->DrainBatch(5);
+  rig.src->Push(Tuple::OfInt(9, 9));
+  EXPECT_EQ(rig.queue->PeakSize(), 7u);
+}
+
+TEST(QueueOpTest, ListenerFiresOnEnqueue) {
+  QueueRig rig;
+  std::atomic<int> notified{0};
+  rig.queue->SetEnqueueListener([&] { notified.fetch_add(1); });
+  rig.src->Push(Tuple::OfInt(1, 1));
+  rig.src->Push(Tuple::OfInt(2, 2));
+  EXPECT_EQ(notified.load(), 2);
+  rig.src->Close(2);
+  EXPECT_EQ(notified.load(), 3) << "EOS enqueue also notifies";
+}
+
+TEST(QueueOpTest, ResetClearsEverything) {
+  QueueRig rig;
+  rig.src->Push(Tuple::OfInt(1, 1));
+  rig.src->Close(1);
+  rig.graph.ResetAll();
+  EXPECT_EQ(rig.queue->Size(), 0u);
+  EXPECT_FALSE(rig.queue->InputClosed());
+  EXPECT_FALSE(rig.queue->Exhausted());
+  EXPECT_EQ(rig.queue->PeakSize(), 0u);
+  EXPECT_EQ(rig.queue->HeadSeq(), QueueOp::kNoSeq);
+}
+
+TEST(QueueOpTest, ConcurrentProducersSingleConsumer) {
+  QueryGraph g;
+  Source* a = g.Add<Source>("a");
+  Source* b = g.Add<Source>("b");
+  QueueOp* q = g.Add<QueueOp>("q");
+  CountingSink* sink = g.Add<CountingSink>("sink");
+  ASSERT_TRUE(g.Connect(a, q).ok());
+  ASSERT_TRUE(g.Connect(b, q).ok());
+  ASSERT_TRUE(g.Connect(q, sink).ok());
+  constexpr int kPerProducer = 30000;
+  std::thread ta([&] {
+    for (int i = 0; i < kPerProducer; ++i) a->Push(Tuple::OfInt(i, i));
+    a->Close(kPerProducer);
+  });
+  std::thread tb([&] {
+    for (int i = 0; i < kPerProducer; ++i) b->Push(Tuple::OfInt(i, i));
+    b->Close(kPerProducer);
+  });
+  // Consumer drains concurrently with the producers.
+  while (!q->Exhausted()) {
+    q->DrainBatch(256);
+  }
+  ta.join();
+  tb.join();
+  EXPECT_EQ(sink->count(), 2 * kPerProducer);
+  EXPECT_TRUE(sink->closed());
+}
+
+}  // namespace
+}  // namespace flexstream

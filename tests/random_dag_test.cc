@@ -1,0 +1,115 @@
+// Random DAG generator properties (Figure 11 substrate).
+
+#include "graph/random_dag.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace flexstream {
+namespace {
+
+TEST(RandomDagTest, GeneratesRequestedNodeCount) {
+  Rng rng(1);
+  RandomDagOptions opt;
+  opt.node_count = 50;
+  opt.source_count = 3;
+  auto graph = GenerateRandomDag(opt, &rng);
+  EXPECT_EQ(graph->node_count(), 50u);
+  EXPECT_EQ(graph->Sources().size(), 3u);
+}
+
+TEST(RandomDagTest, GraphValidatesAndIsAcyclic) {
+  Rng rng(2);
+  RandomDagOptions opt;
+  opt.node_count = 200;
+  auto graph = GenerateRandomDag(opt, &rng);
+  EXPECT_TRUE(graph->Validate().ok());
+  EXPECT_TRUE(graph->TopologicalOrder().ok());
+}
+
+TEST(RandomDagTest, EveryNonSourceHasProducer) {
+  Rng rng(3);
+  RandomDagOptions opt;
+  opt.node_count = 100;
+  auto graph = GenerateRandomDag(opt, &rng);
+  for (const Node* n : graph->nodes()) {
+    if (!n->is_source()) {
+      EXPECT_GE(n->fan_in(), 1u) << n->DebugString();
+    }
+  }
+}
+
+TEST(RandomDagTest, MetadataWithinConfiguredRanges) {
+  Rng rng(4);
+  RandomDagOptions opt;
+  opt.node_count = 100;
+  opt.min_cost_micros = 1.0;
+  opt.max_cost_micros = 100.0;
+  opt.min_selectivity = 0.2;
+  opt.max_selectivity = 0.8;
+  auto graph = GenerateRandomDag(opt, &rng);
+  for (const Node* n : graph->nodes()) {
+    if (n->is_source()) continue;
+    EXPECT_GE(n->CostMicros(), 1.0);
+    EXPECT_LE(n->CostMicros(), 100.0 * 1.0001);
+    EXPECT_GE(n->Selectivity(), 0.2);
+    EXPECT_LE(n->Selectivity(), 0.8);
+  }
+}
+
+TEST(RandomDagTest, RatesArePropagated) {
+  Rng rng(5);
+  RandomDagOptions opt;
+  opt.node_count = 40;
+  auto graph = GenerateRandomDag(opt, &rng);
+  for (const Node* n : graph->nodes()) {
+    EXPECT_TRUE(n->has_interarrival_override() ||
+                std::isfinite(n->InterarrivalMicros()))
+        << n->DebugString();
+    EXPECT_GT(n->InterarrivalMicros(), 0.0);
+  }
+}
+
+TEST(RandomDagTest, DeterministicForSameRngState) {
+  RandomDagOptions opt;
+  opt.node_count = 30;
+  Rng rng_a(42);
+  Rng rng_b(42);
+  auto a = GenerateRandomDag(opt, &rng_a);
+  auto b = GenerateRandomDag(opt, &rng_b);
+  ASSERT_EQ(a->node_count(), b->node_count());
+  for (size_t i = 0; i < a->node_count(); ++i) {
+    EXPECT_EQ(a->nodes()[i]->fan_in(), b->nodes()[i]->fan_in());
+    EXPECT_EQ(a->nodes()[i]->CostMicros(), b->nodes()[i]->CostMicros());
+  }
+}
+
+TEST(RandomDagTest, MaxFanInRespected) {
+  Rng rng(6);
+  RandomDagOptions opt;
+  opt.node_count = 150;
+  opt.max_fan_in = 2;
+  opt.second_input_probability = 0.9;
+  auto graph = GenerateRandomDag(opt, &rng);
+  bool saw_two = false;
+  for (const Node* n : graph->nodes()) {
+    EXPECT_LE(n->fan_in(), 2u);
+    if (n->fan_in() == 2) saw_two = true;
+  }
+  EXPECT_TRUE(saw_two) << "with p=0.9 some node must take two inputs";
+}
+
+TEST(RandomDagTest, TreeModeWhenFanInOne) {
+  Rng rng(7);
+  RandomDagOptions opt;
+  opt.node_count = 50;
+  opt.max_fan_in = 1;
+  auto graph = GenerateRandomDag(opt, &rng);
+  for (const Node* n : graph->nodes()) {
+    EXPECT_LE(n->fan_in(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace flexstream

@@ -1,0 +1,123 @@
+#include "tuple/tuple.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "tuple/value.h"
+
+namespace flexstream {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  Value i(int64_t{42});
+  Value d(2.5);
+  Value s("abc");
+  EXPECT_TRUE(i.is_int64());
+  EXPECT_TRUE(d.is_double());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(i.AsInt64(), 42);
+  EXPECT_EQ(d.AsDouble(), 2.5);
+  EXPECT_EQ(s.AsString(), "abc");
+}
+
+TEST(ValueTest, IntLiteralConstructor) {
+  Value v(7);
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.AsInt64(), 7);
+}
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.AsInt64(), 0);
+}
+
+TEST(ValueTest, ToDoubleCoercion) {
+  EXPECT_EQ(Value(3).ToDouble(), 3.0);
+  EXPECT_EQ(Value(1.5).ToDouble(), 1.5);
+}
+
+TEST(ValueTest, EqualityAndOrdering) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_NE(Value(1), Value(2));
+  EXPECT_NE(Value(1), Value(1.0)) << "types are distinct";
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value("a"), Value("b"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(5).Hash(), Value(5).Hash());
+  EXPECT_EQ(Value("xy").Hash(), Value("xy").Hash());
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value(1));
+  set.insert(Value(1));
+  set.insert(Value("1"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(12).ToString(), "12");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+}
+
+TEST(TupleTest, DataTupleBasics) {
+  Tuple t({Value(1), Value(2.0), Value("x")}, 99);
+  EXPECT_TRUE(t.is_data());
+  EXPECT_FALSE(t.is_eos());
+  EXPECT_EQ(t.arity(), 3u);
+  EXPECT_EQ(t.timestamp(), 99);
+  EXPECT_EQ(t.IntAt(0), 1);
+  EXPECT_EQ(t.DoubleAt(1), 2.0);
+  EXPECT_EQ(t.StringAt(2), "x");
+}
+
+TEST(TupleTest, EosCarriesOnlyTimestamp) {
+  Tuple eos = Tuple::EndOfStream(123);
+  EXPECT_TRUE(eos.is_eos());
+  EXPECT_EQ(eos.timestamp(), 123);
+  EXPECT_EQ(eos.arity(), 0u);
+}
+
+TEST(TupleTest, OfIntOfDouble) {
+  EXPECT_EQ(Tuple::OfInt(5, 1).IntAt(0), 5);
+  EXPECT_EQ(Tuple::OfDouble(2.5, 1).DoubleAt(0), 2.5);
+}
+
+TEST(TupleTest, ConcatJoinsAttributesAndMaxTimestamp) {
+  Tuple l({Value(1), Value(2)}, 10);
+  Tuple r({Value(3)}, 20);
+  Tuple c = Tuple::Concat(l, r);
+  EXPECT_EQ(c.arity(), 3u);
+  EXPECT_EQ(c.IntAt(0), 1);
+  EXPECT_EQ(c.IntAt(2), 3);
+  EXPECT_EQ(c.timestamp(), 20);
+}
+
+TEST(TupleTest, Append) {
+  Tuple t = Tuple::OfInt(1);
+  t.Append(Value(2));
+  EXPECT_EQ(t.arity(), 2u);
+  EXPECT_EQ(t.IntAt(1), 2);
+}
+
+TEST(TupleTest, EqualityIncludesKindTimestampValues) {
+  EXPECT_EQ(Tuple::OfInt(1, 5), Tuple::OfInt(1, 5));
+  EXPECT_NE(Tuple::OfInt(1, 5), Tuple::OfInt(1, 6));
+  EXPECT_NE(Tuple::OfInt(1, 5), Tuple::OfInt(2, 5));
+  EXPECT_NE(Tuple::OfInt(0, 5), Tuple::EndOfStream(5));
+  EXPECT_EQ(Tuple::EndOfStream(5), Tuple::EndOfStream(5));
+}
+
+TEST(TupleTest, OrderingByTimestampThenValues) {
+  EXPECT_LT(Tuple::OfInt(9, 1), Tuple::OfInt(0, 2));
+  EXPECT_LT(Tuple::OfInt(1, 5), Tuple::OfInt(2, 5));
+}
+
+TEST(TupleTest, ToStringFormats) {
+  EXPECT_EQ(Tuple({Value(1), Value("a")}, 7).ToString(), "(1, a)@7");
+  EXPECT_EQ(Tuple::EndOfStream(3).ToString(), "<EOS@3>");
+}
+
+}  // namespace
+}  // namespace flexstream

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "util/busy_work.h"
+#include "util/clock.h"
+
+namespace flexstream {
+namespace {
+
+TEST(ClockTest, DurationConversions) {
+  const Duration d = FromMicros(1'500'000);
+  EXPECT_NEAR(ToSeconds(d), 1.5, 1e-9);
+  EXPECT_NEAR(ToMillis(d), 1500.0, 1e-6);
+  EXPECT_EQ(ToMicros(d), 1'500'000);
+}
+
+TEST(ClockTest, FromSecondsD) {
+  EXPECT_EQ(ToMicros(FromSecondsD(0.25)), 250'000);
+}
+
+TEST(ClockTest, StopwatchAdvances) {
+  Stopwatch sw;
+  SleepUntil(Now() + std::chrono::milliseconds(5));
+  EXPECT_GE(sw.ElapsedMillis(), 4.5);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedMillis(), 4.0);
+}
+
+TEST(ClockTest, SleepUntilPastDeadlineReturnsImmediately) {
+  Stopwatch sw;
+  SleepUntil(Now() - std::chrono::seconds(1));
+  EXPECT_LT(sw.ElapsedMillis(), 5.0);
+}
+
+TEST(BusyWorkTest, CalibrationIsPositive) {
+  EXPECT_GT(IterationsPerMicro(), 0.0);
+}
+
+TEST(BusyWorkTest, BurnMicrosTakesRoughlyThatLong) {
+  BurnMicros(100.0);  // warm up calibration
+  Stopwatch sw;
+  BurnMicros(20'000.0);
+  const double elapsed = sw.ElapsedMicros();
+  // Generous bounds: CI containers have noisy clocks and schedulers.
+  EXPECT_GE(elapsed, 10'000.0);
+  EXPECT_LE(elapsed, 200'000.0);
+}
+
+TEST(BusyWorkTest, BurnZeroIsInstant) {
+  Stopwatch sw;
+  BurnMicros(0.0);
+  BurnMicros(-5.0);
+  EXPECT_LT(sw.ElapsedMillis(), 5.0);
+}
+
+TEST(BusyWorkTest, BurnUntilReachesDeadline) {
+  const TimePoint deadline = Now() + std::chrono::milliseconds(10);
+  BurnUntil(deadline);
+  EXPECT_GE(Now(), deadline);
+}
+
+TEST(AppTimeTest, Constants) {
+  EXPECT_EQ(kMicrosPerSecond, 1'000'000);
+  EXPECT_EQ(kMicrosPerMinute, 60'000'000);
+}
+
+}  // namespace
+}  // namespace flexstream

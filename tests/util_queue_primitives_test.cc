@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "util/spsc_ring.h"
+#include "util/sync_queue.h"
+
+namespace flexstream {
+namespace {
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(SpscRingTest, PushPopSingleThread) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.TryPush(1));
+  EXPECT_TRUE(ring.TryPush(2));
+  EXPECT_EQ(ring.SizeApprox(), 2u);
+  EXPECT_EQ(ring.TryPop().value(), 1);
+  EXPECT_EQ(ring.TryPop().value(), 2);
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(SpscRingTest, FullRingRejectsPush) {
+  SpscRing<int> ring(2);
+  EXPECT_TRUE(ring.TryPush(1));
+  EXPECT_TRUE(ring.TryPush(2));
+  EXPECT_FALSE(ring.TryPush(3));
+  ring.TryPop();
+  EXPECT_TRUE(ring.TryPush(3));
+}
+
+TEST(SpscRingTest, WrapAroundPreservesOrder) {
+  SpscRing<int> ring(4);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(ring.TryPush(round * 10 + i));
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_EQ(ring.TryPop().value(), round * 10 + i);
+    }
+  }
+}
+
+TEST(SpscRingTest, ConcurrentProducerConsumer) {
+  SpscRing<int64_t> ring(1024);
+  constexpr int64_t kCount = 200'000;
+  int64_t sum = 0;
+  std::thread consumer([&] {
+    int64_t received = 0;
+    while (received < kCount) {
+      auto v = ring.TryPop();
+      if (v) {
+        sum += *v;
+        ++received;
+      }
+    }
+  });
+  for (int64_t i = 1; i <= kCount;) {
+    if (ring.TryPush(i)) ++i;
+  }
+  consumer.join();
+  EXPECT_EQ(sum, kCount * (kCount + 1) / 2);
+}
+
+TEST(SyncQueueTest, FifoOrder) {
+  SyncQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Push(3);
+  EXPECT_EQ(q.TryPop().value(), 1);
+  EXPECT_EQ(q.TryPop().value(), 2);
+  EXPECT_EQ(q.TryPop().value(), 3);
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(SyncQueueTest, CloseRejectsPushButDrains) {
+  SyncQueue<int> q;
+  q.Push(1);
+  q.Close();
+  EXPECT_FALSE(q.Push(2));
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(SyncQueueTest, BlockingPopWakesOnPush) {
+  SyncQueue<int> q;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.Push(99);
+  });
+  EXPECT_EQ(q.Pop().value(), 99);
+  producer.join();
+}
+
+TEST(SyncQueueTest, BlockingPopWakesOnClose) {
+  SyncQueue<int> q;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.Close();
+  });
+  EXPECT_FALSE(q.Pop().has_value());
+  closer.join();
+}
+
+TEST(SyncQueueTest, MultiProducerMultiConsumer) {
+  SyncQueue<int> q;
+  constexpr int kPerProducer = 10'000;
+  constexpr int kProducers = 4;
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      while (true) {
+        auto v = q.Pop();
+        if (!v) return;
+        sum.fetch_add(*v);
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 1; i <= kPerProducer; ++i) q.Push(i);
+    });
+  }
+  for (auto& t : producers) t.join();
+  while (consumed.load() < kProducers * kPerProducer) {
+    std::this_thread::yield();
+  }
+  q.Close();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(sum.load(),
+            static_cast<int64_t>(kProducers) * kPerProducer *
+                (kPerProducer + 1) / 2);
+}
+
+}  // namespace
+}  // namespace flexstream

@@ -1,0 +1,51 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace flexstream {
+namespace {
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+  EXPECT_EQ(Table::Int(-42), "-42");
+}
+
+TEST(TableTest, AlignedPrint) {
+  Table t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|--------|-------|"), std::string::npos);
+}
+
+TEST(TableTest, CsvPrint) {
+  Table t({"x", "y"});
+  t.AddRow({"1", "2.5"});
+  t.AddRow({"3", "4.5"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2.5\n3,4.5\n");
+}
+
+TEST(TableTest, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.AddRow({"1"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TableDeathTest, MismatchedRowDies) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "CHECK_EQ");
+}
+
+}  // namespace
+}  // namespace flexstream
