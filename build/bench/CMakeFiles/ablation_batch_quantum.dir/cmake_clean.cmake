@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_batch_quantum.dir/ablation_batch_quantum.cc.o"
+  "CMakeFiles/ablation_batch_quantum.dir/ablation_batch_quantum.cc.o.d"
+  "ablation_batch_quantum"
+  "ablation_batch_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_batch_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

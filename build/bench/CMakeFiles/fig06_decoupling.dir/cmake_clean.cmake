@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_decoupling.dir/fig06_decoupling.cc.o"
+  "CMakeFiles/fig06_decoupling.dir/fig06_decoupling.cc.o.d"
+  "fig06_decoupling"
+  "fig06_decoupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_decoupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

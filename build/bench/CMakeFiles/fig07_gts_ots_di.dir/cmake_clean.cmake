@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_gts_ots_di.dir/fig07_gts_ots_di.cc.o"
+  "CMakeFiles/fig07_gts_ots_di.dir/fig07_gts_ots_di.cc.o.d"
+  "fig07_gts_ots_di"
+  "fig07_gts_ots_di.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_gts_ots_di.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_gts_ots_di.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_10_hmts_vs_gts.dir/fig09_10_hmts_vs_gts.cc.o"
+  "CMakeFiles/fig09_10_hmts_vs_gts.dir/fig09_10_hmts_vs_gts.cc.o.d"
+  "fig09_10_hmts_vs_gts"
+  "fig09_10_hmts_vs_gts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_10_hmts_vs_gts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

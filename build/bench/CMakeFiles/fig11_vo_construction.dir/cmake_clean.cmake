@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_vo_construction.dir/fig11_vo_construction.cc.o"
+  "CMakeFiles/fig11_vo_construction.dir/fig11_vo_construction.cc.o.d"
+  "fig11_vo_construction"
+  "fig11_vo_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_vo_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_bench.dir/latency_bench.cc.o"
+  "CMakeFiles/latency_bench.dir/latency_bench.cc.o.d"
+  "latency_bench"
+  "latency_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_fig07_overhead_model.dir/sim_fig07_overhead_model.cc.o"
+  "CMakeFiles/sim_fig07_overhead_model.dir/sim_fig07_overhead_model.cc.o.d"
+  "sim_fig07_overhead_model"
+  "sim_fig07_overhead_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_fig07_overhead_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

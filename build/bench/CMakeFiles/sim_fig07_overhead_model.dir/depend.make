@@ -1,0 +1,2 @@
+# Empty dependencies file for sim_fig07_overhead_model.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_fig09_paper_scale.dir/sim_fig09_paper_scale.cc.o"
+  "CMakeFiles/sim_fig09_paper_scale.dir/sim_fig09_paper_scale.cc.o.d"
+  "sim_fig09_paper_scale"
+  "sim_fig09_paper_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_fig09_paper_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

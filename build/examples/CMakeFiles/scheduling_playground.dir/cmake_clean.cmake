@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduling_playground.dir/scheduling_playground.cpp.o"
+  "CMakeFiles/scheduling_playground.dir/scheduling_playground.cpp.o.d"
+  "scheduling_playground"
+  "scheduling_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduling_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

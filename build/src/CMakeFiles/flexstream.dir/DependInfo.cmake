@@ -1,0 +1,81 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/query_builder.cc" "src/CMakeFiles/flexstream.dir/api/query_builder.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/api/query_builder.cc.o.d"
+  "/root/repo/src/api/stream_engine.cc" "src/CMakeFiles/flexstream.dir/api/stream_engine.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/api/stream_engine.cc.o.d"
+  "/root/repo/src/core/adaptive_placement.cc" "src/CMakeFiles/flexstream.dir/core/adaptive_placement.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/core/adaptive_placement.cc.o.d"
+  "/root/repo/src/core/backlog_controller.cc" "src/CMakeFiles/flexstream.dir/core/backlog_controller.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/core/backlog_controller.cc.o.d"
+  "/root/repo/src/core/hmts.cc" "src/CMakeFiles/flexstream.dir/core/hmts.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/core/hmts.cc.o.d"
+  "/root/repo/src/core/thread_scheduler.cc" "src/CMakeFiles/flexstream.dir/core/thread_scheduler.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/core/thread_scheduler.cc.o.d"
+  "/root/repo/src/graph/dot_export.cc" "src/CMakeFiles/flexstream.dir/graph/dot_export.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/graph/dot_export.cc.o.d"
+  "/root/repo/src/graph/node.cc" "src/CMakeFiles/flexstream.dir/graph/node.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/graph/node.cc.o.d"
+  "/root/repo/src/graph/query_graph.cc" "src/CMakeFiles/flexstream.dir/graph/query_graph.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/graph/query_graph.cc.o.d"
+  "/root/repo/src/graph/random_dag.cc" "src/CMakeFiles/flexstream.dir/graph/random_dag.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/graph/random_dag.cc.o.d"
+  "/root/repo/src/operators/aggregate.cc" "src/CMakeFiles/flexstream.dir/operators/aggregate.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/operators/aggregate.cc.o.d"
+  "/root/repo/src/operators/count_window_aggregate.cc" "src/CMakeFiles/flexstream.dir/operators/count_window_aggregate.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/operators/count_window_aggregate.cc.o.d"
+  "/root/repo/src/operators/distinct.cc" "src/CMakeFiles/flexstream.dir/operators/distinct.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/operators/distinct.cc.o.d"
+  "/root/repo/src/operators/latency_sink.cc" "src/CMakeFiles/flexstream.dir/operators/latency_sink.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/operators/latency_sink.cc.o.d"
+  "/root/repo/src/operators/map_op.cc" "src/CMakeFiles/flexstream.dir/operators/map_op.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/operators/map_op.cc.o.d"
+  "/root/repo/src/operators/multiway_join.cc" "src/CMakeFiles/flexstream.dir/operators/multiway_join.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/operators/multiway_join.cc.o.d"
+  "/root/repo/src/operators/operator.cc" "src/CMakeFiles/flexstream.dir/operators/operator.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/operators/operator.cc.o.d"
+  "/root/repo/src/operators/projection.cc" "src/CMakeFiles/flexstream.dir/operators/projection.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/operators/projection.cc.o.d"
+  "/root/repo/src/operators/router.cc" "src/CMakeFiles/flexstream.dir/operators/router.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/operators/router.cc.o.d"
+  "/root/repo/src/operators/selection.cc" "src/CMakeFiles/flexstream.dir/operators/selection.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/operators/selection.cc.o.d"
+  "/root/repo/src/operators/sink.cc" "src/CMakeFiles/flexstream.dir/operators/sink.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/operators/sink.cc.o.d"
+  "/root/repo/src/operators/source.cc" "src/CMakeFiles/flexstream.dir/operators/source.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/operators/source.cc.o.d"
+  "/root/repo/src/operators/symmetric_hash_join.cc" "src/CMakeFiles/flexstream.dir/operators/symmetric_hash_join.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/operators/symmetric_hash_join.cc.o.d"
+  "/root/repo/src/operators/symmetric_nl_join.cc" "src/CMakeFiles/flexstream.dir/operators/symmetric_nl_join.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/operators/symmetric_nl_join.cc.o.d"
+  "/root/repo/src/operators/tumbling_aggregate.cc" "src/CMakeFiles/flexstream.dir/operators/tumbling_aggregate.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/operators/tumbling_aggregate.cc.o.d"
+  "/root/repo/src/operators/union_op.cc" "src/CMakeFiles/flexstream.dir/operators/union_op.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/operators/union_op.cc.o.d"
+  "/root/repo/src/operators/window.cc" "src/CMakeFiles/flexstream.dir/operators/window.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/operators/window.cc.o.d"
+  "/root/repo/src/placement/chain_vo_builder.cc" "src/CMakeFiles/flexstream.dir/placement/chain_vo_builder.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/placement/chain_vo_builder.cc.o.d"
+  "/root/repo/src/placement/evaluator.cc" "src/CMakeFiles/flexstream.dir/placement/evaluator.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/placement/evaluator.cc.o.d"
+  "/root/repo/src/placement/partitioning.cc" "src/CMakeFiles/flexstream.dir/placement/partitioning.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/placement/partitioning.cc.o.d"
+  "/root/repo/src/placement/segment_vo_builder.cc" "src/CMakeFiles/flexstream.dir/placement/segment_vo_builder.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/placement/segment_vo_builder.cc.o.d"
+  "/root/repo/src/placement/static_queue_placement.cc" "src/CMakeFiles/flexstream.dir/placement/static_queue_placement.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/placement/static_queue_placement.cc.o.d"
+  "/root/repo/src/pull/onc_operator.cc" "src/CMakeFiles/flexstream.dir/pull/onc_operator.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/pull/onc_operator.cc.o.d"
+  "/root/repo/src/pull/proxy_queue.cc" "src/CMakeFiles/flexstream.dir/pull/proxy_queue.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/pull/proxy_queue.cc.o.d"
+  "/root/repo/src/pull/pull_bridge.cc" "src/CMakeFiles/flexstream.dir/pull/pull_bridge.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/pull/pull_bridge.cc.o.d"
+  "/root/repo/src/pull/pull_vo.cc" "src/CMakeFiles/flexstream.dir/pull/pull_vo.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/pull/pull_vo.cc.o.d"
+  "/root/repo/src/queue/queue_op.cc" "src/CMakeFiles/flexstream.dir/queue/queue_op.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/queue/queue_op.cc.o.d"
+  "/root/repo/src/sched/chain_strategy.cc" "src/CMakeFiles/flexstream.dir/sched/chain_strategy.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/sched/chain_strategy.cc.o.d"
+  "/root/repo/src/sched/extra_strategies.cc" "src/CMakeFiles/flexstream.dir/sched/extra_strategies.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/sched/extra_strategies.cc.o.d"
+  "/root/repo/src/sched/fifo_strategy.cc" "src/CMakeFiles/flexstream.dir/sched/fifo_strategy.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/sched/fifo_strategy.cc.o.d"
+  "/root/repo/src/sched/gts.cc" "src/CMakeFiles/flexstream.dir/sched/gts.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/sched/gts.cc.o.d"
+  "/root/repo/src/sched/ots.cc" "src/CMakeFiles/flexstream.dir/sched/ots.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/sched/ots.cc.o.d"
+  "/root/repo/src/sched/partition.cc" "src/CMakeFiles/flexstream.dir/sched/partition.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/sched/partition.cc.o.d"
+  "/root/repo/src/sched/round_robin_strategy.cc" "src/CMakeFiles/flexstream.dir/sched/round_robin_strategy.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/sched/round_robin_strategy.cc.o.d"
+  "/root/repo/src/sched/segment_strategy.cc" "src/CMakeFiles/flexstream.dir/sched/segment_strategy.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/sched/segment_strategy.cc.o.d"
+  "/root/repo/src/sched/strategy.cc" "src/CMakeFiles/flexstream.dir/sched/strategy.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/sched/strategy.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/flexstream.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/stats/capacity.cc" "src/CMakeFiles/flexstream.dir/stats/capacity.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/stats/capacity.cc.o.d"
+  "/root/repo/src/stats/ewma.cc" "src/CMakeFiles/flexstream.dir/stats/ewma.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/stats/ewma.cc.o.d"
+  "/root/repo/src/stats/op_stats.cc" "src/CMakeFiles/flexstream.dir/stats/op_stats.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/stats/op_stats.cc.o.d"
+  "/root/repo/src/stats/report.cc" "src/CMakeFiles/flexstream.dir/stats/report.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/stats/report.cc.o.d"
+  "/root/repo/src/tuple/tuple.cc" "src/CMakeFiles/flexstream.dir/tuple/tuple.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/tuple/tuple.cc.o.d"
+  "/root/repo/src/tuple/value.cc" "src/CMakeFiles/flexstream.dir/tuple/value.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/tuple/value.cc.o.d"
+  "/root/repo/src/util/busy_work.cc" "src/CMakeFiles/flexstream.dir/util/busy_work.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/util/busy_work.cc.o.d"
+  "/root/repo/src/util/clock.cc" "src/CMakeFiles/flexstream.dir/util/clock.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/util/clock.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/flexstream.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/flexstream.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/flexstream.dir/util/random.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/flexstream.dir/util/status.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/util/status.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/flexstream.dir/util/table.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/util/table.cc.o.d"
+  "/root/repo/src/workload/phase.cc" "src/CMakeFiles/flexstream.dir/workload/phase.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/workload/phase.cc.o.d"
+  "/root/repo/src/workload/rate_source.cc" "src/CMakeFiles/flexstream.dir/workload/rate_source.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/workload/rate_source.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/flexstream.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/flexstream.dir/workload/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for flexstream.
+# This may be replaced when dependencies are built.

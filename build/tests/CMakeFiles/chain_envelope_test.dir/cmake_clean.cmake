@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_envelope_test.dir/chain_envelope_test.cc.o"
+  "CMakeFiles/chain_envelope_test.dir/chain_envelope_test.cc.o.d"
+  "chain_envelope_test"
+  "chain_envelope_test.pdb"
+  "chain_envelope_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_envelope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

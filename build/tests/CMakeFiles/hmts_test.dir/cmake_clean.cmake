@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmts_test.dir/hmts_test.cc.o"
+  "CMakeFiles/hmts_test.dir/hmts_test.cc.o.d"
+  "hmts_test"
+  "hmts_test.pdb"
+  "hmts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

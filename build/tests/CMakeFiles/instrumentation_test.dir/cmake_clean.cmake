@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrumentation_test.dir/instrumentation_test.cc.o"
+  "CMakeFiles/instrumentation_test.dir/instrumentation_test.cc.o.d"
+  "instrumentation_test"
+  "instrumentation_test.pdb"
+  "instrumentation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrumentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operators_extra_test.dir/operators_extra_test.cc.o"
+  "CMakeFiles/operators_extra_test.dir/operators_extra_test.cc.o.d"
+  "operators_extra_test"
+  "operators_extra_test.pdb"
+  "operators_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operators_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

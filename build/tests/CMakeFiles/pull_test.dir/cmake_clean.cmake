@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pull_test.dir/pull_test.cc.o"
+  "CMakeFiles/pull_test.dir/pull_test.cc.o.d"
+  "pull_test"
+  "pull_test.pdb"
+  "pull_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pull_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_source_test.dir/rate_source_test.cc.o"
+  "CMakeFiles/rate_source_test.dir/rate_source_test.cc.o.d"
+  "rate_source_test"
+  "rate_source_test.pdb"
+  "rate_source_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_scheduler_test.dir/thread_scheduler_test.cc.o"
+  "CMakeFiles/thread_scheduler_test.dir/thread_scheduler_test.cc.o.d"
+  "thread_scheduler_test"
+  "thread_scheduler_test.pdb"
+  "thread_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_clock_busy_test.dir/util_clock_busy_test.cc.o"
+  "CMakeFiles/util_clock_busy_test.dir/util_clock_busy_test.cc.o.d"
+  "util_clock_busy_test"
+  "util_clock_busy_test.pdb"
+  "util_clock_busy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_clock_busy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_queue_primitives_test.dir/util_queue_primitives_test.cc.o"
+  "CMakeFiles/util_queue_primitives_test.dir/util_queue_primitives_test.cc.o.d"
+  "util_queue_primitives_test"
+  "util_queue_primitives_test.pdb"
+  "util_queue_primitives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_queue_primitives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
