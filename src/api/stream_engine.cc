@@ -8,6 +8,7 @@
 
 #include "operators/sink.h"
 #include "placement/chain_vo_builder.h"
+#include "placement/producer_annotation.h"
 #include "placement/segment_vo_builder.h"
 #include "placement/static_queue_placement.h"
 #include "stats/capacity.h"
@@ -242,6 +243,10 @@ Status StreamEngine::Configure(const EngineOptions& options) {
     if (!s.ok()) return s;
     queues_.push_back(queue);
   }
+  // Queues fed by exactly one producing context (one upstream partition or
+  // one source — the engine's one-queue-per-edge layout guarantees this)
+  // get the lock-free SPSC enqueue path.
+  AnnotateSingleProducerQueues(queues_, partitioning_.get());
 
   s = BuildExecutors(options);
   if (!s.ok()) return s;

@@ -68,9 +68,11 @@ void ThreadScheduler::Rebalance(TimePoint now) {
     if (best == nullptr) break;
     best->waiting = false;
     best->running = true;
+    if (best->preempt) preempt_pending_.fetch_sub(1, std::memory_order_relaxed);
     best->preempt = false;
     best->grant_time = now;
     --waiting_count_;
+    waiting_count_fast_.store(waiting_count_, std::memory_order_relaxed);
     ++running_count_;
   }
   // No free slot left: preempt the weakest runner if a waiter outranks it.
@@ -91,8 +93,10 @@ void ThreadScheduler::Rebalance(TimePoint now) {
         weakest = &info;
       }
     }
-    if (weakest != nullptr && best_wait > weakest_priority) {
+    if (weakest != nullptr && best_wait > weakest_priority &&
+        !weakest->preempt) {
       weakest->preempt = true;
+      preempt_pending_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   // Wake any waiter whose grant just came through. Called with mutex_
@@ -108,6 +112,7 @@ void ThreadScheduler::Acquire(Partition* partition) {
   info.waiting = true;
   info.wait_start = Now();
   ++waiting_count_;
+  waiting_count_fast_.store(waiting_count_, std::memory_order_relaxed);
   Rebalance(Now());
   cv_.wait(lock, [&] { return info.running; });
 }
@@ -118,12 +123,23 @@ void ThreadScheduler::Release(Partition* partition) {
   CHECK(it != infos_.end() && it->second.running)
       << partition->name() << " release without acquire";
   it->second.running = false;
+  if (it->second.preempt) {
+    preempt_pending_.fetch_sub(1, std::memory_order_relaxed);
+  }
   it->second.preempt = false;
   --running_count_;
   Rebalance(Now());
 }
 
 bool ThreadScheduler::ShouldYield(const Partition* partition) const {
+  // Fast path: with no waiter and no raised preempt flag nothing can
+  // demand a yield, so skip the mutex entirely. This is the steady state
+  // whenever partitions <= execution slots, and it is polled once per
+  // drain batch by every running partition.
+  if (waiting_count_fast_.load(std::memory_order_relaxed) == 0 &&
+      preempt_pending_.load(std::memory_order_relaxed) == 0) {
+    return false;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = infos_.find(partition);
   if (it == infos_.end() || !it->second.running) return false;

@@ -21,6 +21,7 @@
 #ifndef FLEXSTREAM_CORE_THREAD_SCHEDULER_H_
 #define FLEXSTREAM_CORE_THREAD_SCHEDULER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
 #include <unordered_map>
@@ -70,6 +71,9 @@ class ThreadScheduler {
 
   /// True when `partition` should end its quantum now: it was preempted by
   /// a higher-priority waiter, or its quantum expired while others wait.
+  /// Partitions poll this between drain batches, so the common case —
+  /// nobody waiting, no preempt pending — answers from two relaxed atomic
+  /// loads without touching the scheduler mutex.
   bool ShouldYield(const Partition* partition) const;
 
   int running_count() const;
@@ -99,6 +103,12 @@ class ThreadScheduler {
   std::unordered_map<const Partition*, Info> infos_;
   int running_count_ = 0;
   int waiting_count_ = 0;
+
+  // Lock-free mirrors maintained under mutex_, read by the ShouldYield
+  // fast path: the number of waiting partitions and the number of raised
+  // preempt flags.
+  std::atomic<int> waiting_count_fast_{0};
+  std::atomic<int> preempt_pending_{0};
 };
 
 }  // namespace flexstream

@@ -45,6 +45,14 @@ void Operator::Receive(const Tuple& tuple, int port) {
   ReceiveLocked(tuple, port);
 }
 
+void Operator::Receive(Tuple&& tuple, int port) {
+  // Qualified call: a non-virtual forward into the base lvalue path. Safe
+  // because an operator that overrides the lvalue Receive must override
+  // the rvalue one too (QueueOp, the only overrider, does); spares every
+  // rvalue delivery a second virtual dispatch.
+  Operator::Receive(static_cast<const Tuple&>(tuple), port);
+}
+
 void Operator::ReceiveLocked(const Tuple& tuple, int port) {
   if (tuple.is_eos()) {
     max_eos_timestamp_ = std::max(max_eos_timestamp_, tuple.timestamp());
@@ -80,6 +88,18 @@ void Operator::Emit(const Tuple& tuple) {
   for (const auto& edge : outputs()) {
     edge.target->Receive(tuple, edge.port);
   }
+}
+
+void Operator::EmitMove(Tuple&& tuple) {
+  DCHECK(tuple.is_data());
+  if (StatsCollectionEnabled()) stats().RecordEmitted(1);
+  const auto& edges = outputs();
+  if (edges.empty()) return;
+  for (size_t i = 0; i + 1 < edges.size(); ++i) {
+    edges[i].target->Receive(tuple, edges[i].port);
+  }
+  const OutEdge& last = edges.back();
+  last.target->Receive(std::move(tuple), last.port);
 }
 
 void Operator::EmitTo(size_t output_index, const Tuple& tuple) {

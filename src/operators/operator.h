@@ -48,6 +48,15 @@ class Operator : public Node {
   ///    EOS, calls OnAllInputsClosed() exactly once.
   virtual void Receive(const Tuple& tuple, int port);
 
+  /// Move-aware delivery. The default forwards to the const& overload
+  /// (Process never stores its argument, so nothing is copied); operators
+  /// that buffer tuples — most importantly QueueOp — override it to move
+  /// the payload in instead of copying the values vector.
+  /// Note: the base implementation forwards to the base lvalue Receive
+  /// without a second virtual dispatch, so a subclass overriding the
+  /// lvalue form must override this one as well.
+  virtual void Receive(Tuple&& tuple, int port);
+
   /// True once OnAllInputsClosed has run (all inputs delivered EOS).
   bool closed() const { return closed_; }
 
@@ -78,6 +87,13 @@ class Operator : public Node {
   /// Direct interoperability: pushes `tuple` to every subscriber, in
   /// subscription order, within the current thread.
   void Emit(const Tuple& tuple);
+
+  /// Like Emit, but surrenders ownership of `tuple`: the last subscriber
+  /// receives it by rvalue, so a downstream QueueOp moves the values
+  /// vector instead of copying it. Earlier subscribers (fan-out) still get
+  /// copies — they each need their own payload. Taking an rvalue reference
+  /// (not by value) spares the hot drain loops one move per element.
+  void EmitMove(Tuple&& tuple);
 
   /// Pushes `tuple` to the single subscriber at `output_index` (the order
   /// outputs were connected in). Used by routing operators that partition

@@ -1,0 +1,40 @@
+#include "placement/producer_annotation.h"
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "placement/partitioning.h"
+#include "queue/queue_op.h"
+
+namespace flexstream {
+
+size_t CountProducerContexts(const QueueOp& queue,
+                             const Partitioning* partitioning) {
+  // Context keys: non-negative values are partition group ids; negative
+  // values encode per-node contexts (sources, or operators outside any
+  // partitioning) without colliding with group ids.
+  std::unordered_set<int64_t> contexts;
+  for (const auto& edge : queue.inputs()) {
+    const Node* producer = edge.source;
+    int group = -1;
+    if (!producer->is_source() && partitioning != nullptr) {
+      group = partitioning->GroupOf(producer);
+    }
+    if (group >= 0) {
+      contexts.insert(group);
+    } else {
+      contexts.insert(-static_cast<int64_t>(producer->id()) - 1);
+    }
+  }
+  return contexts.size();
+}
+
+void AnnotateSingleProducerQueues(const std::vector<QueueOp*>& queues,
+                                  const Partitioning* partitioning) {
+  for (QueueOp* queue : queues) {
+    queue->SetSingleProducer(CountProducerContexts(*queue, partitioning) <=
+                             1);
+  }
+}
+
+}  // namespace flexstream

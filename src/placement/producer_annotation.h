@@ -1,0 +1,42 @@
+// Producer-count annotation for decoupling queues.
+//
+// A QueueOp can route enqueues through its lock-free SPSC ring only when at
+// most one thread at a time produces into it. Placement knows this
+// statically: every upstream edge of a queue originates either in a source
+// (driven by its own autonomous thread) or in an operator (driven by the
+// single thread of the partition that owns it). Counting the distinct
+// producing execution contexts of a queue therefore decides the enqueue
+// path — exactly one context enables the SPSC fast path; more fall back to
+// the mutex-protected MPSC path.
+
+#ifndef FLEXSTREAM_PLACEMENT_PRODUCER_ANNOTATION_H_
+#define FLEXSTREAM_PLACEMENT_PRODUCER_ANNOTATION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace flexstream {
+
+class Partitioning;
+class QueueOp;
+
+/// Number of distinct producing execution contexts feeding `queue`:
+/// sources count individually (each is its own driving thread); operators
+/// count by their group in `partitioning` (one partition = one worker
+/// thread). Without a partitioning — GTS/OTS full decoupling, where no
+/// named grouping exists — every producing node counts as its own context,
+/// which is conservative (a node is only ever executed by one thread at a
+/// time) and exact for the engine's one-queue-per-edge layout.
+size_t CountProducerContexts(const QueueOp& queue,
+                             const Partitioning* partitioning);
+
+/// Switches every queue fed by at most one producing context to the SPSC
+/// fast path and every other queue to the MPSC path. Call after queue
+/// insertion, while the graph is quiescent (queues empty, nothing
+/// running).
+void AnnotateSingleProducerQueues(const std::vector<QueueOp*>& queues,
+                                  const Partitioning* partitioning);
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_PLACEMENT_PRODUCER_ANNOTATION_H_

@@ -1,7 +1,7 @@
 #include "queue/queue_op.h"
 
 #include <algorithm>
-#include <atomic>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -14,106 +14,343 @@ std::atomic<uint64_t> g_arrival_seq{0};
 
 }  // namespace
 
-QueueOp::QueueOp(std::string name)
-    : Operator(Kind::kQueue, std::move(name), kVariadicArity) {}
+QueueOp::QueueOp(std::string name, size_t ring_capacity)
+    : Operator(Kind::kQueue, std::move(name), kVariadicArity),
+      ring_capacity_(ring_capacity) {}
 
 void QueueOp::Receive(const Tuple& tuple, int port) {
   (void)port;
-  bool notify = false;
-  std::function<void()> listener;
+  if (tuple.is_eos()) {
+    EnqueueEos(tuple);
+    return;
+  }
+  Enqueue(Tuple(tuple));
+}
+
+void QueueOp::Receive(Tuple&& tuple, int port) {
+  (void)port;
+  if (tuple.is_eos()) {
+    EnqueueEos(tuple);
+    return;
+  }
+  Enqueue(std::move(tuple));
+}
+
+void QueueOp::Enqueue(Tuple&& tuple) {
+  const bool single = single_producer();
+  if (single) {
+    DCHECK(!InputClosed()) << DebugString() << " data after close";
+    if (StatsCollectionEnabled()) stats().RecordArrival(Now());
+    // Single producer: sequence assignment and push happen in program
+    // order, so both the ring and the spillover deque are individually
+    // sequence-ordered and the consumer's merge stays correct.
+    PushItemSingleProducer(
+        {std::move(tuple),
+         g_arrival_seq.fetch_add(1, std::memory_order_relaxed)});
+  } else {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DCHECK(!eos_enqueued_) << DebugString() << " data after close";
+    if (StatsCollectionEnabled()) stats().RecordArrival(Now());
+    // The sequence number is drawn under the lock so the deque stays
+    // sequence-ordered even when several producers race.
+    items_.push_back({std::move(tuple),
+                      g_arrival_seq.fetch_add(1, std::memory_order_relaxed)});
+  }
+  CountQueuedAndMaybeNotify(/*is_eos=*/false, single);
+}
+
+void QueueOp::EnqueueEos(const Tuple& tuple) {
+  bool push_outside_lock = false;
+  Item eos_item;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    listener = listener_;
-    if (tuple.is_eos()) {
-      max_eos_timestamp_ = std::max(max_eos_timestamp_, tuple.timestamp());
-      ++eos_received_;
-      if (eos_received_ >= fan_in() && !eos_enqueued_) {
-        input_closed_ = true;
-        eos_enqueued_ = true;
-        items_.push_back({Tuple::EndOfStream(max_eos_timestamp_),
-                          g_arrival_seq.fetch_add(1,
-                                                  std::memory_order_relaxed)});
-        notify = true;
-      }
+    max_eos_timestamp_ = std::max(max_eos_timestamp_, tuple.timestamp());
+    ++eos_received_;
+    if (eos_received_ < fan_in() || eos_enqueued_) return;
+    eos_enqueued_ = true;
+    eos_queued_flag_.store(true, std::memory_order_release);
+    input_closed_.store(true, std::memory_order_release);
+    eos_item = {Tuple::EndOfStream(max_eos_timestamp_),
+                g_arrival_seq.fetch_add(1, std::memory_order_relaxed)};
+    if (single_producer()) {
+      // The SPSC push may need to spill, which re-takes mutex_ — do it
+      // after unlocking. Safe: the last producer just closed, so no other
+      // enqueue can interleave.
+      push_outside_lock = true;
     } else {
-      DCHECK(!input_closed_) << DebugString() << " data after close";
-      if (StatsCollectionEnabled()) stats().RecordArrival(Now());
-      items_.push_back(
-          {tuple, g_arrival_seq.fetch_add(1, std::memory_order_relaxed)});
-      ++data_count_;
-      peak_size_ = std::max(peak_size_, data_count_);
-      notify = true;
+      items_.push_back(std::move(eos_item));
     }
   }
-  if (notify && listener) listener();
+  if (push_outside_lock) PushItemSingleProducer(std::move(eos_item));
+  CountQueuedAndMaybeNotify(/*is_eos=*/true, /*single=*/push_outside_lock);
+}
+
+void QueueOp::PushItemSingleProducer(Item&& item) {
+  // FullApprox is producer-exact (only the consumer frees space), so a
+  // not-full ring guarantees the push succeeds and the item is never lost.
+  if (!ring_->FullApprox()) {
+    ring_->PushUnchecked(std::move(item));
+    // Single-writer counter (the one producer): load+store avoids the
+    // read-modify-write lock prefix of fetch_add on the hot path.
+    ring_pushes_.store(ring_pushes_.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  items_.push_back(std::move(item));
+  overflow_count_.fetch_add(1, std::memory_order_release);
+  locked_pushes_.store(locked_pushes_.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+}
+
+void QueueOp::CountQueuedAndMaybeNotify(bool is_eos, bool single) {
+  const size_t count =
+      queued_items_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (!is_eos) {
+    // `count` equals the data size here: data never follows the EOS item.
+    if (single) {
+      // The producer is the only peak writer in SPSC mode: a plain
+      // read-compare-store replaces the CAS loop.
+      if (count > peak_size_.load(std::memory_order_relaxed)) {
+        peak_size_.store(count, std::memory_order_relaxed);
+      }
+    } else {
+      size_t peak = peak_size_.load(std::memory_order_relaxed);
+      while (peak < count && !peak_size_.compare_exchange_weak(
+                                 peak, count, std::memory_order_relaxed)) {
+      }
+    }
+  }
+  // Coalesced wakeups: only the empty -> non-empty transition needs to wake
+  // the consumer — everything enqueued while the queue is non-empty is
+  // picked up by the drain loop the earlier notification started. EOS
+  // always notifies so idle partitions learn about termination promptly.
+  if (count == 1 || is_eos) NotifyListener();
+}
+
+void QueueOp::NotifyListener() {
+  std::shared_ptr<const std::function<void()>> listener;
+  {
+    std::lock_guard<std::mutex> lock(listener_mutex_);
+    listener = listener_;
+  }
+  if (listener != nullptr) {
+    notifications_.fetch_add(1, std::memory_order_relaxed);
+    (*listener)();
+  }
 }
 
 size_t QueueOp::DrainBatch(size_t max_elements) {
-  size_t drained = 0;
-  while (drained < max_elements) {
-    Tuple tuple;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (items_.empty()) break;
-      tuple = std::move(items_.front().tuple);
-      items_.pop_front();
-      if (tuple.is_data()) {
-        --data_count_;
-      } else {
-        eos_forwarded_ = true;
+  if (single_producer()) return DrainBatchSingleProducer(max_elements);
+
+  // MPSC: one lock acquisition for the whole batch. Items are staged in a
+  // scratch vector and emitted outside the lock. The scratch is swapped
+  // out of a thread-local so repeated drains reuse its capacity; stealing
+  // (instead of using the thread-local directly) keeps re-entrant drains —
+  // a downstream operator draining another queue inside Emit — from
+  // clobbering our batch.
+  static thread_local std::vector<Item> tl_scratch;
+  std::vector<Item> scratch = std::move(tl_scratch);
+  scratch.clear();
+
+  bool eos_taken = false;
+  AppTime eos_ts = 0;
+  size_t taken = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (taken < max_elements && !items_.empty()) {
+      Item& front = items_.front();
+      if (front.tuple.is_eos()) {
+        eos_taken = true;
+        eos_ts = front.tuple.timestamp();
+        items_.pop_front();
+        break;
       }
+      scratch.push_back(std::move(front));
+      items_.pop_front();
+      ++taken;
     }
-    if (tuple.is_eos()) {
-      EmitEos(tuple.timestamp());
-      break;
-    }
-    ++drained;
-    if (StatsCollectionEnabled()) stats().RecordProcessed(0.0);
-    Emit(tuple);
   }
-  return drained;
+  FinishDequeue(taken, eos_taken);
+
+  for (Item& item : scratch) {
+    if (StatsCollectionEnabled()) stats().RecordProcessed(0.0);
+    EmitMove(std::move(item.tuple));
+  }
+  if (eos_taken) EmitEos(eos_ts);
+
+  scratch.clear();
+  tl_scratch = std::move(scratch);
+  return taken;
 }
 
-size_t QueueOp::Size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return data_count_;
+size_t QueueOp::DrainBatchSingleProducer(size_t max_elements) {
+  size_t taken = 0;
+  bool eos_taken = false;
+  AppTime eos_ts = 0;
+  // Hot-path specialization: a decoupling queue almost always has exactly
+  // one subscriber, so hoist the fan-out dispatch (and the stats check)
+  // out of the per-element loop. Sampling the stats toggle once per batch
+  // is fine — it is a test/bench switch, not runtime state.
+  Operator* direct = nullptr;
+  int direct_port = 0;
+  if (outputs().size() == 1 && !StatsCollectionEnabled()) {
+    direct = outputs()[0].target;
+    direct_port = outputs()[0].port;
+  }
+  while (taken < max_elements && !eos_taken) {
+    // Order matters: observe the available ring contents (an acquire load
+    // of the producer's head index, possibly cached from an earlier one)
+    // BEFORE checking the spillover count. Synchronizing with the head
+    // store makes every spill that preceded the observed ring contents
+    // visible; any spill we still cannot see was produced after all of
+    // them and thus carries a larger sequence number, so draining the
+    // observed run lock-free is order-safe when the spillover reads empty.
+    const size_t avail = ring_->AvailableToConsumer();
+    if (overflow_count_.load(std::memory_order_acquire) != 0) {
+      taken += DrainMergeLocked(max_elements - taken, &eos_taken, &eos_ts);
+      continue;
+    }
+    if (avail == 0) break;
+    size_t run = std::min(avail, max_elements - taken);
+    // Claim the whole run up front: the acq_rel RMW on queued_items_ is
+    // what the coalesced-wakeup protocol orders against (see
+    // CountQueuedAndMaybeNotify), and it must precede the empty check that
+    // ends this drain. Size() undercounting the claimed-but-unemitted
+    // items is fine — only this consumer thread acts on the difference.
+    queued_items_.fetch_sub(run, std::memory_order_acq_rel);
+    for (; run > 0; --run) {
+      Item* front = ring_->FrontMutable();
+      DCHECK(front != nullptr);  // single consumer: observed elements stay
+      if (front->tuple.is_eos()) {
+        DCHECK(run == 1);  // nothing is ever enqueued after EOS
+        eos_taken = true;
+        eos_ts = front->tuple.timestamp();
+        eos_forwarded_.store(true, std::memory_order_release);
+        ring_->PopFront();
+        break;
+      }
+      // No lock is held on this path, so emit straight out of the ring
+      // slot — the producer cannot rewrite it until PopFront advances the
+      // tail, and downstream adopts the payload in place. No scratch
+      // staging, two moves per element fewer than the locked paths.
+      if (direct != nullptr) {
+        direct->Receive(std::move(front->tuple), direct_port);
+      } else {
+        if (StatsCollectionEnabled()) stats().RecordProcessed(0.0);
+        EmitMove(std::move(front->tuple));
+      }
+      ring_->PopFront();
+      ++taken;
+    }
+  }
+  if (eos_taken) EmitEos(eos_ts);
+  return taken;
 }
 
-size_t QueueOp::PeakSize() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return peak_size_;
+size_t QueueOp::DrainMergeLocked(size_t max_elements, bool* eos_taken,
+                                 AppTime* eos_ts) {
+  // Spillover present: merge ring and deque by sequence number under the
+  // lock until the spillover is drained, staging into a scratch vector and
+  // emitting outside the lock (same stealing discipline as the MPSC path).
+  static thread_local std::vector<Item> tl_scratch;
+  std::vector<Item> scratch = std::move(tl_scratch);
+  scratch.clear();
+
+  size_t taken = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (taken < max_elements && !*eos_taken && !items_.empty()) {
+      const Item* rf = ring_->Front();
+      Item item;
+      if (rf != nullptr && rf->seq < items_.front().seq) {
+        const bool popped = ring_->PopInto(&item);
+        DCHECK(popped);
+      } else {
+        item = std::move(items_.front());
+        items_.pop_front();
+        overflow_count_.fetch_sub(1, std::memory_order_release);
+      }
+      if (item.tuple.is_eos()) {
+        *eos_taken = true;
+        *eos_ts = item.tuple.timestamp();
+        break;
+      }
+      scratch.push_back(std::move(item));
+      ++taken;
+    }
+  }
+  FinishDequeue(taken, *eos_taken);
+
+  for (Item& item : scratch) {
+    if (StatsCollectionEnabled()) stats().RecordProcessed(0.0);
+    EmitMove(std::move(item.tuple));
+  }
+  scratch.clear();
+  tl_scratch = std::move(scratch);
+  return taken;
 }
 
-bool QueueOp::InputClosed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return input_closed_;
-}
-
-bool QueueOp::Exhausted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return eos_forwarded_ && items_.empty();
+void QueueOp::FinishDequeue(size_t taken, bool eos_taken) {
+  const size_t dequeued = taken + (eos_taken ? 1 : 0);
+  if (dequeued > 0) {
+    queued_items_.fetch_sub(dequeued, std::memory_order_acq_rel);
+  }
+  if (eos_taken) eos_forwarded_.store(true, std::memory_order_release);
 }
 
 uint64_t QueueOp::HeadSeq() const {
+  if (single_producer()) {
+    uint64_t best = kNoSeq;
+    if (const Item* front = ring_->Front()) best = front->seq;
+    if (overflow_count_.load(std::memory_order_acquire) != 0) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!items_.empty()) best = std::min(best, items_.front().seq);
+    }
+    return best;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   return items_.empty() ? kNoSeq : items_.front().seq;
 }
 
 void QueueOp::SetEnqueueListener(std::function<void()> listener) {
+  std::shared_ptr<const std::function<void()>> ptr;
+  if (listener) {
+    ptr = std::make_shared<const std::function<void()>>(std::move(listener));
+  }
+  std::lock_guard<std::mutex> lock(listener_mutex_);
+  listener_ = std::move(ptr);
+}
+
+void QueueOp::SetSingleProducer(bool single_producer) {
   std::lock_guard<std::mutex> lock(mutex_);
-  listener_ = std::move(listener);
+  DCHECK(queued_items_.load(std::memory_order_relaxed) == 0)
+      << DebugString() << " enqueue-path switch on a non-empty queue";
+  if (single_producer && ring_ == nullptr) {
+    ring_ = std::make_unique<SpscRing<Item>>(ring_capacity_);
+  }
+  single_producer_.store(single_producer, std::memory_order_release);
 }
 
 void QueueOp::Reset() {
   Operator::Reset();
   std::lock_guard<std::mutex> lock(mutex_);
   items_.clear();
-  data_count_ = 0;
-  peak_size_ = 0;
+  if (ring_ != nullptr) {
+    while (ring_->TryPop().has_value()) {
+    }
+  }
+  queued_items_.store(0, std::memory_order_relaxed);
+  eos_queued_flag_.store(false, std::memory_order_relaxed);
+  overflow_count_.store(0, std::memory_order_relaxed);
+  peak_size_.store(0, std::memory_order_relaxed);
+  input_closed_.store(false, std::memory_order_relaxed);
+  eos_forwarded_.store(false, std::memory_order_relaxed);
+  ring_pushes_.store(0, std::memory_order_relaxed);
+  locked_pushes_.store(0, std::memory_order_relaxed);
+  notifications_.store(0, std::memory_order_relaxed);
   eos_received_ = 0;
-  input_closed_ = false;
   eos_enqueued_ = false;
-  eos_forwarded_ = false;
   max_eos_timestamp_ = 0;
 }
 

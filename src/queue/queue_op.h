@@ -9,6 +9,25 @@
 //    partition that owns the queue — and pushes dequeued elements into the
 //    downstream subgraph with DI.
 //
+// Two enqueue paths (see DESIGN.md, "Queue fast path"):
+//  * MPSC (default): a mutex-protected deque. Safe for any number of
+//    producer threads.
+//  * SPSC (opt-in via SetSingleProducer): a lock-free SpscRing carries the
+//    common case; when the ring is full the producer spills to the
+//    mutex-protected deque. The consumer merges ring and spillover by
+//    global arrival sequence number, so FIFO order — including the
+//    cross-queue total order FIFO scheduling relies on — is preserved.
+//    Placement enables this automatically for queues fed by exactly one
+//    producing execution context (one upstream partition or one source),
+//    the common case after Algorithm 1 stall-avoiding placement.
+//
+// Wakeup coalescing: the enqueue listener fires only on the
+// empty -> non-empty transition (plus on EOS enqueue), so a partition's
+// condvar notify costs O(drain batches), not O(tuples). A consumer that
+// observed the queue empty always gets a fresh notification for the next
+// element; elements enqueued while the queue is non-empty are picked up by
+// the consumer's ongoing drain loop.
+//
 // End-of-stream: the queue counts EOS punctuations from its producers and
 // appends a single EOS item once the last producer has closed, so the
 // punctuation is totally ordered after all data. Draining that item
@@ -17,55 +36,121 @@
 #ifndef FLEXSTREAM_QUEUE_QUEUE_OP_H_
 #define FLEXSTREAM_QUEUE_QUEUE_OP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "operators/operator.h"
+#include "util/spsc_ring.h"
 
 namespace flexstream {
 
-class QueueOp : public Operator {
+// `final` lets call sites with a static QueueOp* — producers pushing into
+// a known queue, the owning partition draining it — devirtualize Receive
+// and inline the whole transfer path under LTO.
+class QueueOp final : public Operator {
  public:
   /// Sequence number reported for an empty queue.
   static constexpr uint64_t kNoSeq = std::numeric_limits<uint64_t>::max();
 
-  explicit QueueOp(std::string name);
+  /// Ring slots allocated when the SPSC fast path is enabled.
+  static constexpr size_t kDefaultRingCapacity = 1024;
+
+  explicit QueueOp(std::string name)
+      : QueueOp(std::move(name), kDefaultRingCapacity) {}
+  QueueOp(std::string name, size_t ring_capacity);
 
   /// Thread-safe enqueue (data) / producer-close bookkeeping (EOS).
   void Receive(const Tuple& tuple, int port) override;
 
+  /// Move-aware enqueue: adopts the tuple's payload without copying the
+  /// values vector. Used by upstream EmitMove.
+  void Receive(Tuple&& tuple, int port) override;
+
   /// Dequeues up to `max_elements` data elements (plus a trailing EOS if it
-  /// becomes due) and pushes them downstream in the calling thread.
+  /// becomes due) and pushes them downstream in the calling thread. On the
+  /// locked paths (MPSC, SPSC spill merge) the lock is taken once per
+  /// batch — items are staged in a scratch vector and emitted outside the
+  /// lock; on the lock-free SPSC path elements are emitted straight from
+  /// the ring, with no staging at all.
   /// Returns the number of data elements drained. Single-consumer.
   size_t DrainBatch(size_t max_elements);
 
-  /// Current number of queued data elements.
-  size_t Size() const;
+  /// Current number of queued data elements, derived from the total
+  /// queued-item counter minus a still-queued EOS punctuation. Exact
+  /// whenever the queue is quiescent; during the EOS handover itself it
+  /// may transiently read one element low, which schedulers tolerate (a
+  /// skipped pick is retried on the next scheduling round).
+  size_t Size() const {
+    const size_t queued = queued_items_.load(std::memory_order_acquire);
+    const size_t eos_pending =
+        (eos_queued_flag_.load(std::memory_order_acquire) &&
+         !eos_forwarded_.load(std::memory_order_acquire))
+            ? 1
+            : 0;
+    return queued > eos_pending ? queued - eos_pending : 0;
+  }
   bool Empty() const { return Size() == 0; }
 
   /// Largest Size() ever observed (updated on enqueue).
-  size_t PeakSize() const;
+  size_t PeakSize() const {
+    return peak_size_.load(std::memory_order_relaxed);
+  }
 
   /// True once all producers have delivered EOS (the EOS item may still be
   /// queued behind data).
-  bool InputClosed() const;
+  bool InputClosed() const {
+    return input_closed_.load(std::memory_order_acquire);
+  }
 
   /// True once the EOS punctuation has been pushed downstream and the
   /// queue is empty — this queue will never produce work again.
-  bool Exhausted() const;
+  bool Exhausted() const {
+    return eos_forwarded_.load(std::memory_order_acquire) && Size() == 0;
+  }
 
   /// Global arrival sequence number of the head element, or kNoSeq when
   /// empty. FIFO scheduling picks the queue with the smallest head
   /// sequence, which totally orders elements across all queues by arrival.
+  /// In SPSC mode this must be called from the consumer thread (it peeks
+  /// the ring), which is where every scheduling strategy runs.
   uint64_t HeadSeq() const;
 
-  /// Installs a callback invoked (outside the queue lock) after every
-  /// enqueue — partitions use it to wake their worker thread.
+  /// Installs a callback invoked (outside the queue lock) when the queue
+  /// transitions from empty to non-empty and when EOS is enqueued —
+  /// partitions use it to wake their worker thread. Coalesced: enqueues
+  /// into a non-empty queue do not re-notify.
   void SetEnqueueListener(std::function<void()> listener);
+
+  /// Selects the enqueue path. `true` promises that at most one thread at
+  /// a time calls Receive (one producing partition or source); the queue
+  /// then routes data through the lock-free SPSC ring. `false` (default)
+  /// uses the mutex-protected deque. Must be called while the queue is
+  /// empty and no producer/consumer is active (e.g. right after placement,
+  /// before the engine starts).
+  void SetSingleProducer(bool single_producer);
+  bool single_producer() const {
+    return single_producer_.load(std::memory_order_acquire);
+  }
+
+  /// Diagnostics: enqueues that took the lock-free ring / the mutex path
+  /// (spillover or MPSC), and listener invocations. Used by tests and the
+  /// throughput bench to verify which path ran.
+  int64_t ring_pushes() const {
+    return ring_pushes_.load(std::memory_order_relaxed);
+  }
+  int64_t locked_pushes() const {
+    return locked_pushes_.load(std::memory_order_relaxed);
+  }
+  int64_t notifications() const {
+    return notifications_.load(std::memory_order_relaxed);
+  }
 
   void Reset() override;
 
@@ -76,19 +161,62 @@ class QueueOp : public Operator {
  private:
   struct Item {
     Tuple tuple;
-    uint64_t seq;
+    uint64_t seq = 0;
   };
 
+  void Enqueue(Tuple&& tuple);
+  void EnqueueEos(const Tuple& tuple);
+  /// SPSC producer path: ring first, spill to the locked deque when full.
+  void PushItemSingleProducer(Item&& item);
+  /// Bumps the queued-item count, maintains the peak, and fires the
+  /// listener on the empty -> non-empty transition (or unconditionally
+  /// for EOS).
+  void CountQueuedAndMaybeNotify(bool is_eos, bool single);
+  void NotifyListener();
+  /// SPSC consumer path: drains observed ring runs lock-free and emits
+  /// straight from each pop (no lock is held, so no scratch staging);
+  /// falls into DrainMergeLocked whenever spillover is present.
+  size_t DrainBatchSingleProducer(size_t max_elements);
+  /// Merges ring and spillover deque by sequence number under the lock,
+  /// staging into a scratch vector and emitting outside the lock. Returns
+  /// the number of data items taken and sets `eos_taken`/`eos_ts`.
+  size_t DrainMergeLocked(size_t max_elements, bool* eos_taken,
+                          AppTime* eos_ts);
+  /// Post-dequeue bookkeeping shared by the locked paths: drops the
+  /// dequeued items (incl. a taken EOS) from the queued count and marks
+  /// EOS as forwarded.
+  void FinishDequeue(size_t taken, bool eos_taken);
+
+  const size_t ring_capacity_;
+
+  // --- shared, lock-free ------------------------------------------------
+  std::atomic<bool> single_producer_{false};
+  std::atomic<size_t> queued_items_{0};  // data + the queued EOS item
+  std::atomic<bool> eos_queued_flag_{false};  // mirror of eos_enqueued_
+  std::atomic<size_t> overflow_count_{0};  // items_ size in SPSC mode
+  std::atomic<size_t> peak_size_{0};
+  std::atomic<bool> input_closed_{false};
+  std::atomic<bool> eos_forwarded_{false};
+  std::atomic<int64_t> ring_pushes_{0};
+  std::atomic<int64_t> locked_pushes_{0};
+  std::atomic<int64_t> notifications_{0};
+
+  // --- SPSC fast path ---------------------------------------------------
+  std::unique_ptr<SpscRing<Item>> ring_;
+
+  // --- mutex-protected slow path (MPSC deque / SPSC spillover + EOS
+  // bookkeeping) ---------------------------------------------------------
   mutable std::mutex mutex_;
   std::deque<Item> items_;
-  size_t data_count_ = 0;
-  size_t peak_size_ = 0;
   size_t eos_received_ = 0;
-  bool input_closed_ = false;
   bool eos_enqueued_ = false;
-  bool eos_forwarded_ = false;
   AppTime max_eos_timestamp_ = 0;
-  std::function<void()> listener_;
+
+  // The listener is stored behind its own mutex so enqueues never copy a
+  // std::function under the main queue lock; the notify path (rare, thanks
+  // to coalescing) copies a shared_ptr instead.
+  mutable std::mutex listener_mutex_;
+  std::shared_ptr<const std::function<void()>> listener_;
 };
 
 }  // namespace flexstream

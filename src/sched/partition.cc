@@ -61,6 +61,10 @@ size_t Partition::QueuedElements() const {
 }
 
 void Partition::NotifyWork() {
+  // Called from queue enqueue listeners, which fire only on a queue's
+  // empty -> non-empty transition (and on EOS) — so this condvar ping costs
+  // O(drain batches) rather than O(tuples). See queue/queue_op.h.
+  wakeups_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     work_available_ = true;

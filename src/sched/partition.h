@@ -91,6 +91,11 @@ class Partition {
   /// Total data elements drained so far.
   int64_t drained() const { return drained_.load(std::memory_order_relaxed); }
 
+  /// Worker wakeups requested so far (queue listeners + stop requests).
+  /// With coalesced enqueue notifications this grows O(drain batches), not
+  /// O(tuples) — see queue/queue_op.h.
+  int64_t wakeups() const { return wakeups_.load(std::memory_order_relaxed); }
+
   /// Sum of current queue sizes (the partition's queued memory).
   size_t QueuedElements() const;
 
@@ -109,6 +114,7 @@ class Partition {
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
   std::atomic<int64_t> drained_{0};
+  std::atomic<int64_t> wakeups_{0};
 
   std::mutex mutex_;
   std::condition_variable cv_;

@@ -126,15 +126,22 @@ TEST(QueueOpTest, PeakSizeTracksHighWater) {
   EXPECT_EQ(rig.queue->PeakSize(), 7u);
 }
 
-TEST(QueueOpTest, ListenerFiresOnEnqueue) {
+TEST(QueueOpTest, ListenerCoalescedToEmptyTransitions) {
   QueueRig rig;
   std::atomic<int> notified{0};
   rig.queue->SetEnqueueListener([&] { notified.fetch_add(1); });
   rig.src->Push(Tuple::OfInt(1, 1));
+  EXPECT_EQ(notified.load(), 1) << "empty -> non-empty notifies";
   rig.src->Push(Tuple::OfInt(2, 2));
-  EXPECT_EQ(notified.load(), 2);
-  rig.src->Close(2);
-  EXPECT_EQ(notified.load(), 3) << "EOS enqueue also notifies";
+  rig.src->Push(Tuple::OfInt(3, 3));
+  EXPECT_EQ(notified.load(), 1)
+      << "enqueues into a non-empty queue are coalesced";
+  rig.queue->DrainBatch(100);
+  rig.src->Push(Tuple::OfInt(4, 4));
+  EXPECT_EQ(notified.load(), 2) << "drained empty, so the next push notifies";
+  rig.src->Close(4);
+  EXPECT_EQ(notified.load(), 3) << "EOS enqueue always notifies";
+  EXPECT_EQ(rig.queue->notifications(), 3);
 }
 
 TEST(QueueOpTest, ResetClearsEverything) {
@@ -147,6 +154,114 @@ TEST(QueueOpTest, ResetClearsEverything) {
   EXPECT_FALSE(rig.queue->Exhausted());
   EXPECT_EQ(rig.queue->PeakSize(), 0u);
   EXPECT_EQ(rig.queue->HeadSeq(), QueueOp::kNoSeq);
+}
+
+TEST(QueueOpTest, SingleProducerModeDrainsFifoThroughRing) {
+  QueueRig rig;
+  rig.queue->SetSingleProducer(true);
+  for (int i = 0; i < 5; ++i) rig.src->Push(Tuple::OfInt(i, i));
+  EXPECT_EQ(rig.queue->Size(), 5u);
+  EXPECT_EQ(rig.queue->ring_pushes(), 5);
+  EXPECT_EQ(rig.queue->locked_pushes(), 0);
+  EXPECT_EQ(rig.queue->DrainBatch(100), 5u);
+  auto results = rig.sink->TakeResults();
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(results[i].IntAt(0), i);
+}
+
+TEST(QueueOpTest, SingleProducerOverflowSpillsAndKeepsOrder) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("src");
+  // Tiny ring: capacity rounds up to 4, so most pushes spill.
+  QueueOp* q = g.Add<QueueOp>("q", /*ring_capacity=*/4);
+  CollectingSink* sink = g.Add<CollectingSink>("sink");
+  ASSERT_TRUE(g.Connect(src, q).ok());
+  ASSERT_TRUE(g.Connect(q, sink).ok());
+  q->SetSingleProducer(true);
+  constexpr int kCount = 100;
+  for (int i = 0; i < kCount; ++i) src->Push(Tuple::OfInt(i, i));
+  EXPECT_EQ(q->Size(), static_cast<size_t>(kCount));
+  EXPECT_GT(q->locked_pushes(), 0) << "the tiny ring must have overflowed";
+  // Interleave partial drains with more pushes so ring and spillover both
+  // hold elements while draining.
+  EXPECT_EQ(q->DrainBatch(10), 10u);
+  for (int i = kCount; i < kCount + 20; ++i) src->Push(Tuple::OfInt(i, i));
+  while (q->Size() > 0) q->DrainBatch(7);
+  src->Close(kCount + 20);
+  q->DrainBatch(100);
+  EXPECT_TRUE(q->Exhausted());
+  EXPECT_TRUE(sink->closed());
+  auto results = sink->TakeResults();
+  ASSERT_EQ(results.size(), static_cast<size_t>(kCount + 20));
+  for (int i = 0; i < kCount + 20; ++i) {
+    EXPECT_EQ(results[i].IntAt(0), i) << "FIFO order across ring/spillover";
+  }
+}
+
+TEST(QueueOpTest, SingleProducerEosThroughRing) {
+  QueueRig rig;
+  rig.queue->SetSingleProducer(true);
+  rig.src->Push(Tuple::OfInt(1, 1));
+  rig.src->Close(2);
+  EXPECT_TRUE(rig.queue->InputClosed());
+  EXPECT_FALSE(rig.queue->Exhausted());
+  EXPECT_EQ(rig.queue->DrainBatch(100), 1u);
+  EXPECT_TRUE(rig.queue->Exhausted());
+  EXPECT_TRUE(rig.sink->closed());
+}
+
+TEST(QueueOpTest, SingleProducerHeadSeqMergesRingAndSpillover) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("src");
+  QueueOp* q = g.Add<QueueOp>("q", /*ring_capacity=*/2);
+  CollectingSink* sink = g.Add<CollectingSink>("sink");
+  ASSERT_TRUE(g.Connect(src, q).ok());
+  ASSERT_TRUE(g.Connect(q, sink).ok());
+  q->SetSingleProducer(true);
+  EXPECT_EQ(q->HeadSeq(), QueueOp::kNoSeq);
+  for (int i = 0; i < 6; ++i) src->Push(Tuple::OfInt(i, i));
+  ASSERT_GT(q->locked_pushes(), 0);
+  const uint64_t head = q->HeadSeq();
+  EXPECT_NE(head, QueueOp::kNoSeq);
+  // Draining one element must advance the head sequence (the ring holds
+  // the oldest elements, the spillover the newest).
+  q->DrainBatch(1);
+  EXPECT_GT(q->HeadSeq(), head);
+}
+
+TEST(QueueOpTest, MoveReceiveAdoptsPayload) {
+  QueueRig rig;
+  rig.queue->SetSingleProducer(true);
+  Tuple t({Value(std::string("payload-string-well-beyond-sso-limits"))}, 7);
+  rig.queue->Receive(std::move(t), 0);
+  EXPECT_EQ(rig.queue->Size(), 1u);
+  rig.queue->DrainBatch(1);
+  auto results = rig.sink->TakeResults();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].StringAt(0),
+            "payload-string-well-beyond-sso-limits");
+}
+
+TEST(QueueOpTest, ResetClearsSingleProducerState) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("src");
+  QueueOp* q = g.Add<QueueOp>("q", /*ring_capacity=*/4);
+  CollectingSink* sink = g.Add<CollectingSink>("sink");
+  ASSERT_TRUE(g.Connect(src, q).ok());
+  ASSERT_TRUE(g.Connect(q, sink).ok());
+  q->SetSingleProducer(true);
+  for (int i = 0; i < 20; ++i) src->Push(Tuple::OfInt(i, i));
+  src->Close(20);
+  g.ResetAll();
+  EXPECT_EQ(q->Size(), 0u);
+  EXPECT_FALSE(q->InputClosed());
+  EXPECT_FALSE(q->Exhausted());
+  EXPECT_EQ(q->HeadSeq(), QueueOp::kNoSeq);
+  EXPECT_TRUE(q->single_producer()) << "enqueue-path mode survives Reset";
+  // The queue must be fully usable again after Reset.
+  src->Push(Tuple::OfInt(42, 1));
+  src->Close(1);
+  EXPECT_EQ(q->DrainBatch(10), 1u);
+  EXPECT_TRUE(q->Exhausted());
 }
 
 TEST(QueueOpTest, ConcurrentProducersSingleConsumer) {

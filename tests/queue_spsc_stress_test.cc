@@ -1,0 +1,133 @@
+// Stress tests for the QueueOp SPSC fast path: a producer and a consumer
+// hammering one queue through mode selection, ring-overflow spillover and
+// EOS. Run these under ThreadSanitizer:
+//
+//   cmake -B build-tsan -S . -DFLEXSTREAM_SANITIZE=thread
+//   cmake --build build-tsan -j
+//   ctest --test-dir build-tsan --output-on-failure -R 'QueueOp|SpscRing|SyncQueue|Partition|ThreadScheduler|QueueSpscStress'
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/query_graph.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "placement/producer_annotation.h"
+#include "queue/queue_op.h"
+#include "sched/partition.h"
+#include "sched/strategy.h"
+
+namespace flexstream {
+namespace {
+
+TEST(QueueSpscStressTest, ProducerConsumerThroughTinyRing) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("src");
+  // Tiny ring so the stress constantly crosses the overflow boundary in
+  // both directions.
+  QueueOp* q = g.Add<QueueOp>("q", /*ring_capacity=*/16);
+  CollectingSink* sink = g.Add<CollectingSink>("sink");
+  ASSERT_TRUE(g.Connect(src, q).ok());
+  ASSERT_TRUE(g.Connect(q, sink).ok());
+
+  // Mode selection via the placement annotation: one producing source.
+  AnnotateSingleProducerQueues({q}, nullptr);
+  ASSERT_TRUE(q->single_producer());
+
+  constexpr int kCount = 50'000;
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i) {
+      // String payload: the move path and the slot reset matter here.
+      src->Push(Tuple({Value(static_cast<int64_t>(i)),
+                       Value(std::string("payload-") + std::to_string(i))},
+                      i));
+    }
+    src->Close(kCount);
+  });
+  while (!q->Exhausted()) {
+    q->DrainBatch(64);
+  }
+  producer.join();
+
+  EXPECT_TRUE(sink->closed());
+  auto results = sink->TakeResults();
+  ASSERT_EQ(results.size(), static_cast<size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_EQ(results[i].IntAt(0), i) << "FIFO violated at " << i;
+    ASSERT_EQ(results[i].StringAt(1),
+              std::string("payload-") + std::to_string(i));
+  }
+  EXPECT_GT(q->ring_pushes(), 0) << "fast path never taken";
+  EXPECT_GT(q->locked_pushes(), 0) << "spillover never exercised";
+}
+
+TEST(QueueSpscStressTest, PartitionDrivenConsumerWithCoalescedWakeups) {
+  QueryGraph g;
+  Source* src = g.Add<Source>("src");
+  QueueOp* q = g.Add<QueueOp>("q", /*ring_capacity=*/64);
+  CountingSink* sink = g.Add<CountingSink>("sink");
+  ASSERT_TRUE(g.Connect(src, q).ok());
+  ASSERT_TRUE(g.Connect(q, sink).ok());
+  q->SetSingleProducer(true);
+
+  Partition partition("p0", {q}, MakeStrategy(StrategyKind::kFifo));
+  partition.Start();
+
+  constexpr int kCount = 100'000;
+  for (int i = 0; i < kCount; ++i) src->Push(Tuple::OfInt(i, i));
+  src->Close(kCount);
+
+  sink->WaitUntilClosed();
+  partition.RequestStop();
+  partition.Join();
+
+  EXPECT_EQ(sink->count(), kCount);
+  EXPECT_EQ(partition.drained(), kCount);
+  EXPECT_TRUE(q->Exhausted());
+  // Coalescing: the queue notified far less often than once per tuple
+  // (only on empty -> non-empty transitions and EOS). The exact number is
+  // timing-dependent; the bound is generous but would catch a regression
+  // to per-tuple notification.
+  EXPECT_LT(q->notifications(), kCount / 2)
+      << "wakeups should be O(batches), not O(tuples)";
+}
+
+TEST(QueueSpscStressTest, MpscFallbackStillCorrectUnderAnnotation) {
+  QueryGraph g;
+  Source* a = g.Add<Source>("a");
+  Source* b = g.Add<Source>("b");
+  QueueOp* q = g.Add<QueueOp>("q", /*ring_capacity=*/16);
+  CountingSink* sink = g.Add<CountingSink>("sink");
+  ASSERT_TRUE(g.Connect(a, q).ok());
+  ASSERT_TRUE(g.Connect(b, q).ok());
+  ASSERT_TRUE(g.Connect(q, sink).ok());
+
+  // Two producing sources: annotation must keep the MPSC path.
+  AnnotateSingleProducerQueues({q}, nullptr);
+  ASSERT_FALSE(q->single_producer());
+
+  constexpr int kPerProducer = 30'000;
+  std::thread ta([&] {
+    for (int i = 0; i < kPerProducer; ++i) a->Push(Tuple::OfInt(i, i));
+    a->Close(kPerProducer);
+  });
+  std::thread tb([&] {
+    for (int i = 0; i < kPerProducer; ++i) b->Push(Tuple::OfInt(i, i));
+    b->Close(kPerProducer);
+  });
+  while (!q->Exhausted()) {
+    q->DrainBatch(256);
+  }
+  ta.join();
+  tb.join();
+  EXPECT_EQ(sink->count(), 2 * kPerProducer);
+  EXPECT_TRUE(sink->closed());
+  EXPECT_EQ(q->ring_pushes(), 0) << "MPSC mode must not touch the ring";
+}
+
+}  // namespace
+}  // namespace flexstream

@@ -65,6 +65,33 @@ TEST(FifoStrategyTest, PicksGloballyOldestHead) {
   EXPECT_EQ(fifo.Next(rig.queues()), rig.queue[0]);
 }
 
+TEST(FifoStrategyTest, PicksGloballyOldestHeadWithRingPath) {
+  TwoBranchRig rig;
+  rig.queue[0]->SetSingleProducer(true);
+  rig.queue[1]->SetSingleProducer(true);
+  FifoStrategy fifo;
+  EXPECT_EQ(fifo.Next(rig.queues()), nullptr);
+  rig.src[1]->Push(Tuple::OfInt(1, 1));
+  rig.src[0]->Push(Tuple::OfInt(2, 2));
+  EXPECT_EQ(fifo.Next(rig.queues()), rig.queue[1]);
+  rig.queue[1]->DrainBatch(1);
+  EXPECT_EQ(fifo.Next(rig.queues()), rig.queue[0]);
+  // With interleaved arrivals the strategy must drain in global arrival
+  // order: the sequence of queue picks mirrors the push sequence.
+  for (int i = 0; i < 8; ++i) {
+    rig.src[i % 2]->Push(Tuple::OfInt(100 + i, 100 + i));
+  }
+  std::vector<int> picks;
+  while (QueueOp* next = fifo.Next(rig.queues())) {
+    picks.push_back(next == rig.queue[0] ? 0 : 1);
+    next->DrainBatch(1);
+  }
+  // queue[0] still holds the earlier element (seq before all 100+i), then
+  // the alternating pushes starting at src[0].
+  const std::vector<int> expected = {0, 0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_EQ(picks, expected) << "global HeadSeq order preserved on rings";
+}
+
 TEST(RoundRobinStrategyTest, CyclesThroughNonEmptyQueues) {
   TwoBranchRig rig;
   RoundRobinStrategy rr;

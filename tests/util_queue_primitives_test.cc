@@ -44,6 +44,83 @@ TEST(SpscRingTest, WrapAroundPreservesOrder) {
   }
 }
 
+TEST(SpscRingTest, FrontPeeksWithoutPopping) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.Front(), nullptr);
+  ring.TryPush(7);
+  ring.TryPush(8);
+  ASSERT_NE(ring.Front(), nullptr);
+  EXPECT_EQ(*ring.Front(), 7);
+  EXPECT_EQ(ring.SizeApprox(), 2u) << "peeking does not consume";
+  EXPECT_EQ(ring.TryPop().value(), 7);
+  EXPECT_EQ(*ring.Front(), 8);
+}
+
+TEST(SpscRingTest, FullApproxMatchesTryPush) {
+  SpscRing<int> ring(2);
+  EXPECT_FALSE(ring.FullApprox());
+  ring.TryPush(1);
+  ring.TryPush(2);
+  EXPECT_TRUE(ring.FullApprox());
+  ring.TryPop();
+  EXPECT_FALSE(ring.FullApprox());
+}
+
+TEST(SpscRingTest, PopReleasesSlotPayload) {
+  // Regression: TryPop used to leave the moved-from element in the slot,
+  // keeping its heap payload alive until the slot was overwritten by a
+  // later push. The pop must reset the slot.
+  SpscRing<std::shared_ptr<int>> ring(4);
+  auto payload = std::make_shared<int>(42);
+  ASSERT_TRUE(ring.TryPush(payload));
+  EXPECT_EQ(payload.use_count(), 2);
+  {
+    auto popped = ring.TryPop();
+    ASSERT_TRUE(popped.has_value());
+    EXPECT_EQ(payload.use_count(), 2) << "popped copy + ours";
+  }
+  EXPECT_EQ(payload.use_count(), 1)
+      << "after the popped value dies, no slot reference may remain";
+
+  // Same for PopInto.
+  ASSERT_TRUE(ring.TryPush(payload));
+  std::shared_ptr<int> out;
+  ASSERT_TRUE(ring.PopInto(&out));
+  out.reset();
+  EXPECT_EQ(payload.use_count(), 1);
+}
+
+TEST(SpscRingTest, PushUncheckedAndInPlaceFrontConsumption) {
+  // The QueueOp hot path: PushUnchecked after a !FullApprox() check on the
+  // producer side, FrontMutable + PopFront (move the payload out in place)
+  // on the consumer side. PopFront must give the same slot-release
+  // guarantee as TryPop.
+  SpscRing<std::shared_ptr<int>> ring(2);
+  auto a = std::make_shared<int>(1);
+  auto b = std::make_shared<int>(2);
+  ASSERT_FALSE(ring.FullApprox());
+  ring.PushUnchecked(std::shared_ptr<int>(a));
+  ASSERT_FALSE(ring.FullApprox());
+  ring.PushUnchecked(std::shared_ptr<int>(b));
+  EXPECT_TRUE(ring.FullApprox());
+  EXPECT_EQ(ring.AvailableToConsumer(), 2u);
+
+  std::shared_ptr<int>* front = ring.FrontMutable();
+  ASSERT_NE(front, nullptr);
+  EXPECT_EQ(**front, 1);
+  std::shared_ptr<int> taken = std::move(*front);
+  ring.PopFront();
+  EXPECT_EQ(a.use_count(), 2) << "taken copy + ours, slot released";
+
+  front = ring.FrontMutable();
+  ASSERT_NE(front, nullptr);
+  EXPECT_EQ(**front, 2);
+  ring.PopFront();  // dropped without moving out: reset must release it
+  EXPECT_EQ(b.use_count(), 1);
+  EXPECT_EQ(ring.FrontMutable(), nullptr);
+  EXPECT_EQ(ring.AvailableToConsumer(), 0u);
+}
+
 TEST(SpscRingTest, ConcurrentProducerConsumer) {
   SpscRing<int64_t> ring(1024);
   constexpr int64_t kCount = 200'000;
