@@ -44,6 +44,49 @@ const char* PlacementKindToString(PlacementKind kind) {
   return "unknown";
 }
 
+const char* QueuePathModeToString(QueuePathMode mode) {
+  switch (mode) {
+    case QueuePathMode::kAuto:
+      return "auto";
+    case QueuePathMode::kForceMpsc:
+      return "force-mpsc";
+  }
+  return "unknown";
+}
+
+bool ExecutionModeFromString(const std::string& name, ExecutionMode* mode) {
+  for (ExecutionMode m :
+       {ExecutionMode::kSourceDriven, ExecutionMode::kDirect,
+        ExecutionMode::kGts, ExecutionMode::kOts, ExecutionMode::kHmts}) {
+    if (name == ExecutionModeToString(m)) {
+      *mode = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PlacementKindFromString(const std::string& name, PlacementKind* kind) {
+  for (PlacementKind k : {PlacementKind::kStallAvoiding, PlacementKind::kChain,
+                          PlacementKind::kSegment}) {
+    if (name == PlacementKindToString(k)) {
+      *kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool QueuePathModeFromString(const std::string& name, QueuePathMode* mode) {
+  for (QueuePathMode m : {QueuePathMode::kAuto, QueuePathMode::kForceMpsc}) {
+    if (name == QueuePathModeToString(m)) {
+      *mode = m;
+      return true;
+    }
+  }
+  return false;
+}
+
 StreamEngine::StreamEngine(QueryGraph* graph) : graph_(graph) {
   CHECK(graph != nullptr);
 }
@@ -237,16 +280,21 @@ Status StreamEngine::Configure(const EngineOptions& options) {
 
   queues_.clear();
   for (auto& [from, to] : edges) {
-    QueueOp* queue =
-        graph_->Add<QueueOp>("q" + std::to_string(next_queue_id_++));
+    QueueOp* queue = graph_->Add<QueueOp>(
+        "q" + std::to_string(next_queue_id_++), options.queue_ring_capacity);
     s = graph_->InsertBetween(from, queue, to);
     if (!s.ok()) return s;
     queues_.push_back(queue);
   }
   // Queues fed by exactly one producing context (one upstream partition or
   // one source — the engine's one-queue-per-edge layout guarantees this)
-  // get the lock-free SPSC enqueue path.
-  AnnotateSingleProducerQueues(queues_, partitioning_.get());
+  // get the lock-free SPSC enqueue path, unless the caller pinned the
+  // mutex path (differential testing of both queue implementations).
+  if (options.queue_path == QueuePathMode::kForceMpsc) {
+    for (QueueOp* queue : queues_) queue->SetSingleProducer(false);
+  } else {
+    AnnotateSingleProducerQueues(queues_, partitioning_.get());
+  }
 
   s = BuildExecutors(options);
   if (!s.ok()) return s;

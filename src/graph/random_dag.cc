@@ -41,9 +41,15 @@ std::unique_ptr<QueryGraph> GenerateRandomDag(const RandomDagOptions& options,
     op->SetSelectivity(rng->UniformDouble(options.min_selectivity,
                                           options.max_selectivity));
     // First producer: any earlier node (keeps the graph acyclic and every
-    // non-source node reachable from a source).
-    Node* producer = nodes[static_cast<size_t>(
-        rng->NextU64(static_cast<uint64_t>(nodes.size())))];
+    // non-source node reachable from a source). With connect_all_sources,
+    // the first source_count operators adopt the sources pairwise so no
+    // source is left without a consumer.
+    const int op_index = i - options.source_count;
+    Node* producer =
+        (options.connect_all_sources && op_index < options.source_count)
+            ? nodes[static_cast<size_t>(op_index)]
+            : nodes[static_cast<size_t>(
+                  rng->NextU64(static_cast<uint64_t>(nodes.size())))];
     CHECK_OK(graph->Connect(producer, op, 0));
     if (options.max_fan_in >= 2 &&
         rng->Bernoulli(options.second_input_probability)) {

@@ -44,6 +44,14 @@ struct RandomDagOptions {
   /// Selectivity: uniform in [min, max].
   double min_selectivity = 0.1;
   double max_selectivity = 1.0;
+
+  /// When true, the i-th generated operator (i < source_count) takes
+  /// source i as its first producer, so every source feeds the graph.
+  /// The planning studies keep the historical behavior (false: a source
+  /// may stay unused); executable harness graphs turn this on so every
+  /// generated source actually drives work. Requires
+  /// node_count >= 2 * source_count.
+  bool connect_all_sources = false;
 };
 
 /// A no-op operator carrying only metadata (used as the generic node type

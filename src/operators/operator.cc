@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "util/busy_work.h"
 #include "util/logging.h"
 
 namespace flexstream {
@@ -27,6 +28,10 @@ bool StatsCollectionEnabled() {
 
 Operator::Operator(Kind kind, std::string name, int input_arity)
     : Node(kind, std::move(name), input_arity) {}
+
+void Operator::SetSimulatedCostMicros(double micros) {
+  simulated_cost_micros_ = micros;
+}
 
 void Operator::SetSerializedReceive(bool enabled) {
   if (enabled && receive_mutex_ == nullptr) {
@@ -66,6 +71,7 @@ void Operator::ReceiveLocked(const Tuple& tuple, int port) {
   }
   DCHECK(!closed_) << DebugString() << " received data after close";
   if (!StatsCollectionEnabled()) {
+    if (simulated_cost_micros_ > 0.0) BurnMicros(simulated_cost_micros_);
     Process(tuple, port);
     return;
   }
@@ -73,6 +79,8 @@ void Operator::ReceiveLocked(const Tuple& tuple, int port) {
   stats().RecordArrival(start);
   const double saved_child_micros = tl_child_micros;
   tl_child_micros = 0.0;
+  // The synthetic burn sits inside the measured window so c(v) reflects it.
+  if (simulated_cost_micros_ > 0.0) BurnMicros(simulated_cost_micros_);
   Process(tuple, port);
   const double total_micros = static_cast<double>(ToMicros(Now() - start));
   const double self_micros = std::max(0.0, total_micros - tl_child_micros);

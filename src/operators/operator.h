@@ -60,6 +60,15 @@ class Operator : public Node {
   /// True once OnAllInputsClosed has run (all inputs delivered EOS).
   bool closed() const { return closed_; }
 
+  /// Deterministic synthetic work: burns this much CPU per data element
+  /// immediately before Process(), independent of the element's content.
+  /// Lets harnesses attach a fixed per-element cost to *any* operator
+  /// (including pass-through ones like UnionOp) so scheduling experiments
+  /// and differential tests exercise realistic interleavings without
+  /// data-dependent work. 0 (the default) disables the burn.
+  void SetSimulatedCostMicros(double micros);
+  double simulated_cost_micros() const { return simulated_cost_micros_; }
+
   /// Serializes Receive() with an internal mutex. Required only when the
   /// operator is driven by multiple threads *without* a decoupling queue
   /// in between — i.e. source-driven execution where several autonomous
@@ -110,6 +119,7 @@ class Operator : public Node {
   size_t eos_received_ = 0;
   bool closed_ = false;
   AppTime max_eos_timestamp_ = 0;
+  double simulated_cost_micros_ = 0.0;
   std::unique_ptr<std::mutex> receive_mutex_;
 };
 

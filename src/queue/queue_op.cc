@@ -173,6 +173,9 @@ size_t QueueOp::DrainBatch(size_t max_elements) {
   }
   FinishDequeue(taken, eos_taken);
 
+  if (test_fault() == TestFault::kReorderDrainBatch) {
+    std::reverse(scratch.begin(), scratch.end());
+  }
   for (Item& item : scratch) {
     if (StatsCollectionEnabled()) stats().RecordProcessed(0.0);
     EmitMove(std::move(item.tuple));
@@ -282,6 +285,9 @@ size_t QueueOp::DrainMergeLocked(size_t max_elements, bool* eos_taken,
   }
   FinishDequeue(taken, *eos_taken);
 
+  if (test_fault() == TestFault::kReorderDrainBatch) {
+    std::reverse(scratch.begin(), scratch.end());
+  }
   for (Item& item : scratch) {
     if (StatsCollectionEnabled()) stats().RecordProcessed(0.0);
     EmitMove(std::move(item.tuple));

@@ -139,6 +139,22 @@ class QueueOp final : public Operator {
     return single_producer_.load(std::memory_order_acquire);
   }
 
+  /// Deliberate fault injection for the differential correctness harness
+  /// (src/testing/differential.h). kReorderDrainBatch emits each drained
+  /// batch in *reverse* order on the locked drain paths (MPSC and SPSC
+  /// spill merge), violating the FIFO contract; the harness's mutation
+  /// test asserts its sequence oracle catches exactly this. The fault is
+  /// a no-op on the lock-free SPSC ring path (which emits straight from
+  /// ring slots), so callers force the MPSC path when injecting. Never
+  /// set outside tests.
+  enum class TestFault { kNone, kReorderDrainBatch };
+  void SetTestFault(TestFault fault) {
+    test_fault_.store(fault, std::memory_order_release);
+  }
+  TestFault test_fault() const {
+    return test_fault_.load(std::memory_order_acquire);
+  }
+
   /// Diagnostics: enqueues that took the lock-free ring / the mutex path
   /// (spillover or MPSC), and listener invocations. Used by tests and the
   /// throughput bench to verify which path ran.
@@ -200,6 +216,7 @@ class QueueOp final : public Operator {
   std::atomic<int64_t> ring_pushes_{0};
   std::atomic<int64_t> locked_pushes_{0};
   std::atomic<int64_t> notifications_{0};
+  std::atomic<TestFault> test_fault_{TestFault::kNone};
 
   // --- SPSC fast path ---------------------------------------------------
   std::unique_ptr<SpscRing<Item>> ring_;

@@ -28,6 +28,17 @@ const char* StrategyKindToString(StrategyKind kind) {
   return "unknown";
 }
 
+bool StrategyKindFromString(const std::string& name, StrategyKind* kind) {
+  for (StrategyKind k : {StrategyKind::kFifo, StrategyKind::kRoundRobin,
+                         StrategyKind::kChain, StrategyKind::kSegment}) {
+    if (name == StrategyKindToString(k)) {
+      *kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::unique_ptr<SchedulingStrategy> MakeStrategy(StrategyKind kind) {
   switch (kind) {
     case StrategyKind::kFifo:

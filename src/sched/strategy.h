@@ -38,6 +38,10 @@ enum class StrategyKind { kFifo, kRoundRobin, kChain, kSegment };
 
 const char* StrategyKindToString(StrategyKind kind);
 
+/// Inverse of StrategyKindToString; returns false on an unknown name.
+/// Used by replay files of the differential harness.
+bool StrategyKindFromString(const std::string& name, StrategyKind* kind);
+
 std::unique_ptr<SchedulingStrategy> MakeStrategy(StrategyKind kind);
 
 }  // namespace flexstream

@@ -1,0 +1,472 @@
+#include "testing/differential.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "graph/dot_export.h"
+#include "sched/strategy.h"
+#include "util/logging.h"
+
+namespace flexstream {
+namespace {
+
+constexpr auto kRunTimeout = std::chrono::seconds(120);
+
+const char* TestFaultToString(QueueOp::TestFault fault) {
+  switch (fault) {
+    case QueueOp::TestFault::kNone:
+      return "none";
+    case QueueOp::TestFault::kReorderDrainBatch:
+      return "reorder-drain-batch";
+  }
+  return "unknown";
+}
+
+bool TestFaultFromString(const std::string& name, QueueOp::TestFault* fault) {
+  for (QueueOp::TestFault candidate :
+       {QueueOp::TestFault::kNone, QueueOp::TestFault::kReorderDrainBatch}) {
+    if (name == TestFaultToString(candidate)) {
+      *fault = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+ExecutableDagOptions DagOptionsForSpec(const DiffSpec& spec) {
+  ExecutableDagOptions options;
+  options.dag.node_count = spec.node_count;
+  options.dag.source_count = spec.source_count;
+  options.dag.second_input_probability = spec.second_input_probability;
+  options.max_burn_micros = spec.max_burn_micros;
+  return options;
+}
+
+EngineOptions EngineOptionsForConfig(const DiffConfig& config) {
+  EngineOptions options;
+  options.mode = config.mode;
+  options.strategy = config.strategy;
+  options.placement = config.placement;
+  options.queue_path = config.queue_path;
+  options.queue_ring_capacity = config.ring_capacity;
+  return options;
+}
+
+std::string DescribeSpec(const DiffSpec& spec) {
+  std::ostringstream os;
+  os << "seed=" << spec.seed << " nodes=" << spec.node_count
+     << " sources=" << spec.source_count << " feed=" << spec.feed_count;
+  return os.str();
+}
+
+std::string FirstDifference(const std::vector<Tuple>& want,
+                            const std::vector<Tuple>& got) {
+  const size_t n = std::min(want.size(), got.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (want[i] != got[i]) {
+      std::ostringstream os;
+      os << "index " << i << ": golden " << want[i] << " vs candidate "
+         << got[i];
+      return os.str();
+    }
+  }
+  std::ostringstream os;
+  os << "size " << want.size() << " vs " << got.size();
+  return os.str();
+}
+
+std::string ResolveArtifactDir(const std::string& configured) {
+  if (!configured.empty()) return configured;
+  if (const char* env = std::getenv("FLEXSTREAM_DIFF_ARTIFACT_DIR");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  return "diff_failures";
+}
+
+/// Writes DOT + replay artifacts for a failure; best-effort (artifact I/O
+/// must never turn a real mismatch into a crash).
+void DumpArtifacts(const DiffSpec& spec, const DiffConfig& config,
+                   const std::string& dir, DiffFailure* failure) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    LOG(WARNING) << "cannot create artifact dir " << dir << ": "
+                 << ec.message();
+    return;
+  }
+  std::ostringstream base;
+  base << "seed" << spec.seed << "_" << config.Name();
+  const std::filesystem::path dot_path =
+      std::filesystem::path(dir) / (base.str() + ".dot");
+  const std::filesystem::path replay_path =
+      std::filesystem::path(dir) / (base.str() + ".replay");
+
+  ExecutableDag dag = BuildDagForSpec(spec);
+  if (std::ofstream dot(dot_path); dot) {
+    dot << ToDot(*dag.graph);
+    failure->dot_path = dot_path.string();
+  }
+  if (std::ofstream replay(replay_path); replay) {
+    replay << FormatReplay(spec, config);
+    failure->replay_path = replay_path.string();
+  }
+}
+
+}  // namespace
+
+std::string DiffConfig::Name() const {
+  std::ostringstream os;
+  os << ExecutionModeToString(mode);
+  if (mode == ExecutionMode::kGts || mode == ExecutionMode::kOts ||
+      mode == ExecutionMode::kHmts) {
+    os << "+" << StrategyKindToString(strategy);
+  }
+  if (mode == ExecutionMode::kHmts) {
+    os << "+" << PlacementKindToString(placement);
+  }
+  if (queue_path != QueuePathMode::kAuto) {
+    os << "+" << QueuePathModeToString(queue_path);
+  }
+  if (ring_capacity != QueueOp::kDefaultRingCapacity) {
+    os << "+ring" << ring_capacity;
+  }
+  if (feed_before_start) os << "+burst";
+  if (fault != QueueOp::TestFault::kNone) {
+    os << "+fault:" << TestFaultToString(fault);
+  }
+  return os.str();
+}
+
+DiffConfig GoldenConfig() {
+  DiffConfig config;
+  config.mode = ExecutionMode::kSourceDriven;
+  return config;
+}
+
+std::vector<DiffConfig> DefaultConfigMatrix() {
+  std::vector<DiffConfig> configs;
+  auto add = [&configs](ExecutionMode mode, StrategyKind strategy,
+                        PlacementKind placement, QueuePathMode queue_path,
+                        size_t ring, bool burst) {
+    DiffConfig config;
+    config.mode = mode;
+    config.strategy = strategy;
+    config.placement = placement;
+    config.queue_path = queue_path;
+    config.ring_capacity = ring;
+    config.feed_before_start = burst;
+    configs.push_back(config);
+  };
+  const size_t kRing = QueueOp::kDefaultRingCapacity;
+  const auto kStall = PlacementKind::kStallAvoiding;
+
+  // Single-threaded DI with a queue per source.
+  add(ExecutionMode::kDirect, StrategyKind::kFifo, kStall,
+      QueuePathMode::kAuto, kRing, false);
+
+  // GTS: every strategy, down both queue paths.
+  for (StrategyKind strategy :
+       {StrategyKind::kFifo, StrategyKind::kRoundRobin, StrategyKind::kChain,
+        StrategyKind::kSegment}) {
+    add(ExecutionMode::kGts, strategy, kStall, QueuePathMode::kAuto, kRing,
+        false);
+    add(ExecutionMode::kGts, strategy, kStall, QueuePathMode::kForceMpsc,
+        kRing, false);
+  }
+  // GTS with a tiny ring: every enqueue run exercises spillover and the
+  // seq-merge drain; plus the burst-arrival variant.
+  add(ExecutionMode::kGts, StrategyKind::kFifo, kStall, QueuePathMode::kAuto,
+      2, false);
+  add(ExecutionMode::kGts, StrategyKind::kFifo, kStall, QueuePathMode::kAuto,
+      kRing, true);
+
+  // OTS: strategy is irrelevant (one thread per queue) — vary the paths.
+  add(ExecutionMode::kOts, StrategyKind::kFifo, kStall, QueuePathMode::kAuto,
+      kRing, false);
+  add(ExecutionMode::kOts, StrategyKind::kFifo, kStall,
+      QueuePathMode::kForceMpsc, kRing, false);
+  add(ExecutionMode::kOts, StrategyKind::kFifo, kStall, QueuePathMode::kAuto,
+      2, false);
+  add(ExecutionMode::kOts, StrategyKind::kFifo, kStall, QueuePathMode::kAuto,
+      kRing, true);
+
+  // HMTS: every strategy under the stall-avoiding placement (auto + tiny
+  // ring), then the alternative placement algorithms.
+  for (StrategyKind strategy :
+       {StrategyKind::kFifo, StrategyKind::kRoundRobin, StrategyKind::kChain,
+        StrategyKind::kSegment}) {
+    add(ExecutionMode::kHmts, strategy, kStall, QueuePathMode::kAuto, kRing,
+        false);
+    add(ExecutionMode::kHmts, strategy, kStall, QueuePathMode::kAuto, 2,
+        false);
+  }
+  add(ExecutionMode::kHmts, StrategyKind::kFifo, kStall,
+      QueuePathMode::kForceMpsc, kRing, false);
+  add(ExecutionMode::kHmts, StrategyKind::kFifo, kStall, QueuePathMode::kAuto,
+      kRing, true);
+  add(ExecutionMode::kHmts, StrategyKind::kFifo, PlacementKind::kChain,
+      QueuePathMode::kAuto, kRing, false);
+  add(ExecutionMode::kHmts, StrategyKind::kFifo, PlacementKind::kSegment,
+      QueuePathMode::kAuto, kRing, false);
+  return configs;
+}
+
+ExecutableDag BuildDagForSpec(const DiffSpec& spec) {
+  return BuildExecutableDag(DagOptionsForSpec(spec), spec.seed);
+}
+
+SinkOutputs RunUnderConfig(const DiffSpec& spec, const DiffConfig& config) {
+  ExecutableDag dag = BuildDagForSpec(spec);
+  SinkOutputs out;
+  out.order_checked = dag.order_checked;
+
+  if (config.mode == ExecutionMode::kSourceDriven) {
+    // Queue-free DI: the feeding thread executes the whole graph.
+    FeedSources(dag, spec.seed, spec.feed_count);
+    for (CollectingSink* sink : dag.sinks) {
+      out.per_sink.push_back(sink->TakeResults());
+    }
+    return out;
+  }
+
+  StreamEngine engine(dag.graph.get());
+  CHECK_OK(engine.Configure(EngineOptionsForConfig(config)));
+  if (config.fault != QueueOp::TestFault::kNone) {
+    for (QueueOp* queue : engine.queues()) queue->SetTestFault(config.fault);
+  }
+  if (config.feed_before_start) {
+    // Queues absorb the whole stream before any worker runs, so the first
+    // drains see large batches.
+    FeedSources(dag, spec.seed, spec.feed_count);
+    CHECK_OK(engine.Start());
+  } else {
+    CHECK_OK(engine.Start());
+    FeedSources(dag, spec.seed, spec.feed_count);
+  }
+  out.completed = engine.WaitUntilFinishedFor(kRunTimeout);
+  engine.Stop();
+  for (CollectingSink* sink : dag.sinks) {
+    out.per_sink.push_back(sink->TakeResults());
+  }
+  return out;
+}
+
+std::string CompareOutputs(const SinkOutputs& golden,
+                           const SinkOutputs& candidate) {
+  if (!candidate.completed) {
+    return "candidate run timed out before draining to EOS";
+  }
+  CHECK_EQ(golden.per_sink.size(), candidate.per_sink.size());
+  for (size_t i = 0; i < golden.per_sink.size(); ++i) {
+    const std::vector<Tuple>& want = golden.per_sink[i];
+    const std::vector<Tuple>& got = candidate.per_sink[i];
+    const bool ordered = i < golden.order_checked.size() &&
+                         golden.order_checked[i];
+    if (ordered) {
+      if (want != got) {
+        std::ostringstream os;
+        os << "sink " << i << ": sequence mismatch on order-preserving "
+           << "pipeline (" << FirstDifference(want, got) << ")";
+        return os.str();
+      }
+      continue;
+    }
+    std::vector<Tuple> want_sorted = want;
+    std::vector<Tuple> got_sorted = got;
+    std::sort(want_sorted.begin(), want_sorted.end());
+    std::sort(got_sorted.begin(), got_sorted.end());
+    if (want_sorted != got_sorted) {
+      std::ostringstream os;
+      os << "sink " << i << ": multiset mismatch ("
+         << FirstDifference(want_sorted, got_sorted) << ")";
+      return os.str();
+    }
+  }
+  return "";
+}
+
+namespace {
+
+/// Runs candidate vs golden once; non-empty on mismatch.
+std::string RunOnce(const DiffSpec& spec, const DiffConfig& config) {
+  const SinkOutputs golden = RunUnderConfig(spec, GoldenConfig());
+  const SinkOutputs candidate = RunUnderConfig(spec, config);
+  return CompareOutputs(golden, candidate);
+}
+
+/// True when any of `retries` attempts mismatches (thread schedules vary,
+/// so a shrunk scenario may need several runs to re-trigger).
+bool StillFails(const DiffSpec& spec, const DiffConfig& config, int retries,
+                std::string* message) {
+  for (int attempt = 0; attempt < std::max(retries, 1); ++attempt) {
+    std::string mismatch = RunOnce(spec, config);
+    if (!mismatch.empty()) {
+      *message = std::move(mismatch);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+DiffSpec ShrinkFailingSpec(const DiffSpec& spec, const DiffConfig& config,
+                           int retries) {
+  DiffSpec best = spec;
+  const int min_nodes = spec.source_count + 2;
+  const int min_feed = 16;
+  bool progressed = true;
+  std::string message;
+  while (progressed) {
+    progressed = false;
+    if (best.node_count / 2 >= min_nodes) {
+      DiffSpec candidate = best;
+      candidate.node_count /= 2;
+      if (StillFails(candidate, config, retries, &message)) {
+        best = candidate;
+        progressed = true;
+        continue;
+      }
+    }
+    if (best.feed_count / 2 >= min_feed) {
+      DiffSpec candidate = best;
+      candidate.feed_count /= 2;
+      if (StillFails(candidate, config, retries, &message)) {
+        best = candidate;
+        progressed = true;
+      }
+    }
+  }
+  return best;
+}
+
+DiffReport RunDifferential(const DiffSpec& spec,
+                           const std::vector<DiffConfig>& configs,
+                           const DiffRunOptions& options) {
+  DiffReport report;
+  const SinkOutputs golden = RunUnderConfig(spec, GoldenConfig());
+  for (const DiffConfig& config : configs) {
+    ++report.configs_run;
+    const SinkOutputs candidate = RunUnderConfig(spec, config);
+    std::string mismatch = CompareOutputs(golden, candidate);
+    if (mismatch.empty()) continue;
+
+    DiffFailure failure;
+    failure.spec = options.shrink
+                       ? ShrinkFailingSpec(spec, config, options.shrink_retries)
+                       : spec;
+    failure.config = config;
+    failure.message = mismatch;
+    DumpArtifacts(failure.spec, config, ResolveArtifactDir(options.artifact_dir),
+                  &failure);
+    LOG(ERROR) << "differential mismatch [" << config.Name() << " | "
+               << DescribeSpec(failure.spec) << "]: " << mismatch
+               << (failure.replay_path.empty()
+                       ? ""
+                       : " (replay: " + failure.replay_path + ")");
+    report.failures.push_back(std::move(failure));
+    report.ok = false;
+  }
+  return report;
+}
+
+std::string FormatReplay(const DiffSpec& spec, const DiffConfig& config) {
+  std::ostringstream os;
+  os << "# flexstream differential replay\n"
+     << "# re-run with: FLEXSTREAM_DIFF_REPLAY=<this file> "
+     << "flexstream_differential_test\n"
+     << "seed=" << spec.seed << "\n"
+     << "node_count=" << spec.node_count << "\n"
+     << "source_count=" << spec.source_count << "\n"
+     << "second_input_probability=" << spec.second_input_probability << "\n"
+     << "feed_count=" << spec.feed_count << "\n"
+     << "max_burn_micros=" << spec.max_burn_micros << "\n"
+     << "mode=" << ExecutionModeToString(config.mode) << "\n"
+     << "strategy=" << StrategyKindToString(config.strategy) << "\n"
+     << "placement=" << PlacementKindToString(config.placement) << "\n"
+     << "queue_path=" << QueuePathModeToString(config.queue_path) << "\n"
+     << "ring_capacity=" << config.ring_capacity << "\n"
+     << "feed_before_start=" << (config.feed_before_start ? 1 : 0) << "\n"
+     << "fault=" << TestFaultToString(config.fault) << "\n";
+  return os.str();
+}
+
+bool ParseReplay(const std::string& text, DiffSpec* spec, DiffConfig* config,
+                 std::string* error) {
+  *spec = DiffSpec();
+  *config = DiffConfig();
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  auto fail = [error, &line_no](const std::string& why) {
+    if (error != nullptr) {
+      *error = "replay line " + std::to_string(line_no) + ": " + why;
+    }
+    return false;
+  };
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) return fail("expected key=value");
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    try {
+      if (key == "seed") {
+        spec->seed = std::stoull(value);
+      } else if (key == "node_count") {
+        spec->node_count = std::stoi(value);
+      } else if (key == "source_count") {
+        spec->source_count = std::stoi(value);
+      } else if (key == "second_input_probability") {
+        spec->second_input_probability = std::stod(value);
+      } else if (key == "feed_count") {
+        spec->feed_count = std::stoi(value);
+      } else if (key == "max_burn_micros") {
+        spec->max_burn_micros = std::stod(value);
+      } else if (key == "mode") {
+        if (!ExecutionModeFromString(value, &config->mode)) {
+          return fail("unknown mode '" + value + "'");
+        }
+      } else if (key == "strategy") {
+        if (!StrategyKindFromString(value, &config->strategy)) {
+          return fail("unknown strategy '" + value + "'");
+        }
+      } else if (key == "placement") {
+        if (!PlacementKindFromString(value, &config->placement)) {
+          return fail("unknown placement '" + value + "'");
+        }
+      } else if (key == "queue_path") {
+        if (!QueuePathModeFromString(value, &config->queue_path)) {
+          return fail("unknown queue_path '" + value + "'");
+        }
+      } else if (key == "ring_capacity") {
+        config->ring_capacity = std::stoull(value);
+      } else if (key == "feed_before_start") {
+        config->feed_before_start = std::stoi(value) != 0;
+      } else if (key == "fault") {
+        if (!TestFaultFromString(value, &config->fault)) {
+          return fail("unknown fault '" + value + "'");
+        }
+      } else {
+        return fail("unknown key '" + key + "'");
+      }
+    } catch (const std::exception& e) {
+      return fail("cannot parse value '" + value + "': " + e.what());
+    }
+  }
+  if (spec->node_count < spec->source_count + 1 || spec->source_count < 1 ||
+      spec->feed_count < 1) {
+    line_no = 0;
+    return fail("inconsistent spec values");
+  }
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+}  // namespace flexstream

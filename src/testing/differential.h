@@ -1,0 +1,144 @@
+// Differential correctness harness: scheduler-oblivious result checking.
+//
+// The paper's core semantic claim (Sections 3-4) is that scheduling
+// architecture — GTS, OTS, HMTS under any level-2 strategy — changes
+// performance but never results. This harness machine-checks that claim:
+// one seeded random executable graph (testing/executable_dag.h) is run to
+// completion under a matrix of execution configurations, and every
+// configuration's per-sink output is compared against a single-threaded
+// direct-interoperability golden run:
+//
+//  * every sink: the sorted multiset of output tuples must be identical
+//    (the schedule-independent notion of equality for merged streams);
+//  * sinks whose upstream is a pure chain from one source: the *exact
+//    output sequence* must match (FIFO queues and single-threaded
+//    partitions make any deviation a reordering bug).
+//
+// On a mismatch the harness shrinks the scenario (fewer nodes, fewer
+// elements) while the failure reproduces, then dumps the failing graph as
+// DOT plus a replay file; FLEXSTREAM_DIFF_REPLAY=<file> re-runs exactly
+// that scenario (see tests/harness/flexstream_differential_test.cc).
+
+#ifndef FLEXSTREAM_TESTING_DIFFERENTIAL_H_
+#define FLEXSTREAM_TESTING_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/stream_engine.h"
+#include "testing/executable_dag.h"
+
+namespace flexstream {
+
+/// A reproducible differential scenario: every RNG involved (topology,
+/// operator choice, input stream) derives from `seed`.
+struct DiffSpec {
+  uint64_t seed = 1;
+  int node_count = 16;
+  int source_count = 2;
+  /// Probability that a non-source node takes a second producer; 0 yields
+  /// a tree, where every sink is sequence-checked.
+  double second_input_probability = 0.15;
+  /// Data elements fed across all sources.
+  int feed_count = 600;
+  /// Cap on the per-element synthetic CPU burn (microseconds).
+  double max_burn_micros = 3.0;
+};
+
+/// One execution configuration of the matrix.
+struct DiffConfig {
+  ExecutionMode mode = ExecutionMode::kGts;
+  StrategyKind strategy = StrategyKind::kFifo;
+  PlacementKind placement = PlacementKind::kStallAvoiding;
+  QueuePathMode queue_path = QueuePathMode::kAuto;
+  size_t ring_capacity = QueueOp::kDefaultRingCapacity;
+  /// Feed every element (and EOS) before starting the workers: queues
+  /// absorb the whole stream, so the first drains run with full batches
+  /// (burst arrival). The default feeds concurrently with execution.
+  bool feed_before_start = false;
+  /// Mutation testing only: injected into every placed queue after
+  /// Configure. The harness must *fail* under any non-kNone fault.
+  QueueOp::TestFault fault = QueueOp::TestFault::kNone;
+
+  /// "gts+chain+auto" style identifier (placement only for HMTS, ring
+  /// capacity only when non-default, "+burst"/"+fault:..." when set).
+  std::string Name() const;
+};
+
+/// The golden configuration: single-threaded, queue-free DI execution.
+DiffConfig GoldenConfig();
+
+/// The standard matrix: {GTS, OTS, HMTS} crossed with the level-2
+/// strategies (FIFO, round-robin, Chain, Segment where applicable), the
+/// SPSC-ring vs forced-MPSC queue paths, a tiny-ring spillover variant,
+/// burst arrival, and the HMTS placement algorithms; plus single-threaded
+/// kDirect. ~25 configurations.
+std::vector<DiffConfig> DefaultConfigMatrix();
+
+/// Per-sink outputs of one run, in sink construction order.
+struct SinkOutputs {
+  std::vector<std::vector<Tuple>> per_sink;
+  /// Mirrors ExecutableDag::order_checked.
+  std::vector<bool> order_checked;
+  /// False when the run timed out instead of draining to EOS.
+  bool completed = true;
+};
+
+/// Builds the spec's graph and runs it to completion under `config`.
+SinkOutputs RunUnderConfig(const DiffSpec& spec, const DiffConfig& config);
+
+/// Empty string when candidate matches golden (multiset per sink, exact
+/// sequence for order-checked sinks); otherwise a human-readable
+/// description of the first difference.
+std::string CompareOutputs(const SinkOutputs& golden,
+                           const SinkOutputs& candidate);
+
+struct DiffFailure {
+  DiffSpec spec;  // shrunk when shrinking was enabled
+  DiffConfig config;
+  std::string message;
+  /// Artifact paths; empty when dumping was disabled or failed.
+  std::string dot_path;
+  std::string replay_path;
+};
+
+struct DiffReport {
+  bool ok = true;
+  std::vector<DiffFailure> failures;
+  /// Configurations compared (for coverage accounting).
+  size_t configs_run = 0;
+};
+
+struct DiffRunOptions {
+  bool shrink = true;
+  /// Re-runs per shrink candidate; a candidate counts as failing if any
+  /// attempt mismatches (thread schedules vary between attempts).
+  int shrink_retries = 2;
+  /// Where DOT + replay artifacts land. Empty: $FLEXSTREAM_DIFF_ARTIFACT_DIR,
+  /// falling back to "diff_failures" under the current directory.
+  std::string artifact_dir;
+};
+
+/// Runs golden once, then every configuration; shrinks and dumps each
+/// failure per `options`.
+DiffReport RunDifferential(const DiffSpec& spec,
+                           const std::vector<DiffConfig>& configs,
+                           const DiffRunOptions& options = {});
+
+/// Shrinks a failing (spec, config): repeatedly halves node and feed
+/// counts while the mismatch still reproduces within `retries` attempts.
+DiffSpec ShrinkFailingSpec(const DiffSpec& spec, const DiffConfig& config,
+                           int retries);
+
+/// Replay files: a commented key=value rendering of (spec, config).
+std::string FormatReplay(const DiffSpec& spec, const DiffConfig& config);
+bool ParseReplay(const std::string& text, DiffSpec* spec, DiffConfig* config,
+                 std::string* error);
+
+/// Builds the spec's ExecutableDag (used for DOT dumps and inspection).
+ExecutableDag BuildDagForSpec(const DiffSpec& spec);
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_TESTING_DIFFERENTIAL_H_

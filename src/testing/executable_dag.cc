@@ -1,0 +1,145 @@
+#include "testing/executable_dag.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+#include "api/query_builder.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace flexstream {
+namespace {
+
+/// True when every ancestor of `node` (inclusive) has at most one input
+/// edge — the output sequence of such a node is fully determined by its
+/// single source's push order under any correct scheduler.
+bool IsPureChainFromOneSource(const Node* node) {
+  const Node* current = node;
+  while (!current->is_source()) {
+    if (current->fan_in() != 1) return false;
+    current = current->inputs()[0].source;
+  }
+  return true;
+}
+
+}  // namespace
+
+ExecutableDag BuildExecutableDag(const ExecutableDagOptions& options,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  std::unique_ptr<QueryGraph> meta = GenerateRandomDag(options.dag, &rng);
+
+  ExecutableDag out;
+  out.graph = std::make_unique<QueryGraph>();
+  QueryBuilder qb(out.graph.get());
+
+  // Map every metadata node onto an executable endpoint, in generation
+  // order (producers always precede consumers).
+  std::unordered_map<const Node*, Node*> mapped;
+  for (Node* node : meta->nodes()) {
+    if (node->is_source()) {
+      Source* src = qb.AddSource(node->name());
+      src->SetInterarrivalMicros(node->InterarrivalMicros());
+      src->SetCostMicros(0.0);
+      src->SetSelectivity(1.0);
+      mapped[node] = src;
+      out.sources.push_back(src);
+      continue;
+    }
+    std::vector<Node*> producers;
+    producers.reserve(node->fan_in());
+    for (const auto& edge : node->inputs()) {
+      producers.push_back(mapped.at(edge.source));
+    }
+    CHECK(!producers.empty()) << node->DebugString();
+
+    // Fan-in nodes merge through a bag union first (order across inputs is
+    // scheduler-dependent, which is exactly what multiset comparison
+    // absorbs); the node's own logic then applies to the merged stream.
+    Node* upstream = producers[0];
+    if (producers.size() >= 2) {
+      UnionOp* merge = qb.Union(producers, node->name() + "_merge");
+      merge->SetCostMicros(0.2);
+      merge->SetSelectivity(1.0);
+      upstream = merge;
+    }
+
+    const double burn = std::min(node->CostMicros(), options.max_burn_micros);
+    Operator* op = nullptr;
+    switch (rng.NextU64(3)) {
+      case 0: {
+        // Threshold filter matching the metadata selectivity over the
+        // uniform value domain.
+        const int64_t threshold = std::clamp<int64_t>(
+            std::llround(node->Selectivity() * kExecutableDagValueDomain), 1,
+            kExecutableDagValueDomain);
+        Selection* sel = qb.Select(upstream, node->name(),
+                                   Selection::IntAttrLessThan(threshold));
+        sel->SetSelectivity(static_cast<double>(threshold) /
+                            kExecutableDagValueDomain);
+        op = sel;
+        break;
+      }
+      case 1: {
+        // Deterministic domain-preserving transform (31 is coprime with
+        // the domain, so uniformity — which downstream thresholds rely
+        // on — is preserved).
+        MapOp* map = qb.Map(upstream, node->name(), [](const Tuple& t) {
+          return Tuple::OfInt(
+              (t.IntAt(0) * 31 + 17) % kExecutableDagValueDomain,
+              t.timestamp());
+        });
+        map->SetSelectivity(1.0);
+        op = map;
+        break;
+      }
+      default: {
+        // Modulo filter: keeps values not divisible by `mod`.
+        const int64_t mod = 2 + static_cast<int64_t>(rng.NextU64(5));
+        Selection* sel =
+            qb.Select(upstream, node->name(), [mod](const Tuple& t) {
+              return t.IntAt(0) % mod != 0;
+            });
+        sel->SetSelectivity(static_cast<double>(mod - 1) /
+                            static_cast<double>(mod));
+        op = sel;
+        break;
+      }
+    }
+    op->SetCostMicros(node->CostMicros());
+    op->SetSimulatedCostMicros(burn);
+    mapped[node] = op;
+  }
+
+  // Every dangling endpoint — including a source no operator adopted —
+  // feeds a collecting sink so no generated work is unobserved.
+  int sink_id = 0;
+  for (Node* node : meta->nodes()) {
+    Node* endpoint = mapped.at(node);
+    if (endpoint->fan_out() == 0) {
+      out.sinks.push_back(
+          qb.CollectSink(endpoint, "sink" + std::to_string(sink_id++)));
+    }
+  }
+  for (const CollectingSink* sink : out.sinks) {
+    out.order_checked.push_back(IsPureChainFromOneSource(sink));
+  }
+  CHECK_OK(out.graph->Validate());
+  return out;
+}
+
+void FeedSources(const ExecutableDag& dag, uint64_t seed, int count) {
+  CHECK(!dag.sources.empty());
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  for (int i = 0; i < count; ++i) {
+    Source* src = dag.sources[static_cast<size_t>(
+        rng.NextU64(static_cast<uint64_t>(dag.sources.size())))];
+    src->Push(Tuple::OfInt(rng.UniformInt(0, kExecutableDagValueDomain - 1),
+                           /*timestamp=*/i));
+  }
+  for (Source* src : dag.sources) src->Close(count);
+}
+
+}  // namespace flexstream

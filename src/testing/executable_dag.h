@@ -1,0 +1,80 @@
+// Executable random query graphs for the differential correctness harness.
+//
+// graph/random_dag.h generates metadata-only planning DAGs (PassiveOp
+// nodes whose Process must never run). The differential harness needs the
+// same randomized topologies *executable*: BuildExecutableDag maps a
+// generated metadata DAG node-for-node onto deterministic operators —
+// threshold/modulo Selections whose pass rate matches the node's
+// selectivity metadata, domain-preserving Maps, and UnionOps for fan-in
+// nodes — and attaches a CollectingSink to every dangling endpoint. Each
+// operator gets a deterministic synthetic CPU burn
+// (Operator::SetSimulatedCostMicros) derived from the metadata cost, so
+// scheduled executions exhibit realistic interleavings.
+//
+// Everything is a pure function of (options, seed): the same seed yields
+// the same topology, the same operator logic, and (via FeedSources) the
+// same input stream — the reproducibility the harness's replay files rely
+// on.
+
+#ifndef FLEXSTREAM_TESTING_EXECUTABLE_DAG_H_
+#define FLEXSTREAM_TESTING_EXECUTABLE_DAG_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/query_graph.h"
+#include "graph/random_dag.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+
+namespace flexstream {
+
+/// Value domain of generated tuples: integer attribute 0 in [0, domain).
+/// Threshold selections use it to turn a selectivity into an exact
+/// predicate; maps are built to preserve it.
+inline constexpr int64_t kExecutableDagValueDomain = 1000;
+
+struct ExecutableDagOptions {
+  /// Topology + metadata generation (graph/random_dag.h). Executable
+  /// graphs default to small sizes and guaranteed source connectivity.
+  RandomDagOptions dag;
+  /// Per-element synthetic CPU burn is min(metadata cost, this cap), so a
+  /// metadata cost drawn in milliseconds cannot make a test run minutes.
+  double max_burn_micros = 3.0;
+
+  ExecutableDagOptions() {
+    dag.node_count = 16;
+    dag.source_count = 2;
+    dag.connect_all_sources = true;
+    dag.min_cost_micros = 0.2;
+    dag.max_cost_micros = 50.0;
+  }
+};
+
+struct ExecutableDag {
+  std::unique_ptr<QueryGraph> graph;
+  /// In generation order; FeedSources drives them.
+  std::vector<Source*> sources;
+  /// One per dangling endpoint, in deterministic construction order.
+  std::vector<CollectingSink*> sinks;
+  /// Per sink: true when every ancestor has fan-in <= 1 (a pure chain
+  /// from a single source), in which case any correct scheduler must
+  /// reproduce the golden run's *exact output sequence*, not just its
+  /// multiset (queues are FIFO and partitions are single-threaded).
+  std::vector<bool> order_checked;
+};
+
+/// Deterministically builds an executable graph for (options, seed).
+ExecutableDag BuildExecutableDag(const ExecutableDagOptions& options,
+                                 uint64_t seed);
+
+/// Pushes `count` data elements with unique increasing timestamps and
+/// values uniform in [0, kExecutableDagValueDomain), interleaved across
+/// the sources by a seeded RNG, then closes every source. Deterministic
+/// for (dag, seed, count). Must be called from a single thread.
+void FeedSources(const ExecutableDag& dag, uint64_t seed, int count);
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_TESTING_EXECUTABLE_DAG_H_

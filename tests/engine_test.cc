@@ -5,60 +5,17 @@
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
-
 #include "api/query_builder.h"
+#include "test_util.h"
 #include "workload/rate_source.h"
 
 namespace flexstream {
 namespace {
 
-// src -> sel(keep < 700) -> map(*2) -> sel(even after doubling: always) ->
-// sink, over 1000 uniform ints: a small but non-trivial pipeline.
-struct PipelineFixture {
-  QueryGraph graph;
-  QueryBuilder qb{&graph};
-  Source* src;
-  CollectingSink* sink;
-
-  PipelineFixture() {
-    src = qb.AddSource("src");
-    src->SetInterarrivalMicros(100.0);
-    src->SetSelectivity(1.0);
-    Node* sel = qb.Select(src, "keep", Selection::IntAttrLessThan(700));
-    sel->SetSelectivity(0.7);
-    sel->SetCostMicros(1.0);
-    Node* map = qb.Map(sel, "double", [](const Tuple& t) {
-      return Tuple::OfInt(t.IntAt(0) * 2, t.timestamp());
-    });
-    map->SetSelectivity(1.0);
-    map->SetCostMicros(1.0);
-    sink = qb.CollectSink(map, "sink");
-  }
-
-  // Values are random, so the number passing the <700 filter is a property
-  // of the seed; track it while feeding.
-  size_t expected_results = 0;
-
-  void PushRandom(Rng* rng, int begin, int end) {
-    for (int i = begin; i < end; ++i) {
-      const int64_t v = rng->UniformInt(0, 999);
-      if (v < 700) ++expected_results;
-      src->Push(Tuple::OfInt(v, i));
-    }
-  }
-
-  void Feed() {
-    Rng rng(7);
-    PushRandom(&rng, 0, 1000);
-    src->Close(1000);
-  }
-};
-
-std::vector<Tuple> Sorted(std::vector<Tuple> v) {
-  std::sort(v.begin(), v.end());
-  return v;
-}
+// src -> sel(keep < 700) -> map(*2) -> sink over 1000 uniform ints: the
+// shared small-but-non-trivial pipeline (tests/harness/test_util.h).
+using PipelineFixture = testutil::LinearPipelineFixture;
+using testutil::Sorted;
 
 std::vector<Tuple> RunMode(ExecutionMode mode, StrategyKind strategy,
                            PlacementKind placement,

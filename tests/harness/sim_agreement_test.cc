@@ -1,0 +1,122 @@
+// Simulator vs real execution agreement (satellite of the differential
+// tier): for pipelines whose predicates match the simulator's fractional
+// selectivity credits *exactly*, the virtual-time simulator and a real
+// scheduled execution must report identical sink tuple counts.
+//
+// The trick: the simulator forwards floor(accumulated selectivity)
+// elements. A modulo predicate over a sequential input stream (values
+// 0, 1, 2, ... m-1, 0, 1, ...) passes exactly sel * n elements whenever
+// m divides into the stream length — so real counts equal simulated
+// counts with no tolerance.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "api/query_builder.h"
+#include "api/stream_engine.h"
+#include "sim/simulator.h"
+
+namespace flexstream {
+namespace {
+
+constexpr int kCount = 1000;
+
+// src -> even (v%2==0, sel 0.5) -> tenth (v%10==0, sel 0.2) -> sink.
+// Sequential input 0..999: 500 evens, of which 100 are multiples of 10.
+struct ModuloChain {
+  QueryGraph graph;
+  Source* src;
+  Node* even;
+  Node* tenth;
+  CountingSink* sink;
+
+  ModuloChain() {
+    QueryBuilder qb(&graph);
+    src = qb.AddSource("src");
+    src->SetInterarrivalMicros(10.0);
+    even = qb.Select(src, "even",
+                     [](const Tuple& t) { return t.IntAt(0) % 2 == 0; });
+    even->SetSelectivity(0.5);
+    even->SetCostMicros(1.0);
+    tenth = qb.Select(even, "tenth",
+                      [](const Tuple& t) { return t.IntAt(0) % 10 == 0; });
+    tenth->SetSelectivity(0.2);  // 100 of the 500 evens end in 0
+    tenth->SetCostMicros(1.0);
+    sink = qb.CountSink(tenth, "sink");
+    sink->SetCostMicros(0.0);
+    sink->SetSelectivity(1.0);
+  }
+
+  void Feed() {
+    for (int i = 0; i < kCount; ++i) src->Push(Tuple::OfInt(i, i));
+    src->Close(kCount);
+  }
+};
+
+/// `make` maps the fixture's graph to a thread configuration
+/// (MakeGtsConfig / MakeOtsConfig / MakeDirectConfig).
+int64_t SimulatedResults(std::vector<SimThread> (*make)(const QueryGraph&)) {
+  ModuloChain fx;
+  const std::unordered_map<const Node*, std::vector<SimPhase>> schedules = {
+      {fx.src, {{kCount, 100'000.0}}}};
+  auto result = Simulate(fx.graph, schedules, make(fx.graph), SimOptions());
+  EXPECT_TRUE(result.ok());
+  return result.ok() ? result->results : -1;
+}
+
+int64_t RealResults(ExecutionMode mode) {
+  ModuloChain fx;
+  StreamEngine engine(&fx.graph);
+  EngineOptions opt;
+  opt.mode = mode;
+  EXPECT_TRUE(engine.Configure(opt).ok());
+  if (mode != ExecutionMode::kSourceDriven) {
+    EXPECT_TRUE(engine.Start().ok());
+  }
+  fx.Feed();
+  engine.WaitUntilFinished();
+  return fx.sink->count();
+}
+
+TEST(SimAgreementTest, SimulatorConfigsAgreeWithEachOther) {
+  EXPECT_EQ(SimulatedResults(MakeGtsConfig), 100);
+  EXPECT_EQ(SimulatedResults(MakeOtsConfig), 100);
+  EXPECT_EQ(SimulatedResults(MakeDirectConfig), 100);
+}
+
+TEST(SimAgreementTest, RealExecutionMatchesSimulatedCounts) {
+  const int64_t simulated = SimulatedResults(MakeGtsConfig);
+  ASSERT_EQ(simulated, 100);
+  for (ExecutionMode mode :
+       {ExecutionMode::kSourceDriven, ExecutionMode::kDirect,
+        ExecutionMode::kGts, ExecutionMode::kOts, ExecutionMode::kHmts}) {
+    EXPECT_EQ(RealResults(mode), simulated) << ExecutionModeToString(mode);
+  }
+}
+
+TEST(SimAgreementTest, AgreementInvariantToSimulatorKnobs) {
+  // Counts are a semantic property: neither the strategy nor the CPU
+  // budget of the simulated configuration may change them.
+  ModuloChain fx;
+  const std::unordered_map<const Node*, std::vector<SimPhase>> schedules = {
+      {fx.src, {{kCount, 100'000.0}}}};
+  for (StrategyKind strategy :
+       {StrategyKind::kFifo, StrategyKind::kRoundRobin, StrategyKind::kChain,
+        StrategyKind::kSegment}) {
+    for (int cpus : {1, 2}) {
+      SimOptions opt;
+      opt.strategy = strategy;
+      opt.cpus = cpus;
+      auto result =
+          Simulate(fx.graph, schedules, MakeOtsConfig(fx.graph), opt);
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(result->results, 100)
+          << StrategyKindToString(strategy) << "/" << cpus << " cpus";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flexstream

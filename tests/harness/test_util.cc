@@ -1,0 +1,53 @@
+#include "test_util.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace flexstream {
+namespace testutil {
+
+std::vector<Tuple> Sorted(std::vector<Tuple> tuples) {
+  std::sort(tuples.begin(), tuples.end());
+  return tuples;
+}
+
+QueueRig::QueueRig(size_t ring_capacity) {
+  src = graph.Add<Source>("src");
+  queue = graph.Add<QueueOp>("q", ring_capacity);
+  sink = graph.Add<CollectingSink>("sink");
+  EXPECT_TRUE(graph.Connect(src, queue).ok());
+  EXPECT_TRUE(graph.Connect(queue, sink).ok());
+}
+
+LinearPipelineFixture::LinearPipelineFixture() {
+  src = qb.AddSource("src");
+  src->SetInterarrivalMicros(100.0);
+  src->SetSelectivity(1.0);
+  Node* sel = qb.Select(src, "keep", Selection::IntAttrLessThan(700));
+  sel->SetSelectivity(0.7);
+  sel->SetCostMicros(1.0);
+  Node* map = qb.Map(sel, "double", [](const Tuple& t) {
+    return Tuple::OfInt(t.IntAt(0) * 2, t.timestamp());
+  });
+  map->SetSelectivity(1.0);
+  map->SetCostMicros(1.0);
+  sink = qb.CollectSink(map, "sink");
+}
+
+void LinearPipelineFixture::PushRandom(Rng* rng, int begin, int end) {
+  for (int i = begin; i < end; ++i) {
+    const int64_t v = rng->UniformInt(0, 999);
+    if (v < 700) ++expected_results;
+    src->Push(Tuple::OfInt(v, i));
+  }
+}
+
+void LinearPipelineFixture::Feed() {
+  Rng rng(7);
+  PushRandom(&rng, 0, 1000);
+  src->Close(1000);
+}
+
+}  // namespace testutil
+}  // namespace flexstream

@@ -1,0 +1,65 @@
+// Shared fixtures and helpers for flexstream tests.
+//
+// Promoted out of individual test files so the execution-facing tests
+// (engine, queue, random-pipeline, differential harness) agree on one
+// definition of "sorted results", one source->queue->sink rig, and one
+// small reference pipeline.
+
+#ifndef FLEXSTREAM_TESTS_HARNESS_TEST_UTIL_H_
+#define FLEXSTREAM_TESTS_HARNESS_TEST_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "api/query_builder.h"
+#include "graph/query_graph.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "queue/queue_op.h"
+#include "util/random.h"
+
+namespace flexstream {
+namespace testutil {
+
+/// Sorted copy (Tuple::operator<): the schedule-independent multiset view
+/// of a sink's output.
+std::vector<Tuple> Sorted(std::vector<Tuple> tuples);
+
+/// src -> queue -> collecting sink, drained manually. The default ring
+/// capacity keeps the queue in its production configuration; pass a tiny
+/// capacity to exercise ring-full spillover.
+struct QueueRig {
+  QueryGraph graph;
+  Source* src;
+  QueueOp* queue;
+  CollectingSink* sink;
+
+  explicit QueueRig(size_t ring_capacity = QueueOp::kDefaultRingCapacity);
+};
+
+/// src -> sel(keep < 700) -> map(*2) -> sink over uniform ints in
+/// [0, 1000): a small but non-trivial pipeline whose expected result count
+/// is tracked while feeding (values are random, so the number passing the
+/// filter is a property of the seed).
+struct LinearPipelineFixture {
+  QueryGraph graph;
+  QueryBuilder qb{&graph};
+  Source* src;
+  CollectingSink* sink;
+  size_t expected_results = 0;
+
+  LinearPipelineFixture();
+
+  /// Pushes elements [begin, end) with values from `rng`, updating
+  /// expected_results.
+  void PushRandom(Rng* rng, int begin, int end);
+
+  /// Pushes 1000 elements from a fixed seed, then closes the source.
+  void Feed();
+};
+
+}  // namespace testutil
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_TESTS_HARNESS_TEST_UTIL_H_

@@ -10,24 +10,13 @@
 #include "graph/query_graph.h"
 #include "operators/sink.h"
 #include "operators/source.h"
+#include "test_util.h"
 
 namespace flexstream {
 namespace {
 
-struct QueueRig {
-  QueryGraph graph;
-  Source* src;
-  QueueOp* queue;
-  CollectingSink* sink;
-
-  QueueRig() {
-    src = graph.Add<Source>("src");
-    queue = graph.Add<QueueOp>("q");
-    sink = graph.Add<CollectingSink>("sink");
-    EXPECT_TRUE(graph.Connect(src, queue).ok());
-    EXPECT_TRUE(graph.Connect(queue, sink).ok());
-  }
-};
+// src -> queue -> sink, drained manually (tests/harness/test_util.h).
+using QueueRig = testutil::QueueRig;
 
 TEST(QueueOpTest, BuffersUntilDrained) {
   QueueRig rig;

@@ -20,19 +20,18 @@
 #include "queue/queue_op.h"
 #include "sched/partition.h"
 #include "sched/strategy.h"
+#include "test_util.h"
 
 namespace flexstream {
 namespace {
 
 TEST(QueueSpscStressTest, ProducerConsumerThroughTinyRing) {
-  QueryGraph g;
-  Source* src = g.Add<Source>("src");
   // Tiny ring so the stress constantly crosses the overflow boundary in
   // both directions.
-  QueueOp* q = g.Add<QueueOp>("q", /*ring_capacity=*/16);
-  CollectingSink* sink = g.Add<CollectingSink>("sink");
-  ASSERT_TRUE(g.Connect(src, q).ok());
-  ASSERT_TRUE(g.Connect(q, sink).ok());
+  testutil::QueueRig rig(/*ring_capacity=*/16);
+  Source* src = rig.src;
+  QueueOp* q = rig.queue;
+  CollectingSink* sink = rig.sink;
 
   // Mode selection via the placement annotation: one producing source.
   AnnotateSingleProducerQueues({q}, nullptr);

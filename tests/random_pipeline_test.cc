@@ -8,10 +8,9 @@
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
-
 #include "api/query_builder.h"
 #include "api/stream_engine.h"
+#include "test_util.h"
 #include "util/random.h"
 
 namespace flexstream {
@@ -115,9 +114,7 @@ std::vector<std::vector<Tuple>> RunAllSinks(uint64_t seed,
   engine.WaitUntilFinished();
   std::vector<std::vector<Tuple>> results;
   for (CollectingSink* sink : pipeline.sinks) {
-    auto r = sink->TakeResults();
-    std::sort(r.begin(), r.end());
-    results.push_back(std::move(r));
+    results.push_back(testutil::Sorted(sink->TakeResults()));
   }
   return results;
 }
