@@ -91,7 +91,16 @@ StreamEngine::StreamEngine(QueryGraph* graph) : graph_(graph) {
   CHECK(graph != nullptr);
 }
 
-StreamEngine::~StreamEngine() { Stop(); }
+StreamEngine::~StreamEngine() {
+  Stop();
+  // Operators hold a raw pointer to run_status_; the graph outlives the
+  // engine, so detach before the member dies.
+  for (Node* node : graph_->nodes()) {
+    if (Operator* op = dynamic_cast<Operator*>(node)) {
+      op->SetRunStatus(nullptr);
+    }
+  }
+}
 
 void StreamEngine::CollectSinks() {
   sinks_.clear();
@@ -215,6 +224,7 @@ Status StreamEngine::BuildExecutors(const EngineOptions& options) {
     case ExecutionMode::kGts:
       gts_ = std::make_unique<GtsExecutor>(queues_, options.strategy,
                                            options.partition);
+      gts_->SetRunStatus(&run_status_);
       return Status::Ok();
     case ExecutionMode::kOts:
       // Sinks run via DI inside their producers' operator threads; a sink
@@ -228,6 +238,7 @@ Status StreamEngine::BuildExecutors(const EngineOptions& options) {
         }
       }
       ots_ = std::make_unique<OtsExecutor>(queues_, options.partition);
+      ots_->SetRunStatus(&run_status_);
       return Status::Ok();
     case ExecutionMode::kHmts: {
       CHECK(partitioning_ != nullptr);
@@ -256,6 +267,7 @@ Status StreamEngine::BuildExecutors(const EngineOptions& options) {
       }
       hmts_ = std::make_unique<HmtsExecutor>(std::move(specs), options.ts,
                                              options.partition);
+      hmts_->SetRunStatus(&run_status_);
       return Status::Ok();
     }
   }
@@ -295,6 +307,22 @@ Status StreamEngine::Configure(const EngineOptions& options) {
   } else {
     AnnotateSingleProducerQueues(queues_, partitioning_.get());
   }
+  // Bounds are applied *after* the single-producer annotation so a
+  // kShedOldest bound's forced MPSC path is not re-annotated away.
+  if (options.queue_max_elements != 0) {
+    for (QueueOp* queue : queues_) {
+      queue->SetBound(options.queue_max_elements, options.overload_policy,
+                      options.block_wait_timeout);
+    }
+  }
+  // Every operator (queues included — their kBlock waits poll it) reports
+  // failures into the engine's run status.
+  run_status_.Reset();
+  for (Node* node : graph_->nodes()) {
+    if (Operator* op = dynamic_cast<Operator*>(node)) {
+      op->SetRunStatus(&run_status_);
+    }
+  }
 
   s = BuildExecutors(options);
   if (!s.ok()) return s;
@@ -324,8 +352,21 @@ bool StreamEngine::AllPartitionsDone() const {
 }
 
 void StreamEngine::WaitUntilFinished() {
-  for (Sink* sink : sinks_) sink->WaitUntilClosed();
+  // Sliced sink waits so a mid-run operator failure ends the wait instead
+  // of hanging forever on a sink that will never close.
+  for (Sink* sink : sinks_) {
+    while (!sink->WaitUntilClosedFor(std::chrono::milliseconds(10))) {
+      if (run_status_.failed()) {
+        AbortOnFailure();
+        return;
+      }
+    }
+  }
   while (!AllPartitionsDone()) {
+    if (run_status_.failed()) {
+      AbortOnFailure();
+      return;
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   Stop();
@@ -334,18 +375,58 @@ void StreamEngine::WaitUntilFinished() {
 bool StreamEngine::WaitUntilFinishedFor(Duration timeout) {
   const TimePoint deadline = Now() + timeout;
   for (Sink* sink : sinks_) {
-    const Duration remaining = deadline - Now();
-    if (remaining <= Duration::zero() ||
-        !sink->WaitUntilClosedFor(remaining)) {
-      return false;
+    while (true) {
+      const Duration remaining = deadline - Now();
+      if (remaining <= Duration::zero()) {
+        LOG(WARNING) << "WaitUntilFinishedFor timed out waiting for sink '"
+                     << sink->name() << "'; partition snapshot:\n"
+                     << DiagnosticSnapshot();
+        return false;
+      }
+      const Duration slice =
+          std::min<Duration>(remaining, std::chrono::milliseconds(10));
+      if (sink->WaitUntilClosedFor(slice)) break;
+      if (run_status_.failed()) {
+        AbortOnFailure();
+        return true;  // run over (abnormally) — see RunResult()
+      }
     }
   }
   while (!AllPartitionsDone()) {
-    if (Now() >= deadline) return false;
+    if (run_status_.failed()) {
+      AbortOnFailure();
+      return true;
+    }
+    if (Now() >= deadline) {
+      LOG(WARNING) << "WaitUntilFinishedFor timed out waiting for "
+                      "partitions to drain; partition snapshot:\n"
+                   << DiagnosticSnapshot();
+      return false;
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   Stop();
   return true;
+}
+
+void StreamEngine::AbortOnFailure() {
+  for (QueueOp* q : queues_) q->CancelProducerWaits();
+  Stop();
+}
+
+std::string StreamEngine::DiagnosticSnapshot() {
+  std::vector<Partition*> partitions;
+  if (gts_ != nullptr) partitions = gts_->Partitions();
+  if (ots_ != nullptr) partitions = ots_->Partitions();
+  if (hmts_ != nullptr) partitions = hmts_->Partitions();
+  if (partitions.empty()) return "  (no scheduled partitions)\n";
+  return DescribePartitions(partitions);
+}
+
+int64_t StreamEngine::DroppedElements() const {
+  int64_t total = 0;
+  for (const QueueOp* q : queues_) total += q->dropped();
+  return total;
 }
 
 void StreamEngine::Stop() {
@@ -413,6 +494,7 @@ Status StreamEngine::Deconfigure() {
   for (Node* node : graph_->nodes()) {
     if (Operator* op = dynamic_cast<Operator*>(node)) {
       op->SetSerializedReceive(false);
+      op->SetRunStatus(nullptr);
     }
   }
   gts_.reset();

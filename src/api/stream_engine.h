@@ -40,6 +40,7 @@
 #include "queue/queue_op.h"
 #include "sched/gts.h"
 #include "sched/ots.h"
+#include "util/run_status.h"
 #include "util/status.h"
 
 namespace flexstream {
@@ -77,6 +78,14 @@ struct EngineOptions {
   /// spillover + seq-merge drain path on every few elements — the
   /// differential harness and spill regression tests rely on that.
   size_t queue_ring_capacity = QueueOp::kDefaultRingCapacity;
+  /// Hard element budget applied to every placed queue; 0 (the default)
+  /// keeps queues unbounded. See QueueOp::SetBound.
+  size_t queue_max_elements = 0;
+  /// What producers do when a bounded queue is full.
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+  /// Per-wait cap for kBlock producers; on expiry the element overruns the
+  /// bound instead of risking a cross-partition deadlock.
+  Duration block_wait_timeout = std::chrono::seconds(2);
   Partition::Options partition;
   ThreadScheduler::Options ts;
 };
@@ -99,10 +108,15 @@ class StreamEngine {
   Status Start();
 
   /// Blocks until every sink has seen EOS and every partition has fully
-  /// drained, then stops the workers.
+  /// drained, then stops the workers. If any operator fails mid-run the
+  /// wait ends early: the engine cancels blocked producers, stops the
+  /// workers, and returns — the error is surfaced via RunResult().
   void WaitUntilFinished();
 
-  /// Bounded variant; returns false on timeout (workers keep running).
+  /// Bounded variant; returns false on timeout (workers keep running; a
+  /// partition/queue-depth snapshot is logged for diagnosis). Returns true
+  /// when the run ended — normally or by operator failure (check
+  /// RunResult()).
   bool WaitUntilFinishedFor(Duration timeout);
 
   /// Stops partition workers without requiring completion.
@@ -126,6 +140,20 @@ class StreamEngine {
   const EngineOptions& options() const { return options_; }
   bool configured() const { return configured_; }
   bool started() const { return started_; }
+
+  /// The run's outcome so far: Ok while healthy; otherwise the *first*
+  /// operator failure, prefixed with the failing operator's name. Never
+  /// aborts the process — robustness runs inspect this after the wait.
+  Status RunResult() const { return run_status_.first(); }
+  RunStatus* run_status() { return &run_status_; }
+
+  /// Per-partition snapshot (queue depths, drained counts, last-scheduled
+  /// queue) of the current configuration. Logged on wait timeouts; exposed
+  /// for tests and external diagnostics.
+  std::string DiagnosticSnapshot();
+
+  /// Total elements shed across all bounded queues (both policies).
+  int64_t DroppedElements() const;
 
   const std::vector<QueueOp*>& queues() const { return queues_; }
 
@@ -153,8 +181,13 @@ class StreamEngine {
   Status BuildExecutors(const EngineOptions& options);
   bool AllPartitionsDone() const;
   void CollectSinks();
+  /// Failure teardown: unblocks kBlock producers (so no feeding thread
+  /// stays wedged behind a partition that will never drain) and stops the
+  /// workers.
+  void AbortOnFailure();
 
   QueryGraph* graph_;
+  RunStatus run_status_;
   EngineOptions options_;
   bool configured_ = false;
   bool started_ = false;

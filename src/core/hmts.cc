@@ -31,14 +31,29 @@ void HmtsExecutor::Start() {
   CHECK(!started_) << "HmtsExecutor already started";
   started_ = true;
   for (auto& p : partitions_) p->Start();
+  if (ts_.options().watchdog_interval > Duration::zero()) {
+    ts_.StartWatchdog(Partitions());
+  }
 }
 
 void HmtsExecutor::RequestStop() {
+  ts_.StopWatchdog();
   for (auto& p : partitions_) p->RequestStop();
 }
 
 void HmtsExecutor::Join() {
   for (auto& p : partitions_) p->Join();
+}
+
+void HmtsExecutor::SetRunStatus(RunStatus* run_status) {
+  for (auto& p : partitions_) p->SetRunStatus(run_status);
+}
+
+std::vector<Partition*> HmtsExecutor::Partitions() {
+  std::vector<Partition*> out;
+  out.reserve(partitions_.size());
+  for (auto& p : partitions_) out.push_back(p.get());
+  return out;
 }
 
 bool HmtsExecutor::Done() const {

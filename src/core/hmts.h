@@ -37,6 +37,9 @@ class HmtsExecutor {
                Partition::Options partition_options = {});
   ~HmtsExecutor();
 
+  /// Starts all partition workers; when the ThreadScheduler options carry
+  /// a nonzero watchdog_interval, also starts the no-progress watchdog
+  /// over the partitions.
   void Start();
   void RequestStop();
   void Join();
@@ -45,6 +48,13 @@ class HmtsExecutor {
   size_t partition_count() const { return partitions_.size(); }
   Partition& partition(size_t i) { return *partitions_[i]; }
   ThreadScheduler& thread_scheduler() { return ts_; }
+
+  /// Attaches the run's failure collector to every partition (each run
+  /// loop then exits early once any operator fails). Call before Start.
+  void SetRunStatus(RunStatus* run_status);
+
+  /// Raw partition pointers, for diagnostics (DescribePartitions).
+  std::vector<Partition*> Partitions();
 
   /// Runtime priority adjustment (Section 4.2.2: priorities "can be
   /// adapted during runtime").

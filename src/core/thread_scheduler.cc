@@ -15,6 +15,75 @@ ThreadScheduler::ThreadScheduler(Options options) : options_(options) {
                      : std::max(1u, std::thread::hardware_concurrency());
 }
 
+ThreadScheduler::~ThreadScheduler() { StopWatchdog(); }
+
+void ThreadScheduler::StartWatchdog(std::vector<Partition*> partitions) {
+  CHECK(options_.watchdog_interval > Duration::zero())
+      << "StartWatchdog requires a nonzero watchdog_interval";
+  CHECK(!watchdog_thread_.joinable()) << "watchdog already running";
+  watched_ = std::move(partitions);
+  watchdog_stop_.store(false, std::memory_order_release);
+  watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
+}
+
+void ThreadScheduler::StopWatchdog() {
+  if (!watchdog_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    watchdog_stop_.store(true, std::memory_order_release);
+  }
+  watchdog_cv_.notify_all();
+  watchdog_thread_.join();
+}
+
+std::string ThreadScheduler::LastStallReport() const {
+  std::lock_guard<std::mutex> lock(watchdog_mutex_);
+  return last_stall_report_;
+}
+
+void ThreadScheduler::WatchdogLoop() {
+  std::vector<int64_t> last_drained(watched_.size(), -1);
+  std::vector<int> stalled_for(watched_.size(), 0);
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(watchdog_mutex_);
+      watchdog_cv_.wait_for(lock, options_.watchdog_interval, [&] {
+        return watchdog_stop_.load(std::memory_order_acquire);
+      });
+    }
+    if (watchdog_stop_.load(std::memory_order_acquire)) return;
+    bool any_stalled = false;
+    for (size_t i = 0; i < watched_.size(); ++i) {
+      Partition* p = watched_[i];
+      const int64_t drained = p->drained();
+      const bool progressed = drained != last_drained[i];
+      last_drained[i] = drained;
+      // A stall is "has work, made none of it disappear": partitions that
+      // are done, or empty-and-waiting on open inputs, are merely idle.
+      if (progressed || p->Done() || p->QueuedElements() == 0) {
+        stalled_for[i] = 0;
+        continue;
+      }
+      if (++stalled_for[i] >= options_.watchdog_stall_intervals) {
+        any_stalled = true;
+      }
+    }
+    if (any_stalled) {
+      const std::string report = DescribePartitions(watched_);
+      stall_events_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(watchdog_mutex_);
+        last_stall_report_ = report;
+      }
+      LOG(WARNING) << "watchdog: partition(s) with queued work made no "
+                      "drain progress for "
+                   << options_.watchdog_stall_intervals
+                   << " interval(s):\n"
+                   << report;
+    }
+  }
+}
+
 void ThreadScheduler::Register(Partition* partition, double priority) {
   std::lock_guard<std::mutex> lock(mutex_);
   Info& info = infos_[partition];

@@ -23,8 +23,12 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "util/clock.h"
 
@@ -42,10 +46,20 @@ class ThreadScheduler {
     /// Effective-priority boost per second of waiting (starvation
     /// prevention). 0 disables aging.
     double aging_per_second = 1.0;
+    /// Watchdog sampling period; zero (the default) disables the watchdog.
+    /// Must comfortably exceed the partitions' idle_poll so a lost wakeup
+    /// recovered by the poll failsafe is not misreported as a stall.
+    Duration watchdog_interval{};
+    /// Consecutive no-progress samples before a partition with queued work
+    /// is declared stalled.
+    int watchdog_stall_intervals = 2;
   };
 
   explicit ThreadScheduler(Options options);
   ThreadScheduler() : ThreadScheduler(Options()) {}
+
+  /// Stops the watchdog thread, if running.
+  ~ThreadScheduler();
 
   ThreadScheduler(const ThreadScheduler&) = delete;
   ThreadScheduler& operator=(const ThreadScheduler&) = delete;
@@ -79,6 +93,30 @@ class ThreadScheduler {
   int running_count() const;
   int waiting_count() const;
   int max_running() const { return max_running_; }
+  const Options& options() const { return options_; }
+
+  /// Starts the no-progress watchdog over `partitions` (requires a nonzero
+  /// Options::watchdog_interval). Every interval it samples each
+  /// partition's drained() counter; a partition that still has queued work,
+  /// is not Done(), and shows no drain progress for
+  /// `watchdog_stall_intervals` consecutive samples is reported as stalled:
+  /// a warning with the full DescribePartitions() snapshot (per-queue
+  /// depths + last-scheduled queue) is logged and stall_events()
+  /// increments. Partitions idling at open inputs or done at EOS are never
+  /// reported — no work is not no progress.
+  void StartWatchdog(std::vector<Partition*> partitions);
+
+  /// Stops and joins the watchdog thread. Idempotent.
+  void StopWatchdog();
+
+  /// Stall events reported since StartWatchdog.
+  int64_t stall_events() const {
+    return stall_events_.load(std::memory_order_relaxed);
+  }
+
+  /// The most recent stall report ("" when none) — partition snapshot text
+  /// as logged. For tests and engine diagnostics.
+  std::string LastStallReport() const;
 
  private:
   struct Info {
@@ -94,6 +132,7 @@ class ThreadScheduler {
   /// Grants free slots to the best waiters and raises preempt flags;
   /// caller holds mutex_.
   void Rebalance(TimePoint now);
+  void WatchdogLoop();
 
   Options options_;
   int max_running_;
@@ -109,6 +148,15 @@ class ThreadScheduler {
   // preempt flags.
   std::atomic<int> waiting_count_fast_{0};
   std::atomic<int> preempt_pending_{0};
+
+  // --- watchdog ----------------------------------------------------------
+  std::thread watchdog_thread_;
+  std::vector<Partition*> watched_;
+  std::atomic<bool> watchdog_stop_{false};
+  std::atomic<int64_t> stall_events_{0};
+  mutable std::mutex watchdog_mutex_;  // guards the stop cv + last report
+  std::condition_variable watchdog_cv_;
+  std::string last_stall_report_;
 };
 
 }  // namespace flexstream

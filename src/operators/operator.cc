@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "util/busy_work.h"
 #include "util/logging.h"
@@ -31,6 +33,50 @@ Operator::Operator(Kind kind, std::string name, int input_arity)
 
 void Operator::SetSimulatedCostMicros(double micros) {
   simulated_cost_micros_ = micros;
+}
+
+void Operator::SetFaultHook(FaultHook hook) {
+  fault_hook_ = hook ? std::make_shared<const FaultHook>(std::move(hook))
+                     : nullptr;
+}
+
+void Operator::Fail(Status status) {
+  if (failed_.exchange(true, std::memory_order_acq_rel)) return;
+  if (run_status_ != nullptr) {
+    run_status_->Report(status, name());
+  } else {
+    LOG(ERROR) << DebugString() << " failed with no RunStatus attached: "
+               << status;
+  }
+}
+
+bool Operator::PassesFaultHook(const Tuple& tuple, int port) {
+  // Copy the shared_ptr so a concurrent SetFaultHook(nullptr) from a
+  // teardown path cannot free the function mid-call.
+  const std::shared_ptr<const FaultHook> hook = fault_hook_;
+  if (hook == nullptr) return true;
+  for (int attempt = 0;; ++attempt) {
+    switch ((*hook)(*this, tuple, port, attempt)) {
+      case FaultAction::kProceed:
+        return true;
+      case FaultAction::kPermanentFailure:
+        Fail(Status::Internal("permanent fault while processing element"));
+        return false;
+      case FaultAction::kTransientFailure:
+        if (attempt >= kMaxFaultRetries) {
+          Fail(Status::Internal("transient-fault retry budget exhausted (" +
+                                std::to_string(kMaxFaultRetries) +
+                                " attempts)"));
+          return false;
+        }
+        fault_retries_.fetch_add(1, std::memory_order_relaxed);
+        // Capped exponential backoff; long enough to model a real retry,
+        // short enough that chaos sweeps stay fast.
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(std::min(1 << attempt, 256)));
+        break;
+    }
+  }
 }
 
 void Operator::SetSerializedReceive(bool enabled) {
@@ -70,6 +116,11 @@ void Operator::ReceiveLocked(const Tuple& tuple, int port) {
     return;
   }
   DCHECK(!closed_) << DebugString() << " received data after close";
+  // A failed operator is poisoned: it drops data silently (the failure is
+  // already recorded in the RunStatus) but keeps honoring EOS above so the
+  // rest of the graph can close down.
+  if (failed_.load(std::memory_order_relaxed)) return;
+  if (fault_hook_ != nullptr && !PassesFaultHook(tuple, port)) return;
   if (!StatsCollectionEnabled()) {
     if (simulated_cost_micros_ > 0.0) BurnMicros(simulated_cost_micros_);
     Process(tuple, port);
@@ -129,6 +180,8 @@ void Operator::Reset() {
   eos_received_ = 0;
   closed_ = false;
   max_eos_timestamp_ = 0;
+  failed_.store(false, std::memory_order_release);
+  fault_retries_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace flexstream

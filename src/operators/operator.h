@@ -16,12 +16,16 @@
 #ifndef FLEXSTREAM_OPERATORS_OPERATOR_H_
 #define FLEXSTREAM_OPERATORS_OPERATOR_H_
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 
 #include "graph/node.h"
 #include "tuple/tuple.h"
+#include "util/run_status.h"
 
 namespace flexstream {
 
@@ -32,8 +36,26 @@ namespace flexstream {
 void SetStatsCollectionEnabled(bool enabled);
 bool StatsCollectionEnabled();
 
+/// Verdict of a fault hook for one delivery attempt (testing/chaos.h).
+enum class FaultAction {
+  kProceed,           // process the element normally
+  kTransientFailure,  // fail this attempt; the operator retries with backoff
+  kPermanentFailure,  // the operator fails permanently (Operator::Fail)
+};
+
 class Operator : public Node {
  public:
+  /// Transient-failure retry budget per element; when a fault hook keeps
+  /// reporting kTransientFailure past this many attempts the failure is
+  /// escalated to a permanent one.
+  static constexpr int kMaxFaultRetries = 16;
+
+  /// Consulted once per delivery attempt before Process(); `attempt` is 0
+  /// on the first try and increments across retries of the same element.
+  using FaultHook =
+      std::function<FaultAction(const Operator&, const Tuple&, int port,
+                                int attempt)>;
+
   Operator(Kind kind, std::string name, int input_arity);
 
   /// Delivers `tuple` on input `port` in the calling thread.
@@ -79,11 +101,38 @@ class Operator : public Node {
   void SetSerializedReceive(bool enabled);
   bool serialized_receive() const { return receive_mutex_ != nullptr; }
 
+  /// Attaches the engine run's first-failure collector. Fail() reports
+  /// here; without one, failures are only logged. Set while the graph is
+  /// quiescent (engine Configure/Deconfigure); pass nullptr to detach.
+  void SetRunStatus(RunStatus* run_status) { run_status_ = run_status; }
+  RunStatus* run_status() const { return run_status_; }
+
+  /// True once Fail() has run: the operator is poisoned and drops all
+  /// further data elements (EOS is still honored so the graph can close).
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  /// Installs a per-delivery fault hook (deterministic fault injection —
+  /// see testing/chaos.h). Transient verdicts are retried with capped
+  /// exponential backoff; permanent verdicts (or an exhausted retry
+  /// budget) fail the operator. Install/remove only while quiescent.
+  void SetFaultHook(FaultHook hook);
+  bool has_fault_hook() const { return fault_hook_ != nullptr; }
+
+  /// Transient-fault retries performed so far (one per repeated attempt).
+  int64_t fault_retries() const {
+    return fault_retries_.load(std::memory_order_relaxed);
+  }
+
   /// Re-arms EOS bookkeeping for a new run. Subclasses clearing operator
   /// state must call the base implementation.
   void Reset() override;
 
  protected:
+  /// Marks this operator permanently failed: reports `status` to the run's
+  /// RunStatus (naming this operator) and poisons the operator so later
+  /// data deliveries are dropped. Never aborts the process. Idempotent —
+  /// only the first failure is reported.
+  void Fail(Status status);
   /// Handles one data element from input `port`. Implementations call
   /// Emit() zero or more times.
   virtual void Process(const Tuple& tuple, int port) = 0;
@@ -115,12 +164,24 @@ class Operator : public Node {
 
  private:
   void ReceiveLocked(const Tuple& tuple, int port);
+  /// Runs the fault hook's retry loop for one element. Returns true when
+  /// the element should be processed, false when it must be dropped (the
+  /// operator failed permanently).
+  bool PassesFaultHook(const Tuple& tuple, int port);
 
   size_t eos_received_ = 0;
   bool closed_ = false;
   AppTime max_eos_timestamp_ = 0;
   double simulated_cost_micros_ = 0.0;
   std::unique_ptr<std::mutex> receive_mutex_;
+
+  // Failure state: failed_ is written by the operator's own executing
+  // thread but read by engine/test threads, hence atomic; the Status
+  // payload lives in the shared RunStatus.
+  std::atomic<bool> failed_{false};
+  RunStatus* run_status_ = nullptr;
+  std::shared_ptr<const FaultHook> fault_hook_;
+  std::atomic<int64_t> fault_retries_{0};
 };
 
 }  // namespace flexstream

@@ -12,7 +12,48 @@ namespace {
 /// total order over elements across queues (Section 6.6's FIFO strategy).
 std::atomic<uint64_t> g_arrival_seq{0};
 
+/// The draining context (partition) the current thread runs, if any. Set
+/// by Partition::RunLoop; used for the kBlock self-deadlock bypass.
+thread_local const void* tl_drain_context = nullptr;
+
 }  // namespace
+
+const char* OverloadPolicyToString(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kBlock:
+      return "block";
+    case OverloadPolicy::kShedNewest:
+      return "shed-newest";
+    case OverloadPolicy::kShedOldest:
+      return "shed-oldest";
+  }
+  return "unknown";
+}
+
+bool OverloadPolicyFromString(const std::string& name,
+                              OverloadPolicy* policy) {
+  for (OverloadPolicy candidate :
+       {OverloadPolicy::kBlock, OverloadPolicy::kShedNewest,
+        OverloadPolicy::kShedOldest}) {
+    if (name == OverloadPolicyToString(candidate)) {
+      *policy = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+thread_local QueueOp::SlotYielder* tl_slot_yielder = nullptr;
+}  // namespace
+
+void QueueOp::SetCurrentSlotYielder(SlotYielder* yielder) {
+  tl_slot_yielder = yielder;
+}
+
+void QueueOp::SetCurrentDrainContext(const void* context) {
+  tl_drain_context = context;
+}
 
 QueueOp::QueueOp(std::string name, size_t ring_capacity)
     : Operator(Kind::kQueue, std::move(name), kVariadicArity),
@@ -38,7 +79,19 @@ void QueueOp::Receive(Tuple&& tuple, int port) {
 
 void QueueOp::Enqueue(Tuple&& tuple) {
   const bool single = single_producer();
+  const bool bounded = max_elements_ != 0;
+  // kBlock waits *before* taking any lock; the wait ends on freed space,
+  // cancel, run failure, or timeout (overrun) — never by dropping data.
+  if (bounded && overload_policy_ == OverloadPolicy::kBlock) WaitForSpace();
   if (single) {
+    // Shed-newest is exact here: one producer, so the Size() snapshot
+    // cannot race another admit decision. (Shed-oldest never runs in SPSC
+    // mode — SetBound forces the MPSC path for it.)
+    if (bounded && overload_policy_ == OverloadPolicy::kShedNewest &&
+        Size() >= max_elements_) {
+      dropped_newest_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     DCHECK(!InputClosed()) << DebugString() << " data after close";
     if (StatsCollectionEnabled()) stats().RecordArrival(Now());
     // Single producer: sequence assignment and push happen in program
@@ -50,6 +103,25 @@ void QueueOp::Enqueue(Tuple&& tuple) {
   } else {
     std::lock_guard<std::mutex> lock(mutex_);
     DCHECK(!eos_enqueued_) << DebugString() << " data after close";
+    if (bounded && Size() >= max_elements_) {
+      // Shed decisions are taken under the queue lock, so racing MPSC
+      // producers cannot overshoot the budget between check and push.
+      if (overload_policy_ == OverloadPolicy::kShedNewest) {
+        dropped_newest_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (overload_policy_ == OverloadPolicy::kShedOldest &&
+          !items_.empty() && !items_.front().tuple.is_eos()) {
+        // Make room by dropping the head; net queue size is unchanged, so
+        // the queued count is pre-decremented to balance the increment in
+        // CountQueuedAndMaybeNotify below.
+        items_.pop_front();
+        dropped_oldest_.fetch_add(1, std::memory_order_relaxed);
+        queued_items_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      // kBlock reaches here only after a timed-out (overrun) or bypassed
+      // wait: enqueue anyway — kBlock never drops.
+    }
     if (StatsCollectionEnabled()) stats().RecordArrival(Now());
     // The sequence number is drawn under the lock so the deque stays
     // sequence-ordered even when several producers race.
@@ -57,6 +129,77 @@ void QueueOp::Enqueue(Tuple&& tuple) {
                       g_arrival_seq.fetch_add(1, std::memory_order_relaxed)});
   }
   CountQueuedAndMaybeNotify(/*is_eos=*/false, single);
+}
+
+void QueueOp::SetBound(size_t max_elements, OverloadPolicy policy,
+                       Duration block_timeout) {
+  max_elements_ = max_elements;
+  overload_policy_ = policy;
+  block_timeout_ = block_timeout;
+  if (max_elements != 0 && policy == OverloadPolicy::kShedOldest &&
+      single_producer()) {
+    // Only the consumer may pop the SPSC ring head, so shedding the
+    // oldest element requires every item behind the mutex.
+    SetSingleProducer(false);
+  }
+}
+
+void QueueOp::WaitForSpace() {
+  // A producer that *is* this queue's draining context must never park:
+  // nobody else will ever free space (e.g. GTS, where the one worker
+  // thread both fills and drains every queue). Overrun instead.
+  if (owner_ != nullptr && owner_ == tl_drain_context) return;
+  if (Size() < max_elements_) return;
+  if (waits_cancelled_.load(std::memory_order_acquire)) return;
+  RunStatus* rs = run_status();
+  // Hand our level-3 execution slot (if any) to other partitions for the
+  // duration of the park — the consumer that will free this space may be
+  // waiting for exactly that slot.
+  SlotYielder* const yielder = tl_slot_yielder;
+  if (yielder != nullptr) yielder->ReleaseSlot();
+  {
+    std::unique_lock<std::mutex> lock(space_mutex_);
+    space_waiters_.fetch_add(1, std::memory_order_seq_cst);
+    block_waits_.fetch_add(1, std::memory_order_relaxed);
+    const TimePoint deadline = Now() + block_timeout_;
+    bool timed_out = false;
+    while (Size() >= max_elements_ &&
+           !waits_cancelled_.load(std::memory_order_acquire) &&
+           !(rs != nullptr && rs->failed())) {
+      const TimePoint now = Now();
+      if (now >= deadline) {
+        timed_out = true;
+        break;
+      }
+      // Sliced waits bound the reaction time to cancel/failure signals (and
+      // to the rare drain whose space_waiters_ read raced this park) even
+      // when no space_cv_ notification arrives.
+      const Duration slice =
+          std::min<Duration>(deadline - now, std::chrono::milliseconds(50));
+      space_cv_.wait_for(lock, slice);
+    }
+    if (timed_out) block_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    space_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+  if (yielder != nullptr) yielder->ReacquireSlot();
+}
+
+void QueueOp::NotifySpaceFreed() {
+  if (max_elements_ == 0 || overload_policy_ != OverloadPolicy::kBlock) {
+    return;
+  }
+  if (space_waiters_.load(std::memory_order_seq_cst) == 0) return;
+  // Empty critical section: a waiter is either already parked (the notify
+  // reaches it) or still holds space_mutex_ pre-check (it will observe the
+  // freed space in its predicate).
+  { std::lock_guard<std::mutex> lock(space_mutex_); }
+  space_cv_.notify_all();
+}
+
+void QueueOp::CancelProducerWaits() {
+  waits_cancelled_.store(true, std::memory_order_release);
+  { std::lock_guard<std::mutex> lock(space_mutex_); }
+  space_cv_.notify_all();
 }
 
 void QueueOp::EnqueueEos(const Tuple& tuple) {
@@ -130,10 +273,15 @@ void QueueOp::CountQueuedAndMaybeNotify(bool is_eos, bool single) {
 
 void QueueOp::NotifyListener() {
   std::shared_ptr<const std::function<void()>> listener;
+  std::shared_ptr<const std::function<bool()>> suppressor;
   {
     std::lock_guard<std::mutex> lock(listener_mutex_);
     listener = listener_;
+    suppressor = wakeup_suppressor_;
   }
+  // Chaos hook: a suppressor returning true swallows this wakeup (lost
+  // notification). Recovery relies on the consumer's idle-poll failsafe.
+  if (suppressor != nullptr && (*suppressor)()) return;
   if (listener != nullptr) {
     notifications_.fetch_add(1, std::memory_order_relaxed);
     (*listener)();
@@ -247,6 +395,9 @@ size_t QueueOp::DrainBatchSingleProducer(size_t max_elements) {
       ++taken;
     }
   }
+  // The lock-free ring path above frees space without going through
+  // FinishDequeue, so wake blocked producers here.
+  if (taken > 0 || eos_taken) NotifySpaceFreed();
   if (eos_taken) EmitEos(eos_ts);
   return taken;
 }
@@ -301,6 +452,7 @@ void QueueOp::FinishDequeue(size_t taken, bool eos_taken) {
   const size_t dequeued = taken + (eos_taken ? 1 : 0);
   if (dequeued > 0) {
     queued_items_.fetch_sub(dequeued, std::memory_order_acq_rel);
+    NotifySpaceFreed();
   }
   if (eos_taken) eos_forwarded_.store(true, std::memory_order_release);
 }
@@ -326,6 +478,16 @@ void QueueOp::SetEnqueueListener(std::function<void()> listener) {
   }
   std::lock_guard<std::mutex> lock(listener_mutex_);
   listener_ = std::move(ptr);
+}
+
+void QueueOp::SetWakeupSuppressor(std::function<bool()> suppressor) {
+  std::shared_ptr<const std::function<bool()>> ptr;
+  if (suppressor) {
+    ptr = std::make_shared<const std::function<bool()>>(
+        std::move(suppressor));
+  }
+  std::lock_guard<std::mutex> lock(listener_mutex_);
+  wakeup_suppressor_ = std::move(ptr);
 }
 
 void QueueOp::SetSingleProducer(bool single_producer) {
@@ -355,6 +517,13 @@ void QueueOp::Reset() {
   ring_pushes_.store(0, std::memory_order_relaxed);
   locked_pushes_.store(0, std::memory_order_relaxed);
   notifications_.store(0, std::memory_order_relaxed);
+  // Drop/wait counters are run state; the bound itself is configuration
+  // and survives Reset.
+  dropped_newest_.store(0, std::memory_order_relaxed);
+  dropped_oldest_.store(0, std::memory_order_relaxed);
+  block_waits_.store(0, std::memory_order_relaxed);
+  block_timeouts_.store(0, std::memory_order_relaxed);
+  waits_cancelled_.store(false, std::memory_order_relaxed);
   eos_received_ = 0;
   eos_enqueued_ = false;
   max_eos_timestamp_ = 0;

@@ -37,6 +37,7 @@
 #define FLEXSTREAM_QUEUE_QUEUE_OP_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -47,9 +48,29 @@
 #include <vector>
 
 #include "operators/operator.h"
+#include "util/clock.h"
 #include "util/spsc_ring.h"
 
 namespace flexstream {
+
+/// What a producer hitting a full bounded queue does (ISSUE 3; the paper's
+/// Section 6 overload experiments and Chain's memory-minimizing design
+/// both presuppose queue memory can be bounded).
+///  kBlock      backpressure: the producer waits (timed) until the
+///              consumer's drain frees space. Nothing is ever dropped; a
+///              wait that exceeds the configured timeout overruns the
+///              bound instead of deadlocking and is counted.
+///  kShedNewest load shedding: the incoming element is dropped.
+///  kShedOldest load shedding: the oldest queued element is dropped to
+///              make room for the incoming one. Requires the MPSC path
+///              (only the consumer may touch the SPSC ring head), which
+///              SetBound enforces.
+/// EOS punctuations are never shed and never blocked — termination must
+/// propagate even under overload.
+enum class OverloadPolicy { kBlock, kShedNewest, kShedOldest };
+
+const char* OverloadPolicyToString(OverloadPolicy policy);
+bool OverloadPolicyFromString(const std::string& name, OverloadPolicy* policy);
 
 // `final` lets call sites with a static QueueOp* — producers pushing into
 // a known queue, the owning partition draining it — devirtualize Receive
@@ -128,6 +149,77 @@ class QueueOp final : public Operator {
   /// into a non-empty queue do not re-notify.
   void SetEnqueueListener(std::function<void()> listener);
 
+  /// Chaos injection (testing/chaos.h): when set, each enqueue
+  /// notification first consults the suppressor; returning true swallows
+  /// that wakeup. The partition idle-poll failsafe (and the watchdog) must
+  /// recover — which is exactly what chaos runs machine-check. Never set
+  /// outside tests.
+  void SetWakeupSuppressor(std::function<bool()> suppressor);
+
+  // -- Bounded-queue overload handling ------------------------------------
+
+  /// Imposes a hard element budget on the queue: once Size() reaches
+  /// `max_elements`, data enqueues follow `policy` (see OverloadPolicy).
+  /// `max_elements` of 0 removes the bound (the default). `block_timeout`
+  /// caps one kBlock producer wait — on expiry the element is enqueued
+  /// anyway (counted in block_timeouts()), so accidental partition cycles
+  /// cannot deadlock. Call while the queue is quiescent, before the engine
+  /// starts. kShedOldest forces the MPSC enqueue path.
+  void SetBound(size_t max_elements, OverloadPolicy policy,
+                Duration block_timeout = std::chrono::seconds(2));
+  size_t max_elements() const { return max_elements_; }
+  OverloadPolicy overload_policy() const { return overload_policy_; }
+  bool bounded() const { return max_elements_ != 0; }
+
+  /// Overload counters. dropped() is the total across both shed kinds;
+  /// with kBlock it stays 0 (kBlock never drops — see block_timeouts()).
+  int64_t dropped_newest() const {
+    return dropped_newest_.load(std::memory_order_relaxed);
+  }
+  int64_t dropped_oldest() const {
+    return dropped_oldest_.load(std::memory_order_relaxed);
+  }
+  int64_t dropped() const { return dropped_newest() + dropped_oldest(); }
+  /// Times a kBlock producer parked waiting for space.
+  int64_t block_waits() const {
+    return block_waits_.load(std::memory_order_relaxed);
+  }
+  /// Times a kBlock wait expired and overran the bound instead.
+  int64_t block_timeouts() const {
+    return block_timeouts_.load(std::memory_order_relaxed);
+  }
+
+  /// Unblocks every producer currently parked in a kBlock wait and makes
+  /// future waits return immediately (elements are enqueued, not dropped).
+  /// Used on failure/teardown paths so no thread stays wedged behind a
+  /// partition that will never drain again. Reset() re-arms blocking.
+  void CancelProducerWaits();
+
+  /// Tags the queue with the execution context that drains it (the owning
+  /// partition). A kBlock producer running in that same context skips the
+  /// wait entirely — blocking on a queue only oneself can drain is a
+  /// guaranteed deadlock (e.g. GTS, where one thread drains every queue).
+  void SetOwnerToken(const void* owner) { owner_ = owner; }
+  /// Declares the calling thread's current draining context (thread-local;
+  /// set by Partition::RunLoop for the duration of the loop).
+  static void SetCurrentDrainContext(const void* context);
+
+  /// A producer that parks in a kBlock wait may be holding an execution
+  /// slot of the level-3 ThreadScheduler; parking without giving it up
+  /// starves the very consumer whose drain would free the space whenever
+  /// slots are scarce (with max_running of 1 the wait can only ever end by
+  /// overrun timeout). A thread that runs under a slot scheduler declares
+  /// a yielder (thread-local; set by Partition::RunLoop): WaitForSpace
+  /// releases the slot for the duration of the park and reacquires it
+  /// before returning.
+  class SlotYielder {
+   public:
+    virtual ~SlotYielder() = default;
+    virtual void ReleaseSlot() = 0;
+    virtual void ReacquireSlot() = 0;
+  };
+  static void SetCurrentSlotYielder(SlotYielder* yielder);
+
   /// Selects the enqueue path. `true` promises that at most one thread at
   /// a time calls Receive (one producing partition or source); the queue
   /// then routes data through the lock-free SPSC ring. `false` (default)
@@ -182,6 +274,13 @@ class QueueOp final : public Operator {
 
   void Enqueue(Tuple&& tuple);
   void EnqueueEos(const Tuple& tuple);
+  /// kBlock producer wait: parks until Size() < max_elements_, the
+  /// timeout expires (overrun), waits are cancelled, or the run failed.
+  void WaitForSpace();
+  /// Wakes kBlock producers after a drain freed space (satellite: the
+  /// consumer-side space_available notification). Cheap when nobody
+  /// waits — one relaxed load.
+  void NotifySpaceFreed();
   /// SPSC producer path: ring first, spill to the locked deque when full.
   void PushItemSingleProducer(Item&& item);
   /// Bumps the queued-item count, maintains the peak, and fires the
@@ -204,6 +303,22 @@ class QueueOp final : public Operator {
   void FinishDequeue(size_t taken, bool eos_taken);
 
   const size_t ring_capacity_;
+
+  // --- bound configuration (written while quiescent, read by producers) --
+  size_t max_elements_ = 0;  // 0 = unbounded
+  OverloadPolicy overload_policy_ = OverloadPolicy::kBlock;
+  Duration block_timeout_ = std::chrono::seconds(2);
+  const void* owner_ = nullptr;  // draining context, for self-block bypass
+
+  // --- overload counters / producer-wait machinery -----------------------
+  std::atomic<int64_t> dropped_newest_{0};
+  std::atomic<int64_t> dropped_oldest_{0};
+  std::atomic<int64_t> block_waits_{0};
+  std::atomic<int64_t> block_timeouts_{0};
+  std::atomic<bool> waits_cancelled_{false};
+  std::atomic<int> space_waiters_{0};
+  std::mutex space_mutex_;
+  std::condition_variable space_cv_;
 
   // --- shared, lock-free ------------------------------------------------
   std::atomic<bool> single_producer_{false};
@@ -234,6 +349,7 @@ class QueueOp final : public Operator {
   // to coalescing) copies a shared_ptr instead.
   mutable std::mutex listener_mutex_;
   std::shared_ptr<const std::function<void()>> listener_;
+  std::shared_ptr<const std::function<bool()>> wakeup_suppressor_;
 };
 
 }  // namespace flexstream

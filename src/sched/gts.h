@@ -26,6 +26,11 @@ class GtsExecutor {
 
   Partition& partition() { return *partition_; }
 
+  void SetRunStatus(RunStatus* run_status) {
+    partition_->SetRunStatus(run_status);
+  }
+  std::vector<Partition*> Partitions() { return {partition_.get()}; }
+
  private:
   std::unique_ptr<Partition> partition_;
 };

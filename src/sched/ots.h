@@ -29,6 +29,16 @@ class OtsExecutor {
     return partitions_;
   }
 
+  void SetRunStatus(RunStatus* run_status) {
+    for (auto& p : partitions_) p->SetRunStatus(run_status);
+  }
+  std::vector<Partition*> Partitions() {
+    std::vector<Partition*> out;
+    out.reserve(partitions_.size());
+    for (auto& p : partitions_) out.push_back(p.get());
+    return out;
+  }
+
  private:
   std::vector<std::unique_ptr<Partition>> partitions_;
 };

@@ -15,6 +15,10 @@ Partition::Partition(std::string name, std::vector<QueueOp*> queues,
   CHECK(strategy_ != nullptr);
   for (QueueOp* q : queues_) {
     q->SetEnqueueListener([this] { NotifyWork(); });
+    // The owner token lets a kBlock producer running *inside* this
+    // partition's drain (e.g. GTS: one context drains every queue) skip
+    // waiting on a queue only it can empty.
+    q->SetOwnerToken(this);
   }
 }
 
@@ -23,7 +27,10 @@ Partition::~Partition() {
   Join();
   // Detach listeners: the queues may outlive this partition (e.g. when the
   // engine re-partitions the same graph).
-  for (QueueOp* q : queues_) q->SetEnqueueListener(nullptr);
+  for (QueueOp* q : queues_) {
+    q->SetEnqueueListener(nullptr);
+    q->SetOwnerToken(nullptr);
+  }
 }
 
 void Partition::Start() {
@@ -60,6 +67,43 @@ size_t Partition::QueuedElements() const {
   return total;
 }
 
+bool Partition::IdleAtOpenInputs() const {
+  bool any_open = false;
+  for (const QueueOp* q : queues_) {
+    if (q->Size() != 0) return false;  // has work — not idle
+    if (!q->InputClosed()) any_open = true;
+  }
+  return any_open;
+}
+
+std::string DescribePartitions(const std::vector<Partition*>& partitions) {
+  std::string out;
+  for (const Partition* p : partitions) {
+    out += "  partition '" + p->name() + "': drained=" +
+           std::to_string(p->drained());
+    if (const QueueOp* last = p->last_scheduled()) {
+      out += " last_scheduled='" + last->name() + "'";
+    }
+    if (p->Done()) {
+      out += " [done]";
+    } else if (p->IdleAtOpenInputs()) {
+      out += " [idle, inputs open]";
+    } else if (!p->running()) {
+      out += " [not running]";
+    }
+    out += " queues:";
+    for (const QueueOp* q : p->queues()) {
+      out += " " + q->name() + "=" + std::to_string(q->Size());
+      if (q->dropped() > 0) {
+        out += "(dropped " + std::to_string(q->dropped()) + ")";
+      }
+      if (q->Exhausted()) out += "(eos)";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
 void Partition::NotifyWork() {
   // Called from queue enqueue listeners, which fire only on a queue's
   // empty -> non-empty transition (and on EOS) — so this condvar ping costs
@@ -79,11 +123,25 @@ bool Partition::HasPendingWork() const {
   return false;
 }
 
+void Partition::ReleaseSlot() {
+  if (ts_ != nullptr) ts_->Release(this);
+}
+
+void Partition::ReacquireSlot() {
+  if (ts_ != nullptr) ts_->Acquire(this);
+}
+
 void Partition::RunLoop() {
   running_.store(true, std::memory_order_release);
+  // Declare this thread as our draining context for the duration of the
+  // loop: elements we push into our *own* queues (DI cycles, GTS) must not
+  // kBlock-wait on them.
+  QueueOp::SetCurrentDrainContext(this);
+  if (ts_ != nullptr) QueueOp::SetCurrentSlotYielder(this);
   strategy_->Initialize(queues_);
   while (!stop_.load(std::memory_order_acquire)) {
     if (Done()) break;
+    if (run_status_ != nullptr && run_status_->failed()) break;
     if (!HasPendingWork()) {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait_for(lock, options_.idle_poll, [&] {
@@ -99,14 +157,18 @@ void Partition::RunLoop() {
     while (!stop_.load(std::memory_order_acquire)) {
       QueueOp* next = strategy_->Next(queues_);
       if (next == nullptr) break;
+      last_scheduled_.store(next, std::memory_order_relaxed);
       drained_.fetch_add(
           static_cast<int64_t>(next->DrainBatch(options_.batch_size)),
           std::memory_order_relaxed);
+      if (run_status_ != nullptr && run_status_->failed()) break;
       if (Now() >= quantum_end) break;
       if (ts_ != nullptr && ts_->ShouldYield(this)) break;
     }
     if (ts_ != nullptr) ts_->Release(this);
   }
+  QueueOp::SetCurrentSlotYielder(nullptr);
+  QueueOp::SetCurrentDrainContext(nullptr);
   running_.store(false, std::memory_order_release);
 }
 

@@ -33,7 +33,7 @@ namespace flexstream {
 
 class ThreadScheduler;
 
-class Partition {
+class Partition : private QueueOp::SlotYielder {
  public:
   struct Options {
     /// Max elements drained per strategy decision.
@@ -68,6 +68,12 @@ class Partition {
   /// Attaches the level-3 scheduler. Must be called before Start/Run.
   void set_thread_scheduler(ThreadScheduler* ts) { ts_ = ts; }
 
+  /// Attaches the run's first-failure collector. The run loop polls it at
+  /// batch boundaries and exits early once any operator has failed, so a
+  /// poisoned graph winds down instead of spinning on doomed work. Set
+  /// while quiescent (before Start/Run).
+  void SetRunStatus(RunStatus* run_status) { run_status_ = run_status; }
+
   /// Spawns the worker thread executing the run loop.
   void Start();
 
@@ -99,10 +105,29 @@ class Partition {
   /// Sum of current queue sizes (the partition's queued memory).
   size_t QueuedElements() const;
 
+  /// The queue the strategy scheduled most recently (nullptr before the
+  /// first pick). Watchdog diagnostics only — the pointer is stable (queues
+  /// outlive the run) but the *value* is racy by nature.
+  QueueOp* last_scheduled() const {
+    return last_scheduled_.load(std::memory_order_relaxed);
+  }
+
+  /// True when the partition has no work *now* and its inputs are still
+  /// open — i.e. it is idling at a live stream, not stalled. The watchdog
+  /// uses this to separate "no progress because blocked" from "no progress
+  /// because nothing arrived".
+  bool IdleAtOpenInputs() const;
+
  private:
   void NotifyWork();
   bool HasPendingWork() const;
   void RunLoop();
+
+  // QueueOp::SlotYielder: a kBlock park inside our drain hands the level-3
+  // execution slot to other partitions — on a machine with few slots the
+  // consumer that frees the space may be waiting for exactly ours.
+  void ReleaseSlot() override;
+  void ReacquireSlot() override;
 
   const std::string name_;
   std::vector<QueueOp*> queues_;
@@ -110,16 +135,25 @@ class Partition {
   Options options_;
   ThreadScheduler* ts_ = nullptr;
 
+  RunStatus* run_status_ = nullptr;
+
   std::thread worker_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
   std::atomic<int64_t> drained_{0};
   std::atomic<int64_t> wakeups_{0};
+  std::atomic<QueueOp*> last_scheduled_{nullptr};
 
   std::mutex mutex_;
   std::condition_variable cv_;
   bool work_available_ = false;
 };
+
+/// One line per partition: name, per-queue depths, drained count, the
+/// last-scheduled queue, and whether the partition is done / idle / live.
+/// Shared by the ThreadScheduler watchdog and the engine's wait-timeout
+/// diagnostics.
+std::string DescribePartitions(const std::vector<Partition*>& partitions);
 
 }  // namespace flexstream
 

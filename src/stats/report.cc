@@ -11,15 +11,21 @@ namespace flexstream {
 Table BuildStatsTable(const QueryGraph& graph) {
   Table t({"node", "kind", "arrivals", "processed", "emitted", "cost_us",
            "selectivity", "interarrival_us", "busy_ms", "queue_now",
-           "queue_peak"});
+           "queue_peak", "dropped", "retries"});
   for (const Node* node : graph.nodes()) {
     const OpStats& s = node->stats();
     const double d = s.InterarrivalMicros();
     std::string queue_now = "-";
     std::string queue_peak = "-";
+    std::string dropped = "-";
+    std::string retries = "-";
     if (const QueueOp* q = dynamic_cast<const QueueOp*>(node)) {
       queue_now = Table::Int(static_cast<int64_t>(q->Size()));
       queue_peak = Table::Int(static_cast<int64_t>(q->PeakSize()));
+      if (q->bounded()) dropped = Table::Int(q->dropped());
+    }
+    if (const Operator* op = dynamic_cast<const Operator*>(node)) {
+      if (op->fault_retries() > 0) retries = Table::Int(op->fault_retries());
     }
     t.AddRow({node->name(), NodeKindToString(node->kind()),
               Table::Int(s.arrivals()), Table::Int(s.processed()),
@@ -27,7 +33,21 @@ Table BuildStatsTable(const QueryGraph& graph) {
               Table::Num(s.Selectivity(), 3),
               std::isfinite(d) ? Table::Num(d, 1) : std::string("inf"),
               Table::Num(s.BusyMicros() / 1000.0, 1), queue_now,
-              queue_peak});
+              queue_peak, dropped, retries});
+  }
+  return t;
+}
+
+Table BuildResilienceTable(const QueryGraph& graph) {
+  Table t({"queue", "policy", "max_elements", "dropped_newest",
+           "dropped_oldest", "block_waits", "block_timeouts"});
+  for (const Node* node : graph.nodes()) {
+    const QueueOp* q = dynamic_cast<const QueueOp*>(node);
+    if (q == nullptr || !q->bounded()) continue;
+    t.AddRow({q->name(), OverloadPolicyToString(q->overload_policy()),
+              Table::Int(static_cast<int64_t>(q->max_elements())),
+              Table::Int(q->dropped_newest()), Table::Int(q->dropped_oldest()),
+              Table::Int(q->block_waits()), Table::Int(q->block_timeouts())});
   }
   return t;
 }

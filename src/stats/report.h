@@ -18,8 +18,15 @@ class QueryGraph;
 
 /// One row per node: kind, name, arrivals, processed, emitted, measured
 /// cost (us), selectivity, inter-arrival (us), busy time (ms), and for
-/// queues their current/peak sizes.
+/// queues their current/peak sizes plus elements dropped by the overload
+/// policy; every operator also reports transient-fault retries absorbed.
 Table BuildStatsTable(const QueryGraph& graph);
+
+/// Overload/failure counters, one row per *bounded* queue: policy, budget,
+/// dropped-newest/oldest, kBlock waits and timed-out (overrun) waits.
+/// Empty (headers only) when no queue is bounded. Same Table type as
+/// BuildStatsTable, so it prints/CSV-exports identically.
+Table BuildResilienceTable(const QueryGraph& graph);
 
 /// Convenience: the table rendered to a string.
 std::string StatsReport(const QueryGraph& graph);

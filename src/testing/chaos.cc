@@ -1,0 +1,113 @@
+#include "testing/chaos.h"
+
+#include <functional>
+#include <random>
+
+#include "util/busy_work.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace flexstream {
+namespace {
+
+/// Per-operator fault-decision state. Owned by the installed hook; touched
+/// only by the thread currently delivering to that operator (non-queue
+/// operators are single-threaded per the threading contract, and
+/// source-driven mode serializes Receive).
+struct OpChaosState {
+  std::mt19937_64 rng;
+  std::uniform_real_distribution<double> unit{0.0, 1.0};
+  // Verdict for the element currently being retried: how many more
+  // transient failures to report before letting it proceed.
+  int pending_transients = 0;
+  int64_t deliveries = 0;
+};
+
+}  // namespace
+
+void ChaosInjector::Arm(QueryGraph* graph,
+                        const std::vector<QueueOp*>& queues) {
+  CHECK(hooked_.empty() && suppressed_queues_.empty())
+      << "ChaosInjector armed twice";
+  if (options_.any_operator_chaos()) {
+    for (Node* node : graph->nodes()) {
+      if (node->is_source() || node->is_sink() || node->is_queue()) continue;
+      Operator* op = dynamic_cast<Operator*>(node);
+      if (op == nullptr) continue;
+
+      const bool permanent_target =
+          op->name() == options_.permanent_fail_operator;
+      auto state = std::make_shared<OpChaosState>();
+      state->rng.seed(options_.seed ^
+                      std::hash<std::string>{}(op->name()));
+      const ChaosOptions opts = options_;
+      auto transients = transients_;
+      auto permanents = permanents_;
+      auto delays = delays_;
+
+      op->SetFaultHook([state, opts, permanent_target, transients,
+                        permanents, delays](const Operator& /*op*/,
+                                            const Tuple& /*tuple*/,
+                                            int /*port*/,
+                                            int attempt) -> FaultAction {
+        if (attempt > 0) {
+          // Retry of the element we already judged: keep failing until the
+          // drawn transient count is spent.
+          if (state->pending_transients > 0) {
+            --state->pending_transients;
+            transients->fetch_add(1, std::memory_order_relaxed);
+            return FaultAction::kTransientFailure;
+          }
+          return FaultAction::kProceed;
+        }
+        const int64_t delivery = state->deliveries++;
+        if (permanent_target && delivery >= opts.permanent_after) {
+          permanents->fetch_add(1, std::memory_order_relaxed);
+          return FaultAction::kPermanentFailure;
+        }
+        if (opts.delay_rate > 0.0 &&
+            state->unit(state->rng) < opts.delay_rate) {
+          delays->fetch_add(1, std::memory_order_relaxed);
+          BurnMicros(opts.delay_micros);
+        }
+        if (opts.transient_rate > 0.0 &&
+            state->unit(state->rng) < opts.transient_rate) {
+          // Fail this attempt and 0–2 more; always well under the
+          // operator's retry budget, so a transient never escalates.
+          state->pending_transients =
+              static_cast<int>(state->rng() % 3);
+          transients->fetch_add(1, std::memory_order_relaxed);
+          return FaultAction::kTransientFailure;
+        }
+        return FaultAction::kProceed;
+      });
+      hooked_.push_back(op);
+    }
+  }
+  if (options_.suppress_every_n_wakeups > 0) {
+    const int n = options_.suppress_every_n_wakeups;
+    for (QueueOp* queue : queues) {
+      auto counter = std::make_shared<std::atomic<int64_t>>(0);
+      auto suppressed = suppressed_;
+      queue->SetWakeupSuppressor([counter, suppressed, n]() -> bool {
+        const int64_t k =
+            counter->fetch_add(1, std::memory_order_relaxed) + 1;
+        if (k % n != 0) return false;
+        suppressed->fetch_add(1, std::memory_order_relaxed);
+        return true;
+      });
+      suppressed_queues_.push_back(queue);
+    }
+  }
+}
+
+void ChaosInjector::Disarm() {
+  for (Operator* op : hooked_) op->SetFaultHook(nullptr);
+  hooked_.clear();
+  for (QueueOp* queue : suppressed_queues_) {
+    queue->SetWakeupSuppressor(nullptr);
+  }
+  suppressed_queues_.clear();
+}
+
+}  // namespace flexstream

@@ -1,0 +1,128 @@
+// Deterministic fault injection for robustness testing.
+//
+// A ChaosInjector arms a configured query graph with seeded, reproducible
+// failure modes and records exactly what it injected, so tests can assert
+// both "the system survived" and "the system survived *something*":
+//
+//  * transient operator failures — an operator's delivery fails for a few
+//    attempts, then succeeds; the Operator retry/backoff loop must absorb
+//    it with zero effect on results.
+//  * permanent operator failures — a targeted operator fails for good on
+//    its Nth delivery; the failure must surface through the engine's
+//    RunStatus/RunResult() as a non-OK status naming the operator, and the
+//    run must wind down cleanly (no deadlock, no leaked threads).
+//  * per-element delays — a busy-wait burn before processing, stretching
+//    interleavings without changing semantics.
+//  * lost wakeups — every Nth queue enqueue notification is swallowed; the
+//    partitions' idle-poll failsafe (and the watchdog) must recover.
+//
+// Determinism: every decision is drawn from a per-operator mt19937_64
+// seeded with `seed ^ hash(operator name)`, advanced once per delivered
+// element. For a fixed feed, an operator's decision sequence therefore
+// depends only on its own delivery order — which the FIFO contract fixes —
+// not on cross-thread interleavings.
+//
+// Hooks are installed on all non-source, non-sink, non-queue operators
+// (sources are driven by the test itself; sinks are the observation
+// points; queues fail by overload policy instead). Wakeup suppressors go
+// on the queues. Arm/Disarm only while the graph is quiescent.
+
+#ifndef FLEXSTREAM_TESTING_CHAOS_H_
+#define FLEXSTREAM_TESTING_CHAOS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/query_graph.h"
+#include "operators/operator.h"
+#include "queue/queue_op.h"
+
+namespace flexstream {
+
+struct ChaosOptions {
+  /// Seed for every per-operator RNG. Same seed + same feed = same faults.
+  uint64_t seed = 1;
+
+  /// Probability (per delivered element) that the delivery transiently
+  /// fails; the hook then reports kTransientFailure for 1–3 attempts
+  /// (drawn from the same RNG) before letting the element through.
+  double transient_rate = 0.0;
+
+  /// Probability (per delivered element) of a busy-wait delay of
+  /// `delay_micros` before processing.
+  double delay_rate = 0.0;
+  double delay_micros = 50.0;
+
+  /// When nonempty: the operator with this name fails *permanently* on its
+  /// `permanent_after`-th delivered element (0-based). Targeted rather
+  /// than probabilistic so tests can pin where the poison starts.
+  std::string permanent_fail_operator;
+  int64_t permanent_after = 0;
+
+  /// When > 0, every Nth enqueue notification per queue is swallowed
+  /// (lost wakeup).
+  int suppress_every_n_wakeups = 0;
+
+  bool any_operator_chaos() const {
+    return transient_rate > 0.0 || delay_rate > 0.0 ||
+           !permanent_fail_operator.empty();
+  }
+};
+
+class ChaosInjector {
+ public:
+  explicit ChaosInjector(ChaosOptions options) : options_(options) {}
+  ~ChaosInjector() { Disarm(); }
+
+  ChaosInjector(const ChaosInjector&) = delete;
+  ChaosInjector& operator=(const ChaosInjector&) = delete;
+
+  /// Installs fault hooks on every eligible operator of `graph` and wakeup
+  /// suppressors on `queues`. Call after the engine is configured (queues
+  /// placed) and before it starts.
+  void Arm(QueryGraph* graph, const std::vector<QueueOp*>& queues);
+
+  /// Removes every installed hook/suppressor. Idempotent; called by the
+  /// destructor. Only while quiescent.
+  void Disarm();
+
+  const ChaosOptions& options() const { return options_; }
+
+  /// What actually got injected (for assertions: a chaos run that injected
+  /// nothing proves nothing).
+  int64_t transient_injections() const {
+    return transients_->load(std::memory_order_relaxed);
+  }
+  int64_t permanent_injections() const {
+    return permanents_->load(std::memory_order_relaxed);
+  }
+  int64_t delays_injected() const {
+    return delays_->load(std::memory_order_relaxed);
+  }
+  int64_t wakeups_suppressed() const {
+    return suppressed_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  ChaosOptions options_;
+  std::vector<Operator*> hooked_;
+  std::vector<QueueOp*> suppressed_queues_;
+
+  // Shared with the installed hooks (which may outlive member mutation
+  // only until Disarm, but shared_ptr keeps teardown order a non-issue).
+  std::shared_ptr<std::atomic<int64_t>> transients_ =
+      std::make_shared<std::atomic<int64_t>>(0);
+  std::shared_ptr<std::atomic<int64_t>> permanents_ =
+      std::make_shared<std::atomic<int64_t>>(0);
+  std::shared_ptr<std::atomic<int64_t>> delays_ =
+      std::make_shared<std::atomic<int64_t>>(0);
+  std::shared_ptr<std::atomic<int64_t>> suppressed_ =
+      std::make_shared<std::atomic<int64_t>>(0);
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_TESTING_CHAOS_H_

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "api/stream_engine.h"
+#include "testing/chaos.h"
 #include "testing/executable_dag.h"
 
 namespace flexstream {
@@ -61,8 +62,36 @@ struct DiffConfig {
   /// Configure. The harness must *fail* under any non-kNone fault.
   QueueOp::TestFault fault = QueueOp::TestFault::kNone;
 
+  // -- Robustness dimensions (ISSUE 3) ------------------------------------
+
+  /// Hard element budget per placed queue; 0 = unbounded. With kBlock the
+  /// run must still match golden exactly (backpressure, no loss); with a
+  /// shed policy the candidate's output must be a sub-multiset of golden
+  /// and the queues' drop counters must account for the difference.
+  size_t queue_max_elements = 0;
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+
+  /// Seeded chaos injected after Configure (see testing/chaos.h):
+  /// transient operator failures (absorbed by retry — results must stay
+  /// identical), per-element delays, and lost queue wakeups (recovered by
+  /// the idle-poll failsafe).
+  double chaos_transient_rate = 0.0;
+  double chaos_delay_rate = 0.0;
+  int chaos_suppress_every_n = 0;
+  uint64_t chaos_seed = 1;
+
+  /// Enables the ThreadScheduler no-progress watchdog (kHmts only); chaos
+  /// runs assert it stays clean (stall_events == 0).
+  bool watchdog = false;
+
+  bool chaos_enabled() const {
+    return chaos_transient_rate > 0.0 || chaos_delay_rate > 0.0 ||
+           chaos_suppress_every_n > 0;
+  }
+
   /// "gts+chain+auto" style identifier (placement only for HMTS, ring
-  /// capacity only when non-default, "+burst"/"+fault:..." when set).
+  /// capacity only when non-default, "+burst"/"+fault:..."/"+bound..."/
+  /// "+chaos..." when set).
   std::string Name() const;
 };
 
@@ -83,6 +112,15 @@ struct SinkOutputs {
   std::vector<bool> order_checked;
   /// False when the run timed out instead of draining to EOS.
   bool completed = true;
+  /// Elements shed by bounded queues during the run (0 when unbounded or
+  /// under kBlock).
+  int64_t dropped = 0;
+  /// Transient-fault retries absorbed across all operators.
+  int64_t fault_retries = 0;
+  /// Watchdog stall events observed (0 on a deadlock-free run).
+  int64_t watchdog_stalls = 0;
+  /// The engine's RunResult() — Ok on a healthy run.
+  Status run_result = Status::Ok();
 };
 
 /// Builds the spec's graph and runs it to completion under `config`.
@@ -90,9 +128,18 @@ SinkOutputs RunUnderConfig(const DiffSpec& spec, const DiffConfig& config);
 
 /// Empty string when candidate matches golden (multiset per sink, exact
 /// sequence for order-checked sinks); otherwise a human-readable
-/// description of the first difference.
+/// description of the first difference. A candidate with dropped > 0
+/// (declared load shedding) is compared modulo sheds: each sink's output
+/// must be a sub-multiset of golden's (order-checked sinks: a
+/// subsequence), so every shortfall is attributable to a declared shed;
+/// with dropped == 0 the comparison is exact as before.
 std::string CompareOutputs(const SinkOutputs& golden,
                            const SinkOutputs& candidate);
+
+/// The chaos sweep matrix: {GTS, OTS, HMTS} x {FIFO, RR, Chain, Segment}
+/// under transient faults + delays + lost wakeups, plus bounded-queue
+/// variants for each overload policy. Used by check-chaos.
+std::vector<DiffConfig> ChaosConfigMatrix();
 
 struct DiffFailure {
   DiffSpec spec;  // shrunk when shrinking was enabled

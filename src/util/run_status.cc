@@ -1,0 +1,41 @@
+#include "util/run_status.h"
+
+#include "util/logging.h"
+
+namespace flexstream {
+
+void RunStatus::Report(Status status, const std::string& origin) {
+  CHECK(!status.ok()) << "reporting an OK status as a failure";
+  report_count_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_.ok()) return;  // first failure wins
+    first_ = std::move(status);
+    origin_ = origin;
+  }
+  // Publish after the payload is in place: failed() readers that observe
+  // true will see the populated first_/origin_ under the mutex.
+  failed_.store(true, std::memory_order_release);
+}
+
+Status RunStatus::first() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (first_.ok()) return Status::Ok();
+  return Status(first_.code(),
+                "operator '" + origin_ + "': " + first_.message());
+}
+
+std::string RunStatus::origin() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return origin_;
+}
+
+void RunStatus::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  first_ = Status::Ok();
+  origin_.clear();
+  report_count_.store(0, std::memory_order_relaxed);
+  failed_.store(false, std::memory_order_release);
+}
+
+}  // namespace flexstream

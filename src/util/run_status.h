@@ -1,0 +1,69 @@
+// First-failure collector for one engine run.
+//
+// The runtime must degrade gracefully instead of CHECK-aborting when an
+// operator fails at runtime (ISSUE 3; the paper's Section 6 overload
+// experiments assume the system stays up under conditions the operators
+// cannot sustain). A RunStatus is shared by every node of a configured
+// query graph plus the partition workers executing it:
+//
+//  * an operator that cannot continue calls Operator::Fail(), which
+//    reports here and poisons the operator (subsequent data is dropped);
+//  * partition run loops poll failed() between batches and exit;
+//  * producers blocked on a full bounded queue (QueueOp, kBlock policy)
+//    poll failed() in their wait slices and stop blocking;
+//  * StreamEngine::WaitUntilFinished*() observes the failure, cancels the
+//    remaining workers, and surfaces the first error via RunResult().
+//
+// Only the *first* failure is kept — later ones are usually cascade noise —
+// but every report is counted.
+
+#ifndef FLEXSTREAM_UTIL_RUN_STATUS_H_
+#define FLEXSTREAM_UTIL_RUN_STATUS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+namespace flexstream {
+
+class RunStatus {
+ public:
+  RunStatus() = default;
+  RunStatus(const RunStatus&) = delete;
+  RunStatus& operator=(const RunStatus&) = delete;
+
+  /// Records a failure originating at `origin` (an operator name). The
+  /// first report wins; all reports are counted. Thread-safe.
+  void Report(Status status, const std::string& origin);
+
+  /// Lock-free; polled by partition run loops and blocked producers.
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  /// The first reported failure (OK when none), phrased so the failing
+  /// operator is named: "operator '<origin>': <message>".
+  Status first() const;
+
+  /// Name of the operator that reported first (empty when none).
+  std::string origin() const;
+
+  int64_t report_count() const {
+    return report_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-arms for a fresh run (engine re-configuration).
+  void Reset();
+
+ private:
+  std::atomic<bool> failed_{false};
+  std::atomic<int64_t> report_count_{0};
+  mutable std::mutex mutex_;
+  Status first_;
+  std::string origin_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_UTIL_RUN_STATUS_H_

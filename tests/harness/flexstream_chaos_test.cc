@@ -1,0 +1,179 @@
+// Chaos tier: the differential harness run under deterministic fault
+// injection (testing/chaos.h). Every architecture x strategy must absorb
+// transient operator failures (via retry), injected delays, and lost queue
+// wakeups with zero result deviation; bounded-queue configurations may
+// deviate only by what their drop counters declare; a permanent operator
+// failure must surface as a non-OK RunResult() naming the operator while
+// the engine winds down cleanly.
+//
+// Runs under the `check-chaos` CMake target (ctest -R "Chaos").
+
+#include <chrono>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "api/query_builder.h"
+#include "api/stream_engine.h"
+#include "testing/chaos.h"
+#include "testing/differential.h"
+
+namespace flexstream {
+namespace {
+
+DiffSpec ChaosSpec() {
+  DiffSpec spec;
+  spec.seed = 101;
+  spec.node_count = 12;
+  spec.feed_count = 300;
+  return spec;
+}
+
+// The full sweep: golden (queue-free, chaos-free) vs every chaos
+// configuration. Also asserts the sweep injected real faults — a chaos
+// run that injected nothing proves nothing.
+TEST(ChaosSweepTest, MatrixMatchesGoldenUnderChaos) {
+  const DiffSpec spec = ChaosSpec();
+  const SinkOutputs golden = RunUnderConfig(spec, GoldenConfig());
+
+  int64_t total_retries = 0;
+  for (const DiffConfig& config : ChaosConfigMatrix()) {
+    SCOPED_TRACE(config.Name());
+    const SinkOutputs out = RunUnderConfig(spec, config);
+    ASSERT_TRUE(out.completed);
+    EXPECT_TRUE(out.run_result.ok()) << out.run_result.message();
+    // No deadlocks: the HMTS watchdog (armed for every kHmts config) must
+    // stay silent — lost wakeups are recovered by the idle-poll failsafe
+    // well inside one watchdog interval.
+    EXPECT_EQ(out.watchdog_stalls, 0);
+    const std::string diff = CompareOutputs(golden, out);
+    EXPECT_TRUE(diff.empty()) << diff;
+    if (config.queue_max_elements == 0 ||
+        config.overload_policy == OverloadPolicy::kBlock) {
+      // Unbounded and kBlock runs never shed, so the compare above was
+      // exact, not merely sub-multiset.
+      EXPECT_EQ(out.dropped, 0);
+    }
+    total_retries += out.fault_retries;
+  }
+  EXPECT_GT(total_retries, 0)
+      << "the sweep absorbed no transient faults - chaos was a no-op";
+}
+
+// Replay files must round-trip the robustness dimensions so a failing
+// chaos scenario can be re-run exactly.
+TEST(ChaosReplayTest, RoundTripsChaosFields) {
+  const DiffSpec spec = ChaosSpec();
+  DiffConfig config;
+  config.mode = ExecutionMode::kHmts;
+  config.strategy = StrategyKind::kChain;
+  config.queue_max_elements = 8;
+  config.overload_policy = OverloadPolicy::kShedOldest;
+  config.chaos_transient_rate = 0.02;
+  config.chaos_delay_rate = 0.01;
+  config.chaos_suppress_every_n = 7;
+  config.chaos_seed = 99;
+  config.watchdog = true;
+
+  DiffSpec parsed_spec;
+  DiffConfig parsed;
+  std::string error;
+  ASSERT_TRUE(
+      ParseReplay(FormatReplay(spec, config), &parsed_spec, &parsed, &error))
+      << error;
+  EXPECT_EQ(parsed_spec.seed, spec.seed);
+  EXPECT_EQ(parsed.queue_max_elements, config.queue_max_elements);
+  EXPECT_EQ(parsed.overload_policy, config.overload_policy);
+  EXPECT_DOUBLE_EQ(parsed.chaos_transient_rate, config.chaos_transient_rate);
+  EXPECT_DOUBLE_EQ(parsed.chaos_delay_rate, config.chaos_delay_rate);
+  EXPECT_EQ(parsed.chaos_suppress_every_n, config.chaos_suppress_every_n);
+  EXPECT_EQ(parsed.chaos_seed, config.chaos_seed);
+  EXPECT_EQ(parsed.watchdog, config.watchdog);
+  EXPECT_EQ(parsed.Name(), config.Name());
+}
+
+// A targeted permanent failure mid-pipeline: the run must end (not hang),
+// RunResult() must name the poisoned operator, and the engine must stop
+// cleanly so destruction leaks no threads.
+void RunPermanentFailure(ExecutionMode mode) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("src");
+  MapOp* stage1 = qb.Map(src, "stage1", [](const Tuple& t) { return t; });
+  MapOp* stage2 = qb.Map(stage1, "stage2", [](const Tuple& t) { return t; });
+  CollectingSink* sink = qb.CollectSink(stage2, "sink");
+
+  StreamEngine engine(&graph);
+  EngineOptions options;
+  options.mode = mode;
+  ASSERT_TRUE(engine.Configure(options).ok());
+
+  ChaosOptions chaos_options;
+  chaos_options.permanent_fail_operator = "stage2";
+  chaos_options.permanent_after = 5;
+  ChaosInjector chaos(chaos_options);
+  chaos.Arm(&graph, engine.queues());
+
+  ASSERT_TRUE(engine.Start().ok());
+  for (int i = 0; i < 100; ++i) src->Push(Tuple::OfInt(i, i));
+  src->Close(100);
+
+  // The wait must end by failure, not by timeout.
+  ASSERT_TRUE(engine.WaitUntilFinishedFor(std::chrono::seconds(30)));
+  const Status result = engine.RunResult();
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.message().find("stage2"), std::string::npos)
+      << result.message();
+  EXPECT_EQ(chaos.permanent_injections(), 1);
+  // The poison struck on the 6th delivery, so the sink saw at most 5.
+  EXPECT_LE(sink->size(), 5u);
+  engine.Stop();
+  chaos.Disarm();
+}
+
+TEST(ChaosFailureTest, PermanentFailureSurfacesUnderHmts) {
+  RunPermanentFailure(ExecutionMode::kHmts);
+}
+
+TEST(ChaosFailureTest, PermanentFailureSurfacesUnderGts) {
+  RunPermanentFailure(ExecutionMode::kGts);
+}
+
+// A failure must also unwedge kBlock producers: the feeder keeps pushing
+// into a bounded queue whose downstream is poisoned; AbortOnFailure's
+// CancelProducerWaits must let the feed finish promptly.
+TEST(ChaosFailureTest, FailureCancelsBlockedProducers) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("src");
+  MapOp* stage = qb.Map(src, "stage", [](const Tuple& t) { return t; });
+  stage->SetSimulatedCostMicros(50.0);
+  qb.CollectSink(stage, "sink");
+
+  StreamEngine engine(&graph);
+  EngineOptions options;
+  options.mode = ExecutionMode::kHmts;
+  options.queue_max_elements = 4;
+  options.overload_policy = OverloadPolicy::kBlock;
+  ASSERT_TRUE(engine.Configure(options).ok());
+
+  ChaosOptions chaos_options;
+  chaos_options.permanent_fail_operator = "stage";
+  chaos_options.permanent_after = 2;
+  ChaosInjector chaos(chaos_options);
+  chaos.Arm(&graph, engine.queues());
+
+  ASSERT_TRUE(engine.Start().ok());
+  // Far more elements than the bound: without failure-aware waits the
+  // feeder would park repeatedly behind a consumer that stopped draining.
+  for (int i = 0; i < 500; ++i) src->Push(Tuple::OfInt(i, i));
+  src->Close(500);
+
+  ASSERT_TRUE(engine.WaitUntilFinishedFor(std::chrono::seconds(30)));
+  EXPECT_FALSE(engine.RunResult().ok());
+  engine.Stop();
+  chaos.Disarm();
+}
+
+}  // namespace
+}  // namespace flexstream

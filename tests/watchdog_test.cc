@@ -1,0 +1,121 @@
+// The ThreadScheduler no-progress watchdog and the engine's wait-timeout
+// diagnostics: a partition sitting on queued work without draining is
+// reported with a full partition/queue-depth snapshot; partitions that are
+// merely idle (done at EOS, or empty at open inputs) never are.
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "api/stream_engine.h"
+#include "core/thread_scheduler.h"
+#include "sched/partition.h"
+#include "sched/strategy.h"
+#include "test_util.h"
+#include "util/clock.h"
+
+namespace flexstream {
+namespace {
+
+using testutil::QueueRig;
+
+ThreadScheduler::Options FastWatchdog() {
+  ThreadScheduler::Options options;
+  options.watchdog_interval = std::chrono::milliseconds(20);
+  options.watchdog_stall_intervals = 2;
+  return options;
+}
+
+// A partition with queued work and no worker thread is the purest stall:
+// the watchdog must report it, naming the partition and its queue depths.
+TEST(WatchdogTest, ReportsStalledPartition) {
+  QueueRig rig;
+  Partition partition("p0", {rig.queue}, MakeStrategy(StrategyKind::kFifo));
+  for (int i = 0; i < 3; ++i) rig.src->Push(Tuple::OfInt(i, i));
+
+  ThreadScheduler ts(FastWatchdog());
+  ts.StartWatchdog({&partition});
+  const TimePoint deadline = Now() + std::chrono::seconds(10);
+  while (ts.stall_events() == 0 && Now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ts.StopWatchdog();
+
+  ASSERT_GT(ts.stall_events(), 0);
+  const std::string report = ts.LastStallReport();
+  EXPECT_NE(report.find("p0"), std::string::npos) << report;
+  EXPECT_NE(report.find("q=3"), std::string::npos) << report;
+}
+
+// Done at EOS: drained queues will never have work again — not a stall.
+TEST(WatchdogTest, DoneAtEosNotReported) {
+  QueueRig rig;
+  Partition partition("p0", {rig.queue}, MakeStrategy(StrategyKind::kFifo));
+  rig.src->Push(Tuple::OfInt(1, 1));
+  rig.src->Close(1);
+  while (!rig.queue->Exhausted()) rig.queue->DrainBatch(16);
+  ASSERT_TRUE(partition.Done());
+
+  ThreadScheduler ts(FastWatchdog());
+  ts.StartWatchdog({&partition});
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ts.StopWatchdog();
+  EXPECT_EQ(ts.stall_events(), 0);
+}
+
+// Empty queues with open inputs: idling at a live stream is not a stall.
+TEST(WatchdogTest, IdleAtOpenInputsNotReported) {
+  QueueRig rig;
+  Partition partition("p0", {rig.queue}, MakeStrategy(StrategyKind::kFifo));
+  ASSERT_TRUE(partition.IdleAtOpenInputs());
+
+  ThreadScheduler ts(FastWatchdog());
+  ts.StartWatchdog({&partition});
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ts.StopWatchdog();
+  EXPECT_EQ(ts.stall_events(), 0);
+}
+
+// Satellite: a timed-out engine wait returns false and the diagnostic
+// snapshot names the partitions and their queue depths; the run then
+// finishes normally once the sources close.
+TEST(WatchdogTest, EngineWaitTimeoutProducesSnapshot) {
+  testutil::LinearPipelineFixture fix;
+  StreamEngine engine(&fix.graph);
+  EngineOptions options;
+  options.mode = ExecutionMode::kHmts;
+  ASSERT_TRUE(engine.Configure(options).ok());
+  ASSERT_TRUE(engine.Start().ok());
+
+  fix.src->Push(Tuple::OfInt(5, 0));
+  // The stream never closes, so the bounded wait must time out (the
+  // workers keep running) and the snapshot must describe the partitions.
+  EXPECT_FALSE(engine.WaitUntilFinishedFor(std::chrono::milliseconds(100)));
+  const std::string snapshot = engine.DiagnosticSnapshot();
+  EXPECT_NE(snapshot.find("partition '"), std::string::npos) << snapshot;
+
+  fix.src->Close(1);
+  EXPECT_TRUE(engine.WaitUntilFinishedFor(std::chrono::seconds(30)));
+  EXPECT_TRUE(engine.RunResult().ok());
+}
+
+// A healthy engine-managed HMTS run under an armed watchdog stays clean.
+TEST(WatchdogTest, EngineWatchdogCleanOnHealthyRun) {
+  testutil::LinearPipelineFixture fix;
+  StreamEngine engine(&fix.graph);
+  EngineOptions options;
+  options.mode = ExecutionMode::kHmts;
+  options.ts.watchdog_interval = std::chrono::milliseconds(200);
+  ASSERT_TRUE(engine.Configure(options).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  fix.Feed();
+  EXPECT_TRUE(engine.WaitUntilFinishedFor(std::chrono::seconds(30)));
+  EXPECT_TRUE(engine.RunResult().ok());
+  EXPECT_EQ(engine.hmts()->thread_scheduler().stall_events(), 0);
+  EXPECT_EQ(fix.sink->size(), fix.expected_results);
+}
+
+}  // namespace
+}  // namespace flexstream
