@@ -1,0 +1,234 @@
+// Checkpoint/recovery cost (ISSUE 4): what does arming epoch-based
+// checkpointing cost a healthy run, and how long does a kill -> rewind ->
+// replay -> resume cycle take?
+//
+// Scenarios (shared pipeline: src -> select -> sliding-window aggregate ->
+// counting sink; the aggregate emits one output per input and its window
+// keeps state bounded, so per-epoch snapshot cost reflects steady-state
+// operator state, not an artificially unbounded accumulation):
+//   checkpoint_off : baseline run, checkpoint_epoch_interval = 0.
+//   checkpoint_on  : identical run with epoch barriers every 100 and every
+//                    1000 elements (snapshots + replay-buffer recording
+//                    on) — the overhead/recovery-granularity trade-off.
+//   kill_recover   : checkpointing on, the selection operator is killed
+//                    mid-run by the chaos injector; the engine recovers
+//                    from the last committed epoch and the run completes.
+//
+// Reported: median wall time over the reps for the two healthy scenarios
+// (overhead_pct = on vs off), and for the kill run the engine's measured
+// pause->restore->replay->resume latency plus replay accounting. Results
+// go to stdout and BENCH_recovery.json (override with --out <path>).
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/query_builder.h"
+#include "api/stream_engine.h"
+#include "graph/query_graph.h"
+#include "operators/selection.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "operators/aggregate.h"
+#include "recovery/recovery_manager.h"
+#include "testing/chaos.h"
+#include "tuple/tuple.h"
+#include "util/clock.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace flexstream {
+namespace {
+
+constexpr int64_t kFeedPerSource = 50'000;
+constexpr uint64_t kEpochInterval = 100;
+constexpr int kReps = 5;
+constexpr auto kWait = std::chrono::seconds(120);
+
+struct Pipeline {
+  std::unique_ptr<QueryGraph> graph;
+  Source* source = nullptr;
+  CountingSink* sink = nullptr;
+};
+
+Pipeline BuildPipeline() {
+  Pipeline p;
+  p.graph = std::make_unique<QueryGraph>();
+  QueryBuilder qb(p.graph.get());
+  p.source = qb.AddSource("src");
+  Selection* sel =
+      qb.Select(p.source, "sel", [](const Tuple&) { return true; });
+  WindowedAggregate::Options agg;
+  agg.kind = AggregateKind::kSum;
+  agg.value_attr = 0;
+  agg.window_micros = 1'000;  // ~1000 elements of state at 1 us spacing
+  p.sink = qb.CountSink(qb.Aggregate(sel, "agg", agg), "sink");
+  return p;
+}
+
+void Feed(const Pipeline& p) {
+  for (int64_t i = 0; i < kFeedPerSource; ++i) {
+    p.source->Push(Tuple::OfInt(i % 97, i + 1));
+  }
+  p.source->Close(kFeedPerSource);
+}
+
+struct HealthyResult {
+  double seconds = 0.0;
+  uint64_t epochs_committed = 0;
+};
+
+HealthyResult RunHealthy(uint64_t epoch_interval) {
+  Pipeline p = BuildPipeline();
+  StreamEngine engine(p.graph.get());
+  EngineOptions options;
+  options.mode = ExecutionMode::kGts;
+  options.checkpoint_epoch_interval = epoch_interval;
+  CHECK_OK(engine.Configure(options));
+
+  Stopwatch sw;
+  CHECK_OK(engine.Start());
+  Feed(p);
+  CHECK(engine.WaitUntilFinishedFor(kWait));
+  const double seconds = sw.ElapsedSeconds();
+  CHECK_OK(engine.RunResult());
+  CHECK(p.sink->count() == kFeedPerSource);
+
+  HealthyResult r;
+  r.seconds = seconds;
+  if (engine.recovery() != nullptr) {
+    r.epochs_committed =
+        static_cast<uint64_t>(engine.recovery()->coordinator().epochs_committed());
+  }
+  return r;
+}
+
+struct KillResult {
+  double seconds = 0.0;
+  int64_t recovery_latency_micros = 0;
+  int64_t replayed_elements = 0;
+  uint64_t committed_epoch_end_of_run = 0;
+};
+
+KillResult RunKill() {
+  Pipeline p = BuildPipeline();
+  StreamEngine engine(p.graph.get());
+  EngineOptions options;
+  options.mode = ExecutionMode::kGts;
+  options.checkpoint_epoch_interval = kEpochInterval;
+  CHECK_OK(engine.Configure(options));
+
+  ChaosOptions chaos_options;
+  chaos_options.kill_operator = "sel";
+  chaos_options.kill_after = kFeedPerSource / 2;
+  ChaosInjector chaos(chaos_options);
+  chaos.Arm(p.graph.get(), engine.queues());
+
+  Stopwatch sw;
+  CHECK_OK(engine.Start());
+  Feed(p);
+  CHECK(engine.WaitUntilFinishedFor(kWait));
+  const double seconds = sw.ElapsedSeconds();
+  CHECK_OK(engine.RunResult());
+  CHECK(chaos.permanent_injections() == 1);
+  CHECK(engine.recovery() != nullptr);
+  CHECK(engine.recovery()->completed_recoveries() == 1);
+  CHECK(p.sink->count() == kFeedPerSource);
+
+  KillResult r;
+  r.seconds = seconds;
+  r.recovery_latency_micros = engine.recovery()->last_recovery_latency_micros();
+  r.replayed_elements = engine.recovery()->replayed_elements();
+  r.committed_epoch_end_of_run = engine.recovery()->coordinator().committed_epoch();
+  return r;
+}
+
+double Median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+}  // namespace
+}  // namespace flexstream
+
+int main(int argc, char** argv) {
+  using namespace flexstream;
+
+  std::string out_path = "BENCH_recovery.json";
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::string(argv[i]) == "--out") out_path = argv[i + 1];
+  }
+
+  const std::vector<uint64_t> intervals = {kEpochInterval, 10 * kEpochInterval};
+  std::vector<double> off_secs;
+  std::vector<std::vector<double>> on_secs(intervals.size());
+  std::vector<uint64_t> epochs_committed(intervals.size(), 0);
+  for (int rep = 0; rep < kReps; ++rep) {
+    off_secs.push_back(RunHealthy(0).seconds);
+    for (size_t k = 0; k < intervals.size(); ++k) {
+      const HealthyResult on = RunHealthy(intervals[k]);
+      on_secs[k].push_back(on.seconds);
+      epochs_committed[k] = on.epochs_committed;
+    }
+  }
+  const double off_median = Median(off_secs);
+  std::vector<double> on_median(intervals.size());
+  std::vector<double> overhead_pct(intervals.size());
+  for (size_t k = 0; k < intervals.size(); ++k) {
+    on_median[k] = Median(on_secs[k]);
+    overhead_pct[k] = 100.0 * (on_median[k] - off_median) / off_median;
+  }
+
+  const KillResult kill = RunKill();
+
+  Table table({"scenario", "seconds", "tuples_per_sec", "notes"});
+  const double tuples = static_cast<double>(kFeedPerSource);
+  table.AddRow({"checkpoint_off", Table::Num(off_median, 4),
+                Table::Num(tuples / off_median, 0), "epoch interval 0"});
+  for (size_t k = 0; k < intervals.size(); ++k) {
+    table.AddRow({"checkpoint_on_" + std::to_string(intervals[k]),
+                  Table::Num(on_median[k], 4),
+                  Table::Num(tuples / on_median[k], 0),
+                  "interval " + std::to_string(intervals[k]) + ", " +
+                      std::to_string(epochs_committed[k]) +
+                      " epochs committed, overhead " +
+                      Table::Num(overhead_pct[k], 1) + "%"});
+  }
+  table.AddRow({"kill_recover", Table::Num(kill.seconds, 4),
+                Table::Num(tuples / kill.seconds, 0),
+                "recovery " +
+                    std::to_string(kill.recovery_latency_micros) + " us, " +
+                    std::to_string(kill.replayed_elements) + " replayed"});
+  table.Print(std::cout);
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"bench\": \"recovery\",\n"
+      << "  \"feed_per_source\": " << kFeedPerSource << ",\n"
+      << "  \"reps\": " << kReps << ",\n"
+      << "  \"checkpoint_off_seconds\": " << off_median << ",\n"
+      << "  \"checkpoint_on\": [\n";
+  for (size_t k = 0; k < intervals.size(); ++k) {
+    out << "    {\"epoch_interval\": " << intervals[k]
+        << ", \"seconds\": " << on_median[k]
+        << ", \"overhead_pct\": " << overhead_pct[k]
+        << ", \"epochs_committed\": " << epochs_committed[k] << "}"
+        << (k + 1 < intervals.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"kill_recover\": {\n"
+      << "    \"total_seconds\": " << kill.seconds << ",\n"
+      << "    \"recovery_latency_micros\": " << kill.recovery_latency_micros
+      << ",\n"
+      << "    \"replayed_elements\": " << kill.replayed_elements << ",\n"
+      << "    \"committed_epoch_end_of_run\": "
+      << kill.committed_epoch_end_of_run << "\n"
+      << "  }\n"
+      << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "api/stream_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <thread>
 #include <unordered_map>
@@ -316,11 +317,13 @@ Status StreamEngine::Configure(const EngineOptions& options) {
     }
   }
   // Every operator (queues included — their kBlock waits poll it) reports
-  // failures into the engine's run status.
+  // failures into the engine's run status and shares the retry backoff
+  // policy.
   run_status_.Reset();
   for (Node* node : graph_->nodes()) {
     if (Operator* op = dynamic_cast<Operator*>(node)) {
       op->SetRunStatus(&run_status_);
+      op->SetRetryBackoff(options.retry_backoff);
     }
   }
 
@@ -328,6 +331,18 @@ Status StreamEngine::Configure(const EngineOptions& options) {
   if (!s.ok()) return s;
 
   CollectSinks();
+
+  // Checkpointing last: the queues are placed, so barrier channels line up
+  // with the final topology.
+  if (options.checkpoint_epoch_interval > 0) {
+    RecoveryManager::Options ropts;
+    ropts.epoch_interval = options.checkpoint_epoch_interval;
+    ropts.max_attempts = options.max_recovery_attempts;
+    ropts.replay_buffer_max_elements = options.replay_buffer_max_elements;
+    recovery_ = std::make_unique<RecoveryManager>(ropts);
+    recovery_->Arm(graph_);
+  }
+
   options_ = options;
   configured_ = true;
   started_ = false;
@@ -351,61 +366,108 @@ bool StreamEngine::AllPartitionsDone() const {
   return true;
 }
 
-void StreamEngine::WaitUntilFinished() {
+StreamEngine::WaitOutcome StreamEngine::WaitOnce(const TimePoint* deadline) {
   // Sliced sink waits so a mid-run operator failure ends the wait instead
   // of hanging forever on a sink that will never close.
   for (Sink* sink : sinks_) {
-    while (!sink->WaitUntilClosedFor(std::chrono::milliseconds(10))) {
-      if (run_status_.failed()) {
-        AbortOnFailure();
-        return;
+    while (true) {
+      if (run_status_.failed()) return WaitOutcome::kFailed;
+      Duration slice = std::chrono::milliseconds(10);
+      if (deadline != nullptr) {
+        const Duration remaining = *deadline - Now();
+        if (remaining <= Duration::zero()) {
+          LOG(WARNING) << "wait timed out waiting for sink '" << sink->name()
+                       << "'; partition snapshot:\n"
+                       << DiagnosticSnapshot();
+          return WaitOutcome::kTimedOut;
+        }
+        slice = std::min(remaining, slice);
       }
+      if (sink->WaitUntilClosedFor(slice)) break;
     }
   }
   while (!AllPartitionsDone()) {
-    if (run_status_.failed()) {
-      AbortOnFailure();
-      return;
+    if (run_status_.failed()) return WaitOutcome::kFailed;
+    if (deadline != nullptr && Now() >= *deadline) {
+      LOG(WARNING) << "wait timed out waiting for partitions to drain; "
+                      "partition snapshot:\n"
+                   << DiagnosticSnapshot();
+      return WaitOutcome::kTimedOut;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  Stop();
+  // A failure can arrive after EOS has propagated (e.g. poisoned data the
+  // sinks never saw); a "completed" run with a recorded failure is still a
+  // failed run and recovers like a mid-run failure.
+  return run_status_.failed() ? WaitOutcome::kFailed : WaitOutcome::kFinished;
+}
+
+void StreamEngine::WaitUntilFinished() {
+  while (true) {
+    switch (WaitOnce(nullptr)) {
+      case WaitOutcome::kFinished:
+        Stop();
+        return;
+      case WaitOutcome::kFailed:
+        if (AttemptRecovery()) continue;
+        AbortOnFailure();
+        return;
+      case WaitOutcome::kTimedOut:
+        return;  // unreachable without a deadline
+    }
+  }
 }
 
 bool StreamEngine::WaitUntilFinishedFor(Duration timeout) {
   const TimePoint deadline = Now() + timeout;
-  for (Sink* sink : sinks_) {
-    while (true) {
-      const Duration remaining = deadline - Now();
-      if (remaining <= Duration::zero()) {
-        LOG(WARNING) << "WaitUntilFinishedFor timed out waiting for sink '"
-                     << sink->name() << "'; partition snapshot:\n"
-                     << DiagnosticSnapshot();
-        return false;
-      }
-      const Duration slice =
-          std::min<Duration>(remaining, std::chrono::milliseconds(10));
-      if (sink->WaitUntilClosedFor(slice)) break;
-      if (run_status_.failed()) {
+  while (true) {
+    switch (WaitOnce(&deadline)) {
+      case WaitOutcome::kFinished:
+        Stop();
+        return true;
+      case WaitOutcome::kFailed:
+        if (AttemptRecovery()) continue;
         AbortOnFailure();
         return true;  // run over (abnormally) — see RunResult()
-      }
+      case WaitOutcome::kTimedOut:
+        return false;
     }
   }
-  while (!AllPartitionsDone()) {
-    if (run_status_.failed()) {
-      AbortOnFailure();
-      return true;
-    }
-    if (Now() >= deadline) {
-      LOG(WARNING) << "WaitUntilFinishedFor timed out waiting for "
-                      "partitions to drain; partition snapshot:\n"
-                   << DiagnosticSnapshot();
-      return false;
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+bool StreamEngine::AttemptRecovery() {
+  if (recovery_ == nullptr) return false;
+  if (!recovery_->BeginAttempt()) {
+    LOG(WARNING) << "recovery unavailable ("
+                 << (recovery_->any_buffer_truncated()
+                         ? "replay buffer truncated"
+                         : "attempt budget exhausted")
+                 << ") after failure: " << run_status_.first().message();
+    return false;
   }
+  const TimePoint start = Now();
+  const uint64_t epoch = recovery_->coordinator().committed_epoch();
+  LOG(WARNING) << "operator failure — recovering from committed epoch "
+               << epoch << ": " << run_status_.first().message();
+  // Unwedge any producer blocked on a bounded queue (sticky until the
+  // queues reset below), then quiesce the source threads and the workers.
+  for (QueueOp* q : queues_) q->CancelProducerWaits();
+  recovery_->PauseSources();
   Stop();
+  recovery_->RestoreCommittedState();
+  run_status_.Reset();
+  Status s = BuildExecutors(options_);
+  if (s.ok()) s = Start();
+  if (!s.ok()) {
+    LOG(ERROR) << "recovery restart failed: " << s.message();
+    recovery_->ResumeSources();
+    return false;
+  }
+  recovery_->ReplaySources();
+  recovery_->ResumeSources();
+  recovery_->FinishAttempt(
+      std::chrono::duration_cast<std::chrono::microseconds>(Now() - start)
+          .count());
   return true;
 }
 
@@ -447,6 +509,11 @@ void StreamEngine::Stop() {
 
 Status StreamEngine::SwitchTo(const EngineOptions& options) {
   if (!configured_) return Status::FailedPrecondition("not configured");
+  if (recovery_ != nullptr) {
+    return Status::FailedPrecondition(
+        "cannot switch configurations while checkpointing is armed; "
+        "Deconfigure first");
+  }
   const bool was_started = started_;
   Stop();
 
@@ -477,6 +544,10 @@ Status StreamEngine::SwitchTo(const EngineOptions& options) {
 Status StreamEngine::Deconfigure() {
   if (!configured_) return Status::FailedPrecondition("not configured");
   if (started_) Stop();
+  if (recovery_ != nullptr) {
+    recovery_->Disarm();
+    recovery_.reset();
+  }
   // Drain in topological order so elements pushed downstream land in
   // queues that have not been removed yet.
   Result<std::vector<Node*>> order = graph_->TopologicalOrder();

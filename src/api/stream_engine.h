@@ -38,6 +38,7 @@
 #include "operators/sink.h"
 #include "placement/partitioning.h"
 #include "queue/queue_op.h"
+#include "recovery/recovery_manager.h"
 #include "sched/gts.h"
 #include "sched/ots.h"
 #include "util/run_status.h"
@@ -88,6 +89,19 @@ struct EngineOptions {
   Duration block_wait_timeout = std::chrono::seconds(2);
   Partition::Options partition;
   ThreadScheduler::Options ts;
+  /// Checkpointing: elements per source between epoch barriers. 0 (the
+  /// default) disables checkpointing entirely — no barriers, no replay
+  /// buffers, zero overhead on the data path.
+  uint64_t checkpoint_epoch_interval = 0;
+  /// Recovery attempts per run before falling back to the abort path.
+  int max_recovery_attempts = 3;
+  /// Per-source replay-buffer element cap (0 = unbounded). Overflowing it
+  /// disqualifies recovery for the run rather than replaying a truncated
+  /// stream.
+  size_t replay_buffer_max_elements = 1 << 20;
+  /// Transient-failure retry backoff applied to every operator
+  /// (capped exponential with seeded jitter; see RetryBackoffOptions).
+  RetryBackoffOptions retry_backoff;
 };
 
 class StreamEngine {
@@ -174,6 +188,10 @@ class StreamEngine {
   /// The partitioning used by the last kHmts configuration.
   const Partitioning* partitioning() const { return partitioning_.get(); }
 
+  /// Present only when checkpoint_epoch_interval > 0.
+  RecoveryManager* recovery() { return recovery_.get(); }
+  const RecoveryManager* recovery() const { return recovery_.get(); }
+
  private:
   /// (from, to) edges that must receive a queue for `options`.
   Status ComputeQueueEdges(const EngineOptions& options,
@@ -186,6 +204,17 @@ class StreamEngine {
   /// workers.
   void AbortOnFailure();
 
+  /// One sink+partition wait pass (nullptr deadline = unbounded).
+  enum class WaitOutcome { kFinished, kFailed, kTimedOut };
+  WaitOutcome WaitOnce(const TimePoint* deadline);
+  /// Rewind-and-replay after a permanent operator failure: quiesce
+  /// sources, stop workers, restore the last committed epoch, rebuild and
+  /// restart the executors, replay the retained source suffix, resume.
+  /// Returns false when recovery is unavailable (not armed, attempt
+  /// budget exhausted, or a replay buffer overflowed) — the caller then
+  /// takes the abort path.
+  bool AttemptRecovery();
+
   QueryGraph* graph_;
   RunStatus run_status_;
   EngineOptions options_;
@@ -195,6 +224,7 @@ class StreamEngine {
   std::vector<QueueOp*> queues_;
   std::vector<Sink*> sinks_;
   std::unique_ptr<Partitioning> partitioning_;
+  std::unique_ptr<RecoveryManager> recovery_;
 
   std::unique_ptr<GtsExecutor> gts_;
   std::unique_ptr<OtsExecutor> ots_;

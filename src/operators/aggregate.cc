@@ -102,4 +102,20 @@ void WindowedAggregate::Process(const Tuple& tuple, int port) {
   }
 }
 
+
+OperatorSnapshot WindowedAggregate::SnapshotState() const {
+  OperatorSnapshot snap;
+  snap.state = std::make_pair(window_, groups_);
+  snap.element_count = static_cast<int64_t>(window_.size());
+  return snap;
+}
+
+void WindowedAggregate::RestoreState(const OperatorSnapshot& snapshot) {
+  using State =
+      std::pair<SlidingWindow,
+                std::unordered_map<Value, GroupState, ValueHash>>;
+  const auto& state = std::any_cast<const State&>(snapshot.state);
+  window_ = state.first;
+  groups_ = state.second;
+}
 }  // namespace flexstream

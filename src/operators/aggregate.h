@@ -17,6 +17,7 @@
 
 #include "operators/operator.h"
 #include "operators/window.h"
+#include "recovery/state_snapshot.h"
 
 namespace flexstream {
 
@@ -24,7 +25,7 @@ enum class AggregateKind { kCount, kSum, kAvg, kMin, kMax };
 
 const char* AggregateKindToString(AggregateKind kind);
 
-class WindowedAggregate : public Operator {
+class WindowedAggregate : public Operator, public StatefulOperator {
  public:
   struct Options {
     AggregateKind kind = AggregateKind::kCount;
@@ -43,6 +44,9 @@ class WindowedAggregate : public Operator {
   void Reset() override;
 
   size_t window_size() const { return window_.size(); }
+
+  OperatorSnapshot SnapshotState() const override;
+  void RestoreState(const OperatorSnapshot& snapshot) override;
 
  protected:
   void Process(const Tuple& tuple, int port) override;

@@ -54,4 +54,20 @@ void CountWindowAggregate::Process(const Tuple& tuple, int port) {
   Emit(Tuple({Value(Current())}, tuple.timestamp()));
 }
 
+
+OperatorSnapshot CountWindowAggregate::SnapshotState() const {
+  OperatorSnapshot snap;
+  snap.state = std::make_tuple(window_, sum_, ordered_);
+  snap.element_count = static_cast<int64_t>(window_.size());
+  return snap;
+}
+
+void CountWindowAggregate::RestoreState(const OperatorSnapshot& snapshot) {
+  using State =
+      std::tuple<std::deque<double>, double, std::multiset<double>>;
+  const auto& state = std::any_cast<const State&>(snapshot.state);
+  window_ = std::get<0>(state);
+  sum_ = std::get<1>(state);
+  ordered_ = std::get<2>(state);
+}
 }  // namespace flexstream

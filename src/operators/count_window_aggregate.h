@@ -12,10 +12,11 @@
 
 #include "operators/aggregate.h"
 #include "operators/operator.h"
+#include "recovery/state_snapshot.h"
 
 namespace flexstream {
 
-class CountWindowAggregate : public Operator {
+class CountWindowAggregate : public Operator, public StatefulOperator {
  public:
   struct Options {
     AggregateKind kind = AggregateKind::kCount;
@@ -29,6 +30,9 @@ class CountWindowAggregate : public Operator {
   void Reset() override;
 
   size_t window_size() const { return window_.size(); }
+
+  OperatorSnapshot SnapshotState() const override;
+  void RestoreState(const OperatorSnapshot& snapshot) override;
 
  protected:
   void Process(const Tuple& tuple, int port) override;

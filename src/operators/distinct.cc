@@ -49,4 +49,20 @@ void Distinct::Process(const Tuple& tuple, int port) {
   if (first_in_window) Emit(tuple);
 }
 
+
+OperatorSnapshot Distinct::SnapshotState() const {
+  OperatorSnapshot snap;
+  snap.state = std::make_pair(window_, live_);
+  snap.element_count = static_cast<int64_t>(window_.size());
+  return snap;
+}
+
+void Distinct::RestoreState(const OperatorSnapshot& snapshot) {
+  using State =
+      std::pair<SlidingWindow,
+                std::unordered_map<std::vector<Value>, int64_t, KeyHash>>;
+  const auto& state = std::any_cast<const State&>(snapshot.state);
+  window_ = state.first;
+  live_ = state.second;
+}
 }  // namespace flexstream

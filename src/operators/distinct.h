@@ -15,10 +15,11 @@
 
 #include "operators/operator.h"
 #include "operators/window.h"
+#include "recovery/state_snapshot.h"
 
 namespace flexstream {
 
-class Distinct : public Operator {
+class Distinct : public Operator, public StatefulOperator {
  public:
   /// `key_attrs` selects the attributes compared for equality; empty
   /// means the whole tuple (all attributes, not the timestamp).
@@ -28,6 +29,9 @@ class Distinct : public Operator {
   void Reset() override;
 
   size_t window_size() const { return window_.size(); }
+
+  OperatorSnapshot SnapshotState() const override;
+  void RestoreState(const OperatorSnapshot& snapshot) override;
 
  protected:
   void Process(const Tuple& tuple, int port) override;

@@ -96,4 +96,15 @@ void MultiwayJoin::Process(const Tuple& tuple, int port) {
   inputs_[static_cast<size_t>(port)].Insert(tuple);
 }
 
+
+OperatorSnapshot MultiwayJoin::SnapshotState() const {
+  OperatorSnapshot snap;
+  snap.state = inputs_;
+  snap.element_count = static_cast<int64_t>(StateSize());
+  return snap;
+}
+
+void MultiwayJoin::RestoreState(const OperatorSnapshot& snapshot) {
+  inputs_ = std::any_cast<const std::vector<Input>&>(snapshot.state);
+}
 }  // namespace flexstream

@@ -17,10 +17,11 @@
 #include <vector>
 
 #include "operators/operator.h"
+#include "recovery/state_snapshot.h"
 
 namespace flexstream {
 
-class MultiwayJoin : public Operator {
+class MultiwayJoin : public Operator, public StatefulOperator {
  public:
   /// One stream per entry of `key_attrs`; input i joins on attribute
   /// key_attrs[i]. Requires at least 2 inputs.
@@ -31,6 +32,9 @@ class MultiwayJoin : public Operator {
 
   size_t StateSize() const;
   int num_inputs() const { return static_cast<int>(inputs_.size()); }
+
+  OperatorSnapshot SnapshotState() const override;
+  void RestoreState(const OperatorSnapshot& snapshot) override;
 
  protected:
   void Process(const Tuple& tuple, int port) override;

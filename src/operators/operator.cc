@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <thread>
+#include <utility>
 
 #include "util/busy_work.h"
 #include "util/logging.h"
@@ -18,6 +20,9 @@ std::atomic<bool> g_stats_enabled{true};
 // DI call chains).
 thread_local double tl_child_micros = 0.0;
 
+// The node whose Emit/drain loop is making the current Receive() call.
+// Barrier alignment keys input channels on it (variadic operators receive
+// every producer on port 0, so the port alone cannot identify a channel).
 }  // namespace
 
 void SetStatsCollectionEnabled(bool enabled) {
@@ -62,7 +67,7 @@ bool Operator::PassesFaultHook(const Tuple& tuple, int port) {
       case FaultAction::kPermanentFailure:
         Fail(Status::Internal("permanent fault while processing element"));
         return false;
-      case FaultAction::kTransientFailure:
+      case FaultAction::kTransientFailure: {
         if (attempt >= kMaxFaultRetries) {
           Fail(Status::Internal("transient-fault retry budget exhausted (" +
                                 std::to_string(kMaxFaultRetries) +
@@ -70,13 +75,35 @@ bool Operator::PassesFaultHook(const Tuple& tuple, int port) {
           return false;
         }
         fault_retries_.fetch_add(1, std::memory_order_relaxed);
-        // Capped exponential backoff; long enough to model a real retry,
-        // short enough that chaos sweeps stay fast.
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(std::min(1 << attempt, 256)));
+        // Capped exponential backoff with per-operator seeded jitter:
+        // parallel partitions retrying against a shared downstream draw
+        // different sleeps, so they don't thundering-herd it in lockstep.
+        double sleep_micros =
+            std::min(retry_backoff_.cap_micros,
+                     retry_backoff_.base_micros *
+                         std::ldexp(1.0, std::min(attempt, 62)));
+        if (retry_backoff_.jitter > 0.0) {
+          if (retry_rng_ == nullptr) {
+            retry_rng_ = std::make_unique<std::mt19937_64>(
+                retry_backoff_.seed ^
+                static_cast<uint64_t>(std::hash<std::string>{}(name())));
+          }
+          std::uniform_real_distribution<double> unit(0.0, 1.0);
+          sleep_micros *= 1.0 - retry_backoff_.jitter * unit(*retry_rng_);
+        }
+        if (sleep_micros >= 1.0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(static_cast<int64_t>(sleep_micros)));
+        }
         break;
+      }
     }
   }
+}
+
+void Operator::SetRetryBackoff(const RetryBackoffOptions& options) {
+  retry_backoff_ = options;
+  retry_rng_.reset();  // re-seed lazily with the new options
 }
 
 void Operator::SetSerializedReceive(bool enabled) {
@@ -105,6 +132,131 @@ void Operator::Receive(Tuple&& tuple, int port) {
 }
 
 void Operator::ReceiveLocked(const Tuple& tuple, int port) {
+  // Barrier alignment engages lazily: until the first barrier arrives,
+  // every delivery takes the plain path below at zero extra cost.
+  if (epoch_state_ != nullptr || tuple.is_barrier()) {
+    if (HandleEpochDelivery(tuple, port)) return;
+  }
+  DeliverLocked(tuple, port);
+}
+
+bool Operator::HandleEpochDelivery(const Tuple& tuple, int port) {
+  if (epoch_state_ == nullptr) InitEpochState(/*aligned_epoch=*/0);
+  EpochChannel* ch = ChannelForCurrentSender(port);
+  if (ch == nullptr) {
+    // Delivery from outside the graph (test driving the operator
+    // directly): no channel structure to align — swallow barriers, let
+    // everything else through.
+    return tuple.is_barrier();
+  }
+  if (ch->blocked) {
+    // Post-barrier arrival: held back until this operator finishes the
+    // epoch, so the snapshot sees exactly the pre-barrier input.
+    ch->backlog.push_back(tuple);
+    return true;
+  }
+  if (tuple.is_barrier()) {
+    // A poisoned operator must not align: its state diverged when it
+    // started dropping data, and a snapshot of it must never commit.
+    if (failed_.load(std::memory_order_relaxed)) return true;
+    DCHECK_EQ(tuple.epoch(), epoch_state_->aligned_epoch + 1);
+    ch->blocked = true;
+    AlignAndRelease();
+    return true;
+  }
+  if (tuple.is_eos()) {
+    // A closed channel counts as aligned for every future epoch.
+    ch->closed = true;
+    DeliverLocked(tuple, port);
+    AlignAndRelease();
+    return true;
+  }
+  return false;
+}
+
+Operator::EpochChannel* Operator::ChannelForCurrentSender(int port) {
+  auto& channels = epoch_state_->channels;
+  if (channels.size() == 1) return &channels[0];
+  for (EpochChannel& ch : channels) {
+    if (ch.source == tl_delivery_sender_ && ch.port == port) return &ch;
+  }
+  DCHECK(channels.empty())
+      << DebugString() << " delivery from unknown sender on port " << port;
+  return nullptr;
+}
+
+void Operator::InitEpochState(uint64_t aligned_epoch) {
+  epoch_state_ = std::make_unique<EpochState>();
+  epoch_state_->aligned_epoch = aligned_epoch;
+  aligned_epoch_.store(aligned_epoch, std::memory_order_release);
+  for (const InEdge& in : inputs()) {
+    EpochChannel ch;
+    ch.source = in.source;
+    ch.port = in.port;
+    epoch_state_->channels.push_back(std::move(ch));
+  }
+}
+
+void Operator::AlignAndRelease() {
+  EpochState& es = *epoch_state_;
+  if (es.releasing) return;
+  es.releasing = true;
+  for (;;) {
+    // Aligned when every open channel is blocked at the next barrier
+    // (closed channels are aligned at infinity) and at least one channel
+    // is actually blocked — an all-closed operator has nothing to align.
+    bool any_blocked = false;
+    bool all_ready = true;
+    for (const EpochChannel& ch : es.channels) {
+      if (ch.closed) continue;
+      if (ch.blocked) {
+        any_blocked = true;
+      } else {
+        all_ready = false;
+        break;
+      }
+    }
+    if (!any_blocked || !all_ready) break;
+    const uint64_t epoch = ++es.aligned_epoch;
+    aligned_epoch_.store(epoch, std::memory_order_release);
+    // State now reflects exactly epochs 1..epoch: snapshot, then let the
+    // barrier race ahead of the backlog.
+    if (const std::shared_ptr<const EpochCallback> cb = epoch_callback_) {
+      (*cb)(epoch);
+    }
+    EmitBarrier(Tuple::EpochBarrier(epoch));
+    for (EpochChannel& ch : es.channels) ch.blocked = false;
+    // Release each channel's backlog until it re-blocks (next barrier),
+    // closes, or empties; another full alignment may follow immediately.
+    for (EpochChannel& ch : es.channels) {
+      while (!ch.blocked && !ch.backlog.empty()) {
+        Tuple t = std::move(ch.backlog.front());
+        ch.backlog.pop_front();
+        if (t.is_barrier()) {
+          ch.blocked = true;
+        } else if (t.is_eos()) {
+          ch.closed = true;
+          DeliverLocked(t, ch.port);
+        } else {
+          DeliverLocked(t, ch.port);
+        }
+      }
+    }
+  }
+  es.releasing = false;
+}
+
+void Operator::SetEpochCallback(EpochCallback callback) {
+  epoch_callback_ =
+      callback ? std::make_shared<const EpochCallback>(std::move(callback))
+               : nullptr;
+}
+
+void Operator::SetRecoveredEpoch(uint64_t epoch) { InitEpochState(epoch); }
+
+thread_local const Node* Operator::tl_delivery_sender_ = nullptr;
+
+void Operator::DeliverLocked(const Tuple& tuple, int port) {
   if (tuple.is_eos()) {
     max_eos_timestamp_ = std::max(max_eos_timestamp_, tuple.timestamp());
     ++eos_received_;
@@ -112,6 +264,11 @@ void Operator::ReceiveLocked(const Tuple& tuple, int port) {
     if (eos_received_ >= fan_in() && !closed_) {
       closed_ = true;
       OnAllInputsClosed(max_eos_timestamp_);
+      // Tell the checkpoint coordinator this operator is out of the
+      // alignment game: its final state is fully reflected downstream.
+      if (const std::shared_ptr<const EpochCallback> cb = epoch_callback_) {
+        (*cb)(kEpochClosed);
+      }
     }
     return;
   }
@@ -145,6 +302,7 @@ void Operator::Emit(const Tuple& tuple) {
   DCHECK(tuple.is_data());
   if (StatsCollectionEnabled()) stats().RecordEmitted(1);
   for (const auto& edge : outputs()) {
+    tl_delivery_sender_ = this;  // re-set per edge: nested Emits overwrite it
     edge.target->Receive(tuple, edge.port);
   }
 }
@@ -155,9 +313,11 @@ void Operator::EmitMove(Tuple&& tuple) {
   const auto& edges = outputs();
   if (edges.empty()) return;
   for (size_t i = 0; i + 1 < edges.size(); ++i) {
+    tl_delivery_sender_ = this;
     edges[i].target->Receive(tuple, edges[i].port);
   }
   const OutEdge& last = edges.back();
+  tl_delivery_sender_ = this;
   last.target->Receive(std::move(tuple), last.port);
 }
 
@@ -166,13 +326,23 @@ void Operator::EmitTo(size_t output_index, const Tuple& tuple) {
   DCHECK_LT(output_index, outputs().size());
   if (StatsCollectionEnabled()) stats().RecordEmitted(1);
   const OutEdge& edge = outputs()[output_index];
+  tl_delivery_sender_ = this;
   edge.target->Receive(tuple, edge.port);
 }
 
 void Operator::EmitEos(AppTime timestamp) {
   const Tuple eos = Tuple::EndOfStream(timestamp);
   for (const auto& edge : outputs()) {
+    tl_delivery_sender_ = this;
     edge.target->Receive(eos, edge.port);
+  }
+}
+
+void Operator::EmitBarrier(const Tuple& barrier) {
+  DCHECK(barrier.is_barrier());
+  for (const auto& edge : outputs()) {
+    tl_delivery_sender_ = this;
+    edge.target->Receive(barrier, edge.port);
   }
 }
 
@@ -182,6 +352,10 @@ void Operator::Reset() {
   max_eos_timestamp_ = 0;
   failed_.store(false, std::memory_order_release);
   fault_retries_.store(0, std::memory_order_relaxed);
+  // Epoch machinery re-engages at the next barrier (or via
+  // SetRecoveredEpoch); the callback survives like the fault hook does.
+  epoch_state_.reset();
+  aligned_epoch_.store(0, std::memory_order_release);
 }
 
 }  // namespace flexstream

@@ -18,10 +18,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <string>
+#include <vector>
 
 #include "graph/node.h"
 #include "tuple/tuple.h"
@@ -41,6 +44,21 @@ enum class FaultAction {
   kProceed,           // process the element normally
   kTransientFailure,  // fail this attempt; the operator retries with backoff
   kPermanentFailure,  // the operator fails permanently (Operator::Fail)
+};
+
+/// Shape of the capped exponential backoff between transient-fault
+/// retries: attempt n sleeps min(cap, base * 2^n) microseconds, shortened
+/// by a uniformly random fraction in [0, jitter]. The jitter is seeded per
+/// operator (seed ^ hash(name)), so parallel partitions retrying against a
+/// shared downstream desynchronize deterministically instead of
+/// thundering-herding it in lockstep.
+struct RetryBackoffOptions {
+  double base_micros = 1.0;
+  double cap_micros = 256.0;
+  /// Fraction of the computed sleep that may be randomly shaved off
+  /// (0 = fully synchronized legacy behavior, 1 = anywhere down to 0).
+  double jitter = 0.5;
+  uint64_t seed = 0;
 };
 
 class Operator : public Node {
@@ -123,6 +141,42 @@ class Operator : public Node {
     return fault_retries_.load(std::memory_order_relaxed);
   }
 
+  /// Configures the transient-retry backoff (see RetryBackoffOptions).
+  /// Set while quiescent.
+  void SetRetryBackoff(const RetryBackoffOptions& options);
+  const RetryBackoffOptions& retry_backoff() const { return retry_backoff_; }
+
+  // -- Epoch barriers (checkpoint/recovery, src/recovery/) ---------------
+  //
+  // Barrier tuples (Tuple::EpochBarrier) flow through the graph like data
+  // but are intercepted by the base Receive path: the operator blocks each
+  // input channel that has delivered the epoch-k barrier (buffering any
+  // further arrivals from it) until every open channel has, then — with its
+  // state reflecting exactly epochs 1..k — invokes the epoch callback
+  // (which snapshots StatefulOperators), forwards one barrier downstream,
+  // and releases the buffered backlog. Single-input operators align
+  // instantly and never buffer. Channels are identified by the *sender*
+  // (thread-local, set by every Emit/drain path), not the port, because
+  // variadic operators receive all producers on port 0.
+
+  /// Invoked in the operator's own thread at each barrier alignment, after
+  /// state reflects the closed epoch and before downstream forwarding; the
+  /// sentinel kEpochClosed is delivered once when all inputs close. Install
+  /// while quiescent; nullptr detaches.
+  using EpochCallback = std::function<void(uint64_t epoch)>;
+  static constexpr uint64_t kEpochClosed = ~0ull;
+  void SetEpochCallback(EpochCallback callback);
+
+  /// Last epoch this operator aligned (0 before the first barrier).
+  /// Readable from any thread (diagnostics).
+  uint64_t aligned_epoch() const {
+    return aligned_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// After a recovery restore (post-Reset): future barriers continue from
+  /// `epoch` + 1 instead of 1.
+  void SetRecoveredEpoch(uint64_t epoch);
+
   /// Re-arms EOS bookkeeping for a new run. Subclasses clearing operator
   /// state must call the base implementation.
   void Reset() override;
@@ -162,8 +216,53 @@ class Operator : public Node {
   /// overrides after flushing).
   void EmitEos(AppTime timestamp);
 
+  /// Forwards an epoch barrier to every subscriber (alignment and QueueOp
+  /// pass-through).
+  void EmitBarrier(const Tuple& barrier);
+
+  /// Declares `sender` as the origin of the Receive() calls this thread is
+  /// about to make — barrier alignment keys channels on it. Every Emit*
+  /// path sets it automatically; QueueOp's drain loops call it directly.
+  /// Inline (a single thread-local store): it sits on per-tuple drain
+  /// loops, where an out-of-line call is measurable.
+  static void SetDeliverySender(const Node* sender) {
+    tl_delivery_sender_ = sender;
+  }
+
  private:
+  // One input channel = one upstream producer. `port` is the port its
+  // deliveries arrive on (0 for variadic operators regardless of producer).
+  struct EpochChannel {
+    const Node* source = nullptr;
+    int port = 0;
+    bool blocked = false;  // barrier for the next epoch seen, holding input
+    bool closed = false;   // EOS consumed — aligned at infinity
+    std::deque<Tuple> backlog;  // arrivals while blocked, in order
+  };
+  struct EpochState {
+    uint64_t aligned_epoch = 0;
+    bool releasing = false;  // re-entrancy guard for backlog release
+    std::vector<EpochChannel> channels;  // from Node::inputs()
+  };
+
+  /// The sender of the Receive() calls the current thread is making; see
+  /// SetDeliverySender. Read only by barrier channel lookup.
+  static thread_local const Node* tl_delivery_sender_;
+
   void ReceiveLocked(const Tuple& tuple, int port);
+  /// The pre-barrier delivery path (stats, fault hook, Process/EOS).
+  void DeliverLocked(const Tuple& tuple, int port);
+  /// Barrier-aware routing. Returns true when the delivery was consumed
+  /// (barrier handled or arrival buffered behind one). Kept out of line so
+  /// the epoch machinery never bloats ReceiveLocked out of the inliner's
+  /// budget on the per-tuple delivery path of un-armed runs.
+  __attribute__((noinline)) bool HandleEpochDelivery(const Tuple& tuple,
+                                                     int port);
+  void InitEpochState(uint64_t aligned_epoch);
+  EpochChannel* ChannelForCurrentSender(int port);
+  /// Aligns as many epochs as the blocked/closed channel pattern allows,
+  /// releasing backlogs between alignments.
+  void AlignAndRelease();
   /// Runs the fault hook's retry loop for one element. Returns true when
   /// the element should be processed, false when it must be dropped (the
   /// operator failed permanently).
@@ -182,6 +281,16 @@ class Operator : public Node {
   RunStatus* run_status_ = nullptr;
   std::shared_ptr<const FaultHook> fault_hook_;
   std::atomic<int64_t> fault_retries_{0};
+  RetryBackoffOptions retry_backoff_;
+  std::unique_ptr<std::mt19937_64> retry_rng_;  // lazily seeded on first use
+
+  // Epoch machinery. epoch_state_ is touched only by the operator's
+  // executing thread (allocated lazily at the first barrier);
+  // aligned_epoch_ mirrors its counter for cross-thread reads. The
+  // callback is shared_ptr-guarded like the fault hook.
+  std::unique_ptr<EpochState> epoch_state_;
+  std::shared_ptr<const EpochCallback> epoch_callback_;
+  std::atomic<uint64_t> aligned_epoch_{0};
 };
 
 }  // namespace flexstream

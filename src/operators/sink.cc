@@ -68,7 +68,32 @@ void CountingSink::Consume(const Tuple& tuple, int port) {
   }
 }
 
+OperatorSnapshot CountingSink::SnapshotState() const {
+  OperatorSnapshot snap;
+  snap.state = count_.load(std::memory_order_relaxed);
+  snap.element_count = count_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void CountingSink::RestoreState(const OperatorSnapshot& snapshot) {
+  count_.store(std::any_cast<int64_t>(snapshot.state),
+               std::memory_order_relaxed);
+}
+
 CollectingSink::CollectingSink(std::string name) : Sink(std::move(name)) {}
+
+OperatorSnapshot CollectingSink::SnapshotState() const {
+  std::lock_guard<std::mutex> lock(results_mutex_);
+  OperatorSnapshot snap;
+  snap.state = results_;
+  snap.element_count = static_cast<int64_t>(results_.size());
+  return snap;
+}
+
+void CollectingSink::RestoreState(const OperatorSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(results_mutex_);
+  results_ = std::any_cast<std::vector<Tuple>>(snapshot.state);
+}
 
 std::vector<Tuple> CollectingSink::TakeResults() {
   std::lock_guard<std::mutex> lock(results_mutex_);

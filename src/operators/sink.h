@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "operators/operator.h"
+#include "recovery/state_snapshot.h"
 
 namespace flexstream {
 
@@ -48,11 +49,16 @@ class Sink : public Operator {
 
 /// Counts results; optionally timestamps every arrival relative to a start
 /// point so benches can print cumulative-results-over-time series (Fig 10).
-class CountingSink : public Sink {
+/// Stateful for recovery: restoring the checkpointed count (and replaying
+/// only post-epoch input) makes the final count exactly-once.
+class CountingSink : public Sink, public StatefulOperator {
  public:
   explicit CountingSink(std::string name);
 
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  OperatorSnapshot SnapshotState() const override;
+  void RestoreState(const OperatorSnapshot& snapshot) override;
 
   /// Enables per-arrival time recording relative to `start`.
   void StartTimeline(TimePoint start);
@@ -74,13 +80,20 @@ class CountingSink : public Sink {
 
 /// Stores every received tuple; the store is mutex-protected so tests can
 /// inspect results from the main thread after WaitUntilClosed().
-class CollectingSink : public Sink {
+/// Stateful for recovery: truncating the store back to the committed
+/// epoch's snapshot deduplicates replayed results exactly (the epoch +
+/// arrival-sequence dedup of DESIGN.md §10), so a recovered run's results
+/// are an exact multiset match against an undisturbed one.
+class CollectingSink : public Sink, public StatefulOperator {
  public:
   explicit CollectingSink(std::string name);
 
   std::vector<Tuple> TakeResults();
   std::vector<Tuple> Results() const;
   size_t size() const;
+
+  OperatorSnapshot SnapshotState() const override;
+  void RestoreState(const OperatorSnapshot& snapshot) override;
 
   void Reset() override;
 

@@ -8,6 +8,10 @@ Source::Source(std::string name)
     : Operator(Kind::kSource, std::move(name), /*input_arity=*/0) {}
 
 void Source::Push(const Tuple& tuple) {
+  if (epoch_interval_ != 0) {
+    PushEpochs(tuple);
+    return;
+  }
   DCHECK(tuple.is_data());
   DCHECK(!closed_by_driver_) << DebugString() << " pushed after Close";
   if (StatsCollectionEnabled()) {
@@ -17,10 +21,67 @@ void Source::Push(const Tuple& tuple) {
   Emit(tuple);
 }
 
+void Source::PushEpochs(const Tuple& tuple) {
+  // The gate stalls live pushes while recovery rewinds/replays; replayed
+  // pushes come from the thread already holding it exclusively.
+  std::shared_lock<std::shared_mutex> gate_lock;
+  if (gate_ != nullptr && !replaying_) {
+    gate_lock = std::shared_lock<std::shared_mutex>(*gate_);
+  }
+  DCHECK(tuple.is_data());
+  DCHECK(!closed_by_driver_) << DebugString() << " pushed after Close";
+  // Record before emitting: if a failure poisons the graph mid-emit, the
+  // element is already in the replay buffer.
+  if (observer_ != nullptr && !replaying_) observer_->OnPush(tuple, next_epoch_);
+  if (StatsCollectionEnabled()) {
+    stats().RecordArrival(Now());
+    stats().RecordProcessed(0.0);
+  }
+  Emit(tuple);
+  if (++pushed_in_epoch_ >= epoch_interval_) {
+    // Barriers regenerate deterministically on replay: the counters rewind
+    // to the committed boundary, so replayed elements re-cross the same
+    // epoch boundaries at the same positions.
+    EmitBarrier(Tuple::EpochBarrier(next_epoch_));
+    ++next_epoch_;
+    pushed_in_epoch_ = 0;
+  }
+}
+
 void Source::Close(AppTime timestamp) {
+  std::shared_lock<std::shared_mutex> gate_lock;
+  if (epoch_interval_ != 0 && gate_ != nullptr && !replaying_) {
+    gate_lock = std::shared_lock<std::shared_mutex>(*gate_);
+  }
   if (closed_by_driver_) return;
   closed_by_driver_ = true;
+  if (observer_ != nullptr && !replaying_) observer_->OnClose(timestamp);
   EmitEos(timestamp);
+}
+
+void Source::ArmEpochs(uint64_t interval, PushObserver* observer,
+                       std::shared_mutex* gate) {
+  epoch_interval_ = interval;
+  observer_ = observer;
+  gate_ = gate;
+  next_epoch_ = 1;
+  pushed_in_epoch_ = 0;
+  replaying_ = false;
+}
+
+void Source::DisarmEpochs() {
+  epoch_interval_ = 0;
+  observer_ = nullptr;
+  gate_ = nullptr;
+  next_epoch_ = 1;
+  pushed_in_epoch_ = 0;
+  replaying_ = false;
+}
+
+void Source::RewindTo(uint64_t epoch) {
+  closed_by_driver_ = false;
+  next_epoch_ = epoch + 1;
+  pushed_in_epoch_ = 0;
 }
 
 void Source::Reset() {

@@ -10,6 +10,8 @@
 #ifndef FLEXSTREAM_OPERATORS_SOURCE_H_
 #define FLEXSTREAM_OPERATORS_SOURCE_H_
 
+#include <cstdint>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -19,8 +21,27 @@ namespace flexstream {
 
 /// Base class for sources: exposes Push/Close so external drivers can
 /// inject elements.
+///
+/// Checkpointing (src/recovery/): ArmEpochs makes the source inject an
+/// epoch-barrier punctuation after every `interval` pushed elements and
+/// report each push to a PushObserver (the recovery manager's replay
+/// buffer) *before* emitting it — so an element lost to a failure mid-emit
+/// is still replayable. While armed, Push/Close also take a shared lock on
+/// the recovery gate; recovery takes it exclusively to quiesce all driving
+/// threads before restoring state.
 class Source : public Operator {
  public:
+  /// Observes the armed source's input stream for replay (implemented by
+  /// recovery::ReplayBuffer). Called in the driving thread, before the
+  /// element is emitted. `epoch` is the epoch the element belongs to
+  /// (elements after barrier k-1 and up to barrier k belong to epoch k).
+  class PushObserver {
+   public:
+    virtual ~PushObserver() = default;
+    virtual void OnPush(const Tuple& tuple, uint64_t epoch) = 0;
+    virtual void OnClose(AppTime timestamp) = 0;
+  };
+
   explicit Source(std::string name);
 
   /// Delivers one data element downstream (in the calling thread).
@@ -31,13 +52,49 @@ class Source : public Operator {
 
   bool closed_by_driver() const { return closed_by_driver_; }
 
+  /// Arms epoch injection: a barrier after every `interval` pushes,
+  /// deliveries reported to `observer`, Push/Close gated by `gate`.
+  /// Engine-configured; call while quiescent. Survives Reset (the counters
+  /// rewind via RewindTo instead).
+  void ArmEpochs(uint64_t interval, PushObserver* observer,
+                 std::shared_mutex* gate);
+  void DisarmEpochs();
+  bool epochs_armed() const { return epoch_interval_ != 0; }
+
+  /// The epoch the next pushed element will belong to (1-based).
+  uint64_t current_epoch() const { return next_epoch_; }
+
+  /// Recovery rewind: resumes the epoch counters at the boundary of
+  /// committed epoch `epoch`, reopening the source if the driver's Close
+  /// is being replayed too. Call with the gate held exclusively, after
+  /// Reset().
+  void RewindTo(uint64_t epoch);
+
+  /// Replay bracket: between BeginReplay and EndReplay, Push/Close bypass
+  /// both the gate (the recovery thread holds it exclusively — retaking it
+  /// would self-deadlock) and the observer (replayed elements are already
+  /// buffered).
+  void BeginReplay() { replaying_ = true; }
+  void EndReplay() { replaying_ = false; }
+
   void Reset() override;
 
  protected:
   void Process(const Tuple& tuple, int port) override;
 
  private:
+  void PushEpochs(const Tuple& tuple);
+
   bool closed_by_driver_ = false;
+
+  // Epoch/replay state. Touched by the (single) driving thread and, with
+  // the gate held exclusively, by the recovery thread.
+  uint64_t epoch_interval_ = 0;
+  uint64_t next_epoch_ = 1;
+  uint64_t pushed_in_epoch_ = 0;
+  PushObserver* observer_ = nullptr;
+  std::shared_mutex* gate_ = nullptr;
+  bool replaying_ = false;
 };
 
 /// A source over a pre-materialized vector of tuples; PushAll() replays

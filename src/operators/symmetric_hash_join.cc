@@ -77,4 +77,18 @@ void SymmetricHashJoin::Process(const Tuple& tuple, int port) {
   own.Insert(tuple);
 }
 
+
+OperatorSnapshot SymmetricHashJoin::SnapshotState() const {
+  OperatorSnapshot snap;
+  snap.state = std::vector<Side>{sides_[0], sides_[1]};
+  snap.element_count = static_cast<int64_t>(StateSize());
+  return snap;
+}
+
+void SymmetricHashJoin::RestoreState(const OperatorSnapshot& snapshot) {
+  const auto& sides =
+      std::any_cast<const std::vector<Side>&>(snapshot.state);
+  sides_[0] = sides[0];
+  sides_[1] = sides[1];
+}
 }  // namespace flexstream

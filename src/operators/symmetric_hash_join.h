@@ -16,10 +16,11 @@
 
 #include "operators/operator.h"
 #include "operators/window.h"
+#include "recovery/state_snapshot.h"
 
 namespace flexstream {
 
-class SymmetricHashJoin : public Operator {
+class SymmetricHashJoin : public Operator, public StatefulOperator {
  public:
   static constexpr int kLeftPort = 0;
   static constexpr int kRightPort = 1;
@@ -34,6 +35,9 @@ class SymmetricHashJoin : public Operator {
   /// Current number of stored tuples (both windows) — the join's state
   /// size, one of the memory metrics benchmarks report.
   size_t StateSize() const;
+
+  OperatorSnapshot SnapshotState() const override;
+  void RestoreState(const OperatorSnapshot& snapshot) override;
 
  protected:
   void Process(const Tuple& tuple, int port) override;

@@ -48,4 +48,18 @@ void SymmetricNlJoin::Process(const Tuple& tuple, int port) {
   own.Add(tuple);
 }
 
+
+OperatorSnapshot SymmetricNlJoin::SnapshotState() const {
+  OperatorSnapshot snap;
+  snap.state = std::vector<SlidingWindow>{windows_[0], windows_[1]};
+  snap.element_count = static_cast<int64_t>(StateSize());
+  return snap;
+}
+
+void SymmetricNlJoin::RestoreState(const OperatorSnapshot& snapshot) {
+  const auto& windows =
+      std::any_cast<const std::vector<SlidingWindow>&>(snapshot.state);
+  windows_[0] = windows[0];
+  windows_[1] = windows[1];
+}
 }  // namespace flexstream

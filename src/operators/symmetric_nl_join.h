@@ -13,10 +13,11 @@
 
 #include "operators/operator.h"
 #include "operators/window.h"
+#include "recovery/state_snapshot.h"
 
 namespace flexstream {
 
-class SymmetricNlJoin : public Operator {
+class SymmetricNlJoin : public Operator, public StatefulOperator {
  public:
   static constexpr int kLeftPort = 0;
   static constexpr int kRightPort = 1;
@@ -36,6 +37,9 @@ class SymmetricNlJoin : public Operator {
   size_t StateSize() const {
     return windows_[0].size() + windows_[1].size();
   }
+
+  OperatorSnapshot SnapshotState() const override;
+  void RestoreState(const OperatorSnapshot& snapshot) override;
 
  protected:
   void Process(const Tuple& tuple, int port) override;

@@ -86,4 +86,19 @@ void TumblingAggregate::OnAllInputsClosed(AppTime timestamp) {
   EmitEos(timestamp);
 }
 
+
+OperatorSnapshot TumblingAggregate::SnapshotState() const {
+  OperatorSnapshot snap;
+  snap.state = std::make_tuple(has_window_, current_window_, groups_);
+  snap.element_count = static_cast<int64_t>(groups_.size());
+  return snap;
+}
+
+void TumblingAggregate::RestoreState(const OperatorSnapshot& snapshot) {
+  using State = std::tuple<bool, AppTime, std::map<Value, GroupState>>;
+  const auto& state = std::any_cast<const State&>(snapshot.state);
+  has_window_ = std::get<0>(state);
+  current_window_ = std::get<1>(state);
+  groups_ = std::get<2>(state);
+}
 }  // namespace flexstream

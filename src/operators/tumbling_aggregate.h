@@ -16,10 +16,11 @@
 
 #include "operators/aggregate.h"
 #include "operators/operator.h"
+#include "recovery/state_snapshot.h"
 
 namespace flexstream {
 
-class TumblingAggregate : public Operator {
+class TumblingAggregate : public Operator, public StatefulOperator {
  public:
   struct Options {
     AggregateKind kind = AggregateKind::kCount;
@@ -34,6 +35,9 @@ class TumblingAggregate : public Operator {
   TumblingAggregate(std::string name, Options options);
 
   void Reset() override;
+
+  OperatorSnapshot SnapshotState() const override;
+  void RestoreState(const OperatorSnapshot& snapshot) override;
 
  protected:
   void Process(const Tuple& tuple, int port) override;

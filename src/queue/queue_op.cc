@@ -65,7 +65,7 @@ void QueueOp::Receive(const Tuple& tuple, int port) {
     EnqueueEos(tuple);
     return;
   }
-  Enqueue(Tuple(tuple));
+  Enqueue(Tuple(tuple), tuple.is_barrier());
 }
 
 void QueueOp::Receive(Tuple&& tuple, int port) {
@@ -74,12 +74,17 @@ void QueueOp::Receive(Tuple&& tuple, int port) {
     EnqueueEos(tuple);
     return;
   }
-  Enqueue(std::move(tuple));
+  const bool is_barrier = tuple.is_barrier();
+  Enqueue(std::move(tuple), is_barrier);
 }
 
-void QueueOp::Enqueue(Tuple&& tuple) {
+void QueueOp::Enqueue(Tuple&& tuple, bool is_barrier) {
   const bool single = single_producer();
-  const bool bounded = max_elements_ != 0;
+  // Barriers bypass the bound entirely: never blocked, never shed.
+  const bool bounded = max_elements_ != 0 && !is_barrier;
+  if (is_barrier) {
+    last_barrier_epoch_.store(tuple.epoch(), std::memory_order_relaxed);
+  }
   // kBlock waits *before* taking any lock; the wait ends on freed space,
   // cancel, run failure, or timeout (overrun) — never by dropping data.
   if (bounded && overload_policy_ == OverloadPolicy::kBlock) WaitForSpace();
@@ -93,7 +98,9 @@ void QueueOp::Enqueue(Tuple&& tuple) {
       return;
     }
     DCHECK(!InputClosed()) << DebugString() << " data after close";
-    if (StatsCollectionEnabled()) stats().RecordArrival(Now());
+    if (StatsCollectionEnabled() && !is_barrier) {
+      stats().RecordArrival(Now());
+    }
     // Single producer: sequence assignment and push happen in program
     // order, so both the ring and the spillover deque are individually
     // sequence-ordered and the consumer's merge stays correct.
@@ -111,7 +118,7 @@ void QueueOp::Enqueue(Tuple&& tuple) {
         return;
       }
       if (overload_policy_ == OverloadPolicy::kShedOldest &&
-          !items_.empty() && !items_.front().tuple.is_eos()) {
+          !items_.empty() && items_.front().tuple.is_data()) {
         // Make room by dropping the head; net queue size is unchanged, so
         // the queued count is pre-decremented to balance the increment in
         // CountQueuedAndMaybeNotify below.
@@ -122,7 +129,9 @@ void QueueOp::Enqueue(Tuple&& tuple) {
       // kBlock reaches here only after a timed-out (overrun) or bypassed
       // wait: enqueue anyway — kBlock never drops.
     }
-    if (StatsCollectionEnabled()) stats().RecordArrival(Now());
+    if (StatsCollectionEnabled() && !is_barrier) {
+      stats().RecordArrival(Now());
+    }
     // The sequence number is drawn under the lock so the deque stays
     // sequence-ordered even when several producers race.
     items_.push_back({std::move(tuple),
@@ -325,6 +334,10 @@ size_t QueueOp::DrainBatch(size_t max_elements) {
     std::reverse(scratch.begin(), scratch.end());
   }
   for (Item& item : scratch) {
+    if (item.tuple.is_barrier()) [[unlikely]] {
+      EmitBarrier(item.tuple);
+      continue;
+    }
     if (StatsCollectionEnabled()) stats().RecordProcessed(0.0);
     EmitMove(std::move(item.tuple));
   }
@@ -381,11 +394,18 @@ size_t QueueOp::DrainBatchSingleProducer(size_t max_elements) {
         ring_->PopFront();
         break;
       }
+      if (front->tuple.is_barrier()) [[unlikely]] {
+        EmitBarrier(front->tuple);
+        ring_->PopFront();
+        ++taken;
+        continue;
+      }
       // No lock is held on this path, so emit straight out of the ring
       // slot — the producer cannot rewrite it until PopFront advances the
       // tail, and downstream adopts the payload in place. No scratch
       // staging, two moves per element fewer than the locked paths.
       if (direct != nullptr) {
+        SetDeliverySender(this);
         direct->Receive(std::move(front->tuple), direct_port);
       } else {
         if (StatsCollectionEnabled()) stats().RecordProcessed(0.0);
@@ -440,6 +460,10 @@ size_t QueueOp::DrainMergeLocked(size_t max_elements, bool* eos_taken,
     std::reverse(scratch.begin(), scratch.end());
   }
   for (Item& item : scratch) {
+    if (item.tuple.is_barrier()) [[unlikely]] {
+      EmitBarrier(item.tuple);
+      continue;
+    }
     if (StatsCollectionEnabled()) stats().RecordProcessed(0.0);
     EmitMove(std::move(item.tuple));
   }
@@ -523,6 +547,7 @@ void QueueOp::Reset() {
   dropped_oldest_.store(0, std::memory_order_relaxed);
   block_waits_.store(0, std::memory_order_relaxed);
   block_timeouts_.store(0, std::memory_order_relaxed);
+  last_barrier_epoch_.store(0, std::memory_order_relaxed);
   waits_cancelled_.store(false, std::memory_order_relaxed);
   eos_received_ = 0;
   eos_enqueued_ = false;

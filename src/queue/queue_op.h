@@ -87,7 +87,12 @@ class QueueOp final : public Operator {
       : QueueOp(std::move(name), kDefaultRingCapacity) {}
   QueueOp(std::string name, size_t ring_capacity);
 
-  /// Thread-safe enqueue (data) / producer-close bookkeeping (EOS).
+  /// Thread-safe enqueue (data and epoch barriers) / producer-close
+  /// bookkeeping (EOS). Barriers ride the FIFO like data — every engine-
+  /// placed queue has exactly one producer edge, so no barrier merging is
+  /// needed — but bypass the bound: they are never shed and never blocked
+  /// (a barrier parked behind a full queue would stall checkpointing
+  /// exactly when overload makes recovery most likely).
   void Receive(const Tuple& tuple, int port) override;
 
   /// Move-aware enqueue: adopts the tuple's payload without copying the
@@ -189,6 +194,13 @@ class QueueOp final : public Operator {
     return block_timeouts_.load(std::memory_order_relaxed);
   }
 
+  /// Epoch of the last barrier enqueued (0 before the first). Lets stall
+  /// diagnostics (DescribePartitions) tell a stalled recovery from a
+  /// stalled drain.
+  uint64_t last_barrier_epoch() const {
+    return last_barrier_epoch_.load(std::memory_order_relaxed);
+  }
+
   /// Unblocks every producer currently parked in a kBlock wait and makes
   /// future waits return immediately (elements are enqueued, not dropped).
   /// Used on failure/teardown paths so no thread stays wedged behind a
@@ -272,7 +284,7 @@ class QueueOp final : public Operator {
     uint64_t seq = 0;
   };
 
-  void Enqueue(Tuple&& tuple);
+  void Enqueue(Tuple&& tuple, bool is_barrier = false);
   void EnqueueEos(const Tuple& tuple);
   /// kBlock producer wait: parks until Size() < max_elements_, the
   /// timeout expires (overrun), waits are cancelled, or the run failed.
@@ -315,6 +327,7 @@ class QueueOp final : public Operator {
   std::atomic<int64_t> dropped_oldest_{0};
   std::atomic<int64_t> block_waits_{0};
   std::atomic<int64_t> block_timeouts_{0};
+  std::atomic<uint64_t> last_barrier_epoch_{0};
   std::atomic<bool> waits_cancelled_{false};
   std::atomic<int> space_waiters_{0};
   std::mutex space_mutex_;

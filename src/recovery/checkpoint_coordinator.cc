@@ -1,0 +1,120 @@
+#include "recovery/checkpoint_coordinator.h"
+
+#include <utility>
+
+#include "operators/operator.h"
+#include "util/logging.h"
+
+namespace flexstream {
+
+void CheckpointCoordinator::Register(Operator* op, StatefulOperator* stateful,
+                                     bool is_sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stateful != nullptr) stateful_[op] = stateful;
+  if (is_sink) sinks_.insert(op);
+}
+
+void CheckpointCoordinator::SetCommitListener(
+    std::function<void(uint64_t)> listener) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  commit_listener_ = std::move(listener);
+}
+
+void CheckpointCoordinator::OnAligned(Operator* op, uint64_t epoch) {
+  std::vector<uint64_t> committed;
+  std::function<void(uint64_t)> listener;
+  if (epoch == Operator::kEpochClosed) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_.insert(op);
+    committed = CommitCompleteLocked();
+    listener = commit_listener_;
+  } else {
+    // Capture the snapshot outside the coordinator lock: SnapshotState
+    // only reads the aligning operator's own state (we are its executing
+    // thread), and concurrent alignments of other operators must not
+    // serialize on each other's state copies.
+    OperatorSnapshot snapshot;
+    bool have_snapshot = false;
+    const auto stateful_it = stateful_.find(op);  // written only quiescent
+    // A poisoned operator's state diverged when it started dropping data:
+    // refuse its snapshot so this epoch can never commit.
+    if (stateful_it != stateful_.end() && !op->failed()) {
+      snapshot = stateful_it->second->SnapshotState();
+      snapshot.epoch = epoch;
+      have_snapshot = true;
+      snapshots_taken_.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (epoch <= committed_epoch_.load(std::memory_order_relaxed)) {
+      return;  // stale alignment from before a restore
+    }
+    Pending& pending = pending_[epoch];
+    if (have_snapshot) {
+      pending.snapshots[op] = std::move(snapshot);
+      pending.stateful_done.insert(op);
+    }
+    if (sinks_.count(op) != 0) pending.sinks_aligned.insert(op);
+    committed = CommitCompleteLocked();
+    listener = commit_listener_;
+  }
+  if (listener != nullptr) {
+    for (uint64_t e : committed) listener(e);
+  }
+}
+
+bool CheckpointCoordinator::CompleteLocked(const Pending& pending) const {
+  for (Operator* sink : sinks_) {
+    if (pending.sinks_aligned.count(sink) == 0 && closed_.count(sink) == 0) {
+      return false;
+    }
+  }
+  for (const auto& [op, stateful] : stateful_) {
+    (void)stateful;
+    if (pending.stateful_done.count(op) == 0 && closed_.count(op) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<uint64_t> CheckpointCoordinator::CommitCompleteLocked() {
+  std::vector<uint64_t> committed;
+  while (!pending_.empty()) {
+    auto it = pending_.begin();
+    // Sinks align epochs in order, so the lowest pending epoch is always
+    // the next commit candidate.
+    if (it->first != committed_epoch_.load(std::memory_order_relaxed) + 1 ||
+        !CompleteLocked(it->second)) {
+      break;
+    }
+    // The committed set is replaced wholesale: an operator without an
+    // epoch-E snapshot (it closed earlier) must restore *empty* — its
+    // final effects already live in downstream snapshots.
+    committed_snapshots_ = std::move(it->second.snapshots);
+    committed_epoch_.store(it->first, std::memory_order_release);
+    epochs_committed_.fetch_add(1, std::memory_order_relaxed);
+    committed.push_back(it->first);
+    pending_.erase(it);
+  }
+  return committed;
+}
+
+void CheckpointCoordinator::OnRestore() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The rewound run re-aligns and re-closes everything past the committed
+  // epoch; pre-restore pending state is stale.
+  pending_.clear();
+  closed_.clear();
+}
+
+int64_t CheckpointCoordinator::committed_state_elements() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t total = 0;
+  for (const auto& [op, snapshot] : committed_snapshots_) {
+    (void)op;
+    total += snapshot.element_count;
+  }
+  return total;
+}
+
+}  // namespace flexstream

@@ -1,0 +1,101 @@
+// Epoch commit protocol.
+//
+// Every operator reports its barrier alignments (and its close) here via
+// the Operator epoch callback. Epoch E *commits* when
+//   * every registered sink has aligned E (or closed earlier), and
+//   * every registered stateful operator has delivered its epoch-E
+//     snapshot (or closed earlier — a closed operator's final effects are
+//     fully reflected in downstream snapshots, so it restores empty and
+//     merely re-closes on replay).
+// Commits are monotone; committing E discards all pending state for
+// epochs <= E and fires the commit listener (outside the lock — it trims
+// replay buffers, which take their own locks).
+//
+// Snapshots from a failed() operator are refused, so an epoch whose data
+// was partially dropped by a poisoned operator can never commit — the
+// recovery rewind target always predates the first drop.
+
+#ifndef FLEXSTREAM_RECOVERY_CHECKPOINT_COORDINATOR_H_
+#define FLEXSTREAM_RECOVERY_CHECKPOINT_COORDINATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "recovery/state_snapshot.h"
+
+namespace flexstream {
+
+class Operator;
+
+class CheckpointCoordinator {
+ public:
+  /// Registers one graph operator. `stateful` is the operator's
+  /// StatefulOperator facet (nullptr for stateless ones); `is_sink` marks
+  /// the operators whose alignment gates the commit.
+  void Register(Operator* op, StatefulOperator* stateful, bool is_sink);
+
+  /// Invoked (outside the lock) with the epoch just committed.
+  void SetCommitListener(std::function<void(uint64_t)> listener);
+
+  /// Operator epoch callback target. `epoch` is the aligned epoch, or
+  /// Operator::kEpochClosed when the operator closed.
+  void OnAligned(Operator* op, uint64_t epoch);
+
+  /// Last committed epoch (0 = none yet; recovery then means a full
+  /// restart with replay from the beginning).
+  uint64_t committed_epoch() const {
+    return committed_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// The committed snapshots, keyed by operator. Read while quiescent.
+  const std::unordered_map<Operator*, OperatorSnapshot>& committed() const {
+    return committed_snapshots_;
+  }
+
+  /// Recovery restore: discards pending (uncommitted) epoch state and the
+  /// closed-operator set — the rewound run re-reports everything.
+  void OnRestore();
+
+  // Stats (recovery stats table).
+  int64_t snapshots_taken() const {
+    return snapshots_taken_.load(std::memory_order_relaxed);
+  }
+  int64_t epochs_committed() const {
+    return epochs_committed_.load(std::memory_order_relaxed);
+  }
+  /// Total buffered elements across the committed snapshots.
+  int64_t committed_state_elements() const;
+
+ private:
+  struct Pending {
+    std::unordered_map<Operator*, OperatorSnapshot> snapshots;
+    std::set<Operator*> sinks_aligned;
+    std::set<Operator*> stateful_done;
+  };
+
+  /// Commits every complete pending epoch in order; returns the epochs
+  /// committed so the caller can fire the listener outside the lock.
+  std::vector<uint64_t> CommitCompleteLocked();
+  bool CompleteLocked(const Pending& pending) const;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<Operator*, StatefulOperator*> stateful_;
+  std::set<Operator*> sinks_;
+  std::set<Operator*> closed_;  // operators that delivered kEpochClosed
+  std::map<uint64_t, Pending> pending_;
+  std::unordered_map<Operator*, OperatorSnapshot> committed_snapshots_;
+  std::function<void(uint64_t)> commit_listener_;
+  std::atomic<uint64_t> committed_epoch_{0};
+  std::atomic<int64_t> snapshots_taken_{0};
+  std::atomic<int64_t> epochs_committed_{0};
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_RECOVERY_CHECKPOINT_COORDINATOR_H_

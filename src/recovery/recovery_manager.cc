@@ -1,0 +1,158 @@
+#include "recovery/recovery_manager.h"
+
+#include <mutex>
+#include <utility>
+
+#include "graph/node.h"
+#include "graph/query_graph.h"
+#include "operators/operator.h"
+#include "operators/source.h"
+#include "util/logging.h"
+
+namespace flexstream {
+
+RecoveryManager::RecoveryManager(Options options)
+    : options_(std::move(options)) {
+  CHECK(options_.epoch_interval > 0)
+      << "RecoveryManager requires a checkpoint epoch interval";
+}
+
+RecoveryManager::~RecoveryManager() { Disarm(); }
+
+void RecoveryManager::Arm(QueryGraph* graph) {
+  CHECK(graph != nullptr);
+  CHECK(graph_ == nullptr) << "RecoveryManager already armed";
+  graph_ = graph;
+  coordinator_.SetCommitListener([this](uint64_t epoch) {
+    for (auto& buffer : buffers_) buffer->TrimThrough(epoch);
+  });
+  for (Node* node : graph->nodes()) {
+    if (node->is_source()) {
+      auto* source = dynamic_cast<Source*>(node);
+      CHECK(source != nullptr);
+      sources_.push_back(source);
+      buffers_.push_back(std::make_unique<ReplayBuffer>(
+          source, options_.replay_buffer_max_elements));
+      source->ArmEpochs(options_.epoch_interval, buffers_.back().get(),
+                        &gate_);
+      continue;
+    }
+    if (node->is_queue()) continue;  // queues forward barriers, never align
+    auto* op = dynamic_cast<Operator*>(node);
+    CHECK(op != nullptr);
+    op->SetEpochCallback(
+        [this, op](uint64_t epoch) { coordinator_.OnAligned(op, epoch); });
+    coordinator_.Register(op, dynamic_cast<StatefulOperator*>(op),
+                          node->is_sink());
+  }
+}
+
+void RecoveryManager::Disarm() {
+  if (graph_ == nullptr) return;
+  for (Source* source : sources_) source->DisarmEpochs();
+  for (Node* node : graph_->nodes()) {
+    if (node->is_source() || node->is_queue()) continue;
+    auto* op = dynamic_cast<Operator*>(node);
+    if (op != nullptr) op->SetEpochCallback(nullptr);
+  }
+  sources_.clear();
+  buffers_.clear();
+  graph_ = nullptr;
+}
+
+bool RecoveryManager::CanAttempt() const {
+  return attempts_.load(std::memory_order_relaxed) < options_.max_attempts &&
+         !any_buffer_truncated();
+}
+
+bool RecoveryManager::BeginAttempt() {
+  if (!CanAttempt()) return false;
+  attempts_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void RecoveryManager::FinishAttempt(int64_t latency_micros) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  last_latency_micros_.store(latency_micros, std::memory_order_relaxed);
+}
+
+void RecoveryManager::PauseSources() {
+  CHECK(pause_lock_ == nullptr) << "sources already paused";
+  // Blocks until every in-flight (shared-locked) Push/Close drains.
+  pause_lock_ = std::make_unique<std::unique_lock<std::shared_mutex>>(gate_);
+}
+
+void RecoveryManager::ResumeSources() {
+  CHECK(pause_lock_ != nullptr) << "sources not paused";
+  pause_lock_.reset();
+}
+
+void RecoveryManager::RestoreCommittedState() {
+  CHECK(graph_ != nullptr);
+  CHECK(pause_lock_ != nullptr) << "restore requires quiesced sources";
+  const uint64_t epoch = coordinator_.committed_epoch();
+  // 1. Wipe every node back to pristine (windows, hash tables, EOS
+  //    counters, queue contents, alignment state). Sources rewind their
+  //    epoch counters to the committed boundary, reopening if the driver's
+  //    Close is part of the replayed suffix.
+  for (Node* node : graph_->nodes()) {
+    node->Reset();
+    if (node->is_source()) {
+      auto* source = dynamic_cast<Source*>(node);
+      if (source != nullptr) source->RewindTo(epoch);
+    }
+  }
+  coordinator_.OnRestore();
+  // 2. Re-install the committed snapshots; everything stateful without a
+  //    committed entry (closed before the epoch, or registered later)
+  //    stays empty.
+  for (const auto& [op, snapshot] : coordinator_.committed()) {
+    auto* stateful = dynamic_cast<StatefulOperator*>(op);
+    CHECK(stateful != nullptr);
+    stateful->RestoreState(snapshot);
+  }
+  // 3. Fast-forward the alignment baselines so the next barrier each
+  //    operator sees (epoch+1, regenerated during replay) chains onto the
+  //    restored epoch.
+  for (Node* node : graph_->nodes()) {
+    if (node->is_source() || node->is_queue()) continue;
+    auto* op = dynamic_cast<Operator*>(node);
+    if (op != nullptr) op->SetRecoveredEpoch(epoch);
+  }
+}
+
+void RecoveryManager::ReplaySources() {
+  CHECK(pause_lock_ != nullptr) << "replay requires the gate held";
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    sources_[i]->BeginReplay();
+    buffers_[i]->Replay();
+    sources_[i]->EndReplay();
+  }
+}
+
+int64_t RecoveryManager::replayed_elements() const {
+  int64_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->replayed_elements();
+  return total;
+}
+
+size_t RecoveryManager::replay_depth() const {
+  size_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->depth();
+  return total;
+}
+
+size_t RecoveryManager::replay_peak_depth() const {
+  size_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->peak_depth();
+  return total;
+}
+
+bool RecoveryManager::any_buffer_truncated() const {
+  for (const auto& buffer : buffers_) {
+    if (buffer->truncated()) return true;
+  }
+  return false;
+}
+
+}  // namespace flexstream

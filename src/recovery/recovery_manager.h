@@ -1,0 +1,116 @@
+// Orchestrates checkpointing and failure recovery for one engine run.
+//
+// Arm() wires a configured query graph for checkpointing: every source is
+// armed to inject epoch barriers and record its input into a replay
+// buffer; every non-queue operator reports alignments/closes to the
+// checkpoint coordinator. On a permanent failure the StreamEngine drives
+// the recovery sequence (see StreamEngine::AttemptRecovery): pause
+// sources -> stop executors -> RestoreCommittedState -> rebuild/start
+// executors -> ReplaySources -> resume. Attempts are bounded; a truncated
+// replay buffer or an exhausted budget falls back to the abort path.
+
+#ifndef FLEXSTREAM_RECOVERY_RECOVERY_MANAGER_H_
+#define FLEXSTREAM_RECOVERY_RECOVERY_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "recovery/checkpoint_coordinator.h"
+#include "recovery/replay_buffer.h"
+
+namespace flexstream {
+
+class QueryGraph;
+class Source;
+
+class RecoveryManager {
+ public:
+  struct Options {
+    /// Elements per source between epoch barriers (>0; the engine only
+    /// constructs a manager when checkpointing is enabled).
+    uint64_t epoch_interval = 0;
+    /// Recovery attempts before falling back to abort.
+    int max_attempts = 3;
+    /// Replay-buffer element cap per source (0 = unbounded).
+    size_t replay_buffer_max_elements = 1 << 20;
+  };
+
+  explicit RecoveryManager(Options options);
+  ~RecoveryManager();
+
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  /// Installs epoch injection, replay buffers, and alignment callbacks on
+  /// `graph` (must already contain its placed queues). Call while
+  /// quiescent (engine Configure).
+  void Arm(QueryGraph* graph);
+
+  /// Removes everything Arm installed (engine Deconfigure).
+  void Disarm();
+
+  CheckpointCoordinator& coordinator() { return coordinator_; }
+  const CheckpointCoordinator& coordinator() const { return coordinator_; }
+
+  /// True when another recovery attempt is allowed: budget left and no
+  /// replay buffer overflowed.
+  bool CanAttempt() const;
+
+  /// Counts an attempt against the budget. Returns false when none left.
+  bool BeginAttempt();
+  /// Records a completed (resumed) recovery and its wall time.
+  void FinishAttempt(int64_t latency_micros);
+
+  /// Quiesces the sources: takes the gate exclusively, waiting out every
+  /// in-flight Push/Close. Balanced by ResumeSources.
+  void PauseSources();
+  void ResumeSources();
+
+  /// Restores the last committed epoch into the quiesced graph: resets
+  /// every node, re-installs committed snapshots, rewinds sources and
+  /// epoch counters. Call between PauseSources and ResumeSources, with
+  /// executors stopped.
+  void RestoreCommittedState();
+
+  /// Re-pushes the retained post-epoch input of every source. Executors
+  /// must be running again; the gate must still be held (replay bypasses
+  /// it via the sources' replay bracket).
+  void ReplaySources();
+
+  // Stats.
+  int attempts() const { return attempts_.load(std::memory_order_relaxed); }
+  int completed_recoveries() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  int64_t last_recovery_latency_micros() const {
+    return last_latency_micros_.load(std::memory_order_relaxed);
+  }
+  int64_t replayed_elements() const;
+  size_t replay_depth() const;
+  size_t replay_peak_depth() const;
+  bool any_buffer_truncated() const;
+  const Options& options() const { return options_; }
+
+ private:
+  const Options options_;
+  QueryGraph* graph_ = nullptr;
+  std::vector<Source*> sources_;
+  std::vector<std::unique_ptr<ReplayBuffer>> buffers_;
+  CheckpointCoordinator coordinator_;
+
+  // Source pause gate: sources take it shared per Push/Close, recovery
+  // exclusively. unique_lock stored so Pause/Resume can span calls.
+  std::shared_mutex gate_;
+  std::unique_ptr<std::unique_lock<std::shared_mutex>> pause_lock_;
+
+  std::atomic<int> attempts_{0};
+  std::atomic<int> completed_{0};
+  std::atomic<int64_t> last_latency_micros_{0};
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_RECOVERY_RECOVERY_MANAGER_H_

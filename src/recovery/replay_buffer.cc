@@ -1,0 +1,82 @@
+#include "recovery/replay_buffer.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace flexstream {
+
+ReplayBuffer::ReplayBuffer(Source* source, size_t max_elements)
+    : source_(source), max_elements_(max_elements) {
+  CHECK(source_ != nullptr);
+}
+
+void ReplayBuffer::OnPush(const Tuple& tuple, uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (truncated_) return;  // already disqualified — stop buffering
+  if (max_elements_ != 0 && entries_.size() >= max_elements_) {
+    truncated_ = true;
+    LOG(WARNING) << "replay buffer for source '" << source_->name()
+                 << "' overflowed at " << entries_.size()
+                 << " elements; recovery disabled for this run";
+    return;
+  }
+  entries_.push_back({tuple, epoch});
+  peak_depth_ = std::max(peak_depth_, entries_.size());
+}
+
+void ReplayBuffer::OnClose(AppTime timestamp) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  close_timestamp_ = timestamp;
+}
+
+void ReplayBuffer::TrimThrough(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (!entries_.empty() && entries_.front().epoch <= epoch) {
+    entries_.pop_front();
+  }
+}
+
+void ReplayBuffer::Replay() {
+  // Copy under the lock, push outside it: an epoch committed by the
+  // in-flight replay itself may trim the buffer concurrently.
+  std::vector<Tuple> to_replay;
+  bool replay_close = false;
+  AppTime close_ts = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DCHECK(!truncated_);
+    to_replay.reserve(entries_.size());
+    for (const Entry& e : entries_) to_replay.push_back(e.tuple);
+    replay_close = closed_;
+    close_ts = close_timestamp_;
+    replayed_elements_ += static_cast<int64_t>(to_replay.size());
+  }
+  for (const Tuple& t : to_replay) source_->Push(t);
+  if (replay_close) source_->Close(close_ts);
+}
+
+bool ReplayBuffer::truncated() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return truncated_;
+}
+
+size_t ReplayBuffer::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+size_t ReplayBuffer::peak_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_depth_;
+}
+
+int64_t ReplayBuffer::replayed_elements() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return replayed_elements_;
+}
+
+}  // namespace flexstream

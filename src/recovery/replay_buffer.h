@@ -1,0 +1,72 @@
+// Per-source bounded replay buffer.
+//
+// Records everything a checkpoint-armed source pushes (tagged with the
+// epoch it belongs to) so that after a failure the engine can rewind to
+// the last committed epoch and re-push exactly the uncommitted suffix.
+// Entries up to and including epoch E are dropped when E commits — steady
+// state memory is bounded by the input between two commits. The buffer
+// also has a hard element cap: overflowing it marks the buffer truncated,
+// which disqualifies recovery (the recovery manager falls back to the
+// abort path) rather than silently replaying an incomplete stream.
+//
+// Thread-safety: OnPush/OnClose run in the source's driving thread,
+// TrimThrough in whichever thread commits an epoch, Replay in the
+// recovery thread — all serialized on one mutex.
+
+#ifndef FLEXSTREAM_RECOVERY_REPLAY_BUFFER_H_
+#define FLEXSTREAM_RECOVERY_REPLAY_BUFFER_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "operators/source.h"
+#include "tuple/tuple.h"
+
+namespace flexstream {
+
+class ReplayBuffer : public Source::PushObserver {
+ public:
+  ReplayBuffer(Source* source, size_t max_elements);
+
+  // Source::PushObserver (driving thread):
+  void OnPush(const Tuple& tuple, uint64_t epoch) override;
+  void OnClose(AppTime timestamp) override;
+
+  /// Drops every entry belonging to epoch <= `epoch` (epoch commit).
+  void TrimThrough(uint64_t epoch);
+
+  /// Re-pushes every retained entry (and the recorded Close, if any) into
+  /// the source. Caller must hold the recovery gate exclusively, with the
+  /// source rewound and inside a BeginReplay/EndReplay bracket.
+  void Replay();
+
+  /// True once the element cap was exceeded: the retained suffix is
+  /// incomplete and must not be replayed.
+  bool truncated() const;
+
+  size_t depth() const;
+  size_t peak_depth() const;
+  int64_t replayed_elements() const;
+
+ private:
+  Source* const source_;
+  const size_t max_elements_;
+
+  struct Entry {
+    Tuple tuple;
+    uint64_t epoch;
+  };
+
+  mutable std::mutex mutex_;
+  std::deque<Entry> entries_;
+  bool closed_ = false;
+  AppTime close_timestamp_ = 0;
+  bool truncated_ = false;
+  size_t peak_depth_ = 0;
+  int64_t replayed_elements_ = 0;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_RECOVERY_REPLAY_BUFFER_H_

@@ -1,0 +1,60 @@
+// The operator state Snapshot/Restore API of the checkpoint subsystem.
+//
+// When an operator has seen the epoch-k barrier on all of its open input
+// channels (operators/operator.h barrier alignment), its state reflects
+// exactly the elements of epochs 1..k — nothing more, nothing less. At
+// that instant the checkpoint coordinator captures the state of every
+// operator implementing StatefulOperator. If the run later fails, the
+// recovery manager resets the graph, re-installs the snapshots of the last
+// *committed* epoch and replays the retained post-epoch input, giving
+// exactly-once results at the sinks (DESIGN.md §10).
+//
+// Snapshots are deliberately in-memory and type-erased: the payload is a
+// std::any holding whatever value type the operator chooses (typically a
+// copy of its internal tables). Persistence/serialization is out of scope
+// — the failure model here is operator-level faults, not process death.
+
+#ifndef FLEXSTREAM_RECOVERY_STATE_SNAPSHOT_H_
+#define FLEXSTREAM_RECOVERY_STATE_SNAPSHOT_H_
+
+#include <any>
+#include <cstdint>
+
+namespace flexstream {
+
+/// One operator's state at an epoch boundary.
+struct OperatorSnapshot {
+  /// The epoch whose barrier alignment produced this snapshot.
+  uint64_t epoch = 0;
+  /// Type-erased state payload. Empty for operators that are registered as
+  /// stateful but happen to hold no state at the boundary.
+  std::any state;
+  /// Number of buffered elements/groups the snapshot holds — feeds the
+  /// recovery stats table (BuildRecoveryTable), not restore logic.
+  int64_t element_count = 0;
+};
+
+/// Implemented by operators whose state must survive recovery: join
+/// tables, window buffers, aggregation groups, and the result buffers of
+/// exactly-once sinks.
+///
+/// Both methods run in the operator's own executing thread (Snapshot
+/// during barrier alignment, Restore while the engine is quiesced), so
+/// implementations need no locking beyond what the operator already has.
+class StatefulOperator {
+ public:
+  virtual ~StatefulOperator() = default;
+
+  /// Captures a self-contained copy of the operator's mutable state.
+  /// `epoch` is filled in by the caller.
+  virtual OperatorSnapshot SnapshotState() const = 0;
+
+  /// Replaces the operator's state with `snapshot`'s payload. Called after
+  /// Node::Reset(), i.e. on a fresh operator. Must accept any value
+  /// previously produced by SnapshotState() of the same operator type.
+  virtual void RestoreState(const OperatorSnapshot& snapshot) = 0;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_RECOVERY_STATE_SNAPSHOT_H_

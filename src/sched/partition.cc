@@ -97,6 +97,25 @@ std::string DescribePartitions(const std::vector<Partition*>& partitions) {
       if (q->dropped() > 0) {
         out += "(dropped " + std::to_string(q->dropped()) + ")";
       }
+      if (q->block_waits() > 0) {
+        out += "(waits " + std::to_string(q->block_waits());
+        if (q->block_timeouts() > 0) {
+          out += ", timeouts " + std::to_string(q->block_timeouts());
+        }
+        out += ")";
+      }
+      // The consumer's transient-failure retries: a stall paired with a
+      // climbing retry count points at a flapping operator, not a
+      // scheduling bug.
+      if (q->fan_out() == 1) {
+        const Operator* consumer = q->outputs()[0].target;
+        if (consumer->fault_retries() > 0) {
+          out += "(retries " + std::to_string(consumer->fault_retries()) + ")";
+        }
+      }
+      if (q->last_barrier_epoch() > 0) {
+        out += "(epoch " + std::to_string(q->last_barrier_epoch()) + ")";
+      }
       if (q->Exhausted()) out += "(eos)";
     }
     out += "\n";

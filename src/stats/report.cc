@@ -5,6 +5,7 @@
 
 #include "graph/query_graph.h"
 #include "queue/queue_op.h"
+#include "recovery/recovery_manager.h"
 
 namespace flexstream {
 
@@ -49,6 +50,33 @@ Table BuildResilienceTable(const QueryGraph& graph) {
               Table::Int(q->dropped_newest()), Table::Int(q->dropped_oldest()),
               Table::Int(q->block_waits()), Table::Int(q->block_timeouts())});
   }
+  return t;
+}
+
+Table BuildRecoveryTable(const RecoveryManager& recovery) {
+  Table t({"metric", "value"});
+  const CheckpointCoordinator& coord = recovery.coordinator();
+  t.AddRow({"epoch_interval",
+            Table::Int(static_cast<int64_t>(
+                recovery.options().epoch_interval))});
+  t.AddRow({"committed_epoch",
+            Table::Int(static_cast<int64_t>(coord.committed_epoch()))});
+  t.AddRow({"epochs_committed", Table::Int(coord.epochs_committed())});
+  t.AddRow({"snapshots_taken", Table::Int(coord.snapshots_taken())});
+  t.AddRow(
+      {"committed_state_elements", Table::Int(coord.committed_state_elements())});
+  t.AddRow({"replay_depth",
+            Table::Int(static_cast<int64_t>(recovery.replay_depth()))});
+  t.AddRow({"replay_peak_depth",
+            Table::Int(static_cast<int64_t>(recovery.replay_peak_depth()))});
+  t.AddRow({"replay_truncated",
+            Table::Int(recovery.any_buffer_truncated() ? 1 : 0)});
+  t.AddRow({"replayed_elements", Table::Int(recovery.replayed_elements())});
+  t.AddRow({"recovery_attempts", Table::Int(recovery.attempts())});
+  t.AddRow(
+      {"recoveries_completed", Table::Int(recovery.completed_recoveries())});
+  t.AddRow({"last_recovery_latency_us",
+            Table::Int(recovery.last_recovery_latency_micros())});
   return t;
 }
 

@@ -15,6 +15,7 @@
 namespace flexstream {
 
 class QueryGraph;
+class RecoveryManager;
 
 /// One row per node: kind, name, arrivals, processed, emitted, measured
 /// cost (us), selectivity, inter-arrival (us), busy time (ms), and for
@@ -27,6 +28,13 @@ Table BuildStatsTable(const QueryGraph& graph);
 /// Empty (headers only) when no queue is bounded. Same Table type as
 /// BuildStatsTable, so it prints/CSV-exports identically.
 Table BuildResilienceTable(const QueryGraph& graph);
+
+/// Checkpoint/recovery counters (metric/value rows): committed epoch,
+/// epochs committed, snapshots taken, committed state elements, replay
+/// buffer depth/peak/truncation, replayed elements, and the recovery
+/// attempt ledger. Only meaningful for an engine configured with
+/// checkpoint_epoch_interval > 0 (see StreamEngine::recovery()).
+Table BuildRecoveryTable(const RecoveryManager& recovery);
 
 /// Convenience: the table rendered to a string.
 std::string StatsReport(const QueryGraph& graph);

@@ -21,6 +21,10 @@ struct OpChaosState {
   // transient failures to report before letting it proceed.
   int pending_transients = 0;
   int64_t deliveries = 0;
+  // Kill/revive: how many kills this operator has already suffered.
+  // Persists across recovery restores (the hook survives Operator::Reset),
+  // which is exactly what makes the operator "revive" healthy.
+  int kills_done = 0;
 };
 
 }  // namespace
@@ -37,6 +41,9 @@ void ChaosInjector::Arm(QueryGraph* graph,
 
       const bool permanent_target =
           op->name() == options_.permanent_fail_operator;
+      const bool kill_target =
+          !options_.kill_operator.empty() &&
+          op->name() == options_.kill_operator;
       auto state = std::make_shared<OpChaosState>();
       state->rng.seed(options_.seed ^
                       std::hash<std::string>{}(op->name()));
@@ -45,11 +52,11 @@ void ChaosInjector::Arm(QueryGraph* graph,
       auto permanents = permanents_;
       auto delays = delays_;
 
-      op->SetFaultHook([state, opts, permanent_target, transients,
-                        permanents, delays](const Operator& /*op*/,
-                                            const Tuple& /*tuple*/,
-                                            int /*port*/,
-                                            int attempt) -> FaultAction {
+      op->SetFaultHook([state, opts, permanent_target, kill_target,
+                        transients, permanents,
+                        delays](const Operator& /*op*/,
+                                const Tuple& /*tuple*/, int /*port*/,
+                                int attempt) -> FaultAction {
         if (attempt > 0) {
           // Retry of the element we already judged: keep failing until the
           // drawn transient count is spent.
@@ -62,6 +69,12 @@ void ChaosInjector::Arm(QueryGraph* graph,
         }
         const int64_t delivery = state->deliveries++;
         if (permanent_target && delivery >= opts.permanent_after) {
+          permanents->fetch_add(1, std::memory_order_relaxed);
+          return FaultAction::kPermanentFailure;
+        }
+        if (kill_target && delivery >= opts.kill_after &&
+            state->kills_done < opts.kills) {
+          ++state->kills_done;
           permanents->fetch_add(1, std::memory_order_relaxed);
           return FaultAction::kPermanentFailure;
         }

@@ -66,9 +66,20 @@ struct ChaosOptions {
   /// (lost wakeup).
   int suppress_every_n_wakeups = 0;
 
+  /// Kill/revive: the operator with this name fails permanently on its
+  /// `kill_after`-th delivered element — but only `kills` times over the
+  /// whole run. Unlike permanent_fail_operator (which keeps the operator
+  /// poisoned forever), a killed operator behaves healthily again once the
+  /// engine restores and replays, letting recovery tests distinguish
+  /// "crashed once, recovered" from "permanently broken, abort". The kill
+  /// state survives the recovery Reset because fault hooks do.
+  std::string kill_operator;
+  int64_t kill_after = 0;
+  int kills = 1;
+
   bool any_operator_chaos() const {
     return transient_rate > 0.0 || delay_rate > 0.0 ||
-           !permanent_fail_operator.empty();
+           !permanent_fail_operator.empty() || !kill_operator.empty();
   }
 };
 

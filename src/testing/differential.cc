@@ -55,6 +55,7 @@ EngineOptions EngineOptionsForConfig(const DiffConfig& config) {
   options.queue_ring_capacity = config.ring_capacity;
   options.queue_max_elements = config.queue_max_elements;
   options.overload_policy = config.overload_policy;
+  options.checkpoint_epoch_interval = config.checkpoint_epoch_interval;
   if (config.watchdog) {
     // Comfortably above the partitions' 100ms idle-poll failsafe, so a
     // chaos-suppressed wakeup recovered by the poll never reads as a stall.
@@ -70,6 +71,9 @@ ChaosOptions ChaosOptionsForConfig(const DiffConfig& config) {
   chaos.delay_rate = config.chaos_delay_rate;
   chaos.delay_micros = 30.0;
   chaos.suppress_every_n_wakeups = config.chaos_suppress_every_n;
+  chaos.kill_operator = config.chaos_kill_operator;
+  chaos.kill_after = config.chaos_kill_after;
+  chaos.kills = config.chaos_kills;
   return chaos;
 }
 
@@ -164,6 +168,11 @@ std::string DiffConfig::Name() const {
   if (chaos_delay_rate > 0.0) os << "+chaos-d" << chaos_delay_rate;
   if (chaos_suppress_every_n > 0) {
     os << "+chaos-w" << chaos_suppress_every_n;
+  }
+  if (checkpoint_epoch_interval > 0) os << "+ckpt" << checkpoint_epoch_interval;
+  if (!chaos_kill_operator.empty()) {
+    os << "+kill:" << chaos_kill_operator << "@" << chaos_kill_after << "x"
+       << chaos_kills;
   }
   if (watchdog) os << "+watchdog";
   return os.str();
@@ -286,6 +295,48 @@ std::vector<DiffConfig> ChaosConfigMatrix() {
   return configs;
 }
 
+std::vector<DiffConfig> RecoveryConfigMatrix(const std::string& kill_operator,
+                                             int64_t kill_after) {
+  std::vector<DiffConfig> configs;
+  auto add = [&](ExecutionMode mode, StrategyKind strategy) -> DiffConfig& {
+    DiffConfig config;
+    config.mode = mode;
+    config.strategy = strategy;
+    config.checkpoint_epoch_interval = 50;
+    config.chaos_kill_operator = kill_operator;
+    config.chaos_kill_after = kill_after;
+    configs.push_back(config);
+    return configs.back();
+  };
+  // Every scheduled architecture absorbs the kill; FIFO and Chain cover
+  // the two scheduling families (arrival-ordered vs priority).
+  for (ExecutionMode mode :
+       {ExecutionMode::kGts, ExecutionMode::kOts, ExecutionMode::kHmts}) {
+    for (StrategyKind strategy : {StrategyKind::kFifo, StrategyKind::kChain}) {
+      if (mode == ExecutionMode::kOts && strategy != StrategyKind::kFifo) {
+        continue;  // OTS ignores the level-2 strategy
+      }
+      add(mode, strategy);
+    }
+  }
+  // Single-threaded DI with source queues.
+  add(ExecutionMode::kDirect, StrategyKind::kFifo);
+  // Both cross-thread queue paths must replay identically.
+  add(ExecutionMode::kGts, StrategyKind::kFifo).queue_path =
+      QueuePathMode::kForceMpsc;
+  // Bounded kBlock queues: backpressure + recovery, still exact (kBlock
+  // never sheds, so the exact oracle applies).
+  {
+    DiffConfig& config = add(ExecutionMode::kHmts, StrategyKind::kFifo);
+    config.queue_max_elements = 64;
+    config.overload_policy = OverloadPolicy::kBlock;
+  }
+  // Double kill: the operator dies again right after the first recovery's
+  // replay; two rewinds must still converge to golden.
+  add(ExecutionMode::kHmts, StrategyKind::kFifo).chaos_kills = 2;
+  return configs;
+}
+
 ExecutableDag BuildDagForSpec(const DiffSpec& spec) {
   return BuildExecutableDag(DagOptionsForSpec(spec), spec.seed);
 }
@@ -326,6 +377,11 @@ SinkOutputs RunUnderConfig(const DiffSpec& spec, const DiffConfig& config) {
   engine.Stop();
   out.dropped = engine.DroppedElements();
   out.run_result = engine.RunResult();
+  if (const RecoveryManager* recovery = engine.recovery()) {
+    out.recoveries = recovery->completed_recoveries();
+    out.committed_epoch = recovery->coordinator().committed_epoch();
+    out.replayed_elements = recovery->replayed_elements();
+  }
   if (engine.hmts() != nullptr) {
     out.watchdog_stalls = engine.hmts()->thread_scheduler().stall_events();
   }
@@ -521,6 +577,11 @@ std::string FormatReplay(const DiffSpec& spec, const DiffConfig& config) {
      << "chaos_delay_rate=" << config.chaos_delay_rate << "\n"
      << "chaos_suppress_every_n=" << config.chaos_suppress_every_n << "\n"
      << "chaos_seed=" << config.chaos_seed << "\n"
+     << "checkpoint_epoch_interval=" << config.checkpoint_epoch_interval
+     << "\n"
+     << "chaos_kill_operator=" << config.chaos_kill_operator << "\n"
+     << "chaos_kill_after=" << config.chaos_kill_after << "\n"
+     << "chaos_kills=" << config.chaos_kills << "\n"
      << "watchdog=" << (config.watchdog ? 1 : 0) << "\n";
   return os.str();
 }
@@ -596,6 +657,14 @@ bool ParseReplay(const std::string& text, DiffSpec* spec, DiffConfig* config,
         config->chaos_suppress_every_n = std::stoi(value);
       } else if (key == "chaos_seed") {
         config->chaos_seed = std::stoull(value);
+      } else if (key == "checkpoint_epoch_interval") {
+        config->checkpoint_epoch_interval = std::stoull(value);
+      } else if (key == "chaos_kill_operator") {
+        config->chaos_kill_operator = value;
+      } else if (key == "chaos_kill_after") {
+        config->chaos_kill_after = std::stoll(value);
+      } else if (key == "chaos_kills") {
+        config->chaos_kills = std::stoi(value);
       } else if (key == "watchdog") {
         config->watchdog = std::stoi(value) != 0;
       } else {

@@ -84,9 +84,21 @@ struct DiffConfig {
   /// runs assert it stays clean (stall_events == 0).
   bool watchdog = false;
 
+  // -- Checkpoint/recovery dimensions (ISSUE 4) ---------------------------
+
+  /// Elements per source between epoch barriers; 0 disables checkpointing.
+  uint64_t checkpoint_epoch_interval = 0;
+  /// Kill/revive chaos (see ChaosOptions::kill_operator): the named
+  /// operator dies on its `chaos_kill_after`-th delivery, `chaos_kills`
+  /// times; each death must be absorbed by epoch rewind + replay with the
+  /// final output matching golden exactly.
+  std::string chaos_kill_operator;
+  int64_t chaos_kill_after = 0;
+  int chaos_kills = 1;
+
   bool chaos_enabled() const {
     return chaos_transient_rate > 0.0 || chaos_delay_rate > 0.0 ||
-           chaos_suppress_every_n > 0;
+           chaos_suppress_every_n > 0 || !chaos_kill_operator.empty();
   }
 
   /// "gts+chain+auto" style identifier (placement only for HMTS, ring
@@ -121,6 +133,10 @@ struct SinkOutputs {
   int64_t watchdog_stalls = 0;
   /// The engine's RunResult() — Ok on a healthy run.
   Status run_result = Status::Ok();
+  /// Recovery accounting (checkpoint_epoch_interval > 0 only).
+  int recoveries = 0;
+  uint64_t committed_epoch = 0;
+  int64_t replayed_elements = 0;
 };
 
 /// Builds the spec's graph and runs it to completion under `config`.
@@ -140,6 +156,17 @@ std::string CompareOutputs(const SinkOutputs& golden,
 /// under transient faults + delays + lost wakeups, plus bounded-queue
 /// variants for each overload policy. Used by check-chaos.
 std::vector<DiffConfig> ChaosConfigMatrix();
+
+/// The kill/revive recovery sweep (check-recovery): checkpointing armed,
+/// `kill_operator` dies on its `kill_after`-th delivery, and the run must
+/// recover via epoch rewind + replay and still match golden *exactly* —
+/// the CollectingSink truncate-on-restore gives exact epoch+sequence
+/// dedup, so no relaxed compare is needed. Covers {GTS, OTS, HMTS} x
+/// {FIFO, Chain}, kDirect, the forced-MPSC queue path, bounded kBlock
+/// queues, and a double-kill variant. All queues stay unbounded or
+/// kBlock so nothing is shed and the exact oracle applies.
+std::vector<DiffConfig> RecoveryConfigMatrix(const std::string& kill_operator,
+                                             int64_t kill_after);
 
 struct DiffFailure {
   DiffSpec spec;  // shrunk when shrinking was enabled

@@ -13,6 +13,20 @@ Tuple Tuple::EndOfStream(AppTime timestamp) {
   return t;
 }
 
+Tuple Tuple::EpochBarrier(uint64_t epoch) {
+  Tuple t;
+  t.kind_ = Kind::kEpochBarrier;
+  // The epoch number travels in the timestamp slot: barriers carry no
+  // payload, and AppTime is wide enough for any epoch counter.
+  t.timestamp_ = static_cast<AppTime>(epoch);
+  return t;
+}
+
+uint64_t Tuple::epoch() const {
+  DCHECK(is_barrier());
+  return static_cast<uint64_t>(timestamp_);
+}
+
 const Value& Tuple::at(size_t i) const {
   DCHECK_LT(i, values_.size());
   return values_[i];
@@ -36,6 +50,7 @@ Tuple Tuple::Concat(const Tuple& left, const Tuple& right) {
 
 std::string Tuple::ToString() const {
   if (is_eos()) return "<EOS@" + std::to_string(timestamp_) + ">";
+  if (is_barrier()) return "<BARRIER#" + std::to_string(timestamp_) + ">";
   std::string s = "(";
   for (size_t i = 0; i < values_.size(); ++i) {
     if (i > 0) s += ", ";

@@ -26,6 +26,10 @@ class Tuple {
     kData = 0,
     /// Punctuation: no further data elements will arrive on this edge.
     kEndOfStream = 1,
+    /// Punctuation: every element of checkpoint epoch `epoch()` has been
+    /// delivered on this edge (src/recovery/). Rides the normal element
+    /// order; carries no payload.
+    kEpochBarrier = 2,
   };
 
   /// An empty data tuple at application time 0.
@@ -41,6 +45,10 @@ class Tuple {
   /// time at which the stream ended (windows may flush up to it).
   static Tuple EndOfStream(AppTime timestamp = 0);
 
+  /// Constructs the epoch-barrier punctuation for checkpoint `epoch`
+  /// (epochs are 1-based; barrier k separates epoch k from epoch k+1).
+  static Tuple EpochBarrier(uint64_t epoch);
+
   /// Convenience single-attribute constructors used pervasively by the
   /// synthetic workloads.
   static Tuple OfInt(int64_t v, AppTime timestamp = 0) {
@@ -53,6 +61,10 @@ class Tuple {
   Kind kind() const { return kind_; }
   bool is_data() const { return kind_ == Kind::kData; }
   bool is_eos() const { return kind_ == Kind::kEndOfStream; }
+  bool is_barrier() const { return kind_ == Kind::kEpochBarrier; }
+
+  /// The checkpoint epoch this barrier closes. Barrier tuples only.
+  uint64_t epoch() const;
 
   AppTime timestamp() const { return timestamp_; }
   void set_timestamp(AppTime t) { timestamp_ = t; }

@@ -1,0 +1,101 @@
+// RunStatus under contention: many threads report failures concurrently;
+// exactly one primary failure must be recorded, every report counted, and
+// the origin/first() pair must stay mutually consistent. Run under TSan
+// (build-tsan) to prove the first-failure election is race-free.
+//
+// Runs under the `check-recovery` CMake target (ctest -R "RunStatus").
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "operators/operator.h"
+#include "util/run_status.h"
+#include "util/status.h"
+
+namespace flexstream {
+namespace {
+
+TEST(RunStatusContentionTest, ConcurrentReportsElectExactlyOnePrimary) {
+  constexpr int kThreads = 16;
+  constexpr int kReportsPerThread = 200;
+  RunStatus status;
+  std::atomic<int> go{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&status, &go, t] {
+      go.fetch_add(1, std::memory_order_relaxed);
+      while (go.load(std::memory_order_relaxed) < kThreads) {
+      }
+      for (int i = 0; i < kReportsPerThread; ++i) {
+        status.Report(Status::Internal("boom from t" + std::to_string(t)),
+                      "op" + std::to_string(t));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_TRUE(status.failed());
+  EXPECT_EQ(status.report_count(),
+            static_cast<int64_t>(kThreads) * kReportsPerThread);
+  // Exactly one primary: origin names a real reporter and first() is the
+  // matching status, not a blend of two reports.
+  const std::string origin = status.origin();
+  ASSERT_FALSE(origin.empty());
+  EXPECT_EQ(origin.rfind("op", 0), 0u);
+  const std::string winner = origin.substr(2);
+  EXPECT_NE(status.first().message().find("operator '" + origin + "'"),
+            std::string::npos);
+  EXPECT_NE(status.first().message().find("boom from t" + winner),
+            std::string::npos);
+}
+
+// The same election through the Operator::Fail path: concurrent failing
+// operators all become poisoned, but the run records one primary.
+class FailingOp : public Operator {
+ public:
+  explicit FailingOp(std::string name)
+      : Operator(Kind::kOperator, std::move(name), 1) {}
+  void FailNow() { Fail(Status::Internal("induced failure")); }
+
+ protected:
+  void Process(const Tuple& /*tuple*/, int /*port*/) override {}
+};
+
+TEST(RunStatusContentionTest, ConcurrentOperatorFailuresKeepOnePrimary) {
+  constexpr int kOps = 12;
+  RunStatus status;
+  std::vector<std::unique_ptr<FailingOp>> ops;
+  for (int i = 0; i < kOps; ++i) {
+    ops.push_back(std::make_unique<FailingOp>("fail" + std::to_string(i)));
+    ops.back()->SetRunStatus(&status);
+  }
+
+  std::atomic<int> go{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kOps; ++i) {
+    threads.emplace_back([&go, op = ops[i].get()] {
+      go.fetch_add(1, std::memory_order_relaxed);
+      while (go.load(std::memory_order_relaxed) < kOps) {
+      }
+      op->FailNow();
+      op->FailNow();  // idempotent: the second call must not re-report
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_TRUE(status.failed());
+  EXPECT_EQ(status.report_count(), kOps);  // one report per operator
+  for (const auto& op : ops) EXPECT_TRUE(op->failed());
+  // The recorded primary is one of the operators, verbatim.
+  EXPECT_EQ(status.origin().rfind("fail", 0), 0u);
+}
+
+}  // namespace
+}  // namespace flexstream
