@@ -24,11 +24,13 @@
 #include "util/table.h"
 #include "workload/rate_source.h"
 
+#include "bench_smoke.h"
+
 namespace flexstream {
 namespace {
 
 constexpr int64_t kDomain = 100'000;
-constexpr int64_t kElements = 300'000;
+const int64_t kElements = bench::SmokeScaled<int64_t>(300'000, 30'000);
 
 double RunGtsWithBatch(size_t batch_size, size_t* peak_memory) {
   QueryGraph graph;

@@ -1,0 +1,33 @@
+// Smoke-mode support for the benchmark suite.
+//
+// `cmake --build build --target check-bench` runs every bench with
+// FLEXSTREAM_BENCH_SMOKE=1 in the environment: each bench shrinks its
+// workload to a seconds-scale sanity run so the whole suite doubles as a
+// build-tree smoke test (do the benches still build, run, and write their
+// JSON artifacts?). Timing numbers from a smoke run are meaningless —
+// only full runs feed the README/DESIGN tables.
+
+#ifndef FLEXSTREAM_BENCH_BENCH_SMOKE_H_
+#define FLEXSTREAM_BENCH_BENCH_SMOKE_H_
+
+#include <cstdlib>
+
+namespace flexstream {
+namespace bench {
+
+/// True when FLEXSTREAM_BENCH_SMOKE is set to anything but "" / "0".
+inline bool SmokeMode() {
+  const char* env = std::getenv("FLEXSTREAM_BENCH_SMOKE");
+  return env != nullptr && *env != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
+/// Picks the full-size or smoke-size value for a workload constant.
+template <typename T>
+inline T SmokeScaled(T full, T smoke) {
+  return SmokeMode() ? smoke : full;
+}
+
+}  // namespace bench
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_BENCH_BENCH_SMOKE_H_

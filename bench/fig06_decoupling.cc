@@ -28,6 +28,8 @@
 #include "util/table.h"
 #include "workload/rate_source.h"
 
+#include "bench_smoke.h"
+
 namespace flexstream {
 namespace {
 
@@ -103,7 +105,8 @@ double RateAt(const JoinRun& run, size_t bucket) {
 }
 
 int Main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const bool quick = bench::SmokeMode() ||
+                     (argc > 1 && std::string(argv[1]) == "--quick");
   const int64_t count = quick ? 20'000 : kCount;
   std::cout << "=== Figure 6: the necessity of decoupling ===\n"
             << "SHJ and SNJ driven directly by their sources (DI, no "

@@ -22,6 +22,8 @@
 #include "util/table.h"
 #include "workload/rate_source.h"
 
+#include "bench_smoke.h"
+
 namespace flexstream {
 namespace {
 
@@ -72,7 +74,8 @@ double RunOnce(ExecutionMode mode, StrategyKind strategy, int64_t m) {
 }
 
 int Main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const bool quick = bench::SmokeMode() ||
+                     (argc > 1 && std::string(argv[1]) == "--quick");
   std::cout << "=== Figure 7: runtime of a 5-selection query under GTS, "
                "OTS and DI ===\n"
             << "source: m elements at 500k/s, values uniform [0,100000); "

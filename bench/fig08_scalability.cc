@@ -21,6 +21,8 @@
 #include "util/table.h"
 #include "workload/rate_source.h"
 
+#include "bench_smoke.h"
+
 namespace flexstream {
 namespace {
 
@@ -68,7 +70,8 @@ double RunOnce(ExecutionMode mode, int queries, int64_t m) {
 }
 
 int Main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const bool quick = bench::SmokeMode() ||
+                     (argc > 1 && std::string(argv[1]) == "--quick");
   std::cout << "=== Figure 8: DI vs OTS, varying the number of queries ==="
             << "\n5-selection query replicated q times over one source; "
                "30,000 elements (paper: 100,000)\n\n";

@@ -32,6 +32,8 @@
 #include "util/table.h"
 #include "workload/rate_source.h"
 
+#include "bench_smoke.h"
+
 namespace flexstream {
 namespace {
 
@@ -51,6 +53,10 @@ std::vector<Phase> PaperPhases() {
   // significantly less than a second"); slow phases compressed 100x in
   // duration (2,000 elements at 2,500/s = 0.8 s instead of 20,000 at
   // 250/s = 80 s).
+  if (bench::SmokeMode()) {
+    // Same burst/slow shape at 1/5 scale.
+    return {{2'000, 0.0}, {400, 2'500.0}, {400, 0.0}, {400, 2'500.0}};
+  }
   return {{10'000, 0.0}, {2'000, 2'500.0}, {2'000, 0.0}, {2'000, 2'500.0}};
 }
 

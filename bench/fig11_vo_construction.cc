@@ -20,6 +20,8 @@
 #include "placement/static_queue_placement.h"
 #include "util/table.h"
 
+#include "bench_smoke.h"
+
 namespace flexstream {
 namespace {
 
@@ -51,7 +53,7 @@ int Main() {
             << "random DAGs, 20 per size; capacities in microseconds "
                "(cap(P) = d(P) - c(P))\n\n";
   const int kSizes[] = {10, 20, 50, 100, 200, 500, 1000};
-  constexpr int kTrialsPerSize = 20;
+  const int kTrialsPerSize = bench::SmokeScaled(20, 3);
   Rng rng(20070415);
 
   Table neg({"nodes", "alg1_avg_neg_cap", "segment_avg_neg_cap",

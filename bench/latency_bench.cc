@@ -19,12 +19,14 @@
 #include "util/table.h"
 #include "workload/rate_source.h"
 
+#include "bench_smoke.h"
+
 namespace flexstream {
 namespace {
 
-constexpr int64_t kCheapCount = 3000;
+const int64_t kCheapCount = bench::SmokeScaled<int64_t>(3000, 800);
 constexpr double kCheapRate = 2000.0;
-constexpr int64_t kHeavyCount = 150;
+const int64_t kHeavyCount = bench::SmokeScaled<int64_t>(150, 40);
 constexpr double kHeavyRate = 100.0;
 constexpr double kHeavyCost = 5000.0;  // 5 ms
 

@@ -40,6 +40,8 @@
 #include "util/logging.h"
 #include "util/table.h"
 
+#include "bench_smoke.h"
+
 namespace flexstream {
 namespace {
 
@@ -340,9 +342,9 @@ void WriteJson(const std::vector<RunResult>& results,
 }
 
 int Main(int argc, char** argv) {
-  int64_t small_count = 2'000'000;
-  int64_t string_count = 500'000;
-  int reps = 5;
+  int64_t small_count = bench::SmokeScaled<int64_t>(2'000'000, 200'000);
+  int64_t string_count = bench::SmokeScaled<int64_t>(500'000, 50'000);
+  int reps = bench::SmokeScaled(5, 1);
   std::string out_path = "BENCH_queue.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];

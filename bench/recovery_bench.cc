@@ -41,12 +41,14 @@
 #include "util/logging.h"
 #include "util/table.h"
 
+#include "bench_smoke.h"
+
 namespace flexstream {
 namespace {
 
-constexpr int64_t kFeedPerSource = 50'000;
+const int64_t kFeedPerSource = bench::SmokeScaled<int64_t>(50'000, 10'000);
 constexpr uint64_t kEpochInterval = 100;
-constexpr int kReps = 5;
+const int kReps = bench::SmokeScaled(5, 2);
 constexpr auto kWait = std::chrono::seconds(120);
 
 struct Pipeline {

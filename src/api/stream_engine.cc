@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "operators/sink.h"
+#include "operators/source.h"
 #include "placement/chain_vo_builder.h"
 #include "placement/producer_annotation.h"
 #include "placement/segment_vo_builder.h"
@@ -316,6 +317,18 @@ Status StreamEngine::Configure(const EngineOptions& options) {
                       options.block_wait_timeout);
     }
   }
+  // Batch execution path (DESIGN.md §11): sources accumulate pushes into
+  // TupleBatches and the placed queues forward each drained run as one
+  // downstream ReceiveBatch call. A batch size of 1 (the default) keeps
+  // the per-tuple path everywhere.
+  for (Node* node : graph_->nodes()) {
+    if (Source* source = dynamic_cast<Source*>(node)) {
+      source->SetEmitBatchSize(options.emit_batch_size);
+    }
+  }
+  if (options.emit_batch_size > 1) {
+    for (QueueOp* queue : queues_) queue->SetBatchDelivery(true);
+  }
   // Every operator (queues included — their kBlock waits poll it) reports
   // failures into the engine's run status and shares the retry backoff
   // policy.
@@ -547,6 +560,14 @@ Status StreamEngine::Deconfigure() {
   if (recovery_ != nullptr) {
     recovery_->Disarm();
     recovery_.reset();
+  }
+  // Sources return to per-tuple delivery first; resetting the batch size
+  // flushes any pending batch into the still-placed queues so the drain
+  // below sees every element.
+  for (Node* node : graph_->nodes()) {
+    if (Source* source = dynamic_cast<Source*>(node)) {
+      source->SetEmitBatchSize(1);
+    }
   }
   // Drain in topological order so elements pushed downstream land in
   // queues that have not been removed yet.

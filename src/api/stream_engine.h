@@ -102,6 +102,14 @@ struct EngineOptions {
   /// Transient-failure retry backoff applied to every operator
   /// (capped exponential with seeded jitter; see RetryBackoffOptions).
   RetryBackoffOptions retry_backoff;
+  /// Batch execution path (DESIGN.md §11): elements a source accumulates
+  /// into one TupleBatch before emitting it downstream; sizes > 1 also
+  /// make every placed queue deliver each drained run as a single
+  /// ReceiveBatch call. 1 (the default) keeps the per-tuple path
+  /// everywhere. Batches always split at punctuations (EOS, epoch
+  /// barriers) and dissolve at fault-hooked or alignment-armed operators,
+  /// so overload accounting and checkpoint semantics are unchanged.
+  size_t emit_batch_size = 1;
 };
 
 class StreamEngine {

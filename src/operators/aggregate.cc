@@ -95,10 +95,10 @@ void WindowedAggregate::Process(const Tuple& tuple, int port) {
   GroupState& group = groups_[GroupKeyOf(tuple)];
   Fold(&group, ValueOf(tuple));
   if (options_.group_attr) {
-    Emit(Tuple({tuple.at(*options_.group_attr), Value(Current(group))},
+    EmitMove(Tuple({tuple.at(*options_.group_attr), Value(Current(group))},
                tuple.timestamp()));
   } else {
-    Emit(Tuple({Value(Current(group))}, tuple.timestamp()));
+    EmitMove(Tuple({Value(Current(group))}, tuple.timestamp()));
   }
 }
 

@@ -51,7 +51,7 @@ void CountWindowAggregate::Process(const Tuple& tuple, int port) {
     DCHECK(it != ordered_.end());
     ordered_.erase(it);
   }
-  Emit(Tuple({Value(Current())}, tuple.timestamp()));
+  EmitMove(Tuple({Value(Current())}, tuple.timestamp()));
 }
 
 

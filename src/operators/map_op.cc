@@ -15,7 +15,16 @@ MapOp::MapOp(std::string name, MapFn fn, double simulated_cost_micros)
 void MapOp::Process(const Tuple& tuple, int port) {
   (void)port;
   if (simulated_cost_micros_ > 0.0) BurnMicros(simulated_cost_micros_);
-  Emit(fn_(tuple));
+  EmitMove(fn_(tuple));
+}
+
+void MapOp::ProcessBatch(TupleBatch&& batch, int port) {
+  (void)port;
+  if (simulated_cost_micros_ > 0.0) {
+    BurnMicros(simulated_cost_micros_ * static_cast<double>(batch.size()));
+  }
+  for (Tuple& tuple : batch) tuple = fn_(tuple);
+  EmitBatch(std::move(batch));
 }
 
 }  // namespace flexstream

@@ -19,6 +19,9 @@ class MapOp : public Operator {
 
  protected:
   void Process(const Tuple& tuple, int port) override;
+  /// Batch-native path: replaces each tuple with fn_(tuple) in place and
+  /// forwards the batch whole.
+  void ProcessBatch(TupleBatch&& batch, int port) override;
 
  private:
   MapFn fn_;

@@ -61,7 +61,7 @@ void MultiwayJoin::ProbeFrom(const Value& key, int arrival,
       values.insert(values.end(), part->values().begin(),
                     part->values().end());
     }
-    Emit(Tuple(std::move(values), out_ts));
+    EmitMove(Tuple(std::move(values), out_ts));
     return;
   }
   if (static_cast<int>(next_input) == arrival) {

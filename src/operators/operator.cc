@@ -131,6 +131,58 @@ void Operator::Receive(Tuple&& tuple, int port) {
   Operator::Receive(static_cast<const Tuple&>(tuple), port);
 }
 
+void Operator::ReceiveBatch(TupleBatch&& batch, int port) {
+  if (receive_mutex_ != nullptr) {
+    std::lock_guard<std::mutex> lock(*receive_mutex_);
+    ReceiveBatchLocked(std::move(batch), port);
+    return;
+  }
+  ReceiveBatchLocked(std::move(batch), port);
+}
+
+void Operator::ReceiveBatchLocked(TupleBatch&& batch, int port) {
+  if (batch.empty()) return;
+  if (epoch_state_ != nullptr || fault_hook_ != nullptr) {
+    // Per-delivery machinery is engaged: barrier channels buffer and fault
+    // hooks vote element by element, so the batch is unbundled onto the
+    // exact per-tuple path. The sender is re-declared before every element
+    // because a processed element's downstream Emit overwrites the
+    // thread-local.
+    const Node* sender = tl_delivery_sender_;
+    for (Tuple& tuple : batch) {
+      tl_delivery_sender_ = sender;
+      ReceiveLocked(tuple, port);
+    }
+    return;
+  }
+  DCHECK(!closed_) << DebugString() << " received data after close";
+  if (failed_.load(std::memory_order_relaxed)) return;
+  const size_t n = batch.size();
+  if (!StatsCollectionEnabled()) {
+    if (simulated_cost_micros_ > 0.0) {
+      BurnMicros(simulated_cost_micros_ * static_cast<double>(n));
+    }
+    ProcessBatch(std::move(batch), port);
+    return;
+  }
+  const TimePoint start = Now();
+  stats().RecordArrivalBatch(start, static_cast<int64_t>(n));
+  const double saved_child_micros = tl_child_micros;
+  tl_child_micros = 0.0;
+  if (simulated_cost_micros_ > 0.0) {
+    BurnMicros(simulated_cost_micros_ * static_cast<double>(n));
+  }
+  ProcessBatch(std::move(batch), port);
+  const double total_micros = static_cast<double>(ToMicros(Now() - start));
+  const double self_micros = std::max(0.0, total_micros - tl_child_micros);
+  stats().RecordProcessedBatch(self_micros, static_cast<int64_t>(n));
+  tl_child_micros = saved_child_micros + total_micros;
+}
+
+void Operator::ProcessBatch(TupleBatch&& batch, int port) {
+  for (const Tuple& tuple : batch) Process(tuple, port);
+}
+
 void Operator::ReceiveLocked(const Tuple& tuple, int port) {
   // Barrier alignment engages lazily: until the first barrier arrives,
   // every delivery takes the plain path below at zero extra cost.
@@ -319,6 +371,23 @@ void Operator::EmitMove(Tuple&& tuple) {
   const OutEdge& last = edges.back();
   tl_delivery_sender_ = this;
   last.target->Receive(std::move(tuple), last.port);
+}
+
+void Operator::EmitBatch(TupleBatch&& batch) {
+  if (batch.empty()) return;
+  if (StatsCollectionEnabled()) {
+    stats().RecordEmitted(static_cast<int64_t>(batch.size()));
+  }
+  const auto& edges = outputs();
+  if (edges.empty()) return;
+  for (size_t i = 0; i + 1 < edges.size(); ++i) {
+    TupleBatch copy = batch;
+    tl_delivery_sender_ = this;
+    edges[i].target->ReceiveBatch(std::move(copy), edges[i].port);
+  }
+  const OutEdge& last = edges.back();
+  tl_delivery_sender_ = this;
+  last.target->ReceiveBatch(std::move(batch), last.port);
 }
 
 void Operator::EmitTo(size_t output_index, const Tuple& tuple) {

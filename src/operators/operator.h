@@ -28,6 +28,7 @@
 
 #include "graph/node.h"
 #include "tuple/tuple.h"
+#include "tuple/tuple_batch.h"
 #include "util/run_status.h"
 
 namespace flexstream {
@@ -96,6 +97,17 @@ class Operator : public Node {
   /// without a second virtual dispatch, so a subclass overriding the
   /// lvalue form must override this one as well.
   virtual void Receive(Tuple&& tuple, int port);
+
+  /// Batch delivery (DESIGN.md §11): semantically identical to calling
+  /// Receive() once per element, in order, on `port`, but pays the virtual
+  /// dispatch, serialization lock and statistics bookkeeping once per
+  /// batch. Batches carry data tuples only — punctuations (EOS, barriers)
+  /// always travel through Receive() — so fan-in close accounting and
+  /// barrier alignment never see a batch. When per-delivery machinery is
+  /// engaged (a fault hook is installed or barrier alignment is armed) the
+  /// base implementation unbundles the batch onto the exact per-tuple
+  /// path, so chaos and checkpoint semantics are preserved bit-for-bit.
+  virtual void ReceiveBatch(TupleBatch&& batch, int port);
 
   /// True once OnAllInputsClosed has run (all inputs delivered EOS).
   bool closed() const { return closed_; }
@@ -191,6 +203,15 @@ class Operator : public Node {
   /// Emit() zero or more times.
   virtual void Process(const Tuple& tuple, int port) = 0;
 
+  /// Handles one batch of data elements — all Receive-path gates (failure
+  /// poisoning, stats, simulated cost) have already been applied for the
+  /// whole batch. Batch-native operators (Selection, Projection, MapOp,
+  /// UnionOp, the counting/collecting sinks) override this to transform
+  /// the batch in place and forward it with EmitBatch(); the default
+  /// unbundles into per-tuple Process() calls, so batches simply dissolve
+  /// at the first operator that hasn't opted in.
+  virtual void ProcessBatch(TupleBatch&& batch, int port);
+
   /// Called once when all input edges have closed. The default emits an EOS
   /// punctuation downstream; stateful operators flush first, sinks signal
   /// completion. `timestamp` is the max EOS timestamp observed.
@@ -206,6 +227,11 @@ class Operator : public Node {
   /// copies — they each need their own payload. Taking an rvalue reference
   /// (not by value) spares the hot drain loops one move per element.
   void EmitMove(Tuple&& tuple);
+
+  /// Batch analogue of EmitMove: pushes `batch` to every subscriber in
+  /// subscription order. The last subscriber adopts the storage; earlier
+  /// (fan-out) subscribers receive copies.
+  void EmitBatch(TupleBatch&& batch);
 
   /// Pushes `tuple` to the single subscriber at `output_index` (the order
   /// outputs were connected in). Used by routing operators that partition
@@ -250,6 +276,10 @@ class Operator : public Node {
   static thread_local const Node* tl_delivery_sender_;
 
   void ReceiveLocked(const Tuple& tuple, int port);
+  /// Batch delivery under the (optional) serialization lock: applies the
+  /// Receive-path gates once for the whole batch, or unbundles it when
+  /// per-delivery machinery (fault hook, barrier alignment) is engaged.
+  void ReceiveBatchLocked(TupleBatch&& batch, int port);
   /// The pre-barrier delivery path (stats, fault hook, Process/EOS).
   void DeliverLocked(const Tuple& tuple, int port);
   /// Barrier-aware routing. Returns true when the delivery was consumed

@@ -1,5 +1,7 @@
 #include "operators/projection.h"
 
+#include <algorithm>
+
 #include "util/busy_work.h"
 
 namespace flexstream {
@@ -8,7 +10,12 @@ Projection::Projection(std::string name, std::vector<size_t> attrs,
                        double simulated_cost_micros)
     : Operator(Kind::kOperator, std::move(name), /*input_arity=*/1),
       attrs_(std::move(attrs)),
-      simulated_cost_micros_(simulated_cost_micros) {}
+      simulated_cost_micros_(simulated_cost_micros) {
+  std::vector<size_t> sorted = attrs_;
+  std::sort(sorted.begin(), sorted.end());
+  attrs_unique_ =
+      std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+}
 
 void Projection::Process(const Tuple& tuple, int port) {
   (void)port;
@@ -20,7 +27,29 @@ void Projection::Process(const Tuple& tuple, int port) {
   std::vector<Value> values;
   values.reserve(attrs_.size());
   for (size_t a : attrs_) values.push_back(tuple.at(a));
-  Emit(Tuple(std::move(values), tuple.timestamp()));
+  EmitMove(Tuple(std::move(values), tuple.timestamp()));
+}
+
+void Projection::ProcessBatch(TupleBatch&& batch, int port) {
+  (void)port;
+  if (simulated_cost_micros_ > 0.0) {
+    BurnMicros(simulated_cost_micros_ * static_cast<double>(batch.size()));
+  }
+  if (!attrs_.empty()) {
+    for (Tuple& tuple : batch) {
+      std::vector<Value> values;
+      values.reserve(attrs_.size());
+      for (size_t a : attrs_) {
+        if (attrs_unique_) {
+          values.push_back(std::move(tuple.at(a)));
+        } else {
+          values.push_back(tuple.at(a));
+        }
+      }
+      tuple = Tuple(std::move(values), tuple.timestamp());
+    }
+  }
+  EmitBatch(std::move(batch));
 }
 
 }  // namespace flexstream

@@ -25,9 +25,14 @@ class Projection : public Operator {
 
  protected:
   void Process(const Tuple& tuple, int port) override;
+  /// Batch-native path: rebuilds each tuple in place, moving the kept
+  /// Values out of the owned input (copying only when `attrs` repeats an
+  /// index, since a repeated index would read a moved-from Value).
+  void ProcessBatch(TupleBatch&& batch, int port) override;
 
  private:
   std::vector<size_t> attrs_;
+  bool attrs_unique_ = true;
   double simulated_cost_micros_;
 };
 

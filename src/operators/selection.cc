@@ -26,4 +26,13 @@ void Selection::Process(const Tuple& tuple, int port) {
   if (predicate_(tuple)) Emit(tuple);
 }
 
+void Selection::ProcessBatch(TupleBatch&& batch, int port) {
+  (void)port;
+  if (simulated_cost_micros_ > 0.0) {
+    BurnMicros(simulated_cost_micros_ * static_cast<double>(batch.size()));
+  }
+  batch.Compact(predicate_);
+  EmitBatch(std::move(batch));
+}
+
 }  // namespace flexstream

@@ -32,6 +32,9 @@ class Selection : public Operator {
 
  protected:
   void Process(const Tuple& tuple, int port) override;
+  /// Batch-native path: compacts the batch in place (order-preserving
+  /// remove-if) and forwards the survivors as one batch.
+  void ProcessBatch(TupleBatch&& batch, int port) override;
 
  private:
   Predicate predicate_;

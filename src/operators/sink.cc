@@ -25,6 +25,14 @@ void Sink::Reset() {
 
 void Sink::Process(const Tuple& tuple, int port) { Consume(tuple, port); }
 
+void Sink::ProcessBatch(TupleBatch&& batch, int port) {
+  ConsumeBatch(std::move(batch), port);
+}
+
+void Sink::ConsumeBatch(TupleBatch&& batch, int port) {
+  for (const Tuple& tuple : batch) Consume(tuple, port);
+}
+
 void Sink::OnAllInputsClosed(AppTime timestamp) {
   (void)timestamp;
   {
@@ -66,6 +74,17 @@ void CountingSink::Consume(const Tuple& tuple, int port) {
       timeline_.emplace_back(ToSeconds(Now() - timeline_start_), n);
     }
   }
+}
+
+void CountingSink::ConsumeBatch(TupleBatch&& batch, int port) {
+  if (timeline_enabled_) {
+    // The timeline wants one (time, cumulative count) sample per arrival:
+    // keep the per-tuple path.
+    Sink::ConsumeBatch(std::move(batch), port);
+    return;
+  }
+  count_.fetch_add(static_cast<int64_t>(batch.size()),
+                   std::memory_order_relaxed);
 }
 
 OperatorSnapshot CountingSink::SnapshotState() const {
@@ -120,6 +139,13 @@ void CollectingSink::Consume(const Tuple& tuple, int port) {
   (void)port;
   std::lock_guard<std::mutex> lock(results_mutex_);
   results_.push_back(tuple);
+}
+
+void CollectingSink::ConsumeBatch(TupleBatch&& batch, int port) {
+  (void)port;
+  std::lock_guard<std::mutex> lock(results_mutex_);
+  results_.insert(results_.end(), std::make_move_iterator(batch.begin()),
+                  std::make_move_iterator(batch.end()));
 }
 
 CallbackSink::CallbackSink(std::string name,

@@ -37,9 +37,15 @@ class Sink : public Operator {
 
  protected:
   void Process(const Tuple& tuple, int port) override;
+  void ProcessBatch(TupleBatch&& batch, int port) override;
   void OnAllInputsClosed(AppTime timestamp) override;
 
   virtual void Consume(const Tuple& tuple, int port) = 0;
+
+  /// Batch analogue of Consume. The default unbundles into per-tuple
+  /// Consume calls; the counting/collecting sinks override it to absorb
+  /// the whole batch under one lock/atomic update.
+  virtual void ConsumeBatch(TupleBatch&& batch, int port);
 
  private:
   std::mutex mutex_;
@@ -69,6 +75,7 @@ class CountingSink : public Sink, public StatefulOperator {
 
  protected:
   void Consume(const Tuple& tuple, int port) override;
+  void ConsumeBatch(TupleBatch&& batch, int port) override;
 
  private:
   std::atomic<int64_t> count_{0};
@@ -99,6 +106,7 @@ class CollectingSink : public Sink, public StatefulOperator {
 
  protected:
   void Consume(const Tuple& tuple, int port) override;
+  void ConsumeBatch(TupleBatch&& batch, int port) override;
 
  private:
   mutable std::mutex results_mutex_;

@@ -18,7 +18,44 @@ void Source::Push(const Tuple& tuple) {
     stats().RecordArrival(Now());
     stats().RecordProcessed(0.0);
   }
+  if (emit_batch_size_ > 1) {
+    pending_.PushBack(tuple);
+    if (pending_.size() >= emit_batch_size_) FlushPendingBatch();
+    return;
+  }
   Emit(tuple);
+}
+
+void Source::Push(Tuple&& tuple) {
+  if (epoch_interval_ != 0) {
+    // The epoch path copies into the replay buffer anyway; no move win.
+    PushEpochs(tuple);
+    return;
+  }
+  DCHECK(tuple.is_data());
+  DCHECK(!closed_by_driver_) << DebugString() << " pushed after Close";
+  if (StatsCollectionEnabled()) {
+    stats().RecordArrival(Now());
+    stats().RecordProcessed(0.0);
+  }
+  if (emit_batch_size_ > 1) {
+    pending_.PushBack(std::move(tuple));
+    if (pending_.size() >= emit_batch_size_) FlushPendingBatch();
+    return;
+  }
+  EmitMove(std::move(tuple));
+}
+
+void Source::SetEmitBatchSize(size_t batch_size) {
+  FlushPendingBatch();
+  emit_batch_size_ = batch_size == 0 ? 1 : batch_size;
+}
+
+void Source::FlushPendingBatch() {
+  if (pending_.empty()) return;
+  TupleBatch batch = std::move(pending_);
+  pending_.clear();  // normalize the moved-from state
+  EmitBatch(std::move(batch));
 }
 
 void Source::PushEpochs(const Tuple& tuple) {
@@ -37,11 +74,18 @@ void Source::PushEpochs(const Tuple& tuple) {
     stats().RecordArrival(Now());
     stats().RecordProcessed(0.0);
   }
-  Emit(tuple);
+  if (emit_batch_size_ > 1) {
+    pending_.PushBack(tuple);
+    if (pending_.size() >= emit_batch_size_) FlushPendingBatch();
+  } else {
+    Emit(tuple);
+  }
   if (++pushed_in_epoch_ >= epoch_interval_) {
     // Barriers regenerate deterministically on replay: the counters rewind
     // to the committed boundary, so replayed elements re-cross the same
-    // epoch boundaries at the same positions.
+    // epoch boundaries at the same positions. Any accumulating batch is
+    // flushed first — a batch never straddles a barrier.
+    FlushPendingBatch();
     EmitBarrier(Tuple::EpochBarrier(next_epoch_));
     ++next_epoch_;
     pushed_in_epoch_ = 0;
@@ -56,6 +100,7 @@ void Source::Close(AppTime timestamp) {
   if (closed_by_driver_) return;
   closed_by_driver_ = true;
   if (observer_ != nullptr && !replaying_) observer_->OnClose(timestamp);
+  FlushPendingBatch();
   EmitEos(timestamp);
 }
 
@@ -87,6 +132,7 @@ void Source::RewindTo(uint64_t epoch) {
 void Source::Reset() {
   Operator::Reset();
   closed_by_driver_ = false;
+  pending_.clear();
 }
 
 void Source::Process(const Tuple& tuple, int port) {

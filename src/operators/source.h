@@ -44,11 +44,27 @@ class Source : public Operator {
 
   explicit Source(std::string name);
 
-  /// Delivers one data element downstream (in the calling thread).
+  /// Delivers one data element downstream (in the calling thread). With an
+  /// emit batch size > 1, the element is accumulated instead and delivered
+  /// as part of the next TupleBatch (DESIGN.md §11).
   void Push(const Tuple& tuple);
 
-  /// Emits the end-of-stream punctuation. Idempotent.
+  /// Move-aware Push: the element's payload is moved downstream (into the
+  /// accumulating batch, or — single subscriber — into the first Receive).
+  void Push(Tuple&& tuple);
+
+  /// Emits the end-of-stream punctuation (flushing any pending batch
+  /// first). Idempotent.
   void Close(AppTime timestamp = 0);
+
+  /// Batch accumulation (EngineOptions::emit_batch_size): sizes > 1 make
+  /// Push collect elements into a TupleBatch and emit it downstream once
+  /// full. Pending elements are flushed before every epoch barrier, before
+  /// Close's EOS, and by this call itself — batches never straddle a
+  /// punctuation. 0 is treated as 1 (per-tuple delivery, the default).
+  /// Engine-configured; call from the driving thread or while quiescent.
+  void SetEmitBatchSize(size_t batch_size);
+  size_t emit_batch_size() const { return emit_batch_size_; }
 
   bool closed_by_driver() const { return closed_by_driver_; }
 
@@ -84,8 +100,14 @@ class Source : public Operator {
 
  private:
   void PushEpochs(const Tuple& tuple);
+  /// Emits the accumulated batch (if any) downstream.
+  void FlushPendingBatch();
 
   bool closed_by_driver_ = false;
+
+  // Batch accumulation (driving-thread only, like the epoch counters).
+  size_t emit_batch_size_ = 1;
+  TupleBatch pending_;
 
   // Epoch/replay state. Touched by the (single) driving thread and, with
   // the gate held exclusively, by the recovery thread.

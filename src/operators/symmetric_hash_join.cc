@@ -68,9 +68,9 @@ void SymmetricHashJoin::Process(const Tuple& tuple, int port) {
         continue;
       }
       if (port == kLeftPort) {
-        Emit(Tuple::Concat(tuple, match));
+        EmitMove(Tuple::Concat(tuple, match));
       } else {
-        Emit(Tuple::Concat(match, tuple));
+        EmitMove(Tuple::Concat(match, tuple));
       }
     }
   }

@@ -42,7 +42,7 @@ void SymmetricNlJoin::Process(const Tuple& tuple, int port) {
     const Tuple& left = (port == kLeftPort) ? tuple : candidate;
     const Tuple& right = (port == kLeftPort) ? candidate : tuple;
     if (predicate_(left, right)) {
-      Emit(Tuple::Concat(left, right));
+      EmitMove(Tuple::Concat(left, right));
     }
   }
   own.Add(tuple);

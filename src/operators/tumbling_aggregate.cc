@@ -46,9 +46,9 @@ void TumblingAggregate::FlushCurrentWindow() {
           : (current_window_ + 1) * options_.window_micros;
   for (const auto& [key, state] : groups_) {
     if (options_.group_attr) {
-      Emit(Tuple({key, Value(Finish(state))}, stamp));
+      EmitMove(Tuple({key, Value(Finish(state))}, stamp));
     } else {
-      Emit(Tuple({Value(Finish(state))}, stamp));
+      EmitMove(Tuple({Value(Finish(state))}, stamp));
     }
   }
   groups_.clear();

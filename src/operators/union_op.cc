@@ -10,4 +10,9 @@ void UnionOp::Process(const Tuple& tuple, int port) {
   Emit(tuple);
 }
 
+void UnionOp::ProcessBatch(TupleBatch&& batch, int port) {
+  (void)port;
+  EmitBatch(std::move(batch));
+}
+
 }  // namespace flexstream

@@ -39,7 +39,7 @@ void PullVoOperator::OnAllInputsClosed(AppTime timestamp) {
   while (root_->HasNext()) {
     PullResult r = root_->Next();
     if (r.is_data()) {
-      Emit(std::move(r.tuple));
+      EmitMove(std::move(r.tuple));
     } else if (r.is_end()) {
       break;
     }
@@ -53,7 +53,7 @@ void PullVoOperator::DrainRoot() {
   while (true) {
     PullResult r = root_->Next();
     if (r.is_data()) {
-      Emit(std::move(r.tuple));
+      EmitMove(std::move(r.tuple));
       continue;
     }
     // kPending: nothing more right now (a filtered element or an empty

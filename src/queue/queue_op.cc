@@ -16,6 +16,25 @@ std::atomic<uint64_t> g_arrival_seq{0};
 /// by Partition::RunLoop; used for the kBlock self-deadlock bypass.
 thread_local const void* tl_drain_context = nullptr;
 
+/// Reusable drain staging: every locked drain path (and the SPSC batch
+/// path) gathers its barrier-free run into a TupleBatch taken from here,
+/// so repeated drains reuse the vector's capacity. The scratch is *stolen*
+/// (moved out, restored after) rather than referenced in place, so a
+/// re-entrant drain — a downstream operator draining another queue inside
+/// Emit — cannot clobber an outer drain's batch.
+thread_local TupleBatch tl_drain_scratch;
+
+TupleBatch StealDrainScratch() {
+  TupleBatch batch = std::move(tl_drain_scratch);
+  batch.clear();
+  return batch;
+}
+
+void RestoreDrainScratch(TupleBatch&& batch) {
+  batch.clear();
+  tl_drain_scratch = std::move(batch);
+}
+
 }  // namespace
 
 const char* OverloadPolicyToString(OverloadPolicy policy) {
@@ -76,6 +95,65 @@ void QueueOp::Receive(Tuple&& tuple, int port) {
   }
   const bool is_barrier = tuple.is_barrier();
   Enqueue(std::move(tuple), is_barrier);
+}
+
+void QueueOp::ReceiveBatch(TupleBatch&& batch, int port) {
+  (void)port;
+  if (batch.empty()) return;
+  if (max_elements_ != 0) {
+    // Bounded: every admit/shed/block decision (and its drop counters)
+    // must see one element at a time — unbundle onto the per-tuple path.
+    for (Tuple& tuple : batch) Enqueue(std::move(tuple));
+    return;
+  }
+  EnqueueBatch(std::move(batch));
+}
+
+void QueueOp::EnqueueBatch(TupleBatch&& batch) {
+  const size_t n = batch.size();
+  const bool single = single_producer();
+  if (StatsCollectionEnabled()) {
+    stats().RecordArrivalBatch(Now(), static_cast<int64_t>(n));
+  }
+  if (single) {
+    DCHECK(!InputClosed()) << DebugString() << " data after close";
+    // One sequence-range allocation for the whole batch instead of one
+    // atomic RMW per element. The range is claimed in push order, so both
+    // the ring and any spillover stay individually sequence-ordered (as in
+    // Enqueue), and the spilled suffix carries the larger numbers — exactly
+    // what the consumer's seq-merge expects.
+    const uint64_t base = g_arrival_seq.fetch_add(n, std::memory_order_relaxed);
+    const size_t chunk = std::min(ring_->FreeForProducer(n), n);
+    if (chunk > 0) {
+      // Bulk push: n slot writes, ONE head publish (vs one per element).
+      ring_->PushBulkUnchecked(chunk, [&](size_t i) {
+        return Item{std::move(batch[i]), base + i};
+      });
+      ring_pushes_.store(ring_pushes_.load(std::memory_order_relaxed) + chunk,
+                         std::memory_order_relaxed);
+    }
+    if (chunk < n) {
+      // Ring full: spill the suffix under one lock acquisition.
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (size_t i = chunk; i < n; ++i) {
+        items_.push_back({std::move(batch[i]), base + i});
+      }
+      overflow_count_.fetch_add(n - chunk, std::memory_order_release);
+      locked_pushes_.store(
+          locked_pushes_.load(std::memory_order_relaxed) + (n - chunk),
+          std::memory_order_relaxed);
+    }
+  } else {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DCHECK(!eos_enqueued_) << DebugString() << " data after close";
+    // The range is drawn under the lock, so the deque stays
+    // sequence-ordered even when several producers race (as in Enqueue).
+    const uint64_t base = g_arrival_seq.fetch_add(n, std::memory_order_relaxed);
+    for (size_t i = 0; i < n; ++i) {
+      items_.push_back({std::move(batch[i]), base + i});
+    }
+  }
+  CountQueuedBatchAndMaybeNotify(n, single);
 }
 
 void QueueOp::Enqueue(Tuple&& tuple, bool is_barrier) {
@@ -280,6 +358,24 @@ void QueueOp::CountQueuedAndMaybeNotify(bool is_eos, bool single) {
   if (count == 1 || is_eos) NotifyListener();
 }
 
+void QueueOp::CountQueuedBatchAndMaybeNotify(size_t n, bool single) {
+  const size_t count =
+      queued_items_.fetch_add(n, std::memory_order_acq_rel) + n;
+  if (single) {
+    if (count > peak_size_.load(std::memory_order_relaxed)) {
+      peak_size_.store(count, std::memory_order_relaxed);
+    }
+  } else {
+    size_t peak = peak_size_.load(std::memory_order_relaxed);
+    while (peak < count && !peak_size_.compare_exchange_weak(
+                               peak, count, std::memory_order_relaxed)) {
+    }
+  }
+  // Same coalescing as CountQueuedAndMaybeNotify: only the empty ->
+  // non-empty transition (the add started from 0) wakes the consumer.
+  if (count == n) NotifyListener();
+}
+
 void QueueOp::NotifyListener() {
   std::shared_ptr<const std::function<void()>> listener;
   std::shared_ptr<const std::function<bool()>> suppressor;
@@ -300,52 +396,75 @@ void QueueOp::NotifyListener() {
 size_t QueueOp::DrainBatch(size_t max_elements) {
   if (single_producer()) return DrainBatchSingleProducer(max_elements);
 
-  // MPSC: one lock acquisition for the whole batch. Items are staged in a
-  // scratch vector and emitted outside the lock. The scratch is swapped
-  // out of a thread-local so repeated drains reuse its capacity; stealing
-  // (instead of using the thread-local directly) keeps re-entrant drains —
-  // a downstream operator draining another queue inside Emit — from
-  // clobbering our batch.
-  static thread_local std::vector<Item> tl_scratch;
-  std::vector<Item> scratch = std::move(tl_scratch);
-  scratch.clear();
-
-  bool eos_taken = false;
-  AppTime eos_ts = 0;
-  size_t taken = 0;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    while (taken < max_elements && !items_.empty()) {
-      Item& front = items_.front();
-      if (front.tuple.is_eos()) {
-        eos_taken = true;
-        eos_ts = front.tuple.timestamp();
+  // MPSC: one lock acquisition per barrier-free run. The run is drained
+  // directly into a TupleBatch (stolen from a thread-local so repeated
+  // drains reuse its capacity) and emitted outside the lock — per-tuple or
+  // as one downstream ReceiveBatch, per batch_delivery(). Punctuations end
+  // the run: the accumulated batch is flushed first, then the punctuation
+  // travels the per-tuple path, so a batch never straddles a barrier or
+  // EOS. Barriers are rare (one per checkpoint epoch), so the extra lock
+  // acquisition per barrier is noise.
+  size_t total_taken = 0;
+  for (;;) {
+    TupleBatch batch = StealDrainScratch();
+    bool eos_taken = false;
+    AppTime eos_ts = 0;
+    bool barrier_taken = false;
+    Tuple barrier;
+    size_t taken = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      while (total_taken + taken < max_elements && !items_.empty()) {
+        Item& front = items_.front();
+        if (front.tuple.is_eos()) {
+          eos_taken = true;
+          eos_ts = front.tuple.timestamp();
+          items_.pop_front();
+          break;
+        }
+        if (front.tuple.is_barrier()) [[unlikely]] {
+          barrier_taken = true;
+          barrier = std::move(front.tuple);
+          items_.pop_front();
+          ++taken;
+          break;
+        }
+        batch.PushBack(std::move(front.tuple));
         items_.pop_front();
-        break;
+        ++taken;
       }
-      scratch.push_back(std::move(front));
-      items_.pop_front();
-      ++taken;
     }
+    FinishDequeue(taken, eos_taken);
+    total_taken += taken;
+    if (test_fault() == TestFault::kReorderDrainBatch) [[unlikely]] {
+      std::reverse(batch.begin(), batch.end());
+    }
+    EmitDrainedBatch(&batch);
+    RestoreDrainScratch(std::move(batch));
+    if (barrier_taken) {
+      EmitBarrier(barrier);
+      if (total_taken < max_elements) continue;
+    }
+    if (eos_taken) EmitEos(eos_ts);
+    return total_taken;
   }
-  FinishDequeue(taken, eos_taken);
+}
 
-  if (test_fault() == TestFault::kReorderDrainBatch) {
-    std::reverse(scratch.begin(), scratch.end());
-  }
-  for (Item& item : scratch) {
-    if (item.tuple.is_barrier()) [[unlikely]] {
-      EmitBarrier(item.tuple);
-      continue;
+void QueueOp::EmitDrainedBatch(TupleBatch* batch) {
+  if (batch->empty()) return;
+  if (batch_delivery_) {
+    if (StatsCollectionEnabled()) {
+      stats().RecordProcessedBatch(0.0, static_cast<int64_t>(batch->size()));
     }
+    EmitBatch(std::move(*batch));
+    batch->clear();  // normalize the moved-from state
+    return;
+  }
+  for (Tuple& tuple : *batch) {
     if (StatsCollectionEnabled()) stats().RecordProcessed(0.0);
-    EmitMove(std::move(item.tuple));
+    EmitMove(std::move(tuple));
   }
-  if (eos_taken) EmitEos(eos_ts);
-
-  scratch.clear();
-  tl_scratch = std::move(scratch);
-  return taken;
+  batch->clear();
 }
 
 size_t QueueOp::DrainBatchSingleProducer(size_t max_elements) {
@@ -383,6 +502,44 @@ size_t QueueOp::DrainBatchSingleProducer(size_t max_elements) {
     // ends this drain. Size() undercounting the claimed-but-unemitted
     // items is fine — only this consumer thread acts on the difference.
     queued_items_.fetch_sub(run, std::memory_order_acq_rel);
+    if (batch_delivery_) {
+      // Batch delivery: move the claimed run out of the ring into a
+      // TupleBatch and hand it downstream as one ReceiveBatch call.
+      // Punctuations split the run — the accumulated prefix is flushed
+      // before the punctuation travels the per-tuple path. The run's slots
+      // are peeked in place and released with ONE tail publish at the end
+      // (vs one per element); the producer cannot rewrite any of them
+      // until that publish, and holding them marginally longer only delays
+      // space reuse on an unbounded queue.
+      TupleBatch batch = StealDrainScratch();
+      batch.reserve(run);
+      size_t consumed = 0;
+      for (size_t i = 0; i < run; ++i) {
+        Item* front = ring_->AtFromFront(i);
+        if (front->tuple.is_eos()) {
+          DCHECK(i + 1 == run);  // nothing is ever enqueued after EOS
+          eos_taken = true;
+          eos_ts = front->tuple.timestamp();
+          eos_forwarded_.store(true, std::memory_order_release);
+          ++consumed;
+          break;
+        }
+        if (front->tuple.is_barrier()) [[unlikely]] {
+          EmitDrainedBatch(&batch);
+          EmitBarrier(front->tuple);
+          ++consumed;
+          ++taken;
+          continue;
+        }
+        batch.PushBack(std::move(front->tuple));
+        ++consumed;
+        ++taken;
+      }
+      ring_->PopFrontBulk(consumed);
+      EmitDrainedBatch(&batch);
+      RestoreDrainScratch(std::move(batch));
+      continue;
+    }
     for (; run > 0; --run) {
       Item* front = ring_->FrontMutable();
       DCHECK(front != nullptr);  // single consumer: observed elements stay
@@ -425,16 +582,17 @@ size_t QueueOp::DrainBatchSingleProducer(size_t max_elements) {
 size_t QueueOp::DrainMergeLocked(size_t max_elements, bool* eos_taken,
                                  AppTime* eos_ts) {
   // Spillover present: merge ring and deque by sequence number under the
-  // lock until the spillover is drained, staging into a scratch vector and
-  // emitting outside the lock (same stealing discipline as the MPSC path).
-  static thread_local std::vector<Item> tl_scratch;
-  std::vector<Item> scratch = std::move(tl_scratch);
-  scratch.clear();
-
+  // lock until the spillover is drained, gathering directly into a
+  // TupleBatch and emitting outside the lock (same stealing discipline as
+  // the MPSC path). A punctuation ends the merge run — the caller's drain
+  // loop re-enters while spillover remains.
+  TupleBatch batch = StealDrainScratch();
+  bool barrier_taken = false;
+  Tuple barrier;
   size_t taken = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    while (taken < max_elements && !*eos_taken && !items_.empty()) {
+    while (taken < max_elements && !items_.empty()) {
       const Item* rf = ring_->Front();
       Item item;
       if (rf != nullptr && rf->seq < items_.front().seq) {
@@ -450,25 +608,24 @@ size_t QueueOp::DrainMergeLocked(size_t max_elements, bool* eos_taken,
         *eos_ts = item.tuple.timestamp();
         break;
       }
-      scratch.push_back(std::move(item));
+      if (item.tuple.is_barrier()) [[unlikely]] {
+        barrier_taken = true;
+        barrier = std::move(item.tuple);
+        ++taken;
+        break;
+      }
+      batch.PushBack(std::move(item.tuple));
       ++taken;
     }
   }
   FinishDequeue(taken, *eos_taken);
 
-  if (test_fault() == TestFault::kReorderDrainBatch) {
-    std::reverse(scratch.begin(), scratch.end());
+  if (test_fault() == TestFault::kReorderDrainBatch) [[unlikely]] {
+    std::reverse(batch.begin(), batch.end());
   }
-  for (Item& item : scratch) {
-    if (item.tuple.is_barrier()) [[unlikely]] {
-      EmitBarrier(item.tuple);
-      continue;
-    }
-    if (StatsCollectionEnabled()) stats().RecordProcessed(0.0);
-    EmitMove(std::move(item.tuple));
-  }
-  scratch.clear();
-  tl_scratch = std::move(scratch);
+  EmitDrainedBatch(&batch);
+  RestoreDrainScratch(std::move(batch));
+  if (barrier_taken) EmitBarrier(barrier);
   return taken;
 }
 

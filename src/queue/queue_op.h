@@ -99,14 +99,35 @@ class QueueOp final : public Operator {
   /// values vector. Used by upstream EmitMove.
   void Receive(Tuple&& tuple, int port) override;
 
+  /// Batch enqueue (DESIGN.md §11): adopts every element of `batch`.
+  /// Unbounded queues take a bulk path — one stats update, one lock
+  /// acquisition (MPSC) or a straight run of ring pushes (SPSC), and one
+  /// queued-count/notify update for the whole batch. Bounded queues
+  /// unbundle into per-element Enqueue calls so every admit/shed/block
+  /// decision and its counters see elements one at a time, exactly as the
+  /// per-tuple contract specifies.
+  void ReceiveBatch(TupleBatch&& batch, int port) override;
+
   /// Dequeues up to `max_elements` data elements (plus a trailing EOS if it
   /// becomes due) and pushes them downstream in the calling thread. On the
   /// locked paths (MPSC, SPSC spill merge) the lock is taken once per
-  /// batch — items are staged in a scratch vector and emitted outside the
-  /// lock; on the lock-free SPSC path elements are emitted straight from
-  /// the ring, with no staging at all.
+  /// barrier-free run — elements are drained directly into a TupleBatch
+  /// and emitted outside the lock; on the lock-free SPSC path elements are
+  /// emitted straight from the ring when delivering per-tuple, or gathered
+  /// into a TupleBatch when batch delivery is enabled. Punctuations always
+  /// split the run: the accumulated batch is flushed first, then the
+  /// barrier/EOS travels the per-tuple path.
   /// Returns the number of data elements drained. Single-consumer.
   size_t DrainBatch(size_t max_elements);
+
+  /// Downstream delivery granularity. When enabled, each drained
+  /// barrier-free run of data elements is pushed downstream as a single
+  /// ReceiveBatch call instead of N per-element EmitMove calls; the
+  /// engine enables it when EngineOptions::emit_batch_size > 1. Configure
+  /// while quiescent. Survives Reset like the bound (it is configuration,
+  /// not run state), so recovery keeps the delivery granularity.
+  void SetBatchDelivery(bool enabled) { batch_delivery_ = enabled; }
+  bool batch_delivery() const { return batch_delivery_; }
 
   /// Current number of queued data elements, derived from the total
   /// queued-item counter minus a still-queued EOS punctuation. Exact
@@ -285,6 +306,9 @@ class QueueOp final : public Operator {
   };
 
   void Enqueue(Tuple&& tuple, bool is_barrier = false);
+  /// Bulk enqueue for an unbounded queue: one stats update, one lock (or a
+  /// run of ring pushes), one queued-count bump for the whole batch.
+  void EnqueueBatch(TupleBatch&& batch);
   void EnqueueEos(const Tuple& tuple);
   /// kBlock producer wait: parks until Size() < max_elements_, the
   /// timeout expires (overrun), waits are cancelled, or the run failed.
@@ -299,14 +323,23 @@ class QueueOp final : public Operator {
   /// listener on the empty -> non-empty transition (or unconditionally
   /// for EOS).
   void CountQueuedAndMaybeNotify(bool is_eos, bool single);
+  /// Batch analogue: bumps the queued count by `n` at once and notifies on
+  /// the empty -> non-empty transition (count == n after the add).
+  void CountQueuedBatchAndMaybeNotify(size_t n, bool single);
   void NotifyListener();
+  /// Emits a drained barrier-free run downstream: as one ReceiveBatch call
+  /// when batch delivery is enabled, else per-tuple EmitMove. Leaves
+  /// `batch` empty either way.
+  void EmitDrainedBatch(TupleBatch* batch);
   /// SPSC consumer path: drains observed ring runs lock-free and emits
   /// straight from each pop (no lock is held, so no scratch staging);
   /// falls into DrainMergeLocked whenever spillover is present.
   size_t DrainBatchSingleProducer(size_t max_elements);
   /// Merges ring and spillover deque by sequence number under the lock,
-  /// staging into a scratch vector and emitting outside the lock. Returns
-  /// the number of data items taken and sets `eos_taken`/`eos_ts`.
+  /// draining directly into a TupleBatch and emitting outside the lock.
+  /// A punctuation ends the merge run (the caller's loop re-enters while
+  /// spillover remains). Returns the number of data items taken (barriers
+  /// included) and sets `eos_taken`/`eos_ts`.
   size_t DrainMergeLocked(size_t max_elements, bool* eos_taken,
                           AppTime* eos_ts);
   /// Post-dequeue bookkeeping shared by the locked paths: drops the
@@ -318,6 +351,7 @@ class QueueOp final : public Operator {
 
   // --- bound configuration (written while quiescent, read by producers) --
   size_t max_elements_ = 0;  // 0 = unbounded
+  bool batch_delivery_ = false;  // downstream ReceiveBatch vs per-tuple
   OverloadPolicy overload_policy_ = OverloadPolicy::kBlock;
   Duration block_timeout_ = std::chrono::seconds(2);
   const void* owner_ = nullptr;  // draining context, for self-block bypass

@@ -36,7 +36,15 @@ class ThreadScheduler;
 class Partition : private QueueOp::SlotYielder {
  public:
   struct Options {
-    /// Max elements drained per strategy decision.
+    /// Max elements drained per strategy decision. This is the
+    /// *scheduling* granularity (how often the level-2 strategy re-picks a
+    /// queue), orthogonal to the *delivery* granularity of
+    /// EngineOptions::emit_batch_size: with batch delivery enabled, one
+    /// drain of `batch_size` elements leaves the queue as
+    /// ceil(batch_size / emit_batch_size)-ish downstream ReceiveBatch
+    /// calls (runs are capped by what is actually queued). Keeping
+    /// batch_size >= emit_batch_size preserves full delivery batches; see
+    /// bench/ablation_batch_quantum.cc for the interplay.
     size_t batch_size = 64;
     /// Max continuous run before offering to yield to the level-3
     /// scheduler (and re-checking stop/done).

@@ -24,6 +24,31 @@ void OpStats::RecordProcessed(double micros) {
                      std::memory_order_relaxed);
 }
 
+void OpStats::RecordArrivalBatch(TimePoint now, int64_t n) {
+  if (n <= 0) return;
+  arrivals_.fetch_add(n, std::memory_order_relaxed);
+  if (has_last_arrival_) {
+    // The batch arrived as one unit: spread the observed gap across its
+    // elements so the EWMA keeps estimating a per-element inter-arrival.
+    const double gap = static_cast<double>(ToMicros(now - last_arrival_)) /
+                       static_cast<double>(n);
+    gap_ewma_.Add(gap);
+    interarrival_micros_.store(gap_ewma_.value(), std::memory_order_relaxed);
+  }
+  has_last_arrival_ = true;
+  last_arrival_ = now;
+}
+
+void OpStats::RecordProcessedBatch(double total_micros, int64_t n) {
+  if (n <= 0) return;
+  processed_.fetch_add(n, std::memory_order_relaxed);
+  cost_ewma_.Add(total_micros / static_cast<double>(n));
+  cost_micros_.store(cost_ewma_.value(), std::memory_order_relaxed);
+  busy_micros_.store(
+      busy_micros_.load(std::memory_order_relaxed) + total_micros,
+      std::memory_order_relaxed);
+}
+
 void OpStats::RecordEmitted(int64_t n) {
   emitted_.fetch_add(n, std::memory_order_relaxed);
 }

@@ -56,6 +56,7 @@ EngineOptions EngineOptionsForConfig(const DiffConfig& config) {
   options.queue_max_elements = config.queue_max_elements;
   options.overload_policy = config.overload_policy;
   options.checkpoint_epoch_interval = config.checkpoint_epoch_interval;
+  options.emit_batch_size = config.emit_batch_size;
   if (config.watchdog) {
     // Comfortably above the partitions' 100ms idle-poll failsafe, so a
     // chaos-suppressed wakeup recovered by the poll never reads as a stall.
@@ -175,6 +176,7 @@ std::string DiffConfig::Name() const {
        << chaos_kills;
   }
   if (watchdog) os << "+watchdog";
+  if (emit_batch_size > 1) os << "+batch" << emit_batch_size;
   return os.str();
 }
 
@@ -249,6 +251,36 @@ std::vector<DiffConfig> DefaultConfigMatrix() {
       QueuePathMode::kAuto, kRing, false);
   add(ExecutionMode::kHmts, StrategyKind::kFifo, PlacementKind::kSegment,
       QueuePathMode::kAuto, kRing, false);
+
+  // Batch delivery axis: sources bundle elements into TupleBatches and
+  // queues hand each drained run downstream as one ReceiveBatch call.
+  // Results must stay byte-identical to per-tuple execution for every
+  // batch size, down both queue paths, through spillover, and under
+  // burst arrival (where whole-stream batches pile into the queues).
+  auto add_batch = [&configs](ExecutionMode mode, QueuePathMode queue_path,
+                              size_t ring, bool burst, size_t batch) {
+    DiffConfig config;
+    config.mode = mode;
+    config.queue_path = queue_path;
+    config.ring_capacity = ring;
+    config.feed_before_start = burst;
+    config.emit_batch_size = batch;
+    configs.push_back(config);
+  };
+  for (size_t batch : {size_t{8}, size_t{64}}) {
+    add_batch(ExecutionMode::kDirect, QueuePathMode::kAuto, kRing, false,
+              batch);
+    add_batch(ExecutionMode::kGts, QueuePathMode::kAuto, kRing, false, batch);
+    add_batch(ExecutionMode::kGts, QueuePathMode::kForceMpsc, kRing, false,
+              batch);
+    // Tiny ring: every batch enqueue overflows into the spillover deque,
+    // so drains exercise the seq-merge path with batch delivery on.
+    add_batch(ExecutionMode::kGts, QueuePathMode::kAuto, 2, false, batch);
+    add_batch(ExecutionMode::kOts, QueuePathMode::kAuto, kRing, false, batch);
+    add_batch(ExecutionMode::kHmts, QueuePathMode::kAuto, kRing, false, batch);
+  }
+  add_batch(ExecutionMode::kHmts, QueuePathMode::kForceMpsc, kRing, false, 64);
+  add_batch(ExecutionMode::kGts, QueuePathMode::kAuto, kRing, true, 64);
   return configs;
 }
 
@@ -289,6 +321,20 @@ std::vector<DiffConfig> ChaosConfigMatrix() {
     config.queue_max_elements = 8;
     config.overload_policy = policy;
     config.chaos_transient_rate = 0.01;
+    config.watchdog = true;
+    configs.push_back(config);
+  }
+  // Batch delivery under chaos: transient faults make batches dissolve to
+  // the per-tuple fallback at the hooked operators while bounded kShedNewest
+  // queues shed per element — drop counters must still account for every
+  // missing tuple exactly.
+  {
+    DiffConfig config;
+    config.mode = ExecutionMode::kHmts;
+    config.emit_batch_size = 64;
+    config.queue_max_elements = 8;
+    config.overload_policy = OverloadPolicy::kShedNewest;
+    config.chaos_transient_rate = 0.02;
     config.watchdog = true;
     configs.push_back(config);
   }
@@ -334,6 +380,11 @@ std::vector<DiffConfig> RecoveryConfigMatrix(const std::string& kill_operator,
   // Double kill: the operator dies again right after the first recovery's
   // replay; two rewinds must still converge to golden.
   add(ExecutionMode::kHmts, StrategyKind::kFifo).chaos_kills = 2;
+  // Batch delivery + kill/revive: batches split at every epoch barrier and
+  // dissolve at fault-hooked operators, so rewind + replay must restore
+  // exactly the same committed prefix as the per-tuple path.
+  add(ExecutionMode::kHmts, StrategyKind::kFifo).emit_batch_size = 64;
+  add(ExecutionMode::kGts, StrategyKind::kFifo).emit_batch_size = 8;
   return configs;
 }
 
@@ -582,7 +633,8 @@ std::string FormatReplay(const DiffSpec& spec, const DiffConfig& config) {
      << "chaos_kill_operator=" << config.chaos_kill_operator << "\n"
      << "chaos_kill_after=" << config.chaos_kill_after << "\n"
      << "chaos_kills=" << config.chaos_kills << "\n"
-     << "watchdog=" << (config.watchdog ? 1 : 0) << "\n";
+     << "watchdog=" << (config.watchdog ? 1 : 0) << "\n"
+     << "emit_batch_size=" << config.emit_batch_size << "\n";
   return os.str();
 }
 
@@ -667,6 +719,8 @@ bool ParseReplay(const std::string& text, DiffSpec* spec, DiffConfig* config,
         config->chaos_kills = std::stoi(value);
       } else if (key == "watchdog") {
         config->watchdog = std::stoi(value) != 0;
+      } else if (key == "emit_batch_size") {
+        config->emit_batch_size = std::stoull(value);
       } else {
         return fail("unknown key '" + key + "'");
       }

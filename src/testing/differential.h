@@ -84,6 +84,13 @@ struct DiffConfig {
   /// runs assert it stays clean (stall_events == 0).
   bool watchdog = false;
 
+  /// Batch execution path (EngineOptions::emit_batch_size): sources bundle
+  /// this many elements into one TupleBatch and queues deliver drained
+  /// runs as single ReceiveBatch calls. Any size must leave results
+  /// byte-identical to per-tuple execution — batching changes delivery
+  /// granularity, never semantics.
+  size_t emit_batch_size = 1;
+
   // -- Checkpoint/recovery dimensions (ISSUE 4) ---------------------------
 
   /// Elements per source between epoch barriers; 0 disables checkpointing.
@@ -103,7 +110,7 @@ struct DiffConfig {
 
   /// "gts+chain+auto" style identifier (placement only for HMTS, ring
   /// capacity only when non-default, "+burst"/"+fault:..."/"+bound..."/
-  /// "+chaos..." when set).
+  /// "+chaos..."/"+batchN" when set).
   std::string Name() const;
 };
 
@@ -114,7 +121,8 @@ DiffConfig GoldenConfig();
 /// strategies (FIFO, round-robin, Chain, Segment where applicable), the
 /// SPSC-ring vs forced-MPSC queue paths, a tiny-ring spillover variant,
 /// burst arrival, and the HMTS placement algorithms; plus single-threaded
-/// kDirect. ~25 configurations.
+/// kDirect; plus the batch-delivery axis (emit_batch_size in {8, 64})
+/// crossed with the queue-path variants. ~35 configurations.
 std::vector<DiffConfig> DefaultConfigMatrix();
 
 /// Per-sink outputs of one run, in sink construction order.

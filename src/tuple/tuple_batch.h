@@ -1,0 +1,85 @@
+// A contiguous run of data tuples delivered through the graph as one unit.
+//
+// Batch-at-a-time execution (DESIGN.md §11) amortizes the per-element
+// virtual Receive dispatch and statistics bookkeeping that dominate the
+// hot path once the queue itself is lock-free. A TupleBatch is the unit of
+// that amortization: Operator::ReceiveBatch(batch, port) is semantically
+// identical to calling Receive() once per element, in order, on the same
+// port — operators that don't opt in fall back to exactly that loop.
+
+#ifndef FLEXSTREAM_TUPLE_TUPLE_BATCH_H_
+#define FLEXSTREAM_TUPLE_TUPLE_BATCH_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "tuple/tuple.h"
+#include "util/logging.h"
+
+namespace flexstream {
+
+/// The punctuation-split invariant: a TupleBatch only ever holds *data*
+/// tuples. EOS and epoch-barrier punctuations never enter a batch —
+/// producers flush whatever batch they are building and deliver the
+/// punctuation through the per-tuple Receive path. That keeps batching
+/// invisible to EOS fan-in accounting and Chandy-Lamport barrier
+/// alignment: a batch is always entirely on one side of every barrier.
+/// PushBack enforces the invariant in debug builds.
+class TupleBatch {
+ public:
+  TupleBatch() = default;
+
+  explicit TupleBatch(std::vector<Tuple> tuples) : tuples_(std::move(tuples)) {
+#ifndef NDEBUG
+    for (const Tuple& tuple : tuples_) DCHECK(tuple.is_data());
+#endif
+  }
+
+  void PushBack(Tuple&& tuple) {
+    DCHECK(tuple.is_data());
+    tuples_.push_back(std::move(tuple));
+  }
+  void PushBack(const Tuple& tuple) {
+    DCHECK(tuple.is_data());
+    tuples_.push_back(tuple);
+  }
+
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  void clear() { tuples_.clear(); }
+  void reserve(size_t n) { tuples_.reserve(n); }
+
+  Tuple& operator[](size_t i) { return tuples_[i]; }
+  const Tuple& operator[](size_t i) const { return tuples_[i]; }
+
+  std::vector<Tuple>::iterator begin() { return tuples_.begin(); }
+  std::vector<Tuple>::iterator end() { return tuples_.end(); }
+  std::vector<Tuple>::const_iterator begin() const { return tuples_.begin(); }
+  std::vector<Tuple>::const_iterator end() const { return tuples_.end(); }
+
+  /// In-place filter preserving order: keeps exactly the tuples `pred`
+  /// accepts, moving survivors down over the gaps (Selection's
+  /// batch-native compaction).
+  template <typename Pred>
+  void Compact(Pred&& pred) {
+    auto out = tuples_.begin();
+    for (auto it = tuples_.begin(); it != tuples_.end(); ++it) {
+      if (pred(static_cast<const Tuple&>(*it))) {
+        if (out != it) *out = std::move(*it);
+        ++out;
+      }
+    }
+    tuples_.erase(out, tuples_.end());
+  }
+
+  /// Surrenders the underlying storage (sinks bulk-adopt the vector).
+  std::vector<Tuple> TakeTuples() { return std::move(tuples_); }
+
+ private:
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_TUPLE_TUPLE_BATCH_H_

@@ -70,6 +70,56 @@ class SpscRing {
     head_.store(head + 1, std::memory_order_release);
   }
 
+  /// Producer-side: free slots available right now, refreshing the cached
+  /// consumer index only when fewer than `want` appear free. Like
+  /// FullApprox, the answer is producer-exact: only the consumer frees
+  /// space, so the count can grow but never shrink before the producer's
+  /// next push.
+  size_t FreeForProducer(size_t want) const {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    size_t free = capacity() - (head - cached_tail_);
+    if (free < want) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      free = capacity() - (head - cached_tail_);
+    }
+    return free;
+  }
+
+  /// Producer-side bulk push: fills `n` consecutive slots with `make(i)`
+  /// for i in [0, n) and publishes them all with ONE release store of the
+  /// head index — the per-element store of PushUnchecked amortized to once
+  /// per run. Precondition: FreeForProducer(n) just returned >= n.
+  template <typename MakeFn>
+  void PushBulkUnchecked(size_t n, MakeFn&& make) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    DCHECK(capacity() - (head - cached_tail_) >= n);
+    for (size_t i = 0; i < n; ++i) {
+      slots_[(head + i) & mask_] = make(i);
+    }
+    head_.store(head + n, std::memory_order_release);
+  }
+
+  /// Consumer-side peek at the element `offset` slots past the front — the
+  /// random-access companion of FrontMutable for bulk drains. Precondition:
+  /// offset < AvailableToConsumer() (the slot was observed). The pointer
+  /// stays valid until the consumer pops past it.
+  T* AtFromFront(size_t offset) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    return &slots_[(tail + offset) & mask_];
+  }
+
+  /// Consumer-side bulk pop: releases the first `n` slots with ONE release
+  /// store of the tail index, resetting each vacated slot to a
+  /// default-constructed T (same payload-release guarantee as PopFront).
+  /// Precondition: n <= AvailableToConsumer().
+  void PopFrontBulk(size_t n) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < n; ++i) {
+      slots_[(tail + i) & mask_] = T();
+    }
+    tail_.store(tail + n, std::memory_order_release);
+  }
+
   /// Consumer-side peek at the oldest element, or nullptr when empty. The
   /// pointer stays valid until the consumer pops: the producer never
   /// rewrites a slot while head - tail <= mask_. Must only be called from

@@ -190,6 +190,7 @@ TEST(DifferentialReplayTest, FormatParseRoundTrip) {
   config.ring_capacity = 4;
   config.feed_before_start = true;
   config.fault = QueueOp::TestFault::kReorderDrainBatch;
+  config.emit_batch_size = 64;
 
   DiffSpec parsed_spec;
   DiffConfig parsed_config;
@@ -211,6 +212,7 @@ TEST(DifferentialReplayTest, FormatParseRoundTrip) {
   EXPECT_EQ(parsed_config.ring_capacity, config.ring_capacity);
   EXPECT_EQ(parsed_config.feed_before_start, config.feed_before_start);
   EXPECT_EQ(parsed_config.fault, config.fault);
+  EXPECT_EQ(parsed_config.emit_batch_size, config.emit_batch_size);
   EXPECT_EQ(parsed_config.Name(), config.Name());
 }
 

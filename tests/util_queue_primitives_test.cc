@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -119,6 +121,82 @@ TEST(SpscRingTest, PushUncheckedAndInPlaceFrontConsumption) {
   EXPECT_EQ(b.use_count(), 1);
   EXPECT_EQ(ring.FrontMutable(), nullptr);
   EXPECT_EQ(ring.AvailableToConsumer(), 0u);
+}
+
+TEST(SpscRingTest, BulkPushPeekPopPreservesOrderAcrossWraps) {
+  // The batch-delivery hot path: FreeForProducer + PushBulkUnchecked on
+  // the producer side, AtFromFront peeks + one PopFrontBulk on the
+  // consumer side. Interleave bulk runs so the indices wrap several times.
+  SpscRing<int> ring(8);
+  int next_push = 0;
+  int next_pop = 0;
+  for (int round = 0; round < 10; ++round) {
+    const size_t n = ring.FreeForProducer(5);
+    ASSERT_GE(n, 5u);
+    ring.PushBulkUnchecked(5, [&](size_t i) {
+      return next_push + static_cast<int>(i);
+    });
+    next_push += 5;
+    const size_t avail = ring.AvailableToConsumer();
+    ASSERT_EQ(avail, 5u);
+    for (size_t i = 0; i < avail; ++i) {
+      EXPECT_EQ(*ring.AtFromFront(i), next_pop + static_cast<int>(i));
+    }
+    ring.PopFrontBulk(avail);
+    next_pop += 5;
+  }
+  EXPECT_EQ(ring.AvailableToConsumer(), 0u);
+}
+
+TEST(SpscRingTest, FreeForProducerRefreshesOnlyWhenShort) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.FreeForProducer(4), 4u);
+  ring.PushBulkUnchecked(4, [](size_t i) { return static_cast<int>(i); });
+  EXPECT_EQ(ring.FreeForProducer(1), 0u);
+  ring.PopFrontBulk(2);
+  // The consumer freed two slots; the producer's next query must see them
+  // (the cache refresh happens because fewer than `want` appeared free).
+  EXPECT_EQ(ring.FreeForProducer(2), 2u);
+}
+
+TEST(SpscRingTest, PopFrontBulkReleasesSlotPayloads) {
+  SpscRing<std::shared_ptr<int>> ring(4);
+  auto a = std::make_shared<int>(1);
+  auto b = std::make_shared<int>(2);
+  ring.PushBulkUnchecked(
+      2, [&](size_t i) { return std::shared_ptr<int>(i == 0 ? a : b); });
+  EXPECT_EQ(a.use_count(), 2);
+  ring.PopFrontBulk(2);  // dropped without moving out: reset must release
+  EXPECT_EQ(a.use_count(), 1);
+  EXPECT_EQ(b.use_count(), 1);
+}
+
+TEST(SpscRingTest, BulkProducerConcurrentWithBulkConsumer) {
+  SpscRing<int64_t> ring(256);
+  constexpr int64_t kCount = 200'000;
+  int64_t sum = 0;
+  std::thread consumer([&] {
+    int64_t received = 0;
+    while (received < kCount) {
+      const size_t avail = ring.AvailableToConsumer();
+      for (size_t i = 0; i < avail; ++i) sum += *ring.AtFromFront(i);
+      if (avail > 0) ring.PopFrontBulk(avail);
+      received += static_cast<int64_t>(avail);
+    }
+  });
+  int64_t next = 1;
+  while (next <= kCount) {
+    const size_t space = ring.FreeForProducer(64);
+    const size_t n =
+        std::min<size_t>(space, static_cast<size_t>(kCount - next + 1));
+    if (n == 0) continue;
+    ring.PushBulkUnchecked(n, [&](size_t i) {
+      return next + static_cast<int64_t>(i);
+    });
+    next += static_cast<int64_t>(n);
+  }
+  consumer.join();
+  EXPECT_EQ(sum, kCount * (kCount + 1) / 2);
 }
 
 TEST(SpscRingTest, ConcurrentProducerConsumer) {
