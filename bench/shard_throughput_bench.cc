@@ -1,0 +1,273 @@
+// Key-partitioned sharding throughput (ISSUE 6, DESIGN.md §13): does
+// splitting a stateful operator into N replicas behind a hash Router
+// actually buy ~N-fold throughput, and what does the ordered merge cost
+// over the arrival-order one?
+//
+// Scenarios:
+//   join_scaling  : Zipf-keyed symmetric-hash-join chain (two sources ->
+//                   join -> sink) where the join is I/O-bound — it blocks
+//                   kBlockingMicros per element (SetSimulatedBlockingMicros,
+//                   modeling remote lookups). Blocking waits overlap across
+//                   the replica threads, so sharding scales even on one
+//                   core. Measured unsharded and at {2, 4} shards
+//                   (unordered merge — multi-input operators cannot use the
+//                   ordered one); sink counts must agree across all shard
+//                   counts (key-partitioning never changes the match set).
+//   merge_overhead: grouped windowed aggregate under the same blocking
+//                   cost, sharded {2, 4} with the ordered merge vs the
+//                   arrival-order merge — the price of restoring the exact
+//                   split-point sequence.
+//
+// Reported: median wall seconds over the reps, tuples/sec, and the speedup
+// vs unsharded. The acceptance bar is speedup_at_4 >= 3 on the join chain.
+// Results go to stdout and BENCH_shard.json (override with --out <path>).
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/query_builder.h"
+#include "api/shard.h"
+#include "api/stream_engine.h"
+#include "graph/query_graph.h"
+#include "operators/aggregate.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "operators/symmetric_hash_join.h"
+#include "tuple/tuple.h"
+#include "util/clock.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/table.h"
+
+#include "bench_smoke.h"
+
+namespace flexstream {
+namespace {
+
+const int64_t kFeedPerSource = bench::SmokeScaled<int64_t>(1'200, 150);
+const double kBlockingMicros = bench::SmokeScaled(200.0, 50.0);
+const int kReps = bench::SmokeScaled(3, 1);
+constexpr int64_t kKeyDomain = 1'000;
+constexpr double kZipfSkew = 0.8;
+// The join window spans the whole stream: SHJ expiration is driven by
+// execution-order watermarks, so with a narrow window the match *set*
+// depends on scheduler skew between the two inputs (one side running
+// ahead expires the other's entries before their in-band partners
+// arrive). A full-span window makes the match set schedule-independent
+// — that is what lets the bench CHECK identical counts across shard
+// counts. State stays bounded at 2 * kFeedPerSource tuples.
+const AppTime kJoinWindowMicros = static_cast<AppTime>(kFeedPerSource) + 2;
+constexpr auto kWait = std::chrono::minutes(5);
+
+/// The Zipf-keyed input stream: (key, payload) at 1 us spacing. The same
+/// seed feeds every configuration, so all runs see identical data.
+std::vector<Tuple> KeyedStream(uint64_t seed, int64_t count) {
+  Rng rng(seed);
+  std::vector<Tuple> stream;
+  stream.reserve(count);
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t key = rng.Zipf(kKeyDomain, kZipfSkew);
+    stream.push_back(Tuple({Value(key), Value(i)}, i + 1));
+  }
+  return stream;
+}
+
+struct RunResultRow {
+  double seconds = 0.0;
+  int64_t sink_count = 0;
+};
+
+RunResultRow RunJoin(size_t shards) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* left = qb.AddSource("left");
+  Source* right = qb.AddSource("right");
+  SymmetricHashJoin* join = qb.HashJoin(left, right, "join", kJoinWindowMicros);
+  join->SetSimulatedBlockingMicros(kBlockingMicros);
+  CountingSink* sink = qb.CountSink(join, "sink");
+  if (shards > 1) {
+    ShardOptions options;
+    options.shards = shards;
+    options.ordered = false;  // multi-input: arrival-order merge
+    CHECK_OK(ShardOperator(&graph, join, options).status());
+  }
+
+  StreamEngine engine(&graph);
+  EngineOptions options;
+  options.mode = ExecutionMode::kOts;
+  CHECK_OK(engine.Configure(options));
+
+  const std::vector<Tuple> left_stream = KeyedStream(11, kFeedPerSource);
+  const std::vector<Tuple> right_stream = KeyedStream(12, kFeedPerSource);
+  Stopwatch sw;
+  CHECK_OK(engine.Start());
+  for (int64_t i = 0; i < kFeedPerSource; ++i) {
+    left->Push(left_stream[i]);
+    right->Push(right_stream[i]);
+  }
+  left->Close(kFeedPerSource + 1);
+  right->Close(kFeedPerSource + 1);
+  CHECK(engine.WaitUntilFinishedFor(kWait));
+  const double seconds = sw.ElapsedSeconds();
+  CHECK_OK(engine.RunResult());
+
+  RunResultRow r;
+  r.seconds = seconds;
+  r.sink_count = sink->count();
+  return r;
+}
+
+RunResultRow RunAggregate(size_t shards, bool ordered) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("src");
+  WindowedAggregate::Options agg_options;
+  agg_options.kind = AggregateKind::kSum;
+  agg_options.group_attr = 0;
+  agg_options.value_attr = 1;
+  agg_options.window_micros = 1'000;
+  WindowedAggregate* agg = qb.Aggregate(src, "agg", agg_options);
+  agg->SetSimulatedBlockingMicros(kBlockingMicros);
+  CountingSink* sink = qb.CountSink(agg, "sink");
+  if (shards > 1) {
+    ShardOptions options;
+    options.shards = shards;
+    options.ordered = ordered;
+    CHECK_OK(ShardOperator(&graph, agg, options).status());
+  }
+
+  StreamEngine engine(&graph);
+  EngineOptions options;
+  options.mode = ExecutionMode::kOts;
+  CHECK_OK(engine.Configure(options));
+
+  const std::vector<Tuple> stream = KeyedStream(21, kFeedPerSource);
+  Stopwatch sw;
+  CHECK_OK(engine.Start());
+  for (const Tuple& t : stream) src->Push(t);
+  src->Close(kFeedPerSource + 1);
+  CHECK(engine.WaitUntilFinishedFor(kWait));
+  const double seconds = sw.ElapsedSeconds();
+  CHECK_OK(engine.RunResult());
+  // One output per input, sharded or not.
+  CHECK(sink->count() == kFeedPerSource);
+
+  RunResultRow r;
+  r.seconds = seconds;
+  r.sink_count = sink->count();
+  return r;
+}
+
+double Median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+}  // namespace
+}  // namespace flexstream
+
+int main(int argc, char** argv) {
+  using namespace flexstream;
+
+  std::string out_path = "BENCH_shard.json";
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::string(argv[i]) == "--out") out_path = argv[i + 1];
+  }
+
+  const std::vector<size_t> shard_counts = {1, 2, 4};
+  const double fed_join = static_cast<double>(2 * kFeedPerSource);
+  const double fed_agg = static_cast<double>(kFeedPerSource);
+
+  // Join chain: unsharded vs {2, 4} shards.
+  std::vector<double> join_median(shard_counts.size());
+  std::vector<int64_t> join_counts(shard_counts.size(), 0);
+  for (size_t k = 0; k < shard_counts.size(); ++k) {
+    std::vector<double> secs;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const RunResultRow r = RunJoin(shard_counts[k]);
+      secs.push_back(r.seconds);
+      join_counts[k] = r.sink_count;
+    }
+    join_median[k] = Median(secs);
+  }
+  // Key partitioning must not change the match set.
+  for (size_t k = 1; k < shard_counts.size(); ++k) {
+    CHECK(join_counts[k] == join_counts[0])
+        << "sharded join emitted " << join_counts[k] << " matches, unsharded "
+        << join_counts[0];
+  }
+  const double speedup_at_4 = join_median[0] / join_median.back();
+
+  // Ordered-vs-unordered merge overhead on the aggregate.
+  const std::vector<size_t> merge_shards = {2, 4};
+  std::vector<double> ordered_median(merge_shards.size());
+  std::vector<double> unordered_median(merge_shards.size());
+  for (size_t k = 0; k < merge_shards.size(); ++k) {
+    std::vector<double> ord_secs;
+    std::vector<double> unord_secs;
+    for (int rep = 0; rep < kReps; ++rep) {
+      ord_secs.push_back(RunAggregate(merge_shards[k], true).seconds);
+      unord_secs.push_back(RunAggregate(merge_shards[k], false).seconds);
+    }
+    ordered_median[k] = Median(ord_secs);
+    unordered_median[k] = Median(unord_secs);
+  }
+
+  Table table({"scenario", "shards", "seconds", "tuples_per_sec", "speedup"});
+  for (size_t k = 0; k < shard_counts.size(); ++k) {
+    table.AddRow({"join_zipf", std::to_string(shard_counts[k]),
+                  Table::Num(join_median[k], 4),
+                  Table::Num(fed_join / join_median[k], 0),
+                  Table::Num(join_median[0] / join_median[k], 2)});
+  }
+  for (size_t k = 0; k < merge_shards.size(); ++k) {
+    table.AddRow({"agg_ordered", std::to_string(merge_shards[k]),
+                  Table::Num(ordered_median[k], 4),
+                  Table::Num(fed_agg / ordered_median[k], 0), "-"});
+    table.AddRow({"agg_unordered", std::to_string(merge_shards[k]),
+                  Table::Num(unordered_median[k], 4),
+                  Table::Num(fed_agg / unordered_median[k], 0), "-"});
+  }
+  table.Print(std::cout);
+  std::cout << "speedup at 4 shards: " << Table::Num(speedup_at_4, 2)
+            << " (target >= 3)\n";
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"bench\": \"shard\",\n"
+      << "  \"feed_per_source\": " << kFeedPerSource << ",\n"
+      << "  \"blocking_micros\": " << kBlockingMicros << ",\n"
+      << "  \"zipf_domain\": " << kKeyDomain << ",\n"
+      << "  \"zipf_skew\": " << kZipfSkew << ",\n"
+      << "  \"reps\": " << kReps << ",\n"
+      << "  \"join_scaling\": [\n";
+  for (size_t k = 0; k < shard_counts.size(); ++k) {
+    out << "    {\"shards\": " << shard_counts[k]
+        << ", \"seconds\": " << join_median[k]
+        << ", \"tuples_per_sec\": " << fed_join / join_median[k]
+        << ", \"speedup\": " << join_median[0] / join_median[k]
+        << ", \"matches\": " << join_counts[k] << "}"
+        << (k + 1 < shard_counts.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"merge_overhead\": [\n";
+  for (size_t k = 0; k < merge_shards.size(); ++k) {
+    const double overhead_pct = 100.0 *
+        (ordered_median[k] - unordered_median[k]) / unordered_median[k];
+    out << "    {\"shards\": " << merge_shards[k]
+        << ", \"ordered_seconds\": " << ordered_median[k]
+        << ", \"unordered_seconds\": " << unordered_median[k]
+        << ", \"ordered_overhead_pct\": " << overhead_pct << "}"
+        << (k + 1 < merge_shards.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"speedup_at_4\": " << speedup_at_4 << "\n"
+      << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

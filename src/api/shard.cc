@@ -1,0 +1,139 @@
+#include "api/shard.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "operators/aggregate.h"
+#include "operators/symmetric_hash_join.h"
+#include "util/logging.h"
+
+namespace flexstream {
+
+Result<ShardHandle> ShardOperator(QueryGraph* graph, Operator* op,
+                                  const ShardOptions& options) {
+  if (graph == nullptr || op == nullptr) {
+    return Status::InvalidArgument("ShardOperator requires a graph and an op");
+  }
+  if (options.shards == 0) {
+    return Status::InvalidArgument("shard count must be >= 1");
+  }
+  Node* node = op;
+  if (node->is_source() || node->is_sink() || node->is_queue()) {
+    return Status::InvalidArgument("can only shard plain operators: " +
+                                   node->DebugString());
+  }
+  // Copies: the rewiring below mutates the live edge lists.
+  const std::vector<Node::InEdge> in_edges = node->inputs();
+  const std::vector<Node::OutEdge> out_edges = node->outputs();
+  if (in_edges.empty()) {
+    return Status::FailedPrecondition("operator has no producers: " +
+                                      node->DebugString());
+  }
+  if (node->input_arity() == Node::kVariadicArity && in_edges.size() > 1) {
+    return Status::InvalidArgument(
+        "cannot shard a variadic operator with multiple producers: " +
+        node->DebugString());
+  }
+  if (options.ordered && in_edges.size() > 1) {
+    // A replica drains its input ports in scheduler-dependent order, so
+    // its emitted stamps are not monotone per lane and the ordered release
+    // rule would deadlock/misorder. Joins shard with ordered = false.
+    return Status::InvalidArgument(
+        "ordered sharding requires a single-input operator: " +
+        node->DebugString());
+  }
+  if (options.key_attrs.size() != 1 &&
+      options.key_attrs.size() != in_edges.size()) {
+    return Status::InvalidArgument(
+        "key_attrs must list one attribute, or one per input port");
+  }
+
+  // Clone all replicas before touching topology, so an unsupported
+  // operator (CloneFresh -> nullptr) leaves the graph unchanged.
+  std::vector<std::unique_ptr<Operator>> clones;
+  clones.reserve(options.shards);
+  for (size_t i = 0; i < options.shards; ++i) {
+    std::unique_ptr<Operator> clone =
+        op->CloneFresh(op->name() + ".shard" + std::to_string(i));
+    if (clone == nullptr) {
+      return Status::Unimplemented("operator does not support CloneFresh: " +
+                                   node->DebugString());
+    }
+    clone->SetSimulatedCostMicros(op->simulated_cost_micros());
+    clone->SetSimulatedBlockingMicros(op->simulated_blocking_micros());
+    clone->SetStampEmitSeq(options.ordered);
+    clone->SetPlacementSolo(true);
+    clone->SetShardInfo(op->name(), static_cast<int>(i));
+    // Carry the prototype's statistics overrides so cost-model-driven
+    // placement/scheduling sees the replicas like it saw the original.
+    if (node->has_cost_override()) clone->SetCostMicros(node->CostMicros());
+    if (node->has_interarrival_override()) {
+      clone->SetInterarrivalMicros(node->InterarrivalMicros());
+    }
+    if (node->has_selectivity_override()) {
+      clone->SetSelectivity(node->Selectivity());
+    }
+    clones.push_back(std::move(clone));
+  }
+
+  ShardHandle handle;
+  handle.original = op;
+  for (size_t p = 0; p < in_edges.size(); ++p) {
+    const size_t key_attr = options.key_attrs.size() == 1
+                                ? options.key_attrs[0]
+                                : options.key_attrs[p];
+    std::string split_name =
+        op->name() +
+        (in_edges.size() == 1 ? ".split" : ".split" + std::to_string(p));
+    Router* split =
+        graph->Add<Router>(std::move(split_name), Router::HashAttr(key_attr));
+    split->SetSequencing(options.ordered);
+    handle.splits.push_back(split);
+  }
+  handle.replicas.reserve(clones.size());
+  for (std::unique_ptr<Operator>& clone : clones) {
+    handle.replicas.push_back(graph->Adopt(std::move(clone)));
+  }
+  handle.merge = graph->Add<MergeOperator>(
+      op->name() + ".merge", options.ordered ? MergeOperator::Order::kSequence
+                                             : MergeOperator::Order::kArrival);
+
+  // Rewire. Individual steps can only fail on an inconsistent input graph,
+  // hence CHECK rather than unwinding half a rewrite.
+  for (size_t p = 0; p < in_edges.size(); ++p) {
+    CHECK_OK(graph->Disconnect(in_edges[p].source, op, in_edges[p].port));
+    CHECK_OK(graph->Connect(in_edges[p].source, handle.splits[p], 0));
+    // Router output index i == replica i (connection order).
+    for (Operator* replica : handle.replicas) {
+      CHECK_OK(graph->Connect(handle.splits[p], replica, in_edges[p].port));
+    }
+  }
+  for (Operator* replica : handle.replicas) {
+    CHECK_OK(graph->Connect(replica, handle.merge, 0));
+  }
+  for (const Node::OutEdge& out : out_edges) {
+    CHECK_OK(graph->Disconnect(op, out.target, out.port));
+    CHECK_OK(graph->Connect(handle.merge, out.target, out.port));
+  }
+  // `op` is now fully detached: the prototype stays graph-owned (state
+  // repartitioning dispatches on it) but never executes. The recovery
+  // manager skips detached nodes when arming checkpoints.
+  return handle;
+}
+
+Result<std::vector<OperatorSnapshot>> RepartitionShardSnapshots(
+    const Operator& prototype, const std::vector<OperatorSnapshot>& snapshots,
+    size_t new_n) {
+  if (const auto* join = dynamic_cast<const SymmetricHashJoin*>(&prototype)) {
+    return join->RepartitionSnapshots(snapshots, new_n);
+  }
+  if (const auto* agg = dynamic_cast<const WindowedAggregate*>(&prototype)) {
+    return agg->RepartitionSnapshots(snapshots, new_n);
+  }
+  return Status::Unimplemented("no shard-state repartitioning for " +
+                               prototype.DebugString());
+}
+
+}  // namespace flexstream

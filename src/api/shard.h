@@ -1,0 +1,85 @@
+// Key-partitioned operator sharding (DESIGN.md §13).
+//
+// ShardOperator() rewrites a query graph in place: it clones a (typically
+// stateful) operator into N replicas, puts a hash-partitioning Router in
+// front of each input port (co-partitioning multi-input operators on their
+// per-port key attributes), and re-unifies the replica outputs through a
+// MergeOperator wired to the original's downstream consumers. The original
+// operator is left in the graph but fully detached (it is the "prototype"
+// — state repartitioning dispatches on it).
+//
+//     src ──► split(Router) ──► shard0 ─┐
+//                        └────► shard1 ─┴─► merge ──► downstream...
+//
+// Ordered mode (the default for single-input operators): the Router stamps
+// every element with a global arrival sequence number, replicas propagate
+// the stamp onto their outputs, and the Merge releases elements in exact
+// stamp order — the sharded graph's output *sequence* equals the unsharded
+// one's, so exact-sequence oracles keep applying. Multi-input operators
+// (joins) must use unordered (arrival-order) merging: a replica drains its
+// input ports in scheduler-dependent order, so no per-lane monotone stamp
+// exists.
+//
+// Replicas are flagged placement-solo, so HMTS gives each shard its own
+// partition/thread; GTS/OTS pick that up from the queue structure alone.
+// Each replica is an independent StatefulOperator — checkpoint snapshots
+// are taken per replica, and RepartitionShardSnapshots() rebuilds them for
+// a different N across a restore.
+
+#ifndef FLEXSTREAM_API_SHARD_H_
+#define FLEXSTREAM_API_SHARD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/query_graph.h"
+#include "operators/merge.h"
+#include "operators/router.h"
+#include "recovery/state_snapshot.h"
+#include "util/status.h"
+
+namespace flexstream {
+
+struct ShardOptions {
+  /// Number of replicas to create (>= 1).
+  size_t shards = 2;
+  /// The key attribute hashed for partitioning, one entry per input port
+  /// of the sharded operator (a join lists its left key, then its right
+  /// key). A single entry is reused for every port.
+  std::vector<size_t> key_attrs = {0};
+  /// Ordered merge (exact split-point sequence at the output) vs.
+  /// arrival-order merge (nondeterministic interleaving, no buffering).
+  /// Ordered requires a single-input operator.
+  bool ordered = true;
+};
+
+/// What ShardOperator created, for wiring further test machinery (chaos
+/// kill targets, per-replica assertions). All pointers are graph-owned.
+struct ShardHandle {
+  Operator* original = nullptr;          // detached prototype
+  std::vector<Router*> splits;           // one per input port
+  std::vector<Operator*> replicas;       // size == options.shards
+  MergeOperator* merge = nullptr;
+};
+
+/// Rewrites `graph` to execute `op` as `options.shards` key-partitioned
+/// replicas (see file comment). Must run on a quiescent graph before the
+/// engine configures it. Fails without modifying the graph when:
+///  * `op` does not support CloneFresh (Unimplemented),
+///  * ordered merging is requested for a multi-input operator,
+///  * the key_attrs count matches neither 1 nor the input-port count,
+///  * `op` is not a connected non-source, non-sink, non-queue node.
+Result<ShardHandle> ShardOperator(QueryGraph* graph, Operator* op,
+                                  const ShardOptions& options);
+
+/// Rebuilds the per-replica committed snapshots of a sharded operator for
+/// a different replica count (restore-time re-sharding). `prototype` is
+/// the original operator (ShardHandle::original); dispatches to its
+/// type's repartitioning logic. Unimplemented for types without one.
+Result<std::vector<OperatorSnapshot>> RepartitionShardSnapshots(
+    const Operator& prototype, const std::vector<OperatorSnapshot>& snapshots,
+    size_t new_n);
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_API_SHARD_H_

@@ -162,14 +162,26 @@ Status StreamEngine::ComputeQueueEdges(
       // would race with the partition's own worker). Remove sources from
       // their groups, then re-split each group into connected components
       // (a group held together only by its source falls apart).
+      // Placement-solo operators (shard replicas, src/api/shard.h) are
+      // treated like sources: pre-assigned their own group and excluded
+      // from flood-fill, so every replica gets its own partition/thread
+      // and the split/merge stay with their surrounding components.
+      auto is_solo = [](const Node* n) {
+        const auto* op = dynamic_cast<const Operator*>(n);
+        return op != nullptr && op->placement_solo();
+      };
       std::unordered_map<const Node*, int> assignment;
       int next_group = 0;
       for (Node* node : graph_->nodes()) {
-        if (node->is_source()) assignment[node] = next_group++;
+        if (node->is_source() || is_solo(node)) {
+          assignment[node] = next_group++;
+        }
       }
       std::unordered_set<const Node*> visited;
       for (Node* node : graph_->nodes()) {
-        if (node->is_source() || visited.count(node)) continue;
+        if (node->is_source() || is_solo(node) || visited.count(node)) {
+          continue;
+        }
         const int old_group = placed.GroupOf(node);
         if (old_group < 0) continue;
         // Flood-fill the component of `node` within its original group,
@@ -182,7 +194,9 @@ Status StreamEngine::ComputeQueueEdges(
           frontier.pop_back();
           assignment[n] = component;
           auto visit = [&](Node* other) {
-            if (other->is_source() || visited.count(other)) return;
+            if (other->is_source() || is_solo(other) || visited.count(other)) {
+              return;
+            }
             if (placed.GroupOf(other) != old_group) return;
             visited.insert(other);
             frontier.push_back(other);

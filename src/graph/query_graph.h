@@ -39,6 +39,16 @@ class QueryGraph {
     return ptr;
   }
 
+  /// Adopts an externally constructed node (e.g. an Operator::CloneFresh
+  /// replica made by ShardOperator) into the graph, which takes ownership.
+  /// Returns the non-owning pointer, like Add.
+  template <typename T>
+  T* Adopt(std::unique_ptr<T> node) {
+    T* ptr = node.get();
+    Register(std::move(node));
+    return ptr;
+  }
+
   /// Adds the edge from -> to on the given input port of `to`.
   /// Fails if the port is out of range for the target's arity, if the edge
   /// already exists, or if adding it would create a cycle.

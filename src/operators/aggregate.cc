@@ -1,5 +1,9 @@
 #include "operators/aggregate.h"
 
+#include <algorithm>
+#include <utility>
+
+#include "operators/router.h"
 #include "util/busy_work.h"
 #include "util/logging.h"
 
@@ -117,5 +121,65 @@ void WindowedAggregate::RestoreState(const OperatorSnapshot& snapshot) {
   const auto& state = std::any_cast<const State&>(snapshot.state);
   window_ = state.first;
   groups_ = state.second;
+}
+
+std::unique_ptr<Operator> WindowedAggregate::CloneFresh(
+    std::string name) const {
+  return std::make_unique<WindowedAggregate>(std::move(name), options_);
+}
+
+Result<std::vector<OperatorSnapshot>> WindowedAggregate::RepartitionSnapshots(
+    const std::vector<OperatorSnapshot>& snapshots, size_t new_n) const {
+  using State =
+      std::pair<SlidingWindow,
+                std::unordered_map<Value, GroupState, ValueHash>>;
+  if (new_n == 0) {
+    return Status::InvalidArgument("cannot repartition into 0 shards");
+  }
+  if (!options_.group_attr) {
+    return Status::InvalidArgument(
+        "cannot key-repartition a non-grouped aggregate: " + name());
+  }
+  if (snapshots.empty()) {
+    return Status::InvalidArgument("no replica snapshots to repartition");
+  }
+  // Merge the replicas' windows into one timestamp-ordered stream (each
+  // window deque is timestamp-monotone, so a stable sort is a valid
+  // merge), then rebuild each shard by re-folding its share.
+  std::vector<Tuple> arrivals;
+  for (const OperatorSnapshot& snap : snapshots) {
+    if (snap.epoch != snapshots.front().epoch) {
+      return Status::FailedPrecondition(
+          "replica snapshots span different epochs");
+    }
+    const auto* state = std::any_cast<State>(&snap.state);
+    if (state == nullptr && snap.state.has_value()) {
+      return Status::InvalidArgument("snapshot is not an aggregate snapshot");
+    }
+    if (state == nullptr) continue;  // empty state: nothing windowed
+    for (const Tuple& tuple : state->first.contents()) {
+      arrivals.push_back(tuple);
+    }
+  }
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [](const Tuple& a, const Tuple& b) {
+                     return a.timestamp() < b.timestamp();
+                   });
+  std::vector<SlidingWindow> windows(new_n,
+                                     SlidingWindow(options_.window_micros));
+  std::vector<std::unordered_map<Value, GroupState, ValueHash>> groups(new_n);
+  for (const Tuple& tuple : arrivals) {
+    const Value key = tuple.at(*options_.group_attr);
+    const size_t shard = Router::HashValue(key) % new_n;
+    windows[shard].Add(tuple);
+    Fold(&groups[shard][key], ValueOf(tuple));
+  }
+  std::vector<OperatorSnapshot> out(new_n);
+  for (size_t i = 0; i < new_n; ++i) {
+    out[i].epoch = snapshots.front().epoch;
+    out[i].element_count = static_cast<int64_t>(windows[i].size());
+    out[i].state = std::make_pair(std::move(windows[i]), std::move(groups[i]));
+  }
+  return out;
 }
 }  // namespace flexstream

@@ -10,14 +10,17 @@
 #define FLEXSTREAM_OPERATORS_AGGREGATE_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "operators/operator.h"
 #include "operators/window.h"
 #include "recovery/state_snapshot.h"
+#include "util/status.h"
 
 namespace flexstream {
 
@@ -47,6 +50,18 @@ class WindowedAggregate : public Operator, public StatefulOperator {
 
   OperatorSnapshot SnapshotState() const override;
   void RestoreState(const OperatorSnapshot& snapshot) override;
+
+  std::unique_ptr<Operator> CloneFresh(std::string name) const override;
+
+  /// Redistributes the committed snapshots of N replicas of this aggregate
+  /// into `new_n` key-partitions on the group attribute, assigning every
+  /// windowed element to Router::HashValue(group key) % new_n — exactly
+  /// how a Router routes live elements. Group states are re-folded from
+  /// the merged windows. Fails on a non-grouped aggregate (its single
+  /// global group cannot be key-partitioned). `this` supplies the
+  /// aggregate options; its own state is untouched.
+  Result<std::vector<OperatorSnapshot>> RepartitionSnapshots(
+      const std::vector<OperatorSnapshot>& snapshots, size_t new_n) const;
 
  protected:
   void Process(const Tuple& tuple, int port) override;

@@ -33,6 +33,11 @@ class Distinct : public Operator, public StatefulOperator {
   OperatorSnapshot SnapshotState() const override;
   void RestoreState(const OperatorSnapshot& snapshot) override;
 
+  std::unique_ptr<Operator> CloneFresh(std::string name) const override {
+    return std::make_unique<Distinct>(std::move(name),
+                                      window_.duration_micros(), key_attrs_);
+  }
+
  protected:
   void Process(const Tuple& tuple, int port) override;
 

@@ -17,6 +17,11 @@ class MapOp : public Operator {
 
   MapOp(std::string name, MapFn fn, double simulated_cost_micros = 0.0);
 
+  std::unique_ptr<Operator> CloneFresh(std::string name) const override {
+    return std::make_unique<MapOp>(std::move(name), fn_,
+                                   simulated_cost_micros_);
+  }
+
  protected:
   void Process(const Tuple& tuple, int port) override;
   /// Batch-native path: replaces each tuple with fn_(tuple) in place and

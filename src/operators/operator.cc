@@ -40,6 +40,29 @@ void Operator::SetSimulatedCostMicros(double micros) {
   simulated_cost_micros_ = micros;
 }
 
+void Operator::SetSimulatedBlockingMicros(double micros) {
+  simulated_blocking_micros_ = micros;
+}
+
+namespace {
+/// The simulated-blocking sleep. Kept out of the cost-stats window: it
+/// models waiting (I/O), not computing, so c(v) must not see it.
+void SleepBlockingMicros(double micros) {
+  if (micros >= 1.0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(micros)));
+  }
+}
+}  // namespace
+
+std::unique_ptr<Operator> Operator::CloneFresh(std::string) const {
+  return nullptr;
+}
+
+void Operator::OnEpochAligned(uint64_t) {}
+
+void Operator::OnInputEos(const Node*, int) {}
+
 void Operator::SetFaultHook(FaultHook hook) {
   fault_hook_ = hook ? std::make_shared<const FaultHook>(std::move(hook))
                      : nullptr;
@@ -142,10 +165,11 @@ void Operator::ReceiveBatch(TupleBatch&& batch, int port) {
 
 void Operator::ReceiveBatchLocked(TupleBatch&& batch, int port) {
   if (batch.empty()) return;
-  if (epoch_state_ != nullptr || fault_hook_ != nullptr) {
-    // Per-delivery machinery is engaged: barrier channels buffer and fault
-    // hooks vote element by element, so the batch is unbundled onto the
-    // exact per-tuple path. The sender is re-declared before every element
+  if (epoch_state_ != nullptr || fault_hook_ != nullptr || stamp_emit_seq_) {
+    // Per-delivery machinery is engaged: barrier channels buffer, fault
+    // hooks vote, and sequence stamping reads the per-element stamp — all
+    // element by element, so the batch is unbundled onto the exact
+    // per-tuple path. The sender is re-declared before every element
     // because a processed element's downstream Emit overwrites the
     // thread-local.
     const Node* sender = tl_delivery_sender_;
@@ -158,6 +182,9 @@ void Operator::ReceiveBatchLocked(TupleBatch&& batch, int port) {
   DCHECK(!closed_) << DebugString() << " received data after close";
   if (failed_.load(std::memory_order_relaxed)) return;
   const size_t n = batch.size();
+  if (simulated_blocking_micros_ > 0.0) {
+    SleepBlockingMicros(simulated_blocking_micros_ * static_cast<double>(n));
+  }
   if (!StatsCollectionEnabled()) {
     if (simulated_cost_micros_ > 0.0) {
       BurnMicros(simulated_cost_micros_ * static_cast<double>(n));
@@ -271,6 +298,10 @@ void Operator::AlignAndRelease() {
     if (!any_blocked || !all_ready) break;
     const uint64_t epoch = ++es.aligned_epoch;
     aligned_epoch_.store(epoch, std::memory_order_release);
+    // Alignment hook first: emissions made here (the ordered Merge's lane
+    // flush) still belong to the closing epoch and must precede both the
+    // snapshot and the downstream barrier.
+    OnEpochAligned(epoch);
     // State now reflects exactly epochs 1..epoch: snapshot, then let the
     // barrier race ahead of the backlog.
     if (const std::shared_ptr<const EpochCallback> cb = epoch_callback_) {
@@ -280,6 +311,11 @@ void Operator::AlignAndRelease() {
     for (EpochChannel& ch : es.channels) ch.blocked = false;
     // Release each channel's backlog until it re-blocks (next barrier),
     // closes, or empties; another full alignment may follow immediately.
+    // The delivery sender is re-declared before every element: the value
+    // left in the thread-local belongs to whichever delivery triggered
+    // the alignment (and each element's own downstream Emit overwrites it
+    // again), but sender-keyed consumers — the Merge's lane lookup — must
+    // see the channel the element actually arrived on.
     for (EpochChannel& ch : es.channels) {
       while (!ch.blocked && !ch.backlog.empty()) {
         Tuple t = std::move(ch.backlog.front());
@@ -288,8 +324,10 @@ void Operator::AlignAndRelease() {
           ch.blocked = true;
         } else if (t.is_eos()) {
           ch.closed = true;
+          tl_delivery_sender_ = ch.source;
           DeliverLocked(t, ch.port);
         } else {
+          tl_delivery_sender_ = ch.source;
           DeliverLocked(t, ch.port);
         }
       }
@@ -310,6 +348,7 @@ thread_local const Node* Operator::tl_delivery_sender_ = nullptr;
 
 void Operator::DeliverLocked(const Tuple& tuple, int port) {
   if (tuple.is_eos()) {
+    OnInputEos(tl_delivery_sender_, port);
     max_eos_timestamp_ = std::max(max_eos_timestamp_, tuple.timestamp());
     ++eos_received_;
     DCHECK_LE(eos_received_, std::max<size_t>(fan_in(), 1));
@@ -330,6 +369,10 @@ void Operator::DeliverLocked(const Tuple& tuple, int port) {
   // rest of the graph can close down.
   if (failed_.load(std::memory_order_relaxed)) return;
   if (fault_hook_ != nullptr && !PassesFaultHook(tuple, port)) return;
+  if (stamp_emit_seq_) current_input_seq_ = tuple.seq();
+  if (simulated_blocking_micros_ > 0.0) {
+    SleepBlockingMicros(simulated_blocking_micros_);
+  }
   if (!StatsCollectionEnabled()) {
     if (simulated_cost_micros_ > 0.0) BurnMicros(simulated_cost_micros_);
     Process(tuple, port);
@@ -352,6 +395,12 @@ void Operator::OnAllInputsClosed(AppTime timestamp) { EmitEos(timestamp); }
 
 void Operator::Emit(const Tuple& tuple) {
   DCHECK(tuple.is_data());
+  if (stamp_emit_seq_) {
+    // Stamping needs a mutable element; pay the copy once and take the
+    // move path (stamped there).
+    EmitMove(Tuple(tuple));
+    return;
+  }
   if (StatsCollectionEnabled()) stats().RecordEmitted(1);
   for (const auto& edge : outputs()) {
     tl_delivery_sender_ = this;  // re-set per edge: nested Emits overwrite it
@@ -361,6 +410,7 @@ void Operator::Emit(const Tuple& tuple) {
 
 void Operator::EmitMove(Tuple&& tuple) {
   DCHECK(tuple.is_data());
+  if (stamp_emit_seq_) tuple.set_seq(current_input_seq_);
   if (StatsCollectionEnabled()) stats().RecordEmitted(1);
   const auto& edges = outputs();
   if (edges.empty()) return;
@@ -393,10 +443,35 @@ void Operator::EmitBatch(TupleBatch&& batch) {
 void Operator::EmitTo(size_t output_index, const Tuple& tuple) {
   DCHECK(tuple.is_data());
   DCHECK_LT(output_index, outputs().size());
+  if (stamp_emit_seq_) {
+    EmitTo(output_index, Tuple(tuple));  // copy so the stamp can land
+    return;
+  }
   if (StatsCollectionEnabled()) stats().RecordEmitted(1);
   const OutEdge& edge = outputs()[output_index];
   tl_delivery_sender_ = this;
   edge.target->Receive(tuple, edge.port);
+}
+
+void Operator::EmitTo(size_t output_index, Tuple&& tuple) {
+  DCHECK(tuple.is_data());
+  DCHECK_LT(output_index, outputs().size());
+  if (stamp_emit_seq_) tuple.set_seq(current_input_seq_);
+  if (StatsCollectionEnabled()) stats().RecordEmitted(1);
+  const OutEdge& edge = outputs()[output_index];
+  tl_delivery_sender_ = this;
+  edge.target->Receive(std::move(tuple), edge.port);
+}
+
+void Operator::EmitBatchTo(size_t output_index, TupleBatch&& batch) {
+  if (batch.empty()) return;
+  DCHECK_LT(output_index, outputs().size());
+  if (StatsCollectionEnabled()) {
+    stats().RecordEmitted(static_cast<int64_t>(batch.size()));
+  }
+  const OutEdge& edge = outputs()[output_index];
+  tl_delivery_sender_ = this;
+  edge.target->ReceiveBatch(std::move(batch), edge.port);
 }
 
 void Operator::EmitEos(AppTime timestamp) {
@@ -419,6 +494,7 @@ void Operator::Reset() {
   eos_received_ = 0;
   closed_ = false;
   max_eos_timestamp_ = 0;
+  current_input_seq_ = 0;
   failed_.store(false, std::memory_order_release);
   fault_retries_.store(0, std::memory_order_relaxed);
   // Epoch machinery re-engages at the next barrier (or via

@@ -121,6 +121,50 @@ class Operator : public Node {
   void SetSimulatedCostMicros(double micros);
   double simulated_cost_micros() const { return simulated_cost_micros_; }
 
+  /// Deterministic synthetic *blocking*: sleeps this long per data element
+  /// immediately before Process(), modeling an operator bound by waiting
+  /// (I/O, remote lookups) rather than CPU. Unlike the busy burn above,
+  /// sleeps overlap across threads, so sharding a blocking operator scales
+  /// even on a single core. 0 (the default) disables it.
+  void SetSimulatedBlockingMicros(double micros);
+  double simulated_blocking_micros() const {
+    return simulated_blocking_micros_;
+  }
+
+  /// Constructs a fresh, state-empty copy of this operator under a new
+  /// name: same logical parameters (predicate, window, key attributes...),
+  /// none of the run state, detached from any graph. Returns nullptr when
+  /// the operator does not support cloning (the default). ShardOperator
+  /// (src/api/shard.h) uses this to make replicas.
+  virtual std::unique_ptr<Operator> CloneFresh(std::string name) const;
+
+  // -- Sharding support (src/api/shard.h) --------------------------------
+
+  /// When enabled, every emitted data tuple is stamped with the arrival
+  /// sequence number of the input element currently being processed, and
+  /// batch deliveries unbundle onto the per-tuple path (so the stamp is
+  /// exact per element). Shard replicas under an ordered merge enable
+  /// this; it propagates the split-point sequence through one-in/N-out
+  /// operators so the Merge can restore global arrival order.
+  void SetStampEmitSeq(bool enabled) { stamp_emit_seq_ = enabled; }
+  bool stamp_emit_seq() const { return stamp_emit_seq_; }
+
+  /// Requests that HMTS placement give this operator its own partition
+  /// (its own thread) instead of flood-filling it into the surrounding
+  /// component. Shard replicas set this so the shards actually spread.
+  void SetPlacementSolo(bool solo) { placement_solo_ = solo; }
+  bool placement_solo() const { return placement_solo_; }
+
+  /// Tags this operator as replica `index` of the sharded operator named
+  /// `group` (stats reporting surfaces per-replica rows and an imbalance
+  /// summary). An empty group means "not a shard replica".
+  void SetShardInfo(std::string group, int index) {
+    shard_group_ = std::move(group);
+    shard_index_ = index;
+  }
+  const std::string& shard_group() const { return shard_group_; }
+  int shard_index() const { return shard_index_; }
+
   /// Serializes Receive() with an internal mutex. Required only when the
   /// operator is driven by multiple threads *without* a decoupling queue
   /// in between — i.e. source-driven execution where several autonomous
@@ -217,6 +261,26 @@ class Operator : public Node {
   /// completion. `timestamp` is the max EOS timestamp observed.
   virtual void OnAllInputsClosed(AppTime timestamp);
 
+  /// Called at each barrier alignment, after state reflects the closed
+  /// epoch (and after aligned_epoch() advanced) but *before* the epoch
+  /// callback runs and the barrier is forwarded downstream. Emissions made
+  /// here still belong to the closing epoch. The ordered Merge flushes its
+  /// pending lanes here — at alignment every channel has delivered its
+  /// full pre-barrier prefix, so the flush is safe and leaves the merge
+  /// stateless at every snapshot point. Default: no-op.
+  virtual void OnEpochAligned(uint64_t epoch);
+
+  /// Called at the top of the EOS delivery path, once per input channel
+  /// that closes, before fan-in close accounting. `sender` is the
+  /// delivering upstream node (nullptr when driven from outside a graph).
+  /// The ordered Merge marks the sender's lane closed so it stops gating
+  /// releases. Default: no-op.
+  virtual void OnInputEos(const Node* sender, int port);
+
+  /// The upstream node whose Emit/drain loop is making the current
+  /// delivery (see SetDeliverySender). Valid inside Process/ProcessBatch.
+  static const Node* CurrentDeliverySender() { return tl_delivery_sender_; }
+
   /// Direct interoperability: pushes `tuple` to every subscriber, in
   /// subscription order, within the current thread.
   void Emit(const Tuple& tuple);
@@ -237,6 +301,14 @@ class Operator : public Node {
   /// outputs were connected in). Used by routing operators that partition
   /// their output stream instead of broadcasting it.
   void EmitTo(size_t output_index, const Tuple& tuple);
+
+  /// Move-aware EmitTo: the single subscriber adopts the payload.
+  void EmitTo(size_t output_index, Tuple&& tuple);
+
+  /// Batch analogue of EmitTo: the subscriber at `output_index` adopts the
+  /// whole run. Used by the Router's batch-native scatter to deliver each
+  /// per-replica run as one ReceiveBatch call.
+  void EmitBatchTo(size_t output_index, TupleBatch&& batch);
 
   /// Emits the EOS punctuation downstream (used by OnAllInputsClosed
   /// overrides after flushing).
@@ -302,7 +374,19 @@ class Operator : public Node {
   bool closed_ = false;
   AppTime max_eos_timestamp_ = 0;
   double simulated_cost_micros_ = 0.0;
+  double simulated_blocking_micros_ = 0.0;
   std::unique_ptr<std::mutex> receive_mutex_;
+
+  // -- Sharding state (src/api/shard.h) ----------------------------------
+  // stamp_emit_seq_/current_input_seq_ implement split-point sequence
+  // propagation: DeliverLocked records the input element's stamp, the
+  // Emit family copies it onto every output element. Only the operator's
+  // executing thread touches current_input_seq_.
+  bool stamp_emit_seq_ = false;
+  uint64_t current_input_seq_ = 0;
+  bool placement_solo_ = false;
+  std::string shard_group_;
+  int shard_index_ = -1;
 
   // Failure state: failed_ is written by the operator's own executing
   // thread but read by engine/test threads, hence atomic; the Status

@@ -23,6 +23,11 @@ class Projection : public Operator {
 
   const std::vector<size_t>& attrs() const { return attrs_; }
 
+  std::unique_ptr<Operator> CloneFresh(std::string name) const override {
+    return std::make_unique<Projection>(std::move(name), attrs_,
+                                        simulated_cost_micros_);
+  }
+
  protected:
   void Process(const Tuple& tuple, int port) override;
   /// Batch-native path: rebuilds each tuple in place, moving the kept

@@ -1,5 +1,8 @@
 #include "operators/router.h"
 
+#include <utility>
+
+#include "queue/queue_op.h"
 #include "util/logging.h"
 
 namespace flexstream {
@@ -10,14 +13,70 @@ Router::Router(std::string name, RouteFn route)
   CHECK(route_ != nullptr);
 }
 
+uint64_t Router::MixHash(uint64_t h) {
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+size_t Router::HashValue(const Value& value) {
+  return static_cast<size_t>(MixHash(static_cast<uint64_t>(value.Hash())));
+}
+
 Router::RouteFn Router::HashAttr(size_t attr) {
-  return [attr](const Tuple& t) { return t.at(attr).Hash(); };
+  return [attr](const Tuple& t) { return HashValue(t.at(attr)); };
+}
+
+std::unique_ptr<Operator> Router::CloneFresh(std::string name) const {
+  auto clone = std::make_unique<Router>(std::move(name), route_);
+  clone->SetSequencing(sequencing_);
+  return clone;
 }
 
 void Router::Process(const Tuple& tuple, int port) {
   (void)port;
+  // Punctuations are broadcast by the Operator base class (EmitEos /
+  // EmitBarrier) and must never be routed to a single subscriber — a
+  // barrier seen by only one replica would misalign or deadlock
+  // checkpointing downstream of the split.
+  DCHECK(tuple.is_data()) << DebugString() << " routed a punctuation";
   if (outputs().empty()) return;
-  EmitTo(route_(tuple) % outputs().size(), tuple);
+  const size_t target = route_(tuple) % outputs().size();
+  if (sequencing_) {
+    Tuple stamped = tuple;
+    stamped.set_seq(AllocateArrivalSeq());
+    EmitTo(target, std::move(stamped));
+    return;
+  }
+  EmitTo(target, tuple);
+}
+
+void Router::ProcessBatch(TupleBatch&& batch, int port) {
+  (void)port;
+  const size_t fan_out = outputs().size();
+  if (fan_out == 0 || batch.empty()) return;
+  if (fan_out == 1) {
+    if (sequencing_) {
+      uint64_t seq = AllocateArrivalSeq(batch.size());
+      for (Tuple& tuple : batch) tuple.set_seq(seq++);
+    }
+    EmitBatchTo(0, std::move(batch));
+    return;
+  }
+  scatter_.resize(fan_out);
+  // One bulk sequence reservation covers the whole batch: within the batch
+  // the stamp order is the batch order, which is the arrival order.
+  uint64_t seq = sequencing_ ? AllocateArrivalSeq(batch.size()) : 0;
+  for (Tuple& tuple : batch) {
+    if (sequencing_) tuple.set_seq(seq++);
+    scatter_[route_(tuple) % fan_out].PushBack(std::move(tuple));
+  }
+  for (size_t i = 0; i < fan_out; ++i) {
+    if (scatter_[i].empty()) continue;
+    EmitBatchTo(i, std::move(scatter_[i]));
+    scatter_[i].clear();  // moved-from: return the slot to a known state
+  }
 }
 
 }  // namespace flexstream

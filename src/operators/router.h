@@ -4,15 +4,26 @@
 // subquery-sharing pattern of Figure 1), a Router sends each element to
 // exactly one subscriber, selected by a user routing function. This is
 // the building block for splitting a hot stream across parallel
-// sub-pipelines that separate HMTS partitions can then execute.
+// sub-pipelines that separate HMTS partitions can then execute, and the
+// split half of the shard pattern (src/api/shard.h): key-partition the
+// input across N replicas, re-merge behind them.
+//
+// Punctuations (EOS, epoch barriers) never reach Process — the Operator
+// base class broadcasts them to *every* subscriber (EmitEos/EmitBarrier),
+// which is exactly the semantics a splitter needs: every sub-pipeline must
+// observe every barrier for alignment, and every replica must close.
 
 #ifndef FLEXSTREAM_OPERATORS_ROUTER_H_
 #define FLEXSTREAM_OPERATORS_ROUTER_H_
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "operators/operator.h"
+#include "tuple/value.h"
 
 namespace flexstream {
 
@@ -25,14 +36,43 @@ class Router : public Operator {
 
   Router(std::string name, RouteFn route);
 
-  /// Routes by hash of one attribute (key partitioning).
+  /// Routes by hash of one attribute (key partitioning). The raw
+  /// Value::Hash is finalized through MixHash so that small-integer keys
+  /// (which std::hash maps to themselves on most implementations) don't
+  /// partition modulo-N pathologically.
   static RouteFn HashAttr(size_t attr);
+
+  /// The hardened key hash HashAttr routes by: Value::Hash run through the
+  /// splitmix64 finalizer. Exposed so state repartitioning (shard snapshot
+  /// restore with a different N) assigns keys exactly as live routing does.
+  static size_t HashValue(const Value& value);
+
+  /// splitmix64 finalizer: full-avalanche bit mixer.
+  static uint64_t MixHash(uint64_t h);
+
+  /// When enabled, every routed data element is stamped with a fresh
+  /// global arrival sequence number (AllocateArrivalSeq) before delivery.
+  /// This marks the Router as the *split point* of an ordered shard: the
+  /// replicas propagate the stamp (Operator::SetStampEmitSeq) and the
+  /// ordered Merge restores the global order. Configure while quiescent.
+  void SetSequencing(bool enabled) { sequencing_ = enabled; }
+  bool sequencing() const { return sequencing_; }
+
+  std::unique_ptr<Operator> CloneFresh(std::string name) const override;
 
  protected:
   void Process(const Tuple& tuple, int port) override;
 
+  /// Batch-native scatter: partitions the batch into per-subscriber runs
+  /// (order-preserving within each run) and delivers each non-empty run as
+  /// one ReceiveBatch call, instead of unbundling into per-tuple EmitTo.
+  void ProcessBatch(TupleBatch&& batch, int port) override;
+
  private:
   RouteFn route_;
+  bool sequencing_ = false;
+  /// Scatter staging, one slot per subscriber; reused across batches.
+  std::vector<TupleBatch> scatter_;
 };
 
 }  // namespace flexstream

@@ -30,6 +30,11 @@ class Selection : public Operator {
 
   double simulated_cost_micros() const { return simulated_cost_micros_; }
 
+  std::unique_ptr<Operator> CloneFresh(std::string name) const override {
+    return std::make_unique<Selection>(std::move(name), predicate_,
+                                       simulated_cost_micros_);
+  }
+
  protected:
   void Process(const Tuple& tuple, int port) override;
   /// Batch-native path: compacts the batch in place (order-preserving

@@ -1,5 +1,9 @@
 #include "operators/symmetric_hash_join.h"
 
+#include <algorithm>
+#include <utility>
+
+#include "operators/router.h"
 #include "util/logging.h"
 
 namespace flexstream {
@@ -90,5 +94,82 @@ void SymmetricHashJoin::RestoreState(const OperatorSnapshot& snapshot) {
       std::any_cast<const std::vector<Side>&>(snapshot.state);
   sides_[0] = sides[0];
   sides_[1] = sides[1];
+}
+
+std::unique_ptr<Operator> SymmetricHashJoin::CloneFresh(
+    std::string name) const {
+  return std::make_unique<SymmetricHashJoin>(std::move(name), window_micros_,
+                                             sides_[kLeftPort].key_attr,
+                                             sides_[kRightPort].key_attr);
+}
+
+Result<std::vector<OperatorSnapshot>> SymmetricHashJoin::RepartitionSnapshots(
+    const std::vector<OperatorSnapshot>& snapshots, size_t new_n) const {
+  if (new_n == 0) {
+    return Status::InvalidArgument("cannot repartition into 0 shards");
+  }
+  if (snapshots.empty()) {
+    return Status::InvalidArgument("no replica snapshots to repartition");
+  }
+  std::vector<std::vector<Side>> shards(new_n, std::vector<Side>(2));
+  for (std::vector<Side>& shard : shards) {
+    shard[kLeftPort].key_attr = sides_[kLeftPort].key_attr;
+    shard[kRightPort].key_attr = sides_[kRightPort].key_attr;
+  }
+  for (int s = 0; s < 2; ++s) {
+    // Reconstruct each replica's per-side arrival stream: the i-th expiry
+    // entry for key k corresponds to the i-th tuple of k's bucket (both
+    // are FIFO in arrival order).
+    std::vector<Tuple> arrivals;
+    for (const OperatorSnapshot& snap : snapshots) {
+      if (snap.epoch != snapshots.front().epoch) {
+        return Status::FailedPrecondition(
+            "replica snapshots span different epochs");
+      }
+      const auto* replica =
+          std::any_cast<std::vector<Side>>(&snap.state);
+      if (replica == nullptr && snap.state.has_value()) {
+        return Status::InvalidArgument("snapshot is not a join snapshot");
+      }
+      if (replica == nullptr) continue;  // empty state: nothing stored
+      if (replica->size() != 2) {
+        return Status::InvalidArgument("malformed join snapshot");
+      }
+      const Side& side = (*replica)[s];
+      std::unordered_map<Value, size_t, ValueHash> cursor;
+      for (const auto& entry : side.expiry) {
+        auto it = side.table.find(entry.first);
+        if (it == side.table.end()) {
+          return Status::Internal("join snapshot expiry/table mismatch");
+        }
+        size_t& index = cursor[entry.first];
+        if (index >= it->second.size()) {
+          return Status::Internal("join snapshot expiry/table mismatch");
+        }
+        arrivals.push_back(it->second[index++]);
+      }
+    }
+    // Merge the replicas into one timestamp-ordered stream. Each replica's
+    // stream is timestamp-monotone, so a stable sort is a valid merge; the
+    // expiry queues of the new shards come out monotone as required.
+    std::stable_sort(
+        arrivals.begin(), arrivals.end(),
+        [](const Tuple& a, const Tuple& b) {
+          return a.timestamp() < b.timestamp();
+        });
+    for (const Tuple& tuple : arrivals) {
+      const size_t shard =
+          Router::HashValue(tuple.at(sides_[s].key_attr)) % new_n;
+      shards[shard][s].Insert(tuple);
+    }
+  }
+  std::vector<OperatorSnapshot> out(new_n);
+  for (size_t i = 0; i < new_n; ++i) {
+    out[i].epoch = snapshots.front().epoch;
+    out[i].element_count = static_cast<int64_t>(shards[i][0].stored +
+                                                shards[i][1].stored);
+    out[i].state = std::move(shards[i]);
+  }
+  return out;
 }
 }  // namespace flexstream

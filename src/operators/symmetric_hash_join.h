@@ -11,12 +11,15 @@
 #define FLEXSTREAM_OPERATORS_SYMMETRIC_HASH_JOIN_H_
 
 #include <deque>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "operators/operator.h"
 #include "operators/window.h"
 #include "recovery/state_snapshot.h"
+#include "util/status.h"
 
 namespace flexstream {
 
@@ -38,6 +41,20 @@ class SymmetricHashJoin : public Operator, public StatefulOperator {
 
   OperatorSnapshot SnapshotState() const override;
   void RestoreState(const OperatorSnapshot& snapshot) override;
+
+  std::unique_ptr<Operator> CloneFresh(std::string name) const override;
+
+  /// Redistributes the committed snapshots of N replicas of this join
+  /// (key-partitioned on both sides' join attributes) into `new_n`
+  /// partitions, assigning every stored tuple to
+  /// Router::HashValue(key) % new_n — exactly how a sequencing Router
+  /// routes live elements, so a restore with a different shard count sees
+  /// every tuple where future probes will look for it. `this` supplies the
+  /// join parameters; its own state is untouched. Per-side arrival order
+  /// is rebuilt by a timestamp-stable merge (expiration requires monotone
+  /// expiry queues).
+  Result<std::vector<OperatorSnapshot>> RepartitionSnapshots(
+      const std::vector<OperatorSnapshot>& snapshots, size_t new_n) const;
 
  protected:
   void Process(const Tuple& tuple, int port) override;

@@ -15,6 +15,10 @@ class UnionOp : public Operator {
  public:
   explicit UnionOp(std::string name);
 
+  std::unique_ptr<Operator> CloneFresh(std::string name) const override {
+    return std::make_unique<UnionOp>(std::move(name));
+  }
+
  protected:
   void Process(const Tuple& tuple, int port) override;
   /// Batch-native path: forwards the batch whole (bag union is a no-op on

@@ -37,6 +37,10 @@ void RestoreDrainScratch(TupleBatch&& batch) {
 
 }  // namespace
 
+uint64_t AllocateArrivalSeq(uint64_t n) {
+  return g_arrival_seq.fetch_add(n, std::memory_order_relaxed);
+}
+
 const char* OverloadPolicyToString(OverloadPolicy policy) {
   switch (policy) {
     case OverloadPolicy::kBlock:

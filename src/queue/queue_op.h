@@ -72,6 +72,13 @@ enum class OverloadPolicy { kBlock, kShedNewest, kShedOldest };
 const char* OverloadPolicyToString(OverloadPolicy policy);
 bool OverloadPolicyFromString(const std::string& name, OverloadPolicy* policy);
 
+/// Reserves a contiguous run of `n` global arrival sequence numbers and
+/// returns the first. The counter is the same one queue enqueues draw from
+/// for FIFO scheduling, so numbers allocated here are totally ordered with
+/// queue arrivals. A sequencing Router (src/operators/router.h) stamps
+/// split tuples from this counter; the ordered Merge restores that order.
+uint64_t AllocateArrivalSeq(uint64_t n = 1);
+
 // `final` lets call sites with a static QueueOp* — producers pushing into
 // a known queue, the owning partition draining it — devirtualize Receive
 // and inline the whole transfer path under LTO.

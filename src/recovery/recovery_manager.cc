@@ -38,6 +38,9 @@ void RecoveryManager::Arm(QueryGraph* graph) {
       continue;
     }
     if (node->is_queue()) continue;  // queues forward barriers, never align
+    // A fully detached node (the prototype ShardOperator leaves behind)
+    // never sees a barrier; registering it would block every commit.
+    if (node->inputs().empty() && node->outputs().empty()) continue;
     auto* op = dynamic_cast<Operator*>(node);
     CHECK(op != nullptr);
     op->SetEpochCallback(

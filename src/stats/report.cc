@@ -1,9 +1,13 @@
 #include "stats/report.h"
 
+#include <algorithm>
 #include <cmath>
+#include <map>
 #include <sstream>
+#include <vector>
 
 #include "graph/query_graph.h"
+#include "operators/operator.h"
 #include "queue/queue_op.h"
 #include "recovery/recovery_manager.h"
 
@@ -53,6 +57,74 @@ Table BuildResilienceTable(const QueryGraph& graph) {
   return t;
 }
 
+Table BuildShardTable(const QueryGraph& graph) {
+  Table t({"group", "replica", "routed", "processed", "emitted", "queue_now",
+           "queue_peak", "dropped"});
+  for (const Node* node : graph.nodes()) {
+    const auto* op = dynamic_cast<const Operator*>(node);
+    if (op == nullptr || op->shard_index() < 0) continue;
+    const OpStats& s = node->stats();
+    std::string queue_now = "-";
+    std::string queue_peak = "-";
+    std::string dropped = "-";
+    // The replica's input queue(s): engine-inserted between the split
+    // router and the replica when they land in different partitions.
+    int64_t now = 0;
+    int64_t peak = 0;
+    int64_t drops = 0;
+    bool has_queue = false;
+    bool has_bounded = false;
+    for (const Node::InEdge& in : node->inputs()) {
+      const auto* q = dynamic_cast<const QueueOp*>(in.source);
+      if (q == nullptr) continue;
+      has_queue = true;
+      now += static_cast<int64_t>(q->Size());
+      peak += static_cast<int64_t>(q->PeakSize());
+      if (q->bounded()) {
+        has_bounded = true;
+        drops += q->dropped();
+      }
+    }
+    if (has_queue) {
+      queue_now = Table::Int(now);
+      queue_peak = Table::Int(peak);
+      if (has_bounded) dropped = Table::Int(drops);
+    }
+    t.AddRow({op->shard_group(), node->name(), Table::Int(s.arrivals()),
+              Table::Int(s.processed()), Table::Int(s.emitted()), queue_now,
+              queue_peak, dropped});
+  }
+  return t;
+}
+
+std::string ShardImbalanceSummary(const QueryGraph& graph) {
+  // Group name -> per-replica routed counts, in replica index order (the
+  // graph holds replicas in creation order).
+  std::map<std::string, std::vector<int64_t>> groups;
+  for (const Node* node : graph.nodes()) {
+    const auto* op = dynamic_cast<const Operator*>(node);
+    if (op == nullptr || op->shard_index() < 0) continue;
+    groups[op->shard_group()].push_back(node->stats().arrivals());
+  }
+  std::ostringstream os;
+  for (const auto& [group, counts] : groups) {
+    int64_t total = 0;
+    int64_t max = 0;
+    for (int64_t c : counts) {
+      total += c;
+      max = std::max(max, c);
+    }
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(counts.size());
+    const double imbalance =
+        mean > 0.0 ? static_cast<double>(max) / mean : 1.0;
+    os << "shard group '" << group << "': " << counts.size() << " replicas, "
+       << total << " routed, imbalance " << Table::Num(imbalance, 2)
+       << " (max/mean)\n";
+  }
+  return os.str();
+}
+
 Table BuildRecoveryTable(const RecoveryManager& recovery) {
   Table t({"metric", "value"});
   const CheckpointCoordinator& coord = recovery.coordinator();
@@ -83,6 +155,12 @@ Table BuildRecoveryTable(const RecoveryManager& recovery) {
 std::string StatsReport(const QueryGraph& graph) {
   std::ostringstream os;
   BuildStatsTable(graph).Print(os);
+  Table shards = BuildShardTable(graph);
+  if (shards.row_count() > 0) {
+    os << "\n";
+    shards.Print(os);
+    os << ShardImbalanceSummary(graph);
+  }
   return os.str();
 }
 

@@ -29,6 +29,18 @@ Table BuildStatsTable(const QueryGraph& graph);
 /// BuildStatsTable, so it prints/CSV-exports identically.
 Table BuildResilienceTable(const QueryGraph& graph);
 
+/// One row per shard replica (operators created by ShardOperator,
+/// api/shard.h), grouped by the original operator's name: elements routed
+/// to the replica (arrivals), processed, emitted, and its input queue's
+/// current/peak depth plus overload drops. Empty (headers only) when the
+/// graph has no sharded operators.
+Table BuildShardTable(const QueryGraph& graph);
+
+/// One line per shard group summarizing routing skew:
+/// "shard group '<name>': N replicas, M routed, imbalance R (max/mean)".
+/// Empty string when the graph has no sharded operators.
+std::string ShardImbalanceSummary(const QueryGraph& graph);
+
 /// Checkpoint/recovery counters (metric/value rows): committed epoch,
 /// epochs committed, snapshots taken, committed state elements, replay
 /// buffer depth/peak/truncation, replayed elements, and the recovery

@@ -7,7 +7,10 @@
 #include <fstream>
 #include <sstream>
 
+#include "api/shard.h"
 #include "graph/dot_export.h"
+#include "operators/map_op.h"
+#include "operators/selection.h"
 #include "sched/strategy.h"
 #include "util/logging.h"
 
@@ -177,6 +180,10 @@ std::string DiffConfig::Name() const {
   }
   if (watchdog) os << "+watchdog";
   if (emit_batch_size > 1) os << "+batch" << emit_batch_size;
+  if (shard_count > 0) {
+    os << "+shard" << shard_count << (shard_unordered ? "u" : "o");
+    if (kill_shard_replica >= 0) os << "+killrep" << kill_shard_replica;
+  }
   return os.str();
 }
 
@@ -392,6 +399,47 @@ ExecutableDag BuildDagForSpec(const DiffSpec& spec) {
   return BuildExecutableDag(DagOptionsForSpec(spec), spec.seed);
 }
 
+std::vector<DiffConfig> ShardConfigMatrix() {
+  std::vector<DiffConfig> configs;
+  // Ordered sharding across every scheduled architecture, both shard
+  // widths, per-tuple and batch delivery. The exact-sequence oracle stays
+  // fully armed: the sequencing Router + kSequence merge must reproduce
+  // the unsharded golden output byte-for-byte.
+  for (ExecutionMode mode :
+       {ExecutionMode::kGts, ExecutionMode::kOts, ExecutionMode::kHmts}) {
+    for (int shards : {2, 4}) {
+      for (size_t batch : {size_t{1}, size_t{64}}) {
+        DiffConfig config;
+        config.mode = mode;
+        config.shard_count = shards;
+        config.emit_batch_size = batch;
+        configs.push_back(config);
+      }
+    }
+  }
+  // Arrival-order merge: no buffering, nondeterministic interleaving — all
+  // sinks demote to the multiset oracle.
+  for (int shards : {2, 4}) {
+    DiffConfig config;
+    config.mode = ExecutionMode::kHmts;
+    config.shard_count = shards;
+    config.shard_unordered = true;
+    configs.push_back(config);
+  }
+  // Kill one replica mid-run under checkpointing: epoch rewind + replay
+  // must restore the sharded pipeline to an exact golden match.
+  {
+    DiffConfig config;
+    config.mode = ExecutionMode::kHmts;
+    config.shard_count = 2;
+    config.checkpoint_epoch_interval = 50;
+    config.kill_shard_replica = 1;
+    config.chaos_kill_after = 40;
+    configs.push_back(config);
+  }
+  return configs;
+}
+
 SinkOutputs RunUnderConfig(const DiffSpec& spec, const DiffConfig& config) {
   ExecutableDag dag = BuildDagForSpec(spec);
   SinkOutputs out;
@@ -406,12 +454,52 @@ SinkOutputs RunUnderConfig(const DiffSpec& spec, const DiffConfig& config) {
     return out;
   }
 
+  std::string shard_target;
+  if (config.shard_count > 0) {
+    // Rewrite before the engine sees the graph: split the first
+    // Selection/Map (graph order) into key-partitioned replicas behind a
+    // sequencing Router, re-merged downstream (api/shard.h). The golden
+    // run stays unsharded, so the comparison checks the rewrite itself.
+    Operator* target = nullptr;
+    for (Node* node : dag.graph->nodes()) {
+      if (auto* selection = dynamic_cast<Selection*>(node)) {
+        target = selection;
+        break;
+      }
+      if (auto* map = dynamic_cast<MapOp*>(node)) {
+        target = map;
+        break;
+      }
+    }
+    CHECK(target != nullptr) << "spec graph has no shardable operator";
+    shard_target = target->name();
+    ShardOptions shard;
+    shard.shards = static_cast<size_t>(config.shard_count);
+    shard.key_attrs = {0};
+    shard.ordered = !config.shard_unordered;
+    CHECK_OK(ShardOperator(dag.graph.get(), target, shard).status());
+    if (config.shard_unordered) {
+      // Replica outputs interleave nondeterministically through the
+      // arrival-order merge; no downstream sink keeps a guaranteed
+      // sequence.
+      out.order_checked.assign(out.order_checked.size(), false);
+    }
+  }
+
   StreamEngine engine(dag.graph.get());
   CHECK_OK(engine.Configure(EngineOptionsForConfig(config)));
   if (config.fault != QueueOp::TestFault::kNone) {
     for (QueueOp* queue : engine.queues()) queue->SetTestFault(config.fault);
   }
-  ChaosInjector chaos(ChaosOptionsForConfig(config));
+  ChaosOptions chaos_options = ChaosOptionsForConfig(config);
+  if (config.kill_shard_replica >= 0) {
+    // Replica names only exist after the rewrite above.
+    CHECK(config.shard_count > config.kill_shard_replica)
+        << "kill_shard_replica requires shard_count > replica index";
+    chaos_options.kill_operator =
+        shard_target + ".shard" + std::to_string(config.kill_shard_replica);
+  }
+  ChaosInjector chaos(chaos_options);
   if (config.chaos_enabled()) {
     chaos.Arm(dag.graph.get(), engine.queues());
   }
@@ -480,8 +568,12 @@ std::string CompareOutputs(const SinkOutputs& golden,
   for (size_t i = 0; i < golden.per_sink.size(); ++i) {
     const std::vector<Tuple>& want = golden.per_sink[i];
     const std::vector<Tuple>& got = candidate.per_sink[i];
-    const bool ordered = i < golden.order_checked.size() &&
-                         golden.order_checked[i];
+    // A candidate may demote a sink to multiset compare (e.g. an
+    // arrival-order shard merge interleaves replicas nondeterministically);
+    // otherwise golden's flags decide.
+    const bool ordered =
+        i < golden.order_checked.size() && golden.order_checked[i] &&
+        (i >= candidate.order_checked.size() || candidate.order_checked[i]);
     if (ordered) {
       if (shed ? !IsSubsequence(want, got) : want != got) {
         std::ostringstream os;
@@ -634,7 +726,10 @@ std::string FormatReplay(const DiffSpec& spec, const DiffConfig& config) {
      << "chaos_kill_after=" << config.chaos_kill_after << "\n"
      << "chaos_kills=" << config.chaos_kills << "\n"
      << "watchdog=" << (config.watchdog ? 1 : 0) << "\n"
-     << "emit_batch_size=" << config.emit_batch_size << "\n";
+     << "emit_batch_size=" << config.emit_batch_size << "\n"
+     << "shard_count=" << config.shard_count << "\n"
+     << "shard_unordered=" << (config.shard_unordered ? 1 : 0) << "\n"
+     << "kill_shard_replica=" << config.kill_shard_replica << "\n";
   return os.str();
 }
 
@@ -721,6 +816,12 @@ bool ParseReplay(const std::string& text, DiffSpec* spec, DiffConfig* config,
         config->watchdog = std::stoi(value) != 0;
       } else if (key == "emit_batch_size") {
         config->emit_batch_size = std::stoull(value);
+      } else if (key == "shard_count") {
+        config->shard_count = std::stoi(value);
+      } else if (key == "shard_unordered") {
+        config->shard_unordered = std::stoi(value) != 0;
+      } else if (key == "kill_shard_replica") {
+        config->kill_shard_replica = std::stoi(value);
       } else {
         return fail("unknown key '" + key + "'");
       }

@@ -103,9 +103,29 @@ struct DiffConfig {
   int64_t chaos_kill_after = 0;
   int chaos_kills = 1;
 
+  // -- Key-partitioned sharding dimensions (ISSUE 6, DESIGN.md §13) -------
+
+  /// When > 0, RunUnderConfig rewrites the spec's graph after building it:
+  /// the first Selection/Map in graph order is split into this many
+  /// key-partitioned replicas behind a sequencing Router and re-merged
+  /// (api/shard.h). The ordered merge keeps every exact-sequence oracle
+  /// applicable; the golden run stays unsharded, so the comparison checks
+  /// the split/merge rewrite itself.
+  int shard_count = 0;
+  /// Arrival-order merge instead of the sequence-restoring one: replica
+  /// outputs interleave nondeterministically, so every sink demotes to the
+  /// multiset oracle. Requires shard_count > 0.
+  bool shard_unordered = false;
+  /// Kill/revive chaos aimed at one shard replica (resolved to
+  /// "<target>.shard<i>" after the rewrite, since the replica names do not
+  /// exist before it). Requires shard_count > i and a checkpoint interval.
+  /// -1 = disabled.
+  int kill_shard_replica = -1;
+
   bool chaos_enabled() const {
     return chaos_transient_rate > 0.0 || chaos_delay_rate > 0.0 ||
-           chaos_suppress_every_n > 0 || !chaos_kill_operator.empty();
+           chaos_suppress_every_n > 0 || !chaos_kill_operator.empty() ||
+           kill_shard_replica >= 0;
   }
 
   /// "gts+chain+auto" style identifier (placement only for HMTS, ring
@@ -175,6 +195,14 @@ std::vector<DiffConfig> ChaosConfigMatrix();
 /// kBlock so nothing is shed and the exact oracle applies.
 std::vector<DiffConfig> RecoveryConfigMatrix(const std::string& kill_operator,
                                              int64_t kill_after);
+
+/// The sharding sweep (check-shard): the first Selection/Map of the spec's
+/// graph rewritten into {2, 4} key-partitioned replicas, across
+/// {GTS, OTS, HMTS} x batch {1, 64} with the ordered merge (every
+/// exact-sequence oracle stays armed), two arrival-order variants
+/// (multiset compare), and one checkpointed kill-one-replica recovery
+/// configuration.
+std::vector<DiffConfig> ShardConfigMatrix();
 
 struct DiffFailure {
   DiffSpec spec;  // shrunk when shrinking was enabled

@@ -69,6 +69,15 @@ class Tuple {
   AppTime timestamp() const { return timestamp_; }
   void set_timestamp(AppTime t) { timestamp_ = t; }
 
+  /// Global arrival sequence number, stamped by a sequencing Router at the
+  /// split point of a sharded operator (src/api/shard.h) and carried
+  /// through the replica so the ordered Merge can restore arrival order.
+  /// 0 means "never stamped". Deliberately excluded from operator== and
+  /// operator< — the sequence number is routing metadata, not payload, and
+  /// differential comparisons must not see it.
+  uint64_t seq() const { return seq_; }
+  void set_seq(uint64_t seq) { seq_ = seq; }
+
   size_t arity() const { return values_.size(); }
   const Value& at(size_t i) const;
   Value& at(size_t i);
@@ -106,6 +115,7 @@ class Tuple {
  private:
   Kind kind_ = Kind::kData;
   AppTime timestamp_ = 0;
+  uint64_t seq_ = 0;
   std::vector<Value> values_;
 };
 

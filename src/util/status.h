@@ -87,7 +87,11 @@ class Result {
   Result(Status status) : status_(std::move(status)) {}  // NOLINT
 
   bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  // Ref-qualified: on a temporary Result, `.status()` must return by
+  // value — a reference into the temporary dangles as soon as the
+  // full-expression ends (e.g. `const Status& s = F().status();`).
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
 
   /// Requires ok(). The CHECK lives in the caller's hands; accessing the
   /// value of a failed Result is a programming error.
