@@ -1,0 +1,313 @@
+// The "Black Friday" soak — a production-shaped endurance run
+// (ROADMAP item 5, DESIGN.md §14).
+//
+// One NEXMark hot-items pipeline (Zipf-keyed bids -> tumbling per-auction
+// counts -> collecting sink) is driven through a multi-phase arrival
+// schedule: warmup, a 4x flash-sale burst, a lull, a second burst, and a
+// cooldown. The engine runs with everything at once that production would
+// have on: epoch checkpointing, bounded kBlock queues, and — in the kill
+// run — a fault hook that crashes the aggregate in the middle of *each*
+// burst (two kills, two recoveries, thresholds set per burst rather than
+// ChaosInjector's single kill_after, whose delivery counter would fire the
+// second kill immediately after the first recovery).
+//
+// Asserted, not just reported:
+//   * both kills actually happened and both recoveries completed;
+//   * the kill run's result multiset is byte-identical to an undisturbed
+//     reference run (checkpoint restore + replay + sink truncation = the
+//     exactly-once story of DESIGN.md §10, held under burst pressure);
+//   * bounded queues dropped nothing (kBlock, so identity is even possible).
+//
+// Reported: per-phase end-to-end latency percentiles (p50/p95/p99/p999)
+// from the kill run — replayed elements are measured against wall-clock
+// now, so the recovery outage is *in* the burst phases' tails, which is
+// the honest number — plus recovery latency/replay accounting. Results go
+// to stdout and BENCH_soak.json (override with --out <path>).
+//
+// `cmake --build build --target check-soak` runs this smoke-scaled; the
+// full schedule (~35 s of wall time) needs a plain `./bench/soak_bench`.
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/query_builder.h"
+#include "api/stream_engine.h"
+#include "graph/query_graph.h"
+#include "operators/latency_sink.h"
+#include "operators/sink.h"
+#include "operators/tumbling_aggregate.h"
+#include "recovery/recovery_manager.h"
+#include "util/clock.h"
+#include "util/histogram.h"
+#include "util/logging.h"
+#include "util/table.h"
+#include "workload/nexmark.h"
+#include "workload/rate_source.h"
+
+#include "bench_smoke.h"
+
+namespace flexstream {
+namespace {
+
+struct SoakPhase {
+  const char* name;
+  int64_t count;
+  double rate_per_sec;
+};
+
+const SoakPhase kPhases[] = {
+    {"warmup", bench::SmokeScaled<int64_t>(40'000, 2'000), 10'000.0},
+    {"burst1", bench::SmokeScaled<int64_t>(80'000, 4'000), 40'000.0},
+    {"lull", bench::SmokeScaled<int64_t>(40'000, 2'000), 10'000.0},
+    {"burst2", bench::SmokeScaled<int64_t>(80'000, 4'000), 40'000.0},
+    {"cooldown", bench::SmokeScaled<int64_t>(40'000, 2'000), 10'000.0},
+};
+constexpr size_t kPhaseCount = sizeof(kPhases) / sizeof(kPhases[0]);
+
+const uint64_t kEpochInterval = bench::SmokeScaled<uint64_t>(500, 100);
+constexpr size_t kQueueBound = 4'096;
+constexpr AppTime kHotWindowMicros = 10'000;
+constexpr uint64_t kSeed = 2026;
+constexpr auto kWait = std::chrono::minutes(5);
+
+// Bid schema + trailing phase id + trailing emit-offset stamp.
+constexpr size_t kPhaseAttr = nexmark::kBidArity;      // 3
+constexpr size_t kStampAttr = nexmark::kBidArity + 1;  // 4
+
+int64_t TotalBids() {
+  int64_t total = 0;
+  for (const SoakPhase& p : kPhases) total += p.count;
+  return total;
+}
+
+/// Index of the phase containing stream position `index`.
+int64_t PhaseOf(int64_t index) {
+  int64_t bound = 0;
+  for (size_t p = 0; p < kPhaseCount; ++p) {
+    bound += kPhases[p].count;
+    if (index < bound) return static_cast<int64_t>(p);
+  }
+  return static_cast<int64_t>(kPhaseCount) - 1;
+}
+
+/// NEXMark bids with the phase id appended, so the latency sink can split
+/// its histogram per phase.
+RateSource::Generator PhasedBidGenerator(nexmark::NexmarkConfig config) {
+  return [config](int64_t index, AppTime ts, Rng* rng) {
+    Tuple t = nexmark::MakeBid(config, index, ts, rng);
+    t.Append(Value(PhaseOf(index)));
+    return t;
+  };
+}
+
+struct SoakRun {
+  std::vector<Tuple> results;
+  std::map<int64_t, Histogram> phase_latency;
+  Histogram total_latency;
+  double seconds = 0.0;
+  int kills = 0;
+  int recoveries = 0;
+  int64_t recovery_latency_micros = 0;
+  int64_t replayed_elements = 0;
+  int64_t dropped = 0;
+};
+
+/// One full pass over the schedule. When `kill_deliveries` is non-empty,
+/// the aggregate gets a fault hook that fails permanently once per
+/// threshold (in aggregate-delivery counts, replays included) — revived by
+/// the engine's restore, exactly like ChaosInjector's kill but with an
+/// independent threshold per burst.
+SoakRun RunSoak(const std::vector<int64_t>& kill_deliveries) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  nexmark::NexmarkConfig cfg;
+  const TimePoint epoch = Now();
+
+  Source* bids = qb.AddSource("soak_bids");
+  bids->SetInterarrivalMicros(1e6 / kPhases[0].rate_per_sec);
+  TumblingAggregate::Options agg;
+  agg.kind = AggregateKind::kCount;
+  agg.group_attr = nexmark::kBidAuction;
+  agg.window_micros = kHotWindowMicros;
+  TumblingAggregate* hot = qb.Tumbling(bids, "soak_hot", agg);
+  CollectingSink* out = qb.CollectSink(hot, "soak_out");
+  LatencySink* lat =
+      qb.Latency(bids, "soak_lat", kStampAttr, epoch, kPhaseAttr);
+
+  StreamEngine engine(&graph);
+  EngineOptions opt;
+  opt.mode = ExecutionMode::kGts;
+  opt.checkpoint_epoch_interval = kEpochInterval;
+  opt.queue_max_elements = kQueueBound;
+  opt.overload_policy = OverloadPolicy::kBlock;
+  CHECK_OK(engine.Configure(opt));
+
+  struct KillState {
+    std::vector<int64_t> thresholds;
+    int64_t deliveries = 0;
+    size_t kills_done = 0;
+  };
+  auto kill_state = std::make_shared<KillState>();
+  kill_state->thresholds = kill_deliveries;
+  if (!kill_deliveries.empty()) {
+    hot->SetFaultHook([kill_state](const Operator&, const Tuple&, int,
+                                   int attempt) -> FaultAction {
+      if (attempt > 0) return FaultAction::kProceed;
+      const int64_t d = kill_state->deliveries++;
+      if (kill_state->kills_done < kill_state->thresholds.size() &&
+          d >= kill_state->thresholds[kill_state->kills_done]) {
+        ++kill_state->kills_done;
+        return FaultAction::kPermanentFailure;
+      }
+      return FaultAction::kProceed;
+    });
+  }
+
+  RateSource::Options src_opt;
+  for (const SoakPhase& p : kPhases) {
+    src_opt.phases.push_back({p.count, p.rate_per_sec});
+  }
+  src_opt.pacing = RateSource::Pacing::kPoisson;
+  src_opt.seed = kSeed;
+  src_opt.stamp_emit_offset = true;
+  src_opt.stamp_epoch = epoch;
+  RateSource driver(bids, src_opt, PhasedBidGenerator(cfg));
+
+  Stopwatch sw;
+  CHECK_OK(engine.Start());
+  driver.Start();
+  driver.Join();
+  CHECK(engine.WaitUntilFinishedFor(kWait));
+  const double seconds = sw.ElapsedSeconds();
+  CHECK_OK(engine.RunResult());
+
+  SoakRun run;
+  run.seconds = seconds;
+  run.results = out->TakeResults();
+  run.total_latency = lat->SnapshotHistogram();
+  run.phase_latency = lat->TakePhaseHistograms();
+  run.kills = static_cast<int>(kill_state->kills_done);
+  if (engine.recovery() != nullptr) {
+    run.recoveries = static_cast<int>(engine.recovery()->completed_recoveries());
+    run.recovery_latency_micros =
+        engine.recovery()->last_recovery_latency_micros();
+    run.replayed_elements = engine.recovery()->replayed_elements();
+  }
+  for (const QueueOp* q : engine.queues()) run.dropped += q->dropped();
+  return run;
+}
+
+}  // namespace
+}  // namespace flexstream
+
+int main(int argc, char** argv) {
+  using namespace flexstream;
+
+  std::string out_path = "BENCH_soak.json";
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::string(argv[i]) == "--out") out_path = argv[i + 1];
+  }
+
+  const int64_t total = TotalBids();
+  std::cout << "=== Black Friday soak: " << total
+            << " Zipf-keyed bids through " << kPhaseCount
+            << " arrival phases, epoch interval " << kEpochInterval
+            << ", queues bounded at " << kQueueBound << " (kBlock) ===\n";
+
+  // Kill the aggregate in the middle of each burst (delivery counts).
+  const int64_t kill1 = kPhases[0].count + kPhases[1].count / 2;
+  const int64_t kill2 = kPhases[0].count + kPhases[1].count +
+                        kPhases[2].count + kPhases[3].count / 2;
+
+  std::cout << "reference run (no faults)...\n";
+  const SoakRun reference = RunSoak({});
+  CHECK(reference.kills == 0 && reference.recoveries == 0);
+
+  std::cout << "kill run (crash mid-burst1 at delivery " << kill1
+            << ", mid-burst2 at " << kill2 << ")...\n";
+  const SoakRun killed = RunSoak({kill1, kill2});
+  CHECK(killed.kills == 2) << "expected 2 kills, injected " << killed.kills;
+  CHECK(killed.recoveries == 2)
+      << "expected 2 completed recoveries, got " << killed.recoveries;
+  CHECK(killed.dropped == 0 && reference.dropped == 0)
+      << "kBlock queues must not drop";
+
+  // Exactly-once under fire: the recovered run's result multiset must be
+  // identical to the undisturbed one.
+  std::vector<Tuple> ref_sorted = reference.results;
+  std::vector<Tuple> kill_sorted = killed.results;
+  std::sort(ref_sorted.begin(), ref_sorted.end());
+  std::sort(kill_sorted.begin(), kill_sorted.end());
+  CHECK(ref_sorted.size() == kill_sorted.size())
+      << "result count diverged: reference " << ref_sorted.size()
+      << " vs killed " << kill_sorted.size();
+  for (size_t i = 0; i < ref_sorted.size(); ++i) {
+    CHECK(ref_sorted[i] == kill_sorted[i])
+        << "result " << i << " diverged after recovery: "
+        << ref_sorted[i].ToString() << " vs " << kill_sorted[i].ToString();
+  }
+  std::cout << "result identity: " << ref_sorted.size()
+            << " aggregate outputs, exact match after 2 recoveries\n\n";
+
+  Table t({"phase", "elements", "rate_per_sec", "lat_count", "p50_us",
+           "p95_us", "p99_us", "p999_us", "max_us"});
+  for (size_t p = 0; p < kPhaseCount; ++p) {
+    const auto it = killed.phase_latency.find(static_cast<int64_t>(p));
+    const Histogram h =
+        it != killed.phase_latency.end() ? it->second : Histogram();
+    t.AddRow({kPhases[p].name, Table::Int(kPhases[p].count),
+              Table::Num(kPhases[p].rate_per_sec, 0), Table::Int(h.count()),
+              Table::Num(h.Percentile(0.50), 0),
+              Table::Num(h.Percentile(0.95), 0),
+              Table::Num(h.Percentile(0.99), 0),
+              Table::Num(h.Percentile(0.999), 0), Table::Num(h.max(), 0)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nkill run: " << Table::Num(killed.seconds, 2)
+            << " s wall (reference " << Table::Num(reference.seconds, 2)
+            << " s); last recovery " << killed.recovery_latency_micros
+            << " us, " << killed.replayed_elements
+            << " elements replayed\n";
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"bench\": \"soak\",\n"
+      << "  \"total_bids\": " << total << ",\n"
+      << "  \"epoch_interval\": " << kEpochInterval << ",\n"
+      << "  \"queue_bound\": " << kQueueBound << ",\n"
+      << "  \"kills\": " << killed.kills << ",\n"
+      << "  \"recoveries\": " << killed.recoveries << ",\n"
+      << "  \"recovery_latency_micros\": " << killed.recovery_latency_micros
+      << ",\n"
+      << "  \"replayed_elements\": " << killed.replayed_elements << ",\n"
+      << "  \"results\": " << ref_sorted.size() << ",\n"
+      << "  \"result_identity\": true,\n"
+      << "  \"reference_seconds\": " << reference.seconds << ",\n"
+      << "  \"kill_seconds\": " << killed.seconds << ",\n"
+      << "  \"phases\": [\n";
+  for (size_t p = 0; p < kPhaseCount; ++p) {
+    const auto it = killed.phase_latency.find(static_cast<int64_t>(p));
+    const Histogram h =
+        it != killed.phase_latency.end() ? it->second : Histogram();
+    out << "    {\"phase\": \"" << kPhases[p].name
+        << "\", \"elements\": " << kPhases[p].count
+        << ", \"rate_per_sec\": " << kPhases[p].rate_per_sec
+        << ", \"lat_count\": " << h.count()
+        << ", \"p50_us\": " << h.Percentile(0.50)
+        << ", \"p95_us\": " << h.Percentile(0.95)
+        << ", \"p99_us\": " << h.Percentile(0.99)
+        << ", \"p999_us\": " << h.Percentile(0.999)
+        << ", \"max_us\": " << h.max() << "}"
+        << (p + 1 < kPhaseCount ? "," : "") << "\n";
+  }
+  out << "  ]\n"
+      << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -128,9 +128,10 @@ Router* QueryBuilder::Route(Node* input, std::string name,
 }
 
 LatencySink* QueryBuilder::Latency(Node* input, std::string name,
-                                   size_t offset_attr, TimePoint epoch) {
-  LatencySink* sink =
-      graph_->Add<LatencySink>(std::move(name), offset_attr, epoch);
+                                   size_t offset_attr, TimePoint epoch,
+                                   std::optional<size_t> phase_attr) {
+  LatencySink* sink = graph_->Add<LatencySink>(std::move(name), offset_attr,
+                                               epoch, phase_attr);
   MustConnect(input, sink, 0);
   return sink;
 }

@@ -93,7 +93,8 @@ class QueryBuilder {
   CallbackSink* Callback(Node* input, std::string name,
                          std::function<void(const Tuple&, int)> fn);
   LatencySink* Latency(Node* input, std::string name, size_t offset_attr,
-                       TimePoint epoch);
+                       TimePoint epoch,
+                       std::optional<size_t> phase_attr = std::nullopt);
 
  private:
   void MustConnect(Node* from, Operator* to, int port);

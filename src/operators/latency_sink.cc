@@ -3,8 +3,11 @@
 namespace flexstream {
 
 LatencySink::LatencySink(std::string name, size_t offset_attr,
-                         TimePoint epoch)
-    : Sink(std::move(name)), offset_attr_(offset_attr), epoch_(epoch) {}
+                         TimePoint epoch, std::optional<size_t> phase_attr)
+    : Sink(std::move(name)),
+      offset_attr_(offset_attr),
+      epoch_(epoch),
+      phase_attr_(phase_attr) {}
 
 Histogram LatencySink::TakeHistogram() {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -13,24 +16,81 @@ Histogram LatencySink::TakeHistogram() {
   return h;
 }
 
+Histogram LatencySink::SnapshotHistogram() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return histogram_;
+}
+
+std::map<int64_t, Histogram> LatencySink::TakePhaseHistograms() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<int64_t, Histogram> out;
+  out.swap(phase_histograms_);
+  return out;
+}
+
 int64_t LatencySink::count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return histogram_.count();
+}
+
+namespace {
+struct LatencyState {
+  Histogram histogram;
+  std::map<int64_t, Histogram> phase_histograms;
+};
+}  // namespace
+
+OperatorSnapshot LatencySink::SnapshotState() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OperatorSnapshot s;
+  s.state = LatencyState{histogram_, phase_histograms_};
+  s.element_count = histogram_.count();
+  return s;
+}
+
+void LatencySink::RestoreState(const OperatorSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!snapshot.state.has_value()) {
+    histogram_.Reset();
+    phase_histograms_.clear();
+    return;
+  }
+  const auto& state = std::any_cast<const LatencyState&>(snapshot.state);
+  histogram_ = state.histogram;
+  phase_histograms_ = state.phase_histograms;
 }
 
 void LatencySink::Reset() {
   Sink::Reset();
   std::lock_guard<std::mutex> lock(mutex_);
   histogram_.Reset();
+  phase_histograms_.clear();
 }
 
 void LatencySink::Consume(const Tuple& tuple, int port) {
   (void)port;
-  const int64_t emit_offset = tuple.IntAt(offset_attr_);
+  const int64_t now_offset = ToMicros(Now() - epoch_);
   const double latency_micros =
-      static_cast<double>(ToMicros(Now() - epoch_) - emit_offset);
+      static_cast<double>(now_offset - tuple.IntAt(offset_attr_));
   std::lock_guard<std::mutex> lock(mutex_);
   histogram_.Add(latency_micros);
+  if (phase_attr_.has_value()) {
+    phase_histograms_[tuple.IntAt(*phase_attr_)].Add(latency_micros);
+  }
+}
+
+void LatencySink::ConsumeBatch(TupleBatch&& batch, int port) {
+  (void)port;
+  const int64_t now_offset = ToMicros(Now() - epoch_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Tuple& tuple : batch) {
+    const double latency_micros =
+        static_cast<double>(now_offset - tuple.IntAt(offset_attr_));
+    histogram_.Add(latency_micros);
+    if (phase_attr_.has_value()) {
+      phase_histograms_[tuple.IntAt(*phase_attr_)].Add(latency_micros);
+    }
+  }
 }
 
 }  // namespace flexstream

@@ -36,6 +36,10 @@ class TumblingAggregate : public Operator, public StatefulOperator {
 
   void Reset() override;
 
+  std::unique_ptr<Operator> CloneFresh(std::string name) const override {
+    return std::make_unique<TumblingAggregate>(std::move(name), options_);
+  }
+
   OperatorSnapshot SnapshotState() const override;
   void RestoreState(const OperatorSnapshot& snapshot) override;
 

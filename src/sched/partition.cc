@@ -1,6 +1,7 @@
 #include "sched/partition.h"
 
 #include "core/thread_scheduler.h"
+#include "operators/latency_sink.h"
 #include "util/logging.h"
 
 namespace flexstream {
@@ -111,6 +112,23 @@ std::string DescribePartitions(const std::vector<Partition*>& partitions) {
         const Operator* consumer = q->outputs()[0].target;
         if (consumer->fault_retries() > 0) {
           out += "(retries " + std::to_string(consumer->fault_retries()) + ")";
+        }
+        // End-to-end tail latency observed by a latency sink fed from this
+        // queue: a no-progress partition with a climbing p999 is drowning,
+        // one with a flat histogram is starved. Under GTS/OTS sinks are
+        // DI-coupled to the operator that produces their input (no queue in
+        // between), so when the consumer itself is not a latency sink, look
+        // one DI edge further.
+        const auto* lat = dynamic_cast<const LatencySink*>(consumer);
+        if (lat == nullptr) {
+          for (const auto& out_edge : consumer->outputs()) {
+            lat = dynamic_cast<const LatencySink*>(out_edge.target);
+            if (lat != nullptr) break;
+          }
+        }
+        if (lat != nullptr) {
+          const Histogram h = lat->SnapshotHistogram();
+          if (h.count() > 0) out += "(lat " + h.PercentilesSummary() + ")";
         }
       }
       if (q->last_barrier_epoch() > 0) {

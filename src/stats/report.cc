@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/query_graph.h"
+#include "operators/latency_sink.h"
 #include "operators/operator.h"
 #include "queue/queue_op.h"
 #include "recovery/recovery_manager.h"
@@ -125,6 +126,40 @@ std::string ShardImbalanceSummary(const QueryGraph& graph) {
   return os.str();
 }
 
+Table BuildLatencyTable(const QueryGraph& graph) {
+  Table t({"sink", "count", "mean_us", "p50_us", "p95_us", "p99_us",
+           "p999_us", "max_us"});
+  Histogram merged;
+  size_t sinks = 0;
+  auto add_row = [&t](const std::string& name, const Histogram& h) {
+    t.AddRow({name, Table::Int(h.count()), Table::Num(h.mean(), 1),
+              Table::Num(h.Percentile(0.50), 0),
+              Table::Num(h.Percentile(0.95), 0),
+              Table::Num(h.Percentile(0.99), 0),
+              Table::Num(h.Percentile(0.999), 0), Table::Num(h.max(), 0)});
+  };
+  for (const Node* node : graph.nodes()) {
+    const auto* sink = dynamic_cast<const LatencySink*>(node);
+    if (sink == nullptr) continue;
+    const Histogram h = sink->SnapshotHistogram();
+    add_row(sink->name(), h);
+    merged.Merge(h);
+    ++sinks;
+  }
+  if (sinks > 1) add_row("(all)", merged);
+  return t;
+}
+
+Histogram MergedLatencyHistogram(const QueryGraph& graph) {
+  Histogram merged;
+  for (const Node* node : graph.nodes()) {
+    if (const auto* sink = dynamic_cast<const LatencySink*>(node)) {
+      merged.Merge(sink->SnapshotHistogram());
+    }
+  }
+  return merged;
+}
+
 Table BuildRecoveryTable(const RecoveryManager& recovery) {
   Table t({"metric", "value"});
   const CheckpointCoordinator& coord = recovery.coordinator();
@@ -160,6 +195,11 @@ std::string StatsReport(const QueryGraph& graph) {
     os << "\n";
     shards.Print(os);
     os << ShardImbalanceSummary(graph);
+  }
+  Table latency = BuildLatencyTable(graph);
+  if (latency.row_count() > 0) {
+    os << "\n";
+    latency.Print(os);
   }
   return os.str();
 }

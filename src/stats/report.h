@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "util/histogram.h"
 #include "util/table.h"
 
 namespace flexstream {
@@ -40,6 +41,19 @@ Table BuildShardTable(const QueryGraph& graph);
 /// "shard group '<name>': N replicas, M routed, imbalance R (max/mean)".
 /// Empty string when the graph has no sharded operators.
 std::string ShardImbalanceSummary(const QueryGraph& graph);
+
+/// End-to-end latency percentiles, one row per LatencySink in the graph
+/// (count, mean and p50/p95/p99/p999/max in microseconds) plus — when the
+/// graph holds more than one latency sink — a final "(all)" row merging
+/// every sink's histogram into the engine-wide distribution. Snapshots are
+/// non-destructive, so the table can be printed mid-run (the watchdog's
+/// partition snapshots use the same source). Empty (headers only) when the
+/// graph has no LatencySink.
+Table BuildLatencyTable(const QueryGraph& graph);
+
+/// The engine-wide latency distribution: every LatencySink's histogram
+/// merged. Empty histogram when the graph has no LatencySink.
+Histogram MergedLatencyHistogram(const QueryGraph& graph);
 
 /// Checkpoint/recovery counters (metric/value rows): committed epoch,
 /// epochs committed, snapshots taken, committed state elements, replay

@@ -82,11 +82,20 @@ double Histogram::Percentile(double q) const {
 }
 
 std::string Histogram::Summary() const {
-  char buf[192];
-  std::snprintf(buf, sizeof(buf),
-                "count=%lld mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f",
-                static_cast<long long>(count_), mean(), Percentile(0.50),
-                Percentile(0.95), Percentile(0.99), max());
+  char buf[224];
+  std::snprintf(
+      buf, sizeof(buf),
+      "count=%lld mean=%.1f p50=%.1f p95=%.1f p99=%.1f p999=%.1f max=%.1f",
+      static_cast<long long>(count_), mean(), Percentile(0.50),
+      Percentile(0.95), Percentile(0.99), Percentile(0.999), max());
+  return buf;
+}
+
+std::string Histogram::PercentilesSummary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "p50=%.0f p95=%.0f p99=%.0f p999=%.0f",
+                Percentile(0.50), Percentile(0.95), Percentile(0.99),
+                Percentile(0.999));
   return buf;
 }
 

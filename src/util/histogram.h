@@ -31,10 +31,31 @@ class Histogram {
   /// Returns 0 for an empty histogram.
   double Percentile(double q) const;
 
-  /// "count=... mean=... p50=... p95=... p99=... max=..."
+  /// "count=... mean=... p50=... p95=... p99=... p999=... max=..."
   std::string Summary() const;
 
+  /// "p50=... p95=... p99=... p999=..." — the tail-latency quartet every
+  /// stats table and watchdog snapshot reports. Values in the histogram's
+  /// native unit (microseconds throughout the engine), printed with no
+  /// decimals.
+  std::string PercentilesSummary() const;
+
   void Reset();
+
+  /// Exact structural equality (buckets, count, sum, min, max). Two
+  /// histograms built by merging the same samples in any grouping compare
+  /// equal — the property the merge tests assert.
+  friend bool operator==(const Histogram& a, const Histogram& b) {
+    return a.count_ == b.count_ && a.sum_ == b.sum_ && a.min_ == b.min_ &&
+           a.max_ == b.max_ && a.buckets_ == b.buckets_;
+  }
+  friend bool operator!=(const Histogram& a, const Histogram& b) {
+    return !(a == b);
+  }
+
+  /// Largest value that still lands in a finite bucket; anything above
+  /// falls into the shared overflow bucket (tests pin this behavior).
+  static double MaxTrackable() { return 1e9; }
 
  private:
   static constexpr int kBucketsPerDecade = 32;

@@ -1,0 +1,181 @@
+#include "workload/nexmark.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace flexstream {
+namespace nexmark {
+namespace {
+
+// Approximate-Zipf rank in [1, n] from a uniform u in [0, 1): the inverse
+// CDF of the continuous Pareto envelope, rank = ceil(n^(1-s) scaled).
+// Rng::Zipf is exact but rebuilds its inverse-CDF table whenever (n, s)
+// changes — alternating the auction draw (num_auctions, auction_zipf) with
+// a bidder draw would rebuild it on *every* element — so the secondary
+// (bidder/seller) skew uses this closed form instead. Requires s < 1.
+int64_t SkewedRank(double u, int64_t n, double s) {
+  CHECK(s < 1.0) << "SkewedRank requires exponent < 1, got " << s;
+  const double x = std::pow(u, 1.0 / (1.0 - s));
+  int64_t rank = 1 + static_cast<int64_t>(x * static_cast<double>(n));
+  return rank > n ? n : rank;
+}
+
+}  // namespace
+
+Tuple MakeBid(const NexmarkConfig& config, int64_t index, AppTime ts,
+              Rng* rng) {
+  (void)index;
+  const int64_t auction = rng->Zipf(config.num_auctions, config.auction_zipf);
+  const int64_t bidder =
+      SkewedRank(rng->UniformDouble(), config.num_persons, config.person_zipf);
+  const int64_t price = rng->UniformInt(1, config.max_price);
+  return Tuple({Value(auction), Value(bidder), Value(price)}, ts);
+}
+
+Tuple MakeAuction(const NexmarkConfig& config, int64_t index, AppTime ts,
+                  Rng* rng) {
+  // Round-robin ids so after num_auctions elements every auction a bid can
+  // reference exists (the join's build side covers the probe key domain).
+  const int64_t id = 1 + (index % config.num_auctions);
+  const int64_t seller = rng->UniformInt(1, config.num_persons);
+  const int64_t category = rng->UniformInt(1, config.num_categories);
+  const int64_t reserve = rng->UniformInt(1, config.max_price);
+  return Tuple({Value(id), Value(seller), Value(category), Value(reserve)},
+               ts);
+}
+
+Tuple MakePerson(const NexmarkConfig& config, int64_t index, AppTime ts,
+                 Rng* rng) {
+  const int64_t id = 1 + index;
+  const int64_t city = rng->UniformInt(1, config.num_cities);
+  const int64_t state = rng->UniformInt(1, 50);
+  return Tuple({Value(id), Value(city), Value(state)}, ts);
+}
+
+RateSource::Generator BidGenerator(NexmarkConfig config) {
+  return [config](int64_t index, AppTime ts, Rng* rng) {
+    return MakeBid(config, index, ts, rng);
+  };
+}
+
+RateSource::Generator AuctionGenerator(NexmarkConfig config) {
+  return [config](int64_t index, AppTime ts, Rng* rng) {
+    return MakeAuction(config, index, ts, rng);
+  };
+}
+
+std::vector<Tuple> GenerateBids(const NexmarkConfig& config, uint64_t seed,
+                                int64_t count, AppTime spacing_micros) {
+  Rng rng(seed);
+  std::vector<Tuple> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    out.push_back(MakeBid(config, i, (i + 1) * spacing_micros, &rng));
+  }
+  return out;
+}
+
+std::vector<Tuple> GenerateAuctions(const NexmarkConfig& config,
+                                    uint64_t seed, int64_t count,
+                                    AppTime spacing_micros) {
+  Rng rng(seed);
+  std::vector<Tuple> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    out.push_back(MakeAuction(config, i, (i + 1) * spacing_micros, &rng));
+  }
+  return out;
+}
+
+double MeasuredFilterSelectivity(const NexmarkConfig& config,
+                                 const std::vector<Tuple>& bids) {
+  if (bids.empty()) return 0.0;
+  int64_t survivors = 0;
+  for (const Tuple& t : bids) {
+    if (t.IntAt(kBidAuction) % config.filter_modulus == 0) ++survivors;
+  }
+  return static_cast<double>(survivors) / static_cast<double>(bids.size());
+}
+
+QueryHandle BuildCurrencyQuery(QueryGraph* graph, const NexmarkConfig& config,
+                               const QueryOptions& options) {
+  QueryBuilder qb(graph);
+  QueryHandle h;
+  h.bids = qb.AddSource("nexmark_bids");
+  const double rate = config.exchange_rate;
+  // In-place price rewrite: arity (and any trailing emit-offset stamp) is
+  // preserved, so the latency sink downstream still finds its attribute.
+  MapOp* convert = qb.Map(h.bids, "q1_currency", [rate](const Tuple& t) {
+    Tuple out = t;
+    out.at(kBidPrice) =
+        Value(static_cast<double>(t.IntAt(kBidPrice)) * rate);
+    return out;
+  });
+  h.results = qb.CountSink(convert, "q1_out");
+  if (options.epoch) {
+    h.latency = qb.Latency(convert, "q1_lat", kBidArity, *options.epoch);
+  }
+  return h;
+}
+
+QueryHandle BuildFilterQuery(QueryGraph* graph, const NexmarkConfig& config,
+                             const QueryOptions& options) {
+  QueryBuilder qb(graph);
+  QueryHandle h;
+  h.bids = qb.AddSource("nexmark_bids");
+  const int64_t modulus = config.filter_modulus;
+  Selection* filter =
+      qb.Select(h.bids, "q2_filter", [modulus](const Tuple& t) {
+        return t.IntAt(kBidAuction) % modulus == 0;
+      });
+  h.results = qb.CountSink(filter, "q2_out");
+  if (options.epoch) {
+    h.latency = qb.Latency(filter, "q2_lat", kBidArity, *options.epoch);
+  }
+  return h;
+}
+
+QueryHandle BuildHotItemsQuery(QueryGraph* graph, const NexmarkConfig& config,
+                               const QueryOptions& options) {
+  QueryBuilder qb(graph);
+  QueryHandle h;
+  h.bids = qb.AddSource("nexmark_bids");
+  TumblingAggregate::Options agg;
+  agg.kind = AggregateKind::kCount;
+  agg.group_attr = kBidAuction;
+  agg.window_micros = config.hot_window_micros;
+  TumblingAggregate* hot = qb.Tumbling(h.bids, "q5_hot_items", agg);
+  h.shardable = hot;
+  h.results = qb.CountSink(hot, "q5_out");
+  if (options.epoch) {
+    // Aggregate outputs are new tuples without the input's stamp, so the
+    // sink taps the aggregate's input stream (see QueryHandle::latency).
+    h.latency = qb.Latency(h.bids, "q5_lat", kBidArity, *options.epoch);
+  }
+  return h;
+}
+
+QueryHandle BuildAuctionJoinQuery(QueryGraph* graph,
+                                  const NexmarkConfig& config,
+                                  const QueryOptions& options,
+                                  AppTime window_micros) {
+  (void)config;
+  QueryBuilder qb(graph);
+  QueryHandle h;
+  h.auctions = qb.AddSource("nexmark_auctions");
+  h.bids = qb.AddSource("nexmark_bids");
+  SymmetricHashJoin* join =
+      qb.HashJoin(h.auctions, h.bids, "q8_join", window_micros, kAuctionId,
+                  kBidAuction);
+  h.shardable = join;
+  h.results = qb.CountSink(join, "q8_out");
+  if (options.epoch) {
+    h.latency = qb.Latency(join, "q8_lat", kAuctionArity + kBidArity,
+                           *options.epoch);
+  }
+  return h;
+}
+
+}  // namespace nexmark
+}  // namespace flexstream

@@ -1,0 +1,178 @@
+// NEXMark-style auction/bid workload (the production-shaped macro
+// benchmark, ROADMAP item 5).
+//
+// NEXMark (Tucker et al.) models an online auction: persons register,
+// auctions open, and a heavy stream of bids — skewed toward a few hot
+// auctions and heavy bidders — flows against them. This file provides
+// deterministic, seeded generators for those streams plus four canonical
+// continuous queries expressed against the existing operator set:
+//
+//   currency  (Q1-style)  map every bid's price from dollars to euros;
+//   filter    (Q2-style)  select bids on a subset of auctions;
+//   hot_items (Q5-style)  per-auction bid counts over a tumbling window
+//                         (the grouped aggregate over Zipf keys — the
+//                         query operator sharding exists for);
+//   join      (Q8-style)  auctions x bids windowed equi-join on auction id.
+//
+// All attributes are integers, so the streams exercise the engine's hot
+// paths rather than string handling; skew comes from Rng::Zipf. Every
+// generator is a pure function of (seed, index, timestamp), which makes
+// streams byte-identical across runs — the determinism tests and the
+// real-engine-vs-simulator agreement tests rely on that.
+//
+// The same workload runs on the virtual-time simulator (src/sim): build a
+// query, compute the exact filter selectivity on a pregenerated stream
+// with MeasuredSelectivity(), stamp it onto the node metadata, and the
+// simulator's fractional-credit model reproduces the real engine's result
+// counts exactly (see tests/harness/sim_agreement_test.cc).
+
+#ifndef FLEXSTREAM_WORKLOAD_NEXMARK_H_
+#define FLEXSTREAM_WORKLOAD_NEXMARK_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "api/query_builder.h"
+#include "graph/query_graph.h"
+#include "operators/latency_sink.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "util/clock.h"
+#include "util/random.h"
+#include "workload/rate_source.h"
+
+namespace flexstream {
+namespace nexmark {
+
+// -- Schemas (attribute indices) -------------------------------------------
+
+/// Bid: {auction id, bidder (person) id, price}.
+inline constexpr size_t kBidAuction = 0;
+inline constexpr size_t kBidBidder = 1;
+inline constexpr size_t kBidPrice = 2;
+inline constexpr size_t kBidArity = 3;
+
+/// Auction: {auction id, seller (person) id, category, reserve price}.
+inline constexpr size_t kAuctionId = 0;
+inline constexpr size_t kAuctionSeller = 1;
+inline constexpr size_t kAuctionCategory = 2;
+inline constexpr size_t kAuctionReserve = 3;
+inline constexpr size_t kAuctionArity = 4;
+
+/// Person: {person id, city, state}.
+inline constexpr size_t kPersonId = 0;
+inline constexpr size_t kPersonCity = 1;
+inline constexpr size_t kPersonState = 2;
+inline constexpr size_t kPersonArity = 3;
+
+struct NexmarkConfig {
+  /// Id domains. Bids reference auctions/persons in [1, n].
+  int64_t num_auctions = 1'000;
+  int64_t num_persons = 500;
+  int64_t num_categories = 20;
+  int64_t num_cities = 100;
+  /// Zipf exponents: bid->auction skew (a few hot items take most bids)
+  /// and bid->bidder skew (heavy bidders).
+  double auction_zipf = 0.9;
+  double person_zipf = 0.7;
+  /// Prices are uniform in [1, max_price].
+  int64_t max_price = 10'000;
+  /// currency query: dollars -> euros.
+  double exchange_rate = 0.908;
+  /// filter query passes bids whose auction id % filter_modulus == 0
+  /// (≈ 1/filter_modulus of the *id domain*; the Zipf skew makes the
+  /// realized selectivity data-dependent — measure it, don't assume it).
+  int64_t filter_modulus = 8;
+  /// hot_items tumbling window length (application time).
+  AppTime hot_window_micros = 10'000;
+};
+
+// -- Generators ------------------------------------------------------------
+
+/// One bid/auction/person element. Deterministic in (config, rng state);
+/// `index` drives round-robin id assignment, `ts` becomes the tuple
+/// timestamp.
+Tuple MakeBid(const NexmarkConfig& config, int64_t index, AppTime ts,
+              Rng* rng);
+Tuple MakeAuction(const NexmarkConfig& config, int64_t index, AppTime ts,
+                  Rng* rng);
+Tuple MakePerson(const NexmarkConfig& config, int64_t index, AppTime ts,
+                 Rng* rng);
+
+/// RateSource-compatible generators (workload/rate_source.h).
+RateSource::Generator BidGenerator(NexmarkConfig config);
+RateSource::Generator AuctionGenerator(NexmarkConfig config);
+
+/// Pregenerated streams: element i carries timestamp (i + 1) *
+/// spacing_micros and is drawn from Rng(seed). Two calls with identical
+/// arguments return byte-identical streams (the determinism the
+/// sim-agreement and replay tests assert).
+std::vector<Tuple> GenerateBids(const NexmarkConfig& config, uint64_t seed,
+                                int64_t count, AppTime spacing_micros = 1);
+std::vector<Tuple> GenerateAuctions(const NexmarkConfig& config,
+                                    uint64_t seed, int64_t count,
+                                    AppTime spacing_micros = 1);
+
+/// Exact fraction of `bids` passing the filter query's predicate — the
+/// selectivity to stamp on the filter node so the simulator's fractional
+/// credits (floor(n * s)) equal the real engine's survivor count.
+double MeasuredFilterSelectivity(const NexmarkConfig& config,
+                                 const std::vector<Tuple>& bids);
+
+// -- Queries ---------------------------------------------------------------
+
+/// How a query is instrumented. When `epoch` is set, the bid source is
+/// expected to stamp the emit offset as a trailing attribute (RateSource
+/// stamp_emit_offset, or a manual Append on pregenerated tuples) and the
+/// query attaches a LatencySink reading it.
+struct QueryOptions {
+  /// Measure end-to-end latency against this epoch (requires stamped
+  /// input); unset = no latency sink.
+  std::optional<TimePoint> epoch;
+};
+
+/// A built query. Pointers are owned by the graph.
+struct QueryHandle {
+  Source* bids = nullptr;
+  Source* auctions = nullptr;  // join query only
+  /// The stateful operator worth sharding (hot_items aggregate / join);
+  /// nullptr for the stateless queries.
+  Operator* shardable = nullptr;
+  /// Counts the query's result stream.
+  CountingSink* results = nullptr;
+  /// End-to-end latency (only when QueryOptions::epoch was set). For
+  /// hot_items this observes the pre-aggregate stream — aggregate outputs
+  /// do not carry their triggering element's stamp — so it measures
+  /// source->operator-input delivery latency, which is where scheduling
+  /// policy shows up.
+  LatencySink* latency = nullptr;
+};
+
+/// currency (Q1): bids -> map(price *= exchange_rate) -> sinks.
+QueryHandle BuildCurrencyQuery(QueryGraph* graph, const NexmarkConfig& config,
+                               const QueryOptions& options);
+
+/// filter (Q2): bids -> select(auction % m == 0) -> sinks.
+QueryHandle BuildFilterQuery(QueryGraph* graph, const NexmarkConfig& config,
+                             const QueryOptions& options);
+
+/// hot_items (Q5): bids -> tumbling count per auction -> count sink; the
+/// latency sink (when enabled) taps the aggregate's input stream.
+QueryHandle BuildHotItemsQuery(QueryGraph* graph, const NexmarkConfig& config,
+                               const QueryOptions& options);
+
+/// join (Q8-style): auctions x bids -> SHJ on auction id over
+/// `window_micros` -> sinks. The join concatenates (auction attrs, bid
+/// attrs), so a stamped bid's emit offset lands at attribute
+/// kAuctionArity + kBidArity of the join output — where the latency sink
+/// reads it.
+QueryHandle BuildAuctionJoinQuery(QueryGraph* graph,
+                                  const NexmarkConfig& config,
+                                  const QueryOptions& options,
+                                  AppTime window_micros);
+
+}  // namespace nexmark
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_WORKLOAD_NEXMARK_H_

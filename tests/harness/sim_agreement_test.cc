@@ -17,6 +17,7 @@
 #include "api/query_builder.h"
 #include "api/stream_engine.h"
 #include "sim/simulator.h"
+#include "workload/nexmark.h"
 
 namespace flexstream {
 namespace {
@@ -115,6 +116,52 @@ TEST(SimAgreementTest, AgreementInvariantToSimulatorKnobs) {
       EXPECT_EQ(result->results, 100)
           << StrategyKindToString(strategy) << "/" << cpus << " cpus";
     }
+  }
+}
+
+TEST(SimAgreementTest, NexmarkFilterQueryAgreesWithRealEngine) {
+  // Production-shaped agreement (DESIGN.md §14): the NEXMark filter query
+  // over a pregenerated Zipf-skewed bid stream. The realized selectivity is
+  // data-dependent, so it is *measured* on the stream and stamped onto the
+  // filter node — then the simulator's fractional credits must reproduce
+  // the real engine's survivor count exactly.
+  nexmark::NexmarkConfig cfg;
+  const int64_t n = 10'000;
+  const std::vector<Tuple> bids = nexmark::GenerateBids(cfg, /*seed=*/42, n);
+  const double selectivity = nexmark::MeasuredFilterSelectivity(cfg, bids);
+  ASSERT_GT(selectivity, 0.0);
+
+  // Real scheduled execution.
+  int64_t real = -1;
+  {
+    QueryGraph graph;
+    nexmark::QueryHandle h = nexmark::BuildFilterQuery(&graph, cfg, {});
+    StreamEngine engine(&graph);
+    EngineOptions opt;
+    opt.mode = ExecutionMode::kGts;
+    ASSERT_TRUE(engine.Configure(opt).ok());
+    ASSERT_TRUE(engine.Start().ok());
+    for (const Tuple& bid : bids) h.bids->Push(bid);
+    h.bids->Close(n + 1);
+    engine.WaitUntilFinished();
+    real = h.results->count();
+  }
+  ASSERT_GT(real, 0);
+
+  // Virtual replay with the measured selectivity.
+  QueryGraph graph;
+  nexmark::QueryHandle h = nexmark::BuildFilterQuery(&graph, cfg, {});
+  for (Node* node : graph.nodes()) {
+    if (node == h.bids) continue;
+    node->SetCostMicros(node->name() == "q2_filter" ? 2.0 : 0.5);
+    node->SetSelectivity(node->name() == "q2_filter" ? selectivity : 1.0);
+  }
+  const std::unordered_map<const Node*, std::vector<SimPhase>> schedules = {
+      {h.bids, {{n, 50'000.0}}}};
+  for (auto make : {MakeGtsConfig, MakeOtsConfig}) {
+    auto result = Simulate(graph, schedules, make(graph), SimOptions());
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->results, real);
   }
 }
 

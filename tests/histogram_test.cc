@@ -1,0 +1,219 @@
+// Histogram hardening (DESIGN.md §14): merge associativity, interpolation
+// at exact bucket boundaries, tail percentiles against known synthetic
+// distributions, empty/single-sample edges, and the shared overflow bucket
+// at the nine-decade cap. The log-bucketed layout has ~4–8% relative
+// resolution, so distribution tests assert relative error, not equality.
+
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace flexstream {
+namespace {
+
+// -- Edges -------------------------------------------------------------------
+
+TEST(HistogramEdgeTest, EmptyReportsZeroEverywhere) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_EQ(h.Percentile(0.999), 0.0);
+  EXPECT_EQ(h.Percentile(1.0), 0.0);
+}
+
+TEST(HistogramEdgeTest, SingleSampleIsEveryPercentile) {
+  Histogram h;
+  h.Add(137.0);
+  EXPECT_EQ(h.count(), 1);
+  for (double q : {0.0, 0.25, 0.5, 0.95, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(q), 137.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.min(), 137.0);
+  EXPECT_DOUBLE_EQ(h.max(), 137.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 137.0);
+}
+
+TEST(HistogramEdgeTest, ResetRestoresEmptyState) {
+  Histogram h;
+  h.Add(5.0);
+  h.Add(500.0);
+  h.Reset();
+  EXPECT_EQ(h, Histogram());
+}
+
+// -- Equality ----------------------------------------------------------------
+
+TEST(HistogramEqualityTest, SameSamplesCompareEqual) {
+  Histogram a;
+  Histogram b;
+  for (double v : {1.0, 10.0, 100.0, 12345.0}) {
+    a.Add(v);
+    b.Add(v);
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(HistogramEqualityTest, DifferingMinMaxBreakEqualityWithinOneBucket) {
+  // 100.0 and 101.0 land in the same log bucket, but min/max/sum differ —
+  // structural equality must see that.
+  Histogram a;
+  Histogram b;
+  a.Add(100.0);
+  b.Add(101.0);
+  EXPECT_NE(a, b);
+}
+
+// -- Merge -------------------------------------------------------------------
+
+TEST(HistogramMergeTest, MergeIsAssociativeAndEqualsCombinedAdds) {
+  // Integer-valued samples keep the running double sums exact (well below
+  // 2^53), so associativity can assert full structural equality — sum_
+  // included — instead of tolerating fp reassociation noise.
+  Rng rng(99);
+  std::vector<double> samples;
+  for (int i = 0; i < 3000; ++i) {
+    samples.push_back(static_cast<double>(rng.UniformInt(1, 2'000'000)));
+  }
+
+  Histogram all;
+  Histogram parts[3];
+  for (size_t i = 0; i < samples.size(); ++i) {
+    all.Add(samples[i]);
+    parts[i % 3].Add(samples[i]);
+  }
+
+  // (a + b) + c
+  Histogram left = parts[0];
+  left.Merge(parts[1]);
+  left.Merge(parts[2]);
+  // a + (b + c)
+  Histogram right = parts[1];
+  right.Merge(parts[2]);
+  Histogram right_assoc = parts[0];
+  right_assoc.Merge(right);
+
+  EXPECT_EQ(left, all);
+  EXPECT_EQ(right_assoc, all);
+  EXPECT_EQ(left, right_assoc);
+  EXPECT_DOUBLE_EQ(left.Percentile(0.999), all.Percentile(0.999));
+}
+
+TEST(HistogramMergeTest, MergeWithEmptyIsIdentityBothWays) {
+  Histogram h;
+  h.Add(3.0);
+  h.Add(777.0);
+  const Histogram before = h;
+  Histogram empty;
+  h.Merge(empty);
+  EXPECT_EQ(h, before);
+  empty.Merge(h);
+  EXPECT_EQ(empty, before);
+}
+
+// -- Percentile interpolation ------------------------------------------------
+
+TEST(HistogramPercentileTest, ExactBucketBoundaryCollapsesToTheValue) {
+  // 10.0 is an exact bucket lower bound (decade boundary). With min == max
+  // the interpolation window clamps to a point: every quantile is exact.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Add(10.0);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(q), 10.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramPercentileTest, InterpolationStaysWithinSampleRange) {
+  Histogram h;
+  h.Add(100.0);
+  h.Add(140.0);  // same decade, a few buckets apart
+  for (double q : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_GE(h.Percentile(q), 100.0) << "q=" << q;
+    EXPECT_LE(h.Percentile(q), 140.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramPercentileTest, UniformRampTailPercentiles) {
+  // 1..20000 uniformly: p(q) ~ q * 20000. Bucket resolution bounds the
+  // relative error at ~1/32 of a decade (~7.5%).
+  Histogram h;
+  for (int i = 1; i <= 20000; ++i) h.Add(static_cast<double>(i));
+  const struct {
+    double q;
+    double expected;
+  } cases[] = {{0.50, 10000.0}, {0.95, 19000.0}, {0.99, 19800.0},
+               {0.999, 19980.0}};
+  for (const auto& c : cases) {
+    const double got = h.Percentile(c.q);
+    EXPECT_NEAR(got, c.expected, 0.08 * c.expected) << "q=" << c.q;
+  }
+  // The top quantile interpolates inside the final bucket; it may sit a
+  // hair under max but never above it.
+  EXPECT_NEAR(h.Percentile(1.0), 20000.0, 0.001 * 20000.0);
+  EXPECT_LE(h.Percentile(1.0), 20000.0);
+}
+
+TEST(HistogramPercentileTest, ExponentialTailMatchesTheory) {
+  // Exponential(mean m): p999 = -ln(0.001) * m ≈ 6.9078 m. Tolerance
+  // covers bucket resolution plus sampling noise at the 0.1% tail.
+  Rng rng(7);
+  const double mean = 1000.0;
+  Histogram h;
+  for (int i = 0; i < 100000; ++i) h.Add(rng.Exponential(mean));
+  const double p999 = h.Percentile(0.999);
+  const double expected = -std::log(0.001) * mean;
+  EXPECT_NEAR(p999, expected, 0.15 * expected);
+  const double p50 = h.Percentile(0.50);
+  EXPECT_NEAR(p50, std::log(2.0) * mean, 0.15 * std::log(2.0) * mean);
+}
+
+// -- Overflow at the nine-decade cap ----------------------------------------
+
+TEST(HistogramOverflowTest, ValuesAboveCapShareTheOverflowBucket) {
+  // Everything above MaxTrackable() collapses into one bucket: the
+  // histogram keeps exact count/min/max but loses resolution between
+  // over-cap values — the percentile for the overflow region reports the
+  // bucket's clamped lower edge, never something below the cap.
+  Histogram h;
+  h.Add(5e8);  // finite bucket
+  h.Add(2e9);  // overflow
+  h.Add(8e9);  // overflow
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.min(), 5e8);
+  EXPECT_DOUBLE_EQ(h.max(), 8e9);
+  const double p50 = h.Percentile(0.50);
+  EXPECT_GE(p50, Histogram::MaxTrackable());
+  EXPECT_LE(p50, 8e9);
+}
+
+TEST(HistogramOverflowTest, CapIsTheLastFiniteBoundary) {
+  // A value at the cap and one far above it are distinguishable only via
+  // min/max — their bucket counts collide in the overflow bucket, so two
+  // such histograms merged in either order stay equal (associativity holds
+  // through the overflow path too).
+  Histogram a;
+  a.Add(2e9);
+  a.Add(9e9);
+  Histogram b;
+  b.Add(9e9);
+  b.Add(2e9);
+  EXPECT_EQ(a, b);
+}
+
+TEST(HistogramSummaryTest, SummariesIncludeP999) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i));
+  EXPECT_NE(h.Summary().find("p999="), std::string::npos);
+  EXPECT_NE(h.PercentilesSummary().find("p999="), std::string::npos);
+  EXPECT_NE(h.PercentilesSummary().find("p50="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexstream

@@ -1,0 +1,240 @@
+// Tail-latency truth (DESIGN.md §14): the emit-offset stamp is an
+// ordinary trailing attribute, so it must survive every transport the
+// engine has — the batch path and the sharded ordered merge — byte for
+// byte; the LatencySink must measure on the batch path without unbundling;
+// and the stats layer (BuildLatencyTable / MergedLatencyHistogram /
+// DiagnosticSnapshot) must surface per-sink and engine-wide percentiles.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "api/query_builder.h"
+#include "api/shard.h"
+#include "api/stream_engine.h"
+#include "graph/query_graph.h"
+#include "operators/latency_sink.h"
+#include "operators/selection.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "stats/report.h"
+#include "util/clock.h"
+
+namespace flexstream {
+namespace {
+
+constexpr auto kWait = std::chrono::seconds(60);
+
+/// Two-attribute tuples {payload, stamp} with a recognizable stamp value.
+std::vector<Tuple> StampedFeed(int64_t n) {
+  std::vector<Tuple> feed;
+  feed.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    feed.push_back(Tuple({Value(i), Value(1'000'000 + i)}, i + 1));
+  }
+  return feed;
+}
+
+/// Runs feed through src -> select(all) -> collect under `options`,
+/// optionally sharding the selection, and returns the collected output.
+std::vector<Tuple> RunStampedPipeline(const std::vector<Tuple>& feed,
+                                      EngineOptions options, size_t shards) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("src");
+  Selection* sel = qb.Select(src, "sel", [](const Tuple&) { return true; });
+  CollectingSink* out = qb.CollectSink(sel, "out");
+  if (shards > 1) {
+    ShardOptions so;
+    so.shards = shards;
+    so.ordered = true;
+    EXPECT_TRUE(ShardOperator(&graph, sel, so).status().ok());
+  }
+  StreamEngine engine(&graph);
+  EXPECT_TRUE(engine.Configure(options).ok());
+  EXPECT_TRUE(engine.Start().ok());
+  for (const Tuple& t : feed) src->Push(t);
+  src->Close(static_cast<AppTime>(feed.size()) + 1);
+  EXPECT_TRUE(engine.WaitUntilFinishedFor(kWait));
+  EXPECT_TRUE(engine.RunResult().ok());
+  return out->TakeResults();
+}
+
+TEST(LatencyStampTest, StampSurvivesBatch64Unchanged) {
+  const std::vector<Tuple> feed = StampedFeed(500);
+  EngineOptions options;
+  options.mode = ExecutionMode::kGts;
+  options.emit_batch_size = 64;
+  const std::vector<Tuple> got = RunStampedPipeline(feed, options, 1);
+  ASSERT_EQ(got.size(), feed.size());
+  for (size_t i = 0; i < feed.size(); ++i) {
+    EXPECT_EQ(got[i], feed[i]) << "batched element " << i << " mutated";
+  }
+}
+
+TEST(ShardStampTest, StampSurvivesFourShardOrderedMergeUnchanged) {
+  const std::vector<Tuple> feed = StampedFeed(600);
+  EngineOptions options;
+  options.mode = ExecutionMode::kOts;
+  const std::vector<Tuple> got = RunStampedPipeline(feed, options, 4);
+  ASSERT_EQ(got.size(), feed.size());
+  // Ordered merge restores the exact split-point sequence, so the output
+  // is the input — order, payload, and stamp attribute all unchanged.
+  for (size_t i = 0; i < feed.size(); ++i) {
+    EXPECT_EQ(got[i], feed[i]) << "sharded element " << i << " mutated";
+  }
+}
+
+TEST(ShardStampTest, StampSurvivesShardsAndBatchesCombined) {
+  const std::vector<Tuple> feed = StampedFeed(600);
+  EngineOptions options;
+  options.mode = ExecutionMode::kOts;
+  options.emit_batch_size = 32;
+  const std::vector<Tuple> got = RunStampedPipeline(feed, options, 4);
+  ASSERT_EQ(got.size(), feed.size());
+  for (size_t i = 0; i < feed.size(); ++i) {
+    EXPECT_EQ(got[i], feed[i]) << "element " << i << " mutated";
+  }
+}
+
+TEST(LatencySinkBatchTest, BatchPathCountsEveryElementOnce) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("src");
+  const TimePoint epoch = Now();
+  LatencySink* sink = qb.Latency(src, "lat", /*offset_attr=*/1, epoch);
+  StreamEngine engine(&graph);
+  EngineOptions options;
+  options.mode = ExecutionMode::kGts;
+  options.emit_batch_size = 64;
+  ASSERT_TRUE(engine.Configure(options).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  const int64_t n = 300;
+  for (int64_t i = 0; i < n; ++i) {
+    src->Push(
+        Tuple({Value(i), Value(ToMicros(Now() - epoch))}, i + 1));
+  }
+  src->Close(n + 1);
+  ASSERT_TRUE(engine.WaitUntilFinishedFor(kWait));
+  ASSERT_TRUE(engine.RunResult().ok());
+  const Histogram h = sink->SnapshotHistogram();
+  EXPECT_EQ(h.count(), n);
+  EXPECT_GE(h.min(), 0.0) << "latency against a just-taken stamp";
+  EXPECT_EQ(sink->count(), n);
+}
+
+TEST(LatencySinkPhaseTest, PhaseHistogramsPartitionTheStream) {
+  // Queue-free graph: Push executes the sink synchronously (DI).
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("src");
+  const TimePoint epoch = Now();
+  LatencySink* sink = qb.Latency(src, "lat", /*offset_attr=*/2, epoch,
+                                 /*phase_attr=*/1);
+  const int64_t per_phase[] = {5, 7, 11};
+  int64_t pushed = 0;
+  for (int64_t phase = 0; phase < 3; ++phase) {
+    for (int64_t i = 0; i < per_phase[phase]; ++i, ++pushed) {
+      src->Push(Tuple({Value(pushed), Value(phase),
+                       Value(ToMicros(Now() - epoch))},
+                      pushed + 1));
+    }
+  }
+  EXPECT_EQ(sink->count(), pushed);
+  const Histogram total = sink->SnapshotHistogram();
+  std::map<int64_t, Histogram> phases = sink->TakePhaseHistograms();
+  ASSERT_EQ(phases.size(), 3u);
+  int64_t phase_total = 0;
+  for (int64_t phase = 0; phase < 3; ++phase) {
+    ASSERT_TRUE(phases.count(phase)) << "phase " << phase;
+    EXPECT_EQ(phases[phase].count(), per_phase[phase]);
+    phase_total += phases[phase].count();
+  }
+  EXPECT_EQ(phase_total, total.count());
+  // Take drained the phase map but not the total histogram.
+  EXPECT_TRUE(sink->TakePhaseHistograms().empty());
+  EXPECT_EQ(sink->count(), pushed);
+}
+
+TEST(LatencySinkSnapshotTest, SnapshotRestoreRewindsTheHistograms) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("src");
+  const TimePoint epoch = Now();
+  LatencySink* sink = qb.Latency(src, "lat", /*offset_attr=*/2, epoch,
+                                 /*phase_attr=*/1);
+  auto push = [&](int64_t i, int64_t phase) {
+    src->Push(Tuple({Value(i), Value(phase),
+                     Value(ToMicros(Now() - epoch))},
+                    i + 1));
+  };
+  for (int64_t i = 0; i < 10; ++i) push(i, 0);
+  const OperatorSnapshot snap = sink->SnapshotState();
+  EXPECT_EQ(snap.element_count, 10);
+  for (int64_t i = 10; i < 25; ++i) push(i, 1);
+  EXPECT_EQ(sink->count(), 25);
+  sink->Reset();
+  EXPECT_EQ(sink->count(), 0);
+  sink->RestoreState(snap);
+  EXPECT_EQ(sink->count(), 10);
+  std::map<int64_t, Histogram> phases = sink->TakePhaseHistograms();
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].count(), 10);
+}
+
+TEST(LatencyReportTest, LatencyTableHasPerSinkAndMergedRows) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* a = qb.AddSource("a");
+  Source* b = qb.AddSource("b");
+  const TimePoint epoch = Now();
+  qb.Latency(a, "lat_a", 1, epoch);
+  qb.Latency(b, "lat_b", 1, epoch);
+  for (int64_t i = 0; i < 4; ++i) {
+    a->Push(Tuple({Value(i), Value(ToMicros(Now() - epoch))}, i + 1));
+  }
+  for (int64_t i = 0; i < 6; ++i) {
+    b->Push(Tuple({Value(i), Value(ToMicros(Now() - epoch))}, i + 1));
+  }
+  const Table t = BuildLatencyTable(graph);
+  // One row per sink plus the "(all)" merged row.
+  EXPECT_EQ(t.row_count(), 3u);
+  const Histogram merged = MergedLatencyHistogram(graph);
+  EXPECT_EQ(merged.count(), 10);
+  const std::string report = StatsReport(graph);
+  EXPECT_NE(report.find("p999_us"), std::string::npos);
+  EXPECT_NE(report.find("(all)"), std::string::npos);
+  EXPECT_NE(report.find("lat_a"), std::string::npos);
+}
+
+TEST(LatencyReportTest, DiagnosticSnapshotShowsSinkPercentiles) {
+  // GTS decouples operators but DI-couples sinks to their producer, so the
+  // watchdog reports the sink's percentiles on the queue feeding that
+  // producer (src -> [queue] -> sel -> lat).
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("src");
+  Selection* sel = qb.Select(src, "sel", [](const Tuple&) { return true; });
+  const TimePoint epoch = Now();
+  qb.Latency(sel, "lat", 1, epoch);
+  StreamEngine engine(&graph);
+  EngineOptions options;
+  options.mode = ExecutionMode::kGts;
+  ASSERT_TRUE(engine.Configure(options).ok());
+  ASSERT_TRUE(engine.Start().ok());
+  for (int64_t i = 0; i < 50; ++i) {
+    src->Push(Tuple({Value(i), Value(ToMicros(Now() - epoch))}, i + 1));
+  }
+  src->Close(51);
+  ASSERT_TRUE(engine.WaitUntilFinishedFor(kWait));
+  ASSERT_TRUE(engine.RunResult().ok());
+  const std::string snapshot = engine.DiagnosticSnapshot();
+  EXPECT_NE(snapshot.find("lat p50="), std::string::npos)
+      << "watchdog snapshot missing latency summary:\n" << snapshot;
+  EXPECT_NE(snapshot.find("p999="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexstream

@@ -1,0 +1,209 @@
+// NEXMark workload tests (DESIGN.md §14): generator determinism (same seed
+// -> byte-identical streams, RateSource-driven == pregenerated), domain
+// validity, and exact result-count oracles for the canonical queries run on
+// a queue-free (synchronous DI) graph.
+
+#include "workload/nexmark.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "api/query_builder.h"
+#include "graph/query_graph.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "util/random.h"
+#include "workload/rate_source.h"
+
+namespace flexstream {
+namespace nexmark {
+namespace {
+
+TEST(NexmarkGeneratorTest, SameSeedIsByteIdentical) {
+  const NexmarkConfig config;
+  const std::vector<Tuple> a = GenerateBids(config, /*seed=*/42, 3000);
+  const std::vector<Tuple> b = GenerateBids(config, /*seed=*/42, 3000);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "bid " << i;
+    EXPECT_EQ(a[i].timestamp(), b[i].timestamp()) << "bid " << i;
+  }
+  const std::vector<Tuple> other = GenerateBids(config, /*seed=*/43, 3000);
+  EXPECT_NE(a, other) << "different seeds must give different streams";
+}
+
+TEST(NexmarkGeneratorTest, AuctionStreamIsDeterministicToo) {
+  const NexmarkConfig config;
+  const std::vector<Tuple> a = GenerateAuctions(config, 7, 500, 10);
+  const std::vector<Tuple> b = GenerateAuctions(config, 7, 500, 10);
+  EXPECT_EQ(a, b);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].timestamp(), static_cast<AppTime>(10 * (i + 1)));
+  }
+}
+
+TEST(NexmarkGeneratorTest, BidAttributesStayInDomain) {
+  NexmarkConfig config;
+  config.num_auctions = 50;
+  config.num_persons = 20;
+  config.max_price = 100;
+  const std::vector<Tuple> bids = GenerateBids(config, 11, 5000);
+  for (const Tuple& bid : bids) {
+    EXPECT_GE(bid.IntAt(kBidAuction), 1);
+    EXPECT_LE(bid.IntAt(kBidAuction), config.num_auctions);
+    EXPECT_GE(bid.IntAt(kBidBidder), 1);
+    EXPECT_LE(bid.IntAt(kBidBidder), config.num_persons);
+    EXPECT_GE(bid.IntAt(kBidPrice), 1);
+    EXPECT_LE(bid.IntAt(kBidPrice), config.max_price);
+    EXPECT_EQ(bid.arity(), kBidArity);
+  }
+}
+
+TEST(NexmarkGeneratorTest, RateSourceDrivenStreamMatchesPregenerated) {
+  // Constant pacing at 1e6/s advances app time by exactly 1 us per element
+  // and draws nothing from the rng, so a RateSource running BidGenerator
+  // from seed s replays GenerateBids(s, n, /*spacing=*/1) byte for byte.
+  const NexmarkConfig config;
+  const int64_t n = 2000;
+  const uint64_t seed = 42;
+  const std::vector<Tuple> pregen = GenerateBids(config, seed, n);
+
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("bids");
+  CollectingSink* out = qb.CollectSink(src, "out");
+  RateSource::Options options;
+  options.phases = {{n, 1e6}};
+  options.pacing = RateSource::Pacing::kConstant;
+  options.seed = seed;
+  options.time_scale = 1e6;
+  RateSource driver(src, options, BidGenerator(config));
+  driver.Run();
+
+  const std::vector<Tuple> live = out->TakeResults();
+  ASSERT_EQ(live.size(), pregen.size());
+  for (size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(live[i], pregen[i]) << "bid " << i;
+    EXPECT_EQ(live[i].timestamp(), pregen[i].timestamp()) << "bid " << i;
+  }
+}
+
+TEST(NexmarkGeneratorTest, ZipfSkewConcentratesBidsOnHotAuctions) {
+  NexmarkConfig config;
+  config.num_auctions = 100;
+  config.auction_zipf = 0.9;
+  const std::vector<Tuple> bids = GenerateBids(config, 5, 20000);
+  std::vector<int64_t> per_auction(config.num_auctions, 0);
+  for (const Tuple& bid : bids) ++per_auction[bid.IntAt(kBidAuction) - 1];
+  std::sort(per_auction.rbegin(), per_auction.rend());
+  int64_t top10 = 0;
+  for (int i = 0; i < 10; ++i) top10 += per_auction[i];
+  // Under Zipf(0.9) the top 10% of auctions draw far more than their
+  // uniform share (10%) of the bids.
+  EXPECT_GT(top10, static_cast<int64_t>(bids.size() / 4));
+}
+
+// -- Query oracles -----------------------------------------------------------
+
+TEST(NexmarkQueryTest, FilterSurvivorsMatchThePredicateExactly) {
+  const NexmarkConfig config;
+  const std::vector<Tuple> bids = GenerateBids(config, 42, 4000);
+  int64_t expected = 0;
+  for (const Tuple& bid : bids) {
+    if (bid.IntAt(kBidAuction) % config.filter_modulus == 0) ++expected;
+  }
+  ASSERT_GT(expected, 0);
+
+  QueryGraph graph;
+  QueryHandle q = BuildFilterQuery(&graph, config, {});
+  for (const Tuple& bid : bids) q.bids->Push(bid);
+  q.bids->Close(static_cast<AppTime>(bids.size()) + 1);
+  EXPECT_EQ(q.results->count(), expected);
+
+  // The measured selectivity is exactly survivors / n — what the simulator
+  // agreement harness stamps onto the filter node.
+  const double s = MeasuredFilterSelectivity(config, bids);
+  EXPECT_DOUBLE_EQ(s, static_cast<double>(expected) /
+                          static_cast<double>(bids.size()));
+}
+
+TEST(NexmarkQueryTest, CurrencyConversionPreservesCardinality) {
+  const NexmarkConfig config;
+  const std::vector<Tuple> bids = GenerateBids(config, 42, 3000);
+  QueryGraph graph;
+  QueryHandle q = BuildCurrencyQuery(&graph, config, {});
+  for (const Tuple& bid : bids) q.bids->Push(bid);
+  q.bids->Close(static_cast<AppTime>(bids.size()) + 1);
+  EXPECT_EQ(q.results->count(), static_cast<int64_t>(bids.size()));
+}
+
+TEST(NexmarkQueryTest, HotItemsEmitsOneRowPerWindowAndAuction) {
+  const NexmarkConfig config;  // hot_window_micros = 10'000
+  const std::vector<Tuple> bids = GenerateBids(config, 42, 30000);
+  std::set<std::pair<AppTime, int64_t>> expected;
+  for (const Tuple& bid : bids) {
+    expected.emplace(bid.timestamp() / config.hot_window_micros,
+                     bid.IntAt(kBidAuction));
+  }
+  ASSERT_GT(expected.size(), 1u) << "stream must span several windows";
+
+  QueryGraph graph;
+  QueryHandle q = BuildHotItemsQuery(&graph, config, {});
+  for (const Tuple& bid : bids) q.bids->Push(bid);
+  q.bids->Close(static_cast<AppTime>(bids.size()) + 1);
+  EXPECT_EQ(q.results->count(), static_cast<int64_t>(expected.size()));
+}
+
+TEST(NexmarkQueryTest, AuctionJoinMatchesBruteForceWindowedJoin) {
+  NexmarkConfig config;
+  config.num_auctions = 100;
+  const AppTime kWindow = 500;
+  const std::vector<Tuple> bids = GenerateBids(config, 42, 2000);
+  const std::vector<Tuple> auctions =
+      GenerateAuctions(config, 8, 200, /*spacing_micros=*/10);
+
+  // Oracle: symmetric sliding window — every (auction, bid) pair with equal
+  // auction id and |ts difference| <= window joins exactly once.
+  int64_t expected = 0;
+  for (const Tuple& a : auctions) {
+    for (const Tuple& b : bids) {
+      if (a.IntAt(kAuctionId) == b.IntAt(kBidAuction) &&
+          std::llabs(a.timestamp() - b.timestamp()) <= kWindow) {
+        ++expected;
+      }
+    }
+  }
+  ASSERT_GT(expected, 0);
+
+  QueryGraph graph;
+  QueryHandle q = BuildAuctionJoinQuery(&graph, config, {}, kWindow);
+  // Interleave the two streams in global timestamp order, as a scheduler
+  // delivering timestamp-monotone streams would.
+  size_t ai = 0;
+  size_t bi = 0;
+  while (ai < auctions.size() || bi < bids.size()) {
+    const bool take_auction =
+        bi == bids.size() ||
+        (ai < auctions.size() &&
+         auctions[ai].timestamp() <= bids[bi].timestamp());
+    if (take_auction) {
+      q.auctions->Push(auctions[ai++]);
+    } else {
+      q.bids->Push(bids[bi++]);
+    }
+  }
+  const AppTime end = static_cast<AppTime>(
+      std::max<int64_t>(bids.size(), 10 * auctions.size())) + 1;
+  q.auctions->Close(end);
+  q.bids->Close(end);
+  EXPECT_EQ(q.results->count(), expected);
+}
+
+}  // namespace
+}  // namespace nexmark
+}  // namespace flexstream

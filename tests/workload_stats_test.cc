@@ -1,0 +1,183 @@
+// Statistical validation of the workload generators (DESIGN.md §14):
+// chi-square goodness-of-fit for Rng::Zipf at several (n, s) pairs and for
+// the Poisson arrival process a RateSource phase schedule produces. Seeds
+// are fixed, so these are deterministic regression tests — a failure means
+// the generator changed, not that the dice were unlucky (thresholds sit at
+// the alpha = 0.001 critical values with headroom).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "api/query_builder.h"
+#include "graph/query_graph.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "util/random.h"
+#include "workload/rate_source.h"
+
+namespace flexstream {
+namespace {
+
+/// Pearson chi-square statistic over observed vs expected bin counts.
+double ChiSquare(const std::vector<int64_t>& observed,
+                 const std::vector<double>& expected) {
+  EXPECT_EQ(observed.size(), expected.size());
+  double stat = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    EXPECT_GE(expected[i], 5.0) << "bin " << i << " too thin for chi-square";
+    const double d = static_cast<double>(observed[i]) - expected[i];
+    stat += d * d / expected[i];
+  }
+  return stat;
+}
+
+/// Draws `samples` Zipf(n, s) values and chi-squares them against the exact
+/// Zipfian pmf p(k) = k^-s / H_{n,s}, one bin per rank.
+double ZipfChiSquare(int64_t n, double s, uint64_t seed, int64_t samples) {
+  Rng rng(seed);
+  std::vector<int64_t> observed(n, 0);
+  for (int64_t i = 0; i < samples; ++i) {
+    const int64_t k = rng.Zipf(n, s);
+    EXPECT_GE(k, 1);
+    EXPECT_LE(k, n);
+    ++observed[k - 1];
+  }
+  double harmonic = 0.0;
+  for (int64_t k = 1; k <= n; ++k) harmonic += std::pow(k, -s);
+  std::vector<double> expected(n);
+  for (int64_t k = 1; k <= n; ++k) {
+    expected[k - 1] =
+        static_cast<double>(samples) * std::pow(k, -s) / harmonic;
+  }
+  return ChiSquare(observed, expected);
+}
+
+// alpha = 0.001 chi-square critical values: df=9 -> 27.88, df=19 -> 43.82.
+// Seeds are fixed, so any margin below the threshold is reproducible.
+
+TEST(ZipfGoodnessOfFitTest, ModerateSkewTenKeys) {
+  EXPECT_LT(ZipfChiSquare(10, 0.8, /*seed=*/101, 30000), 27.88);
+}
+
+TEST(ZipfGoodnessOfFitTest, HeavySkewTenKeys) {
+  EXPECT_LT(ZipfChiSquare(10, 1.2, /*seed=*/202, 30000), 27.88);
+}
+
+TEST(ZipfGoodnessOfFitTest, LightSkewTwentyKeys) {
+  EXPECT_LT(ZipfChiSquare(20, 0.5, /*seed=*/303, 30000), 43.82);
+}
+
+TEST(ZipfGoodnessOfFitTest, SkewActuallySkews) {
+  // Sanity beyond fit: the head rank's share must grow with s.
+  const int64_t samples = 20000;
+  auto head_share = [&](double s) {
+    Rng rng(7);
+    int64_t head = 0;
+    for (int64_t i = 0; i < samples; ++i) {
+      if (rng.Zipf(50, s) == 1) ++head;
+    }
+    return static_cast<double>(head) / static_cast<double>(samples);
+  };
+  const double light = head_share(0.5);
+  const double heavy = head_share(1.2);
+  EXPECT_GT(heavy, light + 0.1);
+}
+
+/// Runs a RateSource schedule time-scaled to effectively no wall delay and
+/// returns the collected application timestamps.
+std::vector<AppTime> CollectAppTimes(RateSource::Options options) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("src");
+  CollectingSink* out = qb.CollectSink(src, "out");
+  options.time_scale = 1e9;  // wall pacing collapses; app schedule intact
+  RateSource driver(src, options, RateSource::UniformInt(0, 1));
+  driver.Run();
+  std::vector<AppTime> times;
+  for (const Tuple& t : out->TakeResults()) times.push_back(t.timestamp());
+  return times;
+}
+
+TEST(ArrivalProcessTest, PoissonGapsAreExponential) {
+  // One phase at 10k/s: mean gap 100 us. Chi-square the observed app-time
+  // gaps against Exponential(100) over 10 equal-probability bins (edges at
+  // -mean ln(1 - k/10)); df = 9, alpha = 0.001 critical value 27.88. The
+  // +-0.5 us llround() quantization is negligible at this mean.
+  RateSource::Options options;
+  options.phases = {{20000, 10000.0}};
+  options.pacing = RateSource::Pacing::kPoisson;
+  options.seed = 4242;
+  const std::vector<AppTime> times = CollectAppTimes(options);
+  ASSERT_EQ(times.size(), 20000u);
+
+  const double mean = 100.0;
+  const int kBins = 10;
+  std::vector<double> edges;  // upper edges of bins 0..kBins-2
+  for (int k = 1; k < kBins; ++k) {
+    edges.push_back(-mean * std::log(1.0 - static_cast<double>(k) / kBins));
+  }
+  std::vector<int64_t> observed(kBins, 0);
+  double gap_sum = 0.0;
+  for (size_t i = 1; i < times.size(); ++i) {
+    const double gap = static_cast<double>(times[i] - times[i - 1]);
+    gap_sum += gap;
+    int bin = 0;
+    while (bin < kBins - 1 && gap >= edges[bin]) ++bin;
+    ++observed[bin];
+  }
+  const double n = static_cast<double>(times.size() - 1);
+  const std::vector<double> expected(kBins, n / kBins);
+  EXPECT_LT(ChiSquare(observed, expected), 27.88);
+  EXPECT_NEAR(gap_sum / n, mean, 0.05 * mean);
+}
+
+TEST(ArrivalProcessTest, ConstantPacingGapsAreExact) {
+  RateSource::Options options;
+  options.phases = {{1000, 10000.0}};
+  options.pacing = RateSource::Pacing::kConstant;
+  const std::vector<AppTime> times = CollectAppTimes(options);
+  ASSERT_EQ(times.size(), 1000u);
+  for (size_t i = 1; i < times.size(); ++i) {
+    EXPECT_EQ(times[i] - times[i - 1], 100) << "gap " << i;
+  }
+}
+
+TEST(ArrivalProcessTest, PhaseScheduleMeansMatchPerPhaseRates) {
+  // Burst schedule shaped like the soak: each leg's observed mean gap must
+  // match its own rate — the schedule switches rates, it doesn't smear them.
+  RateSource::Options options;
+  options.phases = {{4000, 10000.0}, {8000, 40000.0}, {4000, 10000.0}};
+  options.pacing = RateSource::Pacing::kPoisson;
+  options.seed = 99;
+  const std::vector<AppTime> times = CollectAppTimes(options);
+  ASSERT_EQ(times.size(), 16000u);
+  const struct {
+    size_t begin, end;
+    double mean_gap;
+  } legs[] = {{1, 4000, 100.0}, {4001, 12000, 25.0}, {12001, 16000, 100.0}};
+  for (const auto& leg : legs) {
+    double sum = 0.0;
+    for (size_t i = leg.begin; i < leg.end; ++i) {
+      sum += static_cast<double>(times[i] - times[i - 1]);
+    }
+    const double mean =
+        sum / static_cast<double>(leg.end - leg.begin);
+    EXPECT_NEAR(mean, leg.mean_gap, 0.08 * leg.mean_gap)
+        << "leg [" << leg.begin << ", " << leg.end << ")";
+  }
+}
+
+TEST(ArrivalProcessTest, SameSeedSameSchedule) {
+  RateSource::Options options;
+  options.phases = {{2000, 50000.0}};
+  options.pacing = RateSource::Pacing::kPoisson;
+  options.seed = 777;
+  const std::vector<AppTime> a = CollectAppTimes(options);
+  const std::vector<AppTime> b = CollectAppTimes(options);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace flexstream
