@@ -52,11 +52,18 @@ Result<ShardHandle> ShardOperator(QueryGraph* graph, Operator* op,
 
   // Clone all replicas before touching topology, so an unsupported
   // operator (CloneFresh -> nullptr) leaves the graph unchanged.
+  // Generation tag: graph nodes are never destroyed, so a resized cell's
+  // previous generation stays (detached) in the graph; tagged names keep
+  // every generation's nodes distinguishable.
+  const std::string gen_prefix =
+      options.generation > 0
+          ? op->name() + ".g" + std::to_string(options.generation)
+          : op->name();
   std::vector<std::unique_ptr<Operator>> clones;
   clones.reserve(options.shards);
   for (size_t i = 0; i < options.shards; ++i) {
     std::unique_ptr<Operator> clone =
-        op->CloneFresh(op->name() + ".shard" + std::to_string(i));
+        op->CloneFresh(gen_prefix + ".shard" + std::to_string(i));
     if (clone == nullptr) {
       return Status::Unimplemented("operator does not support CloneFresh: " +
                                    node->DebugString());
@@ -85,7 +92,7 @@ Result<ShardHandle> ShardOperator(QueryGraph* graph, Operator* op,
                                 ? options.key_attrs[0]
                                 : options.key_attrs[p];
     std::string split_name =
-        op->name() +
+        gen_prefix +
         (in_edges.size() == 1 ? ".split" : ".split" + std::to_string(p));
     Router* split =
         graph->Add<Router>(std::move(split_name), Router::HashAttr(key_attr));
@@ -97,8 +104,9 @@ Result<ShardHandle> ShardOperator(QueryGraph* graph, Operator* op,
     handle.replicas.push_back(graph->Adopt(std::move(clone)));
   }
   handle.merge = graph->Add<MergeOperator>(
-      op->name() + ".merge", options.ordered ? MergeOperator::Order::kSequence
+      gen_prefix + ".merge", options.ordered ? MergeOperator::Order::kSequence
                                              : MergeOperator::Order::kArrival);
+  handle.options = options;
 
   // Rewire. Individual steps can only fail on an inconsistent input graph,
   // hence CHECK rather than unwinding half a rewrite.
@@ -121,6 +129,108 @@ Result<ShardHandle> ShardOperator(QueryGraph* graph, Operator* op,
   // repartitioning dispatches on it) but never executes. The recovery
   // manager skips detached nodes when arming checkpoints.
   return handle;
+}
+
+Result<ShardHandle> ResizeShard(QueryGraph* graph, const ShardHandle& handle,
+                                size_t new_shards) {
+  if (graph == nullptr || handle.original == nullptr ||
+      handle.merge == nullptr || handle.replicas.empty() ||
+      handle.splits.empty()) {
+    return Status::InvalidArgument(
+        "ResizeShard refused: handle does not describe a sharded cell "
+        "(build one with ShardOperator first)");
+  }
+  if (new_shards == 0) {
+    return Status::InvalidArgument(
+        "ResizeShard refused: shard count must be >= 1");
+  }
+  if (!graph->Queues().empty()) {
+    return Status::FailedPrecondition(
+        "ResizeShard refused for group '" + handle.original->name() +
+        "': the graph still contains " +
+        std::to_string(graph->Queues().size()) +
+        " decoupling queue(s), so the engine is configured and elements "
+        "may be in flight; call StreamEngine::Deconfigure first");
+  }
+  if (new_shards == handle.replicas.size()) return handle;
+
+  // Snapshot + repartition *before* touching topology, so an operator type
+  // without repartition logic refuses cleanly instead of losing state.
+  std::vector<OperatorSnapshot> carried;
+  bool stateful = dynamic_cast<StatefulOperator*>(handle.replicas[0]) != nullptr;
+  if (stateful) {
+    std::vector<OperatorSnapshot> snaps;
+    snaps.reserve(handle.replicas.size());
+    for (Operator* replica : handle.replicas) {
+      auto* so = dynamic_cast<StatefulOperator*>(replica);
+      if (so == nullptr) {
+        return Status::Internal(
+            "ResizeShard: replica set mixes stateful and stateless "
+            "operators: " + replica->DebugString());
+      }
+      snaps.push_back(so->SnapshotState());
+    }
+    Result<std::vector<OperatorSnapshot>> repartitioned =
+        RepartitionShardSnapshots(*handle.original, snaps, new_shards);
+    if (!repartitioned.ok()) {
+      return Status::FailedPrecondition(
+          "ResizeShard refused for group '" + handle.original->name() +
+          "': state cannot be repartitioned (" +
+          repartitioned.status().message() + ")");
+    }
+    carried = std::move(*repartitioned);
+  }
+
+  // At quiescence every produced element has reached the merge; release
+  // anything its ordered lanes still gate, in exact sequence order, before
+  // the cell is torn down.
+  handle.merge->FlushPendingQuiesced();
+
+  // Reverse the rewrite: reconnect upstream -> original -> downstream.
+  // Each split's one input edge is the upstream producer; the port the
+  // original consumed on is the port the split fed the replicas on.
+  Operator* op = handle.original;
+  for (Router* split : handle.splits) {
+    CHECK(split->fan_in() == 1) << split->DebugString();
+    const Node::InEdge up = split->inputs()[0];
+    CHECK(!split->outputs().empty()) << split->DebugString();
+    const int original_port = split->outputs()[0].port;
+    CHECK_OK(graph->Disconnect(up.source, split, up.port));
+    for (const Node::OutEdge& out : std::vector<Node::OutEdge>(
+             split->outputs().begin(), split->outputs().end())) {
+      CHECK_OK(graph->Disconnect(split, out.target, out.port));
+    }
+    CHECK_OK(graph->Connect(up.source, op, original_port));
+  }
+  for (Operator* replica : handle.replicas) {
+    CHECK_OK(graph->Disconnect(replica, handle.merge, 0));
+    // Detached for good: clear the shard tags so stats tables and chaos
+    // targeting never mistake a retired generation for a live one.
+    replica->SetShardInfo("", -1);
+    replica->SetPlacementSolo(false);
+    replica->SetStampEmitSeq(false);
+  }
+  for (const Node::OutEdge& out : std::vector<Node::OutEdge>(
+           handle.merge->outputs().begin(), handle.merge->outputs().end())) {
+    CHECK_OK(graph->Disconnect(handle.merge, out.target, out.port));
+    CHECK_OK(graph->Connect(op, out.target, out.port));
+  }
+
+  ShardOptions new_options = handle.options;
+  new_options.shards = new_shards;
+  new_options.generation = handle.options.generation + 1;
+  Result<ShardHandle> rebuilt = ShardOperator(graph, op, new_options);
+  if (!rebuilt.ok()) return rebuilt.status();
+
+  if (stateful) {
+    CHECK_EQ(carried.size(), new_shards);
+    for (size_t i = 0; i < new_shards; ++i) {
+      auto* so = dynamic_cast<StatefulOperator*>(rebuilt->replicas[i]);
+      CHECK(so != nullptr) << rebuilt->replicas[i]->DebugString();
+      so->RestoreState(carried[i]);
+    }
+  }
+  return rebuilt;
 }
 
 Result<std::vector<OperatorSnapshot>> RepartitionShardSnapshots(

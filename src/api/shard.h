@@ -51,6 +51,13 @@ struct ShardOptions {
   /// arrival-order merge (nondeterministic interleaving, no buffering).
   /// Ordered requires a single-input operator.
   bool ordered = true;
+  /// Rewrite generation, reflected in the split/replica/merge names
+  /// ("op.shard0" at generation 0, "op.g2.shard0" at generation 2). Graph
+  /// nodes are never destroyed, so each ResizeShard leaves the previous
+  /// generation's nodes detached in the graph; distinct names keep
+  /// diagnostics and kill-by-name test machinery unambiguous. Callers
+  /// normally leave this at 0 — ResizeShard bumps it internally.
+  int generation = 0;
 };
 
 /// What ShardOperator created, for wiring further test machinery (chaos
@@ -60,6 +67,9 @@ struct ShardHandle {
   std::vector<Router*> splits;           // one per input port
   std::vector<Operator*> replicas;       // size == options.shards
   MergeOperator* merge = nullptr;
+  /// The options the cell was built with; ResizeShard reuses the key
+  /// attributes and merge order and bumps the generation.
+  ShardOptions options;
 };
 
 /// Rewrites `graph` to execute `op` as `options.shards` key-partitioned
@@ -79,6 +89,25 @@ Result<ShardHandle> ShardOperator(QueryGraph* graph, Operator* op,
 Result<std::vector<OperatorSnapshot>> RepartitionShardSnapshots(
     const Operator& prototype, const std::vector<OperatorSnapshot>& snapshots,
     size_t new_n);
+
+/// Live shard-count change (the SLO controller's rung-3 actuation).
+/// Rebuilds the shard cell of `handle` with `new_shards` replicas,
+/// carrying operator state across: the current replicas' states are
+/// snapshotted, repartitioned via RepartitionShardSnapshots, and restored
+/// into the fresh replicas. Stateless replicas (no StatefulOperator
+/// interface) rebuild without state carry.
+///
+/// Contract: the graph must be quiescent and *deconfigured* — sources
+/// paused, the engine's decoupling queues drained and removed
+/// (StreamEngine::Deconfigure), so every produced element has flowed
+/// through the merge. The old generation's split/replica/merge nodes stay
+/// graph-owned but fully detached (their shard tags are cleared); the
+/// returned handle describes the new generation. Refusals name the
+/// blocking condition and leave the graph untouched, except that the old
+/// merge's pending lanes are flushed downstream first (that flush is
+/// required for any resize and is harmless on its own).
+Result<ShardHandle> ResizeShard(QueryGraph* graph, const ShardHandle& handle,
+                                size_t new_shards);
 
 }  // namespace flexstream
 

@@ -284,6 +284,11 @@ Status StreamEngine::BuildExecutors(const EngineOptions& options) {
       hmts_ = std::make_unique<HmtsExecutor>(std::move(specs), options.ts,
                                              options.partition);
       hmts_->SetRunStatus(&run_status_);
+      // Rebuilds (recovery, SwitchTo) keep the controller's stall
+      // annotation on the fresh level-3 scheduler.
+      if (diagnostic_annotator_ != nullptr) {
+        hmts_->thread_scheduler().SetStallAnnotator(diagnostic_annotator_);
+      }
       return Status::Ok();
     }
   }
@@ -476,6 +481,15 @@ bool StreamEngine::AttemptRecovery() {
   const uint64_t epoch = recovery_->coordinator().committed_epoch();
   LOG(WARNING) << "operator failure — recovering from committed epoch "
                << epoch << ": " << run_status_.first().message();
+  // The SLO controller polls this flag and suspends actuation for the
+  // duration of the rebuild (pause -> restore -> restart -> replay).
+  // Raising it under the actuation mutex hand-shakes with the live
+  // actuation hooks: they hold the mutex for a whole actuation and refuse
+  // once the flag is up, so no actuation races the executor teardown.
+  {
+    std::lock_guard<std::mutex> lock(actuation_mutex_);
+    recovering_.store(true, std::memory_order_release);
+  }
   // Unwedge any producer blocked on a bounded queue (sticky until the
   // queues reset below), then quiesce the source threads and the workers.
   for (QueueOp* q : queues_) q->CancelProducerWaits();
@@ -488,6 +502,7 @@ bool StreamEngine::AttemptRecovery() {
   if (!s.ok()) {
     LOG(ERROR) << "recovery restart failed: " << s.message();
     recovery_->ResumeSources();
+    recovering_.store(false, std::memory_order_release);
     return false;
   }
   recovery_->ReplaySources();
@@ -495,6 +510,7 @@ bool StreamEngine::AttemptRecovery() {
   recovery_->FinishAttempt(
       std::chrono::duration_cast<std::chrono::microseconds>(Now() - start)
           .count());
+  recovering_.store(false, std::memory_order_release);
   return true;
 }
 
@@ -508,8 +524,96 @@ std::string StreamEngine::DiagnosticSnapshot() {
   if (gts_ != nullptr) partitions = gts_->Partitions();
   if (ots_ != nullptr) partitions = ots_->Partitions();
   if (hmts_ != nullptr) partitions = hmts_->Partitions();
-  if (partitions.empty()) return "  (no scheduled partitions)\n";
-  return DescribePartitions(partitions);
+  std::string report = partitions.empty() ? "  (no scheduled partitions)\n"
+                                          : DescribePartitions(partitions);
+  if (diagnostic_annotator_ != nullptr) {
+    const std::string note = diagnostic_annotator_();
+    if (!note.empty()) report += "  " + note + "\n";
+  }
+  return report;
+}
+
+void StreamEngine::SetDiagnosticAnnotator(
+    std::function<std::string()> annotator) {
+  diagnostic_annotator_ = std::move(annotator);
+  if (hmts_ != nullptr) {
+    hmts_->thread_scheduler().SetStallAnnotator(diagnostic_annotator_);
+  }
+}
+
+Status StreamEngine::SetMaxRunningThreads(int max_running) {
+  std::lock_guard<std::mutex> lock(actuation_mutex_);
+  if (recovering()) {
+    return Status::FailedPrecondition(
+        "SetMaxRunningThreads refused: a recovery attempt is in flight; "
+        "retry after it completes");
+  }
+  if (!configured_) {
+    return Status::FailedPrecondition(
+        "SetMaxRunningThreads refused: engine is not configured");
+  }
+  if (max_running < 1) {
+    return Status::InvalidArgument(
+        "SetMaxRunningThreads refused: max_running must be >= 1, got " +
+        std::to_string(max_running));
+  }
+  if (options_.mode != ExecutionMode::kHmts || hmts_ == nullptr) {
+    return Status::FailedPrecondition(
+        std::string("SetMaxRunningThreads refused: execution mode is ") +
+        ExecutionModeToString(options_.mode) +
+        " (the level-3 slot pool exists only under hmts)");
+  }
+  hmts_->thread_scheduler().SetMaxRunning(max_running);
+  // Persist so a recovery rebuild (BuildExecutors from options_) keeps it.
+  options_.ts.max_running = max_running;
+  return Status::Ok();
+}
+
+Status StreamEngine::SetEmitBatchSizeLive(size_t batch_size) {
+  std::lock_guard<std::mutex> lock(actuation_mutex_);
+  if (recovering()) {
+    return Status::FailedPrecondition(
+        "SetEmitBatchSizeLive refused: a recovery attempt is in flight; "
+        "retry after it completes");
+  }
+  if (!configured_) {
+    return Status::FailedPrecondition(
+        "SetEmitBatchSizeLive refused: engine is not configured");
+  }
+  if (batch_size == 0) batch_size = 1;
+  for (Node* node : graph_->nodes()) {
+    if (Source* source = dynamic_cast<Source*>(node)) {
+      source->RequestEmitBatchSize(batch_size);
+    }
+  }
+  for (QueueOp* queue : queues_) queue->SetBatchDelivery(batch_size > 1);
+  options_.emit_batch_size = batch_size;
+  return Status::Ok();
+}
+
+Status StreamEngine::SetOverloadPolicyLive(OverloadPolicy policy) {
+  std::lock_guard<std::mutex> lock(actuation_mutex_);
+  if (recovering()) {
+    return Status::FailedPrecondition(
+        "SetOverloadPolicyLive refused: a recovery attempt is in flight; "
+        "retry after it completes");
+  }
+  if (!configured_) {
+    return Status::FailedPrecondition(
+        "SetOverloadPolicyLive refused: engine is not configured");
+  }
+  if (options_.queue_max_elements == 0) {
+    return Status::FailedPrecondition(
+        "SetOverloadPolicyLive refused: queues are unbounded "
+        "(queue_max_elements == 0), so there is no overload decision to "
+        "govern");
+  }
+  for (QueueOp* queue : queues_) {
+    Status s = queue->SetOverloadPolicyLive(policy);
+    if (!s.ok()) return s;
+  }
+  options_.overload_policy = policy;
+  return Status::Ok();
 }
 
 int64_t StreamEngine::DroppedElements() const {
@@ -535,11 +639,26 @@ void StreamEngine::Stop() {
 }
 
 Status StreamEngine::SwitchTo(const EngineOptions& options) {
-  if (!configured_) return Status::FailedPrecondition("not configured");
+  if (!configured_) {
+    return Status::FailedPrecondition(
+        std::string("SwitchTo(-> ") + ExecutionModeToString(options.mode) +
+        ") refused: engine is not configured; call Configure first");
+  }
+  if (recovering()) {
+    return Status::FailedPrecondition(
+        std::string("SwitchTo(") + ExecutionModeToString(options_.mode) +
+        " -> " + ExecutionModeToString(options.mode) +
+        ") refused: a recovery attempt is in flight; retry after it "
+        "completes");
+  }
   if (recovery_ != nullptr) {
     return Status::FailedPrecondition(
-        "cannot switch configurations while checkpointing is armed; "
-        "Deconfigure first");
+        std::string("SwitchTo(") + ExecutionModeToString(options_.mode) +
+        " -> " + ExecutionModeToString(options.mode) +
+        ") refused: checkpointing is armed (committed epoch " +
+        std::to_string(recovery_->coordinator().committed_epoch()) +
+        "); a switch would discard barrier alignment and replay buffers — "
+        "call Deconfigure first");
   }
   const bool was_started = started_;
   Stop();

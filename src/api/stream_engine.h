@@ -28,7 +28,10 @@
 #ifndef FLEXSTREAM_API_STREAM_ENGINE_H_
 #define FLEXSTREAM_API_STREAM_ENGINE_H_
 
+#include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -145,8 +148,42 @@ class StreamEngine {
   void Stop();
 
   /// Runtime re-configuration; see the class comment for the safety
-  /// contract of structural switches.
+  /// contract of structural switches. Refusals return a structured Status
+  /// naming the blocking condition (not configured / checkpointing armed /
+  /// recovery in flight) — the SLO controller drives this path
+  /// programmatically and logs the message verbatim.
   Status SwitchTo(const EngineOptions& options);
+
+  // -- Runtime actuation hooks (src/control/ SLO controller) ---------------
+
+  /// Resizes the level-3 slot pool at runtime (kHmts only; rung 1 of the
+  /// degradation ladder). Safe while running and while recovery is armed.
+  /// Persists into options() so recovery rebuilds keep the new size.
+  Status SetMaxRunningThreads(int max_running);
+
+  /// Changes the emit batch size live (rung 2): sources apply the new size
+  /// at their next Push (via Source::RequestEmitBatchSize) and every
+  /// placed queue's downstream delivery granularity follows. Safe while
+  /// running; per-tuple and batch delivery are result-identical.
+  Status SetEmitBatchSizeLive(size_t batch_size);
+
+  /// Flips the overload policy of every bounded placed queue live
+  /// (rung 4; kBlock <-> kShedNewest only). Fails — naming the queue —
+  /// if any queue refuses (unbounded, or a kShedOldest configuration).
+  Status SetOverloadPolicyLive(OverloadPolicy policy);
+
+  /// True while AttemptRecovery is rebuilding the run (pause, restore,
+  /// restart, replay). The controller suspends actuation during this
+  /// window and resumes after the restore.
+  bool recovering() const {
+    return recovering_.load(std::memory_order_acquire);
+  }
+
+  /// Installs a callback whose text is appended to DiagnosticSnapshot()
+  /// and to watchdog stall reports (via the level-3 scheduler's stall
+  /// annotator, re-applied across executor rebuilds). The controller
+  /// registers its rung/state line here. nullptr detaches.
+  void SetDiagnosticAnnotator(std::function<std::string()> annotator);
 
   /// Removes every queue from the graph (queues must be drained),
   /// restoring the logical queue-free topology. Called automatically by
@@ -228,6 +265,12 @@ class StreamEngine {
   EngineOptions options_;
   bool configured_ = false;
   bool started_ = false;
+  std::atomic<bool> recovering_{false};
+  /// Serializes the live actuation hooks against AttemptRecovery's flag
+  /// raise, so an in-flight actuation always completes before the
+  /// executor teardown starts (and later ones refuse cleanly).
+  std::mutex actuation_mutex_;
+  std::function<std::string()> diagnostic_annotator_;
 
   std::vector<QueueOp*> queues_;
   std::vector<Sink*> sinks_;

@@ -1,0 +1,46 @@
+// Injectable time source for the SLO controller (DESIGN.md §15).
+//
+// The controller's hysteresis machinery — minimum dwell between actions,
+// consecutive-calm-interval counting — is all expressed against this
+// clock, never against SteadyClock directly. Production uses
+// SteadyControlClock (a thin shim over util/clock.h Now()); unit tests
+// and the src/sim agreement cases use VirtualControlClock and drive
+// control intervals by Advance(), so every ladder property (escalation
+// order, no-oscillation, dwell enforcement) is tested in virtual time
+// with zero sleeps.
+
+#ifndef FLEXSTREAM_CONTROL_CONTROL_CLOCK_H_
+#define FLEXSTREAM_CONTROL_CONTROL_CLOCK_H_
+
+#include "util/clock.h"
+
+namespace flexstream {
+
+class ControlClock {
+ public:
+  virtual ~ControlClock() = default;
+  virtual TimePoint Now() = 0;
+};
+
+/// The production clock: real steady time.
+class SteadyControlClock : public ControlClock {
+ public:
+  TimePoint Now() override { return flexstream::Now(); }
+};
+
+/// Deterministic test clock. Starts at the steady-clock epoch and only
+/// moves when told to. Not thread-safe — virtual-time tests are
+/// single-threaded by construction (they call TickOnce directly rather
+/// than running the controller's background thread).
+class VirtualControlClock : public ControlClock {
+ public:
+  TimePoint Now() override { return now_; }
+  void Advance(Duration d) { now_ += d; }
+
+ private:
+  TimePoint now_{};
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_CONTROL_CONTROL_CLOCK_H_

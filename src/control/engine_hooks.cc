@@ -1,0 +1,74 @@
+#include "control/engine_hooks.h"
+
+#include <cmath>
+
+#include "graph/query_graph.h"
+#include "operators/latency_sink.h"
+
+namespace flexstream {
+
+EngineMetricsProbe::EngineMetricsProbe(StreamEngine* engine,
+                                       const QueryGraph* graph,
+                                       std::vector<const LatencySink*> sinks)
+    : engine_(engine), graph_(graph), sinks_(std::move(sinks)) {}
+
+ControlMetrics EngineMetricsProbe::Sample() {
+  ControlMetrics m;
+  const TimePoint now = Now();
+
+  // Per-interval latency: merge every sink's lifetime histogram, then
+  // difference against the previous sample's merge. Non-destructive, so
+  // the stats tables keep seeing the full-run distribution.
+  Histogram merged;
+  if (sinks_.empty()) {
+    for (const Node* node : graph_->nodes()) {
+      if (const auto* sink = dynamic_cast<const LatencySink*>(node)) {
+        merged.Merge(sink->SnapshotHistogram());
+      }
+    }
+  } else {
+    for (const LatencySink* sink : sinks_) {
+      merged.Merge(sink->SnapshotHistogram());
+    }
+  }
+  const Histogram delta = merged.DeltaSince(previous_);
+  previous_ = merged;
+  m.interval_count = delta.count();
+  m.interval_p99_micros = delta.count() > 0 ? delta.Percentile(0.99) : 0.0;
+  if (!first_sample_ && delta.count() > 0) {
+    const double secs = ToSeconds(now - last_sample_time_);
+    if (secs > 0.0) {
+      m.throughput_per_sec = static_cast<double>(delta.count()) / secs;
+    }
+  }
+  first_sample_ = false;
+  last_sample_time_ = now;
+
+  // Hottest-stage utilization from the measured statistics EWMAs:
+  // rho(v) = c(v) / d(v), the paper's Section 5.1.2 load model. Sources
+  // and queues carry no processing cost of their own; detached nodes
+  // (retired shard generations, sharded prototypes) see no arrivals and
+  // report d(v) = inf, so they drop out naturally.
+  for (const Node* node : graph_->nodes()) {
+    if (node->is_source() || node->is_queue()) continue;
+    const double cost = node->CostMicros();
+    const double interarrival = node->InterarrivalMicros();
+    if (!(cost > 0.0) || !std::isfinite(interarrival) ||
+        !(interarrival > 0.0)) {
+      continue;
+    }
+    const double rho = cost / interarrival;
+    if (rho > m.max_utilization) {
+      m.max_utilization = rho;
+      m.hottest_stage = node->name();
+    }
+  }
+
+  m.backlog = engine_->QueuedElements();
+  const int64_t dropped = engine_->DroppedElements();
+  m.dropped_delta = dropped - previous_dropped_;
+  previous_dropped_ = dropped;
+  return m;
+}
+
+}  // namespace flexstream

@@ -12,7 +12,22 @@ namespace flexstream {
 ThreadScheduler::ThreadScheduler(Options options) : options_(options) {
   max_running_ = options_.max_running > 0
                      ? options_.max_running
-                     : std::max(1u, std::thread::hardware_concurrency());
+                     : static_cast<int>(
+                           std::max(1u, std::thread::hardware_concurrency()));
+  max_running_mirror_.store(max_running_, std::memory_order_relaxed);
+}
+
+void ThreadScheduler::SetMaxRunning(int max_running) {
+  CHECK_GE(max_running, 1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (max_running == max_running_) return;
+  max_running_ = max_running;
+  max_running_mirror_.store(max_running, std::memory_order_relaxed);
+  // Growing: hand the new slots to queued waiters right away. Shrinking:
+  // nothing to do here — running partitions finish their quanta and the
+  // smaller budget throttles re-acquisition (Rebalance grants nothing
+  // while running_count_ >= max_running_).
+  Rebalance(Now());
 }
 
 ThreadScheduler::~ThreadScheduler() { StopWatchdog(); }
@@ -39,6 +54,16 @@ void ThreadScheduler::StopWatchdog() {
 std::string ThreadScheduler::LastStallReport() const {
   std::lock_guard<std::mutex> lock(watchdog_mutex_);
   return last_stall_report_;
+}
+
+void ThreadScheduler::SetStallAnnotator(
+    std::function<std::string()> annotator) {
+  std::lock_guard<std::mutex> lock(watchdog_mutex_);
+  stall_annotator_ =
+      annotator == nullptr
+          ? nullptr
+          : std::make_shared<const std::function<std::string()>>(
+                std::move(annotator));
 }
 
 void ThreadScheduler::WatchdogLoop() {
@@ -69,10 +94,16 @@ void ThreadScheduler::WatchdogLoop() {
       }
     }
     if (any_stalled) {
-      const std::string report = DescribePartitions(watched_);
+      std::string report = DescribePartitions(watched_);
       stall_events_.fetch_add(1, std::memory_order_relaxed);
       {
         std::lock_guard<std::mutex> lock(watchdog_mutex_);
+        // Append the controller annotation (current ladder rung, last
+        // action) so a stuck run shows what the controller last did.
+        if (stall_annotator_ != nullptr) {
+          const std::string note = (*stall_annotator_)();
+          if (!note.empty()) report += "  " + note + "\n";
+        }
         last_stall_report_ = report;
       }
       LOG(WARNING) << "watchdog: partition(s) with queued work made no "

@@ -24,6 +24,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -92,8 +94,17 @@ class ThreadScheduler {
 
   int running_count() const;
   int waiting_count() const;
-  int max_running() const { return max_running_; }
+  int max_running() const {
+    return max_running_mirror_.load(std::memory_order_relaxed);
+  }
   const Options& options() const { return options_; }
+
+  /// Runtime slot-pool resize (the SLO controller's rung-1 actuation).
+  /// Growing takes effect immediately (queued waiters are granted the new
+  /// slots); shrinking is cooperative — no partition is stopped, but as
+  /// running partitions yield, re-acquisition is throttled to the new
+  /// budget. `max_running` must be >= 1.
+  void SetMaxRunning(int max_running);
 
   /// Starts the no-progress watchdog over `partitions` (requires a nonzero
   /// Options::watchdog_interval). Every interval it samples each
@@ -118,6 +129,12 @@ class ThreadScheduler {
   /// as logged. For tests and engine diagnostics.
   std::string LastStallReport() const;
 
+  /// Installs a callback whose text is appended to every watchdog stall
+  /// report (and to LastStallReport). The SLO controller registers one so
+  /// a stuck run's snapshot shows the current ladder rung and the last
+  /// control action. Thread-safe; nullptr detaches.
+  void SetStallAnnotator(std::function<std::string()> annotator);
+
  private:
   struct Info {
     double priority = 0.0;
@@ -135,7 +152,9 @@ class ThreadScheduler {
   void WatchdogLoop();
 
   Options options_;
-  int max_running_;
+  int max_running_;  // written under mutex_ (SetMaxRunning), read under it
+  // Lock-free mirror of max_running_ for the introspection getter.
+  std::atomic<int> max_running_mirror_{1};
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
@@ -157,6 +176,7 @@ class ThreadScheduler {
   mutable std::mutex watchdog_mutex_;  // guards the stop cv + last report
   std::condition_variable watchdog_cv_;
   std::string last_stall_report_;
+  std::shared_ptr<const std::function<std::string()>> stall_annotator_;
 };
 
 }  // namespace flexstream

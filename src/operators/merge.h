@@ -51,6 +51,14 @@ class MergeOperator : public Operator {
   /// Total elements currently buffered across all lanes (diagnostics).
   size_t PendingCount() const;
 
+  /// Quiesced flush (live re-sharding, src/api/shard.h ResizeShard): emits
+  /// everything pending in global sequence order. Only safe when every
+  /// produced element has reached the merge — sources paused and all
+  /// upstream queues drained — because then the pending lanes hold the
+  /// complete undelivered set and sequence order is the exact release
+  /// order, just like at a barrier alignment. Runs in the calling thread.
+  void FlushPendingQuiesced() { FlushAllPending(); }
+
   void Reset() override;
 
  protected:

@@ -8,6 +8,7 @@ Source::Source(std::string name)
     : Operator(Kind::kSource, std::move(name), /*input_arity=*/0) {}
 
 void Source::Push(const Tuple& tuple) {
+  ApplyRequestedBatchSize();
   if (epoch_interval_ != 0) {
     PushEpochs(tuple);
     return;
@@ -27,6 +28,7 @@ void Source::Push(const Tuple& tuple) {
 }
 
 void Source::Push(Tuple&& tuple) {
+  ApplyRequestedBatchSize();
   if (epoch_interval_ != 0) {
     // The epoch path copies into the replay buffer anyway; no move win.
     PushEpochs(tuple);
@@ -49,6 +51,9 @@ void Source::Push(Tuple&& tuple) {
 void Source::SetEmitBatchSize(size_t batch_size) {
   FlushPendingBatch();
   emit_batch_size_ = batch_size == 0 ? 1 : batch_size;
+  // Keep the cross-thread request in sync so a stale earlier request
+  // cannot resurrect an old size at the next Push.
+  requested_batch_size_.store(emit_batch_size_, std::memory_order_relaxed);
 }
 
 void Source::FlushPendingBatch() {

@@ -10,6 +10,7 @@
 #ifndef FLEXSTREAM_OPERATORS_SOURCE_H_
 #define FLEXSTREAM_OPERATORS_SOURCE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <shared_mutex>
 #include <string>
@@ -66,6 +67,15 @@ class Source : public Operator {
   void SetEmitBatchSize(size_t batch_size);
   size_t emit_batch_size() const { return emit_batch_size_; }
 
+  /// Thread-safe batch-size change request (the SLO controller's rung-2
+  /// actuation): the new size is applied by the driving thread itself at
+  /// its next Push (pending elements are flushed first, so batches never
+  /// reorder across the change). 0 is treated as 1.
+  void RequestEmitBatchSize(size_t batch_size) {
+    requested_batch_size_.store(batch_size == 0 ? 1 : batch_size,
+                                std::memory_order_relaxed);
+  }
+
   bool closed_by_driver() const { return closed_by_driver_; }
 
   /// Arms epoch injection: a barrier after every `interval` pushes,
@@ -102,11 +112,21 @@ class Source : public Operator {
   void PushEpochs(const Tuple& tuple);
   /// Emits the accumulated batch (if any) downstream.
   void FlushPendingBatch();
+  /// Driving-thread check for a pending RequestEmitBatchSize; applies it
+  /// (flush + switch) when one differs from the current size. One relaxed
+  /// load on the push path.
+  void ApplyRequestedBatchSize() {
+    const size_t requested =
+        requested_batch_size_.load(std::memory_order_relaxed);
+    if (requested != emit_batch_size_) SetEmitBatchSize(requested);
+  }
 
   bool closed_by_driver_ = false;
 
   // Batch accumulation (driving-thread only, like the epoch counters).
   size_t emit_batch_size_ = 1;
+  // Cross-thread change request, applied by the driving thread.
+  std::atomic<size_t> requested_batch_size_{1};
   TupleBatch pending_;
 
   // Epoch/replay state. Touched by the (single) driving thread and, with

@@ -169,12 +169,12 @@ void QueueOp::Enqueue(Tuple&& tuple, bool is_barrier) {
   }
   // kBlock waits *before* taking any lock; the wait ends on freed space,
   // cancel, run failure, or timeout (overrun) — never by dropping data.
-  if (bounded && overload_policy_ == OverloadPolicy::kBlock) WaitForSpace();
+  if (bounded && overload_policy() == OverloadPolicy::kBlock) WaitForSpace();
   if (single) {
     // Shed-newest is exact here: one producer, so the Size() snapshot
     // cannot race another admit decision. (Shed-oldest never runs in SPSC
     // mode — SetBound forces the MPSC path for it.)
-    if (bounded && overload_policy_ == OverloadPolicy::kShedNewest &&
+    if (bounded && overload_policy() == OverloadPolicy::kShedNewest &&
         Size() >= max_elements_) {
       dropped_newest_.fetch_add(1, std::memory_order_relaxed);
       return;
@@ -195,11 +195,12 @@ void QueueOp::Enqueue(Tuple&& tuple, bool is_barrier) {
     if (bounded && Size() >= max_elements_) {
       // Shed decisions are taken under the queue lock, so racing MPSC
       // producers cannot overshoot the budget between check and push.
-      if (overload_policy_ == OverloadPolicy::kShedNewest) {
+      const OverloadPolicy policy = overload_policy();
+      if (policy == OverloadPolicy::kShedNewest) {
         dropped_newest_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
-      if (overload_policy_ == OverloadPolicy::kShedOldest &&
+      if (policy == OverloadPolicy::kShedOldest &&
           !items_.empty() && items_.front().tuple.is_data()) {
         // Make room by dropping the head; net queue size is unchanged, so
         // the queued count is pre-decremented to balance the increment in
@@ -225,7 +226,7 @@ void QueueOp::Enqueue(Tuple&& tuple, bool is_barrier) {
 void QueueOp::SetBound(size_t max_elements, OverloadPolicy policy,
                        Duration block_timeout) {
   max_elements_ = max_elements;
-  overload_policy_ = policy;
+  overload_policy_.store(policy, std::memory_order_release);
   block_timeout_ = block_timeout;
   if (max_elements != 0 && policy == OverloadPolicy::kShedOldest &&
       single_producer()) {
@@ -233,6 +234,30 @@ void QueueOp::SetBound(size_t max_elements, OverloadPolicy policy,
     // oldest element requires every item behind the mutex.
     SetSingleProducer(false);
   }
+}
+
+Status QueueOp::SetOverloadPolicyLive(OverloadPolicy policy) {
+  if (max_elements_ == 0) {
+    return Status::FailedPrecondition(
+        "SetOverloadPolicyLive refused on '" + name() +
+        "': queue is unbounded (no overload decisions to govern); "
+        "configure a bound via SetBound/EngineOptions::queue_max_elements");
+  }
+  if (policy == OverloadPolicy::kShedOldest ||
+      overload_policy() == OverloadPolicy::kShedOldest) {
+    return Status::InvalidArgument(
+        "SetOverloadPolicyLive refused on '" + name() +
+        "': kShedOldest changes the enqueue path (forces MPSC), which is "
+        "only safe while quiescent; use SetBound before the run");
+  }
+  overload_policy_.store(policy, std::memory_order_release);
+  if (policy != OverloadPolicy::kBlock) {
+    // Wake parked kBlock producers; their wait predicate re-checks the
+    // policy and they enqueue the in-flight element (bounded overrun).
+    { std::lock_guard<std::mutex> lock(space_mutex_); }
+    space_cv_.notify_all();
+  }
+  return Status::Ok();
 }
 
 void QueueOp::WaitForSpace() {
@@ -255,6 +280,7 @@ void QueueOp::WaitForSpace() {
     const TimePoint deadline = Now() + block_timeout_;
     bool timed_out = false;
     while (Size() >= max_elements_ &&
+           overload_policy() == OverloadPolicy::kBlock &&
            !waits_cancelled_.load(std::memory_order_acquire) &&
            !(rs != nullptr && rs->failed())) {
       const TimePoint now = Now();
@@ -276,7 +302,7 @@ void QueueOp::WaitForSpace() {
 }
 
 void QueueOp::NotifySpaceFreed() {
-  if (max_elements_ == 0 || overload_policy_ != OverloadPolicy::kBlock) {
+  if (max_elements_ == 0 || overload_policy() != OverloadPolicy::kBlock) {
     return;
   }
   if (space_waiters_.load(std::memory_order_seq_cst) == 0) return;
@@ -456,7 +482,7 @@ size_t QueueOp::DrainBatch(size_t max_elements) {
 
 void QueueOp::EmitDrainedBatch(TupleBatch* batch) {
   if (batch->empty()) return;
-  if (batch_delivery_) {
+  if (batch_delivery()) {
     if (StatsCollectionEnabled()) {
       stats().RecordProcessedBatch(0.0, static_cast<int64_t>(batch->size()));
     }
@@ -506,7 +532,7 @@ size_t QueueOp::DrainBatchSingleProducer(size_t max_elements) {
     // ends this drain. Size() undercounting the claimed-but-unemitted
     // items is fine — only this consumer thread acts on the difference.
     queued_items_.fetch_sub(run, std::memory_order_acq_rel);
-    if (batch_delivery_) {
+    if (batch_delivery()) {
       // Batch delivery: move the claimed run out of the ring into a
       // TupleBatch and hand it downstream as one ReceiveBatch call.
       // Punctuations split the run — the accumulated prefix is flushed

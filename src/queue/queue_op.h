@@ -50,6 +50,7 @@
 #include "operators/operator.h"
 #include "util/clock.h"
 #include "util/spsc_ring.h"
+#include "util/status.h"
 
 namespace flexstream {
 
@@ -133,8 +134,16 @@ class QueueOp final : public Operator {
   /// engine enables it when EngineOptions::emit_batch_size > 1. Configure
   /// while quiescent. Survives Reset like the bound (it is configuration,
   /// not run state), so recovery keeps the delivery granularity.
-  void SetBatchDelivery(bool enabled) { batch_delivery_ = enabled; }
-  bool batch_delivery() const { return batch_delivery_; }
+  /// Thread-safe (atomic flag): the SLO controller toggles it live when it
+  /// raises/lowers the emit batch size; per-tuple and batch delivery are
+  /// semantically identical, so the consumer observing the change one
+  /// drain late is harmless.
+  void SetBatchDelivery(bool enabled) {
+    batch_delivery_.store(enabled, std::memory_order_relaxed);
+  }
+  bool batch_delivery() const {
+    return batch_delivery_.load(std::memory_order_relaxed);
+  }
 
   /// Current number of queued data elements, derived from the total
   /// queued-item counter minus a still-queued EOS punctuation. Exact
@@ -201,8 +210,21 @@ class QueueOp final : public Operator {
   void SetBound(size_t max_elements, OverloadPolicy policy,
                 Duration block_timeout = std::chrono::seconds(2));
   size_t max_elements() const { return max_elements_; }
-  OverloadPolicy overload_policy() const { return overload_policy_; }
+  OverloadPolicy overload_policy() const {
+    return overload_policy_.load(std::memory_order_acquire);
+  }
   bool bounded() const { return max_elements_ != 0; }
+
+  /// Live overload-policy flip on an already-bounded queue — the SLO
+  /// controller's rung-4 actuation (flip to shedding last, flip back on
+  /// de-escalation). Thread-safe against concurrent producers/consumer;
+  /// only kBlock <-> kShedNewest are allowed live (kShedOldest changes the
+  /// enqueue path, which must not happen under running producers).
+  /// Producers parked in a kBlock wait when the policy leaves kBlock are
+  /// woken and enqueue their element (a bounded overrun — in-flight
+  /// elements are never retroactively shed); subsequent enqueues shed.
+  /// Fails without effect on an unbounded queue or a kShedOldest target.
+  Status SetOverloadPolicyLive(OverloadPolicy policy);
 
   /// Overload counters. dropped() is the total across both shed kinds;
   /// with kBlock it stays 0 (kBlock never drops — see block_timeouts()).
@@ -356,10 +378,11 @@ class QueueOp final : public Operator {
 
   const size_t ring_capacity_;
 
-  // --- bound configuration (written while quiescent, read by producers) --
+  // --- bound configuration (written while quiescent, read by producers;
+  // the atomics additionally admit the controller's live flips) ----------
   size_t max_elements_ = 0;  // 0 = unbounded
-  bool batch_delivery_ = false;  // downstream ReceiveBatch vs per-tuple
-  OverloadPolicy overload_policy_ = OverloadPolicy::kBlock;
+  std::atomic<bool> batch_delivery_{false};  // ReceiveBatch vs per-tuple
+  std::atomic<OverloadPolicy> overload_policy_{OverloadPolicy::kBlock};
   Duration block_timeout_ = std::chrono::seconds(2);
   const void* owner_ = nullptr;  // draining context, for self-block bypass
 

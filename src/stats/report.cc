@@ -187,6 +187,24 @@ Table BuildRecoveryTable(const RecoveryManager& recovery) {
   return t;
 }
 
+Table BuildControlTable(const std::vector<ControlDecision>& decisions) {
+  Table t({"interval", "trigger", "rung", "action", "outcome", "p99_us",
+           "smoothed_us", "backlog", "shed"});
+  for (const ControlDecision& d : decisions) {
+    const std::string rung =
+        d.rung_before == d.rung_after
+            ? std::to_string(d.rung_before)
+            : std::to_string(d.rung_before) + "->" +
+                  std::to_string(d.rung_after);
+    t.AddRow({Table::Int(d.interval), d.trigger, rung, d.action,
+              d.outcome.ok() ? "OK" : d.outcome.ToString(),
+              Table::Num(d.p99_micros, 0), Table::Num(d.smoothed_p99, 0),
+              Table::Int(static_cast<int64_t>(d.backlog)),
+              Table::Int(d.dropped_delta)});
+  }
+  return t;
+}
+
 std::string StatsReport(const QueryGraph& graph) {
   std::ostringstream os;
   BuildStatsTable(graph).Print(os);

@@ -9,7 +9,9 @@
 #define FLEXSTREAM_STATS_REPORT_H_
 
 #include <string>
+#include <vector>
 
+#include "control/slo_controller.h"
 #include "util/histogram.h"
 #include "util/table.h"
 
@@ -54,6 +56,12 @@ Table BuildLatencyTable(const QueryGraph& graph);
 /// The engine-wide latency distribution: every LatencySink's histogram
 /// merged. Empty histogram when the graph has no LatencySink.
 Histogram MergedLatencyHistogram(const QueryGraph& graph);
+
+/// The SLO controller's per-interval decision log as a table: one row per
+/// control interval with the trigger, the ladder rung before/after, the
+/// action taken (or hold), the actuator outcome, and the interval's raw +
+/// smoothed p99, backlog, and shed count. Pass SloController::decisions().
+Table BuildControlTable(const std::vector<ControlDecision>& decisions);
 
 /// Checkpoint/recovery counters (metric/value rows): committed epoch,
 /// epochs committed, snapshots taken, committed state elements, replay

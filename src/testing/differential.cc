@@ -5,9 +5,12 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "api/shard.h"
+#include "control/engine_hooks.h"
+#include "control/slo_controller.h"
 #include "graph/dot_export.h"
 #include "operators/map_op.h"
 #include "operators/selection.h"
@@ -18,6 +21,28 @@ namespace flexstream {
 namespace {
 
 constexpr auto kRunTimeout = std::chrono::seconds(120);
+
+/// Deterministic metrics fake for the slo_controller axis: four breach
+/// samples (p99 at 4x the target), four calm samples (p99 at a tenth),
+/// repeating. With alpha = 1 and single-interval de-escalation this walks
+/// the controller up and back down rungs 1-2 continuously for the whole
+/// run, so live actuations land at arbitrary points of the stream.
+class SquareWaveProbe : public MetricsProbe {
+ public:
+  explicit SquareWaveProbe(double target_p99) : target_p99_(target_p99) {}
+
+  ControlMetrics Sample() override {
+    ControlMetrics m;
+    m.interval_count = 100;
+    m.interval_p99_micros =
+        (tick_++ / 4) % 2 == 0 ? target_p99_ * 4.0 : target_p99_ * 0.1;
+    return m;
+  }
+
+ private:
+  const double target_p99_;
+  int64_t tick_ = 0;
+};
 
 const char* TestFaultToString(QueueOp::TestFault fault) {
   switch (fault) {
@@ -184,6 +209,7 @@ std::string DiffConfig::Name() const {
     os << "+shard" << shard_count << (shard_unordered ? "u" : "o");
     if (kill_shard_replica >= 0) os << "+killrep" << kill_shard_replica;
   }
+  if (slo_controller) os << "+sloctl";
   return os.str();
 }
 
@@ -288,6 +314,19 @@ std::vector<DiffConfig> DefaultConfigMatrix() {
   }
   add_batch(ExecutionMode::kHmts, QueuePathMode::kForceMpsc, kRing, false, 64);
   add_batch(ExecutionMode::kGts, QueuePathMode::kAuto, kRing, true, 64);
+
+  // Elastic control axis: the SLO controller escalates/de-escalates
+  // rungs 1-2 live throughout the run. kHmts exercises real thread-pool
+  // resizes + batch flips; kGts structurally refuses the thread lever
+  // (retiring it) and actuates batch only. Results must stay identical.
+  {
+    DiffConfig config;
+    config.mode = ExecutionMode::kHmts;
+    config.slo_controller = true;
+    configs.push_back(config);
+    config.mode = ExecutionMode::kGts;
+    configs.push_back(config);
+  }
   return configs;
 }
 
@@ -342,6 +381,19 @@ std::vector<DiffConfig> ChaosConfigMatrix() {
     config.queue_max_elements = 8;
     config.overload_policy = OverloadPolicy::kShedNewest;
     config.chaos_transient_rate = 0.02;
+    config.watchdog = true;
+    configs.push_back(config);
+  }
+  // Controller x chaos: live rung-1/2 actuation while transient faults,
+  // delays, and lost wakeups fire. Elasticity and fault absorption must
+  // compose without any result deviation (and no watchdog stalls).
+  {
+    DiffConfig config;
+    config.mode = ExecutionMode::kHmts;
+    config.slo_controller = true;
+    config.chaos_transient_rate = 0.02;
+    config.chaos_delay_rate = 0.01;
+    config.chaos_suppress_every_n = 7;
     config.watchdog = true;
     configs.push_back(config);
   }
@@ -503,6 +555,33 @@ SinkOutputs RunUnderConfig(const DiffSpec& spec, const DiffConfig& config) {
   if (config.chaos_enabled()) {
     chaos.Arm(dag.graph.get(), engine.queues());
   }
+  // SLO-controller axis: a live controller fed by the square-wave fake
+  // escalates and de-escalates rungs 1-2 against this engine throughout
+  // the run. Shedding/resharding disabled — results must stay identical.
+  std::unique_ptr<EngineActuator> slo_actuator;
+  std::unique_ptr<SquareWaveProbe> slo_probe;
+  std::unique_ptr<SloController> slo;
+  if (config.slo_controller) {
+    SloOptions slo_options;
+    slo_options.target_p99_micros = 10'000.0;
+    slo_options.control_interval = std::chrono::milliseconds(2);
+    slo_options.ewma_alpha = 1.0;
+    slo_options.deescalate_fraction = 0.5;
+    slo_options.deescalate_intervals = 1;
+    slo_options.min_dwell = Duration::zero();
+    slo_options.base_threads = 1;
+    slo_options.max_threads = 3;
+    slo_options.base_batch_size = std::max<size_t>(1, config.emit_batch_size);
+    slo_options.max_batch_size = 32;
+    slo_options.allow_reshard = false;
+    slo_options.allow_shedding = false;
+    slo_actuator = std::make_unique<EngineActuator>(&engine);
+    slo_probe =
+        std::make_unique<SquareWaveProbe>(slo_options.target_p99_micros);
+    slo = std::make_unique<SloController>(slo_options, slo_probe.get(),
+                                          slo_actuator.get());
+    slo->Start();
+  }
   if (config.feed_before_start) {
     // Queues absorb the whole stream before any worker runs, so the first
     // drains see large batches.
@@ -513,6 +592,7 @@ SinkOutputs RunUnderConfig(const DiffSpec& spec, const DiffConfig& config) {
     FeedSources(dag, spec.seed, spec.feed_count);
   }
   out.completed = engine.WaitUntilFinishedFor(kRunTimeout);
+  if (slo != nullptr) slo->Stop();
   engine.Stop();
   out.dropped = engine.DroppedElements();
   out.run_result = engine.RunResult();
@@ -729,7 +809,8 @@ std::string FormatReplay(const DiffSpec& spec, const DiffConfig& config) {
      << "emit_batch_size=" << config.emit_batch_size << "\n"
      << "shard_count=" << config.shard_count << "\n"
      << "shard_unordered=" << (config.shard_unordered ? 1 : 0) << "\n"
-     << "kill_shard_replica=" << config.kill_shard_replica << "\n";
+     << "kill_shard_replica=" << config.kill_shard_replica << "\n"
+     << "slo_controller=" << (config.slo_controller ? 1 : 0) << "\n";
   return os.str();
 }
 
@@ -822,6 +903,8 @@ bool ParseReplay(const std::string& text, DiffSpec* spec, DiffConfig* config,
         config->shard_unordered = std::stoi(value) != 0;
       } else if (key == "kill_shard_replica") {
         config->kill_shard_replica = std::stoi(value);
+      } else if (key == "slo_controller") {
+        config->slo_controller = std::stoi(value) != 0;
       } else {
         return fail("unknown key '" + key + "'");
       }

@@ -122,6 +122,19 @@ struct DiffConfig {
   /// -1 = disabled.
   int kill_shard_replica = -1;
 
+  // -- Closed-loop SLO control dimension (ISSUE 8, DESIGN.md §15) ---------
+
+  /// Attaches an SloController to the engine for the duration of the run,
+  /// fed by a deterministic square-wave metrics fake that alternates
+  /// breach and calm phases every few control intervals (2ms apart). The
+  /// controller repeatedly escalates and de-escalates rungs 1-2 — live
+  /// thread-pool resizes (kHmts; structurally refused elsewhere, which
+  /// exercises the lever-retirement path) and live emit-batch-size
+  /// changes — against the *real* engine mid-run. Shedding and resharding
+  /// stay disabled, so the run must remain result-identical to golden:
+  /// elastic actuation is invisible to semantics.
+  bool slo_controller = false;
+
   bool chaos_enabled() const {
     return chaos_transient_rate > 0.0 || chaos_delay_rate > 0.0 ||
            chaos_suppress_every_n > 0 || !chaos_kill_operator.empty() ||

@@ -51,6 +51,32 @@ void Histogram::Merge(const Histogram& other) {
   sum_ += other.sum_;
 }
 
+Histogram Histogram::DeltaSince(const Histogram& earlier) const {
+  Histogram delta;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    delta.buckets_[i] = std::max<int64_t>(0, buckets_[i] - earlier.buckets_[i]);
+    delta.count_ += delta.buckets_[i];
+  }
+  if (delta.count_ == 0) return delta;
+  delta.sum_ = std::max(0.0, sum_ - earlier.sum_);
+  // Extrema of the window are not recoverable from bucket counts; use the
+  // bounds of the first/last surviving bucket, tightened by the lifetime
+  // extrema (a window sample can never undercut the lifetime min or exceed
+  // the lifetime max).
+  for (int b = 0; b < kBucketCount; ++b) {
+    if (delta.buckets_[static_cast<size_t>(b)] == 0) continue;
+    delta.min_ = std::max(BucketLowerBound(b), min_);
+    break;
+  }
+  for (int b = kBucketCount - 1; b >= 0; --b) {
+    if (delta.buckets_[static_cast<size_t>(b)] == 0) continue;
+    delta.max_ = std::min(BucketLowerBound(b + 1), max_);
+    break;
+  }
+  delta.max_ = std::max(delta.max_, delta.min_);
+  return delta;
+}
+
 double Histogram::mean() const {
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }

@@ -22,6 +22,16 @@ class Histogram {
 
   void Merge(const Histogram& other);
 
+  /// The histogram of samples recorded *after* `earlier` was snapshotted,
+  /// assuming `earlier` is a prefix of this histogram (same instance,
+  /// snapshotted twice). Per-bucket subtraction, clamped at zero so a
+  /// mismatched pair degrades to an empty/short delta instead of
+  /// underflowing. min/max are reconstructed from the surviving buckets'
+  /// bounds (the exact extrema of the window are not recoverable), so the
+  /// delta's percentiles are bucket-accurate (~4%) like everything else.
+  /// The SLO controller uses this for per-control-interval percentiles.
+  Histogram DeltaSince(const Histogram& earlier) const;
+
   int64_t count() const { return count_; }
   double mean() const;
   double min() const;

@@ -207,6 +207,42 @@ TEST(HistogramOverflowTest, CapIsTheLastFiniteBoundary) {
   EXPECT_EQ(a, b);
 }
 
+TEST(HistogramDeltaTest, DeltaSinceIsolatesTheNewWindow) {
+  // The SLO controller snapshots the cumulative sink histogram each
+  // control interval and diffs against the previous snapshot: the delta's
+  // percentiles must reflect only the elements added in between.
+  Histogram earlier;
+  for (int i = 0; i < 100; ++i) earlier.Add(10.0);
+  Histogram later = earlier;
+  for (int i = 0; i < 100; ++i) later.Add(10'000.0);
+
+  const Histogram delta = later.DeltaSince(earlier);
+  EXPECT_EQ(delta.count(), 100);
+  // Every element of the window was slow; the cumulative histogram's p50
+  // would still say "fast" (200 elements, half at 10us).
+  EXPECT_GE(delta.Percentile(0.50), 5'000.0);
+  EXPECT_LE(later.Percentile(0.50), 20.0);
+}
+
+TEST(HistogramDeltaTest, DeltaSinceSelfIsEmpty) {
+  Histogram h;
+  for (int i = 1; i <= 50; ++i) h.Add(static_cast<double>(i));
+  const Histogram delta = h.DeltaSince(h);
+  EXPECT_EQ(delta.count(), 0);
+}
+
+TEST(HistogramDeltaTest, DeltaSinceClampsOnReset) {
+  // A sink whose histogram was reset between snapshots yields a "later"
+  // with smaller bucket counts; the per-bucket subtraction clamps at zero
+  // instead of going negative.
+  Histogram earlier;
+  for (int i = 0; i < 100; ++i) earlier.Add(100.0);
+  Histogram later;
+  for (int i = 0; i < 30; ++i) later.Add(100.0);
+  const Histogram delta = later.DeltaSince(earlier);
+  EXPECT_EQ(delta.count(), 0);
+}
+
 TEST(HistogramSummaryTest, SummariesIncludeP999) {
   Histogram h;
   for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i));
