@@ -1,0 +1,271 @@
+// Durable checkpoint cost (DESIGN.md §16): what does persisting every
+// committed epoch to disk cost a healthy run on top of in-memory
+// checkpointing, and how long does a cold restart take to rebuild the
+// graph from the newest on-disk epoch?
+//
+// Scenarios (shared pipeline: src -> select -> sliding-window aggregate ->
+// counting sink, as in recovery_bench so the two reports compose):
+//   checkpoint_off : baseline run, checkpoint_epoch_interval = 0.
+//   in_memory_<I>  : epoch barriers every I elements, snapshots kept in
+//                    memory only (no durable dir) — the recovery_bench
+//                    overhead, re-measured here as the durable baseline.
+//   durable_<I>    : identical run with every committed epoch serialized,
+//                    CRC-tagged, fsynced, and atomically renamed into a
+//                    snapshot store (intervals 100 and 1000 — the
+//                    write-amplification/staleness trade-off).
+//   cold_restart   : after a durable run, a fresh engine ColdRestart()s
+//                    from the store — load + checksum + decode + rewind —
+//                    and the restore latency is reported.
+//
+// Reported: median wall time over the reps, durable overhead vs the
+// in-memory run at the same interval, store write accounting, and the
+// cold-restart latency. Results go to stdout and BENCH_durability.json
+// (override with --out <path>).
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "api/query_builder.h"
+#include "api/stream_engine.h"
+#include "graph/query_graph.h"
+#include "operators/aggregate.h"
+#include "operators/selection.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "recovery/recovery_manager.h"
+#include "recovery/snapshot_store.h"
+#include "tuple/tuple.h"
+#include "util/clock.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+#include "bench_smoke.h"
+
+namespace flexstream {
+namespace {
+
+const int64_t kFeedPerSource = bench::SmokeScaled<int64_t>(50'000, 10'000);
+const int kReps = bench::SmokeScaled(5, 2);
+constexpr auto kWait = std::chrono::seconds(120);
+
+struct Pipeline {
+  std::unique_ptr<QueryGraph> graph;
+  Source* source = nullptr;
+  CountingSink* sink = nullptr;
+};
+
+Pipeline BuildPipeline() {
+  Pipeline p;
+  p.graph = std::make_unique<QueryGraph>();
+  QueryBuilder qb(p.graph.get());
+  p.source = qb.AddSource("src");
+  Selection* sel =
+      qb.Select(p.source, "sel", [](const Tuple&) { return true; });
+  WindowedAggregate::Options agg;
+  agg.kind = AggregateKind::kSum;
+  agg.value_attr = 0;
+  agg.window_micros = 1'000;  // ~1000 elements of state at 1 us spacing
+  p.sink = qb.CountSink(qb.Aggregate(sel, "agg", agg), "sink");
+  return p;
+}
+
+void Feed(const Pipeline& p) {
+  for (int64_t i = 0; i < kFeedPerSource; ++i) {
+    p.source->Push(Tuple::OfInt(i % 97, i + 1));
+  }
+  p.source->Close(kFeedPerSource);
+}
+
+std::string ScratchDir() {
+  return (std::filesystem::temp_directory_path() /
+          ("flexstream_durability_bench_" +
+           std::to_string(static_cast<long>(::getpid()))))
+      .string();
+}
+
+struct RunResultStats {
+  double seconds = 0.0;
+  int64_t epochs_persisted = 0;
+  int64_t bytes_written = 0;
+  int64_t last_write_micros = 0;
+};
+
+/// One healthy run; `durable_dir` empty keeps checkpoints in memory only.
+RunResultStats RunHealthy(uint64_t epoch_interval,
+                          const std::string& durable_dir) {
+  Pipeline p = BuildPipeline();
+  StreamEngine engine(p.graph.get());
+  EngineOptions options;
+  options.mode = ExecutionMode::kGts;
+  options.checkpoint_epoch_interval = epoch_interval;
+  options.durable_checkpoint_dir = durable_dir;
+  CHECK_OK(engine.Configure(options));
+
+  Stopwatch sw;
+  CHECK_OK(engine.Start());
+  Feed(p);
+  CHECK(engine.WaitUntilFinishedFor(kWait));
+  const double seconds = sw.ElapsedSeconds();
+  CHECK_OK(engine.RunResult());
+  CHECK(p.sink->count() == kFeedPerSource);
+
+  RunResultStats r;
+  r.seconds = seconds;
+  if (engine.recovery() != nullptr &&
+      engine.recovery()->snapshot_store() != nullptr) {
+    const SnapshotStoreStats stats =
+        engine.recovery()->snapshot_store()->stats();
+    r.epochs_persisted = stats.epochs_written;
+    r.bytes_written = stats.bytes_written;
+    r.last_write_micros = stats.last_write_micros;
+  }
+  return r;
+}
+
+struct ColdRestartResult {
+  uint64_t restored_epoch = 0;
+  int64_t restore_latency_micros = 0;
+};
+
+/// Times a fresh engine's ColdRestart() against a store that a prior
+/// durable run filled.
+ColdRestartResult RunColdRestart(const std::string& durable_dir) {
+  Pipeline p = BuildPipeline();
+  StreamEngine engine(p.graph.get());
+  EngineOptions options;
+  options.mode = ExecutionMode::kGts;
+  options.checkpoint_epoch_interval = 100;
+  options.durable_checkpoint_dir = durable_dir;
+  CHECK_OK(engine.Configure(options));
+
+  Stopwatch sw;
+  Result<uint64_t> restored = engine.ColdRestart();
+  const double seconds = sw.ElapsedSeconds();
+  CHECK_OK(restored.status());
+
+  ColdRestartResult r;
+  r.restored_epoch = *restored;
+  r.restore_latency_micros = static_cast<int64_t>(seconds * 1e6);
+  return r;
+}
+
+double Median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+}  // namespace
+}  // namespace flexstream
+
+int main(int argc, char** argv) {
+  using namespace flexstream;
+
+  std::string out_path = "BENCH_durability.json";
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::string(argv[i]) == "--out") out_path = argv[i + 1];
+  }
+
+  const std::string scratch = ScratchDir();
+  const std::vector<uint64_t> intervals = {100, 1000};
+
+  std::vector<double> off_secs;
+  std::vector<std::vector<double>> memory_secs(intervals.size());
+  std::vector<std::vector<double>> durable_secs(intervals.size());
+  std::vector<RunResultStats> durable_last(intervals.size());
+  for (int rep = 0; rep < kReps; ++rep) {
+    off_secs.push_back(RunHealthy(0, "").seconds);
+    for (size_t k = 0; k < intervals.size(); ++k) {
+      memory_secs[k].push_back(RunHealthy(intervals[k], "").seconds);
+      // Fresh directory per run: WriteEpoch refuses epochs at or below
+      // the manifest's newest, and GC cost should reflect one run.
+      const std::string dir =
+          scratch + "_i" + std::to_string(intervals[k]) + "_r" +
+          std::to_string(rep);
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+      const RunResultStats durable = RunHealthy(intervals[k], dir);
+      durable_secs[k].push_back(durable.seconds);
+      durable_last[k] = durable;
+      if (!(rep == kReps - 1 && intervals[k] == 100)) {
+        std::filesystem::remove_all(dir, ec);
+      }
+    }
+  }
+  // The interval-100 store from the final rep feeds the cold restart.
+  const std::string restart_dir =
+      scratch + "_i100_r" + std::to_string(kReps - 1);
+  const ColdRestartResult restart = RunColdRestart(restart_dir);
+  {
+    std::error_code ec;
+    std::filesystem::remove_all(restart_dir, ec);
+  }
+
+  const double off_median = Median(off_secs);
+  Table table({"scenario", "seconds", "tuples_per_sec", "notes"});
+  const double tuples = static_cast<double>(kFeedPerSource);
+  table.AddRow({"checkpoint_off", Table::Num(off_median, 4),
+                Table::Num(tuples / off_median, 0), "epoch interval 0"});
+  std::vector<double> memory_median(intervals.size());
+  std::vector<double> durable_median(intervals.size());
+  std::vector<double> overhead_pct(intervals.size());
+  for (size_t k = 0; k < intervals.size(); ++k) {
+    memory_median[k] = Median(memory_secs[k]);
+    durable_median[k] = Median(durable_secs[k]);
+    overhead_pct[k] =
+        100.0 * (durable_median[k] - memory_median[k]) / memory_median[k];
+    const std::string interval = std::to_string(intervals[k]);
+    table.AddRow({"in_memory_" + interval, Table::Num(memory_median[k], 4),
+                  Table::Num(tuples / memory_median[k], 0),
+                  "interval " + interval + ", no durable store"});
+    table.AddRow(
+        {"durable_" + interval, Table::Num(durable_median[k], 4),
+         Table::Num(tuples / durable_median[k], 0),
+         "interval " + interval + ", " +
+             std::to_string(durable_last[k].epochs_persisted) +
+             " epochs persisted, " +
+             std::to_string(durable_last[k].bytes_written) +
+             " bytes, overhead " + Table::Num(overhead_pct[k], 1) +
+             "% vs in-memory"});
+  }
+  table.AddRow({"cold_restart",
+                Table::Num(restart.restore_latency_micros / 1e6, 4), "-",
+                "restored epoch " + std::to_string(restart.restored_epoch) +
+                    ", " + std::to_string(restart.restore_latency_micros) +
+                    " us"});
+  table.Print(std::cout);
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"bench\": \"durability\",\n"
+      << "  \"feed_per_source\": " << kFeedPerSource << ",\n"
+      << "  \"reps\": " << kReps << ",\n"
+      << "  \"checkpoint_off_seconds\": " << off_median << ",\n"
+      << "  \"intervals\": [\n";
+  for (size_t k = 0; k < intervals.size(); ++k) {
+    out << "    {\"epoch_interval\": " << intervals[k]
+        << ", \"in_memory_seconds\": " << memory_median[k]
+        << ", \"durable_seconds\": " << durable_median[k]
+        << ", \"durable_overhead_pct\": " << overhead_pct[k]
+        << ", \"epochs_persisted\": " << durable_last[k].epochs_persisted
+        << ", \"bytes_written\": " << durable_last[k].bytes_written
+        << ", \"last_write_micros\": " << durable_last[k].last_write_micros
+        << "}" << (k + 1 < intervals.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"cold_restart\": {\n"
+      << "    \"restored_epoch\": " << restart.restored_epoch << ",\n"
+      << "    \"restore_latency_micros\": " << restart.restore_latency_micros
+      << "\n"
+      << "  }\n"
+      << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

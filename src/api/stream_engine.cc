@@ -371,8 +371,15 @@ Status StreamEngine::Configure(const EngineOptions& options) {
     ropts.epoch_interval = options.checkpoint_epoch_interval;
     ropts.max_attempts = options.max_recovery_attempts;
     ropts.replay_buffer_max_elements = options.replay_buffer_max_elements;
+    ropts.durable_dir = options.durable_checkpoint_dir;
+    ropts.storage_env = options.storage_env;
+    ropts.durable_retain_epochs = options.durable_retain_epochs;
     recovery_ = std::make_unique<RecoveryManager>(ropts);
-    recovery_->Arm(graph_);
+    s = recovery_->Arm(graph_);
+    if (!s.ok()) {
+      recovery_.reset();
+      return s;
+    }
   }
 
   options_ = options;
@@ -389,6 +396,20 @@ Status StreamEngine::Start() {
   if (hmts_ != nullptr) hmts_->Start();
   started_ = true;
   return Status::Ok();
+}
+
+Result<uint64_t> StreamEngine::ColdRestart() {
+  if (!configured_) {
+    return Status::FailedPrecondition("cold restart: engine not configured");
+  }
+  if (started_) {
+    return Status::FailedPrecondition("cold restart: engine already started");
+  }
+  if (recovery_ == nullptr || recovery_->snapshot_store() == nullptr) {
+    return Status::FailedPrecondition(
+        "cold restart: no durable checkpoint directory configured");
+  }
+  return recovery_->RestoreFromDisk();
 }
 
 bool StreamEngine::AllPartitionsDone() const {
@@ -470,10 +491,10 @@ bool StreamEngine::WaitUntilFinishedFor(Duration timeout) {
 bool StreamEngine::AttemptRecovery() {
   if (recovery_ == nullptr) return false;
   if (!recovery_->BeginAttempt()) {
+    const Status truncation = recovery_->replay_truncation_status();
     LOG(WARNING) << "recovery unavailable ("
-                 << (recovery_->any_buffer_truncated()
-                         ? "replay buffer truncated"
-                         : "attempt budget exhausted")
+                 << (!truncation.ok() ? truncation.message()
+                                      : "attempt budget exhausted")
                  << ") after failure: " << run_status_.first().message();
     return false;
   }

@@ -102,6 +102,18 @@ struct EngineOptions {
   /// disqualifies recovery for the run rather than replaying a truncated
   /// stream.
   size_t replay_buffer_max_elements = 1 << 20;
+  /// Durable checkpoints (DESIGN.md §16): non-empty (with checkpointing
+  /// enabled) persists every committed epoch's operator snapshots and
+  /// source replay cursors to this directory, enabling ColdRestart after a
+  /// process death. Requires every stateful operator in the graph to
+  /// support durable state — Configure fails otherwise.
+  std::string durable_checkpoint_dir;
+  /// Storage backend for the durable store (nullptr = the real
+  /// filesystem; the chaos tier injects a FaultyStorageEnv).
+  StorageEnv* storage_env = nullptr;
+  /// Committed epochs retained on disk (>= 1; clamped). Keep >= 2 so a
+  /// torn newest epoch always has an intact fallback.
+  int durable_retain_epochs = 2;
   /// Transient-failure retry backoff applied to every operator
   /// (capped exponential with seeded jitter; see RetryBackoffOptions).
   RetryBackoffOptions retry_backoff;
@@ -131,6 +143,15 @@ class StreamEngine {
   /// Starts all partition workers. Sources are driven by the caller
   /// (e.g. workload::RateSource) and may start before or after this.
   Status Start();
+
+  /// Cold restart (DESIGN.md §16): restores the newest intact epoch from
+  /// the configured durable checkpoint directory into the freshly
+  /// configured, not-yet-started graph. Sources are rewound to the epoch
+  /// boundary and armed to swallow the already-committed input prefix, so
+  /// re-driving the full deterministic input resumes with exact result
+  /// identity. Returns the restored epoch (0 = empty store, fresh start).
+  /// Call after Configure and before Start.
+  Result<uint64_t> ColdRestart();
 
   /// Blocks until every sink has seen EOS and every partition has fully
   /// drained, then stops the workers. If any operator fails mid-run the

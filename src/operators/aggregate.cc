@@ -1,9 +1,11 @@
 #include "operators/aggregate.h"
 
 #include <algorithm>
+#include <map>
 #include <utility>
 
 #include "operators/router.h"
+#include "util/binary_io.h"
 #include "util/busy_work.h"
 #include "util/logging.h"
 
@@ -121,6 +123,80 @@ void WindowedAggregate::RestoreState(const OperatorSnapshot& snapshot) {
   const auto& state = std::any_cast<const State&>(snapshot.state);
   window_ = state.first;
   groups_ = state.second;
+}
+
+Status WindowedAggregate::EncodeState(const OperatorSnapshot& snapshot,
+                                      std::string* out) const {
+  using State = std::pair<SlidingWindow,
+                          std::unordered_map<Value, GroupState, ValueHash>>;
+  const State* state = nullptr;
+  if (snapshot.state.has_value()) {
+    state = std::any_cast<State>(&snapshot.state);
+    if (state == nullptr) {
+      return Status::InvalidArgument("snapshot is not an aggregate snapshot");
+    }
+  }
+  BinaryWriter w(out);
+  if (state == nullptr) {
+    EncodeWindow(SlidingWindow(options_.window_micros), out);
+    w.U64(0);
+    return Status::Ok();
+  }
+  EncodeWindow(state->first, out);
+  // Group states are serialized field-exact (sum as IEEE-754 bits, the
+  // min/max multiset verbatim) — never re-folded from the window, so a
+  // restored aggregate continues the identical floating-point trajectory.
+  std::map<Value, const GroupState*> ordered;
+  for (const auto& [key, group] : state->second) {
+    ordered.emplace(key, &group);
+  }
+  w.U64(ordered.size());
+  for (const auto& [key, group] : ordered) {
+    w.Value(key);
+    w.I64(group->count);
+    w.F64(group->sum);
+    w.U64(group->values.size());
+    for (double v : group->values) w.F64(v);
+  }
+  return Status::Ok();
+}
+
+Result<OperatorSnapshot> WindowedAggregate::DecodeState(
+    std::string_view bytes) const {
+  BinaryReader r(bytes);
+  Result<SlidingWindow> window = DecodeWindow(&r);
+  if (!window.ok()) return std::move(window).status();
+  std::unordered_map<Value, GroupState, ValueHash> groups;
+  uint64_t group_count = 0;
+  Status st = r.U64(&group_count);
+  if (!st.ok()) return st;
+  for (uint64_t g = 0; g < group_count; ++g) {
+    Value key;
+    st = r.Value(&key);
+    if (!st.ok()) return st;
+    GroupState group;
+    uint64_t value_count = 0;
+    st = r.I64(&group.count);
+    if (st.ok()) st = r.F64(&group.sum);
+    if (st.ok()) st = r.U64(&value_count);
+    if (!st.ok()) return st;
+    for (uint64_t i = 0; i < value_count; ++i) {
+      double v = 0.0;
+      st = r.F64(&v);
+      if (!st.ok()) return st;
+      group.values.insert(v);
+    }
+    if (!groups.emplace(std::move(key), std::move(group)).second) {
+      return Status::InvalidArgument("duplicate group key in snapshot");
+    }
+  }
+  if (!r.done()) {
+    return Status::InvalidArgument("trailing bytes in aggregate snapshot");
+  }
+  OperatorSnapshot snap;
+  snap.element_count = static_cast<int64_t>(window->size());
+  snap.state = std::make_pair(std::move(window).value(), std::move(groups));
+  return snap;
 }
 
 std::unique_ptr<Operator> WindowedAggregate::CloneFresh(

@@ -34,6 +34,11 @@ class CountWindowAggregate : public Operator, public StatefulOperator {
   OperatorSnapshot SnapshotState() const override;
   void RestoreState(const OperatorSnapshot& snapshot) override;
 
+  bool SupportsDurableState() const override { return true; }
+  Status EncodeState(const OperatorSnapshot& snapshot,
+                     std::string* out) const override;
+  Result<OperatorSnapshot> DecodeState(std::string_view bytes) const override;
+
  protected:
   void Process(const Tuple& tuple, int port) override;
 

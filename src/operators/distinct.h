@@ -33,6 +33,11 @@ class Distinct : public Operator, public StatefulOperator {
   OperatorSnapshot SnapshotState() const override;
   void RestoreState(const OperatorSnapshot& snapshot) override;
 
+  bool SupportsDurableState() const override { return true; }
+  Status EncodeState(const OperatorSnapshot& snapshot,
+                     std::string* out) const override;
+  Result<OperatorSnapshot> DecodeState(std::string_view bytes) const override;
+
   std::unique_ptr<Operator> CloneFresh(std::string name) const override {
     return std::make_unique<Distinct>(std::move(name),
                                       window_.duration_micros(), key_attrs_);

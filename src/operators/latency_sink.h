@@ -57,6 +57,11 @@ class LatencySink : public Sink, public StatefulOperator {
   OperatorSnapshot SnapshotState() const override;
   void RestoreState(const OperatorSnapshot& snapshot) override;
 
+  bool SupportsDurableState() const override { return true; }
+  Status EncodeState(const OperatorSnapshot& snapshot,
+                     std::string* out) const override;
+  Result<OperatorSnapshot> DecodeState(std::string_view bytes) const override;
+
   void Reset() override;
 
  protected:

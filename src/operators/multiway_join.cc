@@ -1,7 +1,9 @@
 #include "operators/multiway_join.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "util/binary_io.h"
 #include "util/logging.h"
 
 namespace flexstream {
@@ -106,5 +108,88 @@ OperatorSnapshot MultiwayJoin::SnapshotState() const {
 
 void MultiwayJoin::RestoreState(const OperatorSnapshot& snapshot) {
   inputs_ = std::any_cast<const std::vector<Input>&>(snapshot.state);
+}
+
+Status MultiwayJoin::EncodeState(const OperatorSnapshot& snapshot,
+                                 std::string* out) const {
+  const std::vector<Input>* inputs = nullptr;
+  if (snapshot.state.has_value()) {
+    inputs = std::any_cast<std::vector<Input>>(&snapshot.state);
+    if (inputs == nullptr) {
+      return Status::InvalidArgument("snapshot is not a multiway-join snapshot");
+    }
+    if (inputs->size() != inputs_.size()) {
+      return Status::InvalidArgument("malformed multiway-join snapshot");
+    }
+  }
+  BinaryWriter w(out);
+  w.U32(static_cast<uint32_t>(inputs_.size()));
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    const Input& in = inputs != nullptr ? (*inputs)[i] : inputs_[i];
+    w.U64(inputs != nullptr ? in.key_attr : inputs_[i].key_attr);
+    if (inputs == nullptr) {
+      w.U64(0);
+      continue;
+    }
+    w.U64(in.stored);
+    // Arrival-order reconstruction via per-key cursors over the expiry
+    // queue (same idiom as SymmetricHashJoin::EncodeState).
+    std::unordered_map<Value, size_t, ValueHash> cursor;
+    for (const auto& entry : in.expiry) {
+      auto it = in.table.find(entry.first);
+      if (it == in.table.end()) {
+        return Status::Internal("join snapshot expiry/table mismatch");
+      }
+      size_t& index = cursor[entry.first];
+      if (index >= it->second.size()) {
+        return Status::Internal("join snapshot expiry/table mismatch");
+      }
+      w.Tuple(it->second[index++]);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<OperatorSnapshot> MultiwayJoin::DecodeState(
+    std::string_view bytes) const {
+  BinaryReader r(bytes);
+  uint32_t n = 0;
+  Status st = r.U32(&n);
+  if (!st.ok()) return st;
+  if (n != inputs_.size()) {
+    return Status::InvalidArgument(
+        "multiway-join snapshot input count does not match operator");
+  }
+  std::vector<Input> inputs(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t key_attr = 0;
+    uint64_t count = 0;
+    st = r.U64(&key_attr);
+    if (st.ok()) st = r.U64(&count);
+    if (!st.ok()) return st;
+    if (key_attr != inputs_[i].key_attr) {
+      return Status::InvalidArgument(
+          "multiway-join snapshot key attribute does not match operator");
+    }
+    inputs[i].key_attr = key_attr;
+    for (uint64_t t = 0; t < count; ++t) {
+      Tuple tuple = Tuple::OfInt(0, 0);
+      st = r.Tuple(&tuple);
+      if (!st.ok()) return st;
+      if (!tuple.is_data() || tuple.arity() <= key_attr) {
+        return Status::InvalidArgument("malformed join snapshot tuple");
+      }
+      inputs[i].Insert(tuple);
+    }
+  }
+  if (!r.done()) {
+    return Status::InvalidArgument("trailing bytes in multiway-join snapshot");
+  }
+  OperatorSnapshot snap;
+  int64_t total = 0;
+  for (const Input& in : inputs) total += static_cast<int64_t>(in.stored);
+  snap.element_count = total;
+  snap.state = std::move(inputs);
+  return snap;
 }
 }  // namespace flexstream

@@ -1,5 +1,8 @@
 #include "operators/sink.h"
 
+#include <utility>
+
+#include "util/binary_io.h"
 #include "util/logging.h"
 
 namespace flexstream {
@@ -99,6 +102,40 @@ void CountingSink::RestoreState(const OperatorSnapshot& snapshot) {
                std::memory_order_relaxed);
 }
 
+Status CountingSink::EncodeState(const OperatorSnapshot& snapshot,
+                                 std::string* out) const {
+  int64_t count = 0;
+  if (snapshot.state.has_value()) {
+    const int64_t* p = std::any_cast<int64_t>(&snapshot.state);
+    if (p == nullptr) {
+      return Status::InvalidArgument(
+          "snapshot is not a counting-sink snapshot");
+    }
+    count = *p;
+  }
+  BinaryWriter(out).I64(count);
+  return Status::Ok();
+}
+
+Result<OperatorSnapshot> CountingSink::DecodeState(
+    std::string_view bytes) const {
+  BinaryReader r(bytes);
+  int64_t count = 0;
+  Status st = r.I64(&count);
+  if (!st.ok()) return st;
+  if (!r.done()) {
+    return Status::InvalidArgument(
+        "trailing bytes in counting-sink snapshot");
+  }
+  if (count < 0) {
+    return Status::InvalidArgument("counting-sink snapshot count negative");
+  }
+  OperatorSnapshot snap;
+  snap.element_count = count;
+  snap.state = count;
+  return snap;
+}
+
 CollectingSink::CollectingSink(std::string name) : Sink(std::move(name)) {}
 
 OperatorSnapshot CollectingSink::SnapshotState() const {
@@ -112,6 +149,59 @@ OperatorSnapshot CollectingSink::SnapshotState() const {
 void CollectingSink::RestoreState(const OperatorSnapshot& snapshot) {
   std::lock_guard<std::mutex> lock(results_mutex_);
   results_ = std::any_cast<std::vector<Tuple>>(snapshot.state);
+}
+
+Status CollectingSink::EncodeState(const OperatorSnapshot& snapshot,
+                                   std::string* out) const {
+  const std::vector<Tuple>* results = nullptr;
+  if (snapshot.state.has_value()) {
+    results = std::any_cast<std::vector<Tuple>>(&snapshot.state);
+    if (results == nullptr) {
+      return Status::InvalidArgument(
+          "snapshot is not a collecting-sink snapshot");
+    }
+  }
+  BinaryWriter w(out);
+  if (results == nullptr) {
+    w.U64(0);
+    return Status::Ok();
+  }
+  w.U64(results->size());
+  for (const Tuple& tuple : *results) w.Tuple(tuple);
+  return Status::Ok();
+}
+
+Result<OperatorSnapshot> CollectingSink::DecodeState(
+    std::string_view bytes) const {
+  BinaryReader r(bytes);
+  uint64_t count = 0;
+  Status st = r.U64(&count);
+  if (!st.ok()) return st;
+  // Every stored tuple costs at least its fixed header, so a count
+  // beyond the remaining bytes is corrupt — reject it before reserve()
+  // turns a garbage count into a std::length_error.
+  if (count > r.remaining()) {
+    return Status::InvalidArgument(
+        "collecting-sink count " + std::to_string(count) +
+        " exceeds the " + std::to_string(r.remaining()) +
+        " bytes remaining");
+  }
+  std::vector<Tuple> results;
+  results.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Tuple tuple = Tuple::OfInt(0, 0);
+    st = r.Tuple(&tuple);
+    if (!st.ok()) return st;
+    results.push_back(std::move(tuple));
+  }
+  if (!r.done()) {
+    return Status::InvalidArgument(
+        "trailing bytes in collecting-sink snapshot");
+  }
+  OperatorSnapshot snap;
+  snap.element_count = static_cast<int64_t>(results.size());
+  snap.state = std::move(results);
+  return snap;
 }
 
 std::vector<Tuple> CollectingSink::TakeResults() {

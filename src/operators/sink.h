@@ -66,6 +66,11 @@ class CountingSink : public Sink, public StatefulOperator {
   OperatorSnapshot SnapshotState() const override;
   void RestoreState(const OperatorSnapshot& snapshot) override;
 
+  bool SupportsDurableState() const override { return true; }
+  Status EncodeState(const OperatorSnapshot& snapshot,
+                     std::string* out) const override;
+  Result<OperatorSnapshot> DecodeState(std::string_view bytes) const override;
+
   /// Enables per-arrival time recording relative to `start`.
   void StartTimeline(TimePoint start);
   /// (seconds since start, cumulative count) samples, one per arrival.
@@ -101,6 +106,11 @@ class CollectingSink : public Sink, public StatefulOperator {
 
   OperatorSnapshot SnapshotState() const override;
   void RestoreState(const OperatorSnapshot& snapshot) override;
+
+  bool SupportsDurableState() const override { return true; }
+  Status EncodeState(const OperatorSnapshot& snapshot,
+                     std::string* out) const override;
+  Result<OperatorSnapshot> DecodeState(std::string_view bytes) const override;
 
   void Reset() override;
 

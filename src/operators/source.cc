@@ -72,6 +72,11 @@ void Source::PushEpochs(const Tuple& tuple) {
   }
   DCHECK(tuple.is_data());
   DCHECK(!closed_by_driver_) << DebugString() << " pushed after Close";
+  if (resume_skip_ > 0 && !replaying_) {
+    // Cold-restart prefix: already reflected in the restored state.
+    --resume_skip_;
+    return;
+  }
   // Record before emitting: if a failure poisons the graph mid-emit, the
   // element is already in the replay buffer.
   if (observer_ != nullptr && !replaying_) observer_->OnPush(tuple, next_epoch_);
@@ -116,6 +121,7 @@ void Source::ArmEpochs(uint64_t interval, PushObserver* observer,
   gate_ = gate;
   next_epoch_ = 1;
   pushed_in_epoch_ = 0;
+  resume_skip_ = 0;
   replaying_ = false;
 }
 
@@ -125,6 +131,7 @@ void Source::DisarmEpochs() {
   gate_ = nullptr;
   next_epoch_ = 1;
   pushed_in_epoch_ = 0;
+  resume_skip_ = 0;
   replaying_ = false;
 }
 

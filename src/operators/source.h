@@ -96,6 +96,18 @@ class Source : public Operator {
   /// Reset().
   void RewindTo(uint64_t epoch);
 
+  /// Cold-restart resume (DESIGN.md §16): silently discards the next `n`
+  /// data pushes on the epoch path — no emit, no observer record, no epoch
+  /// counting. After a cold restart the driver re-feeds the source's full
+  /// deterministic input; the skip swallows the prefix already reflected
+  /// in the restored epoch's state, so the live run resumes exactly at the
+  /// durable replay cursor and barriers regenerate at identical positions.
+  /// Call with the graph quiescent, after RewindTo. Cleared by
+  /// ArmEpochs/DisarmEpochs but preserved across RewindTo/Reset (a live
+  /// recovery during the skip phase must keep skipping).
+  void SetResumeSkip(uint64_t n) { resume_skip_ = n; }
+  uint64_t resume_skip() const { return resume_skip_; }
+
   /// Replay bracket: between BeginReplay and EndReplay, Push/Close bypass
   /// both the gate (the recovery thread holds it exclusively — retaking it
   /// would self-deadlock) and the observer (replayed elements are already
@@ -134,6 +146,7 @@ class Source : public Operator {
   uint64_t epoch_interval_ = 0;
   uint64_t next_epoch_ = 1;
   uint64_t pushed_in_epoch_ = 0;
+  uint64_t resume_skip_ = 0;
   PushObserver* observer_ = nullptr;
   std::shared_mutex* gate_ = nullptr;
   bool replaying_ = false;

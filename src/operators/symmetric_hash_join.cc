@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "operators/router.h"
+#include "util/binary_io.h"
 #include "util/logging.h"
 
 namespace flexstream {
@@ -94,6 +95,83 @@ void SymmetricHashJoin::RestoreState(const OperatorSnapshot& snapshot) {
       std::any_cast<const std::vector<Side>&>(snapshot.state);
   sides_[0] = sides[0];
   sides_[1] = sides[1];
+}
+
+Status SymmetricHashJoin::EncodeState(const OperatorSnapshot& snapshot,
+                                      std::string* out) const {
+  const std::vector<Side>* sides = nullptr;
+  if (snapshot.state.has_value()) {
+    sides = std::any_cast<std::vector<Side>>(&snapshot.state);
+    if (sides == nullptr) {
+      return Status::InvalidArgument("snapshot is not a join snapshot");
+    }
+    if (sides->size() != 2) {
+      return Status::InvalidArgument("malformed join snapshot");
+    }
+  }
+  BinaryWriter w(out);
+  for (int s = 0; s < 2; ++s) {
+    const size_t key_attr =
+        sides != nullptr ? (*sides)[s].key_attr : sides_[s].key_attr;
+    w.U64(key_attr);
+    if (sides == nullptr) {
+      w.U64(0);
+      continue;
+    }
+    const Side& side = (*sides)[s];
+    w.U64(side.stored);
+    // Emit stored tuples in arrival order: the i-th expiry entry for key k
+    // pairs with the i-th tuple of k's bucket (both FIFO), so a per-key
+    // cursor walk over the expiry queue recovers the arrival stream.
+    std::unordered_map<Value, size_t, ValueHash> cursor;
+    for (const auto& entry : side.expiry) {
+      auto it = side.table.find(entry.first);
+      if (it == side.table.end()) {
+        return Status::Internal("join snapshot expiry/table mismatch");
+      }
+      size_t& index = cursor[entry.first];
+      if (index >= it->second.size()) {
+        return Status::Internal("join snapshot expiry/table mismatch");
+      }
+      w.Tuple(it->second[index++]);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<OperatorSnapshot> SymmetricHashJoin::DecodeState(
+    std::string_view bytes) const {
+  BinaryReader r(bytes);
+  std::vector<Side> sides(2);
+  for (int s = 0; s < 2; ++s) {
+    uint64_t key_attr = 0;
+    uint64_t count = 0;
+    Status st = r.U64(&key_attr);
+    if (st.ok()) st = r.U64(&count);
+    if (!st.ok()) return st;
+    if (key_attr != sides_[s].key_attr) {
+      return Status::InvalidArgument(
+          "join snapshot key attribute does not match operator");
+    }
+    sides[s].key_attr = key_attr;
+    for (uint64_t i = 0; i < count; ++i) {
+      Tuple tuple = Tuple::OfInt(0, 0);
+      st = r.Tuple(&tuple);
+      if (!st.ok()) return st;
+      if (!tuple.is_data() || tuple.arity() <= key_attr) {
+        return Status::InvalidArgument("malformed join snapshot tuple");
+      }
+      sides[s].Insert(tuple);
+    }
+  }
+  if (!r.done()) {
+    return Status::InvalidArgument("trailing bytes in join snapshot");
+  }
+  OperatorSnapshot snap;
+  snap.element_count =
+      static_cast<int64_t>(sides[0].stored + sides[1].stored);
+  snap.state = std::move(sides);
+  return snap;
 }
 
 std::unique_ptr<Operator> SymmetricHashJoin::CloneFresh(

@@ -42,6 +42,11 @@ class SymmetricHashJoin : public Operator, public StatefulOperator {
   OperatorSnapshot SnapshotState() const override;
   void RestoreState(const OperatorSnapshot& snapshot) override;
 
+  bool SupportsDurableState() const override { return true; }
+  Status EncodeState(const OperatorSnapshot& snapshot,
+                     std::string* out) const override;
+  Result<OperatorSnapshot> DecodeState(std::string_view bytes) const override;
+
   std::unique_ptr<Operator> CloneFresh(std::string name) const override;
 
   /// Redistributes the committed snapshots of N replicas of this join

@@ -1,5 +1,9 @@
 #include "operators/symmetric_nl_join.h"
 
+#include <utility>
+#include <vector>
+
+#include "util/binary_io.h"
 #include "util/logging.h"
 
 namespace flexstream {
@@ -61,5 +65,50 @@ void SymmetricNlJoin::RestoreState(const OperatorSnapshot& snapshot) {
       std::any_cast<const std::vector<SlidingWindow>&>(snapshot.state);
   windows_[0] = windows[0];
   windows_[1] = windows[1];
+}
+
+Status SymmetricNlJoin::EncodeState(const OperatorSnapshot& snapshot,
+                                    std::string* out) const {
+  const std::vector<SlidingWindow>* windows = nullptr;
+  if (snapshot.state.has_value()) {
+    windows = std::any_cast<std::vector<SlidingWindow>>(&snapshot.state);
+    if (windows == nullptr) {
+      return Status::InvalidArgument("snapshot is not an nl-join snapshot");
+    }
+    if (windows->size() != 2) {
+      return Status::InvalidArgument("malformed nl-join snapshot");
+    }
+  }
+  for (int s = 0; s < 2; ++s) {
+    if (windows == nullptr) {
+      EncodeWindow(SlidingWindow(windows_[s].duration_micros()), out);
+    } else {
+      EncodeWindow((*windows)[s], out);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<OperatorSnapshot> SymmetricNlJoin::DecodeState(
+    std::string_view bytes) const {
+  BinaryReader r(bytes);
+  std::vector<SlidingWindow> windows;
+  for (int s = 0; s < 2; ++s) {
+    Result<SlidingWindow> window = DecodeWindow(&r);
+    if (!window.ok()) return std::move(window).status();
+    if (window->duration_micros() != windows_[s].duration_micros()) {
+      return Status::InvalidArgument(
+          "nl-join snapshot window duration does not match operator");
+    }
+    windows.push_back(std::move(window).value());
+  }
+  if (!r.done()) {
+    return Status::InvalidArgument("trailing bytes in nl-join snapshot");
+  }
+  OperatorSnapshot snap;
+  snap.element_count =
+      static_cast<int64_t>(windows[0].size() + windows[1].size());
+  snap.state = std::move(windows);
+  return snap;
 }
 }  // namespace flexstream

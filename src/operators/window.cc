@@ -1,5 +1,8 @@
 #include "operators/window.h"
 
+#include <utility>
+
+#include "util/binary_io.h"
 #include "util/logging.h"
 
 namespace flexstream {
@@ -23,6 +26,37 @@ void SlidingWindow::ExpireBefore(
     if (on_expired) on_expired(contents_.front());
     contents_.pop_front();
   }
+}
+
+void EncodeWindow(const SlidingWindow& window, std::string* out) {
+  BinaryWriter w(out);
+  w.I64(window.duration_micros());
+  w.U64(window.size());
+  for (const Tuple& tuple : window.contents()) {
+    w.Tuple(tuple);
+  }
+}
+
+Result<SlidingWindow> DecodeWindow(BinaryReader* reader) {
+  int64_t duration = 0;
+  uint64_t count = 0;
+  Status s = reader->I64(&duration);
+  if (s.ok()) s = reader->U64(&count);
+  if (!s.ok()) return s;
+  if (duration < 0) {
+    return Status::InvalidArgument("window duration negative");
+  }
+  SlidingWindow window(duration);
+  for (uint64_t i = 0; i < count; ++i) {
+    Tuple tuple = Tuple::OfInt(0, 0);
+    s = reader->Tuple(&tuple);
+    if (!s.ok()) return s;
+    if (!tuple.is_data()) {
+      return Status::InvalidArgument("window contents must be data tuples");
+    }
+    window.Add(tuple);
+  }
+  return window;
 }
 
 }  // namespace flexstream

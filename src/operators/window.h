@@ -14,10 +14,14 @@
 
 #include <deque>
 #include <functional>
+#include <string>
 
 #include "tuple/tuple.h"
+#include "util/status.h"
 
 namespace flexstream {
+
+class BinaryReader;
 
 class SlidingWindow {
  public:
@@ -46,6 +50,12 @@ class SlidingWindow {
   AppTime duration_micros_;
   std::deque<Tuple> contents_;
 };
+
+/// Durable-checkpoint serialization (DESIGN.md §16): duration + contents
+/// in window order. Deterministic, so the byte-exact round-trip tests can
+/// pin the encoding of every window-carrying operator snapshot.
+void EncodeWindow(const SlidingWindow& window, std::string* out);
+Result<SlidingWindow> DecodeWindow(BinaryReader* reader);
 
 }  // namespace flexstream
 

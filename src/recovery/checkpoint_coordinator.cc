@@ -99,6 +99,25 @@ std::vector<uint64_t> CheckpointCoordinator::CommitCompleteLocked() {
   return committed;
 }
 
+CheckpointCoordinator::CommittedState CheckpointCoordinator::CommittedCopy()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CommittedState state;
+  state.epoch = committed_epoch_.load(std::memory_order_relaxed);
+  state.snapshots = committed_snapshots_;
+  return state;
+}
+
+void CheckpointCoordinator::SetRestoredState(
+    uint64_t epoch,
+    std::unordered_map<Operator*, OperatorSnapshot> snapshots) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.clear();
+  closed_.clear();
+  committed_snapshots_ = std::move(snapshots);
+  committed_epoch_.store(epoch, std::memory_order_release);
+}
+
 void CheckpointCoordinator::OnRestore() {
   std::lock_guard<std::mutex> lock(mutex_);
   // The rewound run re-aligns and re-closes everything past the committed

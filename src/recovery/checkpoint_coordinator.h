@@ -58,6 +58,24 @@ class CheckpointCoordinator {
     return committed_snapshots_;
   }
 
+  /// Epoch + deep copy of the committed snapshots, captured atomically
+  /// under the lock. The durable persister runs on a commit listener while
+  /// the graph keeps committing newer epochs, so it must not read
+  /// committed() (the map is replaced wholesale on every commit).
+  struct CommittedState {
+    uint64_t epoch = 0;
+    std::unordered_map<Operator*, OperatorSnapshot> snapshots;
+  };
+  CommittedState CommittedCopy() const;
+
+  /// Cold-restart seeding: installs epoch + snapshots loaded from disk as
+  /// the committed state, so the subsequent in-memory commit chain (epoch
+  /// E+1, E+2, ...) and any later live recovery build on the restored
+  /// baseline. Call while quiescent, before sources start.
+  void SetRestoredState(uint64_t epoch,
+                        std::unordered_map<Operator*, OperatorSnapshot>
+                            snapshots);
+
   /// Recovery restore: discards pending (uncommitted) epoch state and the
   /// closed-operator set — the rewound run re-reports everything.
   void OnRestore();

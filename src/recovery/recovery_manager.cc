@@ -1,6 +1,10 @@
 #include "recovery/recovery_manager.h"
 
+#include <algorithm>
 #include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "graph/node.h"
@@ -19,11 +23,46 @@ RecoveryManager::RecoveryManager(Options options)
 
 RecoveryManager::~RecoveryManager() { Disarm(); }
 
-void RecoveryManager::Arm(QueryGraph* graph) {
+Status RecoveryManager::Arm(QueryGraph* graph) {
   CHECK(graph != nullptr);
   CHECK(graph_ == nullptr) << "RecoveryManager already armed";
+  const bool durable = !options_.durable_dir.empty();
+  if (durable) {
+    // Validate before touching the graph: durable checkpointing needs
+    // every stateful operator encodable and every record/cursor name
+    // unique (restore matches by name).
+    std::set<std::string> names;
+    for (Node* node : graph->nodes()) {
+      if (node->is_queue()) continue;
+      if (node->inputs().empty() && node->outputs().empty() &&
+          !node->is_source()) {
+        continue;
+      }
+      auto* op = dynamic_cast<Operator*>(node);
+      if (op == nullptr) continue;
+      auto* stateful = dynamic_cast<StatefulOperator*>(op);
+      if (stateful != nullptr && !stateful->SupportsDurableState()) {
+        return Status::FailedPrecondition(
+            "durable checkpoints: stateful operator '" + op->name() +
+            "' does not implement EncodeState/DecodeState");
+      }
+      if ((stateful != nullptr || node->is_source()) &&
+          !names.insert(op->name()).second) {
+        return Status::FailedPrecondition(
+            "durable checkpoints: duplicate operator name '" + op->name() +
+            "' (records are matched by name on restore)");
+      }
+    }
+    auto store = std::make_unique<SnapshotStore>(SnapshotStore::Options{
+        options_.durable_dir, options_.storage_env,
+        std::max(1, options_.durable_retain_epochs)});
+    Status opened = store->Open();
+    if (!opened.ok()) return opened;
+    store_ = std::move(store);
+  }
   graph_ = graph;
   coordinator_.SetCommitListener([this](uint64_t epoch) {
+    if (store_ != nullptr) PersistEpoch(epoch);
     for (auto& buffer : buffers_) buffer->TrimThrough(epoch);
   });
   for (Node* node : graph->nodes()) {
@@ -48,6 +87,156 @@ void RecoveryManager::Arm(QueryGraph* graph) {
     coordinator_.Register(op, dynamic_cast<StatefulOperator*>(op),
                           node->is_sink());
   }
+  return Status::Ok();
+}
+
+void RecoveryManager::PersistEpoch(uint64_t epoch) {
+  // Deep-copy the committed state atomically; the graph keeps committing
+  // newer epochs while we serialize. A copy whose epoch moved past ours
+  // means a newer commit superseded this one — its own listener call
+  // persists it, so this one is simply skipped.
+  CheckpointCoordinator::CommittedState state = coordinator_.CommittedCopy();
+  if (state.epoch != epoch) return;
+  EpochSnapshot snapshot;
+  snapshot.epoch = epoch;
+  snapshot.operators.reserve(state.snapshots.size());
+  for (const auto& [op, op_snapshot] : state.snapshots) {
+    auto* stateful = dynamic_cast<StatefulOperator*>(op);
+    DCHECK(stateful != nullptr);
+    DurableRecord record;
+    record.name = op->name();
+    Status encoded = stateful->EncodeState(op_snapshot, &record.payload);
+    if (!encoded.ok()) {
+      LOG(WARNING) << "durable checkpoint: encoding state of '" << op->name()
+                   << "' for epoch " << epoch
+                   << " failed: " << encoded.ToString();
+      persist_failures_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    snapshot.operators.push_back(std::move(record));
+  }
+  std::sort(snapshot.operators.begin(), snapshot.operators.end(),
+            [](const DurableRecord& a, const DurableRecord& b) {
+              return a.name < b.name;
+            });
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    DurableCursor cursor;
+    cursor.name = sources_[i]->name();
+    cursor.elements = buffers_[i]->RecordedThrough(epoch);
+    cursor.closed = buffers_[i]->recorded_close(&cursor.close_timestamp);
+    snapshot.cursors.push_back(std::move(cursor));
+  }
+  Status written = store_->WriteEpoch(snapshot);
+  if (!written.ok() && written.code() != StatusCode::kAlreadyExists) {
+    // AlreadyExists = a concurrently committed newer epoch won the write
+    // race; anything else is a real persist failure. Either way the run
+    // continues — cold restart falls back to the last persisted epoch.
+    LOG(WARNING) << "durable checkpoint: writing epoch " << epoch
+                 << " failed: " << written.ToString();
+    persist_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Result<uint64_t> RecoveryManager::RestoreFromDisk() {
+  CHECK(graph_ != nullptr) << "RestoreFromDisk requires an armed graph";
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "durable checkpoints not configured (no durable_dir)");
+  }
+  Result<EpochSnapshot> loaded = store_->LoadNewestIntact();
+  if (!loaded.ok()) {
+    if (loaded.status().code() == StatusCode::kNotFound) {
+      return uint64_t{0};  // empty store: fresh start
+    }
+    return std::move(loaded).status();
+  }
+  const uint64_t epoch = loaded->epoch;
+  // Match durable records and cursors against the armed graph by name.
+  std::unordered_map<std::string, std::pair<Operator*, StatefulOperator*>>
+      stateful_by_name;
+  for (Node* node : graph_->nodes()) {
+    if (node->is_source() || node->is_queue()) continue;
+    auto* op = dynamic_cast<Operator*>(node);
+    if (op == nullptr) continue;
+    auto* stateful = dynamic_cast<StatefulOperator*>(op);
+    if (stateful != nullptr) stateful_by_name[op->name()] = {op, stateful};
+  }
+  std::unordered_map<Operator*, OperatorSnapshot> snapshots;
+  for (const DurableRecord& record : loaded->operators) {
+    auto it = stateful_by_name.find(record.name);
+    if (it == stateful_by_name.end()) {
+      return Status::FailedPrecondition(
+          "durable epoch " + std::to_string(epoch) +
+          " holds a record for unknown operator '" + record.name +
+          "' — the rebuilt graph does not match the checkpointed one");
+    }
+    Result<OperatorSnapshot> decoded =
+        it->second.second->DecodeState(record.payload);
+    if (!decoded.ok()) {
+      return Status::Internal(
+          "durable epoch " + std::to_string(epoch) + " record '" +
+          record.name + "' failed to decode: " +
+          std::move(decoded).status().ToString());
+    }
+    decoded->epoch = epoch;
+    snapshots[it->second.first] = std::move(decoded).value();
+  }
+  std::unordered_map<std::string, const DurableCursor*> cursors_by_name;
+  for (const DurableCursor& cursor : loaded->cursors) {
+    cursors_by_name[cursor.name] = &cursor;
+  }
+  for (Source* source : sources_) {
+    if (cursors_by_name.find(source->name()) == cursors_by_name.end()) {
+      return Status::FailedPrecondition(
+          "durable epoch " + std::to_string(epoch) +
+          " holds no replay cursor for source '" + source->name() + "'");
+    }
+  }
+  // All records validated — now mutate the graph: wipe, rewind, install.
+  for (Node* node : graph_->nodes()) {
+    node->Reset();
+    if (node->is_source()) {
+      auto* source = dynamic_cast<Source*>(node);
+      if (source != nullptr) {
+        source->RewindTo(epoch);
+        source->SetResumeSkip(cursors_by_name[source->name()]->elements);
+      }
+    }
+  }
+  // The replay buffers never see the resume-skipped prefix, so seed their
+  // recorded counts with the restored cursors — cursors persisted by this
+  // incarnation stay stream-absolute and a later cold restart skips the
+  // right amount.
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    buffers_[i]->SetRecordedBase(
+        cursors_by_name[sources_[i]->name()]->elements);
+  }
+  for (const auto& [op, snapshot] : snapshots) {
+    auto* stateful = dynamic_cast<StatefulOperator*>(op);
+    stateful->RestoreState(snapshot);
+  }
+  coordinator_.SetRestoredState(epoch, std::move(snapshots));
+  for (Node* node : graph_->nodes()) {
+    if (node->is_source() || node->is_queue()) continue;
+    auto* op = dynamic_cast<Operator*>(node);
+    if (op != nullptr) op->SetRecoveredEpoch(epoch);
+  }
+  // If we fell back past a corrupt newer epoch, drop it from the store so
+  // the resumed run can re-commit (and re-persist) those epochs.
+  Status truncated = store_->TruncateAfter(epoch);
+  if (!truncated.ok()) {
+    LOG(WARNING) << "durable checkpoint: truncating store after epoch "
+                 << epoch << " failed: " << truncated.ToString();
+  }
+  return epoch;
+}
+
+Status RecoveryManager::replay_truncation_status() const {
+  for (const auto& buffer : buffers_) {
+    Status status = buffer->truncation_status();
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
 }
 
 void RecoveryManager::Disarm() {
@@ -60,6 +249,7 @@ void RecoveryManager::Disarm() {
   }
   sources_.clear();
   buffers_.clear();
+  store_.reset();
   graph_ = nullptr;
 }
 

@@ -16,15 +16,19 @@
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
+#include <string>
 #include <vector>
 
 #include "recovery/checkpoint_coordinator.h"
 #include "recovery/replay_buffer.h"
+#include "recovery/snapshot_store.h"
+#include "util/status.h"
 
 namespace flexstream {
 
 class QueryGraph;
 class Source;
+class StorageEnv;
 
 class RecoveryManager {
  public:
@@ -36,6 +40,15 @@ class RecoveryManager {
     int max_attempts = 3;
     /// Replay-buffer element cap per source (0 = unbounded).
     size_t replay_buffer_max_elements = 1 << 20;
+    /// Durable checkpoints (DESIGN.md §16): non-empty = persist every
+    /// committed epoch's snapshots + replay cursors to this directory via
+    /// a SnapshotStore, enabling RestoreFromDisk after a process death.
+    std::string durable_dir;
+    /// Storage backend for the durable store (nullptr = local POSIX env;
+    /// tests inject a chaos FaultyStorageEnv).
+    StorageEnv* storage_env = nullptr;
+    /// Committed epochs retained on disk (>=1); older ones are GC'd.
+    int durable_retain_epochs = 2;
   };
 
   explicit RecoveryManager(Options options);
@@ -46,8 +59,12 @@ class RecoveryManager {
 
   /// Installs epoch injection, replay buffers, and alignment callbacks on
   /// `graph` (must already contain its placed queues). Call while
-  /// quiescent (engine Configure).
-  void Arm(QueryGraph* graph);
+  /// quiescent (engine Configure). With a durable_dir configured, also
+  /// opens the snapshot store and validates that every stateful operator
+  /// supports durable state and that operator/source names are unique
+  /// (records are matched by name on restore) — failing with a Status
+  /// naming the offender rather than arming a partially-persistable graph.
+  Status Arm(QueryGraph* graph);
 
   /// Removes everything Arm installed (engine Deconfigure).
   void Disarm();
@@ -80,6 +97,30 @@ class RecoveryManager {
   /// it via the sources' replay bracket).
   void ReplaySources();
 
+  /// Cold restart (DESIGN.md §16): loads the newest intact epoch from the
+  /// durable store into the quiesced, freshly armed graph — decodes every
+  /// operator record (matched by name), seeds the coordinator's committed
+  /// state, rewinds each source to the epoch boundary and installs its
+  /// resume-skip cursor. Returns the restored epoch; 0 when the store is
+  /// empty (fresh start); an error when the store holds no intact epoch or
+  /// a record doesn't match the graph. Call before Start, with executors
+  /// not yet running.
+  Result<uint64_t> RestoreFromDisk();
+
+  /// The durable snapshot store (nullptr when not configured).
+  SnapshotStore* snapshot_store() { return store_.get(); }
+  const SnapshotStore* snapshot_store() const { return store_.get(); }
+
+  /// First failing replay-buffer truncation status (Ok when all intact) —
+  /// names the source and first unreplayable epoch.
+  Status replay_truncation_status() const;
+
+  /// Durable persist failures (encode or store write) — the run continues,
+  /// cold restart just falls back to the last epoch that did persist.
+  int64_t persist_failures() const {
+    return persist_failures_.load(std::memory_order_relaxed);
+  }
+
   // Stats.
   int attempts() const { return attempts_.load(std::memory_order_relaxed); }
   int completed_recoveries() const {
@@ -95,11 +136,17 @@ class RecoveryManager {
   const Options& options() const { return options_; }
 
  private:
+  /// Encodes + writes committed epoch `epoch` to the durable store.
+  /// Failures are logged and counted, never fatal to the run.
+  void PersistEpoch(uint64_t epoch);
+
   const Options options_;
   QueryGraph* graph_ = nullptr;
   std::vector<Source*> sources_;
   std::vector<std::unique_ptr<ReplayBuffer>> buffers_;
   CheckpointCoordinator coordinator_;
+  std::unique_ptr<SnapshotStore> store_;
+  std::atomic<int64_t> persist_failures_{0};
 
   // Source pause gate: sources take it shared per Push/Close, recovery
   // exclusively. unique_lock stored so Pause/Resume can span calls.

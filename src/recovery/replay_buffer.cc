@@ -15,9 +15,18 @@ ReplayBuffer::ReplayBuffer(Source* source, size_t max_elements)
 
 void ReplayBuffer::OnPush(const Tuple& tuple, uint64_t epoch) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (truncated_) return;  // already disqualified — stop buffering
+  // The recorded-element count keeps advancing after truncation: durable
+  // replay cursors (RecordedThrough) must stay exact even when the live
+  // replay suffix is disqualified.
+  ++total_recorded_;
+  if (truncated_) {  // already disqualified — stop buffering
+    ++dropped_per_epoch_[epoch];
+    return;
+  }
   if (max_elements_ != 0 && entries_.size() >= max_elements_) {
     truncated_ = true;
+    first_unreplayable_epoch_ = epoch;
+    ++dropped_per_epoch_[epoch];
     LOG(WARNING) << "replay buffer for source '" << source_->name()
                  << "' overflowed at " << entries_.size()
                  << " elements; recovery disabled for this run";
@@ -62,6 +71,44 @@ void ReplayBuffer::Replay() {
 bool ReplayBuffer::truncated() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return truncated_;
+}
+
+Status ReplayBuffer::truncation_status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!truncated_) return Status::Ok();
+  return Status::FailedPrecondition(
+      "replay buffer for source '" + source_->name() +
+      "' truncated: epoch " + std::to_string(first_unreplayable_epoch_) +
+      " is the first epoch with dropped elements (cap " +
+      std::to_string(max_elements_) + ")");
+}
+
+uint64_t ReplayBuffer::RecordedThrough(uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t later = 0;
+  for (auto it = entries_.rbegin();
+       it != entries_.rend() && it->epoch > epoch; ++it) {
+    ++later;
+  }
+  // Elements dropped by truncation are in total_recorded_ but not in
+  // entries_; subtract the ones belonging to later epochs.
+  for (auto it = dropped_per_epoch_.upper_bound(epoch);
+       it != dropped_per_epoch_.end(); ++it) {
+    later += it->second;
+  }
+  return total_recorded_ - later;
+}
+
+void ReplayBuffer::SetRecordedBase(uint64_t elements) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DCHECK(entries_.empty());
+  total_recorded_ = elements;
+}
+
+bool ReplayBuffer::recorded_close(AppTime* timestamp) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) *timestamp = close_timestamp_;
+  return closed_;
 }
 
 size_t ReplayBuffer::depth() const {

@@ -18,10 +18,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
 
 #include "operators/source.h"
 #include "tuple/tuple.h"
+#include "util/status.h"
 
 namespace flexstream {
 
@@ -45,6 +47,34 @@ class ReplayBuffer : public Source::PushObserver {
   /// incomplete and must not be replayed.
   bool truncated() const;
 
+  /// Ok while the buffer is intact; after an overflow, FailedPrecondition
+  /// naming the source and the first epoch whose elements were dropped —
+  /// the diagnosis the engine logs when it abandons live recovery.
+  Status truncation_status() const;
+
+  /// Number of data elements the source recorded through epoch `epoch`
+  /// (i.e. before emitting that epoch's barrier) — the durable replay
+  /// cursor persisted per committed epoch. Counts every recorded push,
+  /// including elements later trimmed or dropped by truncation, so it
+  /// stays exact for the lifetime of the run. Call with the epoch just
+  /// committed, before or after that epoch's TrimThrough.
+  uint64_t RecordedThrough(uint64_t epoch) const;
+
+  /// True if the source's Close was recorded; fills `*timestamp` with the
+  /// recorded close timestamp.
+  bool recorded_close(AppTime* timestamp) const;
+
+  /// Seeds the recorded-element count with the committed stream prefix the
+  /// rebuilt source swallows via resume-skip after a cold restart. Skipped
+  /// pushes never reach OnPush, so without this base RecordedThrough would
+  /// count from the restore point and cursors persisted by the new
+  /// incarnation would no longer be stream-absolute — a *second* cold
+  /// restart would then under-skip and duplicate input. Call once, before
+  /// the source is re-driven.
+  void SetRecordedBase(uint64_t elements);
+
+  Source* source() const { return source_; }
+
   size_t depth() const;
   size_t peak_depth() const;
   int64_t replayed_elements() const;
@@ -63,6 +93,11 @@ class ReplayBuffer : public Source::PushObserver {
   bool closed_ = false;
   AppTime close_timestamp_ = 0;
   bool truncated_ = false;
+  uint64_t first_unreplayable_epoch_ = 0;
+  uint64_t total_recorded_ = 0;
+  // Elements dropped after truncation, per epoch (empty while intact) —
+  // keeps RecordedThrough exact after an overflow.
+  std::map<uint64_t, uint64_t> dropped_per_epoch_;
   size_t peak_depth_ = 0;
   int64_t replayed_elements_ = 0;
 };

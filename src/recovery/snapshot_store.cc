@@ -1,0 +1,392 @@
+#include "recovery/snapshot_store.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/binary_io.h"
+#include "util/crc32c.h"
+#include "util/logging.h"
+
+namespace flexstream {
+namespace {
+
+constexpr char kEpochMagic[] = "FLXCKPT1";    // 8 bytes
+constexpr char kEpochEndMagic[] = "FLXCKEND";  // 8 bytes
+constexpr char kManifestMagic[] = "FLXMAN01";  // 8 bytes
+constexpr uint32_t kFormatVersion = 1;
+constexpr char kManifestName[] = "MANIFEST";
+constexpr size_t kMagicLen = 8;
+
+/// Canonical bytes a record's CRC covers (name + payload, length-prefixed).
+uint32_t RecordCrc(const DurableRecord& record) {
+  std::string bytes;
+  BinaryWriter w(&bytes);
+  w.Str(record.name);
+  w.Str(record.payload);
+  return Crc32c(bytes);
+}
+
+uint32_t CursorCrc(const DurableCursor& cursor) {
+  std::string bytes;
+  BinaryWriter w(&bytes);
+  w.Str(cursor.name);
+  w.U64(cursor.elements);
+  w.U8(cursor.closed ? 1 : 0);
+  w.I64(cursor.close_timestamp);
+  return Crc32c(bytes);
+}
+
+/// Parses "epoch_<digits>.ckpt"; false for anything else (tmp files,
+/// the manifest, foreign files).
+bool ParseEpochFileName(const std::string& name, uint64_t* epoch) {
+  constexpr char kPrefix[] = "epoch_";
+  constexpr char kSuffix[] = ".ckpt";
+  if (name.size() <= sizeof(kPrefix) - 1 + sizeof(kSuffix) - 1) return false;
+  if (name.compare(0, sizeof(kPrefix) - 1, kPrefix) != 0) return false;
+  if (name.compare(name.size() - (sizeof(kSuffix) - 1), sizeof(kSuffix) - 1,
+                   kSuffix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = sizeof(kPrefix) - 1; i < name.size() - (sizeof(kSuffix) - 1);
+       ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *epoch = value;
+  return true;
+}
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(Options options)
+    : options_(std::move(options)),
+      env_(options_.env != nullptr ? options_.env : LocalStorageEnv()) {
+  CHECK(!options_.dir.empty()) << "SnapshotStore requires a directory";
+  CHECK(options_.retain_epochs >= 1);
+}
+
+std::string SnapshotStore::EpochFileName(uint64_t epoch) {
+  std::string digits = std::to_string(epoch);
+  // Zero-pad so lexicographic file order equals epoch order.
+  return "epoch_" + std::string(20 - std::min<size_t>(20, digits.size()), '0') +
+         digits + ".ckpt";
+}
+
+std::string SnapshotStore::PathTo(const std::string& name) const {
+  return options_.dir + "/" + name;
+}
+
+Status SnapshotStore::Open() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Status s = env_->CreateDirs(options_.dir);
+  if (!s.ok()) return s;
+  // The manifest is authoritative when readable; a crash between the epoch
+  // rename and the manifest update leaves a valid epoch file the manifest
+  // does not know about yet, so fold the directory scan in.
+  manifest_.clear();
+  auto bytes = env_->ReadFileToString(PathTo(kManifestName));
+  if (bytes.ok()) {
+    bool valid = bytes->size() > kMagicLen + 4 &&
+                 bytes->compare(0, kMagicLen, kManifestMagic) == 0;
+    if (valid) {
+      BinaryReader tail(std::string_view(bytes->data() + bytes->size() - 4, 4));
+      uint32_t stored_crc = 0;
+      valid = tail.U32(&stored_crc).ok() &&
+              stored_crc ==
+                  Crc32c(std::string_view(bytes->data(), bytes->size() - 4));
+    }
+    if (valid) {
+      BinaryReader body(std::string_view(bytes->data() + kMagicLen,
+                                         bytes->size() - kMagicLen - 4));
+      uint32_t version = 0, count = 0;
+      valid = body.U32(&version).ok() && version == kFormatVersion &&
+              body.U32(&count).ok();
+      for (uint32_t i = 0; valid && i < count; ++i) {
+        uint64_t epoch = 0;
+        valid = body.U64(&epoch).ok();
+        if (valid) manifest_.push_back(epoch);
+      }
+      valid = valid && body.done();
+    }
+    if (!valid) {
+      LOG(WARNING) << "snapshot store manifest in '" << options_.dir
+                   << "' is corrupt; falling back to directory scan";
+      manifest_.clear();
+    }
+  }
+  for (uint64_t epoch : ScanEpochFilesLocked()) {
+    if (std::find(manifest_.begin(), manifest_.end(), epoch) ==
+        manifest_.end()) {
+      manifest_.push_back(epoch);
+    }
+  }
+  std::sort(manifest_.begin(), manifest_.end());
+  return Status::Ok();
+}
+
+std::string SnapshotStore::EncodeEpochFile(const EpochSnapshot& snapshot) {
+  std::string bytes;
+  BinaryWriter w(&bytes);
+  bytes.append(kEpochMagic, kMagicLen);
+  w.U32(kFormatVersion);
+  w.U64(snapshot.epoch);
+  w.U32(static_cast<uint32_t>(snapshot.operators.size()));
+  for (const DurableRecord& record : snapshot.operators) {
+    w.Str(record.name);
+    w.Str(record.payload);
+    w.U32(RecordCrc(record));
+  }
+  w.U32(static_cast<uint32_t>(snapshot.cursors.size()));
+  for (const DurableCursor& cursor : snapshot.cursors) {
+    w.Str(cursor.name);
+    w.U64(cursor.elements);
+    w.U8(cursor.closed ? 1 : 0);
+    w.I64(cursor.close_timestamp);
+    w.U32(CursorCrc(cursor));
+  }
+  bytes.append(kEpochEndMagic, kMagicLen);
+  w.U32(Crc32c(bytes));
+  return bytes;
+}
+
+Status SnapshotStore::DecodeEpochFile(const std::string& bytes,
+                                      uint64_t expected, EpochSnapshot* out) {
+  // Whole-file CRC first: a single check that catches truncation and bit
+  // flips anywhere before we interpret any field.
+  if (bytes.size() < kMagicLen * 2 + 4) {
+    return Status::InvalidArgument("epoch file truncated");
+  }
+  {
+    BinaryReader tail(std::string_view(bytes.data() + bytes.size() - 4, 4));
+    uint32_t stored_crc = 0;
+    Status s = tail.U32(&stored_crc);
+    if (!s.ok()) return s;
+    const uint32_t actual =
+        Crc32c(std::string_view(bytes.data(), bytes.size() - 4));
+    if (stored_crc != actual) {
+      return Status::InvalidArgument("epoch file CRC mismatch");
+    }
+  }
+  if (bytes.compare(0, kMagicLen, kEpochMagic) != 0) {
+    return Status::InvalidArgument("bad epoch file magic");
+  }
+  if (bytes.compare(bytes.size() - 4 - kMagicLen, kMagicLen, kEpochEndMagic) !=
+      0) {
+    return Status::InvalidArgument("missing epoch end magic");
+  }
+  BinaryReader r(std::string_view(bytes.data() + kMagicLen,
+                                  bytes.size() - 2 * kMagicLen - 4));
+  uint32_t version = 0;
+  Status s = r.U32(&version);
+  if (!s.ok()) return s;
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported epoch file version " +
+                                   std::to_string(version));
+  }
+  EpochSnapshot parsed;
+  s = r.U64(&parsed.epoch);
+  if (!s.ok()) return s;
+  if (expected != 0 && parsed.epoch != expected) {
+    return Status::InvalidArgument("epoch file claims epoch " +
+                                   std::to_string(parsed.epoch) +
+                                   ", expected " + std::to_string(expected));
+  }
+  uint32_t op_count = 0;
+  s = r.U32(&op_count);
+  if (!s.ok()) return s;
+  for (uint32_t i = 0; i < op_count; ++i) {
+    DurableRecord record;
+    uint32_t crc = 0;
+    s = r.Str(&record.name);
+    if (s.ok()) s = r.Str(&record.payload);
+    if (s.ok()) s = r.U32(&crc);
+    if (!s.ok()) return s;
+    if (crc != RecordCrc(record)) {
+      return Status::InvalidArgument("record CRC mismatch for operator '" +
+                                     record.name + "'");
+    }
+    parsed.operators.push_back(std::move(record));
+  }
+  uint32_t cursor_count = 0;
+  s = r.U32(&cursor_count);
+  if (!s.ok()) return s;
+  for (uint32_t i = 0; i < cursor_count; ++i) {
+    DurableCursor cursor;
+    uint8_t closed = 0;
+    uint32_t crc = 0;
+    s = r.Str(&cursor.name);
+    if (s.ok()) s = r.U64(&cursor.elements);
+    if (s.ok()) s = r.U8(&closed);
+    if (s.ok()) s = r.I64(&cursor.close_timestamp);
+    if (s.ok()) s = r.U32(&crc);
+    if (!s.ok()) return s;
+    cursor.closed = closed != 0;
+    if (crc != CursorCrc(cursor)) {
+      return Status::InvalidArgument("cursor CRC mismatch for source '" +
+                                     cursor.name + "'");
+    }
+    parsed.cursors.push_back(std::move(cursor));
+  }
+  if (!r.done()) {
+    return Status::InvalidArgument("trailing bytes in epoch file body");
+  }
+  *out = std::move(parsed);
+  return Status::Ok();
+}
+
+Status SnapshotStore::WriteFileDurably(const std::string& name,
+                                       const std::string& bytes) {
+  const std::string tmp = PathTo(name + ".tmp");
+  auto file = env_->NewWritableFile(tmp);
+  if (!file.ok()) return std::move(file).status();
+  Status s = (*file)->Append(bytes);
+  if (s.ok()) s = (*file)->Sync();
+  if (s.ok()) s = (*file)->Close();
+  if (!s.ok()) {
+    (void)env_->RemoveFile(tmp);
+    return s;
+  }
+  s = env_->Rename(tmp, PathTo(name));
+  if (!s.ok()) {
+    (void)env_->RemoveFile(tmp);
+    return s;
+  }
+  return env_->SyncDir(options_.dir);
+}
+
+Status SnapshotStore::WriteManifestLocked() {
+  std::string bytes;
+  BinaryWriter w(&bytes);
+  bytes.append(kManifestMagic, kMagicLen);
+  w.U32(kFormatVersion);
+  w.U32(static_cast<uint32_t>(manifest_.size()));
+  for (uint64_t epoch : manifest_) w.U64(epoch);
+  w.U32(Crc32c(bytes));
+  return WriteFileDurably(kManifestName, bytes);
+}
+
+void SnapshotStore::GarbageCollectLocked() {
+  auto entries = env_->ListDir(options_.dir);
+  if (!entries.ok()) return;
+  for (const std::string& name : *entries) {
+    uint64_t epoch = 0;
+    if (!ParseEpochFileName(name, &epoch)) continue;
+    if (std::find(manifest_.begin(), manifest_.end(), epoch) !=
+        manifest_.end()) {
+      continue;
+    }
+    if (env_->RemoveFile(PathTo(name)).ok()) ++stats_.gc_removed_files;
+  }
+}
+
+std::vector<uint64_t> SnapshotStore::ScanEpochFilesLocked() {
+  std::vector<uint64_t> epochs;
+  auto entries = env_->ListDir(options_.dir);
+  if (!entries.ok()) return epochs;
+  for (const std::string& name : *entries) {
+    uint64_t epoch = 0;
+    if (ParseEpochFileName(name, &epoch)) epochs.push_back(epoch);
+  }
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+Status SnapshotStore::WriteEpoch(const EpochSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!manifest_.empty() && snapshot.epoch <= manifest_.back()) {
+    return Status::AlreadyExists("epoch " + std::to_string(snapshot.epoch) +
+                                 " at or below newest recorded epoch " +
+                                 std::to_string(manifest_.back()));
+  }
+  const std::string bytes = EncodeEpochFile(snapshot);
+  const TimePoint start = Now();
+  Status s = WriteFileDurably(EpochFileName(snapshot.epoch), bytes);
+  if (!s.ok()) {
+    ++stats_.write_failures;
+    LOG(WARNING) << "durable checkpoint write failed for epoch "
+                 << snapshot.epoch << ": " << s.message();
+    return s;
+  }
+  // The epoch file is durable; only now may the manifest point at it.
+  manifest_.push_back(snapshot.epoch);
+  while (manifest_.size() > static_cast<size_t>(options_.retain_epochs)) {
+    manifest_.erase(manifest_.begin());
+  }
+  s = WriteManifestLocked();
+  if (!s.ok()) {
+    ++stats_.write_failures;
+    // The epoch file itself is intact; the next Open's directory scan will
+    // still find it, so don't roll anything back.
+    LOG(WARNING) << "manifest update failed after epoch " << snapshot.epoch
+                 << ": " << s.message();
+    return s;
+  }
+  ++stats_.epochs_written;
+  stats_.bytes_written += static_cast<int64_t>(bytes.size());
+  stats_.last_epoch_bytes = static_cast<int64_t>(bytes.size());
+  stats_.last_write_micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(Now() - start)
+          .count();
+  GarbageCollectLocked();
+  return Status::Ok();
+}
+
+Result<EpochSnapshot> SnapshotStore::LoadNewestIntact() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The manifest (refreshed by Open) already folds in scanned strays.
+  std::vector<uint64_t> candidates = manifest_;
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    const uint64_t epoch = *it;
+    auto bytes = env_->ReadFileToString(PathTo(EpochFileName(epoch)));
+    if (!bytes.ok()) {
+      ++stats_.corrupt_epochs_skipped;
+      LOG(WARNING) << "checkpoint epoch " << epoch
+                   << " unreadable: " << bytes.status().message()
+                   << "; falling back to previous epoch";
+      continue;
+    }
+    EpochSnapshot snapshot;
+    Status s = DecodeEpochFile(*bytes, epoch, &snapshot);
+    if (!s.ok()) {
+      ++stats_.corrupt_epochs_skipped;
+      LOG(WARNING) << "checkpoint epoch " << epoch
+                   << " failed validation: " << s.message()
+                   << "; falling back to previous epoch";
+      continue;
+    }
+    return snapshot;
+  }
+  return Status::NotFound("no intact checkpoint epoch in '" + options_.dir +
+                          "'");
+}
+
+Status SnapshotStore::TruncateAfter(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const size_t before = manifest_.size();
+  while (!manifest_.empty() && manifest_.back() > epoch) {
+    manifest_.pop_back();
+  }
+  if (manifest_.size() == before) return Status::Ok();
+  Status s = WriteManifestLocked();
+  if (!s.ok()) {
+    ++stats_.write_failures;
+    return s;
+  }
+  GarbageCollectLocked();
+  return Status::Ok();
+}
+
+std::vector<uint64_t> SnapshotStore::manifest_epochs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return manifest_;
+}
+
+SnapshotStoreStats SnapshotStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace flexstream

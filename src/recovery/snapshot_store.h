@@ -1,0 +1,133 @@
+// Durable, crash-consistent checkpoint storage (DESIGN.md §16).
+//
+// The store persists each committed epoch's serialized operator snapshots
+// and source replay cursors as one epoch file, then records the epoch in a
+// manifest. The write protocol makes every step atomic or detectable:
+//
+//   serialize -> CRC32C per record + whole-file CRC -> write epoch_N.ckpt.tmp
+//   -> fsync -> atomic rename to epoch_N.ckpt -> fsync(dir)
+//   -> manifest update (same tmp/fsync/rename dance) last.
+//
+// A crash at any point leaves either (a) a *.tmp the store ignores, (b) a
+// complete epoch file not yet in the manifest (the directory-scan fallback
+// finds it), or (c) a fully recorded epoch. A torn or bit-flipped file
+// fails CRC/magic validation on load and recovery falls back to the
+// previous intact epoch — never to an abort. Retention keeps the newest
+// `retain_epochs` epochs; superseded files are garbage-collected after the
+// manifest stops referencing them.
+//
+// All I/O goes through a StorageEnv so the chaos tier can inject disk
+// faults (src/testing/chaos.h FaultyStorageEnv). Thread-safe; writes are
+// serialized internally.
+
+#ifndef FLEXSTREAM_RECOVERY_SNAPSHOT_STORE_H_
+#define FLEXSTREAM_RECOVERY_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "recovery/storage_env.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace flexstream {
+
+/// One serialized stateful-operator snapshot, keyed by operator name (the
+/// stable identity across a process restart — pointers are not).
+struct DurableRecord {
+  std::string name;
+  std::string payload;  // StatefulOperator::EncodeState bytes
+};
+
+/// Where a source's committed prefix ends: the number of data elements the
+/// driver had pushed through the end of the epoch. ColdRestart arms the
+/// rebuilt source to swallow exactly this many re-driven elements.
+struct DurableCursor {
+  std::string name;
+  uint64_t elements = 0;
+  bool closed = false;  // driver Close fell inside the committed prefix
+  AppTime close_timestamp = 0;
+};
+
+struct EpochSnapshot {
+  uint64_t epoch = 0;
+  std::vector<DurableRecord> operators;
+  std::vector<DurableCursor> cursors;
+};
+
+struct SnapshotStoreStats {
+  int64_t epochs_written = 0;
+  int64_t write_failures = 0;
+  int64_t bytes_written = 0;
+  int64_t last_epoch_bytes = 0;
+  int64_t last_write_micros = 0;
+  int64_t gc_removed_files = 0;
+  int64_t corrupt_epochs_skipped = 0;
+};
+
+class SnapshotStore {
+ public:
+  struct Options {
+    std::string dir;
+    /// nullptr = the real filesystem (LocalStorageEnv).
+    StorageEnv* env = nullptr;
+    /// Newest epochs kept on disk; older files are GCed once superseded.
+    /// Must be >= 2 so a torn newest epoch always has a fallback.
+    int retain_epochs = 2;
+  };
+
+  explicit SnapshotStore(Options options);
+
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// Creates the directory and loads the manifest (scanning for stray
+  /// epoch files a crash may have left out of it).
+  Status Open();
+
+  /// Runs the full write protocol for one committed epoch. Epochs at or
+  /// below the newest recorded one are refused (AlreadyExists). On any
+  /// I/O failure the epoch is abandoned (counted in write_failures) and
+  /// previously recorded epochs remain intact.
+  Status WriteEpoch(const EpochSnapshot& snapshot);
+
+  /// Parses the newest epoch that validates end-to-end (magic, version,
+  /// per-record CRCs, file CRC), skipping — and counting — corrupt or torn
+  /// ones. NotFound when no intact epoch exists.
+  Result<EpochSnapshot> LoadNewestIntact();
+
+  /// Drops every recorded epoch above `epoch` (manifest rewrite + GC).
+  /// Cold restart calls this after falling back past a corrupt newest
+  /// epoch: the resumed run re-commits those epochs and must be able to
+  /// re-write them (WriteEpoch refuses non-monotone epochs otherwise).
+  Status TruncateAfter(uint64_t epoch);
+
+  std::vector<uint64_t> manifest_epochs() const;
+  SnapshotStoreStats stats() const;
+  const std::string& dir() const { return options_.dir; }
+
+  static std::string EpochFileName(uint64_t epoch);
+
+ private:
+  static std::string EncodeEpochFile(const EpochSnapshot& snapshot);
+  static Status DecodeEpochFile(const std::string& bytes, uint64_t expected,
+                                EpochSnapshot* out);
+  Status WriteFileDurably(const std::string& name, const std::string& bytes);
+  Status WriteManifestLocked();
+  void GarbageCollectLocked();
+  std::vector<uint64_t> ScanEpochFilesLocked();
+  std::string PathTo(const std::string& name) const;
+
+  const Options options_;
+  StorageEnv* const env_;
+
+  mutable std::mutex mutex_;
+  std::vector<uint64_t> manifest_;  // ascending
+  SnapshotStoreStats stats_;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_RECOVERY_SNAPSHOT_STORE_H_

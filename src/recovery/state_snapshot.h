@@ -9,16 +9,25 @@
 // *committed* epoch and replays the retained post-epoch input, giving
 // exactly-once results at the sinks (DESIGN.md §10).
 //
-// Snapshots are deliberately in-memory and type-erased: the payload is a
-// std::any holding whatever value type the operator chooses (typically a
-// copy of its internal tables). Persistence/serialization is out of scope
-// — the failure model here is operator-level faults, not process death.
+// Snapshots are in-memory and type-erased on the hot path: the payload is
+// a std::any holding whatever value type the operator chooses (typically a
+// copy of its internal tables). For *durable* checkpoints (DESIGN.md §16)
+// operators additionally implement EncodeState/DecodeState, a canonical
+// byte encoding of the same payload: the snapshot store persists the bytes
+// per committed epoch and ColdRestart decodes them into a freshly built
+// graph after a process death. The encoding must be deterministic —
+// encode(decode(bytes)) == bytes — so hash-map contents are emitted in
+// sorted key order (tests/state_serde_test.cc pins this byte-exactly).
 
 #ifndef FLEXSTREAM_RECOVERY_STATE_SNAPSHOT_H_
 #define FLEXSTREAM_RECOVERY_STATE_SNAPSHOT_H_
 
 #include <any>
 #include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
 
 namespace flexstream {
 
@@ -53,6 +62,32 @@ class StatefulOperator {
   /// Node::Reset(), i.e. on a fresh operator. Must accept any value
   /// previously produced by SnapshotState() of the same operator type.
   virtual void RestoreState(const OperatorSnapshot& snapshot) = 0;
+
+  /// True when the operator implements the durable encode/decode pair
+  /// below. Durable checkpointing refuses to arm a graph containing a
+  /// stateful operator that does not (the Status names it) rather than
+  /// silently persisting an incomplete epoch.
+  virtual bool SupportsDurableState() const { return false; }
+
+  /// Serializes `snapshot`'s payload (a value this operator's
+  /// SnapshotState produced) into the canonical byte encoding, appending
+  /// to `*out`. Deterministic: the same payload always yields the same
+  /// bytes. Thread-safe — reads only the snapshot and construction-time
+  /// configuration.
+  virtual Status EncodeState(const OperatorSnapshot& snapshot,
+                             std::string* out) const {
+    (void)snapshot;
+    (void)out;
+    return Status::Unimplemented("operator does not support durable state");
+  }
+
+  /// Inverse of EncodeState: rebuilds a snapshot payload this operator's
+  /// RestoreState accepts. The caller fills in `epoch`. Fails cleanly
+  /// (never UB) on torn or corrupted bytes.
+  virtual Result<OperatorSnapshot> DecodeState(std::string_view bytes) const {
+    (void)bytes;
+    return Status::Unimplemented("operator does not support durable state");
+  }
 };
 
 }  // namespace flexstream

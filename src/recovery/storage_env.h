@@ -1,0 +1,60 @@
+// Filesystem abstraction for the durable checkpoint store.
+//
+// Every byte the SnapshotStore reads or writes goes through a StorageEnv,
+// so the chaos tier (src/testing/chaos.h FaultyStorageEnv) can wrap the
+// real filesystem and deterministically inject torn writes, short writes,
+// ENOSPC, fsync failures, and bit-flip corruption — the faults the
+// crash-consistent write protocol must survive.
+//
+// The interface is the minimal POSIX subset the protocol needs: buffered
+// append + fsync on a writable file, whole-file reads, atomic rename,
+// directory fsync (so a rename itself is durable), listing, and removal.
+
+#ifndef FLEXSTREAM_RECOVERY_STORAGE_ENV_H_
+#define FLEXSTREAM_RECOVERY_STORAGE_ENV_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace flexstream {
+
+/// A file open for appending. Append buffers in the OS; Sync makes the
+/// bytes durable; Close releases the descriptor (without syncing).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+class StorageEnv {
+ public:
+  virtual ~StorageEnv() = default;
+
+  /// Creates (truncating) `path` for writing.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+  /// Reads the whole file. NotFound when it does not exist.
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+  /// Atomic within a filesystem (POSIX rename semantics).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  /// Fsyncs the directory so completed renames survive power loss.
+  virtual Status SyncDir(const std::string& dir) = 0;
+  /// Basenames of the directory's entries (no "."/"..").
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status CreateDirs(const std::string& dir) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+};
+
+/// The process-wide POSIX environment.
+StorageEnv* LocalStorageEnv();
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_RECOVERY_STORAGE_ENV_H_

@@ -187,6 +187,30 @@ Table BuildRecoveryTable(const RecoveryManager& recovery) {
   return t;
 }
 
+Table BuildDurabilityTable(const RecoveryManager& recovery) {
+  Table t({"metric", "value"});
+  const SnapshotStore* store = recovery.snapshot_store();
+  if (store == nullptr) return t;
+  const SnapshotStoreStats stats = store->stats();
+  const std::vector<uint64_t> epochs = store->manifest_epochs();
+  t.AddRow({"epochs_persisted", Table::Int(stats.epochs_written)});
+  t.AddRow({"write_failures", Table::Int(stats.write_failures)});
+  t.AddRow({"bytes_written", Table::Int(stats.bytes_written)});
+  t.AddRow({"last_epoch_bytes", Table::Int(stats.last_epoch_bytes)});
+  t.AddRow({"last_write_us", Table::Int(stats.last_write_micros)});
+  t.AddRow({"gc_removed_files", Table::Int(stats.gc_removed_files)});
+  t.AddRow(
+      {"corrupt_epochs_skipped", Table::Int(stats.corrupt_epochs_skipped)});
+  t.AddRow({"manifest_epochs",
+            Table::Int(static_cast<int64_t>(epochs.size()))});
+  t.AddRow({"newest_epoch_on_disk",
+            Table::Int(epochs.empty()
+                           ? 0
+                           : static_cast<int64_t>(epochs.back()))});
+  t.AddRow({"persist_failures", Table::Int(recovery.persist_failures())});
+  return t;
+}
+
 Table BuildControlTable(const std::vector<ControlDecision>& decisions) {
   Table t({"interval", "trigger", "rung", "action", "outcome", "p99_us",
            "smoothed_us", "backlog", "shed"});

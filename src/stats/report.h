@@ -70,6 +70,13 @@ Table BuildControlTable(const std::vector<ControlDecision>& decisions);
 /// checkpoint_epoch_interval > 0 (see StreamEngine::recovery()).
 Table BuildRecoveryTable(const RecoveryManager& recovery);
 
+/// Durable-checkpoint counters (metric/value rows): epochs persisted,
+/// write failures, bytes written (total and last epoch), last write
+/// latency, GC'd files, corrupt epochs skipped on load, on-disk manifest
+/// depth and newest epoch, and persist (encode/write) failures. Empty
+/// (headers only) when the manager has no durable store configured.
+Table BuildDurabilityTable(const RecoveryManager& recovery);
+
 /// Convenience: the table rendered to a string.
 std::string StatsReport(const QueryGraph& graph);
 

@@ -1,7 +1,9 @@
 #include "testing/chaos.h"
 
+#include <algorithm>
 #include <functional>
 #include <random>
+#include <utility>
 
 #include "util/busy_work.h"
 #include "util/logging.h"
@@ -121,6 +123,154 @@ void ChaosInjector::Disarm() {
     queue->SetWakeupSuppressor(nullptr);
   }
   suppressed_queues_.clear();
+}
+
+namespace {
+
+/// Epoch number from an "epoch_<N>.ckpt[.tmp]" basename anywhere in
+/// `path`; 0 when the path is not an epoch file (manifest, tmp junk).
+uint64_t EpochFromPath(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string name =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  constexpr char kPrefix[] = "epoch_";
+  if (name.compare(0, sizeof(kPrefix) - 1, kPrefix) != 0) return 0;
+  uint64_t value = 0;
+  bool any = false;
+  for (size_t i = sizeof(kPrefix) - 1; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') break;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+    any = true;
+  }
+  return any ? value : 0;
+}
+
+}  // namespace
+
+/// Wraps a base WritableFile to inject the write-path faults. The torn
+/// write buffers everything and persists only a prefix at Close — the file
+/// "successfully" written by the protocol is short on disk, exactly what a
+/// lying fsync plus power loss produces.
+class FaultyWritableFile : public WritableFile {
+ public:
+  FaultyWritableFile(std::unique_ptr<WritableFile> base, FaultyStorageEnv* env,
+                     uint64_t epoch)
+      : base_(std::move(base)), env_(env), epoch_(epoch) {}
+
+  Status Append(std::string_view data) override {
+    const ChaosOptions& opts = env_->options_;
+    if (opts.disk_enospc_after_bytes > 0) {
+      const uint64_t before = env_->bytes_written_.fetch_add(
+          data.size(), std::memory_order_relaxed);
+      if (before + data.size() > opts.disk_enospc_after_bytes) {
+        env_->enospc_failures_.fetch_add(1, std::memory_order_relaxed);
+        return Status::Internal("no space left on device (injected)");
+      }
+    }
+    if (torn()) {
+      buffered_.append(data.data(), data.size());
+      return Status::Ok();  // lies, like the hardware does
+    }
+    return base_->Append(data);
+  }
+
+  Status Sync() override {
+    const ChaosOptions& opts = env_->options_;
+    if (opts.disk_fsync_fail_epoch > 0 && epoch_ == opts.disk_fsync_fail_epoch) {
+      env_->fsync_failures_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Internal("fsync failed (injected)");
+    }
+    if (torn()) return Status::Ok();  // reports durable; tail never lands
+    return base_->Sync();
+  }
+
+  Status Close() override {
+    if (torn() && !buffered_.empty()) {
+      // Persist roughly the first third — enough for the header to look
+      // plausible, short of the footer CRC.
+      const size_t keep = std::max<size_t>(1, buffered_.size() / 3);
+      Status s = base_->Append(std::string_view(buffered_).substr(0, keep));
+      buffered_.clear();
+      env_->torn_writes_.fetch_add(1, std::memory_order_relaxed);
+      if (!s.ok()) return s;
+    }
+    return base_->Close();
+  }
+
+ private:
+  bool torn() const {
+    return env_->options_.disk_torn_write_epoch > 0 &&
+           epoch_ == env_->options_.disk_torn_write_epoch;
+  }
+
+  std::unique_ptr<WritableFile> base_;
+  FaultyStorageEnv* const env_;
+  const uint64_t epoch_;
+  std::string buffered_;
+};
+
+FaultyStorageEnv::FaultyStorageEnv(StorageEnv* base,
+                                   const ChaosOptions& options)
+    : base_(base != nullptr ? base : LocalStorageEnv()), options_(options) {}
+
+Result<std::unique_ptr<WritableFile>> FaultyStorageEnv::NewWritableFile(
+    const std::string& path) {
+  auto file = base_->NewWritableFile(path);
+  if (!file.ok()) return std::move(file).status();
+  return std::unique_ptr<WritableFile>(std::make_unique<FaultyWritableFile>(
+      std::move(*file), this, EpochFromPath(path)));
+}
+
+Result<std::string> FaultyStorageEnv::ReadFileToString(
+    const std::string& path) {
+  return base_->ReadFileToString(path);
+}
+
+Status FaultyStorageEnv::Rename(const std::string& from,
+                                const std::string& to) {
+  Status s = base_->Rename(from, to);
+  if (!s.ok()) return s;
+  // At-rest corruption: flip one bit in the middle of the freshly renamed
+  // epoch file, bypassing the write protocol entirely.
+  if (options_.disk_corrupt_epoch > 0 &&
+      EpochFromPath(to) == options_.disk_corrupt_epoch) {
+    auto bytes = base_->ReadFileToString(to);
+    if (bytes.ok() && !bytes->empty()) {
+      std::string mutated = std::move(*bytes);
+      mutated[mutated.size() / 2] = static_cast<char>(
+          static_cast<unsigned char>(mutated[mutated.size() / 2]) ^ 0x20u);
+      auto file = base_->NewWritableFile(to);
+      if (file.ok()) {
+        (void)(*file)->Append(mutated);
+        (void)(*file)->Sync();
+        (void)(*file)->Close();
+        corruptions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  return s;
+}
+
+Status FaultyStorageEnv::SyncDir(const std::string& dir) {
+  return base_->SyncDir(dir);
+}
+
+Result<std::vector<std::string>> FaultyStorageEnv::ListDir(
+    const std::string& dir) {
+  return base_->ListDir(dir);
+}
+
+Status FaultyStorageEnv::RemoveFile(const std::string& path) {
+  return base_->RemoveFile(path);
+}
+
+Status FaultyStorageEnv::CreateDirs(const std::string& dir) {
+  return base_->CreateDirs(dir);
+}
+
+bool FaultyStorageEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
 }
 
 }  // namespace flexstream

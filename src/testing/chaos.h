@@ -39,6 +39,7 @@
 #include "graph/query_graph.h"
 #include "operators/operator.h"
 #include "queue/queue_op.h"
+#include "recovery/storage_env.h"
 
 namespace flexstream {
 
@@ -77,9 +78,30 @@ struct ChaosOptions {
   int64_t kill_after = 0;
   int kills = 1;
 
+  // -- Disk faults (durable checkpoint store; see FaultyStorageEnv) --------
+
+  /// When > 0: the write of checkpoint epoch N silently persists only a
+  /// prefix of its bytes (the fsync "succeeded" but the tail never hit the
+  /// platter). The store's CRC validation must detect the torn file on
+  /// load and fall back to the previous intact epoch.
+  uint64_t disk_torn_write_epoch = 0;
+  /// When > 0: one byte of epoch N's file is bit-flipped after its rename
+  /// completes (at-rest corruption).
+  uint64_t disk_corrupt_epoch = 0;
+  /// When > 0: Appends fail with an ENOSPC-style error once this many
+  /// bytes have been written through the env (cumulative, all files).
+  uint64_t disk_enospc_after_bytes = 0;
+  /// When > 0: Sync on epoch N's file fails.
+  uint64_t disk_fsync_fail_epoch = 0;
+
   bool any_operator_chaos() const {
     return transient_rate > 0.0 || delay_rate > 0.0 ||
            !permanent_fail_operator.empty() || !kill_operator.empty();
+  }
+
+  bool any_disk_chaos() const {
+    return disk_torn_write_epoch > 0 || disk_corrupt_epoch > 0 ||
+           disk_enospc_after_bytes > 0 || disk_fsync_fail_epoch > 0;
   }
 };
 
@@ -132,6 +154,52 @@ class ChaosInjector {
       std::make_shared<std::atomic<int64_t>>(0);
   std::shared_ptr<std::atomic<int64_t>> suppressed_ =
       std::make_shared<std::atomic<int64_t>>(0);
+};
+
+/// A StorageEnv decorator that injects the ChaosOptions disk faults into
+/// the durable checkpoint store deterministically: faults are keyed off
+/// the epoch number parsed from the file name ("epoch_<N>.ckpt[.tmp]"),
+/// never off timing. Pass it as EngineOptions::storage_env (or
+/// SnapshotStore::Options::env) over LocalStorageEnv or any other base.
+class FaultyStorageEnv : public StorageEnv {
+ public:
+  FaultyStorageEnv(StorageEnv* base, const ChaosOptions& options);
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status SyncDir(const std::string& dir) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status RemoveFile(const std::string& path) override;
+  Status CreateDirs(const std::string& dir) override;
+  bool FileExists(const std::string& path) override;
+
+  // What actually got injected (a fault sweep that injected nothing proves
+  // nothing).
+  int64_t torn_writes() const {
+    return torn_writes_.load(std::memory_order_relaxed);
+  }
+  int64_t corruptions() const {
+    return corruptions_.load(std::memory_order_relaxed);
+  }
+  int64_t enospc_failures() const {
+    return enospc_failures_.load(std::memory_order_relaxed);
+  }
+  int64_t fsync_failures() const {
+    return fsync_failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class FaultyWritableFile;
+
+  StorageEnv* const base_;
+  const ChaosOptions options_;
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<int64_t> torn_writes_{0};
+  std::atomic<int64_t> corruptions_{0};
+  std::atomic<int64_t> enospc_failures_{0};
+  std::atomic<int64_t> fsync_failures_{0};
 };
 
 }  // namespace flexstream

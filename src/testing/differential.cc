@@ -1,12 +1,16 @@
 #include "testing/differential.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "api/shard.h"
 #include "control/engine_hooks.h"
@@ -209,6 +213,8 @@ std::string DiffConfig::Name() const {
     os << "+shard" << shard_count << (shard_unordered ? "u" : "o");
     if (kill_shard_replica >= 0) os << "+killrep" << kill_shard_replica;
   }
+  if (cold_restarts > 0) os << "+cold" << cold_restarts;
+  if (!disk_fault.empty()) os << "+disk:" << disk_fault;
   if (slo_controller) os << "+sloctl";
   return os.str();
 }
@@ -492,7 +498,160 @@ std::vector<DiffConfig> ShardConfigMatrix() {
   return configs;
 }
 
+std::vector<DiffConfig> DurabilityConfigMatrix() {
+  std::vector<DiffConfig> configs;
+  auto add = [&](ExecutionMode mode) -> DiffConfig& {
+    DiffConfig config;
+    config.mode = mode;
+    config.checkpoint_epoch_interval = 50;
+    config.cold_restarts = 1;
+    configs.push_back(config);
+    return configs.back();
+  };
+  // One process death + disk restore under every architecture. kDirect
+  // and the scheduled modes all share the same durable protocol; the
+  // restored graph must resume to an exact golden match.
+  add(ExecutionMode::kGts);
+  add(ExecutionMode::kOts);
+  add(ExecutionMode::kHmts);
+  add(ExecutionMode::kDirect);
+  // Both cross-thread queue paths must restore identically.
+  add(ExecutionMode::kGts).queue_path = QueuePathMode::kForceMpsc;
+  // Batch delivery: barriers still split batches, so the durable cursors
+  // land on the same element boundaries as the per-tuple path.
+  add(ExecutionMode::kHmts).emit_batch_size = 64;
+  // Two process deaths: the second incarnation restores, makes fresh
+  // progress, persists new epochs, dies again — and the third must
+  // restore from epochs written *after* a restore.
+  add(ExecutionMode::kHmts).cold_restarts = 2;
+  // Disk-fault sweep: each fault forces ColdRestart down the fallback
+  // path (previous intact epoch, or a fresh start when nothing survived).
+  for (const char* fault :
+       {"torn-write", "corrupt-epoch", "enospc", "fsync-fail"}) {
+    add(ExecutionMode::kHmts).disk_fault = fault;
+  }
+  return configs;
+}
+
+namespace {
+
+/// One on-disk checkpoint directory per cold-restart scenario, unique
+/// across concurrent test processes and scenarios within one process.
+std::string MakeScenarioCheckpointDir() {
+  static std::atomic<uint64_t> counter{0};
+  std::ostringstream name;
+  name << "flexstream_diff_ckpt_" << ::getpid() << "_"
+       << counter.fetch_add(1, std::memory_order_relaxed);
+  return (std::filesystem::temp_directory_path() / name.str()).string();
+}
+
+ChaosOptions DiskChaosForFault(const std::string& fault) {
+  ChaosOptions chaos;
+  if (fault == "torn-write") {
+    chaos.disk_torn_write_epoch = 2;
+  } else if (fault == "corrupt-epoch") {
+    chaos.disk_corrupt_epoch = 2;
+  } else if (fault == "enospc") {
+    // Large enough that early epochs usually persist, small enough that
+    // the budget exhausts mid-run; either way the fallback must hold.
+    chaos.disk_enospc_after_bytes = 128 * 1024;
+  } else if (fault == "fsync-fail") {
+    chaos.disk_fsync_fail_epoch = 2;
+  } else {
+    CHECK(fault.empty()) << "unknown disk_fault '" << fault << "'";
+  }
+  return chaos;
+}
+
+/// Cold-restart scenario: `cold_restarts + 1` engine incarnations over one
+/// durable checkpoint directory. Non-final incarnations feed a growing
+/// prefix of the seeded stream, wait for a fresh durable commit, and are
+/// destroyed without closing the sources — engine, graph, and every bit of
+/// volatile state are gone, exactly what a process death leaves behind.
+/// The final incarnation restores from disk, re-drives the full input
+/// (sources swallow the committed prefix via their durable cursors), runs
+/// to EOS, and reports its sink outputs for the golden compare.
+SinkOutputs RunWithColdRestarts(const DiffSpec& spec,
+                                const DiffConfig& config) {
+  CHECK(config.checkpoint_epoch_interval > 0)
+      << "cold_restarts requires checkpointing";
+  CHECK(config.shard_count == 0) << "cold_restarts x shard not supported";
+  CHECK(!config.chaos_enabled()) << "cold_restarts x op chaos not supported";
+
+  const std::string dir = MakeScenarioCheckpointDir();
+  // One faulty env spans every incarnation so cumulative budgets (ENOSPC)
+  // and epoch-keyed faults behave like a real disk across restarts.
+  const ChaosOptions disk_chaos = DiskChaosForFault(config.disk_fault);
+  std::unique_ptr<FaultyStorageEnv> faulty_env;
+  if (disk_chaos.any_disk_chaos()) {
+    faulty_env =
+        std::make_unique<FaultyStorageEnv>(LocalStorageEnv(), disk_chaos);
+  }
+
+  SinkOutputs out;
+  const int phases = config.cold_restarts + 1;
+  for (int phase = 0; phase < phases; ++phase) {
+    ExecutableDag dag = BuildDagForSpec(spec);
+    StreamEngine engine(dag.graph.get());
+    EngineOptions options = EngineOptionsForConfig(config);
+    options.durable_checkpoint_dir = dir;
+    options.storage_env = faulty_env.get();
+    CHECK_OK(engine.Configure(options));
+    uint64_t restored = 0;
+    if (phase > 0) {
+      Result<uint64_t> r = engine.ColdRestart();
+      CHECK_OK(r.status());
+      restored = *r;
+    }
+    CHECK_OK(engine.Start());
+    if (phase + 1 < phases) {
+      // Feed a prefix of the stream, no Close: the sources stay open when
+      // this incarnation dies, like a producer that outlives the crash.
+      FeedSourcesPrefix(dag, spec.seed,
+                        spec.feed_count * (phase + 1) / phases);
+      // Best-effort wait for one *new* durable commit so the restart has
+      // fresh state to restore. Result identity does not depend on how
+      // far the commit got — a restore from any epoch (even a fresh
+      // start) replays to the same answer — so a timeout just proceeds.
+      const TimePoint deadline = Now() + std::chrono::seconds(10);
+      while (engine.recovery()->coordinator().committed_epoch() <=
+                 restored &&
+             Now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      // Grace for the commit listener's store write to land; killing
+      // inside the write window is also legal (that is what the CRC
+      // protocol is for), just less interesting as the common case.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      engine.Stop();
+      continue;  // engine + graph destroyed: the "process" is dead
+    }
+    // Final incarnation: full deterministic re-drive + EOS. The sources
+    // swallow their committed prefix and re-deliver the suffix.
+    out.order_checked = dag.order_checked;
+    FeedSources(dag, spec.seed, spec.feed_count);
+    out.completed = engine.WaitUntilFinishedFor(kRunTimeout);
+    engine.Stop();
+    out.dropped = engine.DroppedElements();
+    out.run_result = engine.RunResult();
+    if (const RecoveryManager* recovery = engine.recovery()) {
+      out.recoveries = recovery->completed_recoveries();
+      out.committed_epoch = recovery->coordinator().committed_epoch();
+      out.replayed_elements = recovery->replayed_elements();
+    }
+    for (CollectingSink* sink : dag.sinks) {
+      out.per_sink.push_back(sink->TakeResults());
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return out;
+}
+
+}  // namespace
+
 SinkOutputs RunUnderConfig(const DiffSpec& spec, const DiffConfig& config) {
+  if (config.cold_restarts > 0) return RunWithColdRestarts(spec, config);
   ExecutableDag dag = BuildDagForSpec(spec);
   SinkOutputs out;
   out.order_checked = dag.order_checked;
@@ -810,6 +969,8 @@ std::string FormatReplay(const DiffSpec& spec, const DiffConfig& config) {
      << "shard_count=" << config.shard_count << "\n"
      << "shard_unordered=" << (config.shard_unordered ? 1 : 0) << "\n"
      << "kill_shard_replica=" << config.kill_shard_replica << "\n"
+     << "cold_restarts=" << config.cold_restarts << "\n"
+     << "disk_fault=" << config.disk_fault << "\n"
      << "slo_controller=" << (config.slo_controller ? 1 : 0) << "\n";
   return os.str();
 }
@@ -903,6 +1064,10 @@ bool ParseReplay(const std::string& text, DiffSpec* spec, DiffConfig* config,
         config->shard_unordered = std::stoi(value) != 0;
       } else if (key == "kill_shard_replica") {
         config->kill_shard_replica = std::stoi(value);
+      } else if (key == "cold_restarts") {
+        config->cold_restarts = std::stoi(value);
+      } else if (key == "disk_fault") {
+        config->disk_fault = value;
       } else if (key == "slo_controller") {
         config->slo_controller = std::stoi(value) != 0;
       } else {

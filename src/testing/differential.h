@@ -122,6 +122,29 @@ struct DiffConfig {
   /// -1 = disabled.
   int kill_shard_replica = -1;
 
+  // -- Durable checkpoint / cold-restart dimensions (DESIGN.md §16) -------
+
+  /// When > 0, RunUnderConfig runs the scenario as `cold_restarts + 1`
+  /// engine *incarnations* sharing one on-disk checkpoint directory: each
+  /// non-final incarnation feeds a prefix of the input, waits for a
+  /// durable epoch commit, then tears the engine and graph down without
+  /// closing the sources (the in-process equivalent of a process death —
+  /// all volatile state is gone, only the store survives). Every later
+  /// incarnation rebuilds the graph from scratch, ColdRestart()s from the
+  /// newest intact on-disk epoch, and re-drives the full deterministic
+  /// input (sources swallow their committed prefix via the durable
+  /// cursors); the final incarnation runs to EOS and must match golden
+  /// exactly. Requires checkpoint_epoch_interval > 0.
+  int cold_restarts = 0;
+  /// Disk fault injected into the durable store for the whole scenario
+  /// (one FaultyStorageEnv spans every incarnation, so byte budgets
+  /// accumulate across restarts): "" = none, "torn-write",
+  /// "corrupt-epoch", "enospc", "fsync-fail". Corrupted or unpersisted
+  /// epochs force ColdRestart to fall back to an earlier intact epoch (or
+  /// a fresh start) — the final output must still match golden exactly.
+  /// Requires cold_restarts > 0.
+  std::string disk_fault;
+
   // -- Closed-loop SLO control dimension (ISSUE 8, DESIGN.md §15) ---------
 
   /// Attaches an SloController to the engine for the duration of the run,
@@ -216,6 +239,15 @@ std::vector<DiffConfig> RecoveryConfigMatrix(const std::string& kill_operator,
 /// (multiset compare), and one checkpointed kill-one-replica recovery
 /// configuration.
 std::vector<DiffConfig> ShardConfigMatrix();
+
+/// The durable-checkpoint sweep (check-durability): cold restarts across
+/// {GTS, OTS, HMTS, kDirect}, the forced-MPSC queue path, batch delivery,
+/// a double-restart variant (two process deaths, two disk restores), and
+/// one configuration per injected disk fault (torn write, at-rest
+/// corruption, ENOSPC, fsync failure — each must degrade to an earlier
+/// intact epoch or a fresh start, never to a wrong answer). Every
+/// configuration must match golden *exactly* after the final restart.
+std::vector<DiffConfig> DurabilityConfigMatrix();
 
 struct DiffFailure {
   DiffSpec spec;  // shrunk when shrinking was enabled

@@ -130,16 +130,31 @@ ExecutableDag BuildExecutableDag(const ExecutableDagOptions& options,
   return out;
 }
 
-void FeedSources(const ExecutableDag& dag, uint64_t seed, int count) {
+namespace {
+
+/// Pushes the first `limit` elements of the seeded stream. The per-element
+/// RNG draws make the sequence a pure function of (dag, seed) — any prefix
+/// of it matches the corresponding prefix of the full feed.
+void PushSeededStream(const ExecutableDag& dag, uint64_t seed, int limit) {
   CHECK(!dag.sources.empty());
   Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
-  for (int i = 0; i < count; ++i) {
+  for (int i = 0; i < limit; ++i) {
     Source* src = dag.sources[static_cast<size_t>(
         rng.NextU64(static_cast<uint64_t>(dag.sources.size())))];
     src->Push(Tuple::OfInt(rng.UniformInt(0, kExecutableDagValueDomain - 1),
                            /*timestamp=*/i));
   }
+}
+
+}  // namespace
+
+void FeedSources(const ExecutableDag& dag, uint64_t seed, int count) {
+  PushSeededStream(dag, seed, count);
   for (Source* src : dag.sources) src->Close(count);
+}
+
+void FeedSourcesPrefix(const ExecutableDag& dag, uint64_t seed, int limit) {
+  PushSeededStream(dag, seed, limit);
 }
 
 }  // namespace flexstream

@@ -75,6 +75,15 @@ ExecutableDag BuildExecutableDag(const ExecutableDagOptions& options,
 /// for (dag, seed, count). Must be called from a single thread.
 void FeedSources(const ExecutableDag& dag, uint64_t seed, int count);
 
+/// Pushes only the first `limit` elements of the exact stream
+/// FeedSources(dag, seed, count) would produce, without closing any
+/// source. The element sequence is a pure function of (dag, seed), so a
+/// prefix feed followed later by a full FeedSources re-drive replays the
+/// identical stream — the cold-restart differential drives a run partway,
+/// kills the process-equivalent, then re-feeds from scratch against
+/// sources armed to skip their committed prefix.
+void FeedSourcesPrefix(const ExecutableDag& dag, uint64_t seed, int limit);
+
 }  // namespace flexstream
 
 #endif  // FLEXSTREAM_TESTING_EXECUTABLE_DAG_H_

@@ -1,0 +1,83 @@
+// Canonical binary encoding for durable checkpoints.
+//
+// The snapshot store (src/recovery/snapshot_store.h) persists operator
+// state with these primitives. The encoding is deliberately boring and
+// deterministic: little-endian fixed-width integers, IEEE-754 doubles by
+// bit pattern, length-prefixed strings. Determinism is a format guarantee,
+// not an accident — operators must emit hash-map contents in sorted key
+// order so encode(decode(bytes)) == bytes, the property the byte-exact
+// round-trip tests pin (tests/state_serde_test.cc).
+//
+// BinaryReader is bounds-checked and Status-returning: a torn or corrupted
+// file must surface as a clean decode error, never as UB.
+
+#ifndef FLEXSTREAM_UTIL_BINARY_IO_H_
+#define FLEXSTREAM_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "tuple/tuple.h"
+#include "tuple/value.h"
+#include "util/status.h"
+
+namespace flexstream {
+
+/// Appends fixed-width little-endian primitives to a backing string.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::string* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  /// IEEE-754 bit pattern — exact, including -0.0 and NaN payloads.
+  void F64(double v);
+  /// u32 length prefix + raw bytes.
+  void Str(std::string_view s);
+
+  void Value(const flexstream::Value& v);
+  /// kind + timestamp + seq + values. seq is routing metadata excluded
+  /// from Tuple::operator==, but buffered join/window state carries it
+  /// through sharded replicas, so durable state must preserve it.
+  void Tuple(const flexstream::Tuple& t);
+
+  size_t size() const { return out_->size(); }
+
+ private:
+  std::string* out_;
+};
+
+/// Bounds-checked reads over an immutable byte view. Every method returns
+/// OutOfRange once the input is exhausted and InvalidArgument on malformed
+/// content; after an error the reader is left positioned at the failure.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Status U8(uint8_t* v);
+  Status U32(uint32_t* v);
+  Status U64(uint64_t* v);
+  Status I64(int64_t* v);
+  Status F64(double* v);
+  Status Str(std::string* s);
+
+  Status Value(flexstream::Value* v);
+  Status Tuple(flexstream::Tuple* t);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+  size_t position() const { return pos_; }
+
+ private:
+  Status Take(size_t n, const char** p);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_UTIL_BINARY_IO_H_

@@ -1,0 +1,24 @@
+// CRC32C (Castagnoli) — the checksum guarding every durable checkpoint
+// record and file (src/recovery/snapshot_store.h). Software table-driven
+// implementation; the polynomial matches SSE4.2 crc32 hardware so files
+// stay verifiable by standard tooling.
+
+#ifndef FLEXSTREAM_UTIL_CRC32C_H_
+#define FLEXSTREAM_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace flexstream {
+
+/// Extends `crc` (a previous Crc32c result, or 0 to start) over `n` bytes.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data.data(), data.size());
+}
+
+}  // namespace flexstream
+
+#endif  // FLEXSTREAM_UTIL_CRC32C_H_

@@ -11,7 +11,11 @@
 #include <cstdint>
 #include <string>
 
+#include "util/status.h"
+
 namespace flexstream {
+
+class BinaryReader;
 
 class Histogram {
  public:
@@ -66,6 +70,13 @@ class Histogram {
   /// Largest value that still lands in a finite bucket; anything above
   /// falls into the shared overflow bucket (tests pin this behavior).
   static double MaxTrackable() { return 1e9; }
+
+  /// Durable-checkpoint serialization (util/binary_io.h): the exact
+  /// internal state — bucket counts, count, sum, min, max — so a decoded
+  /// histogram compares operator== to the original. Non-empty buckets are
+  /// run-length indexed (most of the 290 buckets are zero in practice).
+  void EncodeTo(std::string* out) const;
+  static Status DecodeFrom(BinaryReader* reader, Histogram* out);
 
  private:
   static constexpr int kBucketsPerDecade = 32;

@@ -1,0 +1,334 @@
+// Durability tier: cold-restart differential sweeps over the durable
+// snapshot store (DESIGN.md §16). Each matrix configuration runs the
+// scenario as several engine *incarnations* sharing one on-disk
+// checkpoint directory — every teardown discards all volatile state, so
+// the only way the final incarnation can match the undisturbed golden run
+// exactly is if ColdRestart() rebuilt operator state and replay cursors
+// from disk correctly, including under injected disk faults (torn
+// writes, at-rest corruption, ENOSPC, fsync failures) that force
+// fallback to an earlier intact epoch.
+//
+// Runs under the `check-durability` CMake target
+// (ctest -R "Durability|SnapshotStore|StateSerde|ColdRestart|ReplayTruncation").
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "api/query_builder.h"
+#include "api/stream_engine.h"
+#include "graph/query_graph.h"
+#include "operators/selection.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "operators/symmetric_hash_join.h"
+#include "recovery/recovery_manager.h"
+#include "recovery/replay_buffer.h"
+#include "stats/report.h"
+#include "testing/differential.h"
+#include "tuple/tuple.h"
+#include "util/status.h"
+
+namespace flexstream {
+namespace {
+
+constexpr auto kWait = std::chrono::seconds(60);
+
+DiffSpec DurabilitySpec() {
+  DiffSpec spec;
+  spec.seed = 303;
+  spec.node_count = 12;
+  spec.feed_count = 400;
+  return spec;
+}
+
+TEST(DurabilitySweepTest, ColdRestartMatrixMatchesGoldenExactly) {
+  const DiffSpec spec = DurabilitySpec();
+  const SinkOutputs golden = RunUnderConfig(spec, GoldenConfig());
+
+  for (const DiffConfig& config : DurabilityConfigMatrix()) {
+    SCOPED_TRACE(config.Name());
+    const SinkOutputs out = RunUnderConfig(spec, config);
+    ASSERT_TRUE(out.completed);
+    EXPECT_TRUE(out.run_result.ok()) << out.run_result.message();
+    // Exact accounting: cold restarts (and disk-fault fallbacks) must be
+    // invisible in the results — nothing shed, output identical.
+    EXPECT_EQ(out.dropped, 0);
+    EXPECT_GT(out.committed_epoch, 0u);
+    const std::string diff = CompareOutputs(golden, out);
+    EXPECT_TRUE(diff.empty()) << diff;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level cold restart on a hand-built stateful pipeline (mirrors
+// tests/recovery_test.cc so failures here are easy to localize).
+
+struct Pipeline {
+  std::unique_ptr<QueryGraph> graph;
+  Source* source = nullptr;
+  Source* source2 = nullptr;
+  CollectingSink* sink = nullptr;
+};
+
+/// source -> select -> join(source2) -> sink: durable state in the join
+/// and the sink, two replay cursors.
+Pipeline BuildPipeline() {
+  Pipeline p;
+  p.graph = std::make_unique<QueryGraph>();
+  QueryBuilder qb(p.graph.get());
+  p.source = qb.AddSource("src");
+  p.source2 = qb.AddSource("src2");
+  Selection* sel =
+      qb.Select(p.source, "sel", [](const Tuple&) { return true; });
+  SymmetricHashJoin* join =
+      qb.HashJoin(sel, p.source2, "join", 1'000'000'000);
+  p.sink = qb.CollectSink(join, "sink");
+  return p;
+}
+
+/// The deterministic input: element i of the stream is the same in every
+/// incarnation, so any prefix of a re-drive matches the original feed.
+void PushPrefix(const Pipeline& p, int begin, int end) {
+  for (int i = begin; i < end; ++i) {
+    p.source->Push(Tuple::OfInt(i % 10, i + 1));
+    p.source2->Push(Tuple::OfInt(i % 10, i + 1));
+  }
+}
+
+void Feed(const Pipeline& p, int count) {
+  PushPrefix(p, 0, count);
+  p.source->Close(count);
+  p.source2->Close(count);
+}
+
+std::vector<Tuple> SortedGolden(int feed) {
+  Pipeline p = BuildPipeline();
+  Feed(p, feed);
+  std::vector<Tuple> golden = p.sink->TakeResults();
+  std::sort(golden.begin(), golden.end());
+  return golden;
+}
+
+std::string FreshCheckpointDir(const std::string& tag) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("flexstream_durability_test_" + tag + "_" +
+       std::to_string(static_cast<long>(::getpid())));
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir.string();
+}
+
+TEST(ColdRestartTest, ResumesExactlyAfterProcessDeath) {
+  const int kFeed = 300;
+  const std::vector<Tuple> golden = SortedGolden(kFeed);
+  const std::string dir = FreshCheckpointDir("resume");
+
+  EngineOptions options;
+  options.mode = ExecutionMode::kGts;
+  options.checkpoint_epoch_interval = 25;
+  options.durable_checkpoint_dir = dir;
+
+  // Incarnation 1: feed half the stream without closing, wait until at
+  // least one epoch is durably on disk, then tear everything down — the
+  // in-process equivalent of a process death (graph, engine, and all
+  // replay buffers are destroyed; only the directory survives).
+  {
+    Pipeline p = BuildPipeline();
+    StreamEngine engine(p.graph.get());
+    ASSERT_TRUE(engine.Configure(options).ok());
+    ASSERT_TRUE(engine.Start().ok());
+    PushPrefix(p, 0, kFeed / 2);
+    ASSERT_NE(engine.recovery(), nullptr);
+    ASSERT_NE(engine.recovery()->snapshot_store(), nullptr);
+    const auto deadline = std::chrono::steady_clock::now() + kWait;
+    while (engine.recovery()->snapshot_store()->stats().epochs_written == 0) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "no epoch persisted within the deadline";
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    engine.Stop();
+  }
+
+  // Incarnation 2: rebuild from scratch, restore from disk, re-drive the
+  // full deterministic stream. The durable cursors make the sources
+  // swallow the committed prefix, so the final output is exactly the
+  // undisturbed run's.
+  Pipeline p = BuildPipeline();
+  StreamEngine engine(p.graph.get());
+  ASSERT_TRUE(engine.Configure(options).ok());
+  Result<uint64_t> restored = engine.ColdRestart();
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
+  EXPECT_GT(*restored, 0u);
+  ASSERT_TRUE(engine.Start().ok());
+  Feed(p, kFeed);
+  ASSERT_TRUE(engine.WaitUntilFinishedFor(kWait));
+  EXPECT_TRUE(engine.RunResult().ok()) << engine.RunResult().message();
+
+  std::vector<Tuple> got = p.sink->TakeResults();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, golden);
+
+  // The durability stats table reflects the restored store.
+  ASSERT_NE(engine.recovery(), nullptr);
+  const Table table = BuildDurabilityTable(*engine.recovery());
+  EXPECT_GT(table.row_count(), 0u);
+  engine.Stop();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(ColdRestartTest, RefusedWithoutDurableDir) {
+  Pipeline p = BuildPipeline();
+  StreamEngine engine(p.graph.get());
+
+  // Not configured yet.
+  Result<uint64_t> unconfigured = engine.ColdRestart();
+  ASSERT_FALSE(unconfigured.ok());
+  EXPECT_EQ(unconfigured.status().code(), StatusCode::kFailedPrecondition);
+
+  // Configured, but without a durable directory.
+  EngineOptions options;
+  options.mode = ExecutionMode::kGts;
+  options.checkpoint_epoch_interval = 25;
+  ASSERT_TRUE(engine.Configure(options).ok());
+  Result<uint64_t> no_dir = engine.ColdRestart();
+  ASSERT_FALSE(no_dir.ok());
+  EXPECT_EQ(no_dir.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ColdRestartTest, EmptyStoreIsAFreshStart) {
+  const std::string dir = FreshCheckpointDir("empty");
+  Pipeline p = BuildPipeline();
+  StreamEngine engine(p.graph.get());
+  EngineOptions options;
+  options.mode = ExecutionMode::kGts;
+  options.checkpoint_epoch_interval = 25;
+  options.durable_checkpoint_dir = dir;
+  ASSERT_TRUE(engine.Configure(options).ok());
+
+  Result<uint64_t> restored = engine.ColdRestart();
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
+  EXPECT_EQ(*restored, 0u);  // nothing on disk: epoch 0, no skip
+
+  ASSERT_TRUE(engine.Start().ok());
+  Feed(p, 100);
+  ASSERT_TRUE(engine.WaitUntilFinishedFor(kWait));
+  EXPECT_TRUE(engine.RunResult().ok());
+  std::vector<Tuple> got = p.sink->TakeResults();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, SortedGolden(100));
+  engine.Stop();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+// ---------------------------------------------------------------------------
+// Replay-buffer truncation diagnostics & durable cursor accounting.
+
+TEST(ReplayTruncationTest, StatusNamesSourceAndFirstDroppedEpoch) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("sensor");
+  qb.CollectSink(src, "sink");
+
+  std::shared_mutex gate;
+  ReplayBuffer buffer(src, 4);
+  src->ArmEpochs(2, &buffer, &gate);
+  EXPECT_TRUE(buffer.truncation_status().ok());
+
+  // Cap 4 at interval 2: elements 1-4 fill epochs 1-2; element 5 (the
+  // first of epoch 3) overflows the buffer.
+  for (int i = 0; i < 10; ++i) src->Push(Tuple::OfInt(i, i + 1));
+  ASSERT_TRUE(buffer.truncated());
+
+  const Status status = buffer.truncation_status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  // The structured diagnosis: which source, and the first epoch whose
+  // replay suffix is incomplete — what the engine logs when it abandons
+  // live recovery.
+  EXPECT_NE(status.message().find("sensor"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("epoch 3"), std::string::npos)
+      << status.message();
+}
+
+TEST(DurabilityCursorTest, RecordedThroughIsStreamAbsolute) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("s");
+  qb.CollectSink(src, "sink");
+
+  std::shared_mutex gate;
+  ReplayBuffer buffer(src, 0);
+  src->ArmEpochs(2, &buffer, &gate);
+  for (int i = 0; i < 6; ++i) src->Push(Tuple::OfInt(i, i + 1));
+
+  EXPECT_EQ(buffer.RecordedThrough(1), 2u);
+  EXPECT_EQ(buffer.RecordedThrough(2), 4u);
+  EXPECT_EQ(buffer.RecordedThrough(3), 6u);
+  // Committing (trimming) must not disturb the cursors still in
+  // contract: RecordedThrough(E) stays exact for E at or past the last
+  // trim, which is how PersistEpoch uses it (persist, then trim, with
+  // epochs committing monotonically).
+  buffer.TrimThrough(2);
+  EXPECT_EQ(buffer.RecordedThrough(2), 4u);
+  EXPECT_EQ(buffer.RecordedThrough(3), 6u);
+}
+
+// After a cold restart the resume-skipped prefix never reaches the fresh
+// buffer's observer; SetRecordedBase seeds the count so cursors persisted
+// by the new incarnation stay stream-absolute (what a *second* cold
+// restart will skip).
+TEST(DurabilityCursorTest, RecordedBaseKeepsCursorsAbsoluteAcrossRestart) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("s");
+  qb.CollectSink(src, "sink");
+
+  std::shared_mutex gate;
+  ReplayBuffer buffer(src, 0);
+  buffer.SetRecordedBase(100);  // restored cursor: 100 elements committed
+  src->ArmEpochs(2, &buffer, &gate);
+  for (int i = 0; i < 4; ++i) src->Push(Tuple::OfInt(i, i + 1));
+
+  EXPECT_EQ(buffer.RecordedThrough(1), 102u);
+  EXPECT_EQ(buffer.RecordedThrough(2), 104u);
+}
+
+// Replay files round-trip the durability dimensions so a failing
+// cold-restart scenario can be re-run exactly.
+TEST(DurabilityReplayTest, RoundTripsDurabilityFields) {
+  const DiffSpec spec = DurabilitySpec();
+  DiffConfig config;
+  config.mode = ExecutionMode::kHmts;
+  config.checkpoint_epoch_interval = 50;
+  config.cold_restarts = 2;
+  config.disk_fault = "torn-write";
+
+  DiffSpec parsed_spec;
+  DiffConfig parsed;
+  std::string error;
+  ASSERT_TRUE(
+      ParseReplay(FormatReplay(spec, config), &parsed_spec, &parsed, &error))
+      << error;
+  EXPECT_EQ(parsed_spec.seed, spec.seed);
+  EXPECT_EQ(parsed.checkpoint_epoch_interval, config.checkpoint_epoch_interval);
+  EXPECT_EQ(parsed.cold_restarts, config.cold_restarts);
+  EXPECT_EQ(parsed.disk_fault, config.disk_fault);
+  EXPECT_EQ(parsed.Name(), config.Name());
+}
+
+}  // namespace
+}  // namespace flexstream

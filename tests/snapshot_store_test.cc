@@ -1,0 +1,291 @@
+// SnapshotStore (src/recovery/snapshot_store.h): the crash-consistent
+// write protocol, manifest handling, retention/GC, corruption fallback,
+// and the chaos-tier disk faults (testing/chaos.h FaultyStorageEnv).
+//
+// Runs under the `check-durability` CMake target (ctest -R
+// "SnapshotStore").
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "recovery/snapshot_store.h"
+#include "recovery/storage_env.h"
+#include "testing/chaos.h"
+
+namespace flexstream {
+namespace {
+
+/// Fresh on-disk directory per test, removed on teardown.
+class SnapshotStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static std::atomic<uint64_t> counter{0};
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("flexstream_store_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter.fetch_add(1))))
+               .string();
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  SnapshotStore::Options StoreOptions(int retain = 2,
+                                      StorageEnv* env = nullptr) {
+    SnapshotStore::Options options;
+    options.dir = dir_;
+    options.env = env;
+    options.retain_epochs = retain;
+    return options;
+  }
+
+  static EpochSnapshot MakeSnapshot(uint64_t epoch) {
+    EpochSnapshot snap;
+    snap.epoch = epoch;
+    snap.operators.push_back(
+        {"join", "payload-for-epoch-" + std::to_string(epoch)});
+    snap.operators.push_back({"sink", std::string("\x00\x01\xff", 3)});
+    DurableCursor cursor;
+    cursor.name = "src";
+    cursor.elements = epoch * 100;
+    cursor.closed = epoch % 2 == 0;
+    cursor.close_timestamp = static_cast<AppTime>(epoch) * 7;
+    snap.cursors.push_back(cursor);
+    return snap;
+  }
+
+  std::string EpochPath(uint64_t epoch) const {
+    return (std::filesystem::path(dir_) / SnapshotStore::EpochFileName(epoch))
+        .string();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(SnapshotStoreTest, WriteAndLoadNewestRoundTrips) {
+  SnapshotStore store(StoreOptions());
+  ASSERT_TRUE(store.Open().ok());
+
+  EXPECT_TRUE(store.LoadNewestIntact().status().code() ==
+              StatusCode::kNotFound);
+
+  ASSERT_TRUE(store.WriteEpoch(MakeSnapshot(1)).ok());
+  ASSERT_TRUE(store.WriteEpoch(MakeSnapshot(2)).ok());
+
+  Result<EpochSnapshot> loaded = store.LoadNewestIntact();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded->epoch, 2u);
+  ASSERT_EQ(loaded->operators.size(), 2u);
+  EXPECT_EQ(loaded->operators[0].name, "join");
+  EXPECT_EQ(loaded->operators[0].payload, "payload-for-epoch-2");
+  EXPECT_EQ(loaded->operators[1].payload, std::string("\x00\x01\xff", 3));
+  ASSERT_EQ(loaded->cursors.size(), 1u);
+  EXPECT_EQ(loaded->cursors[0].elements, 200u);
+  EXPECT_TRUE(loaded->cursors[0].closed);
+  EXPECT_EQ(loaded->cursors[0].close_timestamp, 14);
+
+  const SnapshotStoreStats stats = store.stats();
+  EXPECT_EQ(stats.epochs_written, 2);
+  EXPECT_EQ(stats.write_failures, 0);
+  EXPECT_GT(stats.bytes_written, 0);
+}
+
+TEST_F(SnapshotStoreTest, RefusesNonMonotoneEpochs) {
+  SnapshotStore store(StoreOptions());
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.WriteEpoch(MakeSnapshot(2)).ok());
+  EXPECT_EQ(store.WriteEpoch(MakeSnapshot(2)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(store.WriteEpoch(MakeSnapshot(1)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(store.WriteEpoch(MakeSnapshot(3)).ok());
+}
+
+TEST_F(SnapshotStoreTest, RetentionGarbageCollectsOldEpochs) {
+  SnapshotStore store(StoreOptions(/*retain=*/2));
+  ASSERT_TRUE(store.Open().ok());
+  for (uint64_t e = 1; e <= 4; ++e) {
+    ASSERT_TRUE(store.WriteEpoch(MakeSnapshot(e)).ok());
+  }
+  EXPECT_EQ(store.manifest_epochs(), (std::vector<uint64_t>{3, 4}));
+  EXPECT_FALSE(std::filesystem::exists(EpochPath(1)));
+  EXPECT_FALSE(std::filesystem::exists(EpochPath(2)));
+  EXPECT_TRUE(std::filesystem::exists(EpochPath(3)));
+  EXPECT_TRUE(std::filesystem::exists(EpochPath(4)));
+  EXPECT_EQ(store.stats().gc_removed_files, 2);
+}
+
+TEST_F(SnapshotStoreTest, CorruptNewestFallsBackToPreviousIntact) {
+  SnapshotStore store(StoreOptions());
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.WriteEpoch(MakeSnapshot(1)).ok());
+  ASSERT_TRUE(store.WriteEpoch(MakeSnapshot(2)).ok());
+
+  // At-rest bit flip in the middle of the newest epoch file.
+  {
+    std::fstream f(EpochPath(2),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(0, std::ios::end);
+    const auto size = f.tellg();
+    f.seekp(static_cast<std::streamoff>(size) / 2);
+    char byte = 0;
+    f.seekg(static_cast<std::streamoff>(size) / 2);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(size) / 2);
+    f.write(&byte, 1);
+  }
+
+  Result<EpochSnapshot> loaded = store.LoadNewestIntact();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded->epoch, 1u);
+  EXPECT_GE(store.stats().corrupt_epochs_skipped, 1);
+}
+
+TEST_F(SnapshotStoreTest, TornNewestFallsBackToPreviousIntact) {
+  SnapshotStore store(StoreOptions());
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.WriteEpoch(MakeSnapshot(1)).ok());
+  ASSERT_TRUE(store.WriteEpoch(MakeSnapshot(2)).ok());
+
+  // Torn write: only a prefix of the newest file survived the "crash".
+  const auto size = std::filesystem::file_size(EpochPath(2));
+  std::filesystem::resize_file(EpochPath(2), size / 2);
+
+  Result<EpochSnapshot> loaded = store.LoadNewestIntact();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded->epoch, 1u);
+}
+
+TEST_F(SnapshotStoreTest, AllEpochsCorruptIsNotFound) {
+  SnapshotStore store(StoreOptions());
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.WriteEpoch(MakeSnapshot(1)).ok());
+  std::filesystem::resize_file(EpochPath(1), 4);
+  EXPECT_EQ(store.LoadNewestIntact().status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotStoreTest, ReopenRecoversManifestAndStrays) {
+  {
+    SnapshotStore store(StoreOptions());
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.WriteEpoch(MakeSnapshot(1)).ok());
+    ASSERT_TRUE(store.WriteEpoch(MakeSnapshot(2)).ok());
+  }
+  // A crash between epoch-file rename and manifest write leaves a complete
+  // epoch file the manifest does not know about. Simulate the worst case:
+  // the manifest is gone entirely — the directory scan must recover both.
+  std::filesystem::remove(std::filesystem::path(dir_) / "MANIFEST");
+  SnapshotStore store(StoreOptions());
+  ASSERT_TRUE(store.Open().ok());
+  EXPECT_EQ(store.manifest_epochs(), (std::vector<uint64_t>{1, 2}));
+  Result<EpochSnapshot> loaded = store.LoadNewestIntact();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->epoch, 2u);
+}
+
+TEST_F(SnapshotStoreTest, IgnoresLeftoverTempFiles) {
+  SnapshotStore store(StoreOptions());
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.WriteEpoch(MakeSnapshot(1)).ok());
+  // A crash mid-write leaves *.tmp debris; it must never shadow an epoch.
+  std::ofstream(EpochPath(7) + ".tmp") << "partial garbage";
+  SnapshotStore reopened(StoreOptions());
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_EQ(reopened.manifest_epochs(), (std::vector<uint64_t>{1}));
+}
+
+TEST_F(SnapshotStoreTest, TruncateAfterReopensEpochRange) {
+  SnapshotStore store(StoreOptions(/*retain=*/3));
+  ASSERT_TRUE(store.Open().ok());
+  for (uint64_t e = 1; e <= 3; ++e) {
+    ASSERT_TRUE(store.WriteEpoch(MakeSnapshot(e)).ok());
+  }
+  ASSERT_TRUE(store.TruncateAfter(1).ok());
+  EXPECT_EQ(store.manifest_epochs(), (std::vector<uint64_t>{1}));
+  // The dropped range is writable again — exactly what a resumed run does
+  // after falling back past a corrupt newest epoch.
+  EXPECT_TRUE(store.WriteEpoch(MakeSnapshot(2)).ok());
+  Result<EpochSnapshot> loaded = store.LoadNewestIntact();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->epoch, 2u);
+}
+
+// -- Chaos-tier disk faults (FaultyStorageEnv) ----------------------------
+
+TEST_F(SnapshotStoreTest, FaultyEnvTearsTargetEpochWrite) {
+  ChaosOptions chaos;
+  chaos.disk_torn_write_epoch = 2;
+  FaultyStorageEnv env(LocalStorageEnv(), chaos);
+  SnapshotStore store(StoreOptions(2, &env));
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.WriteEpoch(MakeSnapshot(1)).ok());
+  // The torn write lies about success: the store believes epoch 2 landed.
+  ASSERT_TRUE(store.WriteEpoch(MakeSnapshot(2)).ok());
+  EXPECT_EQ(env.torn_writes(), 1);
+
+  Result<EpochSnapshot> loaded = store.LoadNewestIntact();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded->epoch, 1u);
+  EXPECT_GE(store.stats().corrupt_epochs_skipped, 1);
+}
+
+TEST_F(SnapshotStoreTest, FaultyEnvCorruptsTargetEpochAtRest) {
+  ChaosOptions chaos;
+  chaos.disk_corrupt_epoch = 2;
+  FaultyStorageEnv env(LocalStorageEnv(), chaos);
+  SnapshotStore store(StoreOptions(2, &env));
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.WriteEpoch(MakeSnapshot(1)).ok());
+  ASSERT_TRUE(store.WriteEpoch(MakeSnapshot(2)).ok());
+  EXPECT_EQ(env.corruptions(), 1);
+
+  Result<EpochSnapshot> loaded = store.LoadNewestIntact();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->epoch, 1u);
+}
+
+TEST_F(SnapshotStoreTest, FaultyEnvEnospcFailsWriteAndKeepsOldEpochs) {
+  ChaosOptions chaos;
+  chaos.disk_enospc_after_bytes = 1;  // every Append after byte 1 fails
+  FaultyStorageEnv env(LocalStorageEnv(), chaos);
+  SnapshotStore store(StoreOptions(2, &env));
+  ASSERT_TRUE(store.Open().ok());
+  // Open's manifest write may already burn the budget; every epoch write
+  // must fail cleanly and leave nothing recorded.
+  EXPECT_FALSE(store.WriteEpoch(MakeSnapshot(1)).ok());
+  EXPECT_GT(env.enospc_failures(), 0);
+  EXPECT_GE(store.stats().write_failures, 1);
+  EXPECT_TRUE(store.manifest_epochs().empty());
+  EXPECT_EQ(store.LoadNewestIntact().status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotStoreTest, FaultyEnvFsyncFailureAbandonsEpoch) {
+  ChaosOptions chaos;
+  chaos.disk_fsync_fail_epoch = 2;
+  FaultyStorageEnv env(LocalStorageEnv(), chaos);
+  SnapshotStore store(StoreOptions(2, &env));
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.WriteEpoch(MakeSnapshot(1)).ok());
+  EXPECT_FALSE(store.WriteEpoch(MakeSnapshot(2)).ok());
+  EXPECT_EQ(env.fsync_failures(), 1);
+  EXPECT_EQ(store.manifest_epochs(), (std::vector<uint64_t>{1}));
+  // Epoch 2 was abandoned, not half-recorded: 1 is still loadable and 3
+  // can still be written.
+  ASSERT_TRUE(store.WriteEpoch(MakeSnapshot(3)).ok());
+  Result<EpochSnapshot> loaded = store.LoadNewestIntact();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->epoch, 3u);
+}
+
+}  // namespace
+}  // namespace flexstream

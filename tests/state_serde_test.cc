@@ -1,0 +1,274 @@
+// Durable state serialization (DESIGN.md §16): every StateSnapshot
+// producer's EncodeState/DecodeState pair must round-trip *byte-exactly* —
+// encode(decode(encode(snapshot))) == encode(snapshot) — and fail cleanly
+// (a Status, never UB) on truncated or garbage bytes. Byte-exactness is
+// what makes durable checkpoints deterministic: hash-map state is emitted
+// in sorted key order, join sides in arrival order, doubles as IEEE-754
+// bit patterns that are never re-folded.
+//
+// Runs under the `check-durability` CMake target (ctest -R "StateSerde").
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/query_builder.h"
+#include "graph/query_graph.h"
+#include "operators/aggregate.h"
+#include "operators/count_window_aggregate.h"
+#include "operators/distinct.h"
+#include "operators/latency_sink.h"
+#include "operators/multiway_join.h"
+#include "operators/sink.h"
+#include "operators/source.h"
+#include "operators/symmetric_hash_join.h"
+#include "operators/symmetric_nl_join.h"
+#include "operators/tumbling_aggregate.h"
+#include "recovery/state_snapshot.h"
+#include "tuple/tuple.h"
+#include "util/clock.h"
+
+namespace flexstream {
+namespace {
+
+/// Encode -> decode -> encode must reproduce the first byte string
+/// exactly, and a decoded snapshot must be restorable. Returns the
+/// canonical bytes for further checks.
+std::string ExpectByteExactRoundTrip(StatefulOperator* op) {
+  OperatorSnapshot snap = op->SnapshotState();
+  std::string bytes;
+  Status encoded = op->EncodeState(snap, &bytes);
+  EXPECT_TRUE(encoded.ok()) << encoded.message();
+
+  Result<OperatorSnapshot> decoded = op->DecodeState(bytes);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().message();
+  if (!decoded.ok()) return bytes;
+
+  std::string bytes2;
+  Status reencoded = op->EncodeState(*decoded, &bytes2);
+  EXPECT_TRUE(reencoded.ok()) << reencoded.message();
+  EXPECT_EQ(bytes, bytes2) << "encode(decode(bytes)) != bytes";
+
+  op->RestoreState(*decoded);
+  return bytes;
+}
+
+/// Every strict prefix of a valid encoding must decode to a clean error;
+/// so must garbage.
+void ExpectRejectsCorruption(StatefulOperator* op, const std::string& bytes) {
+  for (size_t len : {size_t{0}, bytes.size() / 3, bytes.size() - 1}) {
+    if (len >= bytes.size()) continue;
+    Result<OperatorSnapshot> truncated =
+        op->DecodeState(std::string_view(bytes).substr(0, len));
+    EXPECT_FALSE(truncated.ok()) << "accepted truncation to " << len;
+  }
+  Result<OperatorSnapshot> garbage = op->DecodeState("not a snapshot");
+  EXPECT_FALSE(garbage.ok());
+}
+
+TEST(StateSerdeTest, SymmetricHashJoinByteExact) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* left = qb.AddSource("l");
+  Source* right = qb.AddSource("r");
+  SymmetricHashJoin* join = qb.HashJoin(left, right, "join", 10'000);
+  qb.CollectSink(join, "sink");
+
+  // Multiple keys per side, repeated keys, interleaved arrival.
+  left->Push(Tuple::OfInt(1, 10));
+  right->Push(Tuple::OfInt(2, 11));
+  left->Push(Tuple::OfInt(2, 12));
+  left->Push(Tuple::OfInt(1, 13));
+  right->Push(Tuple::OfInt(1, 14));
+
+  const std::string bytes = ExpectByteExactRoundTrip(join);
+  EXPECT_FALSE(bytes.empty());
+  ExpectRejectsCorruption(join, bytes);
+}
+
+TEST(StateSerdeTest, SymmetricHashJoinEmptyStateRoundTrips) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* left = qb.AddSource("l");
+  Source* right = qb.AddSource("r");
+  SymmetricHashJoin* join = qb.HashJoin(left, right, "join", 10'000);
+  qb.CollectSink(join, "sink");
+  ExpectByteExactRoundTrip(join);
+}
+
+TEST(StateSerdeTest, MultiwayJoinByteExact) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* a = qb.AddSource("a");
+  Source* b = qb.AddSource("b");
+  Source* c = qb.AddSource("c");
+  MultiwayJoin* join = qb.MJoin({a, b, c}, "mjoin", 10'000, {0, 0, 0});
+  qb.CollectSink(join, "sink");
+
+  a->Push(Tuple::OfInt(1, 10));
+  b->Push(Tuple::OfInt(1, 11));
+  c->Push(Tuple::OfInt(2, 12));
+  a->Push(Tuple::OfInt(2, 13));
+
+  const std::string bytes = ExpectByteExactRoundTrip(join);
+  ExpectRejectsCorruption(join, bytes);
+}
+
+TEST(StateSerdeTest, WindowedAggregateByteExact) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("s");
+  WindowedAggregate::Options options;
+  options.kind = AggregateKind::kMin;  // exercises the min/max multiset
+  options.group_attr = 0;
+  options.window_micros = 10'000;
+  WindowedAggregate* agg = qb.Aggregate(src, "agg", options);
+  qb.CollectSink(agg, "sink");
+
+  for (int i = 0; i < 8; ++i) src->Push(Tuple::OfInt(i % 3, i + 1));
+
+  const std::string bytes = ExpectByteExactRoundTrip(agg);
+  ExpectRejectsCorruption(agg, bytes);
+}
+
+TEST(StateSerdeTest, TumblingAggregateByteExact) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("s");
+  TumblingAggregate::Options options;
+  options.kind = AggregateKind::kAvg;
+  options.group_attr = 0;
+  options.window_micros = 1'000;
+  TumblingAggregate* agg = qb.Tumbling(src, "tumbling", options);
+  qb.CollectSink(agg, "sink");
+
+  // Stay inside one open window so the groups hold partial state.
+  for (int i = 0; i < 6; ++i) src->Push(Tuple::OfInt(i % 2, 100 + i));
+
+  const std::string bytes = ExpectByteExactRoundTrip(agg);
+  ExpectRejectsCorruption(agg, bytes);
+}
+
+TEST(StateSerdeTest, CountWindowAggregateByteExact) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("s");
+  CountWindowAggregate::Options options;
+  options.kind = AggregateKind::kMax;
+  options.window_rows = 4;
+  CountWindowAggregate* agg = qb.CountWindow(src, "cw", options);
+  qb.CollectSink(agg, "sink");
+
+  for (int i = 0; i < 7; ++i) src->Push(Tuple::OfInt(10 - i, i + 1));
+
+  const std::string bytes = ExpectByteExactRoundTrip(agg);
+  ExpectRejectsCorruption(agg, bytes);
+}
+
+TEST(StateSerdeTest, SymmetricNlJoinByteExact) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* left = qb.AddSource("l");
+  Source* right = qb.AddSource("r");
+  SymmetricNlJoin* join = qb.NlJoin(
+      left, right, "nljoin", 10'000,
+      [](const Tuple& l, const Tuple& r) { return l.values() == r.values(); });
+  qb.CollectSink(join, "sink");
+
+  left->Push(Tuple::OfInt(1, 10));
+  right->Push(Tuple::OfInt(1, 11));
+  left->Push(Tuple::OfInt(3, 12));
+
+  const std::string bytes = ExpectByteExactRoundTrip(join);
+  ExpectRejectsCorruption(join, bytes);
+}
+
+TEST(StateSerdeTest, DistinctByteExact) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("s");
+  Distinct* dedup = qb.Dedup(src, "dedup", 10'000);
+  qb.CollectSink(dedup, "sink");
+
+  for (int i = 0; i < 6; ++i) src->Push(Tuple::OfInt(i % 3, i + 1));
+
+  const std::string bytes = ExpectByteExactRoundTrip(dedup);
+  ExpectRejectsCorruption(dedup, bytes);
+}
+
+TEST(StateSerdeTest, CountingSinkByteExact) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("s");
+  CountingSink* sink = qb.CountSink(src, "count");
+
+  for (int i = 0; i < 5; ++i) src->Push(Tuple::OfInt(i, i + 1));
+
+  const std::string bytes = ExpectByteExactRoundTrip(sink);
+  ExpectRejectsCorruption(sink, bytes);
+  EXPECT_EQ(sink->count(), 5);  // restore kept the count
+}
+
+TEST(StateSerdeTest, CollectingSinkByteExact) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("s");
+  CollectingSink* sink = qb.CollectSink(src, "collect");
+
+  for (int i = 0; i < 5; ++i) src->Push(Tuple::OfInt(i, i + 1));
+
+  const std::string bytes = ExpectByteExactRoundTrip(sink);
+  ExpectRejectsCorruption(sink, bytes);
+  EXPECT_EQ(sink->size(), 5u);
+}
+
+TEST(StateSerdeTest, LatencySinkByteExact) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* src = qb.AddSource("s");
+  LatencySink* sink = qb.Latency(src, "lat", /*offset_attr=*/0, Now(),
+                                 /*phase_attr=*/1);
+  for (int i = 0; i < 6; ++i) {
+    src->Push(Tuple({Value(int64_t{0}), Value(int64_t{i % 2})}, i + 1));
+  }
+  ASSERT_EQ(sink->count(), 6);
+
+  const std::string bytes = ExpectByteExactRoundTrip(sink);
+  ExpectRejectsCorruption(sink, bytes);
+  EXPECT_EQ(sink->count(), 6);
+}
+
+// Restored-from-bytes state must be behaviorally identical, not just
+// byte-identical: a decoded join joins exactly like the original.
+TEST(StateSerdeTest, DecodedJoinStateBehavesIdentically) {
+  QueryGraph graph;
+  QueryBuilder qb(&graph);
+  Source* left = qb.AddSource("l");
+  Source* right = qb.AddSource("r");
+  SymmetricHashJoin* join = qb.HashJoin(left, right, "join", 10'000);
+  CollectingSink* sink = qb.CollectSink(join, "sink");
+
+  left->Push(Tuple::OfInt(1, 10));
+  left->Push(Tuple::OfInt(2, 11));
+
+  OperatorSnapshot snap = join->SnapshotState();
+  std::string bytes;
+  ASSERT_TRUE(join->EncodeState(snap, &bytes).ok());
+
+  // Disturb the state, then restore from the *decoded* bytes.
+  right->Push(Tuple::OfInt(1, 12));
+  Result<OperatorSnapshot> decoded = join->DecodeState(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  join->RestoreState(*decoded);
+  sink->TakeResults();
+
+  // The decoded state holds left {1, 2} and an empty right side: a right
+  // push of key 2 joins exactly once.
+  right->Push(Tuple::OfInt(2, 13));
+  EXPECT_EQ(sink->TakeResults().size(), 1u);
+}
+
+}  // namespace
+}  // namespace flexstream
