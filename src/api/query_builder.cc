@@ -26,6 +26,15 @@ Selection* QueryBuilder::Select(Node* input, std::string name,
   return op;
 }
 
+Selection* QueryBuilder::Select(Node* input, std::string name,
+                                Int64ColumnPredicate pred,
+                                double simulated_cost_micros) {
+  Selection* op = graph_->Add<Selection>(std::move(name), std::move(pred),
+                                         simulated_cost_micros);
+  MustConnect(input, op, 0);
+  return op;
+}
+
 Projection* QueryBuilder::Project(Node* input, std::string name,
                                   std::vector<size_t> attrs,
                                   double simulated_cost_micros) {
@@ -38,6 +47,14 @@ Projection* QueryBuilder::Project(Node* input, std::string name,
 MapOp* QueryBuilder::Map(Node* input, std::string name, MapOp::MapFn fn,
                          double simulated_cost_micros) {
   MapOp* op = graph_->Add<MapOp>(std::move(name), std::move(fn),
+                                 simulated_cost_micros);
+  MustConnect(input, op, 0);
+  return op;
+}
+
+MapOp* QueryBuilder::Map(Node* input, std::string name, Int64ColumnMap map,
+                         double simulated_cost_micros) {
+  MapOp* op = graph_->Add<MapOp>(std::move(name), std::move(map),
                                  simulated_cost_micros);
   MustConnect(input, op, 0);
   return op;

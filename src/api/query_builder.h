@@ -51,11 +51,19 @@ class QueryBuilder {
                     Selection::Predicate predicate,
                     double simulated_cost_micros = 0.0);
 
+  /// Typed-column form (columnar-native; DESIGN.md §17).
+  Selection* Select(Node* input, std::string name, Int64ColumnPredicate pred,
+                    double simulated_cost_micros = 0.0);
+
   Projection* Project(Node* input, std::string name,
                       std::vector<size_t> attrs,
                       double simulated_cost_micros = 0.0);
 
   MapOp* Map(Node* input, std::string name, MapOp::MapFn fn,
+             double simulated_cost_micros = 0.0);
+
+  /// Typed-column form (columnar-native; DESIGN.md §17).
+  MapOp* Map(Node* input, std::string name, Int64ColumnMap map,
              double simulated_cost_micros = 0.0);
 
   UnionOp* Union(std::vector<Node*> inputs, std::string name);

@@ -348,6 +348,48 @@ Status StreamEngine::Configure(const EngineOptions& options) {
   if (options.emit_batch_size > 1) {
     for (QueueOp* queue : queues_) queue->SetBatchDelivery(true);
   }
+  // Columnar batch layer (DESIGN.md §17): sources scatter into typed
+  // ColumnarBatches and declared schemas are pushed through the topology
+  // in topological order so downstream operators know their column layout
+  // at configure time. Purely advisory — batches are self-describing, so
+  // a missing schema only costs the typed fast path, never correctness.
+  if (options.columnar && options.emit_batch_size > 1) {
+    for (Node* node : graph_->nodes()) {
+      if (Source* source = dynamic_cast<Source*>(node)) {
+        source->SetColumnarEmit(true);
+      }
+    }
+    Result<std::vector<Node*>> topo = graph_->TopologicalOrder();
+    if (topo.ok()) {
+      for (Node* node : *topo) {
+        Operator* op = dynamic_cast<Operator*>(node);
+        if (op == nullptr) continue;
+        if (!node->is_source() && op->static_output_schema() == nullptr) {
+          // Collect per-port input schemas from the already-visited
+          // upstream nodes (nullptr where unknown).
+          std::vector<SchemaPtr> input_schemas;
+          for (const Node::InEdge& in : node->inputs()) {
+            SchemaPtr upstream_schema;
+            if (Operator* up = dynamic_cast<Operator*>(in.source)) {
+              upstream_schema = up->static_output_schema();
+            }
+            const size_t port = in.port < 0 ? 0 : static_cast<size_t>(in.port);
+            if (input_schemas.size() <= port) {
+              input_schemas.resize(port + 1);
+            }
+            if (input_schemas[port] == nullptr) {
+              input_schemas[port] = std::move(upstream_schema);
+            } else if (upstream_schema != nullptr &&
+                       *input_schemas[port] != *upstream_schema) {
+              // Conflicting producers on one port: no static schema.
+              input_schemas[port] = nullptr;
+            }
+          }
+          op->SetStaticOutputSchema(op->InferOutputSchema(input_schemas));
+        }
+      }
+    }
+  }
   // Every operator (queues included — their kBlock waits poll it) reports
   // failures into the engine's run status and shares the retry backoff
   // policy.
@@ -721,6 +763,7 @@ Status StreamEngine::Deconfigure() {
   for (Node* node : graph_->nodes()) {
     if (Source* source = dynamic_cast<Source*>(node)) {
       source->SetEmitBatchSize(1);
+      source->SetColumnarEmit(false);
     }
   }
   // Drain in topological order so elements pushed downstream land in

@@ -125,6 +125,18 @@ struct EngineOptions {
   /// barriers) and dissolve at fault-hooked or alignment-armed operators,
   /// so overload accounting and checkpoint semantics are unchanged.
   size_t emit_batch_size = 1;
+  /// Columnar batch layer (DESIGN.md §17): with emit_batch_size > 1,
+  /// sources scatter accumulated elements into typed ColumnarBatches
+  /// (contiguous column vectors + per-batch string arena) and unbounded
+  /// batch-delivery queues transport each batch as one boxed item.
+  /// Columnar-native operators (typed Selection/Map, Projection, tumbling
+  /// aggregates, counting sinks, unions) process the typed columns
+  /// directly; everything else — and any operator with a fault hook,
+  /// armed barrier alignment, or seq stamping — transparently
+  /// materializes back to rows, so results are byte-for-byte identical to
+  /// the row-wise path. Configure also propagates declared source schemas
+  /// through schema-preserving operators (SetStaticOutputSchema).
+  bool columnar = false;
 };
 
 class StreamEngine {

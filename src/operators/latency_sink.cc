@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "tuple/batch_pool.h"
 #include "util/binary_io.h"
 
 namespace flexstream {
@@ -11,7 +12,35 @@ LatencySink::LatencySink(std::string name, size_t offset_attr,
     : Sink(std::move(name)),
       offset_attr_(offset_attr),
       epoch_(epoch),
-      phase_attr_(phase_attr) {}
+      phase_attr_(phase_attr) {
+  MarkColumnarNative();
+}
+
+void LatencySink::ProcessColumnar(ColumnarBatchPtr batch, int port) {
+  const Schema& schema = batch->schema();
+  const bool offset_ok = offset_attr_ < schema.arity() &&
+                         schema.type(offset_attr_) == Value::Type::kInt64;
+  const bool phase_ok =
+      !phase_attr_.has_value() ||
+      (*phase_attr_ < schema.arity() &&
+       schema.type(*phase_attr_) == Value::Type::kInt64);
+  if (!offset_ok || !phase_ok) {
+    ProcessBatch(columnar::MaterializeAndRelease(std::move(batch)), port);
+    return;
+  }
+  const size_t n = batch->size();
+  const int64_t* offsets = batch->Ints(offset_attr_);
+  const int64_t* phases =
+      phase_attr_.has_value() ? batch->Ints(*phase_attr_) : nullptr;
+  const int64_t now_offset = ToMicros(Now() - epoch_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < n; ++i) {
+    const double latency_micros = static_cast<double>(now_offset - offsets[i]);
+    histogram_.Add(latency_micros);
+    if (phases != nullptr) phase_histograms_[phases[i]].Add(latency_micros);
+  }
+  columnar::ReleaseBatch(std::move(batch));
+}
 
 Histogram LatencySink::TakeHistogram() {
   std::lock_guard<std::mutex> lock(mutex_);

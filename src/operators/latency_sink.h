@@ -71,6 +71,10 @@ class LatencySink : public Sink, public StatefulOperator {
   /// visible to the sink at the same drain instant, so per-element clock
   /// reads would only add noise (and cost) to the measurement.
   void ConsumeBatch(TupleBatch&& batch, int port) override;
+  /// Columnar kernel: reads the offset (and phase) columns directly —
+  /// one clock read, one lock, no row materialization. Falls back to rows
+  /// when the schema lacks kInt64 at the configured attributes.
+  void ProcessColumnar(ColumnarBatchPtr batch, int port) override;
 
  private:
   size_t offset_attr_;

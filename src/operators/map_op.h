@@ -4,12 +4,23 @@
 #ifndef FLEXSTREAM_OPERATORS_MAP_OP_H_
 #define FLEXSTREAM_OPERATORS_MAP_OP_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 
 #include "operators/operator.h"
+#include "tuple/columnar_batch.h"
 
 namespace flexstream {
+
+/// A typed columnar transform over one int64 attribute (DESIGN.md §17):
+/// the columnar kernel rewrites the raw column in place; the row path
+/// copies the tuple and rewrites the one attribute, so both paths compute
+/// the same rows (timestamps and seq stamps ride along unchanged).
+struct Int64ColumnMap {
+  size_t attr = 0;
+  std::function<int64_t(int64_t)> fn;
+};
 
 class MapOp : public Operator {
  public:
@@ -17,7 +28,25 @@ class MapOp : public Operator {
 
   MapOp(std::string name, MapFn fn, double simulated_cost_micros = 0.0);
 
+  /// Typed form: columnar-native. Batches carrying kInt64 at `map.attr`
+  /// are transformed column-at-a-time; everything else goes through the
+  /// synthesized row function.
+  MapOp(std::string name, Int64ColumnMap map,
+        double simulated_cost_micros = 0.0);
+
+  /// The typed form rewrites one attribute in place, so the row layout is
+  /// unchanged; the generic form's output shape is opaque.
+  SchemaPtr InferOutputSchema(
+      const std::vector<SchemaPtr>& inputs) const override {
+    if (typed_map_.fn == nullptr || inputs.empty()) return nullptr;
+    return inputs[0];
+  }
+
   std::unique_ptr<Operator> CloneFresh(std::string name) const override {
+    if (typed_map_.fn != nullptr) {
+      return std::make_unique<MapOp>(std::move(name), typed_map_,
+                                     simulated_cost_micros_);
+    }
     return std::make_unique<MapOp>(std::move(name), fn_,
                                    simulated_cost_micros_);
   }
@@ -27,9 +56,13 @@ class MapOp : public Operator {
   /// Batch-native path: replaces each tuple with fn_(tuple) in place and
   /// forwards the batch whole.
   void ProcessBatch(TupleBatch&& batch, int port) override;
+  /// Columnar kernel: rewrites the typed column in place. Falls back to
+  /// rows when the schema does not carry kInt64 at the map's attr.
+  void ProcessColumnar(ColumnarBatchPtr batch, int port) override;
 
  private:
   MapFn fn_;
+  Int64ColumnMap typed_map_;  // fn == nullptr ⇒ row-form only
   double simulated_cost_micros_;
 };
 

@@ -7,6 +7,8 @@
 #include <thread>
 #include <utility>
 
+#include "tuple/batch_pool.h"
+#include "tuple/columnar_batch.h"
 #include "util/busy_work.h"
 #include "util/logging.h"
 
@@ -208,6 +210,68 @@ void Operator::ReceiveBatchLocked(TupleBatch&& batch, int port) {
 
 void Operator::ProcessBatch(TupleBatch&& batch, int port) {
   for (const Tuple& tuple : batch) Process(tuple, port);
+}
+
+void Operator::ReceiveColumnar(ColumnarBatchPtr batch, int port) {
+  if (receive_mutex_ != nullptr) {
+    std::lock_guard<std::mutex> lock(*receive_mutex_);
+    ReceiveColumnarLocked(std::move(batch), port);
+    return;
+  }
+  ReceiveColumnarLocked(std::move(batch), port);
+}
+
+void Operator::ReceiveColumnarLocked(ColumnarBatchPtr batch, int port) {
+  if (batch == nullptr || batch->empty()) {
+    columnar::ReleaseBatch(std::move(batch));
+    return;
+  }
+  if (!columnar_native_ || epoch_state_ != nullptr || fault_hook_ != nullptr ||
+      stamp_emit_seq_) {
+    // The fallback contract (DESIGN.md §17): no kernel, or per-delivery
+    // machinery (barrier channels, fault hooks, seq stamping) is engaged —
+    // materialize to rows and take the existing batch path, which applies
+    // every gate exactly (including its own per-tuple unbundling).
+    ReceiveBatchLocked(columnar::MaterializeAndRelease(std::move(batch)),
+                       port);
+    return;
+  }
+  DCHECK(!closed_) << DebugString() << " received data after close";
+  if (failed_.load(std::memory_order_relaxed)) {
+    columnar::ReleaseBatch(std::move(batch));
+    return;
+  }
+  const size_t n = batch->size();
+  if (simulated_blocking_micros_ > 0.0) {
+    SleepBlockingMicros(simulated_blocking_micros_ * static_cast<double>(n));
+  }
+  if (!StatsCollectionEnabled()) {
+    if (simulated_cost_micros_ > 0.0) {
+      BurnMicros(simulated_cost_micros_ * static_cast<double>(n));
+    }
+    ProcessColumnar(std::move(batch), port);
+    return;
+  }
+  const TimePoint start = Now();
+  stats().RecordArrivalBatch(start, static_cast<int64_t>(n));
+  const double saved_child_micros = tl_child_micros;
+  tl_child_micros = 0.0;
+  if (simulated_cost_micros_ > 0.0) {
+    BurnMicros(simulated_cost_micros_ * static_cast<double>(n));
+  }
+  ProcessColumnar(std::move(batch), port);
+  const double total_micros = static_cast<double>(ToMicros(Now() - start));
+  const double self_micros = std::max(0.0, total_micros - tl_child_micros);
+  stats().RecordProcessedBatch(self_micros, static_cast<int64_t>(n));
+  tl_child_micros = saved_child_micros + total_micros;
+}
+
+void Operator::ProcessColumnar(ColumnarBatchPtr batch, int port) {
+  ProcessBatch(columnar::MaterializeAndRelease(std::move(batch)), port);
+}
+
+SchemaPtr Operator::InferOutputSchema(const std::vector<SchemaPtr>&) const {
+  return nullptr;
 }
 
 void Operator::ReceiveLocked(const Tuple& tuple, int port) {
@@ -438,6 +502,30 @@ void Operator::EmitBatch(TupleBatch&& batch) {
   const OutEdge& last = edges.back();
   tl_delivery_sender_ = this;
   last.target->ReceiveBatch(std::move(batch), last.port);
+}
+
+void Operator::EmitColumnar(ColumnarBatchPtr batch) {
+  if (batch == nullptr || batch->empty()) {
+    columnar::ReleaseBatch(std::move(batch));
+    return;
+  }
+  if (StatsCollectionEnabled()) {
+    stats().RecordEmitted(static_cast<int64_t>(batch->size()));
+  }
+  const auto& edges = outputs();
+  if (edges.empty()) {
+    columnar::ReleaseBatch(std::move(batch));
+    return;
+  }
+  for (size_t i = 0; i + 1 < edges.size(); ++i) {
+    ColumnarBatchPtr copy = columnar::AcquireBatch(batch->schema_ptr());
+    copy->CopyFrom(*batch);
+    tl_delivery_sender_ = this;
+    edges[i].target->ReceiveColumnar(std::move(copy), edges[i].port);
+  }
+  const OutEdge& last = edges.back();
+  tl_delivery_sender_ = this;
+  last.target->ReceiveColumnar(std::move(batch), last.port);
 }
 
 void Operator::EmitTo(size_t output_index, const Tuple& tuple) {

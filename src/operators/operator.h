@@ -27,11 +27,15 @@
 #include <vector>
 
 #include "graph/node.h"
+#include "tuple/schema.h"
 #include "tuple/tuple.h"
 #include "tuple/tuple_batch.h"
 #include "util/run_status.h"
 
 namespace flexstream {
+
+class ColumnarBatch;
+using ColumnarBatchPtr = std::unique_ptr<ColumnarBatch>;
 
 /// Globally enables/disables online statistics collection (cost,
 /// inter-arrival, selectivity). Enabled by default; throughput benchmarks
@@ -108,6 +112,40 @@ class Operator : public Node {
   /// base implementation unbundles the batch onto the exact per-tuple
   /// path, so chaos and checkpoint semantics are preserved bit-for-bit.
   virtual void ReceiveBatch(TupleBatch&& batch, int port);
+
+  /// Columnar delivery (DESIGN.md §17): semantically identical to calling
+  /// ReceiveBatch on the materialized rows — and that is literally what the
+  /// base implementation does whenever the operator has no columnar kernel
+  /// (MarkColumnarNative not set) or any per-delivery machinery is engaged
+  /// (fault hook, armed barrier alignment, seq stamping): the batch
+  /// materializes to a TupleBatch, recycles its column storage, and takes
+  /// the existing row-wise path, which applies every gate exactly.
+  /// Columnar-native operators instead get the whole typed batch via
+  /// ProcessColumnar after the batch-level gates (failure poisoning,
+  /// stats, simulated cost/blocking) have been applied once.
+  virtual void ReceiveColumnar(ColumnarBatchPtr batch, int port);
+
+  /// True when this operator has a columnar kernel (see MarkColumnarNative).
+  bool columnar_native() const { return columnar_native_; }
+
+  /// Graph-build-time schema propagation: given one schema per input edge
+  /// (null where unknown), returns this operator's output schema, or null
+  /// when unknown or type-changing. Schema-preserving operators (Selection,
+  /// queues, Union over identical inputs) override this; the engine's
+  /// Configure pass walks the topology with it and records the result via
+  /// SetStaticOutputSchema.
+  virtual SchemaPtr InferOutputSchema(
+      const std::vector<SchemaPtr>& inputs) const;
+
+  /// The statically propagated output schema (null when unknown). Purely
+  /// declarative: kernels still verify each batch's own schema at delivery
+  /// time, so a wrong declaration can cost speed, never correctness.
+  void SetStaticOutputSchema(SchemaPtr schema) {
+    static_output_schema_ = std::move(schema);
+  }
+  const SchemaPtr& static_output_schema() const {
+    return static_output_schema_;
+  }
 
   /// True once OnAllInputsClosed has run (all inputs delivered EOS).
   bool closed() const { return closed_; }
@@ -256,6 +294,17 @@ class Operator : public Node {
   /// at the first operator that hasn't opted in.
   virtual void ProcessBatch(TupleBatch&& batch, int port);
 
+  /// Handles one columnar batch — only ever invoked on columnar-native
+  /// operators, with all batch-level gates already applied. Kernels verify
+  /// the batch's schema fits their configuration and otherwise materialize
+  /// and delegate to ProcessBatch (the default does exactly that).
+  virtual void ProcessColumnar(ColumnarBatchPtr batch, int port);
+
+  /// Declares that this operator implements ProcessColumnar. Kernels call
+  /// this from their constructor when their configuration is columnar-
+  /// capable; without it, ReceiveColumnar materializes at the door.
+  void MarkColumnarNative(bool native = true) { columnar_native_ = native; }
+
   /// Called once when all input edges have closed. The default emits an EOS
   /// punctuation downstream; stateful operators flush first, sinks signal
   /// completion. `timestamp` is the max EOS timestamp observed.
@@ -296,6 +345,10 @@ class Operator : public Node {
   /// subscription order. The last subscriber adopts the storage; earlier
   /// (fan-out) subscribers receive copies.
   void EmitBatch(TupleBatch&& batch);
+
+  /// Columnar analogue of EmitBatch: the last subscriber adopts the boxed
+  /// batch; earlier (fan-out) subscribers receive pool-allocated copies.
+  void EmitColumnar(ColumnarBatchPtr batch);
 
   /// Pushes `tuple` to the single subscriber at `output_index` (the order
   /// outputs were connected in). Used by routing operators that partition
@@ -352,6 +405,10 @@ class Operator : public Node {
   /// Receive-path gates once for the whole batch, or unbundles it when
   /// per-delivery machinery (fault hook, barrier alignment) is engaged.
   void ReceiveBatchLocked(TupleBatch&& batch, int port);
+  /// Columnar delivery under the (optional) serialization lock: applies
+  /// the batch-level gates once, or materializes onto the row-wise path
+  /// when the operator lacks a kernel or per-delivery machinery is armed.
+  void ReceiveColumnarLocked(ColumnarBatchPtr batch, int port);
   /// The pre-barrier delivery path (stats, fault hook, Process/EOS).
   void DeliverLocked(const Tuple& tuple, int port);
   /// Barrier-aware routing. Returns true when the delivery was consumed
@@ -372,6 +429,8 @@ class Operator : public Node {
 
   size_t eos_received_ = 0;
   bool closed_ = false;
+  bool columnar_native_ = false;
+  SchemaPtr static_output_schema_;
   AppTime max_eos_timestamp_ = 0;
   double simulated_cost_micros_ = 0.0;
   double simulated_blocking_micros_ = 0.0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tuple/batch_pool.h"
 #include "util/busy_work.h"
 
 namespace flexstream {
@@ -15,6 +16,20 @@ Projection::Projection(std::string name, std::vector<size_t> attrs,
   std::sort(sorted.begin(), sorted.end());
   attrs_unique_ =
       std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+  MarkColumnarNative();
+}
+
+SchemaPtr Projection::InferOutputSchema(
+    const std::vector<SchemaPtr>& inputs) const {
+  if (inputs.empty() || inputs[0] == nullptr) return nullptr;
+  if (attrs_.empty()) return inputs[0];
+  std::vector<Value::Type> types;
+  types.reserve(attrs_.size());
+  for (size_t a : attrs_) {
+    if (a >= inputs[0]->arity()) return nullptr;
+    types.push_back(inputs[0]->type(a));
+  }
+  return MakeSchema(std::move(types));
 }
 
 void Projection::Process(const Tuple& tuple, int port) {
@@ -50,6 +65,35 @@ void Projection::ProcessBatch(TupleBatch&& batch, int port) {
     }
   }
   EmitBatch(std::move(batch));
+}
+
+void Projection::ProcessColumnar(ColumnarBatchPtr batch, int port) {
+  if (simulated_cost_micros_ > 0.0) {
+    BurnMicros(simulated_cost_micros_ * static_cast<double>(batch->size()));
+  }
+  if (attrs_.empty()) {
+    EmitColumnar(std::move(batch));
+    return;
+  }
+  const SchemaPtr& in = batch->schema_ptr();
+  for (size_t a : attrs_) {
+    if (a >= in->arity()) {
+      // Out-of-range attr for this (drifted) schema: the row path's
+      // accessor checks will report it.
+      ProcessBatch(columnar::MaterializeAndRelease(std::move(batch)), port);
+      return;
+    }
+  }
+  if (cached_in_ != in) {
+    cached_in_ = in;
+    std::vector<Value::Type> types;
+    types.reserve(attrs_.size());
+    for (size_t a : attrs_) types.push_back(in->type(a));
+    cached_out_ = MakeSchema(std::move(types));
+  }
+  batch->ProjectColumns(attrs_, cached_out_);
+  batch->ClearSeqs();
+  EmitColumnar(std::move(batch));
 }
 
 }  // namespace flexstream

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "operators/operator.h"
+#include "tuple/columnar_batch.h"
 
 namespace flexstream {
 
@@ -23,6 +24,11 @@ class Projection : public Operator {
 
   const std::vector<size_t>& attrs() const { return attrs_; }
 
+  /// Output schema = input schema restricted to `attrs` (identity when
+  /// the list is empty).
+  SchemaPtr InferOutputSchema(
+      const std::vector<SchemaPtr>& inputs) const override;
+
   std::unique_ptr<Operator> CloneFresh(std::string name) const override {
     return std::make_unique<Projection>(std::move(name), attrs_,
                                         simulated_cost_micros_);
@@ -34,11 +40,20 @@ class Projection : public Operator {
   /// Values out of the owned input (copying only when `attrs` repeats an
   /// index, since a repeated index would read a moved-from Value).
   void ProcessBatch(TupleBatch&& batch, int port) override;
+  /// Columnar kernel: ProjectColumns rebinds the column vector (moving
+  /// kept columns, sharing the arena) — no per-row work at all. Seq
+  /// stamps are dropped to match the row path, which builds fresh Tuples.
+  void ProcessColumnar(ColumnarBatchPtr batch, int port) override;
 
  private:
   std::vector<size_t> attrs_;
   bool attrs_unique_ = true;
   double simulated_cost_micros_;
+  // Projected-schema cache keyed on the input batch's SchemaPtr identity:
+  // steady-state streams reuse one Schema object, so the projected schema
+  // is computed once, not per batch. Serialized under the operator mutex.
+  SchemaPtr cached_in_;
+  SchemaPtr cached_out_;
 };
 
 }  // namespace flexstream

@@ -1,5 +1,6 @@
 #include "operators/selection.h"
 
+#include "tuple/batch_pool.h"
 #include "util/busy_work.h"
 #include "util/logging.h"
 
@@ -13,11 +14,30 @@ Selection::Selection(std::string name, Predicate predicate,
   CHECK(predicate_ != nullptr);
 }
 
+Selection::Selection(std::string name, Int64ColumnPredicate pred,
+                     double simulated_cost_micros)
+    : Operator(Kind::kOperator, std::move(name), /*input_arity=*/1),
+      typed_pred_(std::move(pred)),
+      simulated_cost_micros_(simulated_cost_micros) {
+  CHECK(typed_pred_.fn != nullptr);
+  // Row deliveries evaluate the same function through the row accessor.
+  predicate_ = [attr = typed_pred_.attr, fn = typed_pred_.fn](const Tuple& t) {
+    return fn(t.IntAt(attr));
+  };
+  MarkColumnarNative();
+}
+
 Selection::Predicate Selection::IntAttrLessThan(int64_t threshold,
                                                 size_t attr) {
   return [threshold, attr](const Tuple& t) {
     return t.IntAt(attr) < threshold;
   };
+}
+
+Int64ColumnPredicate Selection::ColumnIntLessThan(int64_t threshold,
+                                                  size_t attr) {
+  return Int64ColumnPredicate{
+      attr, [threshold](int64_t v) { return v < threshold; }};
 }
 
 void Selection::Process(const Tuple& tuple, int port) {
@@ -33,6 +53,32 @@ void Selection::ProcessBatch(TupleBatch&& batch, int port) {
   }
   batch.Compact(predicate_);
   EmitBatch(std::move(batch));
+}
+
+void Selection::ProcessColumnar(ColumnarBatchPtr batch, int port) {
+  const Schema& schema = batch->schema();
+  if (typed_pred_.fn == nullptr || typed_pred_.attr >= schema.arity() ||
+      schema.type(typed_pred_.attr) != Value::Type::kInt64) {
+    // Schema without our typed column (drifted stream): row fallback.
+    ProcessBatch(columnar::MaterializeAndRelease(std::move(batch)), port);
+    return;
+  }
+  const size_t n = batch->size();
+  if (simulated_cost_micros_ > 0.0) {
+    BurnMicros(simulated_cost_micros_ * static_cast<double>(n));
+  }
+  const int64_t* vals = batch->Ints(typed_pred_.attr);
+  keep_.clear();
+  keep_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (typed_pred_.fn(vals[i])) keep_.push_back(static_cast<uint32_t>(i));
+  }
+  if (keep_.empty()) {
+    columnar::ReleaseBatch(std::move(batch));
+    return;
+  }
+  batch->CompactRows(keep_.data(), keep_.size());
+  EmitColumnar(std::move(batch));
 }
 
 }  // namespace flexstream

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "tuple/batch_pool.h"
 #include "util/binary_io.h"
 #include "util/logging.h"
 
@@ -45,7 +46,20 @@ void Sink::OnAllInputsClosed(AppTime timestamp) {
   cv_.notify_all();
 }
 
-CountingSink::CountingSink(std::string name) : Sink(std::move(name)) {}
+CountingSink::CountingSink(std::string name) : Sink(std::move(name)) {
+  MarkColumnarNative();
+}
+
+void CountingSink::ProcessColumnar(ColumnarBatchPtr batch, int port) {
+  if (timeline_enabled_) {
+    // One (time, cumulative count) sample per arrival: row path.
+    ProcessBatch(columnar::MaterializeAndRelease(std::move(batch)), port);
+    return;
+  }
+  count_.fetch_add(static_cast<int64_t>(batch->size()),
+                   std::memory_order_relaxed);
+  columnar::ReleaseBatch(std::move(batch));
+}
 
 void CountingSink::StartTimeline(TimePoint start) {
   std::lock_guard<std::mutex> lock(timeline_mutex_);

@@ -17,6 +17,7 @@
 
 #include "operators/operator.h"
 #include "recovery/state_snapshot.h"
+#include "tuple/columnar_batch.h"
 
 namespace flexstream {
 
@@ -81,6 +82,9 @@ class CountingSink : public Sink, public StatefulOperator {
  protected:
   void Consume(const Tuple& tuple, int port) override;
   void ConsumeBatch(TupleBatch&& batch, int port) override;
+  /// Columnar kernel: one atomic add for the whole batch — no row
+  /// materialization at all (the timeline mode keeps the per-tuple path).
+  void ProcessColumnar(ColumnarBatchPtr batch, int port) override;
 
  private:
   std::atomic<int64_t> count_{0};

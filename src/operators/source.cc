@@ -1,5 +1,6 @@
 #include "operators/source.h"
 
+#include "tuple/batch_pool.h"
 #include "util/logging.h"
 
 namespace flexstream {
@@ -20,6 +21,10 @@ void Source::Push(const Tuple& tuple) {
     stats().RecordProcessed(0.0);
   }
   if (emit_batch_size_ > 1) {
+    if (columnar_emit_) {
+      AppendPendingColumnar(tuple);
+      return;
+    }
     pending_.PushBack(tuple);
     if (pending_.size() >= emit_batch_size_) FlushPendingBatch();
     return;
@@ -41,6 +46,12 @@ void Source::Push(Tuple&& tuple) {
     stats().RecordProcessed(0.0);
   }
   if (emit_batch_size_ > 1) {
+    if (columnar_emit_) {
+      // Scattering copies the attribute payloads into the columns; the
+      // move-in tuple is simply dropped afterwards.
+      AppendPendingColumnar(tuple);
+      return;
+    }
     pending_.PushBack(std::move(tuple));
     if (pending_.size() >= emit_batch_size_) FlushPendingBatch();
     return;
@@ -54,13 +65,84 @@ void Source::SetEmitBatchSize(size_t batch_size) {
   // Keep the cross-thread request in sync so a stale earlier request
   // cannot resurrect an old size at the next Push.
   requested_batch_size_.store(emit_batch_size_, std::memory_order_relaxed);
+  // Growth-policy satellite: reserve the accumulation buffer to the hint
+  // up front instead of letting PushBack double its way there.
+  if (emit_batch_size_ > 1) pending_.reserve(emit_batch_size_);
 }
 
 void Source::FlushPendingBatch() {
-  if (pending_.empty()) return;
-  TupleBatch batch = std::move(pending_);
-  pending_.clear();  // normalize the moved-from state
-  EmitBatch(std::move(batch));
+  if (!pending_.empty()) {
+    TupleBatch batch = std::move(pending_);
+    pending_.clear();  // normalize the moved-from state
+    // Steady state: re-reserve the hint so the next fill costs exactly one
+    // allocation (the growth-policy satellite; see tests/batch_alloc_test).
+    if (emit_batch_size_ > 1) pending_.reserve(emit_batch_size_);
+    EmitBatch(std::move(batch));
+  }
+  FlushPendingColumnar();
+}
+
+void Source::FlushPendingColumnar() {
+  if (pending_col_ == nullptr || pending_col_->empty()) return;
+  EmitColumnar(std::move(pending_col_));
+}
+
+void Source::AppendPendingColumnar(const Tuple& tuple) {
+  if (pending_col_ == nullptr) {
+    if (batch_schema_ == nullptr || !batch_schema_->Matches(tuple)) {
+      batch_schema_ =
+          (declared_schema_ != nullptr && declared_schema_->Matches(tuple))
+              ? declared_schema_
+              : MakeSchema(Schema::InferFrom(tuple).types());
+    }
+    pending_col_ = columnar::AcquireBatch(batch_schema_);
+  }
+  if (!pending_col_->AppendTuple(tuple)) {
+    // Schema drift mid-stream: flush what accumulated and restart under
+    // the element's own schema.
+    FlushPendingColumnar();
+    batch_schema_ = MakeSchema(Schema::InferFrom(tuple).types());
+    pending_col_ = columnar::AcquireBatch(batch_schema_);
+    const bool ok = pending_col_->AppendTuple(tuple);
+    DCHECK(ok);
+  }
+  if (pending_col_->size() >= emit_batch_size_) FlushPendingColumnar();
+}
+
+void Source::SetColumnarEmit(bool enabled) {
+  FlushPendingBatch();
+  columnar_emit_ = enabled;
+}
+
+void Source::DeclareOutputSchema(SchemaPtr schema) {
+  declared_schema_ = std::move(schema);
+  SetStaticOutputSchema(declared_schema_);
+}
+
+SchemaPtr Source::InferOutputSchema(const std::vector<SchemaPtr>&) const {
+  return declared_schema_;
+}
+
+void Source::PushColumnar(ColumnarBatchPtr batch) {
+  if (batch == nullptr || batch->empty()) {
+    columnar::ReleaseBatch(std::move(batch));
+    return;
+  }
+  ApplyRequestedBatchSize();
+  if (epoch_interval_ != 0) {
+    // The epoch/replay machinery (observer records, barrier counting,
+    // resume skip) is per-element: unbundle onto the exact Push path.
+    TupleBatch rows = columnar::MaterializeAndRelease(std::move(batch));
+    for (Tuple& tuple : rows) Push(std::move(tuple));
+    return;
+  }
+  DCHECK(!closed_by_driver_) << DebugString() << " pushed after Close";
+  if (StatsCollectionEnabled()) {
+    stats().RecordArrivalBatch(Now(), static_cast<int64_t>(batch->size()));
+    stats().RecordProcessedBatch(0.0, static_cast<int64_t>(batch->size()));
+  }
+  FlushPendingBatch();  // anything accumulated earlier goes first
+  EmitColumnar(std::move(batch));
 }
 
 void Source::PushEpochs(const Tuple& tuple) {
@@ -85,8 +167,12 @@ void Source::PushEpochs(const Tuple& tuple) {
     stats().RecordProcessed(0.0);
   }
   if (emit_batch_size_ > 1) {
-    pending_.PushBack(tuple);
-    if (pending_.size() >= emit_batch_size_) FlushPendingBatch();
+    if (columnar_emit_) {
+      AppendPendingColumnar(tuple);
+    } else {
+      pending_.PushBack(tuple);
+      if (pending_.size() >= emit_batch_size_) FlushPendingBatch();
+    }
   } else {
     Emit(tuple);
   }
@@ -145,6 +231,8 @@ void Source::Reset() {
   Operator::Reset();
   closed_by_driver_ = false;
   pending_.clear();
+  columnar::ReleaseBatch(std::move(pending_col_));
+  pending_col_.reset();
 }
 
 void Source::Process(const Tuple& tuple, int port) {

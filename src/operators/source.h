@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "operators/operator.h"
+#include "tuple/columnar_batch.h"
 
 namespace flexstream {
 
@@ -76,6 +77,36 @@ class Source : public Operator {
                                 std::memory_order_relaxed);
   }
 
+  /// Columnar accumulation (EngineOptions::columnar, DESIGN.md §17): with
+  /// an emit batch size > 1, Push scatters elements into a pooled
+  /// ColumnarBatch instead of a row-wise TupleBatch and emits it via
+  /// EmitColumnar once full. The batch's schema is the declared output
+  /// schema when it matches the data, else inferred from the first
+  /// element; an element that stops matching flushes the batch and starts
+  /// a new one under the new schema, so mixed-type streams degrade to
+  /// smaller batches, never to wrong answers. Punctuation flushing rules
+  /// are identical to the row path. Engine-configured; call from the
+  /// driving thread or while quiescent.
+  void SetColumnarEmit(bool enabled);
+  bool columnar_emit() const { return columnar_emit_; }
+
+  /// Declares the attribute types this source will push — the graph-build-
+  /// time anchor of schema propagation (StreamEngine::Configure walks it
+  /// through the topology). Purely declarative: batches still verify
+  /// element-by-element, so a wrong declaration costs batch granularity,
+  /// never correctness.
+  void DeclareOutputSchema(SchemaPtr schema);
+  SchemaPtr InferOutputSchema(
+      const std::vector<SchemaPtr>& inputs) const override;
+
+  /// Columnar quickstart: delivers a pre-built typed batch downstream
+  /// whole, skipping per-tuple Tuple construction entirely (benches and
+  /// columnar-native feeds). Any accumulated elements are flushed first so
+  /// order is preserved. When the epoch/replay machinery is armed the
+  /// batch is unbundled onto the per-element Push path (the observer must
+  /// see every element), so recovery semantics are untouched.
+  void PushColumnar(ColumnarBatchPtr batch);
+
   bool closed_by_driver() const { return closed_by_driver_; }
 
   /// Arms epoch injection: a barrier after every `interval` pushes,
@@ -122,8 +153,12 @@ class Source : public Operator {
 
  private:
   void PushEpochs(const Tuple& tuple);
-  /// Emits the accumulated batch (if any) downstream.
+  /// Emits the accumulated batch — row-wise or columnar — downstream.
   void FlushPendingBatch();
+  /// Scatters one element into the pending columnar batch (creating it
+  /// from the pool on first use), flushing when full or on schema change.
+  void AppendPendingColumnar(const Tuple& tuple);
+  void FlushPendingColumnar();
   /// Driving-thread check for a pending RequestEmitBatchSize; applies it
   /// (flush + switch) when one differs from the current size. One relaxed
   /// load on the push path.
@@ -140,6 +175,12 @@ class Source : public Operator {
   // Cross-thread change request, applied by the driving thread.
   std::atomic<size_t> requested_batch_size_{1};
   TupleBatch pending_;
+
+  // Columnar accumulation (driving-thread only).
+  bool columnar_emit_ = false;
+  ColumnarBatchPtr pending_col_;
+  SchemaPtr declared_schema_;  // user declaration (DeclareOutputSchema)
+  SchemaPtr batch_schema_;     // working schema of the current batches
 
   // Epoch/replay state. Touched by the (single) driving thread and, with
   // the gate held exclusively, by the recovery thread.

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "operators/router.h"
+#include "tuple/batch_pool.h"
 #include "util/binary_io.h"
 #include "util/logging.h"
 
@@ -16,6 +17,7 @@ SymmetricHashJoin::SymmetricHashJoin(std::string name, AppTime window_micros,
       window_micros_(window_micros) {
   sides_[kLeftPort].key_attr = left_key_attr;
   sides_[kRightPort].key_attr = right_key_attr;
+  MarkColumnarNative();
 }
 
 void SymmetricHashJoin::Reset() {
@@ -82,6 +84,55 @@ void SymmetricHashJoin::Process(const Tuple& tuple, int port) {
   own.Insert(tuple);
 }
 
+void SymmetricHashJoin::ProcessColumnar(ColumnarBatchPtr batch, int port) {
+  DCHECK(port == kLeftPort || port == kRightPort);
+  Side& own = sides_[port];
+  Side& other = sides_[1 - port];
+  const Schema& schema = batch->schema();
+  if (own.key_attr >= schema.arity()) {
+    ProcessBatch(columnar::MaterializeAndRelease(std::move(batch)), port);
+    return;
+  }
+  const Value::Type key_type = schema.type(own.key_attr);
+  const int64_t* int_keys = key_type == Value::Type::kInt64
+                                ? batch->Ints(own.key_attr)
+                                : nullptr;
+  const AppTime* ts = batch->Timestamps();
+  const size_t n = batch->size();
+  for (size_t i = 0; i < n; ++i) {
+    const AppTime watermark = ts[i] - window_micros_;
+    own.ExpireBefore(watermark);
+    other.ExpireBefore(watermark);
+    Value key;
+    if (int_keys != nullptr) {
+      key = Value(int_keys[i]);
+    } else if (key_type == Value::Type::kDouble) {
+      key = Value(batch->Doubles(own.key_attr)[i]);
+    } else {
+      key = Value(std::string(batch->StringAt(own.key_attr, i)));
+    }
+    auto it = other.table.find(key);
+    // Every row is inserted into its own side, so each is materialized
+    // exactly once; matches are emitted before the insertion, matching
+    // the row path's expire/probe/insert order.
+    Tuple tuple = batch->MaterializeRow(i);
+    if (it != other.table.end()) {
+      for (const Tuple& match : it->second) {
+        if (match.timestamp() < watermark ||
+            match.timestamp() > ts[i] + window_micros_) {
+          continue;
+        }
+        if (port == kLeftPort) {
+          EmitMove(Tuple::Concat(tuple, match));
+        } else {
+          EmitMove(Tuple::Concat(match, tuple));
+        }
+      }
+    }
+    own.Insert(tuple);
+  }
+  columnar::ReleaseBatch(std::move(batch));
+}
 
 OperatorSnapshot SymmetricHashJoin::SnapshotState() const {
   OperatorSnapshot snap;

@@ -19,6 +19,7 @@
 #include "operators/operator.h"
 #include "operators/window.h"
 #include "recovery/state_snapshot.h"
+#include "tuple/columnar_batch.h"
 #include "util/status.h"
 
 namespace flexstream {
@@ -63,6 +64,12 @@ class SymmetricHashJoin : public Operator, public StatefulOperator {
 
  protected:
   void Process(const Tuple& tuple, int port) override;
+  /// Columnar inner loop: typed-key probes read the key column directly
+  /// (an int64 key never touches a Tuple until a row is inserted or
+  /// matched), timestamps come from the batch's timestamp column, and the
+  /// per-row Receive overhead is gone. Expire/probe/insert order — and
+  /// hence the result multiset — is identical to the row path.
+  void ProcessColumnar(ColumnarBatchPtr batch, int port) override;
 
  private:
   struct Side {

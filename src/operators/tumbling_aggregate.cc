@@ -4,6 +4,7 @@
 #include <tuple>
 #include <utility>
 
+#include "tuple/batch_pool.h"
 #include "util/binary_io.h"
 #include "util/logging.h"
 
@@ -13,6 +14,21 @@ TumblingAggregate::TumblingAggregate(std::string name, Options options)
     : Operator(Kind::kOperator, std::move(name), /*input_arity=*/1),
       options_(options) {
   CHECK_GT(options.window_micros, 0);
+  MarkColumnarNative();
+}
+
+SchemaPtr TumblingAggregate::InferOutputSchema(
+    const std::vector<SchemaPtr>& inputs) const {
+  std::vector<Value::Type> types;
+  if (options_.group_attr) {
+    if (inputs.empty() || inputs[0] == nullptr ||
+        *options_.group_attr >= inputs[0]->arity()) {
+      return nullptr;
+    }
+    types.push_back(inputs[0]->type(*options_.group_attr));
+  }
+  types.push_back(Value::Type::kDouble);
+  return MakeSchema(std::move(types));
 }
 
 void TumblingAggregate::Reset() {
@@ -82,6 +98,80 @@ void TumblingAggregate::Process(const Tuple& tuple, int port) {
   }
   ++g.count;
   g.sum += v;
+}
+
+void TumblingAggregate::ProcessColumnar(ColumnarBatchPtr batch, int port) {
+  const Schema& schema = batch->schema();
+  const bool needs_value = options_.kind != AggregateKind::kCount;
+  const bool value_ok =
+      !needs_value ||
+      (options_.value_attr < schema.arity() &&
+       (schema.type(options_.value_attr) == Value::Type::kInt64 ||
+        schema.type(options_.value_attr) == Value::Type::kDouble));
+  const bool group_ok =
+      !options_.group_attr || *options_.group_attr < schema.arity();
+  if (!value_ok || !group_ok) {
+    ProcessBatch(columnar::MaterializeAndRelease(std::move(batch)), port);
+    return;
+  }
+  const size_t n = batch->size();
+  const AppTime* ts = batch->Timestamps();
+  const int64_t* vi = nullptr;
+  const double* vd = nullptr;
+  if (needs_value) {
+    if (schema.type(options_.value_attr) == Value::Type::kInt64) {
+      vi = batch->Ints(options_.value_attr);
+    } else {
+      vd = batch->Doubles(options_.value_attr);
+    }
+  }
+  const size_t group_attr = options_.group_attr ? *options_.group_attr : 0;
+  const Value::Type group_type =
+      options_.group_attr ? schema.type(group_attr) : Value::Type::kInt64;
+  // The single-group (and run-of-equal-int-keys) state is cached across
+  // rows; a window flush invalidates it.
+  GroupState* cached = nullptr;
+  for (size_t i = 0; i < n; ++i) {
+    const AppTime window = WindowIndexOf(ts[i]);
+    if (has_window_ && window != current_window_) {
+      DCHECK_GT(window, current_window_);
+      FlushCurrentWindow();
+      cached = nullptr;
+    }
+    has_window_ = true;
+    current_window_ = window;
+    GroupState* g;
+    if (!options_.group_attr) {
+      if (cached == nullptr) cached = &groups_[Value(int64_t{0})];
+      g = cached;
+    } else {
+      switch (group_type) {
+        case Value::Type::kInt64:
+          g = &groups_[Value(batch->Ints(group_attr)[i])];
+          break;
+        case Value::Type::kDouble:
+          g = &groups_[Value(batch->Doubles(group_attr)[i])];
+          break;
+        case Value::Type::kString:
+        default:
+          g = &groups_[Value(std::string(batch->StringAt(group_attr, i)))];
+          break;
+      }
+    }
+    const double v = !needs_value
+                         ? 0.0
+                         : (vi != nullptr ? static_cast<double>(vi[i]) : vd[i]);
+    if (g->count == 0) {
+      g->min = v;
+      g->max = v;
+    } else {
+      g->min = std::min(g->min, v);
+      g->max = std::max(g->max, v);
+    }
+    ++g->count;
+    g->sum += v;
+  }
+  columnar::ReleaseBatch(std::move(batch));
 }
 
 void TumblingAggregate::OnAllInputsClosed(AppTime timestamp) {

@@ -17,6 +17,7 @@
 #include "operators/aggregate.h"
 #include "operators/operator.h"
 #include "recovery/state_snapshot.h"
+#include "tuple/columnar_batch.h"
 
 namespace flexstream {
 
@@ -34,6 +35,10 @@ class TumblingAggregate : public Operator, public StatefulOperator {
 
   TumblingAggregate(std::string name, Options options);
 
+  /// Aggregates emit (group?, f64) rows regardless of input layout.
+  SchemaPtr InferOutputSchema(
+      const std::vector<SchemaPtr>& inputs) const override;
+
   void Reset() override;
 
   std::unique_ptr<Operator> CloneFresh(std::string name) const override {
@@ -50,6 +55,11 @@ class TumblingAggregate : public Operator, public StatefulOperator {
 
  protected:
   void Process(const Tuple& tuple, int port) override;
+  /// Columnar kernel: the grouped update loop reads the timestamp, value
+  /// and group columns directly (no Tuple per row); window flushes emit
+  /// aggregate rows exactly as the row path does. Falls back to rows when
+  /// the schema lacks the typed columns it needs.
+  void ProcessColumnar(ColumnarBatchPtr batch, int port) override;
   void OnAllInputsClosed(AppTime timestamp) override;
 
  private:

@@ -15,6 +15,13 @@ class UnionOp : public Operator {
  public:
   explicit UnionOp(std::string name);
 
+  /// Bag union preserves the row layout; the engine's propagation pass
+  /// already collapses conflicting producer schemas to null.
+  SchemaPtr InferOutputSchema(
+      const std::vector<SchemaPtr>& inputs) const override {
+    return inputs.empty() ? nullptr : inputs[0];
+  }
+
   std::unique_ptr<Operator> CloneFresh(std::string name) const override {
     return std::make_unique<UnionOp>(std::move(name));
   }
@@ -25,6 +32,8 @@ class UnionOp : public Operator {
   /// the payload; per-input order is preserved because a batch is a
   /// contiguous run from one producer).
   void ProcessBatch(TupleBatch&& batch, int port) override;
+  /// Columnar passthrough: a pointer move, zero per-row work.
+  void ProcessColumnar(ColumnarBatchPtr batch, int port) override;
 };
 
 }  // namespace flexstream

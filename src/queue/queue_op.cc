@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "tuple/batch_pool.h"
 #include "util/logging.h"
 
 namespace flexstream {
@@ -111,6 +112,59 @@ void QueueOp::ReceiveBatch(TupleBatch&& batch, int port) {
     return;
   }
   EnqueueBatch(std::move(batch));
+}
+
+void QueueOp::ReceiveColumnar(ColumnarBatchPtr batch, int port) {
+  (void)port;
+  if (batch == nullptr || batch->empty()) {
+    columnar::ReleaseBatch(std::move(batch));
+    return;
+  }
+  if (max_elements_ != 0 || !batch_delivery()) {
+    // Bounded: every admit/shed/block decision must see one element at a
+    // time. Per-tuple delivery: a boxed batch would only be unboxed again
+    // at the drain. Either way, materialize onto the row-wise path.
+    ReceiveBatch(columnar::MaterializeAndRelease(std::move(batch)), port);
+    return;
+  }
+  EnqueueColumnar(std::move(batch));
+}
+
+void QueueOp::EnqueueColumnar(ColumnarBatchPtr batch) {
+  const size_t n = batch->size();
+  const bool single = single_producer();
+  if (StatsCollectionEnabled()) {
+    stats().RecordArrivalBatch(Now(), static_cast<int64_t>(n));
+  }
+  // One boxed item carries the whole batch. It owns a contiguous run of n
+  // arrival seqs — the head seq orders the box against neighboring
+  // per-tuple items in the consumer's FIFO merge — and accounts for n rows
+  // in queued_items_, so Size() and scheduling see the true backlog (the
+  // drain paths subtract the full row count when they pop the box).
+  if (single) {
+    DCHECK(!InputClosed()) << DebugString() << " data after close";
+    Item item;
+    item.seq = g_arrival_seq.fetch_add(n, std::memory_order_relaxed);
+    item.col = std::move(batch);
+    PushItemSingleProducer(std::move(item));
+  } else {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DCHECK(!eos_enqueued_) << DebugString() << " data after close";
+    // The seq range is drawn under the lock so the deque stays
+    // sequence-ordered even when several producers race.
+    Item item;
+    item.seq = g_arrival_seq.fetch_add(n, std::memory_order_relaxed);
+    item.col = std::move(batch);
+    items_.push_back(std::move(item));
+  }
+  CountQueuedBatchAndMaybeNotify(n, single);
+}
+
+void QueueOp::EmitColumnarDrained(ColumnarBatchPtr col) {
+  if (StatsCollectionEnabled()) {
+    stats().RecordProcessedBatch(0.0, static_cast<int64_t>(col->size()));
+  }
+  EmitColumnar(std::move(col));
 }
 
 void QueueOp::EnqueueBatch(TupleBatch&& batch) {
@@ -441,11 +495,21 @@ size_t QueueOp::DrainBatch(size_t max_elements) {
     AppTime eos_ts = 0;
     bool barrier_taken = false;
     Tuple barrier;
+    ColumnarBatchPtr col_taken;
     size_t taken = 0;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       while (total_taken + taken < max_elements && !items_.empty()) {
         Item& front = items_.front();
+        if (front.col != nullptr) [[unlikely]] {
+          // Boxed columnar batch: it cannot join the row batch, so it ends
+          // the run like a punctuation does — except it is data, emitted
+          // (outside the lock) right after the accumulated prefix.
+          col_taken = std::move(front.col);
+          items_.pop_front();
+          taken += col_taken->size();
+          break;
+        }
         if (front.tuple.is_eos()) {
           eos_taken = true;
           eos_ts = front.tuple.timestamp();
@@ -471,6 +535,10 @@ size_t QueueOp::DrainBatch(size_t max_elements) {
     }
     EmitDrainedBatch(&batch);
     RestoreDrainScratch(std::move(batch));
+    if (col_taken != nullptr) {
+      EmitColumnarDrained(std::move(col_taken));
+      if (total_taken < max_elements) continue;
+    }
     if (barrier_taken) {
       EmitBarrier(barrier);
       if (total_taken < max_elements) continue;
@@ -546,6 +614,20 @@ size_t QueueOp::DrainBatchSingleProducer(size_t max_elements) {
       size_t consumed = 0;
       for (size_t i = 0; i < run; ++i) {
         Item* front = ring_->AtFromFront(i);
+        if (front->col != nullptr) {
+          // Boxed columnar batch: flush the accumulated row prefix, then
+          // hand the box downstream whole. The box accounted for its row
+          // count in queued_items_ but occupies one ring slot — the claim
+          // above subtracted 1 for it, so settle the remainder here.
+          ColumnarBatchPtr col = std::move(front->col);
+          const size_t rows = col->size();
+          queued_items_.fetch_sub(rows - 1, std::memory_order_acq_rel);
+          EmitDrainedBatch(&batch);
+          EmitColumnarDrained(std::move(col));
+          ++consumed;
+          taken += rows;
+          continue;
+        }
         if (front->tuple.is_eos()) {
           DCHECK(i + 1 == run);  // nothing is ever enqueued after EOS
           eos_taken = true;
@@ -573,6 +655,18 @@ size_t QueueOp::DrainBatchSingleProducer(size_t max_elements) {
     for (; run > 0; --run) {
       Item* front = ring_->FrontMutable();
       DCHECK(front != nullptr);  // single consumer: observed elements stay
+      if (front->col != nullptr) [[unlikely]] {
+        // A boxed batch left over from before a live batch-delivery
+        // downgrade: deliver it whole (delivery granularity is free to
+        // differ), settling the rows-vs-slot claim as above.
+        ColumnarBatchPtr col = std::move(front->col);
+        const size_t rows = col->size();
+        queued_items_.fetch_sub(rows - 1, std::memory_order_acq_rel);
+        ring_->PopFront();
+        EmitColumnarDrained(std::move(col));
+        taken += rows;
+        continue;
+      }
       if (front->tuple.is_eos()) {
         DCHECK(run == 1);  // nothing is ever enqueued after EOS
         eos_taken = true;
@@ -619,6 +713,7 @@ size_t QueueOp::DrainMergeLocked(size_t max_elements, bool* eos_taken,
   TupleBatch batch = StealDrainScratch();
   bool barrier_taken = false;
   Tuple barrier;
+  ColumnarBatchPtr col_taken;
   size_t taken = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -632,6 +727,13 @@ size_t QueueOp::DrainMergeLocked(size_t max_elements, bool* eos_taken,
         item = std::move(items_.front());
         items_.pop_front();
         overflow_count_.fetch_sub(1, std::memory_order_release);
+      }
+      if (item.col != nullptr) [[unlikely]] {
+        // Boxed columnar batch: ends the merge run like a punctuation
+        // (it cannot join the row batch), emitted after the prefix below.
+        col_taken = std::move(item.col);
+        taken += col_taken->size();
+        break;
       }
       if (item.tuple.is_eos()) {
         *eos_taken = true;
@@ -655,6 +757,7 @@ size_t QueueOp::DrainMergeLocked(size_t max_elements, bool* eos_taken,
   }
   EmitDrainedBatch(&batch);
   RestoreDrainScratch(std::move(batch));
+  if (col_taken != nullptr) EmitColumnarDrained(std::move(col_taken));
   if (barrier_taken) EmitBarrier(barrier);
   return taken;
 }

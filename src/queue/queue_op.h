@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "operators/operator.h"
+#include "tuple/columnar_batch.h"
 #include "util/clock.h"
 #include "util/spsc_ring.h"
 #include "util/status.h"
@@ -115,6 +116,22 @@ class QueueOp final : public Operator {
   /// decision and its counters see elements one at a time, exactly as the
   /// per-tuple contract specifies.
   void ReceiveBatch(TupleBatch&& batch, int port) override;
+
+  /// Columnar enqueue (DESIGN.md §17): an unbounded batch-delivery queue
+  /// boxes the whole typed batch into ONE queue item — a unique_ptr move
+  /// through the ring or deque instead of N row moves — owning a
+  /// contiguous run of arrival seqs (the head seq orders the box in the
+  /// FIFO merge; the queued count reflects every row). Bounded queues and
+  /// per-tuple-delivery queues materialize to rows at the door so every
+  /// admit/shed/block decision still sees elements one at a time.
+  void ReceiveColumnar(ColumnarBatchPtr batch, int port) override;
+
+  /// Queues are schema-transparent; this passthrough lets the engine's
+  /// columnar schema walk (Configure) cross placed queues.
+  SchemaPtr InferOutputSchema(
+      const std::vector<SchemaPtr>& inputs) const override {
+    return inputs.empty() ? nullptr : inputs[0];
+  }
 
   /// Dequeues up to `max_elements` data elements (plus a trailing EOS if it
   /// becomes due) and pushes them downstream in the calling thread. On the
@@ -332,12 +349,22 @@ class QueueOp final : public Operator {
   struct Item {
     Tuple tuple;
     uint64_t seq = 0;
+    /// Boxed columnar payload: when set, this item carries a whole typed
+    /// batch (tuple is an ignored placeholder) and accounts for
+    /// col->size() rows in queued_items_. seq is the first of the batch's
+    /// contiguous arrival-seq run.
+    ColumnarBatchPtr col;
   };
 
   void Enqueue(Tuple&& tuple, bool is_barrier = false);
   /// Bulk enqueue for an unbounded queue: one stats update, one lock (or a
   /// run of ring pushes), one queued-count bump for the whole batch.
   void EnqueueBatch(TupleBatch&& batch);
+  /// Boxes a columnar batch into one queue item (unbounded + batch
+  /// delivery only; see ReceiveColumnar).
+  void EnqueueColumnar(ColumnarBatchPtr batch);
+  /// Forwards a drained boxed batch downstream (stats + EmitColumnar).
+  void EmitColumnarDrained(ColumnarBatchPtr col);
   void EnqueueEos(const Tuple& tuple);
   /// kBlock producer wait: parks until Size() < max_elements_, the
   /// timeout expires (overrun), waits are cancelled, or the run failed.

@@ -89,6 +89,7 @@ EngineOptions EngineOptionsForConfig(const DiffConfig& config) {
   options.overload_policy = config.overload_policy;
   options.checkpoint_epoch_interval = config.checkpoint_epoch_interval;
   options.emit_batch_size = config.emit_batch_size;
+  options.columnar = config.columnar;
   if (config.watchdog) {
     // Comfortably above the partitions' 100ms idle-poll failsafe, so a
     // chaos-suppressed wakeup recovered by the poll never reads as a stall.
@@ -209,6 +210,7 @@ std::string DiffConfig::Name() const {
   }
   if (watchdog) os << "+watchdog";
   if (emit_batch_size > 1) os << "+batch" << emit_batch_size;
+  if (columnar) os << "+col";
   if (shard_count > 0) {
     os << "+shard" << shard_count << (shard_unordered ? "u" : "o");
     if (kill_shard_replica >= 0) os << "+killrep" << kill_shard_replica;
@@ -321,6 +323,35 @@ std::vector<DiffConfig> DefaultConfigMatrix() {
   add_batch(ExecutionMode::kHmts, QueuePathMode::kForceMpsc, kRing, false, 64);
   add_batch(ExecutionMode::kGts, QueuePathMode::kAuto, kRing, true, 64);
 
+  // Columnar axis (DESIGN.md §17): the same topologies with the typed
+  // columnar layer on — sources scatter accumulated elements into
+  // ColumnarBatches, typed kernels run vectorized with in-place
+  // compaction, queues box whole batches, and fallback boundaries
+  // materialize back to rows. Representation must never change results:
+  // byte-identical to the row-wise path everywhere.
+  auto add_col = [&configs](ExecutionMode mode, QueuePathMode queue_path,
+                            size_t ring, bool burst, size_t batch) {
+    DiffConfig config;
+    config.mode = mode;
+    config.queue_path = queue_path;
+    config.ring_capacity = ring;
+    config.feed_before_start = burst;
+    config.emit_batch_size = batch;
+    config.columnar = true;
+    configs.push_back(config);
+  };
+  for (size_t batch : {size_t{8}, size_t{64}}) {
+    add_col(ExecutionMode::kDirect, QueuePathMode::kAuto, kRing, false, batch);
+    add_col(ExecutionMode::kGts, QueuePathMode::kAuto, kRing, false, batch);
+    add_col(ExecutionMode::kHmts, QueuePathMode::kAuto, kRing, false, batch);
+  }
+  add_col(ExecutionMode::kGts, QueuePathMode::kForceMpsc, kRing, false, 64);
+  // Tiny ring: every boxed batch lands in the spillover deque, so drains
+  // exercise the seq-merge path with boxed items in flight.
+  add_col(ExecutionMode::kGts, QueuePathMode::kAuto, 2, false, 64);
+  add_col(ExecutionMode::kOts, QueuePathMode::kAuto, kRing, false, 64);
+  add_col(ExecutionMode::kGts, QueuePathMode::kAuto, kRing, true, 64);
+
   // Elastic control axis: the SLO controller escalates/de-escalates
   // rungs 1-2 live throughout the run. kHmts exercises real thread-pool
   // resizes + batch flips; kGts structurally refuses the thread lever
@@ -390,6 +421,31 @@ std::vector<DiffConfig> ChaosConfigMatrix() {
     config.watchdog = true;
     configs.push_back(config);
   }
+  // Columnar under chaos: fault hooks arm the columnar fallback gate on
+  // every hooked operator, so batches materialize to rows there while
+  // untouched stretches stay columnar; bounded shed queues materialize at
+  // the door. Drop counters must still account for every missing tuple.
+  {
+    DiffConfig config;
+    config.mode = ExecutionMode::kHmts;
+    config.emit_batch_size = 64;
+    config.columnar = true;
+    config.chaos_transient_rate = 0.02;
+    config.chaos_delay_rate = 0.01;
+    config.chaos_suppress_every_n = 7;
+    config.watchdog = true;
+    configs.push_back(config);
+  }
+  {
+    DiffConfig config;
+    config.mode = ExecutionMode::kGts;
+    config.emit_batch_size = 64;
+    config.columnar = true;
+    config.queue_max_elements = 8;
+    config.overload_policy = OverloadPolicy::kShedNewest;
+    config.chaos_transient_rate = 0.02;
+    configs.push_back(config);
+  }
   // Controller x chaos: live rung-1/2 actuation while transient faults,
   // delays, and lost wakeups fire. Elasticity and fault absorption must
   // compose without any result deviation (and no watchdog stalls).
@@ -450,6 +506,20 @@ std::vector<DiffConfig> RecoveryConfigMatrix(const std::string& kill_operator,
   // exactly the same committed prefix as the per-tuple path.
   add(ExecutionMode::kHmts, StrategyKind::kFifo).emit_batch_size = 64;
   add(ExecutionMode::kGts, StrategyKind::kFifo).emit_batch_size = 8;
+  // Columnar + kill/revive: armed epoch-alignment state forces the row
+  // fallback at epoch-participating operators (the PR 5 unbundling
+  // contract), so rewind + replay must restore exactly the same committed
+  // prefix as the per-tuple path.
+  {
+    DiffConfig& config = add(ExecutionMode::kHmts, StrategyKind::kFifo);
+    config.emit_batch_size = 64;
+    config.columnar = true;
+  }
+  {
+    DiffConfig& config = add(ExecutionMode::kGts, StrategyKind::kFifo);
+    config.emit_batch_size = 8;
+    config.columnar = true;
+  }
   return configs;
 }
 
@@ -474,6 +544,18 @@ std::vector<DiffConfig> ShardConfigMatrix() {
         configs.push_back(config);
       }
     }
+  }
+  // Columnar sharding: replica emit-seq stamping forces the row fallback
+  // inside replicas while the rest of the pipeline stays columnar; the
+  // sequencing Router + ordered merge must still reproduce the unsharded
+  // golden byte-for-byte.
+  for (ExecutionMode mode : {ExecutionMode::kGts, ExecutionMode::kHmts}) {
+    DiffConfig config;
+    config.mode = mode;
+    config.shard_count = 2;
+    config.emit_batch_size = 64;
+    config.columnar = true;
+    configs.push_back(config);
   }
   // Arrival-order merge: no buffering, nondeterministic interleaving — all
   // sinks demote to the multiset oracle.
@@ -520,6 +602,14 @@ std::vector<DiffConfig> DurabilityConfigMatrix() {
   // Batch delivery: barriers still split batches, so the durable cursors
   // land on the same element boundaries as the per-tuple path.
   add(ExecutionMode::kHmts).emit_batch_size = 64;
+  // Columnar + cold restart: columnar engages between barriers while the
+  // durable cursors land on identical element boundaries; every
+  // incarnation must restore to an exact golden match.
+  {
+    DiffConfig& config = add(ExecutionMode::kHmts);
+    config.emit_batch_size = 64;
+    config.columnar = true;
+  }
   // Two process deaths: the second incarnation restores, makes fresh
   // progress, persists new epochs, dies again — and the third must
   // restore from epochs written *after* a restore.
@@ -966,6 +1056,7 @@ std::string FormatReplay(const DiffSpec& spec, const DiffConfig& config) {
      << "chaos_kills=" << config.chaos_kills << "\n"
      << "watchdog=" << (config.watchdog ? 1 : 0) << "\n"
      << "emit_batch_size=" << config.emit_batch_size << "\n"
+     << "columnar=" << (config.columnar ? 1 : 0) << "\n"
      << "shard_count=" << config.shard_count << "\n"
      << "shard_unordered=" << (config.shard_unordered ? 1 : 0) << "\n"
      << "kill_shard_replica=" << config.kill_shard_replica << "\n"
@@ -1058,6 +1149,8 @@ bool ParseReplay(const std::string& text, DiffSpec* spec, DiffConfig* config,
         config->watchdog = std::stoi(value) != 0;
       } else if (key == "emit_batch_size") {
         config->emit_batch_size = std::stoull(value);
+      } else if (key == "columnar") {
+        config->columnar = std::stoi(value) != 0;
       } else if (key == "shard_count") {
         config->shard_count = std::stoi(value);
       } else if (key == "shard_unordered") {

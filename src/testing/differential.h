@@ -91,6 +91,14 @@ struct DiffConfig {
   /// granularity, never semantics.
   size_t emit_batch_size = 1;
 
+  /// Columnar batch layer (EngineOptions::columnar, DESIGN.md §17):
+  /// sources scatter accumulated elements into typed ColumnarBatches and
+  /// columnar-native operators run vectorized kernels, materializing back
+  /// to rows at the fallback boundary. Meaningful only with
+  /// emit_batch_size > 1. Results must stay byte-identical to the row-wise
+  /// path — columnar changes representation, never semantics.
+  bool columnar = false;
+
   // -- Checkpoint/recovery dimensions (ISSUE 4) ---------------------------
 
   /// Elements per source between epoch barriers; 0 disables checkpointing.

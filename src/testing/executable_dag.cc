@@ -44,6 +44,9 @@ ExecutableDag BuildExecutableDag(const ExecutableDagOptions& options,
       src->SetInterarrivalMicros(node->InterarrivalMicros());
       src->SetCostMicros(0.0);
       src->SetSelectivity(1.0);
+      // Feed pushes single-int tuples; declaring the schema lets columnar
+      // differential configs scatter straight into typed batches.
+      src->DeclareOutputSchema(MakeSchema({Value::Type::kInt64}));
       mapped[node] = src;
       out.sources.push_back(src);
       continue;
@@ -76,7 +79,7 @@ ExecutableDag BuildExecutableDag(const ExecutableDagOptions& options,
             std::llround(node->Selectivity() * kExecutableDagValueDomain), 1,
             kExecutableDagValueDomain);
         Selection* sel = qb.Select(upstream, node->name(),
-                                   Selection::IntAttrLessThan(threshold));
+                                   Selection::ColumnIntLessThan(threshold));
         sel->SetSelectivity(static_cast<double>(threshold) /
                             kExecutableDagValueDomain);
         op = sel;
@@ -86,11 +89,11 @@ ExecutableDag BuildExecutableDag(const ExecutableDagOptions& options,
         // Deterministic domain-preserving transform (31 is coprime with
         // the domain, so uniformity — which downstream thresholds rely
         // on — is preserved).
-        MapOp* map = qb.Map(upstream, node->name(), [](const Tuple& t) {
-          return Tuple::OfInt(
-              (t.IntAt(0) * 31 + 17) % kExecutableDagValueDomain,
-              t.timestamp());
-        });
+        MapOp* map = qb.Map(
+            upstream, node->name(),
+            Int64ColumnMap{0, [](int64_t v) {
+                             return (v * 31 + 17) % kExecutableDagValueDomain;
+                           }});
         map->SetSelectivity(1.0);
         op = map;
         break;
@@ -98,10 +101,9 @@ ExecutableDag BuildExecutableDag(const ExecutableDagOptions& options,
       default: {
         // Modulo filter: keeps values not divisible by `mod`.
         const int64_t mod = 2 + static_cast<int64_t>(rng.NextU64(5));
-        Selection* sel =
-            qb.Select(upstream, node->name(), [mod](const Tuple& t) {
-              return t.IntAt(0) % mod != 0;
-            });
+        Selection* sel = qb.Select(
+            upstream, node->name(),
+            Int64ColumnPredicate{0, [mod](int64_t v) { return v % mod != 0; }});
         sel->SetSelectivity(static_cast<double>(mod - 1) /
                             static_cast<double>(mod));
         op = sel;

@@ -1,0 +1,24 @@
+#include "tuple/schema.h"
+
+namespace flexstream {
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < types_.size(); ++i) {
+    if (i) out += ",";
+    switch (types_[i]) {
+      case Value::Type::kInt64:
+        out += "i64";
+        break;
+      case Value::Type::kDouble:
+        out += "f64";
+        break;
+      case Value::Type::kString:
+        out += "str";
+        break;
+    }
+  }
+  return out.empty() ? "()" : out;
+}
+
+}  // namespace flexstream

@@ -125,10 +125,15 @@ QueryHandle BuildFilterQuery(QueryGraph* graph, const NexmarkConfig& config,
   QueryHandle h;
   h.bids = qb.AddSource("nexmark_bids");
   const int64_t modulus = config.filter_modulus;
-  Selection* filter =
-      qb.Select(h.bids, "q2_filter", [modulus](const Tuple& t) {
-        return t.IntAt(kBidAuction) % modulus == 0;
-      });
+  // Typed-column form: under EngineOptions::columnar the filter scans the
+  // raw auction-id column (DESIGN.md §17); row-wise deliveries evaluate
+  // the same predicate through the synthesized row wrapper.
+  Selection* filter = qb.Select(
+      h.bids, "q2_filter",
+      Int64ColumnPredicate{kBidAuction,
+                           [modulus](int64_t auction) {
+                             return auction % modulus == 0;
+                           }});
   h.results = qb.CountSink(filter, "q2_out");
   if (options.epoch) {
     h.latency = qb.Latency(filter, "q2_lat", kBidArity, *options.epoch);
